@@ -1,0 +1,40 @@
+//! Benchmarks the three shared-bus chain solvers of `rsin-queueing`:
+//! the exact matrix-geometric method, the paper's stage-recursion, and the
+//! truncated Gauss–Seidel reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsin_queueing::{SharedBusChain, SharedBusParams};
+use std::hint::black_box;
+
+fn chain(resources: u32) -> SharedBusChain {
+    SharedBusChain::new(SharedBusParams {
+        processors: 16,
+        resources,
+        // Λ = 0.32 against a bus-pipeline capacity of ≥ 0.8 for every r —
+        // stable at all benchmarked sizes.
+        lambda: 0.02,
+        mu_n: 1.0,
+        mu_s: 1.0,
+    })
+    .expect("stable")
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbus_chain");
+    for r in [2u32, 8, 32] {
+        let ch = chain(r);
+        group.bench_with_input(BenchmarkId::new("matrix_geometric", r), &ch, |b, ch| {
+            b.iter(|| black_box(ch.solve().expect("solves")));
+        });
+        group.bench_with_input(BenchmarkId::new("paper_iterative", r), &ch, |b, ch| {
+            b.iter(|| black_box(ch.solve_paper_iterative().expect("solves")));
+        });
+        group.bench_with_input(BenchmarkId::new("truncated_gs_64", r), &ch, |b, ch| {
+            b.iter(|| black_box(ch.solve_truncated(64).expect("solves")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

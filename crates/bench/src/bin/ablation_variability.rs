@@ -1,0 +1,5 @@
+//! Ablation: service-time distribution sensitivity.
+fn main() {
+    let q = rsin_bench::RunQuality::from_args();
+    rsin_bench::output::emit_text("ablation_variability", &rsin_bench::tables::ablation_variability_text(&q));
+}

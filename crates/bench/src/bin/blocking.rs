@@ -1,0 +1,5 @@
+//! Regenerates the Section V blocking-probability comparison.
+fn main() {
+    let q = rsin_bench::RunQuality::from_args();
+    rsin_bench::output::emit_text("blocking", &rsin_bench::tables::blocking_text(&q));
+}

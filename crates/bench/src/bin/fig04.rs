@@ -1,0 +1,8 @@
+//! Regenerates Fig. 4: single-shared-bus delay, µ_s/µ_n = 0.1 (analytic
+//! curves plus a simulation overlay of the 16-partition system).
+fn main() {
+    let q = rsin_bench::RunQuality::from_args();
+    let mut e = rsin_bench::figures::fig_sbus(0.1, 4);
+    e.add(rsin_bench::figures::sbus_sim_series("16/16x1x1 SBUS/2", 0.1, &q));
+    rsin_bench::output::emit("fig04", &e);
+}

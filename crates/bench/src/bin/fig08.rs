@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8: crossbar delay, µ_s/µ_n = 1.0.
+fn main() {
+    let q = rsin_bench::RunQuality::from_args();
+    let e = rsin_bench::figures::fig_xbar(1.0, 8, &q);
+    rsin_bench::output::emit("fig08", &e);
+}

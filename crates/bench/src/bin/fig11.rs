@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 11 distributed-scheduling walkthrough.
+fn main() {
+    rsin_bench::output::emit_text("fig11", &rsin_bench::tables::fig11_text());
+}

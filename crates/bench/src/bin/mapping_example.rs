@@ -1,0 +1,4 @@
+//! Regenerates the Section II Omega mapping example.
+fn main() {
+    rsin_bench::output::emit_text("mapping_example", &rsin_bench::tables::mapping_example_text());
+}

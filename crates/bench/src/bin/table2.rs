@@ -1,0 +1,8 @@
+//! Regenerates Table II plus the Section VI equal-cost comparison.
+fn main() {
+    let q = rsin_bench::RunQuality::from_args();
+    let mut text = rsin_bench::tables::table2_text();
+    text.push('\n');
+    text.push_str(&rsin_bench::tables::section6_text(&q));
+    rsin_bench::output::emit_text("table2", &text);
+}

@@ -1,0 +1,32 @@
+//! # rsin-bench — experiment harness for the RSIN reproduction
+//!
+//! One regenerator per figure and table of Wah (1983), exposed both as
+//! library functions (so tests can assert the *shapes* the paper reports)
+//! and as binaries (so `cargo run -p rsin-bench --bin fig04` reproduces the
+//! numbers; add `--full` for publication-quality runs):
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig04` / `fig05` | single-shared-bus delay curves (analytic) |
+//! | `fig07` / `fig08` | crossbar delay curves (simulation + approximations) |
+//! | `fig12` / `fig13` | Omega delay curves (simulation) |
+//! | `table1` | the crossbar cell truth table |
+//! | `table2` | the network-selection rule + Section VI comparison |
+//! | `blocking` | Section V blocking probabilities (RSIN vs address map) |
+//! | `fig11` | the distributed-scheduling walkthrough |
+//! | `mapping_example` | the Section II blocking example |
+//! | `ablation_arbiter` / `ablation_stagger` | design-choice ablations |
+//! | `all` | everything above in sequence |
+//!
+//! Criterion micro-benchmarks (`cargo bench -p rsin-bench`) measure the
+//! implementation itself: the Markov solvers, the gate-level crossbar wave,
+//! the Omega resolver, the DES kernel, and an end-to-end simulation.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod output;
+pub mod quality;
+pub mod tables;
+
+pub use quality::RunQuality;

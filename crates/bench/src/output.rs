@@ -1,0 +1,67 @@
+//! Output handling for the experiment binaries: print to stdout and persist
+//! text + CSV under `target/experiments/`.
+
+use rsin_core::experiment::Experiment;
+use std::path::PathBuf;
+
+/// Directory where experiment outputs are persisted.
+#[must_use]
+pub fn output_dir() -> PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    target.join("experiments")
+}
+
+/// Prints an experiment and writes `<name>.txt` / `<name>.csv` under
+/// [`output_dir`]. IO failures are reported to stderr but do not abort the
+/// run — the stdout copy is the primary artifact.
+pub fn emit(name: &str, experiment: &Experiment) {
+    let mut text = experiment.to_text();
+    text.push('\n');
+    text.push_str(&experiment.to_ascii_chart(64, 16));
+    print!("{text}");
+    persist(name, &text, Some(&experiment.to_csv()));
+}
+
+/// Prints free-form text and persists it as `<name>.txt`.
+pub fn emit_text(name: &str, text: &str) {
+    print!("{text}");
+    persist(name, text, None);
+}
+
+fn persist(name: &str, text: &str, csv: Option<&str>) {
+    let dir = output_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    if let Err(e) = std::fs::write(dir.join(format!("{name}.txt")), text) {
+        eprintln!("warning: cannot write {name}.txt: {e}");
+    }
+    if let Some(csv) = csv {
+        if let Err(e) = std::fs::write(dir.join(format!("{name}.csv")), csv) {
+            eprintln!("warning: cannot write {name}.csv: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_core::experiment::Series;
+
+    #[test]
+    fn emit_writes_files() {
+        let mut e = Experiment::new("t", "x", "y");
+        let mut s = Series::new("s");
+        s.push(0.1, 1.0);
+        e.add(s);
+        emit("unit_test_artifact", &e);
+        let dir = output_dir();
+        assert!(dir.join("unit_test_artifact.txt").exists());
+        assert!(dir.join("unit_test_artifact.csv").exists());
+        let _ = std::fs::remove_file(dir.join("unit_test_artifact.txt"));
+        let _ = std::fs::remove_file(dir.join("unit_test_artifact.csv"));
+    }
+}

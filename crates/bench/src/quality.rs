@@ -1,0 +1,79 @@
+//! Run-quality presets shared by the experiment regenerators.
+
+use rsin_core::SimOptions;
+
+/// How much simulation effort to spend per point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunQuality {
+    /// Warm-up allocations per replication.
+    pub warmup: u64,
+    /// Measured allocations per replication.
+    pub measured: u64,
+    /// Independent replications per simulation point.
+    pub reps: usize,
+    /// Monte Carlo trials (blocking experiment).
+    pub trials: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl RunQuality {
+    /// Fast preset for smoke tests and CI (seconds per figure).
+    #[must_use]
+    pub fn quick() -> Self {
+        RunQuality {
+            warmup: 1_000,
+            measured: 8_000,
+            reps: 2,
+            trials: 2_000,
+            seed: 1983,
+        }
+    }
+
+    /// Publication preset (minutes per figure).
+    #[must_use]
+    pub fn full() -> Self {
+        RunQuality {
+            warmup: 5_000,
+            measured: 40_000,
+            reps: 5,
+            trials: 20_000,
+            seed: 1983,
+        }
+    }
+
+    /// Chooses the preset from the process arguments (`--full` selects the
+    /// publication preset).
+    #[must_use]
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            RunQuality::full()
+        } else {
+            RunQuality::quick()
+        }
+    }
+
+    /// Simulator options for this preset.
+    #[must_use]
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            warmup_tasks: self.warmup,
+            measured_tasks: self.measured,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_cheaper_than_full() {
+        let q = RunQuality::quick();
+        let f = RunQuality::full();
+        assert!(q.measured < f.measured);
+        assert!(q.reps <= f.reps);
+        assert!(q.trials < f.trials);
+        assert_eq!(q.sim_options().measured_tasks, q.measured);
+    }
+}

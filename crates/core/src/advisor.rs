@@ -1,0 +1,157 @@
+//! The network-selection advisor (Table II of the paper).
+//!
+//! Section VI distills the study into a decision table over two factors: the
+//! cost of the network relative to the resources, and the
+//! transmission-to-service ratio `µ_s/µ_n`. This module encodes that table
+//! and explains each recommendation.
+
+use std::fmt;
+
+/// Relative cost of the interconnection network versus the resource pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CostRegime {
+    /// `COST_net ≪ COST_res`: networks are cheap relative to resources.
+    NetworkMuchCheaper,
+    /// `COST_net ≃ COST_res`: comparable costs.
+    Comparable,
+    /// `COST_net ≫ COST_res`: the network dominates the budget.
+    NetworkMuchDearer,
+}
+
+/// The paper's recommended network organisations (Table II rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Recommendation {
+    /// One large multistage (Omega-class) RSIN.
+    SingleMultistage,
+    /// One large crossbar RSIN.
+    SingleCrossbar,
+    /// Many small multistage networks plus a larger resource pool.
+    ManySmallMultistage,
+    /// Many small crossbars plus a larger resource pool.
+    ManySmallCrossbar,
+    /// Private buses, each with a generous number of resources.
+    PrivateBuses,
+}
+
+impl Recommendation {
+    /// One-line rationale taken from the paper's Section VI discussion.
+    #[must_use]
+    pub fn rationale(&self) -> &'static str {
+        match self {
+            Recommendation::SingleMultistage => {
+                "resources are the bottleneck; distributed scheduling cuts Omega blocking, \
+                 and O(N log N) hardware beats a crossbar"
+            }
+            Recommendation::SingleCrossbar => {
+                "the network is the bottleneck; a nonblocking crossbar gives the least delay"
+            }
+            Recommendation::ManySmallMultistage => {
+                "many small Omega networks with extra resources outperform one medium network \
+                 at equal cost when transmission is short"
+            }
+            Recommendation::ManySmallCrossbar => {
+                "many small crossbars with extra resources avoid network blockage when \
+                 transmission dominates"
+            }
+            Recommendation::PrivateBuses => {
+                "when resources are cheap, private buses with several resources each give \
+                 the least cost and delay"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Recommendation::SingleMultistage => "single multistage network",
+            Recommendation::SingleCrossbar => "single crossbar network",
+            Recommendation::ManySmallMultistage => {
+                "many small multistage networks + more resources"
+            }
+            Recommendation::ManySmallCrossbar => "many small crossbar networks + more resources",
+            Recommendation::PrivateBuses => "private buses with many resources",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Looks up Table II.
+///
+/// `ratio` is `µ_s/µ_n`; the paper calls it "small" when at most about 1
+/// (the Omega's reduced blocking wins) and "large" above that (the
+/// crossbar's nonblocking fabric wins).
+///
+/// # Panics
+///
+/// Panics if `ratio` is not positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_core::advisor::{recommend, CostRegime, Recommendation};
+///
+/// assert_eq!(
+///     recommend(CostRegime::NetworkMuchCheaper, 0.1),
+///     Recommendation::SingleMultistage
+/// );
+/// assert_eq!(
+///     recommend(CostRegime::NetworkMuchDearer, 10.0),
+///     Recommendation::PrivateBuses
+/// );
+/// ```
+#[must_use]
+pub fn recommend(cost: CostRegime, ratio: f64) -> Recommendation {
+    assert!(ratio.is_finite() && ratio > 0.0, "ratio must be positive, got {ratio}");
+    let small = ratio <= 1.0;
+    match (cost, small) {
+        (CostRegime::NetworkMuchCheaper, true) => Recommendation::SingleMultistage,
+        (CostRegime::NetworkMuchCheaper, false) => Recommendation::SingleCrossbar,
+        (CostRegime::Comparable, true) => Recommendation::ManySmallMultistage,
+        (CostRegime::Comparable, false) => Recommendation::ManySmallCrossbar,
+        (CostRegime::NetworkMuchDearer, _) => Recommendation::PrivateBuses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_table_ii() {
+        use CostRegime::*;
+        use Recommendation::*;
+        let cases = [
+            (NetworkMuchCheaper, 0.1, SingleMultistage),
+            (NetworkMuchCheaper, 1.0, SingleMultistage),
+            (NetworkMuchCheaper, 5.0, SingleCrossbar),
+            (Comparable, 0.1, ManySmallMultistage),
+            (Comparable, 5.0, ManySmallCrossbar),
+            (NetworkMuchDearer, 0.1, PrivateBuses),
+            (NetworkMuchDearer, 100.0, PrivateBuses),
+        ];
+        for (cost, ratio, expect) in cases {
+            assert_eq!(recommend(cost, ratio), expect, "({cost:?}, {ratio})");
+        }
+    }
+
+    #[test]
+    fn every_recommendation_has_rationale_and_name() {
+        for rec in [
+            Recommendation::SingleMultistage,
+            Recommendation::SingleCrossbar,
+            Recommendation::ManySmallMultistage,
+            Recommendation::ManySmallCrossbar,
+            Recommendation::PrivateBuses,
+        ] {
+            assert!(!rec.rationale().is_empty());
+            assert!(!rec.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_ratio() {
+        let _ = recommend(CostRegime::Comparable, f64::NAN);
+    }
+}

@@ -1,0 +1,317 @@
+//! System configuration: the paper's `p / i×j×k N / r` triplet notation.
+//!
+//! A resource-sharing system is described by the number of processors `p`,
+//! a network spec `i×j×k N` (`i` independent copies of network type `N`,
+//! each with `j` input and `k` output ports, `p = i·j`), and `r`, the number
+//! of resources on every output port. Examples from the paper:
+//!
+//! * `16/16x1x1 SBUS/2` — sixteen private buses with two resources each;
+//! * `16/1x16x32 XBAR/1` — one 16×32 crossbar, one resource per port;
+//! * `16/1x16x16 OMEGA/2` — one 16×16 Omega network, two resources per port.
+
+use crate::error::ConfigError;
+use std::fmt;
+use std::str::FromStr;
+
+/// The class of interconnection network used inside one partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// A single shared bus: `j` processors, one implicit output port
+    /// (`k = 1`) carrying all `r` resources (Section III).
+    SharedBus,
+    /// A `j × k` crossbar whose output ports are buses with `r` resources
+    /// (Section IV).
+    Crossbar,
+    /// A `j × j` Omega multistage network (`k = j`, power of two)
+    /// (Section V).
+    Omega,
+    /// A `j × j` indirect binary n-cube network (`k = j`, power of two).
+    Cube,
+}
+
+impl NetworkKind {
+    /// The notation used in the paper's configuration strings.
+    #[must_use]
+    pub fn token(&self) -> &'static str {
+        match self {
+            NetworkKind::SharedBus => "SBUS",
+            NetworkKind::Crossbar => "XBAR",
+            NetworkKind::Omega => "OMEGA",
+            NetworkKind::Cube => "CUBE",
+        }
+    }
+}
+
+impl fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for NetworkKind {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        match s.to_ascii_uppercase().as_str() {
+            "SBUS" => Ok(NetworkKind::SharedBus),
+            "XBAR" => Ok(NetworkKind::Crossbar),
+            "OMEGA" => Ok(NetworkKind::Omega),
+            "CUBE" => Ok(NetworkKind::Cube),
+            _ => Err(ConfigError::Parse {
+                input: s.to_string(),
+                expected: "one of SBUS, XBAR, OMEGA, CUBE",
+            }),
+        }
+    }
+}
+
+/// A validated `p / i×j×k N / r` system description.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_core::{NetworkKind, SystemConfig};
+///
+/// let cfg = SystemConfig::new(16, 4, NetworkKind::Omega, 4, 4, 2)?;
+/// assert_eq!(cfg.to_string(), "16/4x4x4 OMEGA/2");
+/// assert_eq!(cfg.total_resources(), 32);
+/// let parsed: SystemConfig = "16/4x4x4 OMEGA/2".parse()?;
+/// assert_eq!(parsed, cfg);
+/// # Ok::<(), rsin_core::ConfigError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SystemConfig {
+    processors: u32,
+    networks: u32,
+    inputs: u32,
+    outputs: u32,
+    kind: NetworkKind,
+    resources_per_port: u32,
+}
+
+impl SystemConfig {
+    /// Builds and validates a configuration.
+    ///
+    /// `processors = networks · inputs` must hold; shared buses require
+    /// `outputs == 1`; multistage networks require `inputs == outputs`, a
+    /// power of two ≥ 2.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Invalid`] when any structural constraint fails.
+    pub fn new(
+        processors: u32,
+        networks: u32,
+        kind: NetworkKind,
+        inputs: u32,
+        outputs: u32,
+        resources_per_port: u32,
+    ) -> Result<Self, ConfigError> {
+        let fail = |what: String| Err(ConfigError::Invalid { what });
+        if processors == 0 || networks == 0 || inputs == 0 || outputs == 0 {
+            return fail("all counts must be positive".into());
+        }
+        if resources_per_port == 0 {
+            return fail("resources per port must be positive".into());
+        }
+        if networks * inputs != processors {
+            return fail(format!(
+                "p = i*j must hold: {networks}*{inputs} != {processors}"
+            ));
+        }
+        match kind {
+            NetworkKind::SharedBus => {
+                if outputs != 1 {
+                    return fail("a shared bus has exactly one output port".into());
+                }
+            }
+            NetworkKind::Crossbar => {}
+            NetworkKind::Omega | NetworkKind::Cube => {
+                if inputs != outputs {
+                    return fail("multistage networks are square (j = k)".into());
+                }
+                if !inputs.is_power_of_two() || inputs < 2 {
+                    return fail(format!(
+                        "multistage networks need a power-of-two size >= 2, got {inputs}"
+                    ));
+                }
+            }
+        }
+        Ok(SystemConfig {
+            processors,
+            networks,
+            inputs,
+            outputs,
+            kind,
+            resources_per_port,
+        })
+    }
+
+    /// Total processor count `p`.
+    #[must_use]
+    pub fn processors(&self) -> u32 {
+        self.processors
+    }
+
+    /// Number of independent network partitions `i`.
+    #[must_use]
+    pub fn networks(&self) -> u32 {
+        self.networks
+    }
+
+    /// Input ports per network `j`.
+    #[must_use]
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Output ports per network `k`.
+    #[must_use]
+    pub fn outputs(&self) -> u32 {
+        self.outputs
+    }
+
+    /// The network class `N`.
+    #[must_use]
+    pub fn kind(&self) -> NetworkKind {
+        self.kind
+    }
+
+    /// Resources on each output port `r`.
+    #[must_use]
+    pub fn resources_per_port(&self) -> u32 {
+        self.resources_per_port
+    }
+
+    /// Total resources in the system, `i·k·r`.
+    #[must_use]
+    pub fn total_resources(&self) -> u32 {
+        self.networks * self.outputs * self.resources_per_port
+    }
+
+    /// Total output ports in the system, `i·k`.
+    #[must_use]
+    pub fn total_ports(&self) -> u32 {
+        self.networks * self.outputs
+    }
+}
+
+impl fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}x{}x{} {}/{}",
+            self.processors,
+            self.networks,
+            self.inputs,
+            self.outputs,
+            self.kind,
+            self.resources_per_port
+        )
+    }
+}
+
+impl FromStr for SystemConfig {
+    type Err = ConfigError;
+
+    /// Parses the paper's notation, e.g. `16/4x4x4 OMEGA/2`.
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        let parse_err = || ConfigError::Parse {
+            input: s.to_string(),
+            expected: "p/ixjxk KIND/r, e.g. 16/4x4x4 OMEGA/2",
+        };
+        let (p_str, rest) = s.split_once('/').ok_or_else(parse_err)?;
+        let (dims_str, rest) = rest.trim().split_once(' ').ok_or_else(parse_err)?;
+        let (kind_str, r_str) = rest.trim().split_once('/').ok_or_else(parse_err)?;
+        let mut dims = dims_str.split(['x', 'X', '×']);
+        let mut next_dim = || -> Result<u32, ConfigError> {
+            dims.next()
+                .and_then(|d| d.trim().parse().ok())
+                .ok_or_else(parse_err)
+        };
+        let (i, j, k) = (next_dim()?, next_dim()?, next_dim()?);
+        if dims.next().is_some() {
+            return Err(parse_err());
+        }
+        let p: u32 = p_str.trim().parse().map_err(|_| parse_err())?;
+        let r: u32 = r_str.trim().parse().map_err(|_| parse_err())?;
+        let kind: NetworkKind = kind_str.trim().parse()?;
+        SystemConfig::new(p, i, kind, j, k, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_roundtrip() {
+        for s in [
+            "16/16x1x1 SBUS/2",
+            "16/1x16x32 XBAR/1",
+            "16/1x16x16 OMEGA/2",
+            "16/4x4x4 OMEGA/2",
+            "16/8x2x2 OMEGA/2",
+            "16/4x4x4 CUBE/2",
+        ] {
+            let cfg: SystemConfig = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(cfg.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn totals_match_paper_counts() {
+        let cfg: SystemConfig = "16/16x1x1 SBUS/2".parse().expect("valid");
+        assert_eq!(cfg.total_resources(), 32);
+        assert_eq!(cfg.total_ports(), 16);
+        let cfg: SystemConfig = "16/1x16x32 XBAR/1".parse().expect("valid");
+        assert_eq!(cfg.total_resources(), 32);
+        let cfg: SystemConfig = "16/1x16x16 OMEGA/2".parse().expect("valid");
+        assert_eq!(cfg.total_resources(), 32);
+    }
+
+    #[test]
+    fn processor_identity_enforced() {
+        assert!(SystemConfig::new(16, 3, NetworkKind::SharedBus, 5, 1, 2).is_err());
+        assert!(SystemConfig::new(15, 3, NetworkKind::SharedBus, 5, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn shared_bus_single_output() {
+        assert!(SystemConfig::new(8, 2, NetworkKind::SharedBus, 4, 2, 1).is_err());
+    }
+
+    #[test]
+    fn multistage_must_be_square_power_of_two() {
+        assert!(SystemConfig::new(16, 1, NetworkKind::Omega, 16, 32, 1).is_err());
+        assert!(SystemConfig::new(12, 2, NetworkKind::Omega, 6, 6, 1).is_err());
+        assert!(SystemConfig::new(16, 1, NetworkKind::Cube, 16, 16, 2).is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_counts() {
+        assert!(SystemConfig::new(0, 1, NetworkKind::SharedBus, 1, 1, 1).is_err());
+        assert!(SystemConfig::new(4, 4, NetworkKind::SharedBus, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "16", "16/4x4 OMEGA/2", "16/4x4x4 MESH/2", "a/bxcxd E/f"] {
+            assert!(s.parse::<SystemConfig>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn kind_token_roundtrip() {
+        for kind in [
+            NetworkKind::SharedBus,
+            NetworkKind::Crossbar,
+            NetworkKind::Omega,
+            NetworkKind::Cube,
+        ] {
+            let parsed: NetworkKind = kind.token().parse().expect("token parses");
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("sbus".parse::<NetworkKind>(), Ok(NetworkKind::SharedBus));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for system configuration.
+
+use std::fmt;
+
+/// Errors building or parsing a [`SystemConfig`](crate::SystemConfig).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A structural constraint was violated (counts, divisibility, powers
+    /// of two, …).
+    Invalid {
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+    /// A configuration string could not be parsed.
+    Parse {
+        /// The offending input.
+        input: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Invalid { what } => write!(f, "invalid configuration: {what}"),
+            ConfigError::Parse { input, expected } => {
+                write!(f, "cannot parse {input:?}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ConfigError::Invalid {
+            what: "p must equal i*j".into(),
+        };
+        assert!(e.to_string().contains("i*j"));
+        let e = ConfigError::Parse {
+            input: "xyz".into(),
+            expected: "p/ixjxk KIND/r",
+        };
+        assert!(e.to_string().contains("xyz"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Experiment output: labelled series rendered as aligned text tables and
+//! CSV, the format the figure-regenerator binaries print.
+
+use std::fmt::Write as _;
+
+/// A point of a delay curve: x (traffic intensity), y (normalized delay),
+/// and an optional confidence half-width on y.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Abscissa (usually reference traffic intensity ρ).
+    pub x: f64,
+    /// Ordinate (usually normalized delay `d·µ_s`).
+    pub y: f64,
+    /// 95% half-width of `y` when known (simulation series).
+    pub half_width: Option<f64>,
+}
+
+/// One labelled curve of an experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"16/4x4x4 OMEGA/2 (sim)"`.
+    pub label: String,
+    /// Points in increasing `x` order.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point without a confidence interval (analytical series).
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(Point {
+            x,
+            y,
+            half_width: None,
+        });
+    }
+
+    /// Appends a point with a 95% half-width (simulation series).
+    pub fn push_ci(&mut self, x: f64, y: f64, half_width: f64) {
+        self.points.push(Point {
+            x,
+            y,
+            half_width: Some(half_width),
+        });
+    }
+
+    /// y-value at the largest x not exceeding `x`, if any.
+    #[must_use]
+    pub fn value_at_or_before(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.x <= x + 1e-12)
+            .next_back()
+            .map(|p| p.y)
+    }
+}
+
+/// A complete experiment: several series over a common x-grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Experiment {
+    /// Title, e.g. `"Fig. 4: SBUS normalized delay, mu_s/mu_n = 0.1"`.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Experiment {
+    /// Creates an empty experiment.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Experiment {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// The union of all x values across series, sorted ascending.
+    #[must_use]
+    pub fn x_grid(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Renders an aligned text table: one row per x, one column per series.
+    /// Missing points (series saturated or not sampled) render as `-`.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "# y: {}", self.y_label);
+        let width = 22usize;
+        let _ = write!(out, "{:>10}", self.x_label);
+        for s in &self.series {
+            let label = if s.label.len() > width - 2 {
+                &s.label[..width - 2]
+            } else {
+                &s.label
+            };
+            let _ = write!(out, "{label:>width$}");
+        }
+        out.push('\n');
+        for x in self.x_grid() {
+            let _ = write!(out, "{x:>10.3}");
+            for s in &self.series {
+                let cell = s
+                    .points
+                    .iter()
+                    .find(|p| (p.x - x).abs() < 1e-9)
+                    .map_or_else(
+                        || "-".to_string(),
+                        |p| match p.half_width {
+                            Some(hw) => format!("{:.4}±{:.4}", p.y, hw),
+                            None => format!("{:.4}", p.y),
+                        },
+                    );
+                let _ = write!(out, "{cell:>width$}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a crude ASCII scatter chart of all series, for eyeballing
+    /// curve shapes in a terminal. One symbol per series (`A`, `B`, …);
+    /// y is linear from 0 to the largest plotted value.
+    #[must_use]
+    pub fn to_ascii_chart(&self, width: usize, height: usize) -> String {
+        assert!(width >= 16 && height >= 4, "chart too small to draw");
+        let xs = self.x_grid();
+        let (Some(&x_min), Some(&x_max)) = (xs.first(), xs.last()) else {
+            return String::from("(empty chart)\n");
+        };
+        let y_max = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.y))
+            .fold(0.0_f64, f64::max);
+        if y_max <= 0.0 || x_max <= x_min {
+            return String::from("(degenerate chart)\n");
+        }
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let symbol = (b'A' + (si % 26) as u8) as char;
+            for p in &s.points {
+                let cx = ((p.x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+                let cy = (p.y / y_max * (height - 1) as f64).round() as usize;
+                let row = height - 1 - cy.min(height - 1);
+                grid[row][cx.min(width - 1)] = symbol;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} (y up to {:.3})", self.title, y_max);
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat('-').take(width));
+        out.push('\n');
+        let mut legend = String::new();
+        for (si, s) in self.series.iter().enumerate() {
+            let symbol = (b'A' + (si % 26) as u8) as char;
+            let _ = write!(legend, "  {symbol}={}", s.label);
+        }
+        let _ = writeln!(out, "{}", legend.trim_start());
+        out
+    }
+
+    /// Renders a CSV with columns `x, <label>, <label>_hw, ...`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label.replace(',', ";"));
+        for s in &self.series {
+            let _ = write!(out, ",{},{}_hw", s.label.replace(',', ";"), s.label.replace(',', ";"));
+        }
+        out.push('\n');
+        for x in self.x_grid() {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.iter().find(|p| (p.x - x).abs() < 1e-9) {
+                    Some(p) => {
+                        let _ = write!(out, ",{}", p.y);
+                        match p.half_width {
+                            Some(hw) => {
+                                let _ = write!(out, ",{hw}");
+                            }
+                            None => out.push(','),
+                        }
+                    }
+                    None => out.push_str(",,"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Experiment {
+        let mut e = Experiment::new("Fig. X", "rho", "normalized delay");
+        let mut a = Series::new("analytic");
+        a.push(0.1, 1.0);
+        a.push(0.2, 2.0);
+        let mut b = Series::new("sim");
+        b.push_ci(0.1, 1.1, 0.05);
+        e.add(a);
+        e.add(b);
+        e
+    }
+
+    #[test]
+    fn x_grid_unions_and_sorts() {
+        let e = sample();
+        assert_eq!(e.x_grid(), vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn text_table_contains_all_cells() {
+        let t = sample().to_text();
+        assert!(t.contains("Fig. X"));
+        assert!(t.contains("1.0000"));
+        assert!(t.contains("1.1000±0.0500"));
+        assert!(t.contains('-'), "missing cell rendered as dash");
+    }
+
+    #[test]
+    fn ascii_chart_draws_all_series() {
+        let chart = sample().to_ascii_chart(40, 10);
+        assert!(chart.contains('A'), "series A plotted");
+        assert!(chart.contains('B'), "series B plotted");
+        assert!(chart.contains("A=analytic"));
+        assert!(chart.lines().count() >= 12);
+    }
+
+    #[test]
+    fn ascii_chart_handles_empty() {
+        let e = Experiment::new("t", "x", "y");
+        assert!(e.to_ascii_chart(40, 10).contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn ascii_chart_rejects_tiny_canvas() {
+        let _ = sample().to_ascii_chart(4, 2);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header");
+        assert!(header.starts_with("rho,analytic,analytic_hw,sim,sim_hw"));
+        assert_eq!(lines.count(), 2);
+    }
+
+    #[test]
+    fn value_lookup() {
+        let e = sample();
+        assert_eq!(e.series[0].value_at_or_before(0.15), Some(1.0));
+        assert_eq!(e.series[0].value_at_or_before(0.05), None);
+        assert_eq!(e.series[0].value_at_or_before(0.2), Some(2.0));
+    }
+}

@@ -1,0 +1,128 @@
+//! The `ResourceNetwork` abstraction: what every RSIN must implement.
+//!
+//! The simulator is network-agnostic. At every decision epoch it hands the
+//! network the set of processors whose head-of-queue task is awaiting a
+//! resource; the network — using whatever distributed scheduling discipline
+//! it implements — returns the set of granted connections. The simulator
+//! then drives each connection through the paper's task lifecycle:
+//!
+//! ```text
+//! arrival → queue at processor → [request cycle(s)] → Grant
+//!        → transmission (circuit held, Exp(µ_n)) → end_transmission
+//!        → service at resource (circuit released, Exp(µ_s)) → end_service
+//! ```
+
+use rsin_des::SimRng;
+
+/// A granted processor→resource connection.
+///
+/// `port` is the *global* output-port index (`0 .. i·k`); the network
+/// resolves it to one of the `r` resources it carries internally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Grant {
+    /// The processor whose head-of-queue task was granted.
+    pub processor: usize,
+    /// Global output-port index the circuit terminates at.
+    pub port: usize,
+}
+
+/// Counters a network accumulates about its own scheduling work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkCounters {
+    /// Requests submitted to the network fabric.
+    pub attempts: u64,
+    /// Requests the fabric could not serve in the cycle they were submitted
+    /// (blocked by links, busy buses, or busy resources).
+    pub rejections: u64,
+    /// Total interchange boxes (or cells) traversed by granted requests,
+    /// where the network tracks it; 0 otherwise.
+    pub boxes_traversed: u64,
+}
+
+impl NetworkCounters {
+    /// Fraction of attempts that were rejected (0 when no attempts).
+    #[must_use]
+    pub fn rejection_ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.rejections as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// A resource-sharing interconnection network usable by the simulator.
+///
+/// Implementations must uphold the paper's structural rules:
+///
+/// * a processor holds at most one active circuit (it transmits one task at
+///   a time — assumption (f));
+/// * an output port carries `r` resources and accepts a new circuit only
+///   while it has both a free bus/link *and* a free resource;
+/// * the circuit occupies network capacity from [`ResourceNetwork::request_cycle`]
+///   until [`ResourceNetwork::end_transmission`]; the resource stays busy
+///   until [`ResourceNetwork::end_service`].
+pub trait ResourceNetwork: std::fmt::Debug {
+    /// Number of processors (input ports across all partitions).
+    fn processors(&self) -> usize;
+
+    /// Total resources across all partitions.
+    fn total_resources(&self) -> usize;
+
+    /// Runs one request cycle.
+    ///
+    /// `pending[i]` is true when processor `i` has a task awaiting
+    /// allocation. Returns the connections granted this cycle; processors
+    /// not granted remain queued and will be retried at the next epoch (the
+    /// paper's "blocked tasks are … retried as soon as the network indicates
+    /// that free resources are available").
+    ///
+    /// Implementations must never grant a processor that is not pending and
+    /// never grant the same processor twice in one cycle.
+    fn request_cycle(&mut self, pending: &[bool], rng: &mut SimRng) -> Vec<Grant>;
+
+    /// The task finished transmitting: release the circuit; the resource at
+    /// `grant.port` begins service.
+    fn end_transmission(&mut self, grant: Grant);
+
+    /// The resource finished servicing the task: it becomes free and the
+    /// status change propagates.
+    fn end_service(&mut self, grant: Grant);
+
+    /// Drains accumulated scheduling counters (resets them to zero).
+    fn take_counters(&mut self) -> NetworkCounters {
+        NetworkCounters::default()
+    }
+
+    /// Short human-readable label (e.g. `"SBUS"`, `"OMEGA"`).
+    fn label(&self) -> &'static str {
+        "NET"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_rejection_ratio() {
+        let c = NetworkCounters {
+            attempts: 10,
+            rejections: 3,
+            boxes_traversed: 0,
+        };
+        assert!((c.rejection_ratio() - 0.3).abs() < 1e-12);
+        assert_eq!(NetworkCounters::default().rejection_ratio(), 0.0);
+    }
+
+    #[test]
+    fn grant_is_value_like() {
+        let g = Grant {
+            processor: 1,
+            port: 2,
+        };
+        let h = g;
+        assert_eq!(g, h);
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

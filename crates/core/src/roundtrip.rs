@@ -1,0 +1,351 @@
+//! The result-return leg of the task lifecycle (Section II).
+//!
+//! "After the task is serviced, the result is routed to the originating
+//! processor. This can be done by a separate address-mapping network with
+//! parallel routing since the destination address is known." The paper then
+//! *excludes* this leg from its delay metric `d`; this module makes the
+//! full round trip measurable so that exclusion can be justified (or
+//! challenged) quantitatively.
+//!
+//! The forward direction uses any [`ResourceNetwork`]; the return direction
+//! uses a [`ReturnNetwork`] — an address-mapped fabric where the
+//! destination is known and circuits are attempted directly. Results that
+//! cannot be routed queue at their resource's output buffer and retry on
+//! the next event.
+
+use crate::network::{Grant, ResourceNetwork};
+use crate::sim::SimOptions;
+use crate::workload::Workload;
+use rsin_des::stats::Welford;
+use rsin_des::{Calendar, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// A circuit ticket on the return network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReturnTicket(pub u64);
+
+/// An address-mapped network carrying results from resource ports back to
+/// processors.
+pub trait ReturnNetwork: std::fmt::Debug {
+    /// Attempts to open a circuit from output `port` back to `processor`.
+    /// Returns a ticket when the path is free, `None` when blocked (the
+    /// result stays queued and retries at the next event).
+    fn try_send(&mut self, port: usize, processor: usize) -> Option<ReturnTicket>;
+
+    /// The return transmission finished: release the circuit.
+    fn end_return(&mut self, ticket: ReturnTicket);
+}
+
+/// An always-free return path — the paper's implicit assumption that the
+/// result network is never the bottleneck.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InstantReturn;
+
+impl ReturnNetwork for InstantReturn {
+    fn try_send(&mut self, _port: usize, _processor: usize) -> Option<ReturnTicket> {
+        Some(ReturnTicket(0))
+    }
+    fn end_return(&mut self, _ticket: ReturnTicket) {}
+}
+
+/// Output of a round-trip simulation.
+#[derive(Clone, Debug)]
+pub struct RoundTripReport {
+    /// Queueing delay `d` (arrival → allocation) — the paper's metric,
+    /// unaffected by the return leg.
+    pub queueing_delay: Welford,
+    /// Full round-trip time: arrival → result received at the processor.
+    pub round_trip: Welford,
+    /// Time results spent waiting for a free return path.
+    pub return_wait: Welford,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(usize),
+    TxDone { grant: Grant, arrival: SimTime, measured: bool },
+    SvcDone { grant: Grant, arrival: SimTime, measured: bool },
+    RetDone { ticket: ReturnTicket, arrival: SimTime, measured: bool },
+}
+
+/// A result waiting at a resource port for the return network.
+#[derive(Debug)]
+struct PendingResult {
+    port: usize,
+    processor: usize,
+    arrival: SimTime,
+    ready_at: SimTime,
+    measured: bool,
+}
+
+/// Simulates the full task lifecycle including the result-return leg.
+///
+/// `mu_r` is the return-transmission rate (the paper would use `µ_n`
+/// symmetric with the forward leg).
+///
+/// # Panics
+///
+/// Panics on contract violations by either network, or if `mu_r` is not
+/// positive and finite.
+pub fn simulate_round_trip(
+    net: &mut dyn ResourceNetwork,
+    ret: &mut dyn ReturnNetwork,
+    workload: &Workload,
+    mu_r: f64,
+    opts: &SimOptions,
+    rng: &mut SimRng,
+) -> RoundTripReport {
+    assert!(mu_r.is_finite() && mu_r > 0.0, "mu_r must be positive");
+    let p = net.processors();
+    assert!(p > 0, "network must have processors");
+
+    let mut cal: Calendar<Event> = Calendar::new();
+    let mut queues: Vec<VecDeque<SimTime>> = vec![VecDeque::new(); p];
+    let mut transmitting = vec![false; p];
+    let mut results: Vec<PendingResult> = Vec::new();
+
+    let mut allocations: u64 = 0;
+    let mut completed_round_trips: u64 = 0;
+    let target = opts.warmup_tasks + opts.measured_tasks;
+    let mut delays = Welford::new();
+    let mut round = Welford::new();
+    let mut waits = Welford::new();
+
+    let mut arr_rng = rng.derive(0x41);
+    let mut svc_rng = rng.derive(0x53);
+    let mut net_rng = rng.derive(0x4e);
+
+    for proc in 0..p {
+        let dt = arr_rng.exponential(workload.lambda());
+        cal.schedule(SimTime::ZERO + dt, Event::Arrival(proc));
+    }
+
+    // Run until the measured allocations AND their round trips finish (or
+    // the calendar would starve, which arrivals prevent).
+    while allocations < target || completed_round_trips < opts.measured_tasks {
+        let (now, ev) = cal.pop().expect("arrivals keep the calendar nonempty");
+        match ev {
+            Event::Arrival(proc) => {
+                if allocations < target {
+                    queues[proc].push_back(now);
+                }
+                let dt = arr_rng.exponential(workload.lambda());
+                cal.schedule(now + dt, Event::Arrival(proc));
+            }
+            Event::TxDone { grant, arrival, measured } => {
+                net.end_transmission(grant);
+                transmitting[grant.processor] = false;
+                let dt = svc_rng.exponential(workload.mu_s());
+                cal.schedule(now + dt, Event::SvcDone { grant, arrival, measured });
+            }
+            Event::SvcDone { grant, arrival, measured } => {
+                net.end_service(grant);
+                results.push(PendingResult {
+                    port: grant.port,
+                    processor: grant.processor,
+                    arrival,
+                    ready_at: now,
+                    measured,
+                });
+            }
+            Event::RetDone { ticket, arrival, measured } => {
+                ret.end_return(ticket);
+                if measured {
+                    round.push(now - arrival);
+                    completed_round_trips += 1;
+                }
+            }
+        }
+
+        // Drain whatever results the return network can carry now.
+        let mut i = 0;
+        while i < results.len() {
+            match ret.try_send(results[i].port, results[i].processor) {
+                Some(ticket) => {
+                    let r = results.swap_remove(i);
+                    if r.measured {
+                        waits.push(now - r.ready_at);
+                    }
+                    let dt = svc_rng.exponential(mu_r);
+                    cal.schedule(
+                        now + dt,
+                        Event::RetDone {
+                            ticket,
+                            arrival: r.arrival,
+                            measured: r.measured,
+                        },
+                    );
+                }
+                None => i += 1,
+            }
+        }
+
+        // Forward allocation, as in the plain simulator.
+        if allocations < target {
+            let pending: Vec<bool> = (0..p)
+                .map(|i| !transmitting[i] && !queues[i].is_empty())
+                .collect();
+            if pending.iter().any(|&b| b) {
+                for grant in net.request_cycle(&pending, &mut net_rng) {
+                    assert!(pending[grant.processor], "grant to non-pending processor");
+                    let arrival = queues[grant.processor]
+                        .pop_front()
+                        .expect("pending implies queued");
+                    transmitting[grant.processor] = true;
+                    allocations += 1;
+                    let measured = allocations > opts.warmup_tasks
+                        && allocations <= opts.warmup_tasks + opts.measured_tasks;
+                    if measured {
+                        delays.push(now - arrival);
+                    }
+                    let dt = svc_rng.exponential(workload.mu_n());
+                    cal.schedule(now + dt, Event::TxDone { grant, arrival, measured });
+                }
+            }
+        }
+    }
+
+    RoundTripReport {
+        queueing_delay: delays,
+        round_trip: round,
+        return_wait: waits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkCounters;
+
+    /// Unlimited forward network (per-processor port only).
+    #[derive(Debug)]
+    struct Wide {
+        p: usize,
+    }
+    impl ResourceNetwork for Wide {
+        fn processors(&self) -> usize {
+            self.p
+        }
+        fn total_resources(&self) -> usize {
+            usize::MAX
+        }
+        fn request_cycle(&mut self, pending: &[bool], _rng: &mut SimRng) -> Vec<Grant> {
+            pending
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(i, _)| Grant { processor: i, port: i })
+                .collect()
+        }
+        fn end_transmission(&mut self, _grant: Grant) {}
+        fn end_service(&mut self, _grant: Grant) {}
+        fn take_counters(&mut self) -> NetworkCounters {
+            NetworkCounters::default()
+        }
+    }
+
+    /// A return network with a single shared channel.
+    #[derive(Debug, Default)]
+    struct OneChannel {
+        busy: bool,
+        next: u64,
+    }
+    impl ReturnNetwork for OneChannel {
+        fn try_send(&mut self, _port: usize, _processor: usize) -> Option<ReturnTicket> {
+            if self.busy {
+                None
+            } else {
+                self.busy = true;
+                self.next += 1;
+                Some(ReturnTicket(self.next))
+            }
+        }
+        fn end_return(&mut self, _ticket: ReturnTicket) {
+            self.busy = false;
+        }
+    }
+
+    #[test]
+    fn instant_return_adds_exactly_one_stage() {
+        let workload = Workload::new(0.2, 2.0, 1.0).expect("valid");
+        let opts = SimOptions {
+            warmup_tasks: 1_000,
+            measured_tasks: 20_000,
+        };
+        let mut rng = SimRng::new(5);
+        let report = simulate_round_trip(
+            &mut Wide { p: 4 },
+            &mut InstantReturn,
+            &workload,
+            4.0,
+            &opts,
+            &mut rng,
+        );
+        // Round trip = d + 1/µn + 1/µs + 1/µr; d here is the M/M/1 port
+        // wait = 0.2/(2-0.2)/... lambda=0.2, mu_n=2: Wq = rho/(mu-lambda)
+        let d = report.queueing_delay.mean();
+        let expect = d + 0.5 + 1.0 + 0.25;
+        let got = report.round_trip.mean();
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "round trip {got} vs expected {expect}"
+        );
+        assert!(report.return_wait.mean() < 1e-9, "instant return never waits");
+    }
+
+    #[test]
+    fn contended_return_path_adds_waiting() {
+        let workload = Workload::new(0.3, 4.0, 2.0).expect("valid");
+        let opts = SimOptions {
+            warmup_tasks: 500,
+            measured_tasks: 8_000,
+        };
+        let mut rng = SimRng::new(7);
+        // Return channel at rate 2.0 shared by 4 processors offering 1.2
+        // results/time: utilization 0.6 — real queueing.
+        let report = simulate_round_trip(
+            &mut Wide { p: 4 },
+            &mut OneChannel::default(),
+            &workload,
+            2.0,
+            &opts,
+            &mut rng,
+        );
+        assert!(
+            report.return_wait.mean() > 0.1,
+            "shared return channel must queue, got {}",
+            report.return_wait.mean()
+        );
+        // The paper's d is untouched by return-path contention.
+        let mut rng = SimRng::new(7);
+        let baseline = simulate_round_trip(
+            &mut Wide { p: 4 },
+            &mut InstantReturn,
+            &workload,
+            2.0,
+            &opts,
+            &mut rng,
+        );
+        let d_contended = report.queueing_delay.mean();
+        let d_free = baseline.queueing_delay.mean();
+        assert!(
+            (d_contended - d_free).abs() / d_free.max(1e-9) < 0.05,
+            "d must not depend on the return network: {d_contended} vs {d_free}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mu_r must be positive")]
+    fn rejects_bad_return_rate() {
+        let workload = Workload::new(0.1, 1.0, 1.0).expect("valid");
+        let mut rng = SimRng::new(1);
+        let _ = simulate_round_trip(
+            &mut Wide { p: 1 },
+            &mut InstantReturn,
+            &workload,
+            0.0,
+            &SimOptions::default(),
+            &mut rng,
+        );
+    }
+}

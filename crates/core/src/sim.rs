@@ -1,0 +1,528 @@
+//! The task-lifecycle simulator (Section II, assumptions (a)–(f)).
+//!
+//! Drives any [`ResourceNetwork`] with Poisson arrivals per processor,
+//! exponential transmission and service stages, FIFO queueing at the
+//! processors, no queueing at the resources, and retry-on-status-change for
+//! blocked requests. The headline output is `d`, the mean delay from task
+//! arrival until a resource is allocated, matching the paper's eq. (1).
+
+use crate::network::{Grant, NetworkCounters, ResourceNetwork};
+use crate::workload::Workload;
+use rsin_des::stats::{TimeWeighted, Welford};
+use rsin_des::{Calendar, Draw, Exponential, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// The three stochastic stages of the task lifecycle, as arbitrary
+/// distributions.
+///
+/// The paper assumes all three are Markovian (assumption (a));
+/// [`simulate_general`] lets sensitivity studies swap any stage for
+/// deterministic, Erlang, or hyperexponential alternatives while keeping
+/// the same lifecycle semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct StageDistributions<'a> {
+    /// Interarrival time at each processor.
+    pub interarrival: &'a dyn Draw,
+    /// Task transmission time over the held circuit.
+    pub transmission: &'a dyn Draw,
+    /// Service time at the resource.
+    pub service: &'a dyn Draw,
+}
+
+/// Run-length controls for one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Allocations to discard while the system warms up.
+    pub warmup_tasks: u64,
+    /// Allocations to measure after warm-up.
+    pub measured_tasks: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            warmup_tasks: 2_000,
+            measured_tasks: 20_000,
+        }
+    }
+}
+
+/// Output statistics of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Queueing delay `d` (arrival → allocation) observations.
+    pub queueing_delay: Welford,
+    /// Response time (arrival → service completion) observations.
+    pub response_time: Welford,
+    /// Time-average number of queued tasks over the measurement window.
+    pub mean_queue_length: f64,
+    /// Measured allocations per unit time.
+    pub throughput: f64,
+    /// Simulated time spent in the measurement window.
+    pub measured_time: f64,
+    /// Network scheduling counters accumulated over the measurement window.
+    pub counters: NetworkCounters,
+}
+
+impl SimReport {
+    /// Mean queueing delay `d`.
+    #[must_use]
+    pub fn mean_delay(&self) -> f64 {
+        self.queueing_delay.mean()
+    }
+
+    /// Mean delay normalized by the mean service time (`d · µ_s`), the unit
+    /// of the paper's figures.
+    #[must_use]
+    pub fn normalized_delay(&self, workload: &Workload) -> f64 {
+        self.mean_delay() * workload.mu_s()
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(usize),
+    TxDone { grant: Grant, arrival: SimTime, measured: bool },
+    SvcDone { arrival: SimTime, measured: bool, grant: Grant },
+}
+
+/// Simulates `net` under `workload` until `opts.measured_tasks` allocations
+/// have been measured (after discarding `opts.warmup_tasks`).
+///
+/// # Panics
+///
+/// Panics if the network reports zero processors, grants a non-pending
+/// processor, or double-grants a processor within a cycle — all of which
+/// indicate a broken [`ResourceNetwork`] implementation.
+pub fn simulate(
+    net: &mut dyn ResourceNetwork,
+    workload: &Workload,
+    opts: &SimOptions,
+    rng: &mut SimRng,
+) -> SimReport {
+    let interarrival = Exponential::with_rate(workload.lambda());
+    let transmission = Exponential::with_rate(workload.mu_n());
+    let service = Exponential::with_rate(workload.mu_s());
+    simulate_general(
+        net,
+        &StageDistributions {
+            interarrival: &interarrival,
+            transmission: &transmission,
+            service: &service,
+        },
+        opts,
+        rng,
+    )
+}
+
+/// [`simulate`] with arbitrary stage distributions (the exponential
+/// assumptions relaxed).
+///
+/// # Panics
+///
+/// Same contract as [`simulate`].
+pub fn simulate_general(
+    net: &mut dyn ResourceNetwork,
+    stages: &StageDistributions<'_>,
+    opts: &SimOptions,
+    rng: &mut SimRng,
+) -> SimReport {
+    let p = net.processors();
+    assert!(p > 0, "network must have processors");
+
+    let mut cal: Calendar<Event> = Calendar::new();
+    let mut queues: Vec<VecDeque<SimTime>> = vec![VecDeque::new(); p];
+    let mut transmitting = vec![false; p];
+
+    let mut allocations: u64 = 0;
+    let target = opts.warmup_tasks + opts.measured_tasks;
+    let mut delays = Welford::new();
+    let mut responses = Welford::new();
+    let mut queue_len = TimeWeighted::new(SimTime::ZERO, 0.0);
+    let mut measure_start: Option<SimTime> = None;
+
+    let mut arr_rng = rng.derive(0x41);
+    let mut svc_rng = rng.derive(0x53);
+    let mut net_rng = rng.derive(0x4e);
+
+    for proc in 0..p {
+        let dt = stages.interarrival.draw(&mut arr_rng);
+        cal.schedule(SimTime::ZERO + dt, Event::Arrival(proc));
+    }
+    // Drop any counters accumulated before the run.
+    let _ = net.take_counters();
+
+    let mut warmup_counters_dropped = false;
+    let mut end_time = SimTime::ZERO;
+
+    while allocations < target {
+        let (now, ev) = cal.pop().expect("arrival self-scheduling keeps the calendar nonempty");
+        end_time = now;
+        match ev {
+            Event::Arrival(proc) => {
+                queues[proc].push_back(now);
+                queue_len.add(now, 1.0);
+                let dt = stages.interarrival.draw(&mut arr_rng);
+                cal.schedule(now + dt, Event::Arrival(proc));
+            }
+            Event::TxDone { grant, arrival, measured } => {
+                net.end_transmission(grant);
+                transmitting[grant.processor] = false;
+                let dt = stages.service.draw(&mut svc_rng);
+                cal.schedule(now + dt, Event::SvcDone { arrival, measured, grant });
+            }
+            Event::SvcDone { arrival, measured, grant } => {
+                net.end_service(grant);
+                if measured {
+                    responses.push(now - arrival);
+                }
+            }
+        }
+
+        // Decision epoch: let the network serve whoever is still waiting.
+        let pending: Vec<bool> = (0..p)
+            .map(|i| !transmitting[i] && !queues[i].is_empty())
+            .collect();
+        if pending.iter().any(|&b| b) {
+            let grants = net.request_cycle(&pending, &mut net_rng);
+            let mut granted_this_cycle = vec![false; p];
+            for grant in grants {
+                assert!(
+                    pending[grant.processor] && !granted_this_cycle[grant.processor],
+                    "network granted processor {} that was not pending (or twice)",
+                    grant.processor
+                );
+                granted_this_cycle[grant.processor] = true;
+                let arrival = queues[grant.processor]
+                    .pop_front()
+                    .expect("pending implies nonempty queue");
+                queue_len.add(now, -1.0);
+                transmitting[grant.processor] = true;
+
+                allocations += 1;
+                let measured = allocations > opts.warmup_tasks;
+                if measured {
+                    if measure_start.is_none() {
+                        measure_start = Some(now);
+                        queue_len.reset_at(now);
+                        if !warmup_counters_dropped {
+                            let _ = net.take_counters();
+                            warmup_counters_dropped = true;
+                        }
+                    }
+                    delays.push(now - arrival);
+                }
+                let dt = stages.transmission.draw(&mut svc_rng);
+                cal.schedule(now + dt, Event::TxDone { grant, arrival, measured });
+            }
+        }
+    }
+
+    let start = measure_start.unwrap_or(end_time);
+    let span = (end_time - start).max(f64::MIN_POSITIVE);
+    SimReport {
+        queueing_delay: delays,
+        response_time: responses,
+        mean_queue_length: queue_len.average(end_time),
+        throughput: opts.measured_tasks as f64 / span,
+        measured_time: span,
+        counters: net.take_counters(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_queueing::{SharedBusChain, SharedBusParams};
+
+    /// Minimal reference network: `p` processors on one shared bus with `r`
+    /// resources, fixed-priority arbitration. This is the Section III system
+    /// in its simplest form, used here to validate the simulator against
+    /// the exact Markov chain.
+    #[derive(Debug)]
+    struct TinyBus {
+        p: usize,
+        r: u32,
+        bus_busy: bool,
+        busy_resources: u32,
+        counters: NetworkCounters,
+    }
+
+    impl TinyBus {
+        fn new(p: usize, r: u32) -> Self {
+            TinyBus {
+                p,
+                r,
+                bus_busy: false,
+                busy_resources: 0,
+                counters: NetworkCounters::default(),
+            }
+        }
+    }
+
+    impl ResourceNetwork for TinyBus {
+        fn processors(&self) -> usize {
+            self.p
+        }
+        fn total_resources(&self) -> usize {
+            self.r as usize
+        }
+        fn request_cycle(&mut self, pending: &[bool], _rng: &mut SimRng) -> Vec<Grant> {
+            let n_pending = pending.iter().filter(|&&b| b).count() as u64;
+            self.counters.attempts += n_pending;
+            if self.bus_busy || self.busy_resources >= self.r {
+                self.counters.rejections += n_pending;
+                return Vec::new();
+            }
+            match pending.iter().position(|&b| b) {
+                Some(proc) => {
+                    self.bus_busy = true;
+                    self.counters.rejections += n_pending - 1;
+                    vec![Grant { processor: proc, port: 0 }]
+                }
+                None => Vec::new(),
+            }
+        }
+        fn end_transmission(&mut self, _grant: Grant) {
+            self.bus_busy = false;
+            self.busy_resources += 1;
+        }
+        fn end_service(&mut self, _grant: Grant) {
+            self.busy_resources -= 1;
+        }
+        fn take_counters(&mut self) -> NetworkCounters {
+            std::mem::take(&mut self.counters)
+        }
+        fn label(&self) -> &'static str {
+            "TINYBUS"
+        }
+    }
+
+    #[test]
+    fn simulated_bus_matches_markov_chain() {
+        let (p, r, lambda, mu_n, mu_s) = (4, 2, 0.06, 1.0, 0.5);
+        let workload = Workload::new(lambda, mu_n, mu_s).expect("valid");
+        let chain = SharedBusChain::new(SharedBusParams {
+            processors: p as u32,
+            resources: r,
+            lambda,
+            mu_n,
+            mu_s,
+        })
+        .expect("stable");
+        let exact = chain.solve().expect("solves").mean_queue_delay;
+
+        let mut rng = SimRng::new(2024);
+        let mut net = TinyBus::new(p, r);
+        let opts = SimOptions {
+            warmup_tasks: 5_000,
+            measured_tasks: 120_000,
+        };
+        let report = simulate(&mut net, &workload, &opts, &mut rng);
+        let rel = (report.mean_delay() - exact).abs() / exact;
+        assert!(
+            rel < 0.05,
+            "simulated d {} vs exact {} (rel {rel})",
+            report.mean_delay(),
+            exact
+        );
+    }
+
+    #[test]
+    fn littles_law_holds_in_simulation() {
+        let workload = Workload::new(0.08, 1.0, 0.5).expect("valid");
+        let mut rng = SimRng::new(7);
+        let mut net = TinyBus::new(4, 2);
+        let opts = SimOptions {
+            warmup_tasks: 3_000,
+            measured_tasks: 60_000,
+        };
+        let report = simulate(&mut net, &workload, &opts, &mut rng);
+        // L_q = Λ · d with Λ = p·λ = 0.32.
+        let expect = 0.32 * report.mean_delay();
+        let rel = (report.mean_queue_length - expect).abs() / expect;
+        assert!(rel < 0.08, "L {} vs Λd {}", report.mean_queue_length, expect);
+    }
+
+    #[test]
+    fn throughput_matches_offered_load() {
+        let workload = Workload::new(0.05, 1.0, 1.0).expect("valid");
+        let mut rng = SimRng::new(9);
+        let mut net = TinyBus::new(4, 3);
+        let opts = SimOptions {
+            warmup_tasks: 2_000,
+            measured_tasks: 50_000,
+        };
+        let report = simulate(&mut net, &workload, &opts, &mut rng);
+        let rel = (report.throughput - 0.2).abs() / 0.2;
+        assert!(rel < 0.05, "throughput {}", report.throughput);
+    }
+
+    #[test]
+    fn response_time_exceeds_delay_by_stage_means() {
+        let workload = Workload::new(0.05, 2.0, 1.0).expect("valid");
+        let mut rng = SimRng::new(11);
+        let mut net = TinyBus::new(2, 2);
+        let opts = SimOptions {
+            warmup_tasks: 2_000,
+            measured_tasks: 50_000,
+        };
+        let report = simulate(&mut net, &workload, &opts, &mut rng);
+        let expect = report.mean_delay() + 0.5 + 1.0;
+        let got = report.response_time.mean();
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "response {got} vs d + 1/µn + 1/µs = {expect}"
+        );
+    }
+
+    #[test]
+    fn counters_report_contention() {
+        let workload = Workload::new(0.2, 1.0, 1.0).expect("valid");
+        let mut rng = SimRng::new(13);
+        let mut net = TinyBus::new(4, 1); // heavily contended
+        let opts = SimOptions {
+            warmup_tasks: 500,
+            measured_tasks: 5_000,
+        };
+        let report = simulate(&mut net, &workload, &opts, &mut rng);
+        assert!(report.counters.attempts > 0);
+        assert!(report.counters.rejection_ratio() > 0.1);
+    }
+
+    #[test]
+    fn general_distributions_follow_pollaczek_khinchine() {
+        // One processor, unlimited resources: the processor port is an
+        // M/G/1 queue in the transmission stage. Deterministic transmission
+        // halves the exponential waiting time (PK formula).
+        use rsin_des::Deterministic;
+
+        #[derive(Debug)]
+        struct Unlimited;
+        impl ResourceNetwork for Unlimited {
+            fn processors(&self) -> usize {
+                1
+            }
+            fn total_resources(&self) -> usize {
+                usize::MAX
+            }
+            fn request_cycle(&mut self, pending: &[bool], _rng: &mut SimRng) -> Vec<Grant> {
+                pending
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| b)
+                    .map(|(i, _)| Grant { processor: i, port: 0 })
+                    .collect()
+            }
+            fn end_transmission(&mut self, _grant: Grant) {}
+            fn end_service(&mut self, _grant: Grant) {}
+        }
+
+        let (lambda, mu) = (0.5, 1.0);
+        let opts = SimOptions {
+            warmup_tasks: 3_000,
+            measured_tasks: 60_000,
+        };
+        let arrivals = rsin_des::Exponential::with_rate(lambda);
+        let service = rsin_des::Exponential::with_rate(4.0); // irrelevant stage
+
+        let exp_tx = rsin_des::Exponential::with_rate(mu);
+        let mut rng = SimRng::new(31);
+        let d_exp = simulate_general(
+            &mut Unlimited,
+            &StageDistributions {
+                interarrival: &arrivals,
+                transmission: &exp_tx,
+                service: &service,
+            },
+            &opts,
+            &mut rng,
+        )
+        .mean_delay();
+
+        let det_tx = Deterministic::new(1.0 / mu);
+        let mut rng = SimRng::new(31);
+        let d_det = simulate_general(
+            &mut Unlimited,
+            &StageDistributions {
+                interarrival: &arrivals,
+                transmission: &det_tx,
+                service: &service,
+            },
+            &opts,
+            &mut rng,
+        )
+        .mean_delay();
+
+        // PK: Wq(M/M/1) = 1.0, Wq(M/D/1) = 0.5 at these rates.
+        assert!((d_exp - 1.0).abs() < 0.08, "M/M/1 wait {d_exp}");
+        assert!((d_det - 0.5).abs() < 0.05, "M/D/1 wait {d_det}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let workload = Workload::new(0.05, 1.0, 1.0).expect("valid");
+        let opts = SimOptions {
+            warmup_tasks: 100,
+            measured_tasks: 2_000,
+        };
+        let run = |seed| {
+            let mut rng = SimRng::new(seed);
+            let mut net = TinyBus::new(4, 2);
+            simulate(&mut net, &workload, &opts, &mut rng).mean_delay()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn simulator_rejects_misbehaving_networks() {
+        // Failure injection: a network granting processors that are not
+        // pending violates the ResourceNetwork contract; the simulator must
+        // fail fast rather than corrupt statistics.
+        #[derive(Debug)]
+        struct Rogue;
+        impl ResourceNetwork for Rogue {
+            fn processors(&self) -> usize {
+                2
+            }
+            fn total_resources(&self) -> usize {
+                2
+            }
+            fn request_cycle(&mut self, _pending: &[bool], _rng: &mut SimRng) -> Vec<Grant> {
+                // Always grants processor 1, pending or not.
+                vec![
+                    Grant { processor: 1, port: 0 },
+                    Grant { processor: 1, port: 1 },
+                ]
+            }
+            fn end_transmission(&mut self, _grant: Grant) {}
+            fn end_service(&mut self, _grant: Grant) {}
+        }
+        let workload = Workload::new(0.5, 1.0, 1.0).expect("valid");
+        let opts = SimOptions {
+            warmup_tasks: 0,
+            measured_tasks: 10,
+        };
+        let result = std::panic::catch_unwind(move || {
+            let mut rng = SimRng::new(1);
+            simulate(&mut Rogue, &workload, &opts, &mut rng)
+        });
+        assert!(result.is_err(), "double-grant must panic");
+    }
+
+    #[test]
+    fn normalized_delay_scales_by_mu_s() {
+        let workload = Workload::new(0.05, 1.0, 2.0).expect("valid");
+        let mut rng = SimRng::new(3);
+        let mut net = TinyBus::new(2, 2);
+        let opts = SimOptions {
+            warmup_tasks: 500,
+            measured_tasks: 5_000,
+        };
+        let report = simulate(&mut net, &workload, &opts, &mut rng);
+        assert!(
+            (report.normalized_delay(&workload) - report.mean_delay() * 2.0).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! Multiple resource types — the paper's stated extension (Sections V and
+//! VII).
+//!
+//! "The algorithms presented in this paper can be extended easily to systems
+//! with multiple types of resources. The request and status signals have to
+//! be augmented by a type number." Each task requests exactly one resource
+//! of one *type*; each output port hosts resources of a single type; status
+//! information is kept per type. The open question the paper flags — "the
+//! problem on the number and placement of each type of resources in the
+//! network is still open" — is exactly what the placement ablation probes.
+
+use crate::network::NetworkCounters;
+use crate::sim::SimOptions;
+use crate::workload::Workload;
+use rsin_des::stats::Welford;
+use rsin_des::{Calendar, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// A granted typed connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TypedGrant {
+    /// The processor whose head-of-queue task was granted.
+    pub processor: usize,
+    /// Global output-port index the circuit terminates at.
+    pub port: usize,
+    /// The resource type served.
+    pub resource_type: usize,
+}
+
+/// A resource-sharing network that understands typed requests.
+pub trait TypedResourceNetwork: std::fmt::Debug {
+    /// Number of processors.
+    fn processors(&self) -> usize;
+
+    /// Number of resource types.
+    fn resource_types(&self) -> usize;
+
+    /// One request cycle: `pending[i]` carries the type processor `i`'s
+    /// head-of-queue task requests, or `None` when processor `i` has
+    /// nothing waiting.
+    fn request_cycle(
+        &mut self,
+        pending: &[Option<usize>],
+        rng: &mut SimRng,
+    ) -> Vec<TypedGrant>;
+
+    /// Transmission finished: release the circuit; the resource begins
+    /// service.
+    fn end_transmission(&mut self, grant: TypedGrant);
+
+    /// Service finished: the resource frees and status propagates.
+    fn end_service(&mut self, grant: TypedGrant);
+
+    /// Drains accumulated counters.
+    fn take_counters(&mut self) -> NetworkCounters {
+        NetworkCounters::default()
+    }
+}
+
+/// Workload over typed tasks: arrivals are Poisson per processor; each task
+/// requests type `t` with probability `mix[t]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypedWorkload {
+    base: Workload,
+    mix: Vec<f64>,
+}
+
+impl TypedWorkload {
+    /// Builds a typed workload from per-type request probabilities.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ConfigError::Invalid`] if the mix is empty, has negative
+    /// entries, or does not sum to 1 (±1e-9).
+    pub fn new(base: Workload, mix: Vec<f64>) -> Result<Self, crate::ConfigError> {
+        if mix.is_empty() {
+            return Err(crate::ConfigError::Invalid {
+                what: "type mix must not be empty".into(),
+            });
+        }
+        if mix.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+            return Err(crate::ConfigError::Invalid {
+                what: "type probabilities must lie in [0, 1]".into(),
+            });
+        }
+        let total: f64 = mix.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(crate::ConfigError::Invalid {
+                what: format!("type mix must sum to 1, got {total}"),
+            });
+        }
+        Ok(TypedWorkload { base, mix })
+    }
+
+    /// The underlying rate parameters.
+    #[must_use]
+    pub fn base(&self) -> &Workload {
+        &self.base
+    }
+
+    /// Number of types.
+    #[must_use]
+    pub fn types(&self) -> usize {
+        self.mix.len()
+    }
+
+    /// Samples a task type.
+    #[must_use]
+    pub fn draw_type(&self, rng: &mut SimRng) -> usize {
+        let u = rng.uniform();
+        let mut acc = 0.0;
+        for (t, &p) in self.mix.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return t;
+            }
+        }
+        self.mix.len() - 1
+    }
+}
+
+/// Output of a typed simulation run.
+#[derive(Clone, Debug)]
+pub struct TypedSimReport {
+    /// Queueing delay over all tasks.
+    pub queueing_delay: Welford,
+    /// Queueing delay per type.
+    pub per_type_delay: Vec<Welford>,
+    /// Network counters over the measurement window.
+    pub counters: NetworkCounters,
+}
+
+impl TypedSimReport {
+    /// Overall mean delay normalized by the mean service time.
+    #[must_use]
+    pub fn normalized_delay(&self, workload: &TypedWorkload) -> f64 {
+        self.queueing_delay.mean() * workload.base().mu_s()
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(usize),
+    TxDone { grant: TypedGrant },
+    SvcDone { grant: TypedGrant },
+}
+
+/// Simulates a typed network under `workload` (typed analogue of
+/// [`crate::simulate`]).
+///
+/// # Panics
+///
+/// Panics if the network misbehaves (grants a non-pending processor or a
+/// mismatched type).
+pub fn simulate_typed(
+    net: &mut dyn TypedResourceNetwork,
+    workload: &TypedWorkload,
+    opts: &SimOptions,
+    rng: &mut SimRng,
+) -> TypedSimReport {
+    let p = net.processors();
+    assert!(p > 0, "network must have processors");
+    let n_types = net.resource_types();
+    assert!(
+        workload.types() <= n_types,
+        "workload has more types than the network hosts"
+    );
+
+    let mut cal: Calendar<Event> = Calendar::new();
+    // Each queue entry: (arrival time, requested type).
+    let mut queues: Vec<VecDeque<(SimTime, usize)>> = vec![VecDeque::new(); p];
+    let mut transmitting = vec![false; p];
+
+    let mut allocations: u64 = 0;
+    let target = opts.warmup_tasks + opts.measured_tasks;
+    let mut delays = Welford::new();
+    let mut per_type = vec![Welford::new(); n_types];
+
+    let mut arr_rng = rng.derive(0x41);
+    let mut svc_rng = rng.derive(0x53);
+    let mut net_rng = rng.derive(0x4e);
+    let mut type_rng = rng.derive(0x54);
+
+    for proc in 0..p {
+        let dt = arr_rng.exponential(workload.base().lambda());
+        cal.schedule(SimTime::ZERO + dt, Event::Arrival(proc));
+    }
+    let _ = net.take_counters();
+    let mut counters_dropped = false;
+
+    while allocations < target {
+        let (now, ev) = cal.pop().expect("arrivals keep the calendar nonempty");
+        match ev {
+            Event::Arrival(proc) => {
+                let t = workload.draw_type(&mut type_rng);
+                queues[proc].push_back((now, t));
+                let dt = arr_rng.exponential(workload.base().lambda());
+                cal.schedule(now + dt, Event::Arrival(proc));
+            }
+            Event::TxDone { grant } => {
+                net.end_transmission(grant);
+                transmitting[grant.processor] = false;
+                let dt = svc_rng.exponential(workload.base().mu_s());
+                cal.schedule(now + dt, Event::SvcDone { grant });
+            }
+            Event::SvcDone { grant } => {
+                net.end_service(grant);
+            }
+        }
+
+        let pending: Vec<Option<usize>> = (0..p)
+            .map(|i| {
+                if transmitting[i] {
+                    None
+                } else {
+                    queues[i].front().map(|&(_, t)| t)
+                }
+            })
+            .collect();
+        if pending.iter().any(Option::is_some) {
+            let grants = net.request_cycle(&pending, &mut net_rng);
+            for grant in grants {
+                let (arrival, t) = queues[grant.processor]
+                    .pop_front()
+                    .expect("granted processor had a queued task");
+                assert_eq!(
+                    t, grant.resource_type,
+                    "network must serve the requested type"
+                );
+                transmitting[grant.processor] = true;
+                allocations += 1;
+                if allocations > opts.warmup_tasks {
+                    if !counters_dropped {
+                        let _ = net.take_counters();
+                        counters_dropped = true;
+                    }
+                    delays.push(now - arrival);
+                    per_type[t].push(now - arrival);
+                }
+                let dt = svc_rng.exponential(workload.base().mu_n());
+                cal.schedule(now + dt, Event::TxDone { grant });
+            }
+        }
+    }
+
+    TypedSimReport {
+        queueing_delay: delays,
+        per_type_delay: per_type,
+        counters: net.take_counters(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivially typed network: one private server pool per type with
+    /// unlimited capacity — zero network delay, so queueing comes only from
+    /// the per-processor port.
+    #[derive(Debug)]
+    struct TypedInstant {
+        p: usize,
+        types: usize,
+    }
+
+    impl TypedResourceNetwork for TypedInstant {
+        fn processors(&self) -> usize {
+            self.p
+        }
+        fn resource_types(&self) -> usize {
+            self.types
+        }
+        fn request_cycle(
+            &mut self,
+            pending: &[Option<usize>],
+            _rng: &mut SimRng,
+        ) -> Vec<TypedGrant> {
+            pending
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &t)| {
+                    t.map(|t| TypedGrant {
+                        processor: i,
+                        port: t,
+                        resource_type: t,
+                    })
+                })
+                .collect()
+        }
+        fn end_transmission(&mut self, _grant: TypedGrant) {}
+        fn end_service(&mut self, _grant: TypedGrant) {}
+    }
+
+    fn workload(mix: Vec<f64>) -> TypedWorkload {
+        TypedWorkload::new(Workload::new(0.2, 1.0, 1.0).expect("valid"), mix).expect("valid mix")
+    }
+
+    #[test]
+    fn mix_validation() {
+        let base = Workload::new(0.1, 1.0, 1.0).expect("valid");
+        assert!(TypedWorkload::new(base, vec![]).is_err());
+        assert!(TypedWorkload::new(base, vec![0.5, 0.6]).is_err());
+        assert!(TypedWorkload::new(base, vec![-0.1, 1.1]).is_err());
+        assert!(TypedWorkload::new(base, vec![0.25, 0.75]).is_ok());
+    }
+
+    #[test]
+    fn draw_type_respects_mix() {
+        let w = workload(vec![0.8, 0.2]);
+        let mut rng = SimRng::new(3);
+        let n = 50_000;
+        let ones = (0..n).filter(|_| w.draw_type(&mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.01, "type-1 fraction {frac}");
+    }
+
+    #[test]
+    fn typed_simulation_runs_and_reports_per_type() {
+        let w = workload(vec![0.5, 0.5]);
+        let mut net = TypedInstant { p: 4, types: 2 };
+        let mut rng = SimRng::new(5);
+        let opts = SimOptions {
+            warmup_tasks: 500,
+            measured_tasks: 10_000,
+        };
+        let report = simulate_typed(&mut net, &w, &opts, &mut rng);
+        assert_eq!(report.queueing_delay.count(), 10_000);
+        let total: u64 = report.per_type_delay.iter().map(Welford::count).sum();
+        assert_eq!(total, 10_000);
+        assert!(report.per_type_delay[0].count() > 3_000);
+        assert!(report.per_type_delay[1].count() > 3_000);
+        // Instant network: the only queueing is the processor's own port
+        // (M/M/1 with lambda = 0.2, mu_n = 1 → Wq = 0.25).
+        let d = report.normalized_delay(&w);
+        assert!((d - 0.25).abs() < 0.05, "delay {d}");
+    }
+
+    #[test]
+    fn single_type_reduces_to_untyped() {
+        let w = workload(vec![1.0]);
+        let mut net = TypedInstant { p: 2, types: 1 };
+        let mut rng = SimRng::new(7);
+        let opts = SimOptions {
+            warmup_tasks: 200,
+            measured_tasks: 5_000,
+        };
+        let report = simulate_typed(&mut net, &w, &opts, &mut rng);
+        assert_eq!(report.per_type_delay[0].count(), 5_000);
+    }
+}

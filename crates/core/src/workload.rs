@@ -1,0 +1,140 @@
+//! The paper's task workload model (Section II, assumptions (a)–(f)).
+//!
+//! Tasks arrive at each processor in a Poisson stream of rate `λ`, transmit
+//! to their allocated resource for an exponential time of mean `1/µ_n`, and
+//! are then serviced by the resource for an exponential time of mean
+//! `1/µ_s`. The ratio `µ_s/µ_n` — transmission time relative to service
+//! time — is the key tradeoff parameter of the study.
+
+use crate::config::SystemConfig;
+use crate::error::ConfigError;
+use rsin_queueing::traffic;
+
+/// Arrival/transmission/service rates for one experiment point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Workload {
+    lambda: f64,
+    mu_n: f64,
+    mu_s: f64,
+}
+
+impl Workload {
+    /// Creates a workload from raw rates.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Invalid`] if any rate is not positive and finite.
+    pub fn new(lambda: f64, mu_n: f64, mu_s: f64) -> Result<Self, ConfigError> {
+        for (v, name) in [(lambda, "lambda"), (mu_n, "mu_n"), (mu_s, "mu_s")] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ConfigError::Invalid {
+                    what: format!("{name} must be positive and finite, got {v}"),
+                });
+            }
+        }
+        Ok(Workload { lambda, mu_n, mu_s })
+    }
+
+    /// Creates the workload that offers reference traffic intensity `rho`
+    /// to `config`, at service-to-transmission ratio `µ_s/µ_n = ratio` with
+    /// `µ_s = 1` (so times are measured in mean service times, as in the
+    /// paper's figures).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Invalid`] for non-positive `rho` or `ratio`.
+    pub fn for_intensity(config: &SystemConfig, rho: f64, ratio: f64) -> Result<Self, ConfigError> {
+        if !(rho.is_finite() && rho > 0.0) {
+            return Err(ConfigError::Invalid {
+                what: format!("traffic intensity must be positive, got {rho}"),
+            });
+        }
+        if !(ratio.is_finite() && ratio > 0.0) {
+            return Err(ConfigError::Invalid {
+                what: format!("mu_s/mu_n ratio must be positive, got {ratio}"),
+            });
+        }
+        let mu_s = 1.0;
+        let mu_n = mu_s / ratio;
+        let lambda = traffic::lambda_for_intensity(
+            config.processors(),
+            config.total_resources(),
+            rho,
+            mu_n,
+            mu_s,
+        );
+        Workload::new(lambda, mu_n, mu_s)
+    }
+
+    /// Per-processor arrival rate `λ`.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Transmission rate `µ_n`.
+    #[must_use]
+    pub fn mu_n(&self) -> f64 {
+        self.mu_n
+    }
+
+    /// Service rate `µ_s`.
+    #[must_use]
+    pub fn mu_s(&self) -> f64 {
+        self.mu_s
+    }
+
+    /// The tradeoff ratio `µ_s/µ_n` (large ⇒ transmission dominates).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.mu_s / self.mu_n
+    }
+
+    /// Reference traffic intensity this workload offers to `config`.
+    #[must_use]
+    pub fn intensity(&self, config: &SystemConfig) -> f64 {
+        traffic::reference_intensity(
+            config.processors(),
+            config.total_resources(),
+            self.lambda,
+            self.mu_n,
+            self.mu_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkKind;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::new(16, 1, NetworkKind::Crossbar, 16, 32, 1).expect("valid")
+    }
+
+    #[test]
+    fn intensity_roundtrip() {
+        let cfg = cfg();
+        for rho in [0.1, 0.5, 0.9] {
+            let w = Workload::for_intensity(&cfg, rho, 0.1).expect("valid");
+            assert!((w.intensity(&cfg) - rho).abs() < 1e-12);
+            assert!((w.ratio() - 0.1).abs() < 1e-12);
+            assert!((w.mu_s() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ratio_definition() {
+        let w = Workload::new(0.1, 2.0, 1.0).expect("valid");
+        assert!((w.ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(Workload::new(0.0, 1.0, 1.0).is_err());
+        assert!(Workload::new(1.0, -1.0, 1.0).is_err());
+        assert!(Workload::new(1.0, 1.0, f64::INFINITY).is_err());
+        assert!(Workload::for_intensity(&cfg(), 0.0, 1.0).is_err());
+        assert!(Workload::for_intensity(&cfg(), 0.5, 0.0).is_err());
+    }
+}

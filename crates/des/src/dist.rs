@@ -1,0 +1,254 @@
+//! Random variate distributions.
+//!
+//! The paper's model is Markovian throughout — Poisson arrivals, exponential
+//! transmission and service (assumption (a) in Section II) — but the
+//! simulator accepts any [`Draw`] implementation so sensitivity studies with
+//! deterministic, Erlang, or hyperexponential stages are possible.
+
+use crate::rng::SimRng;
+
+/// A distribution over non-negative durations.
+///
+/// Implementors must return finite, non-negative samples.
+pub trait Draw: std::fmt::Debug + Send + Sync {
+    /// Draws one sample.
+    fn draw(&self, rng: &mut SimRng) -> f64;
+
+    /// The distribution's mean, used for traffic-intensity bookkeeping.
+    fn mean(&self) -> f64;
+}
+
+/// The exponential distribution with a given rate (mean `1/rate`).
+///
+/// # Examples
+///
+/// ```
+/// use rsin_des::{Draw, Exponential, SimRng};
+///
+/// let d = Exponential::with_rate(2.0);
+/// assert_eq!(d.mean(), 0.5);
+/// let mut rng = SimRng::new(1);
+/// assert!(d.draw(&mut rng) >= 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution from its rate parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        Exponential { rate }
+    }
+
+    /// Creates an exponential distribution from its mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// The rate parameter.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Draw for Exponential {
+    fn draw(&self, rng: &mut SimRng) -> f64 {
+        rng.exponential(self.rate)
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// A degenerate distribution that always returns the same value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a point mass at `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite() && value >= 0.0, "value must be >= 0, got {value}");
+        Deterministic { value }
+    }
+}
+
+impl Draw for Deterministic {
+    fn draw(&self, _rng: &mut SimRng) -> f64 {
+        self.value
+    }
+    fn mean(&self) -> f64 {
+        self.value
+    }
+}
+
+/// The Erlang-k distribution: the sum of `k` iid exponential stages.
+///
+/// Squared coefficient of variation `1/k`, so large `k` approaches
+/// deterministic service — useful for testing how the RSIN comparison
+/// depends on service variability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Erlang {
+    k: u32,
+    stage_rate: f64,
+}
+
+impl Erlang {
+    /// Creates an Erlang distribution with `k` stages and overall `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `mean` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(k: u32, mean: f64) -> Self {
+        assert!(k > 0, "Erlang needs at least one stage");
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        Erlang {
+            k,
+            stage_rate: k as f64 / mean,
+        }
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        self.k
+    }
+}
+
+impl Draw for Erlang {
+    fn draw(&self, rng: &mut SimRng) -> f64 {
+        (0..self.k).map(|_| rng.exponential(self.stage_rate)).sum()
+    }
+    fn mean(&self) -> f64 {
+        self.k as f64 / self.stage_rate
+    }
+}
+
+/// A two-branch hyperexponential distribution (mixture of exponentials).
+///
+/// Squared coefficient of variation above 1 — high-variability workloads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HyperExponential {
+    p: f64,
+    rate1: f64,
+    rate2: f64,
+}
+
+impl HyperExponential {
+    /// With probability `p` draw Exp(`rate1`), else Exp(`rate2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or either rate is not positive.
+    #[must_use]
+    pub fn new(p: f64, rate1: f64, rate2: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        assert!(rate1.is_finite() && rate1 > 0.0, "rate1 must be positive");
+        assert!(rate2.is_finite() && rate2 > 0.0, "rate2 must be positive");
+        HyperExponential { p, rate1, rate2 }
+    }
+}
+
+impl Draw for HyperExponential {
+    fn draw(&self, rng: &mut SimRng) -> f64 {
+        if rng.chance(self.p) {
+            rng.exponential(self.rate1)
+        } else {
+            rng.exponential(self.rate2)
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.p / self.rate1 + (1.0 - self.p) / self.rate2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(d: &dyn Draw, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| d.draw(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(2.0);
+        assert!((empirical_mean(&d, 1, 100_000) - 2.0).abs() < 0.05);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!((Exponential::with_rate(0.5).mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Deterministic::new(1.25);
+        let mut rng = SimRng::new(2);
+        for _ in 0..10 {
+            assert_eq!(d.draw(&mut rng), 1.25);
+        }
+        assert_eq!(d.mean(), 1.25);
+    }
+
+    #[test]
+    fn erlang_mean_and_reduced_variance() {
+        let d = Erlang::new(4, 1.0);
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        let mut rng = SimRng::new(3);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.draw(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02);
+        // Erlang-4 variance = mean^2 / 4 = 0.25.
+        assert!((var - 0.25).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn hyperexponential_mean_matches() {
+        let d = HyperExponential::new(0.3, 2.0, 0.5);
+        let expect = 0.3 / 2.0 + 0.7 / 0.5;
+        assert!((d.mean() - expect).abs() < 1e-12);
+        assert!((empirical_mean(&d, 4, 200_000) - expect).abs() < 0.05);
+    }
+
+    #[test]
+    fn draw_trait_object_usable() {
+        let dists: Vec<Box<dyn Draw>> = vec![
+            Box::new(Exponential::with_rate(1.0)),
+            Box::new(Deterministic::new(1.0)),
+            Box::new(Erlang::new(2, 1.0)),
+        ];
+        let mut rng = SimRng::new(5);
+        for d in &dists {
+            assert!(d.draw(&mut rng) >= 0.0);
+            assert!((d.mean() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn erlang_rejects_zero_stages() {
+        let _ = Erlang::new(0, 1.0);
+    }
+}

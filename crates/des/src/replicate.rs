@@ -1,0 +1,144 @@
+//! Independent replications of a stochastic experiment.
+//!
+//! The RSIN simulation studies report steady-state means; running `R`
+//! independent replications with derived seeds gives iid estimates whose
+//! spread yields an honest confidence interval (see
+//! [`stats::replication_interval`](crate::stats::replication_interval)).
+
+use crate::rng::SimRng;
+use crate::stats::{replication_interval, ConfidenceInterval};
+
+/// Outcome of a replicated experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Replicated {
+    /// Per-replication point estimates, in replication order.
+    pub estimates: Vec<f64>,
+    /// Confidence interval across replications (`None` for fewer than 2).
+    pub interval: Option<ConfidenceInterval>,
+}
+
+impl Replicated {
+    /// Grand mean over replications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no replications.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        assert!(!self.estimates.is_empty(), "no replications");
+        self.estimates.iter().sum::<f64>() / self.estimates.len() as f64
+    }
+}
+
+/// Runs `reps` independent replications of `experiment` sequentially.
+///
+/// Each replication receives its index and an independent RNG derived from
+/// `base`. The closure returns a point estimate (e.g. a mean delay).
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or `level` is outside `(0, 1)`.
+pub fn replicate<F>(base: &SimRng, reps: usize, level: f64, mut experiment: F) -> Replicated
+where
+    F: FnMut(usize, SimRng) -> f64,
+{
+    assert!(reps > 0, "need at least one replication");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+    let estimates: Vec<f64> = (0..reps)
+        .map(|i| experiment(i, base.derive(i as u64)))
+        .collect();
+    let interval = replication_interval(&estimates, level);
+    Replicated {
+        estimates,
+        interval,
+    }
+}
+
+/// Runs `reps` independent replications of `experiment` across threads.
+///
+/// Semantically identical to [`replicate`] — including the seed for each
+/// replication index — so results match the sequential runner exactly.
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or `level` is outside `(0, 1)`.
+pub fn replicate_parallel<F>(base: &SimRng, reps: usize, level: f64, experiment: F) -> Replicated
+where
+    F: Fn(usize, SimRng) -> f64 + Sync,
+{
+    assert!(reps > 0, "need at least one replication");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(reps);
+    let mut estimates = vec![0.0_f64; reps];
+    std::thread::scope(|scope| {
+        let chunk = reps.div_ceil(threads);
+        for (t, slot) in estimates.chunks_mut(chunk).enumerate() {
+            let experiment = &experiment;
+            let base = base.clone();
+            scope.spawn(move || {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let i = t * chunk + j;
+                    *out = experiment(i, base.derive(i as u64));
+                }
+            });
+        }
+    });
+    let interval = replication_interval(&estimates, level);
+    Replicated {
+        estimates,
+        interval,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replications_use_distinct_seeds() {
+        let base = SimRng::new(1);
+        let out = replicate(&base, 4, 0.95, |_, mut rng| rng.uniform());
+        let mut sorted = out.estimates.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "estimates should differ: {:?}", out.estimates);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_exactly() {
+        let base = SimRng::new(42);
+        let f = |i: usize, mut rng: SimRng| rng.uniform() + i as f64;
+        let seq = replicate(&base, 7, 0.9, f);
+        let par = replicate_parallel(&base, 7, 0.9, f);
+        assert_eq!(seq.estimates, par.estimates);
+    }
+
+    #[test]
+    fn interval_present_with_two_or_more_reps() {
+        let base = SimRng::new(9);
+        let one = replicate(&base, 1, 0.95, |_, mut rng| rng.uniform());
+        assert!(one.interval.is_none());
+        let two = replicate(&base, 2, 0.95, |_, mut rng| rng.uniform());
+        assert!(two.interval.is_some());
+    }
+
+    #[test]
+    fn mean_is_average_of_estimates() {
+        let base = SimRng::new(3);
+        let out = replicate(&base, 3, 0.95, |i, _| i as f64);
+        assert!((out.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_converges_to_truth() {
+        let base = SimRng::new(7);
+        let out = replicate(&base, 10, 0.95, |_, mut rng| {
+            (0..20_000).map(|_| rng.exponential(2.0)).sum::<f64>() / 20_000.0
+        });
+        let ci = out.interval.expect("10 reps");
+        assert!(ci.contains(0.5), "CI {ci} should contain 0.5");
+    }
+}

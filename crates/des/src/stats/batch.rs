@@ -1,0 +1,251 @@
+//! Batch-means confidence intervals for steady-state simulation output.
+//!
+//! A single long run produces autocorrelated observations, so the naive
+//! standard error is biased low. The batch-means method groups consecutive
+//! observations into `k` batches, treats batch averages as approximately
+//! independent, and builds a Student-t interval on them.
+
+use super::quantile::t_quantile;
+use super::welford::Welford;
+
+/// A two-sided confidence interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (mean).
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `x` falls inside the interval.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+
+    /// Relative half-width (`half_width / |mean|`); infinite at mean zero.
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.6} ± {:.6} ({:.0}% CI)",
+            self.mean,
+            self.half_width,
+            self.level * 100.0
+        )
+    }
+}
+
+/// Batch-means estimator over a stream of observations.
+///
+/// Observations are appended one at a time; batches are closed every
+/// `batch_size` observations.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_des::stats::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100);
+/// for i in 0..10_000 {
+///     bm.push((i % 7) as f64);
+/// }
+/// let ci = bm.interval(0.95).expect("enough batches");
+/// assert!(ci.contains(3.0)); // mean of 0..7 is 3
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_n: u64,
+    batches: Welford,
+}
+
+impl BatchMeans {
+    /// Creates an estimator that closes a batch every `batch_size` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    #[must_use]
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_n: 0,
+            batches: Welford::new(),
+        }
+    }
+
+    /// Appends one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_n += 1;
+        if self.current_n == self.batch_size {
+            self.batches.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_n = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    #[must_use]
+    pub fn num_batches(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Grand mean over completed batches (zero if none completed yet).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// Student-t confidence interval at `level` over batch means.
+    ///
+    /// Returns `None` with fewer than two completed batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < level < 1`.
+    #[must_use]
+    pub fn interval(&self, level: f64) -> Option<ConfidenceInterval> {
+        assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+        let k = self.batches.count();
+        if k < 2 {
+            return None;
+        }
+        let t = t_quantile(k - 1, 0.5 + level / 2.0);
+        Some(ConfidenceInterval {
+            mean: self.batches.mean(),
+            half_width: t * self.batches.std_error(),
+            level,
+        })
+    }
+}
+
+/// Builds a confidence interval from independent replication means.
+///
+/// Returns `None` with fewer than two replications.
+///
+/// # Panics
+///
+/// Panics unless `0 < level < 1`.
+#[must_use]
+pub fn replication_interval(means: &[f64], level: f64) -> Option<ConfidenceInterval> {
+    assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+    if means.len() < 2 {
+        return None;
+    }
+    let mut w = Welford::new();
+    for &m in means {
+        w.push(m);
+    }
+    let t = t_quantile(w.count() - 1, 0.5 + level / 2.0);
+    Some(ConfidenceInterval {
+        mean: w.mean(),
+        half_width: t * w.std_error(),
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn interval_needs_two_batches() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..15 {
+            bm.push(1.0);
+        }
+        assert_eq!(bm.num_batches(), 1);
+        assert!(bm.interval(0.95).is_none());
+    }
+
+    #[test]
+    fn iid_coverage_is_reasonable() {
+        // 95% CI should cover the true mean in most of 100 experiments.
+        let mut covered = 0;
+        for seed in 0..100 {
+            let mut rng = SimRng::new(seed);
+            let mut bm = BatchMeans::new(50);
+            for _ in 0..2_000 {
+                bm.push(rng.exponential(1.0));
+            }
+            let ci = bm.interval(0.95).expect("40 batches");
+            if ci.contains(1.0) {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 85, "coverage too low: {covered}/100");
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_data() {
+        let mut rng = SimRng::new(1);
+        let mut small = BatchMeans::new(20);
+        let mut large = BatchMeans::new(20);
+        for i in 0..10_000 {
+            let x = rng.exponential(1.0);
+            if i < 500 {
+                small.push(x);
+            }
+            large.push(x);
+        }
+        let hw_small = small.interval(0.9).expect("batches").half_width;
+        let hw_large = large.interval(0.9).expect("batches").half_width;
+        assert!(hw_large < hw_small);
+    }
+
+    #[test]
+    fn replication_interval_matches_hand_computation() {
+        let means = [1.0, 2.0, 3.0];
+        let ci = replication_interval(&means, 0.95).expect("3 reps");
+        assert!((ci.mean - 2.0).abs() < 1e-12);
+        // s = 1, se = 1/sqrt(3), t(2, .975) = 4.303.
+        assert!((ci.half_width - 4.303 / 3f64.sqrt()).abs() < 0.01);
+        assert!(replication_interval(&[1.0], 0.95).is_none());
+    }
+
+    #[test]
+    fn ci_accessors_consistent() {
+        let ci = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 2.0,
+            level: 0.95,
+        };
+        assert_eq!(ci.lo(), 8.0);
+        assert_eq!(ci.hi(), 12.0);
+        assert!(ci.contains(9.0));
+        assert!(!ci.contains(12.5));
+        assert!((ci.relative_half_width() - 0.2).abs() < 1e-12);
+        assert!(!format!("{ci}").is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Fixed-width histograms with overflow tracking and quantile estimates.
+
+/// A histogram over `[0, upper)` with equal-width bins plus an overflow bin.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_des::stats::Histogram;
+///
+/// let mut h = Histogram::new(10, 10.0);
+/// for x in [0.5, 1.5, 1.6, 9.9, 42.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.bin_count(1), 2); // 1.5 and 1.6
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    width: f64,
+    upper: f64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins covering `[0, upper)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `upper` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(bins: usize, upper: f64) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(upper.is_finite() && upper > 0.0, "upper bound must be positive");
+        Histogram {
+            bins: vec![0; bins],
+            width: upper / bins as f64,
+            upper,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records an observation.
+    ///
+    /// Values `>= upper` land in the overflow bin; negative values clamp to
+    /// bin 0 (durations are non-negative by construction elsewhere, but a
+    /// tiny negative rounding residue should not panic a long run).
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        self.total += 1;
+        if x >= self.upper {
+            self.overflow += 1;
+        } else {
+            let idx = ((x.max(0.0) / self.width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of observations, including overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations at or above the upper bound.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins (excluding overflow).
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Lower edge of bin `i`.
+    #[must_use]
+    pub fn bin_edge(&self, i: usize) -> f64 {
+        self.width * i as f64
+    }
+
+    /// Estimates the `q`-quantile by linear interpolation within the bin.
+    ///
+    /// Returns `None` when empty or when the quantile falls in the overflow
+    /// bin (the histogram cannot resolve it).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let target = q * self.total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let frac = (target - cum) / c as f64;
+                return Some(self.bin_edge(i) + frac * self.width);
+            }
+            cum = next;
+        }
+        None // falls in overflow
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin count or bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        assert!((self.upper - other.upper).abs() < 1e-12, "bound mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(4, 4.0);
+        for x in [0.0, 0.99, 1.0, 2.5, 3.999] {
+            h.record(x);
+        }
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_and_negative_clamp() {
+        let mut h = Histogram::new(2, 2.0);
+        h.record(5.0);
+        h.record(-1e-15);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bin_count(0), 1);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let mut h = Histogram::new(10, 10.0);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0); // uniform on [0, 9.9]
+        }
+        let med = h.quantile(0.5).expect("median resolvable");
+        assert!((med - 5.0).abs() < 0.5, "median {med}");
+    }
+
+    #[test]
+    fn quantile_in_overflow_is_none() {
+        let mut h = Histogram::new(2, 1.0);
+        h.record(10.0);
+        h.record(20.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(Histogram::new(2, 1.0).quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(4, 4.0);
+        let mut b = Histogram::new(4, 4.0);
+        a.record(0.5);
+        b.record(0.6);
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.bin_count(0), 2);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.count(), 3);
+    }
+}

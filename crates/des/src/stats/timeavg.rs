@@ -1,0 +1,157 @@
+//! Time-weighted averages for piecewise-constant sample paths.
+//!
+//! Queue lengths, busy-server counts, and bus occupancy are step functions of
+//! simulated time; their long-run averages must weight each level by how long
+//! it was held, not by how often it was observed.
+
+use crate::time::SimTime;
+
+/// Accumulates the time-average of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::set`] whenever the signal changes; the accumulator
+/// integrates the previous level over the elapsed interval.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_des::{stats::TimeWeighted, SimTime};
+///
+/// let mut q = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// q.set(SimTime::new(1.0), 2.0);   // level 0 for 1 unit
+/// q.set(SimTime::new(3.0), 1.0);   // level 2 for 2 units
+/// assert!((q.average(SimTime::new(4.0)) - (0.0*1.0 + 2.0*2.0 + 1.0*1.0)/4.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_change: SimTime,
+    level: f64,
+    area: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `start` with the given initial level.
+    #[must_use]
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_change: start,
+            level: initial,
+            area: 0.0,
+            peak: initial,
+        }
+    }
+
+    /// Records that the signal changed to `level` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous change (time must be monotone).
+    pub fn set(&mut self, at: SimTime, level: f64) {
+        assert!(
+            at >= self.last_change,
+            "time went backwards: {at} < {}",
+            self.last_change
+        );
+        self.area += self.level * (at - self.last_change);
+        self.last_change = at;
+        self.level = level;
+        self.peak = self.peak.max(level);
+    }
+
+    /// Adjusts the current level by `delta` (e.g. +1 on enqueue, −1 on dequeue).
+    pub fn add(&mut self, at: SimTime, delta: f64) {
+        let next = self.level + delta;
+        self.set(at, next);
+    }
+
+    /// Current level of the signal.
+    #[must_use]
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Largest level seen so far.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-average of the signal over `[start, until]`.
+    ///
+    /// Returns zero for an empty interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` precedes the last recorded change.
+    #[must_use]
+    pub fn average(&self, until: SimTime) -> f64 {
+        assert!(
+            until >= self.last_change,
+            "query time {until} precedes last change {}",
+            self.last_change
+        );
+        let span = until - self.start;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (self.area + self.level * (until - self.last_change)) / span
+    }
+
+    /// Discards history and restarts the integration at `at`, keeping the
+    /// current level. Used to drop a warm-up transient.
+    pub fn reset_at(&mut self, at: SimTime) {
+        assert!(at >= self.last_change, "cannot reset into the past");
+        self.start = at;
+        self.last_change = at;
+        self.area = 0.0;
+        self.peak = self.level;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_averages_to_itself() {
+        let q = TimeWeighted::new(SimTime::ZERO, 3.0);
+        assert!((q.average(SimTime::new(10.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        let q = TimeWeighted::new(SimTime::new(5.0), 7.0);
+        assert_eq!(q.average(SimTime::new(5.0)), 0.0);
+    }
+
+    #[test]
+    fn add_tracks_queue_dynamics() {
+        let mut q = TimeWeighted::new(SimTime::ZERO, 0.0);
+        q.add(SimTime::new(1.0), 1.0);
+        q.add(SimTime::new(2.0), 1.0);
+        q.add(SimTime::new(4.0), -2.0);
+        assert_eq!(q.level(), 0.0);
+        assert_eq!(q.peak(), 2.0);
+        // Areas: 0*1 + 1*1 + 2*2 = 5 over 5 units.
+        assert!((q.average(SimTime::new(5.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_drops_warmup() {
+        let mut q = TimeWeighted::new(SimTime::ZERO, 0.0);
+        q.set(SimTime::new(1.0), 100.0); // transient
+        q.set(SimTime::new(2.0), 1.0);
+        q.reset_at(SimTime::new(2.0));
+        assert!((q.average(SimTime::new(4.0)) - 1.0).abs() < 1e-12);
+        assert_eq!(q.peak(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn non_monotone_time_panics() {
+        let mut q = TimeWeighted::new(SimTime::new(2.0), 0.0);
+        q.set(SimTime::new(1.0), 1.0);
+    }
+}

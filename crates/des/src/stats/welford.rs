@@ -1,0 +1,193 @@
+//! Streaming mean/variance via Welford's algorithm.
+
+/// Numerically stable streaming estimator of mean and variance.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_des::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.count(), 3);
+/// assert!((w.mean() - 4.0).abs() < 1e-12);
+/// assert!((w.sample_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is `NaN` — a NaN observation would silently poison every
+    /// subsequent statistic.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (divides by n−1); zero for n < 2.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another estimator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.sample_variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_and_single_observation_edge_cases() {
+        let mut w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        w.push(5.0);
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.min(), 5.0);
+        assert_eq!(w.max(), 5.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.7).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let (a, b) = xs.split_at(20);
+        let mut wa = Welford::new();
+        let mut wb = Welford::new();
+        a.iter().for_each(|&x| wa.push(x));
+        b.iter().for_each(|&x| wb.push(x));
+        wa.merge(&wb);
+        assert_eq!(wa.count(), all.count());
+        assert!((wa.mean() - all.mean()).abs() < 1e-12);
+        assert!((wa.sample_variance() - all.sample_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w = Welford::new();
+        w.push(1.0);
+        w.push(2.0);
+        let before = w;
+        w.merge(&Welford::new());
+        assert_eq!(w, before);
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Welford::new().push(f64::NAN);
+    }
+}

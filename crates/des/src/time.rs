@@ -1,0 +1,154 @@
+//! Simulation time.
+//!
+//! Simulated time is a non-negative, finite `f64` wrapped in the [`SimTime`]
+//! newtype so that the event calendar can rely on a *total* order (`Ord`),
+//! which bare `f64` does not provide. Construction validates the value, so a
+//! `SimTime` is never `NaN` and never negative.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time.
+///
+/// `SimTime` is a thin wrapper over `f64` measured in *model time units*
+/// (the unit is whatever the caller's rates are expressed in; the RSIN models
+/// use "mean service times" as the natural unit). It is totally ordered and
+/// hashable-free by design (floating point), but `Eq`/`Ord` are sound because
+/// the constructor rejects `NaN`.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_des::SimTime;
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + 1.5;
+/// assert!(t1 > t0);
+/// assert_eq!(t1.as_f64(), 1.5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a simulation time from a raw number of model time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is `NaN`, infinite, or negative; the event calendar
+    /// depends on every timestamp being a finite, non-negative value.
+    #[must_use]
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite(), "simulation time must be finite, got {t}");
+        assert!(t >= 0.0, "simulation time must be non-negative, got {t}");
+        SimTime(t)
+    }
+
+    /// Returns the raw value in model time units.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Elapsed time since `earlier`, saturating at zero.
+    ///
+    /// Event-driven models occasionally subtract timestamps recorded in
+    /// either order (e.g. warm-up boundaries); saturation avoids manufacturing
+    /// negative durations from such pairs.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Constructor guarantees no NaN, so partial_cmp is total here.
+        self.partial_cmp(other).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, dt: f64) -> SimTime {
+        SimTime::new(self.0 + dt)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, dt: f64) {
+        *self = *self + dt;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<SimTime> for f64 {
+    fn from(t: SimTime) -> f64 {
+        t.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimTime::ZERO.as_f64(), 0.0);
+    }
+
+    #[test]
+    fn ordering_is_total_for_valid_times() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::new(3.0) + 0.5;
+        assert!((t.as_f64() - 3.5).abs() < 1e-12);
+        assert!((t - SimTime::new(3.0) - 0.5).abs() < 1e-12);
+        assert_eq!(t.since(SimTime::new(10.0)), 0.0, "saturating subtraction");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", SimTime::new(1.25)).is_empty());
+        assert!(!format!("{:?}", SimTime::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Centralized scheduling baseline for multistage networks (Section V's
+//! complexity comparison).
+//!
+//! A centralized scheduler serves requests *sequentially*: a priority
+//! circuit finds a free resource in `O(log₂ m)` gate delays and the network
+//! switches are set in `O(log₂ N)`; but because the network blocks, "O(N)
+//! trials have to be made before a successful connection can be
+//! established. The delay for servicing N requests is thus O(N²·log₂ N)."
+//! The distributed algorithm services *all* requests in `O(log₂ N)` —
+//! independent of how many processors are requesting.
+//!
+//! [`SequentialScheduler`] makes the claim executable: it serves a request
+//! batch exactly as the baseline would — request order, free resources
+//! scanned in priority order, one routing trial per candidate — and counts
+//! both the trials and the gate-delay bill.
+
+use rsin_topology::{Multistage, OmegaTopology, Route};
+
+/// A sequential (centralized) scheduler over an `N × N` Omega network.
+#[derive(Clone, Debug)]
+pub struct SequentialScheduler {
+    topo: OmegaTopology,
+}
+
+/// What serving a batch sequentially cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequentialOutcome {
+    /// Granted (processor, port) pairs.
+    pub granted: Vec<(usize, usize)>,
+    /// Total candidate-resource trials (route attempts) performed.
+    pub trials: u64,
+    /// Total gate delays: each trial pays the priority-circuit search plus
+    /// the switch-setting decode.
+    pub gate_delays: u64,
+}
+
+impl SequentialScheduler {
+    /// Builds a scheduler for an `size × size` Omega network.
+    ///
+    /// # Errors
+    ///
+    /// [`rsin_topology::TopologyError`] unless `size` is a power of two ≥ 2.
+    pub fn new(size: usize) -> Result<Self, rsin_topology::TopologyError> {
+        Ok(SequentialScheduler {
+            topo: OmegaTopology::new(size)?,
+        })
+    }
+
+    /// Gate delays per trial: `O(log₂ m)` to find a free resource plus
+    /// `O(log₂ N)` to set the switches.
+    #[must_use]
+    pub fn per_trial_gate_delay(&self) -> u64 {
+        2 * u64::from(self.topo.stages())
+    }
+
+    /// Worst-case gate delays to serve `n` requests: every request may try
+    /// all `N` resources — the paper's `O(N²·log₂ N)` bound at `n = N`.
+    #[must_use]
+    pub fn worst_case_gate_delay(&self, n: usize) -> u64 {
+        n as u64 * self.topo.size() as u64 * self.per_trial_gate_delay()
+    }
+
+    /// Gate delays for the *distributed* algorithm to resolve any batch:
+    /// the status/request waves cross `log₂ N` stages of boxes, each
+    /// costing `O(r·log₂ r)` with `r = 2`, independent of the batch size.
+    #[must_use]
+    pub fn distributed_gate_delay(&self) -> u64 {
+        // 2 input-ports × log2(2) OR-levels + O(1) control, per stage.
+        4 * u64::from(self.topo.stages())
+    }
+
+    /// Serves `requesters` sequentially against `free` resource ports on an
+    /// otherwise idle network, counting trials. Each request scans the
+    /// remaining free ports in priority (ascending) order and takes the
+    /// first whose route avoids all circuits granted so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for the network.
+    #[must_use]
+    pub fn serve(&self, requesters: &[usize], free: &[usize]) -> SequentialOutcome {
+        let mut available: Vec<usize> = {
+            let mut f = free.to_vec();
+            f.sort_unstable();
+            f
+        };
+        let mut held: Vec<Route> = Vec::new();
+        let mut granted = Vec::new();
+        let mut trials: u64 = 0;
+        for &p in requesters {
+            let mut taken = None;
+            for (slot, &port) in available.iter().enumerate() {
+                trials += 1;
+                let route = self.topo.route(p, port);
+                if held.iter().all(|h| !h.conflicts_with(&route)) {
+                    held.push(route);
+                    granted.push((p, port));
+                    taken = Some(slot);
+                    break;
+                }
+            }
+            if let Some(slot) = taken {
+                available.remove(slot);
+            }
+        }
+        SequentialOutcome {
+            granted,
+            trials,
+            gate_delays: trials * self.per_trial_gate_delay(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_des::SimRng;
+
+    #[test]
+    fn distributed_beats_centralized_worst_case_and_gap_grows() {
+        let mut prev_ratio = 0.0;
+        for size in [8usize, 16, 32, 64] {
+            let s = SequentialScheduler::new(size).expect("power of two");
+            let central = s.worst_case_gate_delay(size);
+            let distributed = s.distributed_gate_delay();
+            let ratio = central as f64 / distributed as f64;
+            assert!(ratio > 1.0, "N={size}: centralized must be slower");
+            assert!(ratio > prev_ratio, "the gap must widen with N");
+            prev_ratio = ratio;
+        }
+    }
+
+    #[test]
+    fn sequential_service_counts_trials() {
+        let s = SequentialScheduler::new(8).expect("8x8");
+        // Everything free, everyone requesting: the first request succeeds
+        // on trial 1; later ones may need retries past blocked routes.
+        let all: Vec<usize> = (0..8).collect();
+        let out = s.serve(&all, &all);
+        assert!(out.trials >= 8, "at least one trial per request");
+        assert_eq!(out.gate_delays, out.trials * s.per_trial_gate_delay());
+        assert!(!out.granted.is_empty());
+    }
+
+    #[test]
+    fn trials_grow_superlinearly_with_network_size() {
+        // The executable version of the O(N²) trial bound: average trials
+        // per request grows with N for full random batches.
+        let mut rng = SimRng::new(11);
+        let mut per_request = Vec::new();
+        for size in [8usize, 32] {
+            let s = SequentialScheduler::new(size).expect("power of two");
+            let mut total = 0u64;
+            let rounds = 40;
+            for _ in 0..rounds {
+                let mut requesters: Vec<usize> = (0..size).collect();
+                rng.shuffle(&mut requesters);
+                let free: Vec<usize> = (0..size).collect();
+                total += s.serve(&requesters, &free).trials;
+            }
+            per_request.push(total as f64 / (rounds * size) as f64);
+        }
+        assert!(
+            per_request[1] > per_request[0],
+            "trials/request must grow with N: {per_request:?}"
+        );
+    }
+
+    #[test]
+    fn grants_are_conflict_free_and_within_inputs() {
+        let s = SequentialScheduler::new(8).expect("8x8");
+        let out = s.serve(&[0, 3, 5], &[1, 2, 6, 7]);
+        assert!(out.granted.len() <= 3);
+        for &(p, port) in &out.granted {
+            assert!([0, 3, 5].contains(&p));
+            assert!([1, 2, 6, 7].contains(&port));
+        }
+        // Distinct ports.
+        let mut ports: Vec<usize> = out.granted.iter().map(|&(_, port)| port).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), out.granted.len());
+    }
+
+    #[test]
+    fn rejects_bad_size() {
+        assert!(SequentialScheduler::new(6).is_err());
+    }
+}

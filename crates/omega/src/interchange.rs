@@ -1,0 +1,316 @@
+//! The 2×2 interchange-box control automaton (Fig. 9 and Fig. 10).
+//!
+//! Each box carries five control signals per port — `Q` (resource request),
+//! `L` (release), `S` (status), `J` (reject), `C` (resource found) — and a
+//! one-bit resource-availability register per output port. The control
+//! algorithm services signals in the paper's priority order: **releases,
+//! then rejects, then queries, then founds** ("rejects are serviced before
+//! queries because they belong to requests that have waited longer").
+//!
+//! Key behaviors reproduced here, each with the paper's rationale:
+//!
+//! * after a query is switched to an output port, that port's availability
+//!   register is **zeroed** — resources are no longer reachable through it
+//!   until fresh status arrives;
+//! * when a connection is **released**, the registers do *not* change —
+//!   "resources may still be processing the tasks";
+//! * a **reject** arriving on an output port retries the box's other port
+//!   if its register is set, and otherwise propagates the reject upstream.
+//!
+//! The network-level engine ([`MultistageState`](crate::MultistageState))
+//! models whole-fabric resolution; this module pins down the per-box
+//! contract at the signal level, the way [`rsin_xbar::Cell`] pins down
+//! Table I.
+//!
+//! [`rsin_xbar::Cell`]: https://docs.rs/rsin-xbar
+
+/// Outcome of a query (`Q`) arriving on an input port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The query was switched to this output port (register now zeroed).
+    Forwarded {
+        /// Output port (0 = upper, 1 = lower).
+        output: usize,
+    },
+    /// No output port had availability: reject `J` returns upstream.
+    Rejected,
+}
+
+/// Outcome of a reject (`J`) arriving on an output port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectOutcome {
+    /// The request was re-switched to the box's other output port.
+    Reforwarded {
+        /// The newly tried output port.
+        output: usize,
+    },
+    /// Both ports exhausted: the reject propagates to the input the request
+    /// came from, and the connection state is cleared.
+    PropagatedUp {
+        /// Input port (0 = upper, 1 = lower) to send `J` to.
+        input: usize,
+    },
+}
+
+/// A 2×2 interchange box: availability registers plus connection state.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_omega::{InterchangeBox, QueryOutcome};
+///
+/// let mut b = InterchangeBox::new();
+/// b.set_availability(0, true);
+/// b.set_availability(1, true);
+/// // Two simultaneous queries: both are switched, to distinct ports.
+/// let q0 = b.query(0, 0);
+/// let q1 = b.query(1, 1);
+/// assert_eq!(q0, QueryOutcome::Forwarded { output: 0 });
+/// assert_eq!(q1, QueryOutcome::Forwarded { output: 1 });
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InterchangeBox {
+    /// Resource-availability registers `A_j` (true = ≥1 resource reachable).
+    avail: [bool; 2],
+    /// Which input is connected through each output port.
+    conn_out: [Option<usize>; 2],
+}
+
+impl InterchangeBox {
+    /// A box with empty registers and no connections.
+    #[must_use]
+    pub fn new() -> Self {
+        InterchangeBox::default()
+    }
+
+    /// Updates the availability register of `output` from downstream status
+    /// (`S`). Returns the box's input-side status if it *changed* — the
+    /// signal that must be relayed to the previous stage ("if any change is
+    /// detected, this status information is passed back").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output > 1`.
+    pub fn set_availability(&mut self, output: usize, avail: bool) -> Option<bool> {
+        assert!(output < 2, "output port out of range");
+        let before = self.input_status();
+        self.avail[output] = avail;
+        let after = self.input_status();
+        (after != before).then_some(after)
+    }
+
+    /// The status the box reports upstream: ≥1 resource reachable through
+    /// some output port that is not already carrying a connection.
+    #[must_use]
+    pub fn input_status(&self) -> bool {
+        (0..2).any(|j| self.avail[j] && self.conn_out[j].is_none())
+    }
+
+    /// The availability register of `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output > 1`.
+    #[must_use]
+    pub fn availability(&self, output: usize) -> bool {
+        self.avail[output]
+    }
+
+    /// Which input port (if any) holds `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output > 1`.
+    #[must_use]
+    pub fn connection(&self, output: usize) -> Option<usize> {
+        self.conn_out[output]
+    }
+
+    /// Services a query (`Q`) from `input`, preferring output `prefer`.
+    /// On success the chosen register is zeroed and the connection latched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ports are out of range or `input` already holds a
+    /// connection through this box.
+    pub fn query(&mut self, input: usize, prefer: usize) -> QueryOutcome {
+        assert!(input < 2 && prefer < 2, "port out of range");
+        assert!(
+            !self.conn_out.iter().any(|&c| c == Some(input)),
+            "input {input} already connected through this box"
+        );
+        for &j in &[prefer, prefer ^ 1] {
+            if self.avail[j] && self.conn_out[j].is_none() {
+                self.conn_out[j] = Some(input);
+                self.avail[j] = false; // the paper: register zeroed on query
+                return QueryOutcome::Forwarded { output: j };
+            }
+        }
+        QueryOutcome::Rejected
+    }
+
+    /// Services a reject (`J`) arriving on `output`. The failed port's
+    /// register stays zero; the box retries its other port or propagates
+    /// the reject to the originating input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output > 1` or no connection is routed through `output`.
+    pub fn reject(&mut self, output: usize) -> RejectOutcome {
+        assert!(output < 2, "output port out of range");
+        let input = self.conn_out[output]
+            .take()
+            .expect("reject must arrive on a connected output");
+        let other = output ^ 1;
+        if self.avail[other] && self.conn_out[other].is_none() {
+            self.conn_out[other] = Some(input);
+            self.avail[other] = false;
+            RejectOutcome::Reforwarded { output: other }
+        } else {
+            RejectOutcome::PropagatedUp { input }
+        }
+    }
+
+    /// Services a release (`L`) from `input`: the connection is torn down
+    /// and the freed output port returned so `L` can continue downstream.
+    /// Availability registers are deliberately *not* restored ("the status
+    /// information does not change because resources may still be
+    /// processing the tasks").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input > 1` or the input holds no connection.
+    pub fn release(&mut self, input: usize) -> usize {
+        assert!(input < 2, "input port out of range");
+        for j in 0..2 {
+            if self.conn_out[j] == Some(input) {
+                self.conn_out[j] = None;
+                return j;
+            }
+        }
+        panic!("input {input} holds no connection to release");
+    }
+
+    /// Services a resource-found (`C`) arriving on `output`: returns the
+    /// input port the confirmation must be relayed to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output > 1` or no connection is routed through `output`.
+    #[must_use]
+    pub fn found(&self, output: usize) -> usize {
+        assert!(output < 2, "output port out of range");
+        self.conn_out[output]
+            .expect("resource-found must arrive on a connected output")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both_available() -> InterchangeBox {
+        let mut b = InterchangeBox::new();
+        b.set_availability(0, true);
+        b.set_availability(1, true);
+        b
+    }
+
+    #[test]
+    fn status_change_is_reported_only_on_edges() {
+        let mut b = InterchangeBox::new();
+        assert_eq!(b.set_availability(0, true), Some(true), "0→1 edge relayed");
+        assert_eq!(b.set_availability(1, true), None, "still true: no relay");
+        assert_eq!(b.set_availability(0, false), None, "other port keeps it true");
+        assert_eq!(b.set_availability(1, false), Some(false), "1→0 edge relayed");
+    }
+
+    #[test]
+    fn query_zeroes_the_register() {
+        let mut b = both_available();
+        assert_eq!(b.query(0, 0), QueryOutcome::Forwarded { output: 0 });
+        assert!(!b.availability(0), "register zeroed after query");
+        assert!(b.availability(1));
+        assert_eq!(b.connection(0), Some(0));
+    }
+
+    #[test]
+    fn second_query_takes_the_other_port_then_rejects() {
+        let mut b = both_available();
+        let _ = b.query(0, 0);
+        assert_eq!(b.query(1, 0), QueryOutcome::Forwarded { output: 1 });
+        // Third query (after a release elsewhere) finds nothing.
+        let mut c = InterchangeBox::new();
+        assert_eq!(c.query(0, 0), QueryOutcome::Rejected);
+    }
+
+    #[test]
+    fn reject_retries_other_port_then_propagates() {
+        let mut b = both_available();
+        assert_eq!(b.query(0, 0), QueryOutcome::Forwarded { output: 0 });
+        // Downstream says no: the box retries port 1.
+        assert_eq!(b.reject(0), RejectOutcome::Reforwarded { output: 1 });
+        assert_eq!(b.connection(1), Some(0));
+        // Port 1 also fails: the reject goes upstream to input 0.
+        assert_eq!(b.reject(1), RejectOutcome::PropagatedUp { input: 0 });
+        assert_eq!(b.connection(0), None);
+        assert_eq!(b.connection(1), None);
+    }
+
+    #[test]
+    fn release_keeps_registers_stale() {
+        let mut b = both_available();
+        let QueryOutcome::Forwarded { output } = b.query(1, 1) else {
+            panic!("query must forward");
+        };
+        assert_eq!(b.release(1), output);
+        assert!(
+            !b.availability(output),
+            "the paper: status does not change on release"
+        );
+        assert_eq!(b.connection(output), None);
+    }
+
+    #[test]
+    fn found_identifies_the_requesting_input() {
+        let mut b = both_available();
+        let _ = b.query(1, 0);
+        assert_eq!(b.found(0), 1);
+    }
+
+    #[test]
+    fn input_status_accounts_for_held_ports() {
+        let mut b = both_available();
+        assert!(b.input_status());
+        let _ = b.query(0, 0);
+        assert!(b.input_status(), "port 1 still free");
+        let _ = b.query(1, 1);
+        assert!(!b.input_status(), "both ports held");
+    }
+
+    #[test]
+    fn fig11_b11_conflict_plays_out() {
+        // Fig. 11's stage-1 box: only one output has availability; two
+        // queries arrive. The first is propagated, the second rejected —
+        // and the rejected request must reroute through another box.
+        let mut b = InterchangeBox::new();
+        b.set_availability(0, true); // only the upper port reaches R4/R5
+        assert_eq!(b.query(0, 0), QueryOutcome::Forwarded { output: 0 });
+        assert_eq!(b.query(1, 0), QueryOutcome::Rejected);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_query_from_same_input_is_a_bug() {
+        let mut b = both_available();
+        let _ = b.query(0, 0);
+        let _ = b.query(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no connection")]
+    fn release_without_connection_is_a_bug() {
+        let mut b = InterchangeBox::new();
+        let _ = b.release(0);
+    }
+}

@@ -1,0 +1,896 @@
+//! Distributed request resolution in a multistage network (Section V,
+//! Figs. 9–11).
+//!
+//! Scheduling intelligence lives in the 2×2 interchange boxes. The protocol
+//! has two conceptually concurrent phases:
+//!
+//! * **Status phase** — each output port's resource controller reports
+//!   whether ≥ 1 attached resource is free; every box ORs the availability
+//!   reachable through each of its output ports (over *free* links) into its
+//!   resource-availability registers and relays changes upstream. A
+//!   processor only submits a request while its stage-0 box reports
+//!   something reachable.
+//! * **Request phase** — requests propagate one stage per step, each box
+//!   switching a query toward an output port whose availability register is
+//!   set. When a port is taken by a competing request (the register was
+//!   outdated), the box emits a reject `J`; the request backtracks one
+//!   stage, the failed port is marked, and an alternate port is tried —
+//!   exactly the rerouting of the paper's Fig. 11 example. A request that
+//!   backtracks out of the network is rejected to its processor and retried
+//!   at the next status change.
+//!
+//! The algorithm is described in the paper for the Omega network but "is
+//! applicable to other types of multistage networks as well"; this engine is
+//! parameterized by the interstage [`Wiring`] and also implements the
+//! indirect binary n-cube.
+//!
+//! Two fidelity knobs reproduce remarks from the paper:
+//!
+//! * [`Admission`] — lock-step simultaneous entry (clocked boxes, "may cause
+//!   undue conflict") versus staggered entry (the randomized-delay remedy).
+//! * [`StatusFreshness`] — whether availability registers refresh
+//!   continuously during resolution or only at the epoch start ("requests
+//!   continue to propagate in the presence of possibly outdated status
+//!   information. This tends to lengthen the time to find a free resource").
+
+use rsin_topology::{bit, shuffle, with_bit, Link};
+
+/// A granted circuit: the processor, the output port reached, and the links
+/// held until the end of transmission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Circuit {
+    /// Requesting processor (input-port index).
+    pub processor: usize,
+    /// Output port whose resource pool accepted the task.
+    pub port: usize,
+    /// Links occupied by the circuit, one per stage.
+    pub links: Vec<Link>,
+}
+
+/// Result of one resolution epoch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Resolution {
+    /// Circuits established this epoch.
+    pub granted: Vec<Circuit>,
+    /// Processors whose requests were rejected (to be retried later).
+    pub rejected: Vec<usize>,
+    /// Processors that did not submit because no resource was reachable.
+    pub not_submitted: Vec<usize>,
+    /// Interchange-box visits accumulated by all requests (the paper's
+    /// "boxes passed through" measure; Fig. 11 averages 3.5).
+    pub box_visits: u64,
+}
+
+/// Admission discipline for a resolution epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Admission {
+    /// All requests advance in lock-step rounds (clocked boxes — the
+    /// paper's default, which "may cause undue conflict").
+    #[default]
+    Simultaneous,
+    /// Requests are admitted one at a time, each seeing fully settled
+    /// status — the paper's randomized-delay remedy, as an ablation.
+    Staggered,
+}
+
+/// How quickly status information reaches the availability registers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StatusFreshness {
+    /// Registers recompute every round — the paper's continuous OR loop
+    /// with negligible propagation delay (assumption (c)).
+    #[default]
+    Continuous,
+    /// Registers are computed once when the epoch starts and go stale as
+    /// competing requests claim links — the "outdated status information"
+    /// regime, which forces extra rejects and reroutes.
+    EpochStart,
+}
+
+/// Interstage wiring of the multistage network.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Wiring {
+    /// Perfect shuffle before every stage (Lawrie's Omega network).
+    #[default]
+    Omega,
+    /// Stage `k` pairs wires differing in address bit `k` (Pease's indirect
+    /// binary n-cube). Stages are traversed from the most significant bit so
+    /// the final stage fixes the low-order bit of the port.
+    Cube,
+}
+
+impl Wiring {
+    /// For a wire entering stage `k` (of `n`), the two output wires of its
+    /// box, indexed by output-port bit, plus the "straight" output bit (the
+    /// one keeping the signal on its own side of the box).
+    fn box_outputs(self, bits: u32, k: u32, wire_in: usize) -> ([usize; 2], usize) {
+        match self {
+            Wiring::Omega => {
+                let s = shuffle(bits, wire_in);
+                let boxid = s >> 1;
+                ([boxid << 1, (boxid << 1) | 1], s & 1)
+            }
+            Wiring::Cube => {
+                // Traverse bits MSB→LSB so that the last stage's wire pair
+                // is adjacent, matching the Omega convention that the final
+                // choice selects the port's low bit.
+                let fix = bits - 1 - k;
+                (
+                    [with_bit(wire_in, fix, 0), with_bit(wire_in, fix, 1)],
+                    bit(wire_in, fix),
+                )
+            }
+        }
+    }
+}
+
+/// The link/resource state of one multistage RSIN plus the resolution
+/// engine.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_omega::{Admission, OmegaState};
+///
+/// // The paper's Fig. 11 scenario: an 8×8 network with one resource per
+/// // port; R2, R3, R6, R7 are busy; P0, P3, P4, P5 request.
+/// let mut net = OmegaState::new(8, 1)?;
+/// for port in [2, 3, 6, 7] {
+///     net.occupy_resource(port);
+/// }
+/// let res = net.resolve(&[0, 3, 4, 5], Admission::Simultaneous);
+/// assert_eq!(res.granted.len(), 4, "all four requests find resources");
+/// # Ok::<(), rsin_topology::TopologyError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultistageState {
+    bits: u32,
+    size: usize,
+    resources_per_port: u32,
+    wiring: Wiring,
+    freshness: StatusFreshness,
+    /// `link_busy[stage][wire]`: held by an established circuit.
+    link_busy: Vec<Vec<bool>>,
+    /// Busy resources per output port.
+    busy_resources: Vec<u32>,
+    /// Resource type hosted by each output port (all 0 when untyped).
+    port_types: Vec<usize>,
+}
+
+/// The Omega-wired multistage RSIN state (the paper's primary subject).
+pub type OmegaState = MultistageState;
+
+struct Frame {
+    /// Input wire (boundary index) through which the box was entered.
+    wire_in: usize,
+    /// Output ports already tried (and failed) from this box.
+    tried: [bool; 2],
+}
+
+struct Flight {
+    processor: usize,
+    /// Requested resource type (0 in the untyped system).
+    ty: usize,
+    frames: Vec<Frame>,
+    links: Vec<Link>,
+    state: FlightState,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FlightState {
+    Active,
+    Granted,
+    Rejected,
+}
+
+impl MultistageState {
+    /// Creates an idle Omega-wired `size × size` network with
+    /// `resources_per_port` resources on every output port.
+    ///
+    /// # Errors
+    ///
+    /// [`rsin_topology::TopologyError`] unless `size` is a power of two ≥ 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resources_per_port == 0`.
+    pub fn new(size: usize, resources_per_port: u32) -> Result<Self, rsin_topology::TopologyError> {
+        Self::with_wiring(size, resources_per_port, Wiring::Omega)
+    }
+
+    /// Creates an idle indirect-binary-n-cube network.
+    ///
+    /// # Errors
+    ///
+    /// [`rsin_topology::TopologyError`] unless `size` is a power of two ≥ 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resources_per_port == 0`.
+    pub fn new_cube(
+        size: usize,
+        resources_per_port: u32,
+    ) -> Result<Self, rsin_topology::TopologyError> {
+        Self::with_wiring(size, resources_per_port, Wiring::Cube)
+    }
+
+    /// Creates an idle network with explicit wiring.
+    ///
+    /// # Errors
+    ///
+    /// [`rsin_topology::TopologyError`] unless `size` is a power of two ≥ 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resources_per_port == 0`.
+    pub fn with_wiring(
+        size: usize,
+        resources_per_port: u32,
+        wiring: Wiring,
+    ) -> Result<Self, rsin_topology::TopologyError> {
+        assert!(resources_per_port > 0, "resources per port must be positive");
+        let bits = match rsin_topology::log2_exact(size) {
+            Some(b) if b >= 1 => b,
+            _ => return Err(rsin_topology::TopologyError::NotPowerOfTwo { size }),
+        };
+        Ok(MultistageState {
+            bits,
+            size,
+            resources_per_port,
+            wiring,
+            freshness: StatusFreshness::Continuous,
+            link_busy: vec![vec![false; size]; bits as usize],
+            busy_resources: vec![0; size],
+            port_types: vec![0; size],
+        })
+    }
+
+    /// Sets how often availability registers refresh during resolution.
+    pub fn set_status_freshness(&mut self, freshness: StatusFreshness) {
+        self.freshness = freshness;
+    }
+
+    /// The status-freshness regime in force.
+    #[must_use]
+    pub fn status_freshness(&self) -> StatusFreshness {
+        self.freshness
+    }
+
+    /// The interstage wiring.
+    #[must_use]
+    pub fn wiring(&self) -> Wiring {
+        self.wiring
+    }
+
+    /// Assigns a resource type to every output port — the paper's
+    /// multiple-resource-type extension ("the status signal S has to be
+    /// sent for each type of resource"). Types are small dense integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `types.len() != size`.
+    pub fn set_port_types(&mut self, types: &[usize]) {
+        assert_eq!(types.len(), self.size, "one type per output port");
+        self.port_types.copy_from_slice(types);
+    }
+
+    /// The resource type hosted on `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    #[must_use]
+    pub fn port_type(&self, port: usize) -> usize {
+        self.port_types[port]
+    }
+
+    /// Network size `N`.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of box stages (`log2 N`).
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        self.bits
+    }
+
+    /// Resources carried by each output port.
+    #[must_use]
+    pub fn resources_per_port(&self) -> u32 {
+        self.resources_per_port
+    }
+
+    /// Marks one resource on `port` busy (e.g. to set up a scenario, or at
+    /// the end of a transmission).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range or already fully busy.
+    pub fn occupy_resource(&mut self, port: usize) {
+        assert!(port < self.size, "port out of range");
+        assert!(
+            self.busy_resources[port] < self.resources_per_port,
+            "port {port} has no free resource to occupy"
+        );
+        self.busy_resources[port] += 1;
+    }
+
+    /// Frees one resource on `port` (end of service).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range or has no busy resource.
+    pub fn release_resource(&mut self, port: usize) {
+        assert!(port < self.size, "port out of range");
+        assert!(self.busy_resources[port] > 0, "port {port} has no busy resource");
+        self.busy_resources[port] -= 1;
+    }
+
+    /// Free resources currently on `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    #[must_use]
+    pub fn free_resources(&self, port: usize) -> u32 {
+        self.resources_per_port - self.busy_resources[port]
+    }
+
+    /// Releases the links of an established circuit (end of transmission).
+    /// The resource itself stays busy until
+    /// [`MultistageState::release_resource`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any link of the circuit is not currently held.
+    pub fn release_circuit(&mut self, circuit: &Circuit) {
+        for l in &circuit.links {
+            let slot = &mut self.link_busy[l.stage as usize][l.wire];
+            assert!(*slot, "releasing a link that is not held: {l:?}");
+            *slot = false;
+        }
+    }
+
+    /// Whether a link is currently held by a circuit.
+    #[must_use]
+    pub fn link_is_busy(&self, link: Link) -> bool {
+        self.link_busy[link.stage as usize][link.wire]
+    }
+
+    /// Runs one resolution epoch for `requesters` (distinct processor
+    /// indices). Granted circuits immediately occupy their links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requester index is out of range or duplicated.
+    pub fn resolve(&mut self, requesters: &[usize], admission: Admission) -> Resolution {
+        let mut seen = vec![false; self.size];
+        for &p in requesters {
+            assert!(p < self.size, "processor {p} out of range");
+            assert!(!seen[p], "processor {p} duplicated");
+            seen[p] = true;
+        }
+        let typed: Vec<(usize, usize)> = requesters.iter().map(|&p| (p, 0)).collect();
+        match admission {
+            Admission::Simultaneous => self.resolve_batch(&typed),
+            Admission::Staggered => {
+                let mut total = Resolution::default();
+                for &req in &typed {
+                    let r = self.resolve_batch(&[req]);
+                    total.granted.extend(r.granted);
+                    total.rejected.extend(r.rejected);
+                    total.not_submitted.extend(r.not_submitted);
+                    total.box_visits += r.box_visits;
+                }
+                total
+            }
+        }
+    }
+
+    /// Runs one resolution epoch for typed requests `(processor, type)`.
+    /// A request of type `t` is only routed toward ports whose
+    /// [`MultistageState::port_type`] equals `t` — per-type availability
+    /// registers, exactly as the paper's extension describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a processor index is out of range or duplicated.
+    pub fn resolve_typed(
+        &mut self,
+        requests: &[(usize, usize)],
+        admission: Admission,
+    ) -> Resolution {
+        let mut seen = vec![false; self.size];
+        for &(p, _) in requests {
+            assert!(p < self.size, "processor {p} out of range");
+            assert!(!seen[p], "processor {p} duplicated");
+            seen[p] = true;
+        }
+        match admission {
+            Admission::Simultaneous => self.resolve_batch(requests),
+            Admission::Staggered => {
+                let mut total = Resolution::default();
+                for &req in requests {
+                    let r = self.resolve_batch(&[req]);
+                    total.granted.extend(r.granted);
+                    total.rejected.extend(r.rejected);
+                    total.not_submitted.extend(r.not_submitted);
+                    total.box_visits += r.box_visits;
+                }
+                total
+            }
+        }
+    }
+
+    /// Availability of every boundary wire given current links plus
+    /// `claimed`: `down[k][w]` is true when ≥ 1 free resource **of type
+    /// `ty`** is reachable from input wire `w` of stage `k` through free,
+    /// unclaimed links.
+    fn reachability(&self, claimed: &[Vec<bool>], ty: usize) -> Vec<Vec<bool>> {
+        let n = self.bits as usize;
+        let mut down = vec![vec![false; self.size]; n + 1];
+        for w in 0..self.size {
+            down[n][w] = self.port_types[w] == ty
+                && self.busy_resources[w] < self.resources_per_port;
+        }
+        for k in (0..n).rev() {
+            for w_in in 0..self.size {
+                let (outs, _) = self.wiring.box_outputs(self.bits, k as u32, w_in);
+                let reach = outs.iter().any(|&wire_out| {
+                    !self.link_busy[k][wire_out]
+                        && !claimed[k][wire_out]
+                        && down[k + 1][wire_out]
+                });
+                down[k][w_in] = reach;
+            }
+        }
+        down
+    }
+
+    fn resolve_batch(&mut self, requesters: &[(usize, usize)]) -> Resolution {
+        let n = self.bits as usize;
+        let mut claimed = vec![vec![false; self.size]; n];
+        let mut res = Resolution::default();
+
+        // One availability-register table per resource type in flight (the
+        // paper: "there is one register for each type of resources reachable
+        // from this output port").
+        let mut types: Vec<usize> = requesters.iter().map(|&(_, t)| t).collect();
+        types.sort_unstable();
+        types.dedup();
+        let down_of = |state: &Self, claimed: &[Vec<bool>]| -> Vec<(usize, Vec<Vec<bool>>)> {
+            types
+                .iter()
+                .map(|&t| (t, state.reachability(claimed, t)))
+                .collect()
+        };
+
+        // Submission: a processor only enters the network while its box
+        // reports reachable availability of its type (end of the status
+        // phase).
+        let mut down = down_of(self, &claimed);
+        let lookup = |down: &[(usize, Vec<Vec<bool>>)], t: usize| -> usize {
+            down.iter().position(|&(dt, _)| dt == t).expect("type present")
+        };
+        let mut flights: Vec<Flight> = Vec::new();
+        for &(p, t) in requesters {
+            if down[lookup(&down, t)].1[0][p] {
+                res.box_visits += 1; // enters its stage-0 box
+                flights.push(Flight {
+                    processor: p,
+                    ty: t,
+                    frames: vec![Frame {
+                        wire_in: p,
+                        tried: [false, false],
+                    }],
+                    links: Vec::new(),
+                    state: FlightState::Active,
+                });
+            } else {
+                res.not_submitted.push(p);
+            }
+        }
+
+        // Lock-step rounds: one action per active flight per round.
+        while flights.iter().any(|f| f.state == FlightState::Active) {
+            if self.freshness == StatusFreshness::Continuous {
+                down = down_of(self, &claimed);
+            }
+            for fl in flights.iter_mut().filter(|f| f.state == FlightState::Active) {
+                let k = fl.links.len(); // current stage
+                let fl_down = &down[lookup(&down, fl.ty)].1;
+                let frame = fl.frames.last_mut().expect("active flight has a frame");
+                let (outs, straight) =
+                    self.wiring.box_outputs(self.bits, k as u32, frame.wire_in);
+                // Prefer the straight connection, then exchange.
+                let preference = [straight, straight ^ 1];
+                let mut advanced = false;
+                for &out in &preference {
+                    if frame.tried[out] {
+                        continue;
+                    }
+                    let wire_out = outs[out];
+                    if self.link_busy[k][wire_out] || claimed[k][wire_out] {
+                        continue;
+                    }
+                    if !fl_down[k + 1][wire_out] {
+                        continue;
+                    }
+                    // A real collision can slip past stale registers: the
+                    // final hop double-checks the resource itself.
+                    if k + 1 == n
+                        && (self.busy_resources[wire_out] >= self.resources_per_port
+                            || self.port_types[wire_out] != fl.ty)
+                    {
+                        continue;
+                    }
+                    // Claim the link (the box zeroes this availability
+                    // register: resources are no longer reachable through it
+                    // for anyone else until released).
+                    claimed[k][wire_out] = true;
+                    fl.links.push(Link {
+                        stage: k as u32,
+                        wire: wire_out,
+                    });
+                    if k + 1 == n {
+                        fl.state = FlightState::Granted;
+                    } else {
+                        res.box_visits += 1; // enters the next box
+                        fl.frames.push(Frame {
+                            wire_in: wire_out,
+                            tried: [false, false],
+                        });
+                    }
+                    advanced = true;
+                    break;
+                }
+                if advanced {
+                    continue;
+                }
+                // Reject J: backtrack one stage.
+                if fl.frames.len() == 1 {
+                    fl.state = FlightState::Rejected;
+                    continue;
+                }
+                fl.frames.pop();
+                let undone = fl.links.pop().expect("frame implies link");
+                claimed[undone.stage as usize][undone.wire] = false;
+                let parent = fl.frames.last_mut().expect("parent frame exists");
+                let (parent_outs, _) =
+                    self.wiring
+                        .box_outputs(self.bits, (fl.links.len()) as u32, parent.wire_in);
+                let out_bit = usize::from(parent_outs[1] == undone.wire);
+                parent.tried[out_bit] = true;
+                res.box_visits += 1; // re-enters the parent box
+            }
+        }
+
+        for fl in flights {
+            match fl.state {
+                FlightState::Granted => {
+                    let port = fl.links.last().expect("granted flight has links").wire;
+                    for l in &fl.links {
+                        self.link_busy[l.stage as usize][l.wire] = true;
+                    }
+                    res.granted.push(Circuit {
+                        processor: fl.processor,
+                        port,
+                        links: fl.links,
+                    });
+                }
+                FlightState::Rejected => res.rejected.push(fl.processor),
+                FlightState::Active => unreachable!("loop drains active flights"),
+            }
+        }
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig11_network() -> MultistageState {
+        // Resources R0, R1, R4, R5 available; R2, R3, R6, R7 busy.
+        let mut net = OmegaState::new(8, 1).expect("8x8");
+        for port in [2, 3, 6, 7] {
+            net.occupy_resource(port);
+        }
+        net
+    }
+
+    #[test]
+    fn fig11_all_four_requests_are_served() {
+        let mut net = fig11_network();
+        let res = net.resolve(&[0, 3, 4, 5], Admission::Simultaneous);
+        assert_eq!(res.granted.len(), 4, "rejected: {:?}", res.rejected);
+        // Each granted port is one of the free resources, each used once.
+        let mut ports: Vec<usize> = res.granted.iter().map(|c| c.port).collect();
+        ports.sort_unstable();
+        assert_eq!(ports, vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn fig11_average_boxes_traversed() {
+        // The paper reports 3.5 boxes per request on average: three direct
+        // routes (3 boxes each) plus one reject-and-reroute (5 visits).
+        let mut net = fig11_network();
+        let res = net.resolve(&[0, 3, 4, 5], Admission::Simultaneous);
+        let avg = res.box_visits as f64 / 4.0;
+        assert!(
+            (3.0..=4.0).contains(&avg),
+            "average box visits {avg} should be near the paper's 3.5"
+        );
+    }
+
+    #[test]
+    fn granted_circuits_hold_their_links() {
+        let mut net = OmegaState::new(8, 1).expect("8x8");
+        let res = net.resolve(&[0], Admission::Simultaneous);
+        let circuit = &res.granted[0];
+        for l in &circuit.links {
+            assert!(net.link_is_busy(*l));
+        }
+        // Release restores the links but not the resource.
+        let c = circuit.clone();
+        net.release_circuit(&c);
+        for l in &c.links {
+            assert!(!net.link_is_busy(*l));
+        }
+    }
+
+    #[test]
+    fn no_submission_when_nothing_is_free() {
+        let mut net = OmegaState::new(4, 1).expect("4x4");
+        for port in 0..4 {
+            net.occupy_resource(port);
+        }
+        let res = net.resolve(&[0, 1], Admission::Simultaneous);
+        assert!(res.granted.is_empty());
+        assert_eq!(res.not_submitted.len(), 2);
+        assert!(res.rejected.is_empty());
+        assert_eq!(res.box_visits, 0, "status phase suppresses the queries");
+    }
+
+    #[test]
+    fn contention_for_one_resource_rejects_loser() {
+        let mut net = OmegaState::new(4, 1).expect("4x4");
+        for port in 1..4 {
+            net.occupy_resource(port);
+        }
+        let res = net.resolve(&[0, 1, 2, 3], Admission::Simultaneous);
+        assert_eq!(res.granted.len(), 1);
+        assert_eq!(res.granted[0].port, 0);
+        assert_eq!(res.rejected.len() + res.not_submitted.len(), 3);
+    }
+
+    #[test]
+    fn requests_search_alternate_resources_when_path_blocked() {
+        // Distributed RSIN scheduling's selling point: a blocked path does
+        // not doom the request while another free resource is reachable.
+        let mut net = OmegaState::new(8, 1).expect("8x8");
+        // First request takes a circuit and keeps it.
+        let first = net.resolve(&[0], Admission::Simultaneous);
+        assert_eq!(first.granted.len(), 1);
+        // All other processors now request; 7 resources remain and at least
+        // some links are held, yet everyone who can route should be served.
+        let res = net.resolve(&[1, 2, 3, 4, 5, 6, 7], Admission::Simultaneous);
+        assert!(
+            res.granted.len() >= 5,
+            "most requests should still find resources, got {}",
+            res.granted.len()
+        );
+        // No two circuits share a link.
+        let mut all_links: Vec<Link> = res
+            .granted
+            .iter()
+            .chain(first.granted.iter())
+            .flat_map(|c| c.links.iter().copied())
+            .collect();
+        let before = all_links.len();
+        all_links.sort_unstable();
+        all_links.dedup();
+        assert_eq!(before, all_links.len(), "links must be exclusively held");
+    }
+
+    #[test]
+    fn staggered_admission_never_grants_fewer_for_single_requests() {
+        let mut a = fig11_network();
+        let mut b = fig11_network();
+        let sim = a.resolve(&[0, 3, 4, 5], Admission::Simultaneous);
+        let stag = b.resolve(&[0, 3, 4, 5], Admission::Staggered);
+        assert_eq!(sim.granted.len(), stag.granted.len());
+    }
+
+    #[test]
+    fn multi_resource_ports_accept_multiple_tasks_sequentially() {
+        let mut net = OmegaState::new(2, 2).expect("2x2");
+        let g1 = net.resolve(&[0], Admission::Simultaneous);
+        assert_eq!(g1.granted.len(), 1);
+        let c1 = g1.granted[0].clone();
+        // Transmission ends: link freed, resource busy.
+        net.release_circuit(&c1);
+        net.occupy_resource(c1.port);
+        // Port still has one free resource: a new request may land there.
+        let g2 = net.resolve(&[1], Admission::Simultaneous);
+        assert_eq!(g2.granted.len(), 1);
+    }
+
+    #[test]
+    fn resolve_rejects_out_of_range_and_duplicates() {
+        let mut net = OmegaState::new(4, 1).expect("4x4");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.resolve(&[9], Admission::Simultaneous)
+        }));
+        assert!(r.is_err());
+        let mut net = OmegaState::new(4, 1).expect("4x4");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.resolve(&[1, 1], Admission::Simultaneous)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(OmegaState::new(6, 1).is_err());
+        assert!(MultistageState::new_cube(10, 1).is_err());
+    }
+
+    // ---- cube wiring ------------------------------------------------------
+
+    #[test]
+    fn cube_serves_all_when_everything_free() {
+        let mut net = MultistageState::new_cube(8, 1).expect("8x8 cube");
+        let res = net.resolve(&[0, 1, 2, 3, 4, 5, 6, 7], Admission::Simultaneous);
+        assert_eq!(res.granted.len(), 8, "rejected: {:?}", res.rejected);
+        let mut ports: Vec<usize> = res.granted.iter().map(|c| c.port).collect();
+        ports.sort_unstable();
+        assert_eq!(ports, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cube_circuits_respect_link_exclusivity() {
+        let mut net = MultistageState::new_cube(16, 1).expect("16x16 cube");
+        let res = net.resolve(&[0, 3, 7, 9, 12], Admission::Simultaneous);
+        let mut links: Vec<Link> = res
+            .granted
+            .iter()
+            .flat_map(|c| c.links.iter().copied())
+            .collect();
+        let before = links.len();
+        links.sort_unstable();
+        links.dedup();
+        assert_eq!(before, links.len());
+        for c in &res.granted {
+            assert_eq!(c.links.len(), 4, "one link per stage");
+        }
+    }
+
+    #[test]
+    fn cube_reroutes_like_the_paper_says() {
+        // "A similar example can be generated for the indirect binary n-cube
+        // network": with only some resources free, contention still resolves
+        // by rerouting.
+        let mut net = MultistageState::new_cube(8, 1).expect("8x8 cube");
+        for port in [2, 3, 6, 7] {
+            net.occupy_resource(port);
+        }
+        let res = net.resolve(&[0, 3, 4, 5], Admission::Simultaneous);
+        assert_eq!(res.granted.len(), 4, "rejected: {:?}", res.rejected);
+    }
+
+    #[test]
+    fn wiring_accessors() {
+        let o = OmegaState::new(4, 1).expect("omega");
+        assert_eq!(o.wiring(), Wiring::Omega);
+        let c = MultistageState::new_cube(4, 1).expect("cube");
+        assert_eq!(c.wiring(), Wiring::Cube);
+    }
+
+    // ---- status freshness -------------------------------------------------
+
+    #[test]
+    fn typed_requests_land_on_matching_ports() {
+        let mut net = OmegaState::new(8, 1).expect("8x8");
+        // Even ports host type 0, odd ports type 1 (interleaved placement).
+        let types: Vec<usize> = (0..8).map(|p| p % 2).collect();
+        net.set_port_types(&types);
+        let res = net.resolve_typed(
+            &[(0, 0), (1, 1), (2, 0), (3, 1)],
+            Admission::Simultaneous,
+        );
+        assert_eq!(res.granted.len(), 4, "rejected: {:?}", res.rejected);
+        for c in &res.granted {
+            let want = match c.processor {
+                0 | 2 => 0,
+                _ => 1,
+            };
+            assert_eq!(net.port_type(c.port), want, "P{} got R{}", c.processor, c.port);
+        }
+    }
+
+    #[test]
+    fn typed_exhaustion_is_per_type() {
+        let mut net = OmegaState::new(4, 1).expect("4x4");
+        net.set_port_types(&[0, 0, 1, 1]);
+        net.occupy_resource(0);
+        net.occupy_resource(1);
+        // Type 0 exhausted: its request is not even submitted; type 1 flows.
+        let res = net.resolve_typed(&[(0, 0), (1, 1)], Admission::Simultaneous);
+        assert_eq!(res.granted.len(), 1);
+        assert_eq!(res.granted[0].processor, 1);
+        assert_eq!(res.not_submitted, vec![0]);
+    }
+
+    #[test]
+    fn untyped_resolve_is_type_zero() {
+        let mut net = OmegaState::new(4, 1).expect("4x4");
+        net.set_port_types(&[0, 0, 1, 1]);
+        // Untyped requests are type-0 requests: only 2 can ever be served.
+        let res = net.resolve(&[0, 1, 2, 3], Admission::Simultaneous);
+        assert_eq!(res.granted.len(), 2);
+        for c in &res.granted {
+            assert_eq!(net.port_type(c.port), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one type per output port")]
+    fn port_types_length_checked() {
+        let mut net = OmegaState::new(4, 1).expect("4x4");
+        net.set_port_types(&[0, 1]);
+    }
+
+    #[test]
+    fn stale_status_never_grants_more() {
+        // With epoch-start (stale) status, claims made by competing requests
+        // are invisible to the registers, so requests walk into conflicts
+        // and burn visits; grants can only stay equal or drop.
+        for seed_ports in [[2usize, 3, 6, 7], [1, 3, 5, 7], [4, 5, 6, 7]] {
+            let build = |fresh| {
+                let mut net = OmegaState::new(8, 1).expect("8x8");
+                net.set_status_freshness(fresh);
+                for &p in &seed_ports {
+                    net.occupy_resource(p);
+                }
+                net
+            };
+            let mut fresh = build(StatusFreshness::Continuous);
+            let mut stale = build(StatusFreshness::EpochStart);
+            let rf = fresh.resolve(&[0, 1, 2, 3], Admission::Simultaneous);
+            let rs = stale.resolve(&[0, 1, 2, 3], Admission::Simultaneous);
+            assert!(
+                rs.granted.len() <= rf.granted.len(),
+                "stale {} vs fresh {}",
+                rs.granted.len(),
+                rf.granted.len()
+            );
+        }
+    }
+
+    #[test]
+    fn stale_status_costs_more_box_visits_under_contention() {
+        // All eight processors race for two free ports: stale registers
+        // cause wasted walks toward already-claimed links.
+        let build = |fresh| {
+            let mut net = OmegaState::new(8, 1).expect("8x8");
+            net.set_status_freshness(fresh);
+            for p in 0..6 {
+                net.occupy_resource(p);
+            }
+            net
+        };
+        let mut fresh = build(StatusFreshness::Continuous);
+        let mut stale = build(StatusFreshness::EpochStart);
+        let all: Vec<usize> = (0..8).collect();
+        let rf = fresh.resolve(&all, Admission::Simultaneous);
+        let rs = stale.resolve(&all, Admission::Simultaneous);
+        assert!(
+            rs.box_visits >= rf.box_visits,
+            "stale {} visits vs fresh {}",
+            rs.box_visits,
+            rf.box_visits
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! The result-return network: a second, address-mapped Omega fabric.
+//!
+//! Section II: results are routed back to their originating processor "by a
+//! separate address-mapping network with parallel routing since the
+//! destination address is known". This is that network — a mirror-image
+//! Omega carrying circuits from resource ports back to processors, with no
+//! scheduling intelligence needed (the destination is known) but with real
+//! link contention.
+
+use rsin_core::roundtrip::{ReturnNetwork, ReturnTicket};
+use rsin_topology::{Multistage, OmegaTopology, Route};
+use std::collections::HashMap;
+
+/// An address-mapped Omega return fabric.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_core::roundtrip::ReturnNetwork;
+/// use rsin_omega::OmegaReturnPath;
+///
+/// let mut ret = OmegaReturnPath::new(8)?;
+/// let t = ret.try_send(3, 5).expect("idle network routes anything");
+/// ret.end_return(t);
+/// # Ok::<(), rsin_topology::TopologyError>(())
+/// ```
+#[derive(Debug)]
+pub struct OmegaReturnPath {
+    topo: OmegaTopology,
+    link_busy: Vec<Vec<bool>>,
+    active: HashMap<u64, Route>,
+    next_ticket: u64,
+}
+
+impl OmegaReturnPath {
+    /// Builds an `size × size` return fabric.
+    ///
+    /// # Errors
+    ///
+    /// [`rsin_topology::TopologyError`] unless `size` is a power of two ≥ 2.
+    pub fn new(size: usize) -> Result<Self, rsin_topology::TopologyError> {
+        let topo = OmegaTopology::new(size)?;
+        let stages = topo.stages() as usize;
+        Ok(OmegaReturnPath {
+            topo,
+            link_busy: vec![vec![false; size]; stages],
+            active: HashMap::new(),
+            next_ticket: 0,
+        })
+    }
+
+    /// Number of circuits currently held.
+    #[must_use]
+    pub fn active_circuits(&self) -> usize {
+        self.active.len()
+    }
+}
+
+impl ReturnNetwork for OmegaReturnPath {
+    fn try_send(&mut self, port: usize, processor: usize) -> Option<ReturnTicket> {
+        // The return fabric's inputs are the resource ports; its outputs are
+        // the processors.
+        let route = self.topo.route(port % self.topo.size(), processor % self.topo.size());
+        if route
+            .links
+            .iter()
+            .any(|l| self.link_busy[l.stage as usize][l.wire])
+        {
+            return None;
+        }
+        for l in &route.links {
+            self.link_busy[l.stage as usize][l.wire] = true;
+        }
+        self.next_ticket += 1;
+        self.active.insert(self.next_ticket, route);
+        Some(ReturnTicket(self.next_ticket))
+    }
+
+    fn end_return(&mut self, ticket: ReturnTicket) {
+        let route = self
+            .active
+            .remove(&ticket.0)
+            .expect("ticket must identify an active return circuit");
+        for l in &route.links {
+            debug_assert!(self.link_busy[l.stage as usize][l.wire]);
+            self.link_busy[l.stage as usize][l.wire] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_core::roundtrip::{simulate_round_trip, InstantReturn};
+    use rsin_core::{SimOptions, SystemConfig, Workload};
+    use rsin_des::SimRng;
+
+    #[test]
+    fn idle_network_routes_everything() {
+        let mut ret = OmegaReturnPath::new(8).expect("8x8");
+        let t1 = ret.try_send(0, 7).expect("free");
+        let t2 = ret.try_send(1, 3).expect("still free on distinct links");
+        assert_eq!(ret.active_circuits(), 2);
+        ret.end_return(t1);
+        ret.end_return(t2);
+        assert_eq!(ret.active_circuits(), 0);
+    }
+
+    #[test]
+    fn conflicting_returns_block_until_released() {
+        let mut ret = OmegaReturnPath::new(8).expect("8x8");
+        // Same final wire: port X → processor 5 twice must conflict.
+        let t = ret.try_send(0, 5).expect("free");
+        assert!(ret.try_send(4, 5).is_none(), "same destination wire blocks");
+        ret.end_return(t);
+        assert!(ret.try_send(4, 5).is_some());
+    }
+
+    #[test]
+    fn round_trip_through_forward_and_return_omegas() {
+        // Full Fig. 1 system: forward RSIN Omega + return address-mapped
+        // Omega, 8 processors, one resource per port.
+        let cfg: SystemConfig = "8/1x8x8 OMEGA/1".parse().expect("valid");
+        let w = Workload::for_intensity(&cfg, 0.4, 0.1).expect("valid");
+        let opts = SimOptions {
+            warmup_tasks: 1_000,
+            measured_tasks: 12_000,
+        };
+        let mut fwd = crate::OmegaNetwork::from_config(&cfg, crate::Admission::Simultaneous)
+            .expect("omega");
+        let mut ret = OmegaReturnPath::new(8).expect("8x8");
+        let mut rng = SimRng::new(3);
+        let report = simulate_round_trip(&mut fwd, &mut ret, &w, w.mu_n(), &opts, &mut rng);
+        assert_eq!(report.round_trip.count(), 12_000);
+        // Round trip ≥ transmission + service + return means.
+        let floor = 1.0 / w.mu_n() + 1.0 / w.mu_s() + 1.0 / w.mu_n();
+        assert!(report.round_trip.mean() > floor);
+
+        // The paper's justification for ignoring the return leg: at this
+        // load its waiting contribution is tiny relative to a service time.
+        assert!(
+            report.return_wait.mean() < 0.1 / w.mu_s(),
+            "return-path wait {} should be negligible",
+            report.return_wait.mean()
+        );
+
+        // And d matches the plain (no-return) simulation within noise.
+        let mut fwd2 = crate::OmegaNetwork::from_config(&cfg, crate::Admission::Simultaneous)
+            .expect("omega");
+        let mut rng = SimRng::new(3);
+        let plain = simulate_round_trip(
+            &mut fwd2,
+            &mut InstantReturn,
+            &w,
+            w.mu_n(),
+            &opts,
+            &mut rng,
+        );
+        let a = report.queueing_delay.mean();
+        let b = plain.queueing_delay.mean();
+        assert!((a - b).abs() / b.max(1e-9) < 0.15, "d: {a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "active return circuit")]
+    fn double_release_is_a_bug() {
+        let mut ret = OmegaReturnPath::new(4).expect("4x4");
+        let t = ret.try_send(0, 0).expect("free");
+        ret.end_return(t);
+        ret.end_return(t);
+    }
+}

@@ -1,0 +1,296 @@
+//! The typed Omega RSIN: multiple resource types behind one network.
+//!
+//! Implements the paper's extension for "systems with single-resource
+//! requests and multiple types of resources": the request signal `Q` carries
+//! a type number, each output port hosts resources of one type, and the
+//! interchange boxes keep one availability register per type per output
+//! port. The scheduling overhead grows to `O(t · log₂ N)` for `t` types —
+//! visible in the box-visit counters.
+//!
+//! The paper leaves "the number and placement of each type of resources in
+//! the network" open; [`Placement`] provides the two natural layouts so the
+//! question can be probed experimentally.
+
+use crate::resolver::{Admission, Circuit, MultistageState, Wiring};
+use rsin_core::typed::{TypedGrant, TypedResourceNetwork};
+use rsin_core::NetworkCounters;
+use rsin_des::SimRng;
+use std::collections::HashMap;
+
+/// How resource types are laid out across the output ports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Contiguous blocks: ports `[0, N/t)` host type 0, the next block
+    /// type 1, and so on.
+    #[default]
+    Blocked,
+    /// Round-robin: port `p` hosts type `p mod t`.
+    Interleaved,
+}
+
+impl Placement {
+    /// The type hosted by `port` in a network of `size` ports and `types`
+    /// types.
+    #[must_use]
+    pub fn type_of(self, port: usize, size: usize, types: usize) -> usize {
+        match self {
+            Placement::Blocked => port / (size / types),
+            Placement::Interleaved => port % types,
+        }
+    }
+}
+
+/// A typed, partitioned multistage RSIN.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_omega::{Admission, Placement, TypedOmegaNetwork};
+/// use rsin_core::typed::TypedResourceNetwork;
+///
+/// // 8 ports, 2 resources each, split across 2 types.
+/// let net = TypedOmegaNetwork::new(1, 8, 2, 2, Placement::Interleaved,
+///                                  Admission::Simultaneous);
+/// assert_eq!(net.processors(), 8);
+/// assert_eq!(net.resource_types(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TypedOmegaNetwork {
+    size: usize,
+    types: usize,
+    admission: Admission,
+    placement: Placement,
+    partitions: Vec<MultistageState>,
+    circuits: HashMap<usize, Circuit>,
+    counters: NetworkCounters,
+}
+
+impl TypedOmegaNetwork {
+    /// Builds `partitions` independent `size × size` Omega networks hosting
+    /// `types` resource types with `resources_per_port` resources per port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions == 0`, `size` is not a power of two ≥ 2,
+    /// `resources_per_port == 0`, `types == 0`, or `types` does not divide
+    /// `size` (so every type gets equal capacity).
+    #[must_use]
+    pub fn new(
+        partitions: usize,
+        size: usize,
+        resources_per_port: u32,
+        types: usize,
+        placement: Placement,
+        admission: Admission,
+    ) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        assert!(types > 0, "need at least one resource type");
+        assert!(
+            size % types == 0,
+            "types must divide the port count for equal capacity"
+        );
+        let port_types: Vec<usize> = (0..size)
+            .map(|p| placement.type_of(p, size, types))
+            .collect();
+        let parts: Vec<MultistageState> = (0..partitions)
+            .map(|_| {
+                let mut st = MultistageState::with_wiring(size, resources_per_port, Wiring::Omega)
+                    .unwrap_or_else(|e| panic!("invalid network size: {e}"));
+                st.set_port_types(&port_types);
+                st
+            })
+            .collect();
+        TypedOmegaNetwork {
+            size,
+            types,
+            admission,
+            placement,
+            partitions: parts,
+            circuits: HashMap::new(),
+            counters: NetworkCounters::default(),
+        }
+    }
+
+    /// The placement policy in force.
+    #[must_use]
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+}
+
+impl TypedResourceNetwork for TypedOmegaNetwork {
+    fn processors(&self) -> usize {
+        self.partitions.len() * self.size
+    }
+
+    fn resource_types(&self) -> usize {
+        self.types
+    }
+
+    fn request_cycle(&mut self, pending: &[Option<usize>], _rng: &mut SimRng) -> Vec<TypedGrant> {
+        assert_eq!(pending.len(), self.processors(), "pending vector size");
+        let mut grants = Vec::new();
+        for (pi, part) in self.partitions.iter_mut().enumerate() {
+            let base = pi * self.size;
+            let requests: Vec<(usize, usize)> = (0..self.size)
+                .filter_map(|l| {
+                    if self.circuits.contains_key(&(base + l)) {
+                        return None;
+                    }
+                    pending[base + l].map(|t| (l, t))
+                })
+                .collect();
+            if requests.is_empty() {
+                continue;
+            }
+            self.counters.attempts += requests.len() as u64;
+            let res = part.resolve_typed(&requests, self.admission);
+            self.counters.boxes_traversed += res.box_visits;
+            self.counters.rejections += (res.rejected.len() + res.not_submitted.len()) as u64;
+            for circuit in res.granted {
+                let proc = base + circuit.processor;
+                let resource_type = part.port_type(circuit.port);
+                let port = base + circuit.port;
+                self.circuits.insert(proc, circuit);
+                grants.push(TypedGrant {
+                    processor: proc,
+                    port,
+                    resource_type,
+                });
+            }
+        }
+        grants
+    }
+
+    fn end_transmission(&mut self, grant: TypedGrant) {
+        let pi = grant.processor / self.size;
+        let circuit = self
+            .circuits
+            .remove(&grant.processor)
+            .expect("transmission ends only on an active circuit");
+        let part = &mut self.partitions[pi];
+        part.release_circuit(&circuit);
+        part.occupy_resource(circuit.port);
+    }
+
+    fn end_service(&mut self, grant: TypedGrant) {
+        let pi = grant.port / self.size;
+        self.partitions[pi].release_resource(grant.port % self.size);
+    }
+
+    fn take_counters(&mut self) -> NetworkCounters {
+        std::mem::take(&mut self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsin_core::typed::{simulate_typed, TypedWorkload};
+    use rsin_core::{SimOptions, Workload};
+
+    #[test]
+    fn placement_layouts() {
+        assert_eq!(Placement::Blocked.type_of(0, 8, 2), 0);
+        assert_eq!(Placement::Blocked.type_of(3, 8, 2), 0);
+        assert_eq!(Placement::Blocked.type_of(4, 8, 2), 1);
+        assert_eq!(Placement::Interleaved.type_of(4, 8, 2), 0);
+        assert_eq!(Placement::Interleaved.type_of(5, 8, 2), 1);
+    }
+
+    #[test]
+    fn typed_grants_match_requested_types() {
+        let mut net = TypedOmegaNetwork::new(
+            1,
+            8,
+            1,
+            2,
+            Placement::Blocked,
+            Admission::Simultaneous,
+        );
+        let mut rng = SimRng::new(1);
+        let mut pending = vec![None; 8];
+        pending[0] = Some(1);
+        pending[3] = Some(0);
+        pending[5] = Some(1);
+        let grants = net.request_cycle(&pending, &mut rng);
+        assert_eq!(grants.len(), 3);
+        for g in &grants {
+            let expect = match g.processor {
+                3 => 0,
+                _ => 1,
+            };
+            assert_eq!(g.resource_type, expect);
+            assert_eq!(
+                Placement::Blocked.type_of(g.port, 8, 2),
+                expect,
+                "port {} hosts the wrong type",
+                g.port
+            );
+        }
+        for g in grants {
+            net.end_transmission(g);
+            net.end_service(g);
+        }
+    }
+
+    #[test]
+    fn typed_simulation_end_to_end() {
+        let base = Workload::new(0.05, 10.0, 1.0).expect("valid");
+        let w = TypedWorkload::new(base, vec![0.5, 0.5]).expect("valid");
+        let mut net = TypedOmegaNetwork::new(
+            1,
+            16,
+            2,
+            2,
+            Placement::Interleaved,
+            Admission::Simultaneous,
+        );
+        let mut rng = SimRng::new(9);
+        let opts = SimOptions {
+            warmup_tasks: 1_000,
+            measured_tasks: 15_000,
+        };
+        let report = simulate_typed(&mut net, &w, &opts, &mut rng);
+        assert_eq!(report.queueing_delay.count(), 15_000);
+        assert!(report.per_type_delay[0].count() > 5_000);
+        assert!(report.per_type_delay[1].count() > 5_000);
+    }
+
+    #[test]
+    fn splitting_the_pool_into_types_increases_delay() {
+        // Same hardware, same load: one universal type pools 16 ports;
+        // two types give each task only 8 candidate ports. Less pooling,
+        // more delay.
+        let opts = SimOptions {
+            warmup_tasks: 2_000,
+            measured_tasks: 30_000,
+        };
+        let base = Workload::new(0.55, 10.0, 1.0).expect("valid");
+        let run = |types: usize, mix: Vec<f64>| {
+            let w = TypedWorkload::new(base, mix).expect("valid");
+            let mut net = TypedOmegaNetwork::new(
+                1,
+                16,
+                1,
+                types,
+                Placement::Interleaved,
+                Admission::Simultaneous,
+            );
+            let mut rng = SimRng::new(77);
+            simulate_typed(&mut net, &w, &opts, &mut rng).normalized_delay(&w)
+        };
+        let pooled = run(1, vec![1.0]);
+        let split = run(2, vec![0.5, 0.5]);
+        assert!(
+            split > pooled,
+            "two types ({split}) must queue longer than one pooled type ({pooled})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn types_must_divide_ports() {
+        let _ = TypedOmegaNetwork::new(1, 8, 1, 3, Placement::Blocked, Admission::Simultaneous);
+    }
+}

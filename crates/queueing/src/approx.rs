@@ -1,0 +1,187 @@
+//! Light- and heavy-load approximations for multiple shared buses
+//! (Section IV of the paper).
+//!
+//! An exact Markov analysis of a `p × m` crossbar with `r` resources per bus
+//! needs `(r+1)^m` states per stage, so the paper approximates:
+//!
+//! * **Light load** — each processor behaves as if alone: the crossbar looks
+//!   like a *private* bus to all `m·r` resources (accurate for `µ_s·d ≤ 1`).
+//! * **Heavy load** — the buses partition among the processors: with
+//!   `p ≥ m`, `p/m` processors share a single bus with `r` resources; with
+//!   `m > p`, each processor owns `m/p` buses and `m·r/p` resources but
+//!   (transmitting one task at a time) gains nothing over a single private
+//!   bus to `m·r/p` resources.
+
+use crate::error::SolveError;
+use crate::sbus::{SharedBusChain, SharedBusParams, SharedBusSolution};
+
+/// Parameters of a multiple-shared-bus (crossbar) system for approximation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrossbarParams {
+    /// Number of processors `p` (crossbar rows).
+    pub processors: u32,
+    /// Number of output buses `m` (crossbar columns).
+    pub buses: u32,
+    /// Resources per bus `r`.
+    pub resources_per_bus: u32,
+    /// Per-processor arrival rate `λ`.
+    pub lambda: f64,
+    /// Transmission rate `µ_n`.
+    pub mu_n: f64,
+    /// Service rate `µ_s`.
+    pub mu_s: f64,
+}
+
+impl CrossbarParams {
+    fn validate(&self) -> Result<(), SolveError> {
+        if self.processors == 0 || self.buses == 0 || self.resources_per_bus == 0 {
+            return Err(SolveError::BadParameter {
+                what: "processors, buses, and resources per bus must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Light-load approximation: one processor with a private path to every
+/// resource (`m·r` of them) behind its own port of rate `µ_n`.
+///
+/// The paper reports this is "very close to the simulation results for
+/// `µ_s·d ≤ 1`".
+///
+/// # Errors
+///
+/// Propagates parameter and stability errors from the shared-bus chain.
+pub fn crossbar_light_load(p: &CrossbarParams) -> Result<SharedBusSolution, SolveError> {
+    p.validate()?;
+    let total = p
+        .buses
+        .checked_mul(p.resources_per_bus)
+        .ok_or(SolveError::BadParameter {
+            what: "total resource count overflows",
+        })?;
+    let chain = SharedBusChain::new(SharedBusParams {
+        processors: 1,
+        resources: total.min(512), // beyond a few hundred the M/M/1 limit is exact
+        lambda: p.lambda,
+        mu_n: p.mu_n,
+        mu_s: p.mu_s,
+    })?;
+    chain.solve()
+}
+
+/// Heavy-load approximation: the buses partition among the processors.
+///
+/// * `p ≥ m` (and `m` divides `p`): `p/m` processors share one bus with `r`
+///   resources.
+/// * `m > p` (and `p` divides `m`): one processor with `m·r/p` resources on
+///   a private bus.
+///
+/// # Errors
+///
+/// [`SolveError::BadParameter`] when neither count divides the other;
+/// otherwise propagates errors from the shared-bus chain.
+pub fn crossbar_heavy_load(p: &CrossbarParams) -> Result<SharedBusSolution, SolveError> {
+    p.validate()?;
+    let (procs, resources) = if p.processors >= p.buses {
+        if p.processors % p.buses != 0 {
+            return Err(SolveError::BadParameter {
+                what: "heavy-load partitioning needs m to divide p",
+            });
+        }
+        (p.processors / p.buses, p.resources_per_bus)
+    } else {
+        if p.buses % p.processors != 0 {
+            return Err(SolveError::BadParameter {
+                what: "heavy-load partitioning needs p to divide m",
+            });
+        }
+        (1, (p.buses / p.processors) * p.resources_per_bus)
+    };
+    let chain = SharedBusChain::new(SharedBusParams {
+        processors: procs,
+        resources,
+        lambda: p.lambda,
+        mu_n: p.mu_n,
+        mu_s: p.mu_s,
+    })?;
+    chain.solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(p: u32, m: u32, r: u32, lambda: f64) -> CrossbarParams {
+        CrossbarParams {
+            processors: p,
+            buses: m,
+            resources_per_bus: r,
+            lambda,
+            mu_n: 1.0,
+            mu_s: 0.1,
+        }
+    }
+
+    #[test]
+    fn light_load_bounds_heavy_load() {
+        // Under any load, a private view of all resources (light) must be at
+        // least as optimistic as the partitioned view (heavy).
+        let p = params(16, 4, 8, 0.02);
+        let light = crossbar_light_load(&p).expect("light");
+        let heavy = crossbar_heavy_load(&p).expect("heavy");
+        assert!(light.mean_queue_delay <= heavy.mean_queue_delay + 1e-9);
+    }
+
+    #[test]
+    fn square_crossbar_heavy_load_is_single_bus_per_processor() {
+        let p = params(8, 8, 2, 0.05);
+        let heavy = crossbar_heavy_load(&p).expect("heavy");
+        let direct = SharedBusChain::new(SharedBusParams {
+            processors: 1,
+            resources: 2,
+            lambda: 0.05,
+            mu_n: 1.0,
+            mu_s: 0.1,
+        })
+        .expect("stable")
+        .solve()
+        .expect("converges");
+        assert!((heavy.mean_queue_delay - direct.mean_queue_delay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_crossbar_pools_resources() {
+        // m > p: each processor sees m*r/p resources.
+        let p = params(2, 8, 1, 0.05);
+        let heavy = crossbar_heavy_load(&p).expect("heavy");
+        let direct = SharedBusChain::new(SharedBusParams {
+            processors: 1,
+            resources: 4,
+            lambda: 0.05,
+            mu_n: 1.0,
+            mu_s: 0.1,
+        })
+        .expect("stable")
+        .solve()
+        .expect("converges");
+        assert!((heavy.mean_queue_delay - direct.mean_queue_delay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indivisible_partitioning_rejected() {
+        let p = params(6, 4, 1, 0.01);
+        assert!(matches!(
+            crossbar_heavy_load(&p),
+            Err(SolveError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_counts_rejected() {
+        let mut p = params(4, 4, 1, 0.01);
+        p.buses = 0;
+        assert!(crossbar_light_load(&p).is_err());
+        assert!(crossbar_heavy_load(&p).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for analytical solvers.
+
+use std::fmt;
+
+/// Errors returned by the analytical queueing solvers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// The offered load meets or exceeds capacity, so no steady state exists.
+    Unstable {
+        /// Offered load relative to capacity (≥ 1 means unstable).
+        utilization: f64,
+    },
+    /// An iterative solver failed to reach the requested tolerance.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// A model parameter was outside its valid domain.
+    BadParameter {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Unstable { utilization } => {
+                write!(f, "system is unstable: utilization {utilization:.4} >= 1")
+            }
+            SolveError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SolveError::BadParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SolveError::Unstable { utilization: 1.2 };
+        assert!(e.to_string().contains("unstable"));
+        let e = SolveError::NoConvergence {
+            iterations: 10,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = SolveError::BadParameter { what: "r must be positive" };
+        assert!(e.to_string().contains("r must be positive"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SolveError::Unstable { utilization: 1.0 });
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Minimal dense linear algebra for the matrix-geometric solver.
+//!
+//! Matrices are row-major `Vec<f64>` with explicit dimension; everything here
+//! is `pub(crate)` — the public API never exposes these types.
+
+/// Row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Mat {
+    pub n_rows: usize,
+    pub n_cols: usize,
+    pub a: Vec<f64>,
+}
+
+impl Mat {
+    pub(crate) fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Mat {
+            n_rows,
+            n_cols,
+            a: vec![0.0; n_rows * n_cols],
+        }
+    }
+
+    pub(crate) fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// C = A · B.
+    pub(crate) fn mul(&self, b: &Mat) -> Mat {
+        assert_eq!(self.n_cols, b.n_rows, "dimension mismatch");
+        let mut c = Mat::zeros(self.n_rows, b.n_cols);
+        for i in 0..self.n_rows {
+            for k in 0..self.n_cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.n_cols {
+                    c[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        c
+    }
+
+    /// y = xᵀ · A for a row vector x.
+    pub(crate) fn row_vec_mul(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_rows, "dimension mismatch");
+        let mut y = vec![0.0; self.n_cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for j in 0..self.n_cols {
+                y[j] += xi * self[(i, j)];
+            }
+        }
+        y
+    }
+
+    /// y = A · x for a column vector x.
+    pub(crate) fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "dimension mismatch");
+        (0..self.n_rows)
+            .map(|i| (0..self.n_cols).map(|j| self[(i, j)] * x[j]).sum())
+            .collect()
+    }
+
+    pub(crate) fn add(&self, b: &Mat) -> Mat {
+        assert_eq!((self.n_rows, self.n_cols), (b.n_rows, b.n_cols));
+        let mut c = self.clone();
+        for (x, y) in c.a.iter_mut().zip(&b.a) {
+            *x += y;
+        }
+        c
+    }
+
+    pub(crate) fn sub(&self, b: &Mat) -> Mat {
+        assert_eq!((self.n_rows, self.n_cols), (b.n_rows, b.n_cols));
+        let mut c = self.clone();
+        for (x, y) in c.a.iter_mut().zip(&b.a) {
+            *x -= y;
+        }
+        c
+    }
+
+    pub(crate) fn max_abs_diff(&self, b: &Mat) -> f64 {
+        self.a
+            .iter()
+            .zip(&b.a)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// A⁻¹ by Gauss–Jordan with partial pivoting. Returns `None` if singular.
+    pub(crate) fn inverse(&self) -> Option<Mat> {
+        assert_eq!(self.n_rows, self.n_cols, "inverse of non-square matrix");
+        let n = self.n_rows;
+        let mut a = self.clone();
+        let mut inv = Mat::identity(n);
+        for col in 0..n {
+            let pivot = (col..n).max_by(|&i, &j| a[(i, col)].abs().total_cmp(&a[(j, col)].abs()))?;
+            if a[(pivot, col)].abs() < 1e-300 {
+                return None;
+            }
+            for j in 0..n {
+                let tmp = a[(col, j)];
+                a[(col, j)] = a[(pivot, j)];
+                a[(pivot, j)] = tmp;
+                let tmp = inv[(col, j)];
+                inv[(col, j)] = inv[(pivot, j)];
+                inv[(pivot, j)] = tmp;
+            }
+            let d = a[(col, col)];
+            for j in 0..n {
+                a[(col, j)] /= d;
+                inv[(col, j)] /= d;
+            }
+            for row in 0..n {
+                if row == col {
+                    continue;
+                }
+                let f = a[(row, col)];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    a[(row, j)] -= f * a[(col, j)];
+                    inv[(row, j)] -= f * inv[(col, j)];
+                }
+            }
+        }
+        Some(inv)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.a[i * self.n_cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.a[i * self.n_cols + j]
+    }
+}
+
+/// Solves the dense square system `A x = b` with partial pivoting.
+pub(crate) fn solve_linear(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.n_rows, a.n_cols, "system matrix must be square");
+    assert_eq!(a.n_rows, b.len(), "rhs length mismatch");
+    let n = a.n_rows;
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| m[(i, col)].abs().total_cmp(&m[(j, col)].abs()))?;
+        if m[(pivot, col)].abs() < 1e-300 {
+            return None;
+        }
+        for j in 0..n {
+            let tmp = m[(col, j)];
+            m[(col, j)] = m[(pivot, j)];
+            m[(pivot, j)] = tmp;
+        }
+        rhs.swap(col, pivot);
+        for row in (col + 1)..n {
+            let f = m[(row, col)] / m[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                m[(row, j)] -= f * m[(col, j)];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for j in (row + 1)..n {
+            acc -= m[(row, j)] * x[j];
+        }
+        x[row] = acc / m[(row, row)];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_and_identity() {
+        let mut a = Mat::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 3.0;
+        a[(1, 1)] = 4.0;
+        let i = Mat::identity(2);
+        assert_eq!(a.mul(&i), a);
+        let sq = a.mul(&a);
+        assert_eq!(sq[(0, 0)], 7.0);
+        assert_eq!(sq[(1, 1)], 22.0);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let mut a = Mat::zeros(3, 3);
+        let vals = [4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0];
+        a.a.copy_from_slice(&vals);
+        let inv = a.inverse().expect("nonsingular");
+        let prod = a.mul(&inv);
+        assert!(prod.max_abs_diff(&Mat::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut a = Mat::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        assert!(a.inverse().is_none());
+        assert!(solve_linear(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn linear_solve_matches_hand_computation() {
+        let mut a = Mat::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let x = solve_linear(&a, &[5.0, 10.0]).expect("solvable");
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_col_vector_products() {
+        let mut a = Mat::zeros(2, 3);
+        for (k, v) in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0].iter().enumerate() {
+            a.a[k] = *v;
+        }
+        assert_eq!(a.row_vec_mul(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+        assert_eq!(a.mat_vec(&[1.0, 0.0, 1.0]), vec![4.0, 10.0]);
+    }
+
+    #[test]
+    fn add_sub_are_elementwise() {
+        let a = Mat::identity(2);
+        let b = Mat::identity(2);
+        assert_eq!(a.add(&b)[(0, 0)], 2.0);
+        assert_eq!(a.sub(&b)[(1, 1)], 0.0);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Sparse continuous-time Markov chains and steady-state solvers.
+//!
+//! The paper solves the shared-bus chain by expressing stage probabilities in
+//! terms of elementary states and, as a cross-check, by solving all
+//! `(r+1)(q+1)` balance equations simultaneously. This module provides the
+//! general machinery: a sparse generator built transition-by-transition, a
+//! Gauss–Seidel balance-equation solver for large chains, and a dense
+//! Gaussian-elimination solver used to validate the iterative one on small
+//! chains.
+
+use crate::error::SolveError;
+
+/// A transition of a CTMC: `from --rate--> to`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Transition {
+    /// Source state index.
+    pub from: usize,
+    /// Destination state index.
+    pub to: usize,
+    /// Transition rate (must be positive).
+    pub rate: f64,
+}
+
+/// A sparse CTMC generator under construction.
+///
+/// # Examples
+///
+/// A two-state flip-flop with rates 1 and 2 has stationary distribution
+/// (2/3, 1/3):
+///
+/// ```
+/// use rsin_queueing::Ctmc;
+///
+/// let mut c = Ctmc::new(2);
+/// c.add(0, 1, 1.0);
+/// c.add(1, 0, 2.0);
+/// let pi = c.solve()?;
+/// assert!((pi[0] - 2.0 / 3.0).abs() < 1e-9);
+/// # Ok::<(), rsin_queueing::SolveError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ctmc {
+    n: usize,
+    /// Outgoing transitions per state.
+    out: Vec<Vec<(usize, f64)>>,
+    /// Incoming transitions per state (mirror of `out`).
+    inc: Vec<Vec<(usize, f64)>>,
+    /// Total outflow rate per state.
+    out_rate: Vec<f64>,
+}
+
+impl Ctmc {
+    /// Creates a chain with `n` states and no transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "chain needs at least one state");
+        Ctmc {
+            n,
+            out: vec![Vec::new(); n],
+            inc: vec![Vec::new(); n],
+            out_rate: vec![0.0; n],
+        }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a transition `from --rate--> to`. Parallel transitions between
+    /// the same pair accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices, self-loops, or non-positive rates.
+    pub fn add(&mut self, from: usize, to: usize, rate: f64) {
+        assert!(from < self.n && to < self.n, "state index out of range");
+        assert!(from != to, "self-loops have no effect in a CTMC");
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        self.out[from].push((to, rate));
+        self.inc[to].push((from, rate));
+        self.out_rate[from] += rate;
+    }
+
+    /// Iterates over all transitions.
+    pub fn transitions(&self) -> impl Iterator<Item = Transition> + '_ {
+        self.out.iter().enumerate().flat_map(|(from, outs)| {
+            outs.iter().map(move |&(to, rate)| Transition { from, to, rate })
+        })
+    }
+
+    /// Solves for the stationary distribution with Gauss–Seidel on the
+    /// balance equations, using default tolerances.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoConvergence`] if the residual does not drop below
+    /// `1e-12` within 100 000 sweeps (reducible or pathological chains).
+    pub fn solve(&self) -> Result<Vec<f64>, SolveError> {
+        self.solve_with(1e-12, 100_000)
+    }
+
+    /// Solves with explicit tolerance and sweep cap. See [`Ctmc::solve`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoConvergence`] when the residual stays above `tol`.
+    pub fn solve_with(&self, tol: f64, max_sweeps: usize) -> Result<Vec<f64>, SolveError> {
+        let n = self.n;
+        if n == 1 {
+            return Ok(vec![1.0]);
+        }
+        let mut pi = vec![1.0 / n as f64; n];
+        // Damped Gauss–Seidel: the undamped sweep can oscillate on chains
+        // with strong same-level cycles (e.g. the shared-bus chain's
+        // N_{1,r-1} → N_{0,r} transitions); under-relaxation restores
+        // convergence at a modest cost.
+        let omega = 0.9;
+        for sweep in 0..max_sweeps {
+            let mut max_delta = 0.0_f64;
+            for j in 0..n {
+                if self.out_rate[j] == 0.0 {
+                    // A zero-outflow state cannot carry stationary mass in an
+                    // irreducible chain; pinning it to zero avoids silently
+                    // parking probability on disconnected artifacts.
+                    max_delta = max_delta.max(pi[j]);
+                    pi[j] = 0.0;
+                    continue;
+                }
+                let inflow: f64 = self.inc[j].iter().map(|&(i, q)| pi[i] * q).sum();
+                let next = (1.0 - omega) * pi[j] + omega * inflow / self.out_rate[j];
+                max_delta = max_delta.max((next - pi[j]).abs());
+                pi[j] = next;
+            }
+            let total: f64 = pi.iter().sum();
+            if total <= 0.0 {
+                return Err(SolveError::NoConvergence {
+                    iterations: sweep,
+                    residual: f64::INFINITY,
+                });
+            }
+            for p in &mut pi {
+                *p /= total;
+            }
+            if max_delta / total < tol {
+                return Ok(pi);
+            }
+        }
+        Err(SolveError::NoConvergence {
+            iterations: max_sweeps,
+            residual: self.balance_residual(&pi),
+        })
+    }
+
+    /// Solves by dense Gaussian elimination on `πQ = 0` with the
+    /// normalization constraint replacing the last column.
+    ///
+    /// Intended for small chains (n ≲ 500) as a cross-check of
+    /// [`Ctmc::solve`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoConvergence`] if the system is singular beyond the
+    /// normalization deficiency (reducible chain).
+    pub fn solve_dense(&self) -> Result<Vec<f64>, SolveError> {
+        let n = self.n;
+        // Build A = Q^T with the last row replaced by all-ones (normalization),
+        // solving A x = e_last.
+        let mut a = vec![vec![0.0_f64; n]; n];
+        for t in self.transitions() {
+            a[t.to][t.from] += t.rate;
+            a[t.from][t.from] -= t.rate;
+        }
+        for j in 0..n {
+            a[n - 1][j] = 1.0;
+        }
+        let mut b = vec![0.0_f64; n];
+        b[n - 1] = 1.0;
+
+        // Gaussian elimination with partial pivoting.
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+                .expect("nonempty range");
+            if a[pivot][col].abs() < 1e-300 {
+                return Err(SolveError::NoConvergence {
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                });
+            }
+            a.swap(col, pivot);
+            b.swap(col, pivot);
+            for row in (col + 1)..n {
+                let factor = a[row][col] / a[col][col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row][k] -= factor * a[col][k];
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+        let mut x = vec![0.0_f64; n];
+        for row in (0..n).rev() {
+            let mut acc = b[row];
+            for k in (row + 1)..n {
+                acc -= a[row][k] * x[k];
+            }
+            x[row] = acc / a[row][row];
+        }
+        // Numerical noise can make tiny entries slightly negative.
+        for v in &mut x {
+            if *v < 0.0 && *v > -1e-9 {
+                *v = 0.0;
+            }
+        }
+        let total: f64 = x.iter().sum();
+        for v in &mut x {
+            *v /= total;
+        }
+        Ok(x)
+    }
+
+    /// Maximum absolute balance-equation residual of a candidate
+    /// distribution — a direct measure of solution quality.
+    #[must_use]
+    pub fn balance_residual(&self, pi: &[f64]) -> f64 {
+        assert_eq!(pi.len(), self.n, "distribution length mismatch");
+        (0..self.n)
+            .map(|j| {
+                let inflow: f64 = self.inc[j].iter().map(|&(i, q)| pi[i] * q).sum();
+                (inflow - pi[j] * self.out_rate[j]).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Expected value of `f` under a stationary distribution.
+    #[must_use]
+    pub fn expectation(&self, pi: &[f64], mut f: impl FnMut(usize) -> f64) -> f64 {
+        assert_eq!(pi.len(), self.n, "distribution length mismatch");
+        pi.iter().enumerate().map(|(s, &p)| p * f(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Birth-death chain helper: M/M/1/K with K+1 states.
+    fn mm1k(lambda: f64, mu: f64, k: usize) -> Ctmc {
+        let mut c = Ctmc::new(k + 1);
+        for s in 0..k {
+            c.add(s, s + 1, lambda);
+            c.add(s + 1, s, mu);
+        }
+        c
+    }
+
+    #[test]
+    fn two_state_chain_exact() {
+        let mut c = Ctmc::new(2);
+        c.add(0, 1, 3.0);
+        c.add(1, 0, 1.0);
+        let pi = c.solve().expect("converges");
+        assert!((pi[0] - 0.25).abs() < 1e-10);
+        assert!((pi[1] - 0.75).abs() < 1e-10);
+        assert!(c.balance_residual(&pi) < 1e-10);
+    }
+
+    #[test]
+    fn mm1k_matches_geometric_form() {
+        let (lambda, mu, k) = (0.8, 1.0, 20);
+        let c = mm1k(lambda, mu, k);
+        let pi = c.solve().expect("converges");
+        let rho: f64 = lambda / mu;
+        let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        for (i, &p) in pi.iter().enumerate() {
+            let expect = rho.powi(i as i32) / norm;
+            assert!((p - expect).abs() < 1e-9, "state {i}: {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn dense_and_iterative_agree() {
+        let c = mm1k(1.3, 1.0, 15); // overloaded truncated queue still has a steady state
+        let a = c.solve().expect("gs");
+        let b = c.solve_dense().expect("dense");
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let c = mm1k(0.5, 1.0, 30);
+        let pi = c.solve().expect("converges");
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn expectation_computes_mean_queue() {
+        let c = mm1k(0.5, 1.0, 60);
+        let pi = c.solve().expect("converges");
+        let l = c.expectation(&pi, |s| s as f64);
+        // Practically M/M/1: L = rho/(1-rho) = 1.
+        assert!((l - 1.0).abs() < 1e-6, "L = {l}");
+    }
+
+    #[test]
+    fn transitions_iterator_roundtrips() {
+        let mut c = Ctmc::new(3);
+        c.add(0, 1, 1.0);
+        c.add(1, 2, 2.0);
+        c.add(2, 0, 3.0);
+        let ts: Vec<Transition> = c.transitions().collect();
+        assert_eq!(ts.len(), 3);
+        assert!(ts.contains(&Transition { from: 1, to: 2, rate: 2.0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        Ctmc::new(2).add(1, 1, 1.0);
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let c = Ctmc::new(1);
+        assert_eq!(c.solve().expect("trivial"), vec![1.0]);
+    }
+
+    #[test]
+    fn three_state_cycle_asymmetric() {
+        // 0->1 (1), 1->2 (2), 2->0 (4): pi ∝ (1/out) along cycle flow:
+        // flow f equal on all edges => pi_i = f/rate_i => pi ∝ (1, 1/2, 1/4).
+        let mut c = Ctmc::new(3);
+        c.add(0, 1, 1.0);
+        c.add(1, 2, 2.0);
+        c.add(2, 0, 4.0);
+        let pi = c.solve().expect("converges");
+        assert!((pi[0] - 4.0 / 7.0).abs() < 1e-9);
+        assert!((pi[1] - 2.0 / 7.0).abs() < 1e-9);
+        assert!((pi[2] - 1.0 / 7.0).abs() < 1e-9);
+    }
+}

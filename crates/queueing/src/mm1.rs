@@ -1,0 +1,137 @@
+//! The M/M/1 queue.
+//!
+//! In the paper this is the degenerate limit of the single shared bus when
+//! each processor owns *infinitely many* private resources: a free resource
+//! is always available, so the bus (service rate µ_n) is the only server and
+//! the system saturates at `pλ = µ_n` (Section III, Fig. 4's `r = ∞` curve).
+
+use crate::error::SolveError;
+
+/// Closed-form metrics of an M/M/1 queue.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_queueing::Mm1;
+///
+/// let q = Mm1::new(0.5, 1.0)?;
+/// assert!((q.utilization() - 0.5).abs() < 1e-12);
+/// assert!((q.mean_wait_in_queue() - 1.0).abs() < 1e-12); // rho/(mu-lambda)
+/// # Ok::<(), rsin_queueing::SolveError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mm1 {
+    lambda: f64,
+    mu: f64,
+}
+
+impl Mm1 {
+    /// Creates an M/M/1 model with arrival rate `lambda` and service rate `mu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::BadParameter`] for non-positive rates and
+    /// [`SolveError::Unstable`] when `lambda >= mu`.
+    pub fn new(lambda: f64, mu: f64) -> Result<Self, SolveError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(SolveError::BadParameter {
+                what: "arrival rate must be positive and finite",
+            });
+        }
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(SolveError::BadParameter {
+                what: "service rate must be positive and finite",
+            });
+        }
+        if lambda >= mu {
+            return Err(SolveError::Unstable {
+                utilization: lambda / mu,
+            });
+        }
+        Ok(Mm1 { lambda, mu })
+    }
+
+    /// Server utilization ρ = λ/µ.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Mean number in system, L = ρ/(1−ρ).
+    #[must_use]
+    pub fn mean_in_system(&self) -> f64 {
+        let rho = self.utilization();
+        rho / (1.0 - rho)
+    }
+
+    /// Mean number waiting in queue, L_q = ρ²/(1−ρ).
+    #[must_use]
+    pub fn mean_in_queue(&self) -> f64 {
+        let rho = self.utilization();
+        rho * rho / (1.0 - rho)
+    }
+
+    /// Mean time in system, W = 1/(µ−λ).
+    #[must_use]
+    pub fn mean_time_in_system(&self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean waiting time before service begins, W_q = ρ/(µ−λ).
+    #[must_use]
+    pub fn mean_wait_in_queue(&self) -> f64 {
+        self.utilization() / (self.mu - self.lambda)
+    }
+
+    /// Stationary probability of `n` customers in the system.
+    #[must_use]
+    pub fn prob_n(&self, n: u32) -> f64 {
+        let rho = self.utilization();
+        (1.0 - rho) * rho.powi(n as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        let q = Mm1::new(2.0, 3.0).expect("stable");
+        assert!((q.utilization() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.mean_in_system() - 2.0).abs() < 1e-12);
+        assert!((q.mean_time_in_system() - 1.0).abs() < 1e-12);
+        assert!((q.mean_wait_in_queue() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.mean_in_queue() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let q = Mm1::new(0.7, 1.3).expect("stable");
+        assert!((q.mean_in_system() - 0.7 * q.mean_time_in_system()).abs() < 1e-12);
+        assert!((q.mean_in_queue() - 0.7 * q.mean_wait_in_queue()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let q = Mm1::new(0.9, 1.0).expect("stable");
+        let total: f64 = (0..2000).map(|n| q.prob_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn unstable_rejected() {
+        assert!(matches!(
+            Mm1::new(1.0, 1.0),
+            Err(SolveError::Unstable { .. })
+        ));
+        assert!(matches!(
+            Mm1::new(-1.0, 1.0),
+            Err(SolveError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            Mm1::new(1.0, f64::NAN),
+            Err(SolveError::BadParameter { .. })
+        ));
+    }
+}

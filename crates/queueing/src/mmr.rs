@@ -1,0 +1,177 @@
+//! The M/M/r multi-server queue (Erlang delay system).
+//!
+//! The paper's other degenerate shared-bus limit: when the task transmission
+//! time is negligible (`µ_n ≫ µ_s`), the bus never constrains the system and
+//! a bus with `r` resources behaves as an M/M/r queue on the resources
+//! (Section III).
+
+use crate::error::SolveError;
+
+/// Closed-form metrics of an M/M/r queue.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_queueing::Mmr;
+///
+/// let q = Mmr::new(1.5, 1.0, 2)?;
+/// assert!(q.erlang_c() > 0.0 && q.erlang_c() < 1.0);
+/// # Ok::<(), rsin_queueing::SolveError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mmr {
+    lambda: f64,
+    mu: f64,
+    servers: u32,
+}
+
+impl Mmr {
+    /// Creates an M/M/r model: arrival rate `lambda`, per-server rate `mu`,
+    /// `servers` parallel servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::BadParameter`] for non-positive parameters and
+    /// [`SolveError::Unstable`] when `lambda >= servers * mu`.
+    pub fn new(lambda: f64, mu: f64, servers: u32) -> Result<Self, SolveError> {
+        if servers == 0 {
+            return Err(SolveError::BadParameter {
+                what: "server count must be positive",
+            });
+        }
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(SolveError::BadParameter {
+                what: "arrival rate must be positive and finite",
+            });
+        }
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(SolveError::BadParameter {
+                what: "service rate must be positive and finite",
+            });
+        }
+        let util = lambda / (servers as f64 * mu);
+        if util >= 1.0 {
+            return Err(SolveError::Unstable { utilization: util });
+        }
+        Ok(Mmr {
+            lambda,
+            mu,
+            servers,
+        })
+    }
+
+    /// Offered load in Erlangs, a = λ/µ.
+    #[must_use]
+    pub fn offered_load(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Per-server utilization ρ = λ/(rµ).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.lambda / (self.servers as f64 * self.mu)
+    }
+
+    /// Erlang-B blocking probability of the associated loss system.
+    ///
+    /// Computed with the numerically stable recurrence
+    /// `B(0) = 1; B(k) = aB(k−1) / (k + aB(k−1))`.
+    #[must_use]
+    pub fn erlang_b(&self) -> f64 {
+        let a = self.offered_load();
+        let mut b = 1.0;
+        for k in 1..=self.servers {
+            b = a * b / (k as f64 + a * b);
+        }
+        b
+    }
+
+    /// Erlang-C probability that an arrival must wait (all servers busy).
+    #[must_use]
+    pub fn erlang_c(&self) -> f64 {
+        let rho = self.utilization();
+        let b = self.erlang_b();
+        b / (1.0 - rho * (1.0 - b))
+    }
+
+    /// Mean waiting time in queue, W_q = C / (rµ − λ).
+    #[must_use]
+    pub fn mean_wait_in_queue(&self) -> f64 {
+        self.erlang_c() / (self.servers as f64 * self.mu - self.lambda)
+    }
+
+    /// Mean number waiting in queue (Little's law on W_q).
+    #[must_use]
+    pub fn mean_in_queue(&self) -> f64 {
+        self.lambda * self.mean_wait_in_queue()
+    }
+
+    /// Mean time in system, W = W_q + 1/µ.
+    #[must_use]
+    pub fn mean_time_in_system(&self) -> f64 {
+        self.mean_wait_in_queue() + 1.0 / self.mu
+    }
+
+    /// Mean number in system (Little's law on W).
+    #[must_use]
+    pub fn mean_in_system(&self) -> f64 {
+        self.lambda * self.mean_time_in_system()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1::Mm1;
+
+    #[test]
+    fn reduces_to_mm1_for_one_server() {
+        let r = Mmr::new(0.6, 1.0, 1).expect("stable");
+        let q = Mm1::new(0.6, 1.0).expect("stable");
+        assert!((r.mean_wait_in_queue() - q.mean_wait_in_queue()).abs() < 1e-12);
+        assert!((r.erlang_c() - q.utilization()).abs() < 1e-12);
+        assert!((r.mean_in_system() - q.mean_in_system()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_b_textbook_value() {
+        // a = 2 Erlangs over 3 servers: B = (8/6)/(1 + 2 + 2 + 8/6) = 0.2105...
+        let q = Mmr::new(2.0, 1.0, 3).expect("stable");
+        assert!((q.erlang_b() - 4.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_c_textbook_value() {
+        // M/M/2 with rho = 0.75: C = rho_b form; known value 0.6428571...
+        let q = Mmr::new(1.5, 1.0, 2).expect("stable");
+        let c = q.erlang_c();
+        assert!((c - 0.642_857_142_857).abs() < 1e-9, "C = {c}");
+    }
+
+    #[test]
+    fn more_servers_means_less_waiting() {
+        let w2 = Mmr::new(1.5, 1.0, 2).expect("ok").mean_wait_in_queue();
+        let w4 = Mmr::new(1.5, 1.0, 4).expect("ok").mean_wait_in_queue();
+        let w8 = Mmr::new(1.5, 1.0, 8).expect("ok").mean_wait_in_queue();
+        assert!(w2 > w4 && w4 > w8);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let q = Mmr::new(3.0, 1.0, 5).expect("stable");
+        assert!((q.mean_in_queue() - 3.0 * q.mean_wait_in_queue()).abs() < 1e-12);
+        assert!((q.mean_in_system() - 3.0 * q.mean_time_in_system()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            Mmr::new(2.0, 1.0, 2),
+            Err(SolveError::Unstable { .. })
+        ));
+        assert!(matches!(
+            Mmr::new(1.0, 1.0, 0),
+            Err(SolveError::BadParameter { .. })
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! Traffic-intensity conventions used on the paper's figures.
+//!
+//! All delay figures in the paper are plotted against the traffic intensity
+//! of a *hypothetical reference system*: a single bus of service rate
+//! `p·µ_n` feeding a single resource of service rate `R·µ_s`, where `p` is
+//! the total processor count and `R` the total resource count. That is
+//!
+//! ```text
+//! ρ = pλ · ( 1/(p·µ_n) + 1/(R·µ_s) )
+//! ```
+//!
+//! so different configurations of the *same* hardware can be compared at
+//! equal offered load.
+
+/// The reference traffic intensity `ρ = pλ(1/(pµ_n) + 1/(Rµ_s))`.
+///
+/// # Panics
+///
+/// Panics if any count is zero or any rate is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_queueing::traffic::reference_intensity;
+///
+/// // The paper's 16-processor, 32-resource system.
+/// let rho = reference_intensity(16, 32, 0.4, 1.0, 0.1);
+/// assert!((rho - (16.0 * 0.4) * (1.0 / 16.0 + 1.0 / 3.2)).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn reference_intensity(p: u32, total_resources: u32, lambda: f64, mu_n: f64, mu_s: f64) -> f64 {
+    assert!(p > 0 && total_resources > 0, "counts must be positive");
+    assert!(lambda > 0.0 && mu_n > 0.0 && mu_s > 0.0, "rates must be positive");
+    let pl = p as f64 * lambda;
+    pl * (1.0 / (p as f64 * mu_n) + 1.0 / (total_resources as f64 * mu_s))
+}
+
+/// Inverts [`reference_intensity`]: the per-processor arrival rate that
+/// produces reference intensity `rho`.
+///
+/// # Panics
+///
+/// Panics if any count is zero, any rate is non-positive, or `rho <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_queueing::traffic::{lambda_for_intensity, reference_intensity};
+///
+/// let lambda = lambda_for_intensity(16, 32, 0.7, 1.0, 0.1);
+/// let rho = reference_intensity(16, 32, lambda, 1.0, 0.1);
+/// assert!((rho - 0.7).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn lambda_for_intensity(
+    p: u32,
+    total_resources: u32,
+    rho: f64,
+    mu_n: f64,
+    mu_s: f64,
+) -> f64 {
+    assert!(p > 0 && total_resources > 0, "counts must be positive");
+    assert!(mu_n > 0.0 && mu_s > 0.0, "rates must be positive");
+    assert!(rho > 0.0, "intensity must be positive");
+    let denom = 1.0 / (p as f64 * mu_n) + 1.0 / (total_resources as f64 * mu_s);
+    rho / (p as f64 * denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_identity() {
+        for rho in [0.1, 0.5, 0.9] {
+            let lambda = lambda_for_intensity(16, 32, rho, 1.0, 1.0);
+            assert!((reference_intensity(16, 32, lambda, 1.0, 1.0) - rho).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_paper_formula() {
+        // rho_s = 16λ(1/(16µ_n) + 1/(32µ_s)) for the paper's system.
+        let (lambda, mu_n, mu_s) = (0.2, 1.0, 0.1);
+        let rho = reference_intensity(16, 32, lambda, mu_n, mu_s);
+        let by_hand = 16.0 * lambda * (1.0 / (16.0 * mu_n) + 1.0 / (32.0 * mu_s));
+        assert!((rho - by_hand).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_scales_linearly_with_lambda() {
+        let r1 = reference_intensity(8, 8, 0.1, 1.0, 1.0);
+        let r2 = reference_intensity(8, 8, 0.2, 1.0, 1.0);
+        assert!((r2 - 2.0 * r1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_processors_rejected() {
+        let _ = reference_intensity(0, 1, 1.0, 1.0, 1.0);
+    }
+}

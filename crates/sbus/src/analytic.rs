@@ -1,0 +1,80 @@
+//! Analytical delay of a partitioned shared-bus system.
+//!
+//! Partitions are independent and identically loaded (Section III: "the
+//! performance of each bus can be analyzed independently"), so the system
+//! delay equals the delay of one partition's Markov chain.
+
+use rsin_core::{NetworkKind, SystemConfig, Workload};
+use rsin_queueing::{SharedBusChain, SharedBusParams, SharedBusSolution, SolveError};
+
+/// Solves one partition of an SBUS configuration exactly.
+///
+/// # Errors
+///
+/// [`SolveError::BadParameter`] when `config` is not an SBUS system;
+/// [`SolveError::Unstable`] when a partition is saturated; otherwise
+/// propagates solver errors.
+pub fn partition_delay(
+    config: &SystemConfig,
+    workload: &Workload,
+) -> Result<SharedBusSolution, SolveError> {
+    if config.kind() != NetworkKind::SharedBus {
+        return Err(SolveError::BadParameter {
+            what: "analytical shared-bus model requires an SBUS configuration",
+        });
+    }
+    let chain = SharedBusChain::new(SharedBusParams {
+        processors: config.inputs(),
+        resources: config.resources_per_port(),
+        lambda: workload.lambda(),
+        mu_n: workload.mu_n(),
+        mu_s: workload.mu_s(),
+    })?;
+    chain.solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_reduces_to_single_partition_chain() {
+        let whole: SystemConfig = "16/2x8x1 SBUS/16".parse().expect("valid");
+        let workload = Workload::new(0.01, 1.0, 0.1).expect("valid");
+        let sol = partition_delay(&whole, &workload).expect("stable");
+        // Identical to an 8-processor, 16-resource bus solved directly.
+        let direct = SharedBusChain::new(SharedBusParams {
+            processors: 8,
+            resources: 16,
+            lambda: 0.01,
+            mu_n: 1.0,
+            mu_s: 0.1,
+        })
+        .expect("stable")
+        .solve()
+        .expect("solves");
+        assert!((sol.mean_queue_delay - direct.mean_queue_delay).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_sbus_config_rejected() {
+        let cfg: SystemConfig = "16/1x16x32 XBAR/1".parse().expect("valid");
+        let workload = Workload::new(0.01, 1.0, 0.1).expect("valid");
+        assert!(matches!(
+            partition_delay(&cfg, &workload),
+            Err(SolveError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn more_partitions_help_under_heavy_bus_load() {
+        // µ_s/µ_n = 1: the bus is the bottleneck (Fig. 5) — more partitions
+        // mean more aggregate bus bandwidth, so delay drops.
+        let workload = Workload::new(0.03, 1.0, 1.0).expect("valid");
+        let one: SystemConfig = "16/1x16x1 SBUS/32".parse().expect("valid");
+        let four: SystemConfig = "16/4x4x1 SBUS/8".parse().expect("valid");
+        let d1 = partition_delay(&one, &workload).expect("stable").normalized_delay;
+        let d4 = partition_delay(&four, &workload).expect("stable").normalized_delay;
+        assert!(d4 < d1, "4 partitions {d4} must beat 1 partition {d1}");
+    }
+}

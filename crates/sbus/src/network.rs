@@ -1,0 +1,288 @@
+//! The single-shared-bus RSIN (Section III).
+//!
+//! The system is partitioned into `i` independent buses; bus `b` connects
+//! processors `b·j .. (b+1)·j` to `r` private resources. Status information
+//! — the count of free resources — is broadcast on the bus: whenever a free
+//! resource is allocated or a busy one completes, blocked requests wake and
+//! the arbiter admits exactly one of them (the rest re-queue), provided the
+//! bus itself is idle.
+
+use crate::arbiter::{Arbiter, Arbitration};
+use rsin_core::{Grant, NetworkCounters, ResourceNetwork, SystemConfig};
+use rsin_des::SimRng;
+
+/// State of one bus partition.
+#[derive(Clone, Debug)]
+struct Bus {
+    transmitting: bool,
+    busy_resources: u32,
+    arbiter: Arbiter,
+}
+
+/// A partitioned single-shared-bus RSIN.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_core::{ResourceNetwork, SystemConfig};
+/// use rsin_sbus::{Arbitration, SharedBusNetwork};
+///
+/// let cfg: SystemConfig = "16/16x1x1 SBUS/2".parse()?;
+/// let net = SharedBusNetwork::from_config(&cfg, Arbitration::FixedPriority)?;
+/// assert_eq!(net.processors(), 16);
+/// assert_eq!(net.total_resources(), 32);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SharedBusNetwork {
+    procs_per_bus: usize,
+    resources_per_bus: u32,
+    buses: Vec<Bus>,
+    counters: NetworkCounters,
+}
+
+/// Error building a [`SharedBusNetwork`] from a config of the wrong kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WrongKindError {
+    /// The kind found in the configuration.
+    pub found: rsin_core::NetworkKind,
+}
+
+impl std::fmt::Display for WrongKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected an SBUS configuration, got {}", self.found)
+    }
+}
+
+impl std::error::Error for WrongKindError {}
+
+impl SharedBusNetwork {
+    /// Builds the network described by `config` (which must be of kind
+    /// [`NetworkKind::SharedBus`](rsin_core::NetworkKind::SharedBus)).
+    ///
+    /// # Errors
+    ///
+    /// [`WrongKindError`] when the configuration names another network type.
+    pub fn from_config(
+        config: &SystemConfig,
+        arbitration: Arbitration,
+    ) -> Result<Self, WrongKindError> {
+        if config.kind() != rsin_core::NetworkKind::SharedBus {
+            return Err(WrongKindError {
+                found: config.kind(),
+            });
+        }
+        Ok(SharedBusNetwork::new(
+            config.networks() as usize,
+            config.inputs() as usize,
+            config.resources_per_port(),
+            arbitration,
+        ))
+    }
+
+    /// Builds `buses` independent buses, each with `procs_per_bus`
+    /// processors and `resources_per_bus` resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    #[must_use]
+    pub fn new(
+        buses: usize,
+        procs_per_bus: usize,
+        resources_per_bus: u32,
+        arbitration: Arbitration,
+    ) -> Self {
+        assert!(buses > 0 && procs_per_bus > 0, "counts must be positive");
+        assert!(resources_per_bus > 0, "resources per bus must be positive");
+        SharedBusNetwork {
+            procs_per_bus,
+            resources_per_bus,
+            buses: (0..buses)
+                .map(|_| Bus {
+                    transmitting: false,
+                    busy_resources: 0,
+                    arbiter: Arbiter::new(arbitration),
+                })
+                .collect(),
+            counters: NetworkCounters::default(),
+        }
+    }
+
+    /// Number of independent bus partitions.
+    #[must_use]
+    pub fn buses(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// Free resources currently available on bus `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    #[must_use]
+    pub fn free_resources_on(&self, b: usize) -> u32 {
+        self.resources_per_bus - self.buses[b].busy_resources
+    }
+}
+
+impl ResourceNetwork for SharedBusNetwork {
+    fn processors(&self) -> usize {
+        self.buses.len() * self.procs_per_bus
+    }
+
+    fn total_resources(&self) -> usize {
+        self.buses.len() * self.resources_per_bus as usize
+    }
+
+    fn request_cycle(&mut self, pending: &[bool], rng: &mut SimRng) -> Vec<Grant> {
+        assert_eq!(pending.len(), self.processors(), "pending vector size");
+        let mut grants = Vec::new();
+        for (b, bus) in self.buses.iter_mut().enumerate() {
+            let base = b * self.procs_per_bus;
+            let candidates: Vec<usize> = (0..self.procs_per_bus)
+                .filter(|&local| pending[base + local])
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            self.counters.attempts += candidates.len() as u64;
+            if bus.transmitting || bus.busy_resources >= self.resources_per_bus {
+                self.counters.rejections += candidates.len() as u64;
+                continue;
+            }
+            let winner = bus
+                .arbiter
+                .pick(&candidates, rng)
+                .expect("candidates nonempty");
+            self.counters.rejections += candidates.len() as u64 - 1;
+            bus.transmitting = true;
+            grants.push(Grant {
+                processor: base + winner,
+                port: b,
+            });
+        }
+        grants
+    }
+
+    fn end_transmission(&mut self, grant: Grant) {
+        let bus = &mut self.buses[grant.port];
+        debug_assert!(bus.transmitting, "no transmission in progress");
+        bus.transmitting = false;
+        bus.busy_resources += 1;
+        debug_assert!(bus.busy_resources <= self.resources_per_bus);
+    }
+
+    fn end_service(&mut self, grant: Grant) {
+        let bus = &mut self.buses[grant.port];
+        debug_assert!(bus.busy_resources > 0, "no busy resource to free");
+        bus.busy_resources -= 1;
+    }
+
+    fn take_counters(&mut self) -> NetworkCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    fn label(&self) -> &'static str {
+        "SBUS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(n: usize, set: &[usize]) -> Vec<bool> {
+        let mut v = vec![false; n];
+        for &i in set {
+            v[i] = true;
+        }
+        v
+    }
+
+    #[test]
+    fn grants_one_per_bus_per_cycle() {
+        let mut net = SharedBusNetwork::new(2, 2, 2, Arbitration::FixedPriority);
+        let mut rng = SimRng::new(1);
+        let grants = net.request_cycle(&pending(4, &[0, 1, 2, 3]), &mut rng);
+        assert_eq!(grants.len(), 2, "one grant per bus");
+        assert_eq!(grants[0], Grant { processor: 0, port: 0 });
+        assert_eq!(grants[1], Grant { processor: 2, port: 1 });
+    }
+
+    #[test]
+    fn busy_bus_rejects() {
+        let mut net = SharedBusNetwork::new(1, 2, 2, Arbitration::FixedPriority);
+        let mut rng = SimRng::new(1);
+        let g = net.request_cycle(&pending(2, &[0]), &mut rng);
+        assert_eq!(g.len(), 1);
+        // Bus still transmitting: second request must wait.
+        assert!(net.request_cycle(&pending(2, &[1]), &mut rng).is_empty());
+        net.end_transmission(g[0]);
+        // Bus free, resource 1 of 2 busy: next grant succeeds.
+        assert_eq!(net.request_cycle(&pending(2, &[1]), &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn exhausted_resources_reject_until_service_completes() {
+        let mut net = SharedBusNetwork::new(1, 3, 1, Arbitration::FixedPriority);
+        let mut rng = SimRng::new(1);
+        let g = net.request_cycle(&pending(3, &[0]), &mut rng);
+        net.end_transmission(g[0]);
+        assert_eq!(net.free_resources_on(0), 0);
+        assert!(net.request_cycle(&pending(3, &[1]), &mut rng).is_empty());
+        net.end_service(g[0]);
+        assert_eq!(net.free_resources_on(0), 1);
+        assert_eq!(net.request_cycle(&pending(3, &[1]), &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn partitions_do_not_interfere() {
+        let mut net = SharedBusNetwork::new(2, 1, 1, Arbitration::FixedPriority);
+        let mut rng = SimRng::new(1);
+        // Saturate bus 0 completely.
+        let g = net.request_cycle(&pending(2, &[0]), &mut rng);
+        net.end_transmission(g[0]);
+        // Bus 1 is unaffected.
+        let g1 = net.request_cycle(&pending(2, &[1]), &mut rng);
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g1[0].port, 1);
+    }
+
+    #[test]
+    fn counters_track_attempts_and_rejections() {
+        let mut net = SharedBusNetwork::new(1, 4, 2, Arbitration::FixedPriority);
+        let mut rng = SimRng::new(1);
+        let _ = net.request_cycle(&pending(4, &[0, 1, 2, 3]), &mut rng);
+        let c = net.take_counters();
+        assert_eq!(c.attempts, 4);
+        assert_eq!(c.rejections, 3);
+        assert_eq!(net.take_counters(), NetworkCounters::default(), "drained");
+    }
+
+    #[test]
+    fn from_config_checks_kind() {
+        let cfg: SystemConfig = "16/4x4x4 OMEGA/2".parse().expect("valid");
+        assert!(SharedBusNetwork::from_config(&cfg, Arbitration::FixedPriority).is_err());
+        let cfg: SystemConfig = "16/2x8x1 SBUS/16".parse().expect("valid");
+        let net = SharedBusNetwork::from_config(&cfg, Arbitration::FixedPriority)
+            .expect("sbus config");
+        assert_eq!(net.buses(), 2);
+        assert_eq!(net.processors(), 16);
+        assert_eq!(net.total_resources(), 32);
+    }
+
+    #[test]
+    fn random_arbitration_spreads_grants() {
+        let mut net = SharedBusNetwork::new(1, 3, 3, Arbitration::Random);
+        let mut rng = SimRng::new(5);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let g = net.request_cycle(&pending(3, &[0, 1, 2]), &mut rng);
+            seen[g[0].processor] = true;
+            net.end_transmission(g[0]);
+            net.end_service(g[0]);
+        }
+        assert!(seen.iter().all(|&s| s), "all processors must win sometimes");
+    }
+}

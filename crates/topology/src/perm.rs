@@ -1,0 +1,135 @@
+//! Bit-level permutations used by multistage network wirings.
+
+/// Returns `log2(n)` when `n` is a power of two, `None` otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_topology::log2_exact;
+///
+/// assert_eq!(log2_exact(8), Some(3));
+/// assert_eq!(log2_exact(6), None);
+/// assert_eq!(log2_exact(1), Some(0));
+/// assert_eq!(log2_exact(0), None);
+/// ```
+#[must_use]
+pub fn log2_exact(n: usize) -> Option<u32> {
+    if n == 0 || !n.is_power_of_two() {
+        None
+    } else {
+        Some(n.trailing_zeros())
+    }
+}
+
+/// The perfect shuffle on `bits`-bit indices: rotate the index left by one
+/// (the deck-interleave permutation of Stone).
+///
+/// # Panics
+///
+/// Panics if `w` does not fit in `bits` bits or `bits == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_topology::shuffle;
+///
+/// // For 8 wires (3 bits): 0→0, 1→2, 2→4, 3→6, 4→1, 5→3, 6→5, 7→7.
+/// assert_eq!(shuffle(3, 3), 6);
+/// assert_eq!(shuffle(3, 4), 1);
+/// ```
+#[must_use]
+pub fn shuffle(bits: u32, w: usize) -> usize {
+    assert!(bits > 0, "need at least one bit");
+    assert!(w < (1 << bits), "index {w} out of range for {bits} bits");
+    let top = (w >> (bits - 1)) & 1;
+    ((w << 1) & ((1 << bits) - 1)) | top
+}
+
+/// Inverse perfect shuffle: rotate the index right by one.
+///
+/// # Panics
+///
+/// Panics if `w` does not fit in `bits` bits or `bits == 0`.
+#[must_use]
+pub fn unshuffle(bits: u32, w: usize) -> usize {
+    assert!(bits > 0, "need at least one bit");
+    assert!(w < (1 << bits), "index {w} out of range for {bits} bits");
+    (w >> 1) | ((w & 1) << (bits - 1))
+}
+
+/// Extracts bit `k` (0 = least significant) of `w` as 0 or 1.
+#[must_use]
+pub fn bit(w: usize, k: u32) -> usize {
+    (w >> k) & 1
+}
+
+/// Returns `w` with bit `k` set to `v` (0 or 1).
+///
+/// # Panics
+///
+/// Panics if `v > 1`.
+#[must_use]
+pub fn with_bit(w: usize, k: u32, v: usize) -> usize {
+    assert!(v <= 1, "bit value must be 0 or 1");
+    (w & !(1 << k)) | (v << k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_is_rotation() {
+        // 3 bits: w = b2 b1 b0 → b1 b0 b2.
+        for w in 0..8 {
+            let expect = ((w << 1) & 7) | (w >> 2);
+            assert_eq!(shuffle(3, w), expect);
+        }
+    }
+
+    #[test]
+    fn shuffle_unshuffle_roundtrip() {
+        for bits in 1..=6 {
+            for w in 0..(1usize << bits) {
+                assert_eq!(unshuffle(bits, shuffle(bits, w)), w);
+                assert_eq!(shuffle(bits, unshuffle(bits, w)), w);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut seen = vec![false; 16];
+        for w in 0..16 {
+            seen[shuffle(4, w)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn repeated_shuffle_is_identity_after_bits_applications() {
+        for bits in 1..=5 {
+            for w in 0..(1usize << bits) {
+                let mut x = w;
+                for _ in 0..bits {
+                    x = shuffle(bits, x);
+                }
+                assert_eq!(x, w, "shuffle^{bits} must be identity");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_helpers() {
+        assert_eq!(bit(0b101, 0), 1);
+        assert_eq!(bit(0b101, 1), 0);
+        assert_eq!(with_bit(0b101, 1, 1), 0b111);
+        assert_eq!(with_bit(0b101, 0, 0), 0b100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shuffle_range_checked() {
+        let _ = shuffle(3, 8);
+    }
+}

@@ -1,0 +1,175 @@
+//! The distributed-scheduling crossbar cell (Section IV, Table I).
+//!
+//! Each cell `C_{i,j}` couples processor row `i` to bus column `j` and holds
+//! one control latch. A request signal `X` sweeps along the row, a
+//! resource-availability signal `Y` sweeps down the column, and where both
+//! meet the latch closes the crosspoint — with no central controller. The
+//! paper realizes the cell in eleven gates and one latch, with a worst-case
+//! gate delay of four in request mode and one in reset mode; this module is
+//! a cycle-accurate software model of the same truth table.
+
+/// Operating mode of the fabric (a single shared MODE line in hardware).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Processors may acquire free resources.
+    Request,
+    /// Processors may relinquish previously acquired resources.
+    Reset,
+}
+
+/// Worst-case gate delays of the paper's 11-gate cell realization.
+pub const REQUEST_GATE_DELAY: u32 = 4;
+/// Worst-case reset-mode gate delay of the cell.
+pub const RESET_GATE_DELAY: u32 = 1;
+
+/// One crosspoint cell: the control latch plus the Table-I combinational
+/// logic.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_xbar::{Cell, Mode};
+///
+/// let mut cell = Cell::new();
+/// // Request meets availability: the latch closes, and both signals are
+/// // absorbed (the request is satisfied; the bus is taken).
+/// let (x_out, y_out) = cell.step(Mode::Request, true, true);
+/// assert!(cell.is_connected());
+/// assert!(!x_out && !y_out);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cell {
+    latch: bool,
+}
+
+impl Cell {
+    /// A cell with the latch off.
+    #[must_use]
+    pub fn new() -> Self {
+        Cell { latch: false }
+    }
+
+    /// Whether the crosspoint is currently closed (processor connected to
+    /// this bus).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.latch
+    }
+
+    /// Applies one (X, Y) input pair in `mode`, returning
+    /// `(X_{i,j+1}, Y_{i+1,j})` and updating the latch per Table I.
+    ///
+    /// Request mode:
+    ///
+    /// | X | Y | X′ | Y′ | latch |
+    /// |---|---|----|----|-------|
+    /// | 0 | 0 | 0  | 0  | —     |
+    /// | 0 | 1 | 0  | !L | —     |
+    /// | 1 | 0 | 1  | 0  | —     |
+    /// | 1 | 1 | 0  | 0  | set   |
+    ///
+    /// The `X=0, Y=1` row is the re-broadcast guard: a fresh availability
+    /// signal passes only if this cell is not already holding the bus, so a
+    /// later release elsewhere in the column cannot disturb an existing
+    /// connection.
+    ///
+    /// Reset mode (X = relinquish):
+    ///
+    /// | X | Y | X′ | Y′ | latch |
+    /// |---|---|----|----|-------|
+    /// | 0 | 0 | 0  | 0  | —     |
+    /// | 0 | 1 | 0  | 1  | —     |
+    /// | 1 | 0 | 1  | 0  | reset |
+    /// | 1 | 1 | 1  | 1  | reset |
+    pub fn step(&mut self, mode: Mode, x: bool, y: bool) -> (bool, bool) {
+        match mode {
+            Mode::Request => match (x, y) {
+                (false, false) => (false, false),
+                (false, true) => (false, !self.latch),
+                (true, false) => (true, false),
+                (true, true) => {
+                    self.latch = true;
+                    (false, false)
+                }
+            },
+            Mode::Reset => {
+                if x {
+                    self.latch = false;
+                }
+                (x, y)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive check of Table I over every (mode, X, Y, latch) input.
+    #[test]
+    fn truth_table_exhaustive() {
+        // (mode, x, y, latch_before) -> (x', y', latch_after)
+        let cases = [
+            (Mode::Request, false, false, false, false, false, false),
+            (Mode::Request, false, false, true, false, false, true),
+            (Mode::Request, false, true, false, false, true, false),
+            (Mode::Request, false, true, true, false, false, true),
+            (Mode::Request, true, false, false, true, false, false),
+            (Mode::Request, true, false, true, true, false, true),
+            (Mode::Request, true, true, false, false, false, true),
+            (Mode::Request, true, true, true, false, false, true),
+            (Mode::Reset, false, false, false, false, false, false),
+            (Mode::Reset, false, false, true, false, false, true),
+            (Mode::Reset, false, true, false, false, true, false),
+            (Mode::Reset, false, true, true, false, true, true),
+            (Mode::Reset, true, false, false, true, false, false),
+            (Mode::Reset, true, false, true, true, false, false),
+            (Mode::Reset, true, true, false, true, true, false),
+            (Mode::Reset, true, true, true, true, true, false),
+        ];
+        for (mode, x, y, before, ex, ey, after) in cases {
+            let mut cell = Cell { latch: before };
+            let (ox, oy) = cell.step(mode, x, y);
+            assert_eq!(
+                (ox, oy, cell.latch),
+                (ex, ey, after),
+                "mode {mode:?} x={x} y={y} latch={before}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_sets_latch_only_on_both_signals() {
+        let mut cell = Cell::new();
+        cell.step(Mode::Request, true, false);
+        assert!(!cell.is_connected());
+        cell.step(Mode::Request, false, true);
+        assert!(!cell.is_connected());
+        cell.step(Mode::Request, true, true);
+        assert!(cell.is_connected());
+    }
+
+    #[test]
+    fn connected_cell_blocks_fresh_availability() {
+        // The race-condition guard from Section IV: a re-broadcast Y must
+        // not pass through a cell that holds the bus.
+        let mut cell = Cell { latch: true };
+        let (_, y_out) = cell.step(Mode::Request, false, true);
+        assert!(!y_out);
+    }
+
+    #[test]
+    fn reset_clears_row_and_passes_signals() {
+        let mut cell = Cell { latch: true };
+        let (x_out, y_out) = cell.step(Mode::Reset, true, true);
+        assert!(!cell.is_connected());
+        assert!(x_out && y_out, "reset mode forwards both signals");
+    }
+
+    #[test]
+    fn gate_delay_constants_match_paper() {
+        assert_eq!(REQUEST_GATE_DELAY, 4);
+        assert_eq!(RESET_GATE_DELAY, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Centralized crossbar scheduling baseline (Section IV's comparison).
+//!
+//! A centralized scheduler serves requests sequentially: it finds a free
+//! resource with an `O(log₂ m)` priority circuit and decodes/sets the
+//! crosspoint in `O(log₂(p·m))` — so `p` simultaneous requests cost
+//! `O(p·log₂ m)` gate delays, versus the distributed fabric's flat
+//! `4(p+m)`. Because the crossbar is nonblocking, the *allocation* a
+//! centralized scheduler produces is the same; only the latency scales
+//! differently. This module models that cost so the comparison can be
+//! benchmarked.
+
+/// Gate-delay cost model of a centralized crossbar scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CentralScheduler {
+    p: usize,
+    m: usize,
+}
+
+impl CentralScheduler {
+    /// A scheduler for a `p × m` crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `m == 0`.
+    #[must_use]
+    pub fn new(p: usize, m: usize) -> Self {
+        assert!(p > 0 && m > 0, "dimensions must be positive");
+        CentralScheduler { p, m }
+    }
+
+    /// Gate delays to serve a single request: priority-circuit search plus
+    /// crosspoint decode.
+    #[must_use]
+    pub fn per_request_gate_delay(&self) -> u32 {
+        let log_m = usize::BITS - (self.m - 1).leading_zeros().min(usize::BITS - 1);
+        let log_pm = usize::BITS - (self.p * self.m - 1).leading_zeros().min(usize::BITS - 1);
+        log_m.max(1) + log_pm.max(1)
+    }
+
+    /// Gate delays to serve `n` simultaneous requests sequentially.
+    #[must_use]
+    pub fn batch_gate_delay(&self, n: usize) -> u64 {
+        n as u64 * u64::from(self.per_request_gate_delay())
+    }
+
+    /// Allocates greedily: requester order, first free bus. On a crossbar
+    /// this is maximal (the fabric is nonblocking), so the result matches
+    /// the distributed wave's cardinality.
+    #[must_use]
+    pub fn allocate(&self, requests: &[bool], available: &[bool]) -> Vec<(usize, usize)> {
+        assert_eq!(requests.len(), self.p, "requests length");
+        assert_eq!(available.len(), self.m, "available length");
+        let mut free: Vec<usize> = (0..self.m).filter(|&j| available[j]).collect();
+        let mut grants = Vec::new();
+        for (i, &req) in requests.iter().enumerate() {
+            if !req {
+                continue;
+            }
+            if let Some(j) = free.first().copied() {
+                free.remove(0);
+                grants.push((i, j));
+            }
+        }
+        grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::CrossbarFabric;
+
+    #[test]
+    fn per_request_cost_is_logarithmic() {
+        let s = CentralScheduler::new(16, 32);
+        // log2(32) + log2(512) = 5 + 9.
+        assert_eq!(s.per_request_gate_delay(), 14);
+    }
+
+    #[test]
+    fn batch_cost_is_linear_in_requests() {
+        let s = CentralScheduler::new(16, 32);
+        assert_eq!(s.batch_gate_delay(16), 16 * 14);
+    }
+
+    #[test]
+    fn distributed_wave_beats_sequential_scheduler_at_scale() {
+        // The paper's headline: distributed = 4(p+m) total vs centralized
+        // p·O(log m) — the crossover favors distributed for large p.
+        let p = 64;
+        let m = 64;
+        let fabric = CrossbarFabric::new(p, m);
+        let central = CentralScheduler::new(p, m);
+        assert!(
+            u64::from(fabric.request_cycle_gate_delay()) < central.batch_gate_delay(p),
+            "distributed {} vs centralized {}",
+            fabric.request_cycle_gate_delay(),
+            central.batch_gate_delay(p)
+        );
+    }
+
+    #[test]
+    fn allocation_cardinality_matches_distributed_fabric() {
+        let central = CentralScheduler::new(4, 3);
+        let mut fabric = CrossbarFabric::new(4, 3);
+        let requests = [true, false, true, true];
+        let available = [true, true, false];
+        let c = central.allocate(&requests, &available);
+        let d = fabric.request_cycle(&requests, &available);
+        assert_eq!(c.len(), d.len(), "both maximal on a nonblocking fabric");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn no_requests_or_no_buses() {
+        let s = CentralScheduler::new(2, 2);
+        assert!(s.allocate(&[false, false], &[true, true]).is_empty());
+        assert!(s.allocate(&[true, true], &[false, false]).is_empty());
+    }
+}

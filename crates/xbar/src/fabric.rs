@@ -1,0 +1,232 @@
+//! The crossbar fabric: a `p × m` array of Table-I cells swept by the
+//! request/reset wave (Section IV, Fig. 6).
+//!
+//! In each cycle the signals "propagate from the top left corner at 45° to
+//! the bottom right corner in a wave-like motion"; the maximum signal path
+//! crosses `p + m` cells, so a request cycle costs at most `4(p+m)` gate
+//! delays and a reset cycle `p+m`. Because `X_{i,j+1}` and `Y_{i+1,j}`
+//! depend only on `(X_{i,j}, Y_{i,j})` and the local latch, a row-major
+//! sweep computes the wave's fixed point exactly.
+
+use crate::cell::{Cell, Mode, REQUEST_GATE_DELAY, RESET_GATE_DELAY};
+
+/// A gate-level `p × m` distributed-scheduling crossbar.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_xbar::CrossbarFabric;
+///
+/// let mut fabric = CrossbarFabric::new(2, 2);
+/// // Both processors request; both buses advertise availability.
+/// let grants = fabric.request_cycle(&[true, true], &[true, true]);
+/// assert_eq!(grants, vec![(0, 0), (1, 1)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CrossbarFabric {
+    p: usize,
+    m: usize,
+    cells: Vec<Cell>,
+}
+
+impl CrossbarFabric {
+    /// Creates a fabric with `p` processor rows and `m` bus columns, all
+    /// latches open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `m == 0`.
+    #[must_use]
+    pub fn new(p: usize, m: usize) -> Self {
+        assert!(p > 0 && m > 0, "fabric dimensions must be positive");
+        CrossbarFabric {
+            p,
+            m,
+            cells: vec![Cell::new(); p * m],
+        }
+    }
+
+    /// Processor rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.p
+    }
+
+    /// Bus columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.m
+    }
+
+    fn cell(&mut self, i: usize, j: usize) -> &mut Cell {
+        &mut self.cells[i * self.m + j]
+    }
+
+    /// Whether processor `i` currently holds bus `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn is_connected(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.p && j < self.m, "cell index out of range");
+        self.cells[i * self.m + j].is_connected()
+    }
+
+    /// Runs one request cycle.
+    ///
+    /// `requests[i]` is processor `i`'s `X_{i,0}` signal; `available[j]` is
+    /// resource controller `j`'s `Y_{0,j}` signal (bus free **and** ≥ 1 free
+    /// resource). Returns the newly closed crosspoints `(processor, bus)` in
+    /// row order — the fabric's fixed-priority asymmetry is visible here:
+    /// low-index processors meet availability signals first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths don't match the fabric dimensions.
+    pub fn request_cycle(&mut self, requests: &[bool], available: &[bool]) -> Vec<(usize, usize)> {
+        assert_eq!(requests.len(), self.p, "requests length");
+        assert_eq!(available.len(), self.m, "available length");
+        let mut col_y: Vec<bool> = available.to_vec();
+        let mut grants = Vec::new();
+        for i in 0..self.p {
+            let mut x = requests[i];
+            for j in 0..self.m {
+                let was = self.cells[i * self.m + j].is_connected();
+                let (x_next, y_next) = self.cell(i, j).step(Mode::Request, x, col_y[j]);
+                if !was && self.cells[i * self.m + j].is_connected() {
+                    grants.push((i, j));
+                }
+                x = x_next;
+                col_y[j] = y_next;
+            }
+            // x is X_{i,m}, fed back to the processor: true means "resubmit
+            // next cycle" — the caller sees this implicitly by not being in
+            // `grants`.
+        }
+        grants
+    }
+
+    /// Runs one reset cycle: every processor `i` with `resets[i]` set
+    /// relinquishes all its connections (in this design a row holds at most
+    /// one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resets.len() != p`.
+    pub fn reset_cycle(&mut self, resets: &[bool]) {
+        assert_eq!(resets.len(), self.p, "resets length");
+        for i in 0..self.p {
+            let mut x = resets[i];
+            for j in 0..self.m {
+                // Column Y values are irrelevant to the latch in reset mode.
+                let (x_next, _) = self.cell(i, j).step(Mode::Reset, x, false);
+                x = x_next;
+            }
+        }
+    }
+
+    /// Worst-case request-cycle length in gate delays: `4(p + m)`.
+    #[must_use]
+    pub fn request_cycle_gate_delay(&self) -> u32 {
+        REQUEST_GATE_DELAY * (self.p + self.m) as u32
+    }
+
+    /// Worst-case reset-cycle length in gate delays: `p + m`.
+    #[must_use]
+    pub fn reset_cycle_gate_delay(&self) -> u32 {
+        RESET_GATE_DELAY * (self.p + self.m) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymmetry_favors_low_index_processors() {
+        // One available bus, two requesters: processor 0 wins.
+        let mut f = CrossbarFabric::new(2, 1);
+        let grants = f.request_cycle(&[true, true], &[true]);
+        assert_eq!(grants, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn matching_is_maximal_on_complete_fabric() {
+        // A crossbar is nonblocking: the wave must always grant
+        // min(#requests, #available) connections.
+        for (p, m) in [(4, 4), (6, 3), (3, 6)] {
+            let mut f = CrossbarFabric::new(p, m);
+            let grants = f.request_cycle(&vec![true; p], &vec![true; m]);
+            assert_eq!(grants.len(), p.min(m), "{p}x{m}");
+            // At most one grant per row and per column.
+            let mut rows = vec![false; p];
+            let mut cols = vec![false; m];
+            for (i, j) in grants {
+                assert!(!rows[i] && !cols[j]);
+                rows[i] = true;
+                cols[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn existing_connections_survive_new_cycles() {
+        let mut f = CrossbarFabric::new(2, 2);
+        let g1 = f.request_cycle(&[true, false], &[true, true]);
+        assert_eq!(g1, vec![(0, 0)]);
+        // New cycle: processor 1 requests; bus 0 is held so its controller
+        // drops Y_0; bus 1 is advertised.
+        let g2 = f.request_cycle(&[false, true], &[false, true]);
+        assert_eq!(g2, vec![(1, 1)]);
+        assert!(f.is_connected(0, 0), "first connection undisturbed");
+        assert!(f.is_connected(1, 1));
+    }
+
+    #[test]
+    fn rebroadcast_does_not_steal_held_bus() {
+        // The Section IV race: processor 0 holds bus 0; a fresh Y on column 0
+        // (say after an erroneous re-broadcast) must pass over row 0 without
+        // disturbing it and may serve processor 1.
+        let mut f = CrossbarFabric::new(2, 1);
+        let _ = f.request_cycle(&[true, false], &[true]);
+        assert!(f.is_connected(0, 0));
+        let grants = f.request_cycle(&[false, true], &[true]);
+        // The connected cell blocks Y (Y' = !latch), so processor 1 cannot
+        // double-book the bus.
+        assert!(grants.is_empty());
+        assert!(f.is_connected(0, 0));
+    }
+
+    #[test]
+    fn reset_clears_only_the_resetting_row() {
+        let mut f = CrossbarFabric::new(2, 2);
+        let _ = f.request_cycle(&[true, true], &[true, true]);
+        f.reset_cycle(&[true, false]);
+        assert!(!f.is_connected(0, 0));
+        assert!(f.is_connected(1, 1));
+    }
+
+    #[test]
+    fn unsatisfied_requests_grant_nothing() {
+        let mut f = CrossbarFabric::new(2, 2);
+        let grants = f.request_cycle(&[true, true], &[false, false]);
+        assert!(grants.is_empty());
+    }
+
+    #[test]
+    fn gate_delays_match_section_iv() {
+        let f = CrossbarFabric::new(16, 32);
+        assert_eq!(f.request_cycle_gate_delay(), 4 * 48);
+        assert_eq!(f.reset_cycle_gate_delay(), 48);
+    }
+
+    #[test]
+    fn skipped_rows_leave_wave_intact() {
+        // Processor 1 requests while 0 is idle: the availability wave passes
+        // row 0 untouched and serves row 1.
+        let mut f = CrossbarFabric::new(3, 2);
+        let grants = f.request_cycle(&[false, true, false], &[true, true]);
+        assert_eq!(grants, vec![(1, 0)]);
+    }
+}

@@ -1,0 +1,158 @@
+//! # rsin-xbar — the crossbar (multiple-shared-bus) RSIN (Section IV)
+//!
+//! A `p × m` crossbar whose every output column is a bus carrying `r`
+//! resources, scheduled *in the fabric itself*: each crosspoint cell is
+//! eleven gates and a latch implementing the paper's Table-I truth table;
+//! request signals sweep the rows and resource-availability signals sweep
+//! the columns in a 45° wave, closing crosspoints where they meet. A full
+//! request cycle costs at most `4(p+m)` gate delays — independent of how
+//! many requests are served — versus `O(p·log m)` for a centralized
+//! scheduler serving the same batch.
+//!
+//! - [`Cell`] / [`Mode`]: the Table-I cell (exhaustively tested).
+//! - [`CrossbarFabric`]: the wave-propagation array with request and reset
+//!   cycles and gate-delay accounting.
+//! - [`CrossbarNetwork`] / [`CrossbarPolicy`]: the simulatable
+//!   [`ResourceNetwork`](rsin_core::ResourceNetwork), with the paper's
+//!   asymmetric fixed-priority fabric or the POLYP-style random token.
+//! - [`CentralScheduler`]: the sequential baseline's cost model.
+//!
+//! # Example
+//!
+//! ```
+//! use rsin_xbar::CrossbarFabric;
+//!
+//! // Fig. 6: requests meet availability in a wave; low rows win ties.
+//! let mut fabric = CrossbarFabric::new(4, 2);
+//! let grants = fabric.request_cycle(&[true, true, true, true], &[true, true]);
+//! assert_eq!(grants, vec![(0, 0), (1, 1)]);
+//! assert_eq!(fabric.request_cycle_gate_delay(), 4 * (4 + 2));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cell;
+mod central;
+mod fabric;
+mod model;
+
+pub use cell::{Cell, Mode, REQUEST_GATE_DELAY, RESET_GATE_DELAY};
+pub use central::CentralScheduler;
+pub use fabric::CrossbarFabric;
+pub use model::{CrossbarNetwork, CrossbarPolicy, WrongKindError};
+
+#[cfg(test)]
+mod integration_tests {
+    use super::*;
+    use rsin_core::{simulate, SimOptions, SystemConfig, Workload};
+    use rsin_des::SimRng;
+    use rsin_queueing::approx::{crossbar_heavy_load, crossbar_light_load, CrossbarParams};
+
+    fn simulate_delay(cfg: &SystemConfig, w: &Workload, seed: u64) -> f64 {
+        let mut net =
+            CrossbarNetwork::from_config(cfg, CrossbarPolicy::FixedPriority).expect("xbar");
+        let mut rng = SimRng::new(seed);
+        let opts = SimOptions {
+            warmup_tasks: 5_000,
+            measured_tasks: 60_000,
+        };
+        simulate(&mut net, w, &opts, &mut rng).mean_delay()
+    }
+
+    /// Section IV: "the approximate delays are very close to the simulation
+    /// results for µ_s·d ≤ 1" — light load matches the private-bus view.
+    #[test]
+    fn light_load_matches_paper_approximation() {
+        let cfg: SystemConfig = "16/1x16x16 XBAR/2".parse().expect("valid");
+        let w = Workload::for_intensity(&cfg, 0.2, 0.1).expect("valid");
+        let sim = simulate_delay(&cfg, &w, 31);
+        let approx = crossbar_light_load(&CrossbarParams {
+            processors: 16,
+            buses: 16,
+            resources_per_bus: 2,
+            lambda: w.lambda(),
+            mu_n: w.mu_n(),
+            mu_s: w.mu_s(),
+        })
+        .expect("stable")
+        .mean_queue_delay;
+        assert!(sim * w.mu_s() <= 1.0, "test must sit in the light-load regime");
+        let rel = (sim - approx).abs() / approx.max(1e-9);
+        assert!(rel < 0.15, "sim {sim} vs light-load approx {approx} (rel {rel})");
+    }
+
+    /// Heavy load: delay must land between the light-load (optimistic) and
+    /// heavy-load (partitioned) approximations' neighborhood.
+    #[test]
+    fn heavy_load_bracketed_by_approximations() {
+        // With only 4 buses at ratio 1.0, the network saturates at ρ = 0.5;
+        // ρ = 0.4 is ~80% of that capacity — squarely heavy load.
+        let cfg: SystemConfig = "16/1x16x4 XBAR/4".parse().expect("valid");
+        let w = Workload::for_intensity(&cfg, 0.4, 1.0).expect("valid");
+        let sim = simulate_delay(&cfg, &w, 33);
+        let params = CrossbarParams {
+            processors: 16,
+            buses: 4,
+            resources_per_bus: 4,
+            lambda: w.lambda(),
+            mu_n: w.mu_n(),
+            mu_s: w.mu_s(),
+        };
+        let light = crossbar_light_load(&params).expect("stable").mean_queue_delay;
+        let heavy = crossbar_heavy_load(&params).expect("stable").mean_queue_delay;
+        assert!(
+            sim > light * 0.9 && sim < heavy * 1.5,
+            "sim {sim} should sit between light {light} and heavy {heavy} regimes"
+        );
+    }
+
+    /// The small-m Markov chain (Section IV: the stage analysis "can only
+    /// be applied when m is very small") must agree with the gate-level
+    /// crossbar simulation. The chain pools all queued tasks (it ignores
+    /// per-processor port serialization — exact for m = 1, optimistic for
+    /// m ≥ 2), so the comparison runs where per-processor utilization is
+    /// low and the pooling error is secondary.
+    #[test]
+    fn small_m_exact_chain_matches_simulation() {
+        use rsin_queueing::{SmallCrossbarChain, SmallCrossbarParams};
+        let cfg: SystemConfig = "16/1x16x2 XBAR/2".parse().expect("valid");
+        let w = Workload::new(0.02, 1.0, 0.5).expect("valid");
+        let chain = SmallCrossbarChain::new(SmallCrossbarParams {
+            processors: 16,
+            buses: 2,
+            resources_per_bus: 2,
+            lambda: w.lambda(),
+            mu_n: w.mu_n(),
+            mu_s: w.mu_s(),
+        })
+        .expect("stable")
+        .solve()
+        .expect("solves");
+        let sim = simulate_delay(&cfg, &w, 41);
+        // Pooling makes the chain a lower bound; the missing piece is the
+        // wait behind the task's *own* processor port, an M/M/1-like term
+        // W_own = λ/(µ_n(µ_n − λ)). The simulation must land between the
+        // chain and the chain plus twice that correction.
+        let own = w.lambda() / (w.mu_n() * (w.mu_n() - w.lambda()));
+        let lo = chain.mean_queue_delay * 0.98;
+        let hi = chain.mean_queue_delay + 2.0 * own;
+        assert!(
+            sim > lo && sim < hi,
+            "sim {sim} outside [{lo}, {hi}] around the pooled chain"
+        );
+    }
+
+    /// More resources per bus reduce delay when resources are the
+    /// bottleneck (µ_s/µ_n small — Fig. 7's message).
+    #[test]
+    fn extra_resources_help_when_resources_bottleneck() {
+        let cfg1: SystemConfig = "8/1x8x8 XBAR/1".parse().expect("valid");
+        let cfg2: SystemConfig = "8/1x8x8 XBAR/2".parse().expect("valid");
+        // Same per-processor arrival rate for a fair comparison.
+        let w = Workload::new(0.08, 1.0, 0.1).expect("valid");
+        let d1 = simulate_delay(&cfg1, &w, 35);
+        let d2 = simulate_delay(&cfg2, &w, 35);
+        assert!(d2 < d1, "doubling resources must cut delay: {d2} vs {d1}");
+    }
+}

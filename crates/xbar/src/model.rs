@@ -1,0 +1,330 @@
+//! The crossbar RSIN as a simulatable [`ResourceNetwork`].
+//!
+//! `i` independent `j × k` crossbars; every output column is a bus carrying
+//! `r` resources. A column advertises availability (`Y_{0,j} = 1`) exactly
+//! when its bus is idle **and** at least one of its resources is free; the
+//! gate-level fabric of [`CrossbarFabric`] resolves each request cycle.
+
+use crate::fabric::CrossbarFabric;
+use rsin_core::{Grant, NetworkCounters, ResourceNetwork, SystemConfig};
+use rsin_des::SimRng;
+
+/// How winners are chosen when several processors contend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CrossbarPolicy {
+    /// The paper's daisy-chained fabric: deterministic wave, low indices
+    /// win (asymmetric).
+    #[default]
+    FixedPriority,
+    /// The POLYP-style circulating token: a uniformly random pending
+    /// processor wins each free bus.
+    RandomToken,
+}
+
+#[derive(Debug)]
+struct Partition {
+    fabric: CrossbarFabric,
+    /// Which local processor holds each bus during transmission.
+    held_by: Vec<Option<usize>>,
+    busy_resources: Vec<u32>,
+}
+
+/// A partitioned distributed-scheduling crossbar RSIN.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_core::{ResourceNetwork, SystemConfig};
+/// use rsin_xbar::{CrossbarNetwork, CrossbarPolicy};
+///
+/// let cfg: SystemConfig = "16/1x16x32 XBAR/1".parse()?;
+/// let net = CrossbarNetwork::from_config(&cfg, CrossbarPolicy::FixedPriority)?;
+/// assert_eq!(net.processors(), 16);
+/// assert_eq!(net.total_resources(), 32);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CrossbarNetwork {
+    inputs: usize,
+    outputs: usize,
+    resources_per_bus: u32,
+    policy: CrossbarPolicy,
+    partitions: Vec<Partition>,
+    counters: NetworkCounters,
+}
+
+/// Error building a [`CrossbarNetwork`] from a config of the wrong kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WrongKindError {
+    /// The kind found in the configuration.
+    pub found: rsin_core::NetworkKind,
+}
+
+impl std::fmt::Display for WrongKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected an XBAR configuration, got {}", self.found)
+    }
+}
+
+impl std::error::Error for WrongKindError {}
+
+impl CrossbarNetwork {
+    /// Builds the network described by `config` (kind must be
+    /// [`NetworkKind::Crossbar`](rsin_core::NetworkKind::Crossbar)).
+    ///
+    /// # Errors
+    ///
+    /// [`WrongKindError`] when the configuration names another network type.
+    pub fn from_config(
+        config: &SystemConfig,
+        policy: CrossbarPolicy,
+    ) -> Result<Self, WrongKindError> {
+        if config.kind() != rsin_core::NetworkKind::Crossbar {
+            return Err(WrongKindError {
+                found: config.kind(),
+            });
+        }
+        Ok(CrossbarNetwork::new(
+            config.networks() as usize,
+            config.inputs() as usize,
+            config.outputs() as usize,
+            config.resources_per_port(),
+            policy,
+        ))
+    }
+
+    /// Builds `partitions` independent `inputs × outputs` crossbars with
+    /// `resources_per_bus` resources on every output column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    #[must_use]
+    pub fn new(
+        partitions: usize,
+        inputs: usize,
+        outputs: usize,
+        resources_per_bus: u32,
+        policy: CrossbarPolicy,
+    ) -> Self {
+        assert!(
+            partitions > 0 && inputs > 0 && outputs > 0,
+            "counts must be positive"
+        );
+        assert!(resources_per_bus > 0, "resources per bus must be positive");
+        CrossbarNetwork {
+            inputs,
+            outputs,
+            resources_per_bus,
+            policy,
+            partitions: (0..partitions)
+                .map(|_| Partition {
+                    fabric: CrossbarFabric::new(inputs, outputs),
+                    held_by: vec![None; outputs],
+                    busy_resources: vec![0; outputs],
+                })
+                .collect(),
+            counters: NetworkCounters::default(),
+        }
+    }
+
+    /// The scheduling policy in force.
+    #[must_use]
+    pub fn policy(&self) -> CrossbarPolicy {
+        self.policy
+    }
+
+    /// Worst-case request-cycle cost of one partition in gate delays,
+    /// `4(j + k)` (Section IV).
+    #[must_use]
+    pub fn request_cycle_gate_delay(&self) -> u32 {
+        self.partitions[0].fabric.request_cycle_gate_delay()
+    }
+}
+
+impl ResourceNetwork for CrossbarNetwork {
+    fn processors(&self) -> usize {
+        self.partitions.len() * self.inputs
+    }
+
+    fn total_resources(&self) -> usize {
+        self.partitions.len() * self.outputs * self.resources_per_bus as usize
+    }
+
+    fn request_cycle(&mut self, pending: &[bool], rng: &mut SimRng) -> Vec<Grant> {
+        assert_eq!(pending.len(), self.processors(), "pending vector size");
+        let mut grants = Vec::new();
+        for (pi, part) in self.partitions.iter_mut().enumerate() {
+            let base = pi * self.inputs;
+            let requests: Vec<bool> = (0..self.inputs).map(|l| pending[base + l]).collect();
+            let n_pending = requests.iter().filter(|&&b| b).count() as u64;
+            if n_pending == 0 {
+                continue;
+            }
+            self.counters.attempts += n_pending;
+            let available: Vec<bool> = (0..self.outputs)
+                .map(|j| part.held_by[j].is_none() && part.busy_resources[j] < self.resources_per_bus)
+                .collect();
+            let local: Vec<(usize, usize)> = match self.policy {
+                CrossbarPolicy::FixedPriority => part.fabric.request_cycle(&requests, &available),
+                CrossbarPolicy::RandomToken => {
+                    // Token scheme: each free bus captures a random pending
+                    // processor; equivalently match shuffled lists.
+                    let mut procs: Vec<usize> =
+                        (0..self.inputs).filter(|&l| requests[l]).collect();
+                    let mut buses: Vec<usize> =
+                        (0..self.outputs).filter(|&j| available[j]).collect();
+                    rng.shuffle(&mut procs);
+                    rng.shuffle(&mut buses);
+                    procs.into_iter().zip(buses).collect()
+                }
+            };
+            self.counters.rejections += n_pending - local.len() as u64;
+            for (li, lj) in local {
+                part.held_by[lj] = Some(li);
+                grants.push(Grant {
+                    processor: base + li,
+                    port: pi * self.outputs + lj,
+                });
+            }
+        }
+        grants
+    }
+
+    fn end_transmission(&mut self, grant: Grant) {
+        let pi = grant.port / self.outputs;
+        let lj = grant.port % self.outputs;
+        let part = &mut self.partitions[pi];
+        let holder = part.held_by[lj].take().expect("bus was held");
+        debug_assert_eq!(holder + pi * self.inputs, grant.processor);
+        if self.policy == CrossbarPolicy::FixedPriority {
+            // Break the circuit in the fabric: the holder's reset wave.
+            let mut resets = vec![false; self.inputs];
+            resets[holder] = true;
+            part.fabric.reset_cycle(&resets);
+        }
+        part.busy_resources[lj] += 1;
+        debug_assert!(part.busy_resources[lj] <= self.resources_per_bus);
+    }
+
+    fn end_service(&mut self, grant: Grant) {
+        let pi = grant.port / self.outputs;
+        let lj = grant.port % self.outputs;
+        let part = &mut self.partitions[pi];
+        debug_assert!(part.busy_resources[lj] > 0, "no busy resource to free");
+        part.busy_resources[lj] -= 1;
+    }
+
+    fn take_counters(&mut self) -> NetworkCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    fn label(&self) -> &'static str {
+        "XBAR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(n: usize, set: &[usize]) -> Vec<bool> {
+        let mut v = vec![false; n];
+        for &i in set {
+            v[i] = true;
+        }
+        v
+    }
+
+    #[test]
+    fn grants_are_maximal_matchings() {
+        let mut net = CrossbarNetwork::new(1, 4, 2, 1, CrossbarPolicy::FixedPriority);
+        let mut rng = SimRng::new(1);
+        let grants = net.request_cycle(&pending(4, &[0, 1, 2, 3]), &mut rng);
+        assert_eq!(grants.len(), 2, "two buses, two grants");
+    }
+
+    #[test]
+    fn bus_held_during_transmission_blocks_its_resources() {
+        let mut net = CrossbarNetwork::new(1, 2, 1, 2, CrossbarPolicy::FixedPriority);
+        let mut rng = SimRng::new(1);
+        let g = net.request_cycle(&pending(2, &[0]), &mut rng);
+        assert_eq!(g.len(), 1);
+        // Bus held: even with a free resource behind it, no second grant.
+        assert!(net.request_cycle(&pending(2, &[1]), &mut rng).is_empty());
+        net.end_transmission(g[0]);
+        // Bus released, one resource busy, one free: grant flows.
+        assert_eq!(net.request_cycle(&pending(2, &[1]), &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn full_port_blocks_until_service_ends() {
+        let mut net = CrossbarNetwork::new(1, 2, 1, 1, CrossbarPolicy::FixedPriority);
+        let mut rng = SimRng::new(1);
+        let g = net.request_cycle(&pending(2, &[0]), &mut rng);
+        net.end_transmission(g[0]);
+        assert!(net.request_cycle(&pending(2, &[1]), &mut rng).is_empty());
+        net.end_service(g[0]);
+        assert_eq!(net.request_cycle(&pending(2, &[1]), &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn partitions_are_independent() {
+        let mut net = CrossbarNetwork::new(2, 2, 2, 1, CrossbarPolicy::FixedPriority);
+        let mut rng = SimRng::new(1);
+        let g = net.request_cycle(&pending(4, &[0, 2]), &mut rng);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].port / 2, 0, "first grant in partition 0");
+        assert_eq!(g[1].port / 2, 1, "second grant in partition 1");
+    }
+
+    #[test]
+    fn random_token_covers_all_processors() {
+        let mut net = CrossbarNetwork::new(1, 3, 1, 1, CrossbarPolicy::RandomToken);
+        let mut rng = SimRng::new(5);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let g = net.request_cycle(&pending(3, &[0, 1, 2]), &mut rng);
+            assert_eq!(g.len(), 1);
+            seen[g[0].processor] = true;
+            net.end_transmission(g[0]);
+            net.end_service(g[0]);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fixed_priority_is_asymmetric() {
+        let mut net = CrossbarNetwork::new(1, 3, 1, 1, CrossbarPolicy::FixedPriority);
+        let mut rng = SimRng::new(5);
+        for _ in 0..10 {
+            let g = net.request_cycle(&pending(3, &[0, 1, 2]), &mut rng);
+            assert_eq!(g[0].processor, 0, "low index always wins");
+            net.end_transmission(g[0]);
+            net.end_service(g[0]);
+        }
+    }
+
+    #[test]
+    fn from_config_checks_kind() {
+        let cfg: SystemConfig = "16/16x1x1 SBUS/2".parse().expect("valid");
+        assert!(CrossbarNetwork::from_config(&cfg, CrossbarPolicy::FixedPriority).is_err());
+        let cfg: SystemConfig = "16/4x4x4 XBAR/2".parse().expect("valid");
+        let net = CrossbarNetwork::from_config(&cfg, CrossbarPolicy::FixedPriority)
+            .expect("xbar config");
+        assert_eq!(net.processors(), 16);
+        assert_eq!(net.total_resources(), 32);
+        assert_eq!(net.request_cycle_gate_delay(), 4 * 8);
+    }
+
+    #[test]
+    fn counters_accumulate_and_drain() {
+        let mut net = CrossbarNetwork::new(1, 3, 1, 1, CrossbarPolicy::FixedPriority);
+        let mut rng = SimRng::new(2);
+        let _ = net.request_cycle(&pending(3, &[0, 1, 2]), &mut rng);
+        let c = net.take_counters();
+        assert_eq!(c.attempts, 3);
+        assert_eq!(c.rejections, 2);
+        assert_eq!(net.take_counters(), NetworkCounters::default());
+    }
+}

@@ -1,0 +1,74 @@
+//! Load balancing — one of the paper's motivating applications: "Processors
+//! are considered as resources themselves. When a processor is overloaded,
+//! the excess load is sent to any available processor in the system."
+//!
+//! We model a 16-node system in which each node offloads surplus tasks
+//! through an RSIN to any idle peer (the 16 "resources" are the peers'
+//! execution slots), and ask which interconnect keeps offload latency low
+//! as the ratio of shipping time to execution time varies.
+//!
+//! Run with `cargo run --example load_balancing`.
+
+use rsin::core::{estimate_delay, SimOptions, SystemConfig, Workload};
+use rsin::omega::{Admission, OmegaNetwork};
+use rsin::xbar::{CrossbarNetwork, CrossbarPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = SimOptions {
+        warmup_tasks: 2_000,
+        measured_tasks: 25_000,
+    };
+    println!("offload latency (in mean task-execution times), 16 nodes, rho = 0.6\n");
+    println!(
+        "{:>24} {:>14} {:>14}",
+        "shipping/execution", "OMEGA 16x16", "XBAR 16x16"
+    );
+
+    // Small ratio: tasks are big relative to shipping (e.g. matrix jobs);
+    // large ratio: shipping dominates (e.g. bulky data, quick jobs).
+    for ratio in [0.1, 0.5, 1.0, 2.0] {
+        let omega_cfg: SystemConfig = "16/1x16x16 OMEGA/1".parse()?;
+        let xbar_cfg: SystemConfig = "16/1x16x16 XBAR/1".parse()?;
+        let w = Workload::for_intensity(&omega_cfg, 0.6, ratio)?;
+
+        let omega = estimate_delay(
+            || {
+                Box::new(
+                    OmegaNetwork::from_config(&omega_cfg, Admission::Simultaneous)
+                        .expect("valid omega config"),
+                )
+            },
+            &w,
+            &opts,
+            11,
+            3,
+        );
+        let xbar = estimate_delay(
+            || {
+                Box::new(
+                    CrossbarNetwork::from_config(&xbar_cfg, CrossbarPolicy::FixedPriority)
+                        .expect("valid crossbar config"),
+                )
+            },
+            &w,
+            &opts,
+            11,
+            3,
+        );
+        println!(
+            "{:>24} {:>9.4}±{:.3} {:>9.4}±{:.3}",
+            format!("mu_s/mu_n = {ratio}"),
+            omega.normalized_delay,
+            omega.half_width,
+            xbar.normalized_delay,
+            xbar.half_width,
+        );
+    }
+    println!(
+        "\nAs the paper's Section VI predicts, the Omega network tracks the \
+         crossbar closely while shipping is cheap,\nand falls behind as \
+         shipping time (network occupancy) grows — at O(N log N) instead of \
+         O(N^2) hardware."
+    );
+    Ok(())
+}

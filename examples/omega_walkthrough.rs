@@ -1,0 +1,69 @@
+//! Walkthrough of the paper's two Omega-network worked examples:
+//!
+//! 1. **Section II** — with processors {0,1,2} requesting and resources
+//!    {0,1,2} free in an 8×8 Omega network, some processor→resource
+//!    mappings allocate all three while others strand a resource: the
+//!    scheduler determines utilization.
+//! 2. **Fig. 11** — the distributed algorithm serves P0, P3, P4, P5 from
+//!    resources R0, R1, R4, R5, including a reject-and-reroute, averaging
+//!    about 3.5 interchange boxes per request.
+//!
+//! Run with `cargo run --example omega_walkthrough`.
+
+use rsin::omega::{Admission, OmegaState};
+use rsin::topology::{matching, OmegaTopology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Section II: mappings matter -------------------------------------
+    println!("Section II example: 8x8 Omega, P{{0,1,2}} requesting, R{{0,1,2}} free\n");
+    let net = OmegaTopology::new(8)?;
+    let mappings: [&[(usize, usize)]; 6] = [
+        &[(0, 0), (1, 1), (2, 2)],
+        &[(0, 1), (1, 0), (2, 2)],
+        &[(0, 2), (1, 0), (2, 1)],
+        &[(0, 2), (1, 1), (2, 0)],
+        &[(0, 0), (1, 2), (2, 1)],
+        &[(0, 1), (1, 2), (2, 0)],
+    ];
+    for m in mappings {
+        let ok = matching::mapping_is_conflict_free(&net, m);
+        println!(
+            "  {m:?}: {}",
+            if ok {
+                "realizable — all 3 allocated"
+            } else {
+                "blocked — at most 2 allocated"
+            }
+        );
+    }
+    let best = matching::max_allocation(&net, &[0, 1, 2], &[0, 1, 2]);
+    println!(
+        "\n  an optimal (exhaustive) scheduler allocates {} of 3: {:?}",
+        best.len(),
+        best.pairs
+    );
+
+    // --- Fig. 11: the distributed algorithm does it without a scheduler --
+    println!("\nFig. 11 example: R0,R1,R4,R5 free; P0,P3,P4,P5 request\n");
+    let mut state = OmegaState::new(8, 1)?;
+    for busy in [2, 3, 6, 7] {
+        state.occupy_resource(busy);
+    }
+    let res = state.resolve(&[0, 3, 4, 5], Admission::Simultaneous);
+    for c in &res.granted {
+        let hops: Vec<String> = c
+            .links
+            .iter()
+            .map(|l| format!("(stage {}, wire {})", l.stage, l.wire))
+            .collect();
+        println!("  P{} --> R{}  via {}", c.processor, c.port, hops.join(" "));
+    }
+    println!(
+        "\n  boxes visited: {} total = {:.2} per request (the paper reports 3.5:\n  \
+         its example suffers one stage-1 reject and reroutes; our straight-first\n  \
+         box preference happens to route the same scenario conflict-free)",
+        res.box_visits,
+        res.box_visits as f64 / 4.0
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Configuration design with the exact chain: how many resources, and how
+//! many partitions, does a delay target require?
+//!
+//! The paper closes by noting its results "can guide the designers in
+//! selecting the appropriate configuration"; this example plays designer
+//! for a 16-processor system that must keep the allocation delay under a
+//! tenth of a service time.
+//!
+//! Run with `cargo run --example provisioning`.
+
+use rsin::queueing::provisioning::{min_partitions_for_delay, min_resources_for_delay};
+
+fn main() {
+    let (mu_n, mu_s) = (10.0, 1.0); // mu_s/mu_n = 0.1: resource-bound regime
+    let target = 0.1;
+
+    println!("delay target: d*mu_s <= {target}, mu_s/mu_n = {}\n", mu_s / mu_n);
+
+    println!("private bus per processor — fewest resources per processor:");
+    for lambda in [0.4, 0.8, 1.2] {
+        match min_resources_for_delay(1, lambda, mu_n, mu_s, target, 64) {
+            Ok(s) => println!(
+                "  lambda = {lambda:>4}: r = {} (achieves {:.4})",
+                s.chosen, s.achieved
+            ),
+            Err(e) => println!("  lambda = {lambda:>4}: infeasible ({e})"),
+        }
+    }
+
+    println!("\nfixed budget of 32 resources — fewest bus partitions of 16 processors:");
+    for lambda in [0.2, 0.5, 1.0] {
+        match min_partitions_for_delay(16, 32, lambda, mu_n, mu_s, target) {
+            Ok(s) => println!(
+                "  lambda = {lambda:>4}: {} partition(s) (achieves {:.4})",
+                s.chosen, s.achieved
+            ),
+            Err(e) => println!("  lambda = {lambda:>4}: infeasible ({e})"),
+        }
+    }
+
+    println!("\nat mu_s/mu_n = 1.0 the bus itself is the bottleneck — adding resources");
+    println!("cannot meet an aggressive target (Table II sends you to private buses):");
+    match min_resources_for_delay(16, 0.06, 1.0, 1.0, 0.001, 64) {
+        Ok(s) => println!("  unexpectedly feasible with r = {}", s.chosen),
+        Err(e) => println!("  {e}"),
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: configure a resource-sharing system in the paper's notation,
+//! simulate it, and compare against the exact analytical model where one
+//! exists.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rsin::core::{simulate, SimOptions, SystemConfig, Workload};
+use rsin::des::SimRng;
+use rsin::omega::{Admission, OmegaNetwork};
+use rsin::sbus::{analytic, Arbitration, SharedBusNetwork};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A partitioned shared-bus system: 16 processors, 16 private
+    //        buses, 2 resources each (the paper's 16/16x1x1 SBUS/2). -------
+    let cfg: SystemConfig = "16/16x1x1 SBUS/2".parse()?;
+    // Offer traffic at half the reference intensity with µ_s/µ_n = 0.1.
+    let workload = Workload::for_intensity(&cfg, 0.5, 0.1)?;
+
+    let exact = analytic::partition_delay(&cfg, &workload)?;
+    println!("SBUS {cfg}");
+    println!("  exact Markov-chain delay : {:.4} service times", exact.normalized_delay);
+
+    let mut net = SharedBusNetwork::from_config(&cfg, Arbitration::FixedPriority)?;
+    let mut rng = SimRng::new(7);
+    let opts = SimOptions {
+        warmup_tasks: 2_000,
+        measured_tasks: 30_000,
+    };
+    let report = simulate(&mut net, &workload, &opts, &mut rng);
+    println!(
+        "  simulated delay          : {:.4} service times ({} tasks measured)",
+        report.normalized_delay(&workload),
+        report.queueing_delay.count()
+    );
+
+    // --- 2. The same hardware budget as one 16x16 Omega network. ---------
+    let cfg: SystemConfig = "16/1x16x16 OMEGA/2".parse()?;
+    let workload = Workload::for_intensity(&cfg, 0.5, 0.1)?;
+    let mut net = OmegaNetwork::from_config(&cfg, Admission::Simultaneous)?;
+    let mut rng = SimRng::new(7);
+    let report = simulate(&mut net, &workload, &opts, &mut rng);
+    println!("OMEGA {cfg}");
+    println!(
+        "  simulated delay          : {:.4} service times",
+        report.normalized_delay(&workload)
+    );
+    println!(
+        "  scheduling work          : {:.2} boxes per attempt, {:.1}% rejected",
+        report.counters.boxes_traversed as f64 / report.counters.attempts.max(1) as f64,
+        100.0 * report.counters.rejection_ratio()
+    );
+    Ok(())
+}

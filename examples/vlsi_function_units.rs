@@ -1,0 +1,91 @@
+//! A PUMPS-style pool of special-purpose VLSI units — the paper's primary
+//! motivating system: many general processors sharing a pool of identical
+//! accelerator chips (FFT / matrix inversion / sorting engines).
+//!
+//! Sixteen processors generate accelerator calls; thirty-two identical
+//! units answer them. We sweep the offered load and print the delay of the
+//! three candidate organizations, ending with the advisor's Table-II
+//! recommendation for this workload.
+//!
+//! Run with `cargo run --example vlsi_function_units`.
+
+use rsin::core::advisor::{recommend, CostRegime};
+use rsin::core::{estimate_delay, SimOptions, SystemConfig, Workload};
+use rsin::omega::{Admission, OmegaNetwork};
+use rsin::queueing::{SharedBusChain, SharedBusParams};
+use rsin::xbar::{CrossbarNetwork, CrossbarPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Accelerator calls ship a small argument block and then compute for
+    // ~10x the shipping time: µ_s/µ_n = 0.1.
+    let ratio = 0.1;
+    let opts = SimOptions {
+        warmup_tasks: 1_500,
+        measured_tasks: 20_000,
+    };
+
+    println!("16 processors, 32 accelerator units, mu_s/mu_n = {ratio}");
+    println!(
+        "\n{:>6} {:>18} {:>18} {:>18}",
+        "rho", "private buses r=2", "OMEGA 16x16 /2", "XBAR 16x32 /1"
+    );
+    for rho in [0.2, 0.4, 0.6, 0.8] {
+        let sbus_cfg: SystemConfig = "16/16x1x1 SBUS/2".parse()?;
+        let w = Workload::for_intensity(&sbus_cfg, rho, ratio)?;
+
+        // Private buses: exact chain.
+        let sbus = SharedBusChain::new(SharedBusParams {
+            processors: 1,
+            resources: 2,
+            lambda: w.lambda(),
+            mu_n: w.mu_n(),
+            mu_s: w.mu_s(),
+        })?
+        .solve()?;
+
+        let omega_cfg: SystemConfig = "16/1x16x16 OMEGA/2".parse()?;
+        let omega = estimate_delay(
+            || {
+                Box::new(
+                    OmegaNetwork::from_config(&omega_cfg, Admission::Simultaneous)
+                        .expect("valid omega config"),
+                )
+            },
+            &w,
+            &opts,
+            5,
+            3,
+        );
+
+        let xbar_cfg: SystemConfig = "16/1x16x32 XBAR/1".parse()?;
+        let xbar = estimate_delay(
+            || {
+                Box::new(
+                    CrossbarNetwork::from_config(&xbar_cfg, CrossbarPolicy::FixedPriority)
+                        .expect("valid crossbar config"),
+                )
+            },
+            &w,
+            &opts,
+            5,
+            3,
+        );
+
+        println!(
+            "{:>6} {:>18.4} {:>18.4} {:>18.4}",
+            rho, sbus.normalized_delay, omega.normalized_delay, xbar.normalized_delay
+        );
+    }
+
+    println!("\nAdvisor (Table II):");
+    for cost in [
+        CostRegime::NetworkMuchCheaper,
+        CostRegime::Comparable,
+        CostRegime::NetworkMuchDearer,
+    ] {
+        let rec = recommend(cost, ratio);
+        println!("  {cost:?}: {rec}");
+        println!("    because {}", rec.rationale());
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # rsin — resource-sharing interconnection networks
+//!
+//! A production-quality Rust reproduction of Benjamin W. Wah,
+//! *"A Comparative Study of Distributed Resource Sharing on
+//! Multiprocessors"* (ISCA 1983 / IEEE TC 1984).
+//!
+//! In a resource-sharing multiprocessor a request targets *any* free member
+//! of a pool of identical resources. The paper embeds the scheduling of
+//! such requests into the interconnection network itself — status
+//! information about free resources flows backward, requests flow forward,
+//! and every switching element routes locally — and compares three network
+//! families: the single shared bus (analyzed exactly by a Markov chain),
+//! the crossbar with gate-level distributed cells, and the Omega multistage
+//! network with scheduling interchange boxes.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`des`] | `rsin-des` | discrete-event kernel, RNG, statistics |
+//! | [`queueing`] | `rsin-queueing` | M/M/1, M/M/r, CTMC solvers, the shared-bus chain |
+//! | [`topology`] | `rsin-topology` | shuffle/Omega/cube wiring, routing, matching |
+//! | [`core`] | `rsin-core` | configs, workload, simulator, advisor |
+//! | [`sbus`] | `rsin-sbus` | Section III network |
+//! | [`xbar`] | `rsin-xbar` | Section IV network |
+//! | [`omega`] | `rsin-omega` | Section V network |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rsin::core::{simulate, SimOptions, SystemConfig, Workload};
+//! use rsin::des::SimRng;
+//! use rsin::omega::{Admission, OmegaNetwork};
+//!
+//! // One 16×16 Omega network, two resources per output port (Fig. 12).
+//! let cfg: SystemConfig = "16/1x16x16 OMEGA/2".parse()?;
+//! let workload = Workload::for_intensity(&cfg, 0.5, 0.1)?;
+//! let mut net = OmegaNetwork::from_config(&cfg, Admission::Simultaneous)?;
+//! let mut rng = SimRng::new(7);
+//! let opts = SimOptions { warmup_tasks: 500, measured_tasks: 5_000 };
+//! let report = simulate(&mut net, &workload, &opts, &mut rng);
+//! println!("normalized delay = {:.3}", report.normalized_delay(&workload));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rsin_core as core;
+pub use rsin_des as des;
+pub use rsin_omega as omega;
+pub use rsin_queueing as queueing;
+pub use rsin_sbus as sbus;
+pub use rsin_topology as topology;
+pub use rsin_xbar as xbar;

@@ -1,0 +1,140 @@
+//! End-to-end checks of the paper's headline claims, through the umbrella
+//! crate exactly as a downstream user would drive it.
+
+use rsin::des::SimRng;
+use rsin::omega::blocking::{run_blocking_experiment, BlockingExperiment};
+use rsin::omega::{Admission, OmegaState};
+use rsin::topology::{matching, OmegaTopology};
+
+/// Section V: the RSIN roughly halves the 8×8 Omega blocking probability
+/// relative to address mapping (≈ 0.15 vs ≈ 0.3).
+#[test]
+fn blocking_probability_halves_under_distributed_scheduling() {
+    let mut rng = SimRng::new(2026);
+    let exp = BlockingExperiment {
+        size: 8,
+        p_request: 0.5,
+        p_free: 0.5,
+        trials: 6_000,
+    };
+    let res = run_blocking_experiment(&exp, &mut rng);
+    // Total blocking: the RSIN sits between the structural floor (~0.20,
+    // requests in excess of free resources) and the address-mapping level
+    // near the paper's 0.3. See EXPERIMENTS.md for the 0.15-vs-0.23
+    // denominator discussion.
+    assert!(
+        res.rsin < res.address_mapping,
+        "RSIN {} must block less than address mapping {}",
+        res.rsin,
+        res.address_mapping
+    );
+    assert!(
+        (0.2..=0.4).contains(&res.address_mapping),
+        "address mapping {} should sit near the paper's 0.3",
+        res.address_mapping
+    );
+    // The discipline's own (network-caused) blocking shows the paper's 2x
+    // gap clearly.
+    assert!(
+        res.rsin_network * 2.0 < res.address_mapping_network,
+        "network-caused: RSIN {} vs address mapping {}",
+        res.rsin_network,
+        res.address_mapping_network
+    );
+}
+
+/// Section II: the good mappings allocate 3, the bad allocate at most 2.
+#[test]
+fn section2_mapping_example_reproduces() {
+    let net = OmegaTopology::new(8).expect("8x8");
+    let good: [&[(usize, usize)]; 4] = [
+        &[(0, 0), (1, 1), (2, 2)],
+        &[(0, 1), (1, 0), (2, 2)],
+        &[(0, 2), (1, 0), (2, 1)],
+        &[(0, 2), (1, 1), (2, 0)],
+    ];
+    let bad: [&[(usize, usize)]; 2] = [&[(0, 0), (1, 2), (2, 1)], &[(0, 1), (1, 2), (2, 0)]];
+    for m in good {
+        assert!(matching::mapping_is_conflict_free(&net, m), "{m:?}");
+    }
+    for m in bad {
+        assert!(!matching::mapping_is_conflict_free(&net, m), "{m:?}");
+        // "a maximum of two out of three resources can be allocated": some
+        // (not every) two-pair subset is realizable.
+        let some_pair_fits = (0..3).any(|skip| {
+            let sub: Vec<(usize, usize)> = m
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &p)| p)
+                .collect();
+            matching::mapping_is_conflict_free(&net, &sub)
+        });
+        assert!(some_pair_fits, "two of three must fit for {m:?}");
+    }
+}
+
+/// Fig. 11: the distributed algorithm serves all four requests, with about
+/// 3.5 interchange-box visits per request.
+#[test]
+fn fig11_walkthrough_reproduces() {
+    let mut net = OmegaState::new(8, 1).expect("8x8");
+    for busy in [2, 3, 6, 7] {
+        net.occupy_resource(busy);
+    }
+    let res = net.resolve(&[0, 3, 4, 5], Admission::Simultaneous);
+    assert_eq!(res.granted.len(), 4);
+    let avg = res.box_visits as f64 / 4.0;
+    assert!((3.0..=4.0).contains(&avg), "boxes per request: {avg}");
+}
+
+/// Section IV timing: the distributed request cycle is O(p+m) gate delays,
+/// so for large p it undercuts a centralized scheduler's O(p log m).
+#[test]
+fn distributed_cycle_beats_centralized_latency_at_scale() {
+    use rsin::xbar::{CentralScheduler, CrossbarFabric};
+    let fabric = CrossbarFabric::new(128, 128);
+    let central = CentralScheduler::new(128, 128);
+    assert!(
+        u64::from(fabric.request_cycle_gate_delay()) < central.batch_gate_delay(128) / 2,
+        "distributed {} vs centralized {}",
+        fabric.request_cycle_gate_delay(),
+        central.batch_gate_delay(128)
+    );
+}
+
+/// Table II is internally consistent with the measured regimes: the advisor
+/// flips from multistage to crossbar exactly at the ratio threshold.
+#[test]
+fn advisor_thresholds() {
+    use rsin::core::advisor::{recommend, CostRegime, Recommendation};
+    assert_eq!(
+        recommend(CostRegime::NetworkMuchCheaper, 0.99),
+        Recommendation::SingleMultistage
+    );
+    assert_eq!(
+        recommend(CostRegime::NetworkMuchCheaper, 1.01),
+        Recommendation::SingleCrossbar
+    );
+    for ratio in [0.1, 1.0, 10.0] {
+        assert_eq!(
+            recommend(CostRegime::NetworkMuchDearer, ratio),
+            Recommendation::PrivateBuses
+        );
+    }
+}
+
+/// The paper's degenerate-case remark: with one resource per "type" (here,
+/// one resource pool per port and a specific port demanded), resource
+/// accesses reduce to address mapping. Routing a specific destination
+/// through our topology matches the Omega destination-tag path.
+#[test]
+fn degenerate_case_is_address_mapping() {
+    use rsin::topology::Multistage;
+    let net = OmegaTopology::new(16).expect("16x16");
+    for (src, dst) in [(0usize, 5usize), (7, 7), (15, 0), (3, 12)] {
+        let route = net.route(src, dst);
+        assert_eq!(route.links.len(), 4);
+        assert_eq!(route.links.last().expect("nonempty").wire, dst);
+    }
+}
