@@ -1,37 +1,30 @@
 //! Benchmarks the discrete-event kernel: calendar throughput and variate
 //! generation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rsin_bench::microbench::bench;
 use rsin_des::{Calendar, SimRng, SimTime};
 use std::hint::black_box;
 
-fn bench_calendar(c: &mut Criterion) {
-    c.bench_function("calendar_schedule_pop_1k", |b| {
-        let mut rng = SimRng::new(1);
-        b.iter(|| {
-            let mut cal = Calendar::new();
-            for i in 0..1_000u32 {
-                cal.schedule(SimTime::new(rng.uniform() * 100.0 + 100.0), i);
-            }
-            let mut count = 0;
-            while cal.pop().is_some() {
-                count += 1;
-            }
-            black_box(count)
-        });
+fn main() {
+    let mut rng = SimRng::new(1);
+    bench("calendar_schedule_pop_1k", || {
+        let mut cal = Calendar::new();
+        for i in 0..1_000u32 {
+            cal.schedule(SimTime::new(rng.uniform() * 100.0 + 100.0), i);
+        }
+        let mut count = 0;
+        while cal.pop().is_some() {
+            count += 1;
+        }
+        black_box(count)
     });
 
-    c.bench_function("exponential_variates_10k", |b| {
-        let mut rng = SimRng::new(2);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..10_000 {
-                acc += rng.exponential(1.0);
-            }
-            black_box(acc)
-        });
+    let mut rng = SimRng::new(2);
+    bench("exponential_variates_10k", || {
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            acc += rng.exponential(1.0);
+        }
+        black_box(acc)
     });
 }
-
-criterion_group!(benches, bench_calendar);
-criterion_main!(benches);

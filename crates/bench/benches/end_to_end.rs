@@ -1,55 +1,47 @@
 //! End-to-end simulation throughput for each network family at the paper's
 //! reference configuration (16 processors, 32 resources, ρ = 0.5).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rsin_bench::figures::workload_at;
+use rsin_bench::microbench::bench;
 use rsin_core::{simulate, SimOptions, SystemConfig};
 use rsin_des::SimRng;
 use rsin_omega::{Admission, OmegaNetwork};
 use rsin_sbus::{Arbitration, SharedBusNetwork};
 use rsin_xbar::{CrossbarNetwork, CrossbarPolicy};
-use std::hint::black_box;
 
-fn bench_sim(c: &mut Criterion) {
+fn main() {
     let opts = SimOptions {
         warmup_tasks: 200,
         measured_tasks: 3_000,
     };
     let w = workload_at(0.5, 0.1);
-    let mut group = c.benchmark_group("simulate_3k_tasks");
-    group.sample_size(20);
 
-    group.bench_function("sbus_16x1x1_r2", |b| {
+    {
         let cfg: SystemConfig = "16/16x1x1 SBUS/2".parse().expect("valid");
-        b.iter(|| {
+        bench("simulate_3k_tasks/sbus_16x1x1_r2", || {
             let mut net =
                 SharedBusNetwork::from_config(&cfg, Arbitration::FixedPriority).expect("sbus");
             let mut rng = SimRng::new(1);
-            black_box(simulate(&mut net, &w, &opts, &mut rng).mean_delay())
+            simulate(&mut net, &w, &opts, &mut rng).mean_delay()
         });
-    });
+    }
 
-    group.bench_function("xbar_1x16x16_r2", |b| {
+    {
         let cfg: SystemConfig = "16/1x16x16 XBAR/2".parse().expect("valid");
-        b.iter(|| {
+        bench("simulate_3k_tasks/xbar_1x16x16_r2", || {
             let mut net =
                 CrossbarNetwork::from_config(&cfg, CrossbarPolicy::FixedPriority).expect("xbar");
             let mut rng = SimRng::new(1);
-            black_box(simulate(&mut net, &w, &opts, &mut rng).mean_delay())
+            simulate(&mut net, &w, &opts, &mut rng).mean_delay()
         });
-    });
+    }
 
-    group.bench_function("omega_1x16x16_r2", |b| {
+    {
         let cfg: SystemConfig = "16/1x16x16 OMEGA/2".parse().expect("valid");
-        b.iter(|| {
-            let mut net =
-                OmegaNetwork::from_config(&cfg, Admission::Simultaneous).expect("omega");
+        bench("simulate_3k_tasks/omega_1x16x16_r2", || {
+            let mut net = OmegaNetwork::from_config(&cfg, Admission::Simultaneous).expect("omega");
             let mut rng = SimRng::new(1);
-            black_box(simulate(&mut net, &w, &opts, &mut rng).mean_delay())
+            simulate(&mut net, &w, &opts, &mut rng).mean_delay()
         });
-    });
-    group.finish();
+    }
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

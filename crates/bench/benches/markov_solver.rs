@@ -2,9 +2,8 @@
 //! the exact matrix-geometric method, the paper's stage-recursion, and the
 //! truncated Gauss–Seidel reference.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsin_bench::microbench::bench;
 use rsin_queueing::{SharedBusChain, SharedBusParams};
-use std::hint::black_box;
 
 fn chain(resources: u32) -> SharedBusChain {
     SharedBusChain::new(SharedBusParams {
@@ -19,22 +18,17 @@ fn chain(resources: u32) -> SharedBusChain {
     .expect("stable")
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sbus_chain");
+fn main() {
     for r in [2u32, 8, 32] {
         let ch = chain(r);
-        group.bench_with_input(BenchmarkId::new("matrix_geometric", r), &ch, |b, ch| {
-            b.iter(|| black_box(ch.solve().expect("solves")));
+        bench(&format!("sbus_chain/matrix_geometric/{r}"), || {
+            ch.solve().expect("solves")
         });
-        group.bench_with_input(BenchmarkId::new("paper_iterative", r), &ch, |b, ch| {
-            b.iter(|| black_box(ch.solve_paper_iterative().expect("solves")));
+        bench(&format!("sbus_chain/paper_iterative/{r}"), || {
+            ch.solve_paper_iterative().expect("solves")
         });
-        group.bench_with_input(BenchmarkId::new("truncated_gs_64", r), &ch, |b, ch| {
-            b.iter(|| black_box(ch.solve_truncated(64).expect("solves")));
+        bench(&format!("sbus_chain/truncated_gs_64/{r}"), || {
+            ch.solve_truncated(64).expect("solves")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);

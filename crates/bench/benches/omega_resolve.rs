@@ -1,32 +1,22 @@
 //! Benchmarks the Omega distributed-resolution engine at several network
 //! sizes and contention levels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsin_bench::microbench::bench_with_setup;
 use rsin_omega::{Admission, OmegaState};
-use std::hint::black_box;
 
-fn bench_resolve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("omega_resolve");
+fn main() {
     for size in [8usize, 16, 64] {
         let requesters: Vec<usize> = (0..size).step_by(2).collect();
-        group.bench_with_input(BenchmarkId::new("half_requesting", size), &size, |b, &size| {
-            b.iter_batched(
-                || OmegaState::new(size, 1).expect("power of two"),
-                |mut net| black_box(net.resolve(&requesters, Admission::Simultaneous)),
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        bench_with_setup(
+            &format!("omega_resolve/half_requesting/{size}"),
+            || OmegaState::new(size, 1).expect("power of two"),
+            |mut net| net.resolve(&requesters, Admission::Simultaneous),
+        );
         let everyone: Vec<usize> = (0..size).collect();
-        group.bench_with_input(BenchmarkId::new("all_requesting", size), &size, |b, &size| {
-            b.iter_batched(
-                || OmegaState::new(size, 1).expect("power of two"),
-                |mut net| black_box(net.resolve(&everyone, Admission::Simultaneous)),
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        bench_with_setup(
+            &format!("omega_resolve/all_requesting/{size}"),
+            || OmegaState::new(size, 1).expect("power of two"),
+            |mut net| net.resolve(&everyone, Admission::Simultaneous),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_resolve);
-criterion_main!(benches);

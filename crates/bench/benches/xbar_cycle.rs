@@ -1,49 +1,32 @@
 //! Benchmarks the gate-level crossbar request/reset waves against the
 //! centralized-scheduler cost model (Section IV's latency comparison).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsin_bench::microbench::{bench, bench_with_setup};
 use rsin_xbar::{CentralScheduler, CrossbarFabric};
 use std::hint::black_box;
 
-fn bench_waves(c: &mut Criterion) {
-    let mut group = c.benchmark_group("xbar");
+fn main() {
     for (p, m) in [(16usize, 32usize), (64, 64), (128, 128)] {
         let requests = vec![true; p];
         let available = vec![true; m];
-        group.bench_with_input(
-            BenchmarkId::new("request_cycle", format!("{p}x{m}")),
-            &(p, m),
-            |b, &(p, m)| {
-                b.iter_batched(
-                    || CrossbarFabric::new(p, m),
-                    |mut fabric| black_box(fabric.request_cycle(&requests, &available)),
-                    criterion::BatchSize::SmallInput,
-                );
-            },
+        bench_with_setup(
+            &format!("xbar/request_cycle/{p}x{m}"),
+            || CrossbarFabric::new(p, m),
+            |mut fabric| fabric.request_cycle(&requests, &available),
         );
-        group.bench_with_input(
-            BenchmarkId::new("reset_cycle", format!("{p}x{m}")),
-            &(p, m),
-            |b, &(p, m)| {
-                let mut fabric = CrossbarFabric::new(p, m);
-                let _ = fabric.request_cycle(&requests, &available);
-                let resets = vec![true; p];
-                b.iter(|| {
-                    fabric.reset_cycle(black_box(&resets));
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("central_allocate", format!("{p}x{m}")),
-            &(p, m),
-            |b, &(p, m)| {
-                let sched = CentralScheduler::new(p, m);
-                b.iter(|| black_box(sched.allocate(&requests, &available)));
-            },
-        );
+        {
+            let mut fabric = CrossbarFabric::new(p, m);
+            let _ = fabric.request_cycle(&requests, &available);
+            let resets = vec![true; p];
+            bench(&format!("xbar/reset_cycle/{p}x{m}"), || {
+                fabric.reset_cycle(black_box(&resets));
+            });
+        }
+        {
+            let sched = CentralScheduler::new(p, m);
+            bench(&format!("xbar/central_allocate/{p}x{m}"), || {
+                sched.allocate(&requests, &available)
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_waves);
-criterion_main!(benches);

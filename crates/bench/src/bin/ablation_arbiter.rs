@@ -1,5 +1,8 @@
 //! Ablation: bus arbitration policy (fixed-priority vs random vs RR).
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text("ablation_arbiter", &rsin_bench::tables::ablation_arbiter_text(&q));
+    rsin_bench::output::emit_text(
+        "ablation_arbiter",
+        &rsin_bench::tables::ablation_arbiter_text(&q),
+    );
 }

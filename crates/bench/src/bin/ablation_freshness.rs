@@ -1,5 +1,8 @@
 //! Ablation: availability-register freshness (continuous vs stale).
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text("ablation_freshness", &rsin_bench::tables::ablation_freshness_text(&q));
+    rsin_bench::output::emit_text(
+        "ablation_freshness",
+        &rsin_bench::tables::ablation_freshness_text(&q),
+    );
 }

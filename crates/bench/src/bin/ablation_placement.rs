@@ -1,5 +1,8 @@
 //! Ablation: typed-resource placement (blocked vs interleaved).
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text("ablation_placement", &rsin_bench::tables::ablation_placement_text(&q));
+    rsin_bench::output::emit_text(
+        "ablation_placement",
+        &rsin_bench::tables::ablation_placement_text(&q),
+    );
 }

@@ -1,5 +1,8 @@
 //! Ablation: Omega admission discipline (simultaneous vs staggered).
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text("ablation_stagger", &rsin_bench::tables::ablation_stagger_text(&q));
+    rsin_bench::output::emit_text(
+        "ablation_stagger",
+        &rsin_bench::tables::ablation_stagger_text(&q),
+    );
 }

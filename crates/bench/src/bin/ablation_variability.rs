@@ -1,5 +1,8 @@
 //! Ablation: service-time distribution sensitivity.
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text("ablation_variability", &rsin_bench::tables::ablation_variability_text(&q));
+    rsin_bench::output::emit_text(
+        "ablation_variability",
+        &rsin_bench::tables::ablation_variability_text(&q),
+    );
 }

@@ -1,5 +1,8 @@
 //! Ablation: Omega vs indirect binary n-cube wiring.
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text("ablation_wiring", &rsin_bench::tables::ablation_wiring_text(&q));
+    rsin_bench::output::emit_text(
+        "ablation_wiring",
+        &rsin_bench::tables::ablation_wiring_text(&q),
+    );
 }

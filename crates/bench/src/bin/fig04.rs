@@ -3,6 +3,10 @@
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
     let mut e = rsin_bench::figures::fig_sbus(0.1, 4);
-    e.add(rsin_bench::figures::sbus_sim_series("16/16x1x1 SBUS/2", 0.1, &q));
+    e.add(rsin_bench::figures::sbus_sim_series(
+        "16/16x1x1 SBUS/2",
+        0.1,
+        &q,
+    ));
     rsin_bench::output::emit("fig04", &e);
 }

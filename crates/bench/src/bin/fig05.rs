@@ -3,6 +3,10 @@
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
     let mut e = rsin_bench::figures::fig_sbus(1.0, 5);
-    e.add(rsin_bench::figures::sbus_sim_series("16/16x1x1 SBUS/2", 1.0, &q));
+    e.add(rsin_bench::figures::sbus_sim_series(
+        "16/16x1x1 SBUS/2",
+        1.0,
+        &q,
+    ));
     rsin_bench::output::emit("fig05", &e);
 }

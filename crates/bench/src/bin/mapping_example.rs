@@ -1,4 +1,7 @@
 //! Regenerates the Section II Omega mapping example.
 fn main() {
-    rsin_bench::output::emit_text("mapping_example", &rsin_bench::tables::mapping_example_text());
+    rsin_bench::output::emit_text(
+        "mapping_example",
+        &rsin_bench::tables::mapping_example_text(),
+    );
 }

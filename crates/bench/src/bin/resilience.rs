@@ -1,0 +1,19 @@
+//! Regenerates the fault-injection resilience experiment: delivered
+//! throughput and normalized delay versus failed elements, distributed
+//! 16×16 Omega versus the centralized-scheduler baseline.
+fn main() {
+    let q = rsin_bench::RunQuality::from_args();
+    let points = rsin_bench::resilience::sweep(&q);
+    rsin_bench::output::emit(
+        "resilience",
+        &rsin_bench::resilience::throughput_experiment(&points),
+    );
+    rsin_bench::output::emit(
+        "resilience_delay",
+        &rsin_bench::resilience::delay_experiment(&points),
+    );
+    rsin_bench::output::emit_text(
+        "resilience_summary",
+        &rsin_bench::resilience::summary(&points),
+    );
+}

@@ -199,11 +199,7 @@ pub fn fig_omega(ratio: f64, fig_no: u32, quality: &RunQuality) -> Experiment {
         "rho",
         "normalized queueing delay d*mu_s (simulation, 95% CI)",
     );
-    let configs = [
-        "16/1x16x16 OMEGA/2",
-        "16/8x2x2 OMEGA/2",
-        "16/4x4x4 OMEGA/2",
-    ];
+    let configs = ["16/1x16x16 OMEGA/2", "16/8x2x2 OMEGA/2", "16/4x4x4 OMEGA/2"];
     for cfg_str in configs {
         let cfg: SystemConfig = cfg_str.parse().expect("valid figure config");
         e.add(sim_series(cfg_str, &cfg, ratio, quality, |c| {
@@ -218,24 +214,11 @@ pub fn fig_omega(ratio: f64, fig_no: u32, quality: &RunQuality) -> Experiment {
 /// A simulated SBUS series (used to overlay simulation on Figs. 4/5 and to
 /// validate the chain end to end).
 #[must_use]
-pub fn sbus_sim_series(
-    cfg_str: &str,
-    ratio: f64,
-    quality: &RunQuality,
-) -> Series {
+pub fn sbus_sim_series(cfg_str: &str, ratio: f64, quality: &RunQuality) -> Series {
     let cfg: SystemConfig = cfg_str.parse().expect("valid SBUS config");
-    sim_series(
-        &format!("{cfg_str} (sim)"),
-        &cfg,
-        ratio,
-        quality,
-        |c| {
-            Box::new(
-                SharedBusNetwork::from_config(c, Arbitration::FixedPriority)
-                    .expect("sbus config"),
-            )
-        },
-    )
+    sim_series(&format!("{cfg_str} (sim)"), &cfg, ratio, quality, |c| {
+        Box::new(SharedBusNetwork::from_config(c, Arbitration::FixedPriority).expect("sbus config"))
+    })
 }
 
 #[cfg(test)]

@@ -18,15 +18,22 @@
 //! | `ablation_arbiter` / `ablation_stagger` | design-choice ablations |
 //! | `all` | everything above in sequence |
 //!
-//! Criterion micro-benchmarks (`cargo bench -p rsin-bench`) measure the
-//! implementation itself: the Markov solvers, the gate-level crossbar wave,
-//! the Omega resolver, the DES kernel, and an end-to-end simulation.
+//! Micro-benchmarks (`cargo bench -p rsin-bench`, built on the in-tree
+//! [`microbench`] harness) measure the implementation itself: the Markov
+//! solvers, the gate-level crossbar wave, the Omega resolver, the DES
+//! kernel, and an end-to-end simulation.
+//!
+//! The `resilience` binary runs the fault-injection experiment: delivered
+//! throughput and normalized delay versus the number of failed network
+//! elements, distributed versus centralized scheduling.
 
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod microbench;
 pub mod output;
 pub mod quality;
+pub mod resilience;
 pub mod tables;
 
 pub use quality::RunQuality;

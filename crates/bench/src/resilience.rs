@@ -1,0 +1,272 @@
+//! The fault-injection resilience experiment: delivered throughput and
+//! normalized delay versus the number of failed elements, for the
+//! distributed 16×16 Omega RSIN and the centralized-scheduler baseline.
+//!
+//! The study quantifies the robustness claim implicit in the paper's
+//! distributed-scheduling argument: scheduling state that lives *in* the
+//! network degrades gracefully — killing interchange boxes removes paths
+//! and ports but leaves the reject-and-reroute protocol working around the
+//! holes — while a centralized scheduler is a single point of failure whose
+//! death stalls every allocation in the system at once.
+//!
+//! All runs are scripted (faults land at a fixed model time) and fully
+//! seeded, so the emitted artifact is byte-identical for a given seed.
+
+use crate::quality::RunQuality;
+use rsin_core::experiment::{Experiment, Series};
+use rsin_core::{simulate_faulty, FaultOptions, ResourceNetwork, SimError, SystemConfig, Workload};
+use rsin_des::{FaultPlan, FaultTarget, SimRng, SimTime};
+use rsin_omega::{Admission, CentralOmegaNetwork, OmegaNetwork};
+
+/// The configuration under study: one 16×16 Omega network, two resources
+/// per output port.
+pub const CONFIG: &str = "16/1x16x16 OMEGA/2";
+
+/// Traffic intensity of the sweep (a mid-load Fig. 12 point).
+pub const INTENSITY: f64 = 0.5;
+
+/// Service/transmission rate ratio `µ_s/µ_n` of the sweep.
+pub const SERVICE_RATIO: f64 = 0.1;
+
+/// Model time at which every scripted fault lands (after the warm-up
+/// transient at quick quality, well inside the measurement window).
+pub const FAULT_TIME: f64 = 1.0;
+
+/// Interchange boxes killed by the distributed sweep, in kill order —
+/// spread over different stages of the 4-stage, 8-boxes-per-stage fabric.
+pub const KILLED_BOXES: [usize; 3] = [0, 11, 22];
+
+/// Outcome of one fault scenario.
+#[derive(Clone, Debug)]
+pub struct ResiliencePoint {
+    /// Short label of the network variant.
+    pub network: &'static str,
+    /// Number of elements failed for the whole measured window.
+    pub failed_elements: usize,
+    /// Measured completions per unit time (0 when the run stalled).
+    pub delivered_throughput: f64,
+    /// Mean queueing delay in service-time units (`NaN` when stalled).
+    pub normalized_delay: f64,
+    /// Whether the livelock watchdog aborted the run.
+    pub stalled: bool,
+}
+
+fn run_scenario(
+    net: &mut dyn ResourceNetwork,
+    network: &'static str,
+    failed_elements: usize,
+    workload: &Workload,
+    q: &RunQuality,
+) -> ResiliencePoint {
+    let mut plan = FaultPlan::new();
+    for (e, &killed_box) in KILLED_BOXES.iter().enumerate().take(failed_elements) {
+        let element = if net.fault_elements() > 1 {
+            killed_box
+        } else {
+            e
+        };
+        plan = plan.fail_at(SimTime::new(FAULT_TIME), FaultTarget::Element(element));
+    }
+    let mut rng = SimRng::new(q.seed);
+    match simulate_faulty(
+        net,
+        workload,
+        &q.sim_options(),
+        &plan,
+        &FaultOptions::default(),
+        &mut rng,
+    ) {
+        Ok(report) => ResiliencePoint {
+            network,
+            failed_elements,
+            delivered_throughput: report.delivered_throughput,
+            normalized_delay: report.normalized_delay(workload),
+            stalled: false,
+        },
+        Err(SimError::Stalled { .. }) => ResiliencePoint {
+            network,
+            failed_elements,
+            delivered_throughput: 0.0,
+            normalized_delay: f64::NAN,
+            stalled: true,
+        },
+    }
+}
+
+/// Runs the full sweep: the distributed network with 0–3 dead interchange
+/// boxes and the centralized baseline with its scheduler alive (0) and
+/// dead (1).
+#[must_use]
+pub fn sweep(q: &RunQuality) -> Vec<ResiliencePoint> {
+    let cfg: SystemConfig = CONFIG.parse().expect("valid config");
+    let workload = Workload::for_intensity(&cfg, INTENSITY, SERVICE_RATIO).expect("valid workload");
+    let mut points = Vec::new();
+    for failed in 0..=KILLED_BOXES.len() {
+        let mut net =
+            OmegaNetwork::from_config(&cfg, Admission::Simultaneous).expect("omega config");
+        points.push(run_scenario(
+            &mut net,
+            "OMEGA distributed",
+            failed,
+            &workload,
+            q,
+        ));
+    }
+    for failed in 0..=1 {
+        let mut net = CentralOmegaNetwork::new(cfg.inputs() as usize, cfg.resources_per_port())
+            .expect("power-of-two size");
+        points.push(run_scenario(
+            &mut net,
+            "OMEGA centralized",
+            failed,
+            &workload,
+            q,
+        ));
+    }
+    points
+}
+
+/// Renders the sweep as the throughput experiment (one series per network
+/// variant; x = failed elements, y = delivered throughput).
+#[must_use]
+pub fn throughput_experiment(points: &[ResiliencePoint]) -> Experiment {
+    let mut e = Experiment::new(
+        format!("Resilience: delivered throughput vs failed elements ({CONFIG}, rho={INTENSITY})"),
+        "failed elements",
+        "delivered throughput",
+    );
+    for network in ["OMEGA distributed", "OMEGA centralized"] {
+        let mut s = Series::new(network);
+        for p in points.iter().filter(|p| p.network == network) {
+            s.push(p.failed_elements as f64, p.delivered_throughput);
+        }
+        e.add(s);
+    }
+    e
+}
+
+/// Renders the sweep as the delay experiment (distributed series only —
+/// the centralized baseline has no delay once stalled).
+#[must_use]
+pub fn delay_experiment(points: &[ResiliencePoint]) -> Experiment {
+    let mut e = Experiment::new(
+        format!("Resilience: normalized delay vs failed boxes ({CONFIG}, rho={INTENSITY})"),
+        "failed elements",
+        "normalized delay d*mu_s",
+    );
+    let mut s = Series::new("OMEGA distributed");
+    for p in points
+        .iter()
+        .filter(|p| p.network == "OMEGA distributed" && !p.stalled)
+    {
+        s.push(p.failed_elements as f64, p.normalized_delay);
+    }
+    e.add(s);
+    e
+}
+
+/// One-line-per-scenario text summary, including stall flags.
+#[must_use]
+pub fn summary(points: &[ResiliencePoint]) -> String {
+    let mut out = String::new();
+    for p in points {
+        let delay = if p.normalized_delay.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.4}", p.normalized_delay)
+        };
+        out.push_str(&format!(
+            "{:<18} failed={} throughput={:.5} delay={} {}\n",
+            p.network,
+            p.failed_elements,
+            p.delivered_throughput,
+            delay,
+            if p.stalled { "STALLED" } else { "ok" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cheap() -> RunQuality {
+        RunQuality {
+            warmup: 200,
+            measured: 2_000,
+            ..RunQuality::quick()
+        }
+    }
+
+    /// The experiment's headline acceptance criterion: the distributed
+    /// network sustains nonzero throughput with 1–3 dead interchange
+    /// boxes, while the centralized baseline delivers zero once its
+    /// scheduler dies.
+    #[test]
+    fn distributed_survives_box_faults_centralized_does_not() {
+        let points = sweep(&cheap());
+        for p in &points {
+            match (p.network, p.failed_elements) {
+                ("OMEGA distributed", _) => {
+                    assert!(
+                        p.delivered_throughput > 0.0,
+                        "distributed with {} dead boxes must keep delivering",
+                        p.failed_elements
+                    );
+                    assert!(!p.stalled);
+                }
+                ("OMEGA centralized", 0) => {
+                    assert!(p.delivered_throughput > 0.0, "healthy baseline delivers");
+                }
+                ("OMEGA centralized", _) => {
+                    assert_eq!(
+                        p.delivered_throughput, 0.0,
+                        "dead scheduler must deliver nothing"
+                    );
+                    assert!(p.stalled, "the watchdog reports the stall");
+                }
+                other => panic!("unexpected point {other:?}"),
+            }
+        }
+    }
+
+    /// Dead boxes remove capacity, so the surviving system pays in delay.
+    #[test]
+    fn degradation_is_monotone_in_delay_direction() {
+        let points = sweep(&cheap());
+        let distributed: Vec<&ResiliencePoint> = points
+            .iter()
+            .filter(|p| p.network == "OMEGA distributed")
+            .collect();
+        assert_eq!(distributed.len(), 4);
+        let healthy = distributed[0].normalized_delay;
+        let worst = distributed[3].normalized_delay;
+        assert!(
+            worst > healthy,
+            "three dead boxes must cost delay: {healthy} -> {worst}"
+        );
+    }
+
+    /// Byte-identical artifacts per seed: the whole pipeline is
+    /// deterministic.
+    #[test]
+    fn sweep_is_deterministic_per_seed() {
+        let q = cheap();
+        let a = sweep(&q);
+        let b = sweep(&q);
+        let render = |p: &[ResiliencePoint]| summary(p) + &throughput_experiment(p).to_csv();
+        assert_eq!(render(&a), render(&b));
+    }
+
+    #[test]
+    fn experiments_have_expected_shape() {
+        let points = sweep(&cheap());
+        let thr = throughput_experiment(&points);
+        let csv = thr.to_csv();
+        assert!(csv.lines().count() >= 5, "header + >=4 distributed points");
+        let delay = delay_experiment(&points);
+        assert!(!delay.to_csv().is_empty());
+        assert!(summary(&points).contains("STALLED"));
+    }
+}

@@ -10,7 +10,9 @@ use rsin_core::advisor::{recommend, CostRegime};
 use rsin_core::{estimate_delay, SystemConfig};
 use rsin_des::SimRng;
 use rsin_omega::blocking::{run_blocking_experiment, BlockingExperiment, BlockingResult};
-use rsin_omega::{Admission, OmegaNetwork, OmegaState, Placement, StatusFreshness, TypedOmegaNetwork, Wiring};
+use rsin_omega::{
+    Admission, OmegaNetwork, OmegaState, Placement, StatusFreshness, TypedOmegaNetwork, Wiring,
+};
 use rsin_queueing::{SharedBusChain, SharedBusParams};
 use rsin_sbus::{Arbitration, SharedBusNetwork};
 use rsin_topology::{matching, OmegaTopology};
@@ -22,7 +24,11 @@ use std::fmt::Write as _;
 pub fn table1_text() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Table I: truth table of the crossbar cell");
-    let _ = writeln!(out, "{:>8} {:>4} {:>4} {:>6} {:>8} {:>6} {:>6}", "MODE", "X", "Y", "X_out", "Y_out", "SET", "RESET");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>4} {:>4} {:>6} {:>8} {:>6} {:>6}",
+        "MODE", "X", "Y", "X_out", "Y_out", "SET", "RESET"
+    );
     for (mode, name) in [(Mode::Request, "Request"), (Mode::Reset, "Reset")] {
         for x in [false, true] {
             for y in [false, true] {
@@ -34,8 +40,13 @@ pub fn table1_text() -> String {
                 let _ = writeln!(
                     out,
                     "{:>8} {:>4} {:>4} {:>6} {:>8} {:>6} {:>6}",
-                    name, u8::from(x), u8::from(y), u8::from(xo), u8::from(yo),
-                    u8::from(set), u8::from(reset),
+                    name,
+                    u8::from(x),
+                    u8::from(y),
+                    u8::from(xo),
+                    u8::from(yo),
+                    u8::from(set),
+                    u8::from(reset),
                 );
             }
         }
@@ -48,7 +59,11 @@ pub fn table1_text() -> String {
 pub fn table2_text() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Table II: selection of suitable RSIN");
-    let _ = writeln!(out, "{:<28} {:>12}   {}", "RELATIVE COSTS", "mu_s/mu_n", "NETWORK TO BE USED");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12}   NETWORK TO BE USED",
+        "RELATIVE COSTS", "mu_s/mu_n"
+    );
     let rows = [
         (CostRegime::NetworkMuchCheaper, 0.1, "small"),
         (CostRegime::NetworkMuchCheaper, 10.0, "large"),
@@ -102,11 +117,7 @@ pub fn section6_comparison(ratio: f64, rho: f64, quality: &RunQuality) -> Vec<Co
 
     let omega_cfg: SystemConfig = "16/4x4x4 OMEGA/2".parse().expect("valid");
     let est = estimate_delay(
-        || {
-            Box::new(
-                OmegaNetwork::from_config(&omega_cfg, Admission::Simultaneous).expect("omega"),
-            )
-        },
+        || Box::new(OmegaNetwork::from_config(&omega_cfg, Admission::Simultaneous).expect("omega")),
         &w,
         &opts,
         quality.seed,
@@ -189,8 +200,7 @@ pub fn blocking_text(quality: &RunQuality) -> String {
         let _ = writeln!(
             out,
             "{:>8.2} {:>8.2} {:>12.4} {:>16.4} {:>12.4} {:>16.4}",
-            p, p, res.rsin, res.address_mapping, res.rsin_network,
-            res.address_mapping_network,
+            p, p, res.rsin, res.address_mapping, res.rsin_network, res.address_mapping_network,
         );
     }
     let _ = writeln!(
@@ -207,7 +217,10 @@ pub fn blocking_text(quality: &RunQuality) -> String {
 #[must_use]
 pub fn fig11_text() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig. 11: 8x8 Omega distributed scheduling walkthrough");
+    let _ = writeln!(
+        out,
+        "# Fig. 11: 8x8 Omega distributed scheduling walkthrough"
+    );
     let mut net = OmegaState::new(8, 1).expect("8x8");
     for port in [2, 3, 6, 7] {
         net.occupy_resource(port);
@@ -221,7 +234,13 @@ pub fn fig11_text() -> String {
             .iter()
             .map(|l| format!("stage{}→wire{}", l.stage, l.wire))
             .collect();
-        let _ = writeln!(out, "  P{} → R{}   via {}", c.processor, c.port, links.join(", "));
+        let _ = writeln!(
+            out,
+            "  P{} → R{}   via {}",
+            c.processor,
+            c.port,
+            links.join(", ")
+        );
     }
     let _ = writeln!(out, "rejected: {:?}", res.rejected);
     let _ = writeln!(
@@ -253,7 +272,11 @@ pub fn mapping_example_text() -> String {
         let _ = writeln!(
             out,
             "  {m:?} → {}",
-            if ok { "realizable (3 allocated)" } else { "BLOCKED (max 2)" }
+            if ok {
+                "realizable (3 allocated)"
+            } else {
+                "BLOCKED (max 2)"
+            }
         );
     }
     let best = matching::max_allocation(&net, &[0, 1, 2], &[0, 1, 2]);
@@ -272,7 +295,10 @@ pub fn mapping_example_text() -> String {
 #[must_use]
 pub fn ablation_arbiter_text(quality: &RunQuality) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Ablation: bus arbitration policy (8/1x8x1 SBUS/4, rho=0.5, ratio=0.5)");
+    let _ = writeln!(
+        out,
+        "# Ablation: bus arbitration policy (8/1x8x1 SBUS/4, rho=0.5, ratio=0.5)"
+    );
     let cfg: SystemConfig = "8/1x8x1 SBUS/4".parse().expect("valid");
     let w = rsin_core::Workload::for_intensity(&cfg, 0.5, 0.5).expect("valid");
     let opts = quality.sim_options();
@@ -333,79 +359,6 @@ pub fn ablation_stagger_text(quality: &RunQuality) -> String {
         }
     }
     out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table1_lists_all_sixteen_rows() {
-        let t = table1_text();
-        assert_eq!(t.lines().count(), 2 + 8, "header + 8 input rows");
-        assert!(t.contains("Request"));
-        assert!(t.contains("Reset"));
-    }
-
-    #[test]
-    fn table2_covers_all_regimes() {
-        let t = table2_text();
-        assert!(t.contains("private buses"));
-        assert!(t.contains("multistage"));
-        assert!(t.contains("crossbar"));
-    }
-
-    #[test]
-    fn fig11_reports_full_allocation() {
-        let t = fig11_text();
-        assert!(t.contains("rejected: []"), "{t}");
-        assert!(t.contains("per request"));
-    }
-
-    #[test]
-    fn mapping_example_marks_good_and_bad() {
-        let t = mapping_example_text();
-        assert_eq!(t.matches("realizable").count(), 4);
-        assert_eq!(t.matches("BLOCKED").count(), 2);
-        assert!(t.contains("optimal scheduler allocates: 3 of 3"));
-    }
-
-    #[test]
-    fn section6_sbus3_wins_under_heavy_load() {
-        // "a 16/16x1x1 SBUS/3 system has a much better delay behavior than a
-        // 16/4x4x4 OMEGA/2 or a 16/4x4x4 XBAR/2 system." In our model the
-        // advantage appears under heavy load (rho = 0.8), where shared
-        // networks block; at light load the pooled organizations win —
-        // recorded as a deviation in EXPERIMENTS.md.
-        let rows = section6_comparison(0.1, 0.8, &RunQuality::quick());
-        assert_eq!(rows.len(), 3);
-        let sbus = rows[0].normalized_delay;
-        assert!(
-            sbus < rows[1].normalized_delay && sbus < rows[2].normalized_delay,
-            "SBUS/3 {sbus} must beat OMEGA/2 {} and XBAR/2 {}",
-            rows[1].normalized_delay,
-            rows[2].normalized_delay
-        );
-    }
-
-    #[test]
-    fn section6_pooling_wins_at_light_load() {
-        // The flip side of the comparison: at light load the shared
-        // organizations (8 pooled resources per 4 processors) beat 3
-        // private resources per processor.
-        let rows = section6_comparison(0.1, 0.3, &RunQuality::quick());
-        let sbus = rows[0].normalized_delay;
-        assert!(sbus > rows[1].normalized_delay && sbus > rows[2].normalized_delay);
-    }
-
-    #[test]
-    fn blocking_table_reports_gap() {
-        let mut q = RunQuality::quick();
-        q.trials = 1_000;
-        let t = blocking_text(&q);
-        assert!(t.contains("RSIN"));
-        assert!(t.lines().count() >= 5);
-    }
 }
 
 /// Ablation: status-register freshness (continuous vs epoch-start-only),
@@ -517,8 +470,7 @@ pub fn ablation_placement_text(quality: &RunQuality) -> String {
             (Placement::Blocked, "blocked"),
             (Placement::Interleaved, "interleaved"),
         ] {
-            let mut net =
-                TypedOmegaNetwork::new(1, 16, 1, 2, placement, Admission::Simultaneous);
+            let mut net = TypedOmegaNetwork::new(1, 16, 1, 2, placement, Admission::Simultaneous);
             let mut rng = Rng::new(quality.seed);
             let report = simulate_typed(&mut net, &w, &opts, &mut rng);
             let _ = writeln!(
@@ -553,9 +505,18 @@ pub fn ablation_variability_text(quality: &RunQuality) -> String {
     let cfg: SystemConfig = "16/1x16x16 OMEGA/2".parse().expect("valid");
 
     let cases: Vec<(&str, Box<dyn rsin_des::Draw>)> = vec![
-        ("deterministic (cv2=0)", Box::new(Deterministic::new(1.0 / w.mu_s()))),
-        ("Erlang-4 (cv2=0.25)", Box::new(Erlang::new(4, 1.0 / w.mu_s()))),
-        ("exponential (cv2=1)", Box::new(Exponential::with_rate(w.mu_s()))),
+        (
+            "deterministic (cv2=0)",
+            Box::new(Deterministic::new(1.0 / w.mu_s())),
+        ),
+        (
+            "Erlang-4 (cv2=0.25)",
+            Box::new(Erlang::new(4, 1.0 / w.mu_s())),
+        ),
+        (
+            "exponential (cv2=1)",
+            Box::new(Exponential::with_rate(w.mu_s())),
+        ),
         (
             "hyperexp (cv2~3.5)",
             Box::new(HyperExponential::new(0.8, 2.0 * w.mu_s(), 0.4 * w.mu_s())),
@@ -587,4 +548,84 @@ pub fn ablation_variability_text(quality: &RunQuality) -> String {
          shape; variability moves the curve but preserves the network ordering)"
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_sixteen_rows() {
+        let t = table1_text();
+        assert_eq!(t.lines().count(), 2 + 8, "header + 8 input rows");
+        assert!(t.contains("Request"));
+        assert!(t.contains("Reset"));
+    }
+
+    #[test]
+    fn table2_covers_all_regimes() {
+        let t = table2_text();
+        assert!(t.contains("private buses"));
+        assert!(t.contains("multistage"));
+        assert!(t.contains("crossbar"));
+    }
+
+    #[test]
+    fn fig11_reports_full_allocation() {
+        let t = fig11_text();
+        assert!(t.contains("rejected: []"), "{t}");
+        assert!(t.contains("per request"));
+    }
+
+    #[test]
+    fn mapping_example_marks_good_and_bad() {
+        let t = mapping_example_text();
+        assert_eq!(t.matches("realizable").count(), 4);
+        assert_eq!(t.matches("BLOCKED").count(), 2);
+        assert!(t.contains("optimal scheduler allocates: 3 of 3"));
+    }
+
+    #[test]
+    fn section6_sbus3_wins_under_heavy_load() {
+        // "a 16/16x1x1 SBUS/3 system has a much better delay behavior than a
+        // 16/4x4x4 OMEGA/2 or a 16/4x4x4 XBAR/2 system." In our model the
+        // advantage appears under heavy load (rho = 0.8), where shared
+        // networks block; at light load the pooled organizations win —
+        // recorded as a deviation in EXPERIMENTS.md. The margin over
+        // OMEGA/2 is small at this load, so spend more effort than the
+        // quick preset to resolve the ordering of the true means.
+        let quality = RunQuality {
+            measured: 24_000,
+            reps: 4,
+            ..RunQuality::quick()
+        };
+        let rows = section6_comparison(0.1, 0.8, &quality);
+        assert_eq!(rows.len(), 3);
+        let sbus = rows[0].normalized_delay;
+        assert!(
+            sbus < rows[1].normalized_delay && sbus < rows[2].normalized_delay,
+            "SBUS/3 {sbus} must beat OMEGA/2 {} and XBAR/2 {}",
+            rows[1].normalized_delay,
+            rows[2].normalized_delay
+        );
+    }
+
+    #[test]
+    fn section6_pooling_wins_at_light_load() {
+        // The flip side of the comparison: at light load the shared
+        // organizations (8 pooled resources per 4 processors) beat 3
+        // private resources per processor.
+        let rows = section6_comparison(0.1, 0.3, &RunQuality::quick());
+        let sbus = rows[0].normalized_delay;
+        assert!(sbus > rows[1].normalized_delay && sbus > rows[2].normalized_delay);
+    }
+
+    #[test]
+    fn blocking_table_reports_gap() {
+        let mut q = RunQuality::quick();
+        q.trials = 1_000;
+        let t = blocking_text(&q);
+        assert!(t.contains("RSIN"));
+        assert!(t.lines().count() >= 5);
+    }
 }

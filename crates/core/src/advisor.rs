@@ -102,7 +102,10 @@ impl fmt::Display for Recommendation {
 /// ```
 #[must_use]
 pub fn recommend(cost: CostRegime, ratio: f64) -> Recommendation {
-    assert!(ratio.is_finite() && ratio > 0.0, "ratio must be positive, got {ratio}");
+    assert!(
+        ratio.is_finite() && ratio > 0.0,
+        "ratio must be positive, got {ratio}"
+    );
     let small = ratio <= 1.0;
     match (cost, small) {
         (CostRegime::NetworkMuchCheaper, true) => Recommendation::SingleMultistage,

@@ -55,11 +55,7 @@ impl Series {
     /// y-value at the largest x not exceeding `x`, if any.
     #[must_use]
     pub fn value_at_or_before(&self, x: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .filter(|p| p.x <= x + 1e-12)
-            .next_back()
-            .map(|p| p.y)
+        self.points.iter().rfind(|p| p.x <= x + 1e-12).map(|p| p.y)
     }
 }
 
@@ -185,7 +181,7 @@ impl Experiment {
             out.push('\n');
         }
         out.push('+');
-        out.extend(std::iter::repeat('-').take(width));
+        out.extend(std::iter::repeat_n('-', width));
         out.push('\n');
         let mut legend = String::new();
         for (si, s) in self.series.iter().enumerate() {
@@ -202,7 +198,12 @@ impl Experiment {
         let mut out = String::new();
         let _ = write!(out, "{}", self.x_label.replace(',', ";"));
         for s in &self.series {
-            let _ = write!(out, ",{},{}_hw", s.label.replace(',', ";"), s.label.replace(',', ";"));
+            let _ = write!(
+                out,
+                ",{},{}_hw",
+                s.label.replace(',', ";"),
+                s.label.replace(',', ";")
+            );
         }
         out.push('\n');
         for x in self.x_grid() {

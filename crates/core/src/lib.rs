@@ -17,6 +17,9 @@
 //!   resource release at end of service.
 //! - [`simulate`] / [`SimOptions`] / [`SimReport`]: the task-lifecycle
 //!   discrete-event simulator measuring the paper's delay metric `d`.
+//! - [`simulate_faulty`] / [`FaultOptions`] / [`SimError`]: the same
+//!   lifecycle under a fault-injection plan, with casualty requeueing and
+//!   a livelock watchdog.
 //! - [`estimate_delay`]: replicated runs with confidence intervals.
 //! - [`experiment`]: text/CSV rendering for the figure regenerators.
 //! - [`advisor`]: the Table-II network-selection decision rule.
@@ -52,5 +55,8 @@ pub use config::{NetworkKind, SystemConfig};
 pub use error::ConfigError;
 pub use network::{Grant, NetworkCounters, ResourceNetwork};
 pub use runner::{estimate_delay, DelayEstimate};
-pub use sim::{simulate, simulate_general, SimOptions, SimReport, StageDistributions};
+pub use sim::{
+    simulate, simulate_faulty, simulate_general, simulate_general_faulty, FaultOptions, SimError,
+    SimOptions, SimReport, StageDistributions,
+};
 pub use workload::Workload;

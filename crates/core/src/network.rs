@@ -37,6 +37,14 @@ pub struct NetworkCounters {
     /// Total interchange boxes (or cells) traversed by granted requests,
     /// where the network tracks it; 0 otherwise.
     pub boxes_traversed: u64,
+    /// Resource-pool failures applied (accepted `fail_resource` calls).
+    pub resource_failures: u64,
+    /// Resource-pool repairs applied (accepted `repair_resource` calls).
+    pub resource_repairs: u64,
+    /// Structural-element failures applied (accepted `fail_element` calls).
+    pub element_failures: u64,
+    /// Structural-element repairs applied (accepted `repair_element` calls).
+    pub element_repairs: u64,
 }
 
 impl NetworkCounters {
@@ -94,6 +102,58 @@ pub trait ResourceNetwork: std::fmt::Debug {
         NetworkCounters::default()
     }
 
+    /// Takes the resource pool behind global output `port` offline.
+    ///
+    /// Returns `true` when the network supports resource faults and the
+    /// pool was up. On acceptance the network must *internally* release
+    /// every circuit and busy count associated with the port — the
+    /// simulator cancels the casualties' lifecycle events and requeues the
+    /// tasks, and will **not** call [`ResourceNetwork::end_transmission`]
+    /// or [`ResourceNetwork::end_service`] for them. Until repaired, the
+    /// port must advertise no availability.
+    ///
+    /// The default implementation ignores the fault (returns `false`), so
+    /// fault-unaware networks keep full capacity.
+    fn fail_resource(&mut self, port: usize) -> bool {
+        let _ = port;
+        false
+    }
+
+    /// Brings the resource pool behind `port` back online at its pre-fault
+    /// capacity. Returns `true` when the network supports resource faults
+    /// and the pool was down.
+    fn repair_resource(&mut self, port: usize) -> bool {
+        let _ = port;
+        false
+    }
+
+    /// Fails a structural element (bus/arbiter, crossbar cell, interchange
+    /// box, central scheduler — indexed per network, see
+    /// [`ResourceNetwork::fault_elements`]).
+    ///
+    /// Element failures are *fail-open*: circuits already established
+    /// through the element complete normally, but the element contributes
+    /// nothing to future scheduling until repaired. Returns `true` when
+    /// the element exists, faults are supported, and it was up.
+    fn fail_element(&mut self, element: usize) -> bool {
+        let _ = element;
+        false
+    }
+
+    /// Repairs a structural element. Returns `true` when the element
+    /// exists, faults are supported, and it was down.
+    fn repair_element(&mut self, element: usize) -> bool {
+        let _ = element;
+        false
+    }
+
+    /// Number of structural elements addressable by
+    /// [`ResourceNetwork::fail_element`] (0 when element faults are not
+    /// supported).
+    fn fault_elements(&self) -> usize {
+        0
+    }
+
     /// Short human-readable label (e.g. `"SBUS"`, `"OMEGA"`).
     fn label(&self) -> &'static str {
         "NET"
@@ -109,7 +169,7 @@ mod tests {
         let c = NetworkCounters {
             attempts: 10,
             rejections: 3,
-            boxes_traversed: 0,
+            ..NetworkCounters::default()
         };
         assert!((c.rejection_ratio() - 0.3).abs() < 1e-12);
         assert_eq!(NetworkCounters::default().rejection_ratio(), 0.0);

@@ -63,9 +63,21 @@ pub struct RoundTripReport {
 #[derive(Debug)]
 enum Event {
     Arrival(usize),
-    TxDone { grant: Grant, arrival: SimTime, measured: bool },
-    SvcDone { grant: Grant, arrival: SimTime, measured: bool },
-    RetDone { ticket: ReturnTicket, arrival: SimTime, measured: bool },
+    TxDone {
+        grant: Grant,
+        arrival: SimTime,
+        measured: bool,
+    },
+    SvcDone {
+        grant: Grant,
+        arrival: SimTime,
+        measured: bool,
+    },
+    RetDone {
+        ticket: ReturnTicket,
+        arrival: SimTime,
+        measured: bool,
+    },
 }
 
 /// A result waiting at a resource port for the return network.
@@ -132,13 +144,28 @@ pub fn simulate_round_trip(
                 let dt = arr_rng.exponential(workload.lambda());
                 cal.schedule(now + dt, Event::Arrival(proc));
             }
-            Event::TxDone { grant, arrival, measured } => {
+            Event::TxDone {
+                grant,
+                arrival,
+                measured,
+            } => {
                 net.end_transmission(grant);
                 transmitting[grant.processor] = false;
                 let dt = svc_rng.exponential(workload.mu_s());
-                cal.schedule(now + dt, Event::SvcDone { grant, arrival, measured });
+                cal.schedule(
+                    now + dt,
+                    Event::SvcDone {
+                        grant,
+                        arrival,
+                        measured,
+                    },
+                );
             }
-            Event::SvcDone { grant, arrival, measured } => {
+            Event::SvcDone {
+                grant,
+                arrival,
+                measured,
+            } => {
                 net.end_service(grant);
                 results.push(PendingResult {
                     port: grant.port,
@@ -148,7 +175,11 @@ pub fn simulate_round_trip(
                     measured,
                 });
             }
-            Event::RetDone { ticket, arrival, measured } => {
+            Event::RetDone {
+                ticket,
+                arrival,
+                measured,
+            } => {
                 ret.end_return(ticket);
                 if measured {
                     round.push(now - arrival);
@@ -199,7 +230,14 @@ pub fn simulate_round_trip(
                         delays.push(now - arrival);
                     }
                     let dt = svc_rng.exponential(workload.mu_n());
-                    cal.schedule(now + dt, Event::TxDone { grant, arrival, measured });
+                    cal.schedule(
+                        now + dt,
+                        Event::TxDone {
+                            grant,
+                            arrival,
+                            measured,
+                        },
+                    );
                 }
             }
         }
@@ -234,7 +272,10 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|&(_, &b)| b)
-                .map(|(i, _)| Grant { processor: i, port: i })
+                .map(|(i, _)| Grant {
+                    processor: i,
+                    port: i,
+                })
                 .collect()
         }
         fn end_transmission(&mut self, _grant: Grant) {}
@@ -290,7 +331,10 @@ mod tests {
             (got - expect).abs() / expect < 0.05,
             "round trip {got} vs expected {expect}"
         );
-        assert!(report.return_wait.mean() < 1e-9, "instant return never waits");
+        assert!(
+            report.return_wait.mean() < 1e-9,
+            "instant return never waits"
+        );
     }
 
     #[test]

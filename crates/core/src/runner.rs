@@ -98,16 +98,14 @@ mod tests {
             warmup_tasks: 2_000,
             measured_tasks: 40_000,
         };
-        let est = estimate_delay(
-            || Box::new(InstantNet { p: 4 }),
-            &workload,
-            &opts,
-            42,
-            4,
-        );
+        let est = estimate_delay(|| Box::new(InstantNet { p: 4 }), &workload, &opts, 42, 4);
         let expect = 0.3 / (1.0 - 0.3);
         let rel = (est.normalized_delay - expect).abs() / expect;
-        assert!(rel < 0.05, "delay {} vs M/M/1 Wq {expect}", est.normalized_delay);
+        assert!(
+            rel < 0.05,
+            "delay {} vs M/M/1 Wq {expect}",
+            est.normalized_delay
+        );
         assert!(est.half_width > 0.0, "replications must spread");
     }
 

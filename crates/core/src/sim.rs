@@ -5,12 +5,31 @@
 //! processors, no queueing at the resources, and retry-on-status-change for
 //! blocked requests. The headline output is `d`, the mean delay from task
 //! arrival until a resource is allocated, matching the paper's eq. (1).
+//!
+//! # Fault injection
+//!
+//! [`simulate_faulty`] (and [`simulate_general_faulty`]) run the same
+//! lifecycle while applying a [`FaultPlan`]: resource pools and structural
+//! elements fail and are repaired mid-run. A task whose resource dies
+//! mid-transmission or mid-service is a *casualty*: its lifecycle events
+//! are cancelled and it is requeued at the head of its processor's queue,
+//! with the processor backing off for a capped exponential interval before
+//! re-requesting. Each re-allocation of a requeued task counts as a fresh
+//! allocation event in the delay statistics (delay is still measured from
+//! the original arrival). A livelock watchdog returns
+//! [`SimError::Stalled`] when no allocation makes progress within a
+//! configurable event budget while work is pending — a plan that kills
+//! every resource produces a typed error, not a hang.
 
 use crate::network::{Grant, NetworkCounters, ResourceNetwork};
 use crate::workload::Workload;
 use rsin_des::stats::{TimeWeighted, Welford};
-use rsin_des::{Calendar, Draw, Exponential, SimRng, SimTime};
-use std::collections::VecDeque;
+use rsin_des::{
+    Calendar, Draw, EventHandle, Exponential, FaultAction, FaultEvent, FaultPlan, FaultTarget,
+    SimRng, SimTime,
+};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
 /// The three stochastic stages of the task lifecycle, as arbitrary
 /// distributions.
@@ -47,6 +66,63 @@ impl Default for SimOptions {
     }
 }
 
+/// Controls for the fault-handling machinery of [`simulate_faulty`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultOptions {
+    /// Livelock watchdog: maximum events processed without a single
+    /// allocation while tasks are queued, before the run aborts with
+    /// [`SimError::Stalled`].
+    pub stall_event_budget: u64,
+    /// First post-casualty backoff interval, in model time units.
+    pub backoff_base: f64,
+    /// Upper bound on the (exponentially growing) backoff interval.
+    pub backoff_cap: f64,
+}
+
+impl Default for FaultOptions {
+    fn default() -> Self {
+        FaultOptions {
+            stall_event_budget: 100_000,
+            backoff_base: 0.1,
+            backoff_cap: 10.0,
+        }
+    }
+}
+
+/// A simulation run that could not complete.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimError {
+    /// No allocation made progress within the watchdog's event budget even
+    /// though tasks were queued — the injected faults have livelocked the
+    /// system (e.g. every resource is down with no repair scheduled).
+    Stalled {
+        /// Simulated time at which the watchdog fired.
+        at: f64,
+        /// Tasks queued at the processors when the watchdog fired.
+        queued: u64,
+        /// Events processed since the last successful allocation.
+        events_since_progress: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled {
+                at,
+                queued,
+                events_since_progress,
+            } => write!(
+                f,
+                "simulation stalled at t={at:.6}: {queued} task(s) queued but no \
+                 allocation in {events_since_progress} events"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Output statistics of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
@@ -62,6 +138,22 @@ pub struct SimReport {
     pub measured_time: f64,
     /// Network scheduling counters accumulated over the measurement window.
     pub counters: NetworkCounters,
+    /// Tasks that arrived over the whole run (warm-up included).
+    pub arrivals: u64,
+    /// Tasks whose service completed over the whole run.
+    pub completions: u64,
+    /// Casualty requeues: allocations undone because the granted resource
+    /// failed mid-transmission or mid-service.
+    pub requeues: u64,
+    /// Tasks still queued at the processors when the run ended.
+    pub queued_at_end: u64,
+    /// Tasks in transmission or service when the run ended.
+    pub in_flight_at_end: u64,
+    /// Measured service *completions* per unit time — the throughput the
+    /// system actually delivered. Equals [`SimReport::throughput`] minus
+    /// the allocations lost to casualties and still-in-flight work; the
+    /// headline metric of the resilience experiment.
+    pub delivered_throughput: f64,
 }
 
 impl SimReport {
@@ -82,8 +174,35 @@ impl SimReport {
 #[derive(Debug)]
 enum Event {
     Arrival(usize),
-    TxDone { grant: Grant, arrival: SimTime, measured: bool },
-    SvcDone { arrival: SimTime, measured: bool, grant: Grant },
+    TxDone { task: u64 },
+    SvcDone { task: u64 },
+    Fault(FaultEvent),
+    Resume(usize),
+}
+
+/// Which lifecycle stage an in-flight task is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    Transmission,
+    Service,
+}
+
+/// A task that holds an allocation (transmitting or in service).
+#[derive(Debug)]
+struct InFlight {
+    grant: Grant,
+    arrival: SimTime,
+    retries: u32,
+    measured: bool,
+    stage: Stage,
+    handle: EventHandle,
+}
+
+/// A task waiting at its processor's queue.
+#[derive(Clone, Copy, Debug)]
+struct QueuedTask {
+    arrival: SimTime,
+    retries: u32,
 }
 
 /// Simulates `net` under `workload` until `opts.measured_tasks` allocations
@@ -100,19 +219,15 @@ pub fn simulate(
     opts: &SimOptions,
     rng: &mut SimRng,
 ) -> SimReport {
-    let interarrival = Exponential::with_rate(workload.lambda());
-    let transmission = Exponential::with_rate(workload.mu_n());
-    let service = Exponential::with_rate(workload.mu_s());
-    simulate_general(
+    simulate_faulty(
         net,
-        &StageDistributions {
-            interarrival: &interarrival,
-            transmission: &transmission,
-            service: &service,
-        },
+        workload,
         opts,
+        &FaultPlan::new(),
+        &FaultOptions::default(),
         rng,
     )
+    .expect("fault-free simulation cannot stall")
 }
 
 /// [`simulate`] with arbitrary stage distributions (the exponential
@@ -127,12 +242,81 @@ pub fn simulate_general(
     opts: &SimOptions,
     rng: &mut SimRng,
 ) -> SimReport {
+    simulate_general_faulty(
+        net,
+        stages,
+        opts,
+        &FaultPlan::new(),
+        &FaultOptions::default(),
+        rng,
+    )
+    .expect("fault-free simulation cannot stall")
+}
+
+/// [`simulate`] under a [`FaultPlan`]: resource pools and structural
+/// elements fail and recover mid-run per the plan.
+///
+/// Returns [`SimError::Stalled`] when the livelock watchdog detects that
+/// no allocation has progressed within `fopts.stall_event_budget` events
+/// while tasks are queued.
+///
+/// # Errors
+///
+/// [`SimError::Stalled`] as described above.
+///
+/// # Panics
+///
+/// Same structural contract as [`simulate`].
+pub fn simulate_faulty(
+    net: &mut dyn ResourceNetwork,
+    workload: &Workload,
+    opts: &SimOptions,
+    faults: &FaultPlan,
+    fopts: &FaultOptions,
+    rng: &mut SimRng,
+) -> Result<SimReport, SimError> {
+    let interarrival = Exponential::with_rate(workload.lambda());
+    let transmission = Exponential::with_rate(workload.mu_n());
+    let service = Exponential::with_rate(workload.mu_s());
+    simulate_general_faulty(
+        net,
+        &StageDistributions {
+            interarrival: &interarrival,
+            transmission: &transmission,
+            service: &service,
+        },
+        opts,
+        faults,
+        fopts,
+        rng,
+    )
+}
+
+/// [`simulate_faulty`] with arbitrary stage distributions.
+///
+/// # Errors
+///
+/// [`SimError::Stalled`] when the livelock watchdog fires.
+///
+/// # Panics
+///
+/// Same structural contract as [`simulate`].
+#[allow(clippy::too_many_lines)]
+pub fn simulate_general_faulty(
+    net: &mut dyn ResourceNetwork,
+    stages: &StageDistributions<'_>,
+    opts: &SimOptions,
+    faults: &FaultPlan,
+    fopts: &FaultOptions,
+    rng: &mut SimRng,
+) -> Result<SimReport, SimError> {
     let p = net.processors();
     assert!(p > 0, "network must have processors");
 
     let mut cal: Calendar<Event> = Calendar::new();
-    let mut queues: Vec<VecDeque<SimTime>> = vec![VecDeque::new(); p];
+    let mut queues: Vec<VecDeque<QueuedTask>> = vec![VecDeque::new(); p];
     let mut transmitting = vec![false; p];
+    let mut backoff_until = vec![SimTime::ZERO; p];
 
     let mut allocations: u64 = 0;
     let target = opts.warmup_tasks + opts.measured_tasks;
@@ -144,10 +328,24 @@ pub fn simulate_general(
     let mut arr_rng = rng.derive(0x41);
     let mut svc_rng = rng.derive(0x53);
     let mut net_rng = rng.derive(0x4e);
+    let mut fault_rng = rng.derive(0x46);
+    let mut timeline = faults.timeline(&mut fault_rng);
+    let faults_active = !faults.is_empty();
+
+    let mut in_flight: HashMap<u64, InFlight> = HashMap::new();
+    let mut next_task: u64 = 0;
+    let mut arrivals: u64 = 0;
+    let mut completions: u64 = 0;
+    let mut measured_completions: u64 = 0;
+    let mut requeues: u64 = 0;
+    let mut events_since_alloc: u64 = 0;
 
     for proc in 0..p {
         let dt = stages.interarrival.draw(&mut arr_rng);
         cal.schedule(SimTime::ZERO + dt, Event::Arrival(proc));
+    }
+    if let Some(fe) = timeline.pop() {
+        cal.schedule(fe.time, Event::Fault(fe));
     }
     // Drop any counters accumulated before the run.
     let _ = net.take_counters();
@@ -156,32 +354,64 @@ pub fn simulate_general(
     let mut end_time = SimTime::ZERO;
 
     while allocations < target {
-        let (now, ev) = cal.pop().expect("arrival self-scheduling keeps the calendar nonempty");
+        let (now, ev) = cal
+            .pop()
+            .expect("arrival self-scheduling keeps the calendar nonempty");
         end_time = now;
+        events_since_alloc += 1;
         match ev {
             Event::Arrival(proc) => {
-                queues[proc].push_back(now);
+                arrivals += 1;
+                queues[proc].push_back(QueuedTask {
+                    arrival: now,
+                    retries: 0,
+                });
                 queue_len.add(now, 1.0);
                 let dt = stages.interarrival.draw(&mut arr_rng);
                 cal.schedule(now + dt, Event::Arrival(proc));
             }
-            Event::TxDone { grant, arrival, measured } => {
-                net.end_transmission(grant);
-                transmitting[grant.processor] = false;
+            Event::TxDone { task } => {
+                let fl = in_flight.get_mut(&task).expect("TxDone for unknown task");
+                net.end_transmission(fl.grant);
+                transmitting[fl.grant.processor] = false;
                 let dt = stages.service.draw(&mut svc_rng);
-                cal.schedule(now + dt, Event::SvcDone { arrival, measured, grant });
+                fl.stage = Stage::Service;
+                fl.handle = cal.schedule(now + dt, Event::SvcDone { task });
             }
-            Event::SvcDone { arrival, measured, grant } => {
-                net.end_service(grant);
-                if measured {
-                    responses.push(now - arrival);
+            Event::SvcDone { task } => {
+                let fl = in_flight.remove(&task).expect("SvcDone for unknown task");
+                net.end_service(fl.grant);
+                completions += 1;
+                if fl.measured {
+                    measured_completions += 1;
+                    responses.push(now - fl.arrival);
                 }
             }
+            Event::Fault(fe) => {
+                apply_fault(
+                    net,
+                    &fe,
+                    now,
+                    fopts,
+                    &mut cal,
+                    &mut in_flight,
+                    &mut queues,
+                    &mut transmitting,
+                    &mut backoff_until,
+                    &mut queue_len,
+                    &mut requeues,
+                );
+                if let Some(next) = timeline.pop() {
+                    cal.schedule(next.time, Event::Fault(next));
+                }
+            }
+            // A backoff expired; the decision epoch below re-requests.
+            Event::Resume(proc) => debug_assert!(proc < p, "resume for unknown processor"),
         }
 
         // Decision epoch: let the network serve whoever is still waiting.
         let pending: Vec<bool> = (0..p)
-            .map(|i| !transmitting[i] && !queues[i].is_empty())
+            .map(|i| !transmitting[i] && !queues[i].is_empty() && now >= backoff_until[i])
             .collect();
         if pending.iter().any(|&b| b) {
             let grants = net.request_cycle(&pending, &mut net_rng);
@@ -193,13 +423,14 @@ pub fn simulate_general(
                     grant.processor
                 );
                 granted_this_cycle[grant.processor] = true;
-                let arrival = queues[grant.processor]
+                let task = queues[grant.processor]
                     .pop_front()
                     .expect("pending implies nonempty queue");
                 queue_len.add(now, -1.0);
                 transmitting[grant.processor] = true;
 
                 allocations += 1;
+                events_since_alloc = 0;
                 let measured = allocations > opts.warmup_tasks;
                 if measured {
                     if measure_start.is_none() {
@@ -210,23 +441,121 @@ pub fn simulate_general(
                             warmup_counters_dropped = true;
                         }
                     }
-                    delays.push(now - arrival);
+                    delays.push(now - task.arrival);
                 }
                 let dt = stages.transmission.draw(&mut svc_rng);
-                cal.schedule(now + dt, Event::TxDone { grant, arrival, measured });
+                let id = next_task;
+                next_task += 1;
+                let handle = cal.schedule(now + dt, Event::TxDone { task: id });
+                in_flight.insert(
+                    id,
+                    InFlight {
+                        grant,
+                        arrival: task.arrival,
+                        retries: task.retries,
+                        measured,
+                        stage: Stage::Transmission,
+                        handle,
+                    },
+                );
+            }
+        }
+
+        // Livelock watchdog: only armed when faults are in play — a
+        // fault-free run always progresses eventually.
+        if faults_active && events_since_alloc > fopts.stall_event_budget {
+            let queued: u64 = queues.iter().map(|q| q.len() as u64).sum();
+            if queued > 0 {
+                return Err(SimError::Stalled {
+                    at: now.as_f64(),
+                    queued,
+                    events_since_progress: events_since_alloc,
+                });
             }
         }
     }
 
     let start = measure_start.unwrap_or(end_time);
     let span = (end_time - start).max(f64::MIN_POSITIVE);
-    SimReport {
+    Ok(SimReport {
         queueing_delay: delays,
         response_time: responses,
         mean_queue_length: queue_len.average(end_time),
         throughput: opts.measured_tasks as f64 / span,
         measured_time: span,
         counters: net.take_counters(),
+        arrivals,
+        completions,
+        requeues,
+        queued_at_end: queues.iter().map(|q| q.len() as u64).sum(),
+        in_flight_at_end: in_flight.len() as u64,
+        delivered_throughput: measured_completions as f64 / span,
+    })
+}
+
+/// Applies one fault event: flips network state and, for an accepted
+/// resource failure, turns the tasks holding that port into casualties —
+/// their lifecycle events are cancelled and they rejoin the head of their
+/// processor's queue behind a capped exponential backoff.
+#[allow(clippy::too_many_arguments)]
+fn apply_fault(
+    net: &mut dyn ResourceNetwork,
+    fe: &FaultEvent,
+    now: SimTime,
+    fopts: &FaultOptions,
+    cal: &mut Calendar<Event>,
+    in_flight: &mut HashMap<u64, InFlight>,
+    queues: &mut [VecDeque<QueuedTask>],
+    transmitting: &mut [bool],
+    backoff_until: &mut [SimTime],
+    queue_len: &mut TimeWeighted,
+    requeues: &mut u64,
+) {
+    match (fe.target, fe.action) {
+        (FaultTarget::Resource(port), FaultAction::Fail) => {
+            if !net.fail_resource(port) {
+                return;
+            }
+            // Sorted for a deterministic casualty order (task ids are
+            // assigned in allocation order).
+            let mut casualties: Vec<u64> = in_flight
+                .iter()
+                .filter(|(_, fl)| fl.grant.port == port)
+                .map(|(&id, _)| id)
+                .collect();
+            casualties.sort_unstable();
+            for id in casualties {
+                let fl = in_flight.remove(&id).expect("listed above");
+                cal.cancel(fl.handle);
+                if fl.stage == Stage::Transmission {
+                    transmitting[fl.grant.processor] = false;
+                }
+                *requeues += 1;
+                let retries = fl.retries + 1;
+                queues[fl.grant.processor].push_front(QueuedTask {
+                    arrival: fl.arrival,
+                    retries,
+                });
+                queue_len.add(now, 1.0);
+                let exponent = (retries - 1).min(30);
+                let backoff =
+                    (fopts.backoff_base * f64::from(1u32 << exponent)).min(fopts.backoff_cap);
+                let until = now + backoff;
+                if until > backoff_until[fl.grant.processor] {
+                    backoff_until[fl.grant.processor] = until;
+                }
+                cal.schedule(until, Event::Resume(fl.grant.processor));
+            }
+        }
+        (FaultTarget::Resource(port), FaultAction::Repair) => {
+            net.repair_resource(port);
+        }
+        (FaultTarget::Element(element), FaultAction::Fail) => {
+            net.fail_element(element);
+        }
+        (FaultTarget::Element(element), FaultAction::Repair) => {
+            net.repair_element(element);
+        }
     }
 }
 
@@ -238,13 +567,16 @@ mod tests {
     /// Minimal reference network: `p` processors on one shared bus with `r`
     /// resources, fixed-priority arbitration. This is the Section III system
     /// in its simplest form, used here to validate the simulator against
-    /// the exact Markov chain.
+    /// the exact Markov chain. It supports resource faults on its single
+    /// output port so the fault machinery can be tested without pulling in
+    /// a real network crate.
     #[derive(Debug)]
     struct TinyBus {
         p: usize,
         r: u32,
         bus_busy: bool,
         busy_resources: u32,
+        pool_up: bool,
         counters: NetworkCounters,
     }
 
@@ -255,6 +587,7 @@ mod tests {
                 r,
                 bus_busy: false,
                 busy_resources: 0,
+                pool_up: true,
                 counters: NetworkCounters::default(),
             }
         }
@@ -270,7 +603,7 @@ mod tests {
         fn request_cycle(&mut self, pending: &[bool], _rng: &mut SimRng) -> Vec<Grant> {
             let n_pending = pending.iter().filter(|&&b| b).count() as u64;
             self.counters.attempts += n_pending;
-            if self.bus_busy || self.busy_resources >= self.r {
+            if !self.pool_up || self.bus_busy || self.busy_resources >= self.r {
                 self.counters.rejections += n_pending;
                 return Vec::new();
             }
@@ -278,7 +611,10 @@ mod tests {
                 Some(proc) => {
                     self.bus_busy = true;
                     self.counters.rejections += n_pending - 1;
-                    vec![Grant { processor: proc, port: 0 }]
+                    vec![Grant {
+                        processor: proc,
+                        port: 0,
+                    }]
                 }
                 None => Vec::new(),
             }
@@ -289,6 +625,25 @@ mod tests {
         }
         fn end_service(&mut self, _grant: Grant) {
             self.busy_resources -= 1;
+        }
+        fn fail_resource(&mut self, port: usize) -> bool {
+            if port != 0 || !self.pool_up {
+                return false;
+            }
+            self.pool_up = false;
+            // Casualties release internally per the trait contract.
+            self.bus_busy = false;
+            self.busy_resources = 0;
+            self.counters.resource_failures += 1;
+            true
+        }
+        fn repair_resource(&mut self, port: usize) -> bool {
+            if port != 0 || self.pool_up {
+                return false;
+            }
+            self.pool_up = true;
+            self.counters.resource_repairs += 1;
+            true
         }
         fn take_counters(&mut self) -> NetworkCounters {
             std::mem::take(&mut self.counters)
@@ -341,7 +696,12 @@ mod tests {
         // L_q = Λ · d with Λ = p·λ = 0.32.
         let expect = 0.32 * report.mean_delay();
         let rel = (report.mean_queue_length - expect).abs() / expect;
-        assert!(rel < 0.08, "L {} vs Λd {}", report.mean_queue_length, expect);
+        assert!(
+            rel < 0.08,
+            "L {} vs Λd {}",
+            report.mean_queue_length,
+            expect
+        );
     }
 
     #[test]
@@ -411,7 +771,10 @@ mod tests {
                     .iter()
                     .enumerate()
                     .filter(|&(_, &b)| b)
-                    .map(|(i, _)| Grant { processor: i, port: 0 })
+                    .map(|(i, _)| Grant {
+                        processor: i,
+                        port: 0,
+                    })
                     .collect()
             }
             fn end_transmission(&mut self, _grant: Grant) {}
@@ -492,8 +855,14 @@ mod tests {
             fn request_cycle(&mut self, _pending: &[bool], _rng: &mut SimRng) -> Vec<Grant> {
                 // Always grants processor 1, pending or not.
                 vec![
-                    Grant { processor: 1, port: 0 },
-                    Grant { processor: 1, port: 1 },
+                    Grant {
+                        processor: 1,
+                        port: 0,
+                    },
+                    Grant {
+                        processor: 1,
+                        port: 1,
+                    },
                 ]
             }
             fn end_transmission(&mut self, _grant: Grant) {}
@@ -512,6 +881,162 @@ mod tests {
     }
 
     #[test]
+    fn casualties_are_requeued_and_conserved() {
+        use rsin_des::{FaultPlan, FaultTarget, StochasticFault};
+        let workload = Workload::new(0.08, 1.0, 0.5).expect("valid");
+        let mut rng = SimRng::new(17);
+        let mut net = TinyBus::new(4, 2);
+        let opts = SimOptions {
+            warmup_tasks: 500,
+            measured_tasks: 20_000,
+        };
+        // The single pool flaps: mean 40 time units up, 3 down.
+        let plan = FaultPlan::new().stochastic(StochasticFault {
+            target: FaultTarget::Resource(0),
+            mtbf: 40.0,
+            mttr: 3.0,
+        });
+        let report = simulate_faulty(
+            &mut net,
+            &workload,
+            &opts,
+            &plan,
+            &FaultOptions::default(),
+            &mut rng,
+        )
+        .expect("repairs keep the system live");
+        assert!(report.requeues > 0, "flapping pool must create casualties");
+        assert!(report.counters.resource_failures > 0);
+        assert!(
+            report.counters.resource_repairs >= report.counters.resource_failures.saturating_sub(1)
+        );
+        // No task silently lost.
+        assert_eq!(
+            report.arrivals,
+            report.completions + report.queued_at_end + report.in_flight_at_end,
+            "conservation: arrivals = completions + queued + in flight"
+        );
+        // Delivered throughput cannot exceed allocation throughput.
+        assert!(report.delivered_throughput <= report.throughput * 1.001);
+    }
+
+    #[test]
+    fn killing_every_resource_stalls_with_typed_error() {
+        use rsin_des::{FaultPlan, FaultTarget};
+        let workload = Workload::new(0.2, 1.0, 1.0).expect("valid");
+        let mut rng = SimRng::new(5);
+        let mut net = TinyBus::new(4, 2);
+        let opts = SimOptions {
+            warmup_tasks: 100,
+            measured_tasks: 100_000,
+        };
+        // Kill the only pool early, never repair it.
+        let plan = FaultPlan::new().fail_at(SimTime::new(5.0), FaultTarget::Resource(0));
+        let fopts = FaultOptions {
+            stall_event_budget: 5_000,
+            ..FaultOptions::default()
+        };
+        let err = simulate_faulty(&mut net, &workload, &opts, &plan, &fopts, &mut rng)
+            .expect_err("no capacity and no repair must stall");
+        let SimError::Stalled {
+            queued,
+            events_since_progress,
+            ..
+        } = err;
+        assert!(queued > 0);
+        assert!(events_since_progress > 5_000);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_given_seed() {
+        use rsin_des::{FaultPlan, FaultTarget, StochasticFault};
+        let workload = Workload::new(0.08, 1.0, 0.5).expect("valid");
+        let opts = SimOptions {
+            warmup_tasks: 200,
+            measured_tasks: 5_000,
+        };
+        let plan = FaultPlan::new().stochastic(StochasticFault {
+            target: FaultTarget::Resource(0),
+            mtbf: 30.0,
+            mttr: 2.0,
+        });
+        let run = |seed| {
+            let mut rng = SimRng::new(seed);
+            let mut net = TinyBus::new(4, 2);
+            let r = simulate_faulty(
+                &mut net,
+                &workload,
+                &opts,
+                &plan,
+                &FaultOptions::default(),
+                &mut rng,
+            )
+            .expect("live");
+            (r.mean_delay(), r.requeues, r.completions)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn repair_restores_pre_fault_capacity() {
+        use rsin_des::{FaultPlan, FaultTarget};
+        // Fail the pool for a fixed window; after repair the delivered
+        // throughput over a long run approaches the offered load again.
+        let workload = Workload::new(0.05, 1.0, 1.0).expect("valid");
+        let mut rng = SimRng::new(23);
+        let mut net = TinyBus::new(4, 3);
+        let opts = SimOptions {
+            warmup_tasks: 2_000,
+            measured_tasks: 50_000,
+        };
+        let plan = FaultPlan::new()
+            .fail_at(SimTime::new(100.0), FaultTarget::Resource(0))
+            .repair_at(SimTime::new(130.0), FaultTarget::Resource(0));
+        let report = simulate_faulty(
+            &mut net,
+            &workload,
+            &opts,
+            &plan,
+            &FaultOptions::default(),
+            &mut rng,
+        )
+        .expect("repaired");
+        // Offered load Λ = 4 · 0.05 = 0.2; one 30-unit outage in a
+        // ~250k-unit run is invisible at this tolerance.
+        let rel = (report.throughput - 0.2).abs() / 0.2;
+        assert!(rel < 0.05, "throughput {} after repair", report.throughput);
+    }
+
+    #[test]
+    fn fault_free_plan_matches_plain_simulate() {
+        use rsin_des::FaultPlan;
+        let workload = Workload::new(0.06, 1.0, 0.5).expect("valid");
+        let opts = SimOptions {
+            warmup_tasks: 500,
+            measured_tasks: 10_000,
+        };
+        let mut rng_a = SimRng::new(77);
+        let mut net_a = TinyBus::new(4, 2);
+        let plain = simulate(&mut net_a, &workload, &opts, &mut rng_a);
+        let mut rng_b = SimRng::new(77);
+        let mut net_b = TinyBus::new(4, 2);
+        let faulty = simulate_faulty(
+            &mut net_b,
+            &workload,
+            &opts,
+            &FaultPlan::new(),
+            &FaultOptions::default(),
+            &mut rng_b,
+        )
+        .expect("no faults");
+        assert_eq!(plain.mean_delay(), faulty.mean_delay());
+        assert_eq!(plain.requeues, 0);
+        assert_eq!(faulty.requeues, 0);
+    }
+
+    #[test]
     fn normalized_delay_scales_by_mu_s() {
         let workload = Workload::new(0.05, 1.0, 2.0).expect("valid");
         let mut rng = SimRng::new(3);
@@ -521,8 +1046,6 @@ mod tests {
             measured_tasks: 5_000,
         };
         let report = simulate(&mut net, &workload, &opts, &mut rng);
-        assert!(
-            (report.normalized_delay(&workload) - report.mean_delay() * 2.0).abs() < 1e-12
-        );
+        assert!((report.normalized_delay(&workload) - report.mean_delay() * 2.0).abs() < 1e-12);
     }
 }

@@ -38,11 +38,7 @@ pub trait TypedResourceNetwork: std::fmt::Debug {
     /// One request cycle: `pending[i]` carries the type processor `i`'s
     /// head-of-queue task requests, or `None` when processor `i` has
     /// nothing waiting.
-    fn request_cycle(
-        &mut self,
-        pending: &[Option<usize>],
-        rng: &mut SimRng,
-    ) -> Vec<TypedGrant>;
+    fn request_cycle(&mut self, pending: &[Option<usize>], rng: &mut SimRng) -> Vec<TypedGrant>;
 
     /// Transmission finished: release the circuit; the resource begins
     /// service.

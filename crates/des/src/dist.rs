@@ -43,7 +43,10 @@ impl Exponential {
     /// Panics if `rate` is not strictly positive and finite.
     #[must_use]
     pub fn with_rate(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive, got {rate}"
+        );
         Exponential { rate }
     }
 
@@ -54,7 +57,10 @@ impl Exponential {
     /// Panics if `mean` is not strictly positive and finite.
     #[must_use]
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
         Exponential { rate: 1.0 / mean }
     }
 
@@ -88,7 +94,10 @@ impl Deterministic {
     /// Panics if `value` is negative or not finite.
     #[must_use]
     pub fn new(value: f64) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "value must be >= 0, got {value}");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "value must be >= 0, got {value}"
+        );
         Deterministic { value }
     }
 }
@@ -122,7 +131,10 @@ impl Erlang {
     #[must_use]
     pub fn new(k: u32, mean: f64) -> Self {
         assert!(k > 0, "Erlang needs at least one stage");
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
         Erlang {
             k,
             stage_rate: k as f64 / mean,

@@ -1,0 +1,365 @@
+//! Fault-injection plans: *what* breaks, *when*, and for *how long*.
+//!
+//! A [`FaultPlan`] describes failures to inject into a simulation run, in
+//! two flavors that can be combined freely:
+//!
+//! * **scripted** events — "resource port 3 fails at t = 50, is repaired
+//!   at t = 80" — for reproducible degradation scenarios and acceptance
+//!   tests;
+//! * **stochastic** fail/repair processes — alternating exponential
+//!   up-times (mean [`StochasticFault::mtbf`]) and down-times (mean
+//!   [`StochasticFault::mttr`]) — for availability studies.
+//!
+//! The plan itself is inert data. A simulator materializes it into a
+//! [`FaultTimeline`] with [`FaultPlan::timeline`], handing over a
+//! dedicated random-number stream; the timeline then yields
+//! [`FaultEvent`]s in nondecreasing time order, generating each stochastic
+//! process lazily from its own derived sub-stream so the sequence is a
+//! pure function of the seed.
+//!
+//! What a target identifier *means* is the consuming network's business:
+//! [`FaultTarget::Resource`] carries a global output-port index and
+//! [`FaultTarget::Element`] a network-specific structural element index
+//! (a bus, a crossbar cell, an interchange box, a central scheduler). The
+//! kernel only orders the events.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// What a fault event strikes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// The resource pool behind a global output port.
+    Resource(usize),
+    /// A structural network element (bus/arbiter, crossbar cell,
+    /// interchange box, central scheduler — network-defined).
+    Element(usize),
+}
+
+/// Whether the target goes down or comes back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultAction {
+    /// The target fails and stops contributing capacity.
+    Fail,
+    /// The target is repaired and resumes normal operation.
+    Repair,
+}
+
+/// One scheduled state change of one target.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the change takes effect.
+    pub time: SimTime,
+    /// What changes state.
+    pub target: FaultTarget,
+    /// The direction of the change.
+    pub action: FaultAction,
+}
+
+/// An alternating-renewal fail/repair process for one target.
+///
+/// The target starts up; it fails after an `Exp(1/mtbf)` up-time and is
+/// repaired after an `Exp(1/mttr)` down-time, forever.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StochasticFault {
+    /// The target the process drives.
+    pub target: FaultTarget,
+    /// Mean time between failures (mean up-time), in model time units.
+    pub mtbf: f64,
+    /// Mean time to repair (mean down-time), in model time units.
+    pub mttr: f64,
+}
+
+/// A declarative collection of scripted events and stochastic processes.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    scripted: Vec<FaultEvent>,
+    stochastic: Vec<StochasticFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a scripted event.
+    #[must_use]
+    pub fn scripted(mut self, event: FaultEvent) -> Self {
+        self.scripted.push(event);
+        self
+    }
+
+    /// Adds a scripted failure of `target` at `time`.
+    #[must_use]
+    pub fn fail_at(self, time: SimTime, target: FaultTarget) -> Self {
+        self.scripted(FaultEvent {
+            time,
+            target,
+            action: FaultAction::Fail,
+        })
+    }
+
+    /// Adds a scripted repair of `target` at `time`.
+    #[must_use]
+    pub fn repair_at(self, time: SimTime, target: FaultTarget) -> Self {
+        self.scripted(FaultEvent {
+            time,
+            target,
+            action: FaultAction::Repair,
+        })
+    }
+
+    /// Adds a stochastic fail/repair process.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both `mtbf` and `mttr` are positive and finite.
+    #[must_use]
+    pub fn stochastic(mut self, fault: StochasticFault) -> Self {
+        assert!(
+            fault.mtbf.is_finite() && fault.mtbf > 0.0,
+            "mtbf must be positive and finite, got {}",
+            fault.mtbf
+        );
+        assert!(
+            fault.mttr.is_finite() && fault.mttr > 0.0,
+            "mttr must be positive and finite, got {}",
+            fault.mttr
+        );
+        self.stochastic.push(fault);
+        self
+    }
+
+    /// True when the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scripted.is_empty() && self.stochastic.is_empty()
+    }
+
+    /// Materializes the plan into a time-ordered event source.
+    ///
+    /// Each stochastic process draws from its own sub-stream derived from
+    /// `rng`, so the full event sequence is deterministic in the seed and
+    /// independent of how far any individual process is consumed.
+    #[must_use]
+    pub fn timeline(&self, rng: &mut SimRng) -> FaultTimeline {
+        let mut scripted = self.scripted.clone();
+        // Stable-ascending then reversed: popping from the back yields
+        // ascending times with equal-time events in insertion order.
+        scripted.sort_by_key(|e| e.time);
+        scripted.reverse();
+        let processes = self
+            .stochastic
+            .iter()
+            .enumerate()
+            .map(|(i, &fault)| {
+                let mut prng = rng.derive(i as u64);
+                let first = SimTime::ZERO + prng.exponential(1.0 / fault.mtbf);
+                FaultProcess {
+                    fault,
+                    next: FaultEvent {
+                        time: first,
+                        target: fault.target,
+                        action: FaultAction::Fail,
+                    },
+                    rng: prng,
+                }
+            })
+            .collect();
+        FaultTimeline {
+            scripted,
+            processes,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultProcess {
+    fault: StochasticFault,
+    next: FaultEvent,
+    rng: SimRng,
+}
+
+/// A materialized, time-ordered stream of [`FaultEvent`]s.
+///
+/// Produced by [`FaultPlan::timeline`]; scripted events and every
+/// stochastic process are merged lazily. Ties are broken deterministically
+/// (scripted before stochastic, then by process order).
+#[derive(Debug)]
+pub struct FaultTimeline {
+    scripted: Vec<FaultEvent>,
+    processes: Vec<FaultProcess>,
+}
+
+impl FaultTimeline {
+    /// The time of the next event, if any remain.
+    ///
+    /// Stochastic processes never run dry, so this is `None` only for a
+    /// timeline built from scripted-only plans that have been drained.
+    #[must_use]
+    pub fn peek(&self) -> Option<SimTime> {
+        let scripted = self.scripted.last().map(|e| e.time);
+        let stochastic = self.processes.iter().map(|p| p.next.time).min();
+        match (scripted, stochastic) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Removes and returns the next event in time order.
+    pub fn pop(&mut self) -> Option<FaultEvent> {
+        let next_time = self.peek()?;
+        if let Some(e) = self.scripted.last() {
+            if e.time == next_time {
+                return self.scripted.pop();
+            }
+        }
+        let idx = self
+            .processes
+            .iter()
+            .position(|p| p.next.time == next_time)
+            .expect("peek found a stochastic event");
+        let proc = &mut self.processes[idx];
+        let event = proc.next;
+        let (mean, action) = match event.action {
+            FaultAction::Fail => (proc.fault.mttr, FaultAction::Repair),
+            FaultAction::Repair => (proc.fault.mtbf, FaultAction::Fail),
+        };
+        proc.next = FaultEvent {
+            time: event.time + proc.rng.exponential(1.0 / mean),
+            target: proc.fault.target,
+            action,
+        };
+        Some(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_has_empty_timeline() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        let mut rng = SimRng::new(1);
+        let mut tl = plan.timeline(&mut rng);
+        assert_eq!(tl.peek(), None);
+        assert_eq!(tl.pop(), None);
+    }
+
+    #[test]
+    fn scripted_events_come_out_in_time_order() {
+        let plan = FaultPlan::new()
+            .fail_at(SimTime::new(5.0), FaultTarget::Element(2))
+            .repair_at(SimTime::new(9.0), FaultTarget::Element(2))
+            .fail_at(SimTime::new(1.0), FaultTarget::Resource(0));
+        let mut rng = SimRng::new(1);
+        let mut tl = plan.timeline(&mut rng);
+        let times: Vec<f64> = std::iter::from_fn(|| tl.pop())
+            .map(|e| e.time.as_f64())
+            .collect();
+        assert_eq!(times, vec![1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn equal_time_scripted_events_keep_insertion_order() {
+        let t = SimTime::new(3.0);
+        let plan = FaultPlan::new()
+            .fail_at(t, FaultTarget::Element(0))
+            .fail_at(t, FaultTarget::Element(1));
+        let mut rng = SimRng::new(1);
+        let mut tl = plan.timeline(&mut rng);
+        assert_eq!(tl.pop().expect("first").target, FaultTarget::Element(0));
+        assert_eq!(tl.pop().expect("second").target, FaultTarget::Element(1));
+    }
+
+    #[test]
+    fn stochastic_process_alternates_fail_repair() {
+        let plan = FaultPlan::new().stochastic(StochasticFault {
+            target: FaultTarget::Resource(7),
+            mtbf: 10.0,
+            mttr: 2.0,
+        });
+        let mut rng = SimRng::new(42);
+        let mut tl = plan.timeline(&mut rng);
+        let mut last = SimTime::ZERO;
+        for i in 0..50 {
+            let e = tl.pop().expect("endless process");
+            assert!(e.time >= last, "time order violated at event {i}");
+            last = e.time;
+            assert_eq!(e.target, FaultTarget::Resource(7));
+            let expect = if i % 2 == 0 {
+                FaultAction::Fail
+            } else {
+                FaultAction::Repair
+            };
+            assert_eq!(e.action, expect, "event {i} out of phase");
+        }
+    }
+
+    #[test]
+    fn stochastic_means_are_roughly_right() {
+        let plan = FaultPlan::new().stochastic(StochasticFault {
+            target: FaultTarget::Element(0),
+            mtbf: 8.0,
+            mttr: 2.0,
+        });
+        let mut rng = SimRng::new(7);
+        let mut tl = plan.timeline(&mut rng);
+        let (mut up, mut down) = (0.0, 0.0);
+        let mut prev = SimTime::ZERO;
+        for _ in 0..4_000 {
+            let e = tl.pop().expect("endless");
+            match e.action {
+                FaultAction::Fail => up += e.time - prev,
+                FaultAction::Repair => down += e.time - prev,
+            }
+            prev = e.time;
+        }
+        let mean_up = up / 2_000.0;
+        let mean_down = down / 2_000.0;
+        assert!((mean_up - 8.0).abs() / 8.0 < 0.1, "mean up-time {mean_up}");
+        assert!(
+            (mean_down - 2.0).abs() / 2.0 < 0.1,
+            "mean down-time {mean_down}"
+        );
+    }
+
+    #[test]
+    fn timeline_is_deterministic_in_the_seed() {
+        let plan = FaultPlan::new()
+            .fail_at(SimTime::new(4.0), FaultTarget::Element(1))
+            .stochastic(StochasticFault {
+                target: FaultTarget::Resource(0),
+                mtbf: 5.0,
+                mttr: 1.0,
+            })
+            .stochastic(StochasticFault {
+                target: FaultTarget::Resource(1),
+                mtbf: 3.0,
+                mttr: 0.5,
+            });
+        let drain = |seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let mut tl = plan.timeline(&mut rng);
+            (0..40)
+                .map(|_| tl.pop().expect("endless"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(drain(11), drain(11));
+        assert_ne!(drain(11), drain(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "mtbf must be positive")]
+    fn bad_mtbf_rejected() {
+        let _ = FaultPlan::new().stochastic(StochasticFault {
+            target: FaultTarget::Element(0),
+            mtbf: 0.0,
+            mttr: 1.0,
+        });
+    }
+}

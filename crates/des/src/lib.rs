@@ -13,6 +13,8 @@
 //! - [`SimRng`]: seeded, stream-splittable random numbers.
 //! - [`Draw`] and implementations ([`Exponential`], [`Deterministic`],
 //!   [`Erlang`], [`HyperExponential`]): service/arrival variates.
+//! - [`FaultPlan`] / [`FaultTimeline`]: scripted and stochastic
+//!   fail/repair schedules for fault-injection studies.
 //! - [`stats`]: Welford accumulators, time-weighted averages, histograms,
 //!   and batch-means / replication confidence intervals.
 //! - [`replicate`] / [`replicate_parallel`]: independent-replication runner.
@@ -64,6 +66,7 @@
 
 mod calendar;
 mod dist;
+mod fault;
 mod replicate;
 mod rng;
 pub mod stats;
@@ -71,6 +74,7 @@ mod time;
 
 pub use calendar::{Calendar, EventHandle};
 pub use dist::{Deterministic, Draw, Erlang, Exponential, HyperExponential};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultTarget, FaultTimeline, StochasticFault};
 pub use replicate::{replicate, replicate_parallel, Replicated};
 pub use rng::SimRng;
 pub use time::SimTime;

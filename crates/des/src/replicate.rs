@@ -104,7 +104,12 @@ mod tests {
         let mut sorted = out.estimates.clone();
         sorted.sort_by(f64::total_cmp);
         sorted.dedup();
-        assert_eq!(sorted.len(), 4, "estimates should differ: {:?}", out.estimates);
+        assert_eq!(
+            sorted.len(),
+            4,
+            "estimates should differ: {:?}",
+            out.estimates
+        );
     }
 
     #[test]

@@ -5,20 +5,21 @@
 //! streams (rather than sharing one generator) keeps components statistically
 //! independent and makes output insensitive to the order in which components
 //! happen to draw.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna), seeded
+//! through SplitMix64 — no external dependencies, so the simulator builds in
+//! fully offline environments, and the stream for a given seed is stable
+//! across toolchains.
 
 /// A seeded random-number generator for simulation use.
 ///
-/// Wraps [`rand::rngs::StdRng`] and adds stream derivation
+/// Wraps a xoshiro256++ state and adds stream derivation
 /// ([`SimRng::derive`]) plus the variate helpers the RSIN models need.
 ///
 /// # Examples
 ///
 /// ```
 /// use rsin_des::SimRng;
-/// use rand::RngCore;
 ///
 /// let mut a = SimRng::new(42);
 /// let mut b = SimRng::new(42);
@@ -31,7 +32,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
@@ -39,10 +40,16 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(splitmix64(seed)),
-            seed,
+        // Expand the seed into the 256-bit state with SplitMix64, per the
+        // xoshiro authors' recommendation; the state is never all-zero
+        // because splitmix64 is a bijection walked from distinct inputs.
+        let mut z = splitmix64(seed);
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            z = splitmix64(z);
+            *s = z;
         }
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created with.
@@ -62,16 +69,42 @@ impl SimRng {
         // Mix seed and stream id through splitmix64 twice so that adjacent
         // (seed, stream) pairs land far apart in the seed space.
         let mixed = splitmix64(splitmix64(self.seed ^ 0x9e37_79b9_7f4a_7c15).wrapping_add(stream));
-        SimRng {
-            inner: StdRng::seed_from_u64(mixed),
-            seed: mixed,
+        SimRng::new(mixed)
+    }
+
+    /// The next 64 random bits (xoshiro256++ step).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 random bits (upper half of a 64-bit step).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
     }
 
     /// A uniform variate in `[0, 1)`.
     #[must_use]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard dyadic-uniform construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform variate in `[lo, hi)`.
@@ -81,7 +114,10 @@ impl SimRng {
     /// Panics if `lo >= hi` or either bound is not finite.
     #[must_use]
     pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.uniform()
     }
 
@@ -92,7 +128,10 @@ impl SimRng {
     /// Panics if `rate` is not strictly positive and finite.
     #[must_use]
     pub fn exponential(&mut self, rate: f64) -> f64 {
-        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive, got {rate}"
+        );
         // Inverse transform; 1-U avoids ln(0).
         -(1.0 - self.uniform()).ln() / rate
     }
@@ -105,7 +144,9 @@ impl SimRng {
     #[must_use]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot draw an index from an empty range");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift: maps 64 random bits onto [0, n) with
+        // bias below 2⁻⁶⁴·n — immaterial at simulation scales.
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
     }
 
     /// A Bernoulli trial with success probability `p`.
@@ -125,21 +166,6 @@ impl SimRng {
             let j = self.index(i + 1);
             xs.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -207,6 +233,15 @@ mod tests {
     }
 
     #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut rng = SimRng::new(23);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
     fn index_covers_range() {
         let mut rng = SimRng::new(3);
         let mut seen = [false; 5];
@@ -214,6 +249,15 @@ mod tests {
             seen[rng.index(5)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SimRng::new(8);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // 13 bytes from two 64-bit draws; overwhelmingly unlikely all zero.
+        assert!(buf.iter().any(|&b| b != 0));
     }
 
     #[test]

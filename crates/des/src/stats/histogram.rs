@@ -33,7 +33,10 @@ impl Histogram {
     #[must_use]
     pub fn new(bins: usize, upper: f64) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(upper.is_finite() && upper > 0.0, "upper bound must be positive");
+        assert!(
+            upper.is_finite() && upper > 0.0,
+            "upper bound must be positive"
+        );
         Histogram {
             bins: vec![0; bins],
             width: upper / bins as f64,

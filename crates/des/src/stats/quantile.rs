@@ -21,14 +21,17 @@
 /// ```
 #[must_use]
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile probability must be in (0,1), got {p}"
+    );
 
     // Coefficients for Acklam's approximation.
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -90,9 +93,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -121,7 +123,10 @@ pub fn erfc(x: f64) -> f64 {
 #[must_use]
 pub fn t_quantile(df: u64, p: f64) -> f64 {
     assert!(df > 0, "degrees of freedom must be positive");
-    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile probability must be in (0,1), got {p}"
+    );
     match df {
         // Cauchy.
         1 => (std::f64::consts::PI * (p - 0.5)).tan(),
@@ -194,10 +199,7 @@ mod tests {
         ];
         for (df, t) in cases {
             let got = t_quantile(df, 0.975);
-            assert!(
-                (got - t).abs() < 0.02,
-                "t({df}, 0.975) = {got}, want {t}"
-            );
+            assert!((got - t).abs() < 0.02, "t({df}, 0.975) = {got}, want {t}");
         }
     }
 

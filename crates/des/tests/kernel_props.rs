@@ -1,16 +1,16 @@
 //! Property-based tests of the simulation kernel.
 
-use proptest::prelude::*;
 use rsin_des::stats::{BatchMeans, Histogram, TimeWeighted, Welford};
 use rsin_des::{Calendar, SimRng, SimTime};
+use rsin_minicheck::check;
 
-proptest! {
-    /// Random interleavings of schedule/cancel always deliver the
-    /// non-cancelled events exactly once, in time order.
-    #[test]
-    fn calendar_with_cancellations(
-        ops in prop::collection::vec((0.0f64..1e3, prop::bool::ANY), 1..60),
-    ) {
+/// Random interleavings of schedule/cancel always deliver the
+/// non-cancelled events exactly once, in time order.
+#[test]
+fn calendar_with_cancellations() {
+    check(256, |g| {
+        let n = g.usize_in(1, 60);
+        let ops: Vec<(f64, bool)> = (0..n).map(|_| (g.f64_in(0.0, 1e3), g.bool())).collect();
         let mut cal = Calendar::new();
         let mut expected = Vec::new();
         let mut handles = Vec::new();
@@ -20,7 +20,7 @@ proptest! {
         }
         for &(h, t, cancel) in &handles {
             if cancel {
-                prop_assert!(cal.cancel(h));
+                assert!(cal.cancel(h));
             } else {
                 expected.push(t);
             }
@@ -30,16 +30,20 @@ proptest! {
         while let Some((t, _)) = cal.pop() {
             delivered.push(t.as_f64());
         }
-        prop_assert_eq!(delivered.len(), expected.len());
+        assert_eq!(delivered.len(), expected.len());
         for (d, e) in delivered.iter().zip(&expected) {
-            prop_assert!((d - e).abs() < 1e-12);
+            assert!((d - e).abs() < 1e-12);
         }
-        prop_assert!(cal.is_empty());
-    }
+        assert!(cal.is_empty());
+    });
+}
 
-    /// The calendar length is exact under mixed operations.
-    #[test]
-    fn calendar_len_is_exact(n in 1usize..40, cancels in 0usize..40) {
+/// The calendar length is exact under mixed operations.
+#[test]
+fn calendar_len_is_exact() {
+    check(256, |g| {
+        let n = g.usize_in(1, 40);
+        let cancels = g.usize_in(0, 40);
         let mut cal = Calendar::new();
         let handles: Vec<_> = (0..n)
             .map(|i| cal.schedule(SimTime::new(i as f64), i))
@@ -50,24 +54,30 @@ proptest! {
                 live -= 1;
             }
         }
-        prop_assert_eq!(cal.len(), live);
-    }
+        assert_eq!(cal.len(), live);
+    });
+}
 
-    /// Histogram mass balance: bin counts plus overflow equal the total.
-    #[test]
-    fn histogram_mass_balance(xs in prop::collection::vec(0.0f64..20.0, 1..200)) {
+/// Histogram mass balance: bin counts plus overflow equal the total.
+#[test]
+fn histogram_mass_balance() {
+    check(256, |g| {
+        let xs = g.vec_f64(0.0, 20.0, 1, 200);
         let mut h = Histogram::new(8, 10.0);
         for &x in &xs {
             h.record(x);
         }
         let binned: u64 = (0..h.num_bins()).map(|i| h.bin_count(i)).sum();
-        prop_assert_eq!(binned + h.overflow(), xs.len() as u64);
-        prop_assert_eq!(h.count(), xs.len() as u64);
-    }
+        assert_eq!(binned + h.overflow(), xs.len() as u64);
+        assert_eq!(h.count(), xs.len() as u64);
+    });
+}
 
-    /// Batch-means grand mean equals the plain mean over complete batches.
-    #[test]
-    fn batch_means_grand_mean(xs in prop::collection::vec(-1e3f64..1e3, 10..300)) {
+/// Batch-means grand mean equals the plain mean over complete batches.
+#[test]
+fn batch_means_grand_mean() {
+    check(256, |g| {
+        let xs = g.vec_f64(-1e3, 1e3, 10, 300);
         let batch = 10u64;
         let mut bm = BatchMeans::new(batch);
         for &x in &xs {
@@ -76,13 +86,19 @@ proptest! {
         let complete = (xs.len() as u64 / batch * batch) as usize;
         if complete > 0 {
             let mean = xs[..complete].iter().sum::<f64>() / complete as f64;
-            prop_assert!((bm.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()));
+            assert!((bm.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()));
         }
-    }
+    });
+}
 
-    /// Time-weighted average of any step signal lies within its range.
-    #[test]
-    fn time_average_within_range(steps in prop::collection::vec((0.01f64..10.0, 0.0f64..50.0), 1..50)) {
+/// Time-weighted average of any step signal lies within its range.
+#[test]
+fn time_average_within_range() {
+    check(256, |g| {
+        let n = g.usize_in(1, 50);
+        let steps: Vec<(f64, f64)> = (0..n)
+            .map(|_| (g.f64_in(0.01, 10.0), g.f64_in(0.0, 50.0)))
+            .collect();
         let mut tw = TimeWeighted::new(SimTime::ZERO, steps[0].1);
         let mut t = 0.0;
         let mut lo = steps[0].1;
@@ -95,12 +111,19 @@ proptest! {
         }
         let avg = tw.average(SimTime::new(t + 1.0));
         // The final level extends to the query time, so it bounds too.
-        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {avg} outside [{lo}, {hi}]");
-    }
+        assert!(
+            avg >= lo - 1e-9 && avg <= hi + 1e-9,
+            "avg {avg} outside [{lo}, {hi}]"
+        );
+    });
+}
 
-    /// Welford statistics are permutation-invariant.
-    #[test]
-    fn welford_permutation_invariant(xs in prop::collection::vec(-1e4f64..1e4, 2..100), seed in 0u64..) {
+/// Welford statistics are permutation-invariant.
+#[test]
+fn welford_permutation_invariant() {
+    check(256, |g| {
+        let xs = g.vec_f64(-1e4, 1e4, 2, 100);
+        let seed = g.u64();
         let mut a = Welford::new();
         for &x in &xs {
             a.push(x);
@@ -112,12 +135,11 @@ proptest! {
         for &x in &shuffled {
             b.push(x);
         }
-        prop_assert!((a.mean() - b.mean()).abs() < 1e-7 * (1.0 + a.mean().abs()));
-        prop_assert!(
-            (a.sample_variance() - b.sample_variance()).abs()
-                < 1e-6 * (1.0 + a.sample_variance())
+        assert!((a.mean() - b.mean()).abs() < 1e-7 * (1.0 + a.mean().abs()));
+        assert!(
+            (a.sample_variance() - b.sample_variance()).abs() < 1e-6 * (1.0 + a.sample_variance())
         );
-        prop_assert_eq!(a.min(), b.min());
-        prop_assert_eq!(a.max(), b.max());
-    }
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+    });
 }

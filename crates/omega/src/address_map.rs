@@ -61,9 +61,11 @@ impl AddressMappedOmega {
     #[must_use]
     pub fn new(partitions: usize, size: usize, resources_per_port: u32) -> Self {
         assert!(partitions > 0, "need at least one partition");
-        assert!(resources_per_port > 0, "resources per port must be positive");
-        let topo = OmegaTopology::new(size)
-            .unwrap_or_else(|e| panic!("invalid Omega size: {e}"));
+        assert!(
+            resources_per_port > 0,
+            "resources per port must be positive"
+        );
+        let topo = OmegaTopology::new(size).unwrap_or_else(|e| panic!("invalid Omega size: {e}"));
         let stages = topo.stages() as usize;
         AddressMappedOmega {
             topo,

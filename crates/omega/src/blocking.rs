@@ -72,10 +72,12 @@ pub struct BlockingResult {
 #[must_use]
 pub fn run_blocking_experiment(exp: &BlockingExperiment, rng: &mut SimRng) -> BlockingResult {
     assert!(exp.trials > 0, "need at least one trial");
-    assert!((0.0..=1.0).contains(&exp.p_request), "p_request out of range");
+    assert!(
+        (0.0..=1.0).contains(&exp.p_request),
+        "p_request out of range"
+    );
     assert!((0.0..=1.0).contains(&exp.p_free), "p_free out of range");
-    let topo = OmegaTopology::new(exp.size)
-        .unwrap_or_else(|e| panic!("invalid network size: {e}"));
+    let topo = OmegaTopology::new(exp.size).unwrap_or_else(|e| panic!("invalid network size: {e}"));
 
     let mut requests_total: u64 = 0;
     let mut rsin_blocked: u64 = 0;
@@ -84,8 +86,9 @@ pub fn run_blocking_experiment(exp: &BlockingExperiment, rng: &mut SimRng) -> Bl
     let mut am_net_blocked: u64 = 0;
 
     for _ in 0..exp.trials {
-        let requesters: Vec<usize> =
-            (0..exp.size).filter(|_| rng.chance(exp.p_request)).collect();
+        let requesters: Vec<usize> = (0..exp.size)
+            .filter(|_| rng.chance(exp.p_request))
+            .collect();
         let free: Vec<usize> = (0..exp.size).filter(|_| rng.chance(exp.p_free)).collect();
         if requesters.is_empty() {
             continue;

@@ -14,7 +14,10 @@
 //! scanned in priority order, one routing trial per candidate — and counts
 //! both the trials and the gate-delay bill.
 
+use rsin_core::{Grant, NetworkCounters, ResourceNetwork};
+use rsin_des::SimRng;
 use rsin_topology::{Multistage, OmegaTopology, Route};
+use std::collections::HashMap;
 
 /// A sequential (centralized) scheduler over an `N × N` Omega network.
 #[derive(Clone, Debug)]
@@ -79,12 +82,29 @@ impl SequentialScheduler {
     /// Panics if any index is out of range for the network.
     #[must_use]
     pub fn serve(&self, requesters: &[usize], free: &[usize]) -> SequentialOutcome {
+        self.serve_with_held(requesters, free, &[])
+    }
+
+    /// Like [`SequentialScheduler::serve`], but circuits in `held` are
+    /// already established (in-flight transmissions): a candidate route
+    /// conflicting with any of them costs a trial and is skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for the network.
+    #[must_use]
+    pub fn serve_with_held(
+        &self,
+        requesters: &[usize],
+        free: &[usize],
+        pre_held: &[Route],
+    ) -> SequentialOutcome {
         let mut available: Vec<usize> = {
             let mut f = free.to_vec();
             f.sort_unstable();
             f
         };
-        let mut held: Vec<Route> = Vec::new();
+        let mut held: Vec<Route> = pre_held.to_vec();
         let mut granted = Vec::new();
         let mut trials: u64 = 0;
         for &p in requesters {
@@ -108,6 +128,199 @@ impl SequentialScheduler {
             trials,
             gate_delays: trials * self.per_trial_gate_delay(),
         }
+    }
+}
+
+/// The centralized-scheduler Omega RSIN: the same `N × N` circuit-switched
+/// fabric as [`OmegaNetwork`](crate::OmegaNetwork), but every allocation
+/// funnels through one [`SequentialScheduler`] — the paper's Section V
+/// baseline made simulatable, and the fault study's single point of
+/// failure.
+///
+/// Fault model: element 0 is the scheduler itself. While it is dead no new
+/// circuit is established *anywhere* (in-flight transmissions complete —
+/// fail-open — but delivered throughput collapses to zero until repair).
+/// Resource-pool faults behave as in the distributed network.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_core::ResourceNetwork;
+/// use rsin_omega::CentralOmegaNetwork;
+///
+/// let mut net = CentralOmegaNetwork::new(8, 2)?;
+/// assert_eq!(net.processors(), 8);
+/// assert_eq!(net.fault_elements(), 1, "the scheduler is the only element");
+/// assert!(net.fail_element(0));
+/// # Ok::<(), rsin_topology::TopologyError>(())
+/// ```
+#[derive(Debug)]
+pub struct CentralOmegaNetwork {
+    scheduler: SequentialScheduler,
+    resources_per_port: u32,
+    scheduler_up: bool,
+    busy_resources: Vec<u32>,
+    port_down: Vec<bool>,
+    /// Routes held by in-flight transmissions, keyed by processor.
+    transmitting: HashMap<usize, Route>,
+    counters: NetworkCounters,
+}
+
+impl CentralOmegaNetwork {
+    /// Builds a centrally scheduled `size × size` Omega RSIN with
+    /// `resources_per_port` resources on every output port.
+    ///
+    /// # Errors
+    ///
+    /// [`rsin_topology::TopologyError`] unless `size` is a power of two ≥ 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resources_per_port == 0`.
+    pub fn new(size: usize, resources_per_port: u32) -> Result<Self, rsin_topology::TopologyError> {
+        assert!(
+            resources_per_port > 0,
+            "resources per port must be positive"
+        );
+        Ok(CentralOmegaNetwork {
+            scheduler: SequentialScheduler::new(size)?,
+            resources_per_port,
+            scheduler_up: true,
+            busy_resources: vec![0; size],
+            port_down: vec![false; size],
+            transmitting: HashMap::new(),
+            counters: NetworkCounters::default(),
+        })
+    }
+
+    /// Whether the central scheduler is currently operational.
+    #[must_use]
+    pub fn scheduler_up(&self) -> bool {
+        self.scheduler_up
+    }
+
+    fn size(&self) -> usize {
+        self.scheduler.topo.size()
+    }
+}
+
+impl ResourceNetwork for CentralOmegaNetwork {
+    fn processors(&self) -> usize {
+        self.size()
+    }
+
+    fn total_resources(&self) -> usize {
+        self.size() * self.resources_per_port as usize
+    }
+
+    fn request_cycle(&mut self, pending: &[bool], _rng: &mut SimRng) -> Vec<Grant> {
+        assert_eq!(pending.len(), self.processors(), "pending vector size");
+        let requesters: Vec<usize> = (0..self.size())
+            .filter(|&p| pending[p] && !self.transmitting.contains_key(&p))
+            .collect();
+        if requesters.is_empty() {
+            return Vec::new();
+        }
+        self.counters.attempts += requesters.len() as u64;
+        if !self.scheduler_up {
+            // Scheduler down: every request stalls at the scheduler's
+            // doorstep. Nothing is allocated anywhere in the system.
+            self.counters.rejections += requesters.len() as u64;
+            return Vec::new();
+        }
+        let free: Vec<usize> = (0..self.size())
+            .filter(|&j| !self.port_down[j] && self.busy_resources[j] < self.resources_per_port)
+            .collect();
+        let held: Vec<Route> = {
+            let mut procs: Vec<usize> = self.transmitting.keys().copied().collect();
+            procs.sort_unstable();
+            procs
+                .into_iter()
+                .map(|p| self.transmitting[&p].clone())
+                .collect()
+        };
+        let out = self.scheduler.serve_with_held(&requesters, &free, &held);
+        self.counters.rejections += requesters.len() as u64 - out.granted.len() as u64;
+        out.granted
+            .into_iter()
+            .map(|(p, port)| {
+                self.transmitting
+                    .insert(p, self.scheduler.topo.route(p, port));
+                Grant { processor: p, port }
+            })
+            .collect()
+    }
+
+    fn end_transmission(&mut self, grant: Grant) {
+        let route = self
+            .transmitting
+            .remove(&grant.processor)
+            .expect("transmission ends only on an active circuit");
+        debug_assert_eq!(route.dest, grant.port);
+        self.busy_resources[grant.port] += 1;
+        debug_assert!(self.busy_resources[grant.port] <= self.resources_per_port);
+    }
+
+    fn end_service(&mut self, grant: Grant) {
+        if self.port_down[grant.port] {
+            // The pool failed and was cleared while this task was in
+            // flight; nothing is held any more.
+            return;
+        }
+        debug_assert!(self.busy_resources[grant.port] > 0, "no busy resource");
+        self.busy_resources[grant.port] -= 1;
+    }
+
+    fn fail_resource(&mut self, port: usize) -> bool {
+        if self.port_down.get(port).copied() != Some(false) {
+            return false;
+        }
+        self.port_down[port] = true;
+        self.busy_resources[port] = 0;
+        // Per the trait contract: tear down in-flight circuits terminating
+        // at the dead port; the simulator requeues the casualties.
+        self.transmitting.retain(|_, route| route.dest != port);
+        self.counters.resource_failures += 1;
+        true
+    }
+
+    fn repair_resource(&mut self, port: usize) -> bool {
+        if self.port_down.get(port).copied() != Some(true) {
+            return false;
+        }
+        self.port_down[port] = false;
+        self.counters.resource_repairs += 1;
+        true
+    }
+
+    fn fail_element(&mut self, element: usize) -> bool {
+        if element != 0 || !self.scheduler_up {
+            return false;
+        }
+        self.scheduler_up = false;
+        self.counters.element_failures += 1;
+        true
+    }
+
+    fn repair_element(&mut self, element: usize) -> bool {
+        if element != 0 || self.scheduler_up {
+            return false;
+        }
+        self.scheduler_up = true;
+        self.counters.element_repairs += 1;
+        true
+    }
+
+    fn fault_elements(&self) -> usize {
+        1
+    }
+
+    fn take_counters(&mut self) -> NetworkCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    fn label(&self) -> &'static str {
+        "C-OMEGA"
     }
 }
 
@@ -185,5 +398,87 @@ mod tests {
     #[test]
     fn rejects_bad_size() {
         assert!(SequentialScheduler::new(6).is_err());
+    }
+
+    // ---- CentralOmegaNetwork ---------------------------------------------
+
+    fn pending(n: usize, set: &[usize]) -> Vec<bool> {
+        let mut v = vec![false; n];
+        for &i in set {
+            v[i] = true;
+        }
+        v
+    }
+
+    #[test]
+    fn central_network_runs_the_task_lifecycle() {
+        let mut net = CentralOmegaNetwork::new(8, 1).expect("8x8");
+        let mut rng = SimRng::new(1);
+        let g = net.request_cycle(&pending(8, &[0, 3, 5]), &mut rng);
+        assert_eq!(g.len(), 3);
+        for grant in g {
+            net.end_transmission(grant);
+            net.end_service(grant);
+        }
+    }
+
+    #[test]
+    fn scheduler_death_stops_all_allocation_until_repair() {
+        let mut net = CentralOmegaNetwork::new(8, 2).expect("8x8");
+        let mut rng = SimRng::new(1);
+        assert!(net.fail_element(0));
+        assert!(!net.fail_element(0), "already dead");
+        // Plenty of free resources, but no scheduler: nothing is granted.
+        let all: Vec<usize> = (0..8).collect();
+        assert!(net.request_cycle(&pending(8, &all), &mut rng).is_empty());
+        assert!(net.repair_element(0));
+        assert_eq!(net.request_cycle(&pending(8, &all), &mut rng).len(), 8);
+        let c = net.take_counters();
+        assert_eq!(c.element_failures, 1);
+        assert_eq!(c.element_repairs, 1);
+        assert_eq!(c.rejections, 8, "one rejection per stalled request");
+    }
+
+    #[test]
+    fn scheduler_death_is_fail_open_for_inflight_work() {
+        let mut net = CentralOmegaNetwork::new(4, 1).expect("4x4");
+        let mut rng = SimRng::new(1);
+        let g = net.request_cycle(&pending(4, &[2]), &mut rng);
+        assert_eq!(g.len(), 1);
+        net.fail_element(0);
+        // The established circuit still completes its lifecycle.
+        net.end_transmission(g[0]);
+        net.end_service(g[0]);
+    }
+
+    #[test]
+    fn central_resource_faults_mirror_the_distributed_contract() {
+        let mut net = CentralOmegaNetwork::new(4, 1).expect("4x4");
+        let mut rng = SimRng::new(1);
+        let g = net.request_cycle(&pending(4, &[0]), &mut rng);
+        assert_eq!(g.len(), 1);
+        assert!(net.fail_resource(g[0].port));
+        // Casualty circuit released internally; the dead port is skipped.
+        let g2 = net.request_cycle(&pending(4, &[0]), &mut rng);
+        assert_eq!(g2.len(), 1);
+        assert_ne!(g2[0].port, g[0].port);
+        assert!(net.repair_resource(g[0].port));
+        assert!(!net.repair_resource(g[0].port), "already up");
+        assert!(!net.fail_resource(99), "out of range rejected");
+    }
+
+    #[test]
+    fn in_flight_routes_block_conflicting_central_grants() {
+        // With every port's route from processor 0 held, a second batch must
+        // route around the held links — serve_with_held sees them.
+        let mut net = CentralOmegaNetwork::new(4, 2).expect("4x4");
+        let mut rng = SimRng::new(1);
+        let g1 = net.request_cycle(&pending(4, &[0]), &mut rng);
+        assert_eq!(g1.len(), 1);
+        // Processor 0 is mid-transmission: its own re-request is ignored,
+        // other processors may still be served.
+        let g2 = net.request_cycle(&pending(4, &[0, 1]), &mut rng);
+        assert_eq!(g2.len(), 1);
+        assert_eq!(g2[0].processor, 1);
     }
 }

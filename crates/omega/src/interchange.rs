@@ -136,7 +136,7 @@ impl InterchangeBox {
     pub fn query(&mut self, input: usize, prefer: usize) -> QueryOutcome {
         assert!(input < 2 && prefer < 2, "port out of range");
         assert!(
-            !self.conn_out.iter().any(|&c| c == Some(input)),
+            !self.conn_out.contains(&Some(input)),
             "input {input} already connected through this box"
         );
         for &j in &[prefer, prefer ^ 1] {
@@ -200,8 +200,7 @@ impl InterchangeBox {
     #[must_use]
     pub fn found(&self, output: usize) -> usize {
         assert!(output < 2, "output port out of range");
-        self.conn_out[output]
-            .expect("resource-found must arrive on a connected output")
+        self.conn_out[output].expect("resource-found must arrive on a connected output")
     }
 }
 
@@ -221,8 +220,16 @@ mod tests {
         let mut b = InterchangeBox::new();
         assert_eq!(b.set_availability(0, true), Some(true), "0→1 edge relayed");
         assert_eq!(b.set_availability(1, true), None, "still true: no relay");
-        assert_eq!(b.set_availability(0, false), None, "other port keeps it true");
-        assert_eq!(b.set_availability(1, false), Some(false), "1→0 edge relayed");
+        assert_eq!(
+            b.set_availability(0, false),
+            None,
+            "other port keeps it true"
+        );
+        assert_eq!(
+            b.set_availability(1, false),
+            Some(false),
+            "1→0 edge relayed"
+        );
     }
 
     #[test]

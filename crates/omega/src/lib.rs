@@ -16,6 +16,9 @@
 //!   [`ResourceNetwork`](rsin_core::ResourceNetwork).
 //! - [`AddressMappedOmega`]: the conventional baseline with a centralized
 //!   random assigner.
+//! - [`CentralOmegaNetwork`] / [`SequentialScheduler`]: the
+//!   centralized-scheduler baseline — sequential allocation with a single
+//!   point of failure for the fault study.
 //! - [`blocking`]: the Monte Carlo blocking-probability experiment.
 //!
 //! # Example
@@ -43,11 +46,13 @@ mod return_path;
 mod typed;
 
 pub use address_map::AddressMappedOmega;
-pub use central::{SequentialOutcome, SequentialScheduler};
+pub use central::{CentralOmegaNetwork, SequentialOutcome, SequentialScheduler};
 pub use interchange::{InterchangeBox, QueryOutcome, RejectOutcome};
 pub use model::{OmegaNetwork, WrongKindError};
+pub use resolver::{
+    Admission, Circuit, MultistageState, OmegaState, Resolution, StatusFreshness, Wiring,
+};
 pub use return_path::OmegaReturnPath;
-pub use resolver::{Admission, Circuit, MultistageState, OmegaState, Resolution, StatusFreshness, Wiring};
 pub use typed::{Placement, TypedOmegaNetwork};
 
 #[cfg(test)]
@@ -90,8 +95,12 @@ mod integration_tests {
         let big: SystemConfig = "16/1x16x16 OMEGA/2".parse().expect("valid");
         let small: SystemConfig = "16/8x2x2 OMEGA/2".parse().expect("valid");
         let rho = 0.75;
-        let d_big = run(&big, &Workload::for_intensity(&big, rho, 0.1).expect("valid"), 23)
-            .mean_delay();
+        let d_big = run(
+            &big,
+            &Workload::for_intensity(&big, rho, 0.1).expect("valid"),
+            23,
+        )
+        .mean_delay();
         let d_small = run(
             &small,
             &Workload::for_intensity(&small, rho, 0.1).expect("valid"),

@@ -90,7 +90,13 @@ impl OmegaNetwork {
         resources_per_port: u32,
         admission: Admission,
     ) -> Self {
-        Self::with_wiring(partitions, size, resources_per_port, admission, Wiring::Omega)
+        Self::with_wiring(
+            partitions,
+            size,
+            resources_per_port,
+            admission,
+            Wiring::Omega,
+        )
     }
 
     /// Builds partitions with explicit interstage wiring (Omega or indirect
@@ -168,8 +174,7 @@ impl ResourceNetwork for OmegaNetwork {
             self.counters.attempts += requesters.len() as u64;
             let res = part.resolve(&requesters, self.admission);
             self.counters.boxes_traversed += res.box_visits;
-            self.counters.rejections +=
-                (res.rejected.len() + res.not_submitted.len()) as u64;
+            self.counters.rejections += (res.rejected.len() + res.not_submitted.len()) as u64;
             for circuit in res.granted {
                 let proc = base + circuit.processor;
                 let port = base + circuit.port;
@@ -197,7 +202,84 @@ impl ResourceNetwork for OmegaNetwork {
 
     fn end_service(&mut self, grant: Grant) {
         let pi = grant.port / self.size;
-        self.partitions[pi].release_resource(grant.port % self.size);
+        let lp = grant.port % self.size;
+        if self.partitions[pi].port_is_down(lp) {
+            // The pool failed and was cleared while this task was in
+            // flight; nothing is held any more.
+            return;
+        }
+        self.partitions[pi].release_resource(lp);
+    }
+
+    fn fail_resource(&mut self, port: usize) -> bool {
+        let pi = port / self.size;
+        let lp = port % self.size;
+        let Some(part) = self.partitions.get_mut(pi) else {
+            return false;
+        };
+        if !part.fail_port(lp) {
+            return false;
+        }
+        // Per the trait contract: tear down every circuit terminating at
+        // the dead port (their links free up); the simulator requeues the
+        // casualty tasks. Sorted for deterministic iteration.
+        let mut casualties: Vec<usize> = self
+            .circuits
+            .iter()
+            .filter(|&(&proc, c)| proc / self.size == pi && c.port == lp)
+            .map(|(&proc, _)| proc)
+            .collect();
+        casualties.sort_unstable();
+        for proc in casualties {
+            let circuit = self.circuits.remove(&proc).expect("casualty present");
+            part.release_circuit(&circuit);
+        }
+        self.counters.resource_failures += 1;
+        true
+    }
+
+    fn repair_resource(&mut self, port: usize) -> bool {
+        let pi = port / self.size;
+        let Some(part) = self.partitions.get_mut(pi) else {
+            return false;
+        };
+        let accepted = part.repair_port(port % self.size);
+        if accepted {
+            self.counters.resource_repairs += 1;
+        }
+        accepted
+    }
+
+    fn fail_element(&mut self, element: usize) -> bool {
+        // Element pi·(stages·N/2) + k·(N/2) + b = interchange box b of
+        // stage k in partition pi (fail-open; see `MultistageState::fail_box`).
+        let boxes = self.partitions[0].stages() as usize * (self.size / 2);
+        let (pi, rem) = (element / boxes, element % boxes);
+        let Some(part) = self.partitions.get_mut(pi) else {
+            return false;
+        };
+        let accepted = part.fail_box((rem / (self.size / 2)) as u32, rem % (self.size / 2));
+        if accepted {
+            self.counters.element_failures += 1;
+        }
+        accepted
+    }
+
+    fn repair_element(&mut self, element: usize) -> bool {
+        let boxes = self.partitions[0].stages() as usize * (self.size / 2);
+        let (pi, rem) = (element / boxes, element % boxes);
+        let Some(part) = self.partitions.get_mut(pi) else {
+            return false;
+        };
+        let accepted = part.repair_box((rem / (self.size / 2)) as u32, rem % (self.size / 2));
+        if accepted {
+            self.counters.element_repairs += 1;
+        }
+        accepted
+    }
+
+    fn fault_elements(&self) -> usize {
+        self.partitions.len() * self.partitions[0].stages() as usize * (self.size / 2)
     }
 
     fn take_counters(&mut self) -> NetworkCounters {
@@ -291,12 +373,72 @@ mod tests {
     }
 
     #[test]
+    fn fail_resource_tears_down_inflight_circuits() {
+        let mut net = OmegaNetwork::new(1, 4, 1, Admission::Simultaneous);
+        let mut rng = SimRng::new(1);
+        let g = net.request_cycle(&pending(4, &[0]), &mut rng);
+        assert_eq!(g.len(), 1);
+        // The pool at the granted port dies mid-transmission.
+        assert!(net.fail_resource(g[0].port));
+        assert!(!net.fail_resource(g[0].port), "already down");
+        // Its links were released internally: the same processor can route
+        // to one of the three surviving ports immediately.
+        let g2 = net.request_cycle(&pending(4, &[0]), &mut rng);
+        assert_eq!(g2.len(), 1);
+        assert_ne!(g2[0].port, g[0].port, "dead port advertises nothing");
+        assert!(net.repair_resource(g[0].port));
+        let c = net.take_counters();
+        assert_eq!(c.resource_failures, 1);
+        assert_eq!(c.resource_repairs, 1);
+    }
+
+    #[test]
+    fn element_index_addresses_every_box() {
+        // 2 partitions × (log2 8 = 3 stages) × 4 boxes = 24 elements.
+        let mut net = OmegaNetwork::new(2, 8, 1, Admission::Simultaneous);
+        assert_eq!(net.fault_elements(), 24);
+        for e in 0..24 {
+            assert!(net.fail_element(e), "element {e} fails once");
+            assert!(!net.fail_element(e), "element {e} already failed");
+        }
+        assert!(!net.fail_element(24), "out of range");
+        for e in 0..24 {
+            assert!(net.repair_element(e));
+        }
+        let c = net.take_counters();
+        assert_eq!(c.element_failures, 24);
+        assert_eq!(c.element_repairs, 24);
+    }
+
+    #[test]
+    fn failed_boxes_degrade_but_do_not_kill_the_network() {
+        let mut net = OmegaNetwork::new(1, 16, 2, Admission::Simultaneous);
+        let mut rng = SimRng::new(7);
+        // Fail three interchange boxes spread across stages.
+        for e in [0, 11, 22] {
+            assert!(net.fail_element(e));
+        }
+        let g = net.request_cycle(&pending(16, &(0..16).collect::<Vec<_>>()), &mut rng);
+        assert!(
+            !g.is_empty(),
+            "distributed scheduling sustains service around dead boxes"
+        );
+        for grant in g {
+            net.end_transmission(grant);
+            net.end_service(grant);
+        }
+    }
+
+    #[test]
     fn counters_include_box_visits() {
         let mut net = OmegaNetwork::new(1, 8, 1, Admission::Simultaneous);
         let mut rng = SimRng::new(1);
         let _ = net.request_cycle(&pending(8, &[0, 3, 4, 5]), &mut rng);
         let c = net.take_counters();
         assert_eq!(c.attempts, 4);
-        assert!(c.boxes_traversed >= 12, "each served request crosses ≥3 boxes");
+        assert!(
+            c.boxes_traversed >= 12,
+            "each served request crosses ≥3 boxes"
+        );
     }
 }

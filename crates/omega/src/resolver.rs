@@ -121,6 +121,20 @@ impl Wiring {
             }
         }
     }
+
+    /// The interchange box (`0 .. N/2`) of stage `k` that output wire
+    /// `wire_out` leaves through. Each box owns exactly two output wires.
+    fn box_of_output(self, bits: u32, k: u32, wire_out: usize) -> usize {
+        match self {
+            Wiring::Omega => wire_out >> 1,
+            Wiring::Cube => {
+                // The pair differs in bit `fix`: drop that bit.
+                let fix = bits - 1 - k;
+                let low = wire_out & ((1usize << fix) - 1);
+                (wire_out >> (fix + 1) << fix) | low
+            }
+        }
+    }
 }
 
 /// The link/resource state of one multistage RSIN plus the resolution
@@ -154,6 +168,12 @@ pub struct MultistageState {
     busy_resources: Vec<u32>,
     /// Resource type hosted by each output port (all 0 when untyped).
     port_types: Vec<usize>,
+    /// Output ports whose resource pool is offline (fault state).
+    port_down: Vec<bool>,
+    /// `box_down[stage][box]`: failed interchange boxes. A failed box
+    /// advertises no availability, so requests reroute around it; circuits
+    /// already established through it complete normally (fail-open).
+    box_down: Vec<Vec<bool>>,
 }
 
 /// The Omega-wired multistage RSIN state (the paper's primary subject).
@@ -227,7 +247,10 @@ impl MultistageState {
         resources_per_port: u32,
         wiring: Wiring,
     ) -> Result<Self, rsin_topology::TopologyError> {
-        assert!(resources_per_port > 0, "resources per port must be positive");
+        assert!(
+            resources_per_port > 0,
+            "resources per port must be positive"
+        );
         let bits = match rsin_topology::log2_exact(size) {
             Some(b) if b >= 1 => b,
             _ => return Err(rsin_topology::TopologyError::NotPowerOfTwo { size }),
@@ -241,6 +264,8 @@ impl MultistageState {
             link_busy: vec![vec![false; size]; bits as usize],
             busy_resources: vec![0; size],
             port_types: vec![0; size],
+            port_down: vec![false; size],
+            box_down: vec![vec![false; size / 2]; bits as usize],
         })
     }
 
@@ -323,7 +348,10 @@ impl MultistageState {
     /// Panics if the port is out of range or has no busy resource.
     pub fn release_resource(&mut self, port: usize) {
         assert!(port < self.size, "port out of range");
-        assert!(self.busy_resources[port] > 0, "port {port} has no busy resource");
+        assert!(
+            self.busy_resources[port] > 0,
+            "port {port} has no busy resource"
+        );
         self.busy_resources[port] -= 1;
     }
 
@@ -356,6 +384,90 @@ impl MultistageState {
     #[must_use]
     pub fn link_is_busy(&self, link: Link) -> bool {
         self.link_busy[link.stage as usize][link.wire]
+    }
+
+    /// Takes the resource pool on `port` offline and clears its busy count
+    /// (callers release the casualties' circuits separately). Until
+    /// repaired the port reports no availability. Returns `true` if the
+    /// pool was up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn fail_port(&mut self, port: usize) -> bool {
+        assert!(port < self.size, "port out of range");
+        if self.port_down[port] {
+            return false;
+        }
+        self.port_down[port] = true;
+        self.busy_resources[port] = 0;
+        true
+    }
+
+    /// Brings the pool on `port` back online at full capacity. Returns
+    /// `true` if the pool was down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn repair_port(&mut self, port: usize) -> bool {
+        assert!(port < self.size, "port out of range");
+        std::mem::replace(&mut self.port_down[port], false)
+    }
+
+    /// Whether the resource pool on `port` is offline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    #[must_use]
+    pub fn port_is_down(&self, port: usize) -> bool {
+        assert!(port < self.size, "port out of range");
+        self.port_down[port]
+    }
+
+    /// Number of interchange boxes per stage (`N/2`).
+    #[must_use]
+    pub fn boxes_per_stage(&self) -> usize {
+        self.size / 2
+    }
+
+    /// Fails interchange box `box_id` of stage `stage`. The box advertises
+    /// no availability and routes no new request, so reject-backtracking
+    /// reroutes around it; circuits already holding links through it
+    /// complete normally (fail-open). Returns `true` if the box was up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage or box index is out of range.
+    pub fn fail_box(&mut self, stage: u32, box_id: usize) -> bool {
+        assert!(stage < self.bits, "stage out of range");
+        assert!(box_id < self.size / 2, "box out of range");
+        !std::mem::replace(&mut self.box_down[stage as usize][box_id], true)
+    }
+
+    /// Repairs interchange box `box_id` of stage `stage`. Returns `true`
+    /// if the box was down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage or box index is out of range.
+    pub fn repair_box(&mut self, stage: u32, box_id: usize) -> bool {
+        assert!(stage < self.bits, "stage out of range");
+        assert!(box_id < self.size / 2, "box out of range");
+        std::mem::replace(&mut self.box_down[stage as usize][box_id], false)
+    }
+
+    /// Whether interchange box `box_id` of stage `stage` is failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage or box index is out of range.
+    #[must_use]
+    pub fn box_is_down(&self, stage: u32, box_id: usize) -> bool {
+        assert!(stage < self.bits, "stage out of range");
+        assert!(box_id < self.size / 2, "box out of range");
+        self.box_down[stage as usize][box_id]
     }
 
     /// Runs one resolution epoch for `requesters` (distinct processor
@@ -430,18 +542,23 @@ impl MultistageState {
     fn reachability(&self, claimed: &[Vec<bool>], ty: usize) -> Vec<Vec<bool>> {
         let n = self.bits as usize;
         let mut down = vec![vec![false; self.size]; n + 1];
-        for w in 0..self.size {
-            down[n][w] = self.port_types[w] == ty
+        for (w, slot) in down[n].iter_mut().enumerate() {
+            *slot = !self.port_down[w]
+                && self.port_types[w] == ty
                 && self.busy_resources[w] < self.resources_per_port;
         }
         for k in (0..n).rev() {
             for w_in in 0..self.size {
                 let (outs, _) = self.wiring.box_outputs(self.bits, k as u32, w_in);
-                let reach = outs.iter().any(|&wire_out| {
-                    !self.link_busy[k][wire_out]
-                        && !claimed[k][wire_out]
-                        && down[k + 1][wire_out]
-                });
+                // A failed box's availability registers are stuck at zero:
+                // nothing is reachable through it.
+                let box_id = self.wiring.box_of_output(self.bits, k as u32, outs[0]);
+                let reach = !self.box_down[k][box_id]
+                    && outs.iter().any(|&wire_out| {
+                        !self.link_busy[k][wire_out]
+                            && !claimed[k][wire_out]
+                            && down[k + 1][wire_out]
+                    });
                 down[k][w_in] = reach;
             }
         }
@@ -471,7 +588,9 @@ impl MultistageState {
         // phase).
         let mut down = down_of(self, &claimed);
         let lookup = |down: &[(usize, Vec<Vec<bool>>)], t: usize| -> usize {
-            down.iter().position(|&(dt, _)| dt == t).expect("type present")
+            down.iter()
+                .position(|&(dt, _)| dt == t)
+                .expect("type present")
         };
         let mut flights: Vec<Flight> = Vec::new();
         for &(p, t) in requesters {
@@ -497,17 +616,23 @@ impl MultistageState {
             if self.freshness == StatusFreshness::Continuous {
                 down = down_of(self, &claimed);
             }
-            for fl in flights.iter_mut().filter(|f| f.state == FlightState::Active) {
+            for fl in flights
+                .iter_mut()
+                .filter(|f| f.state == FlightState::Active)
+            {
                 let k = fl.links.len(); // current stage
                 let fl_down = &down[lookup(&down, fl.ty)].1;
                 let frame = fl.frames.last_mut().expect("active flight has a frame");
-                let (outs, straight) =
-                    self.wiring.box_outputs(self.bits, k as u32, frame.wire_in);
+                let (outs, straight) = self.wiring.box_outputs(self.bits, k as u32, frame.wire_in);
+                // A failed box switches nothing: the request sees an
+                // immediate reject and backtracks.
+                let box_dead =
+                    self.box_down[k][self.wiring.box_of_output(self.bits, k as u32, outs[0])];
                 // Prefer the straight connection, then exchange.
                 let preference = [straight, straight ^ 1];
                 let mut advanced = false;
                 for &out in &preference {
-                    if frame.tried[out] {
+                    if box_dead || frame.tried[out] {
                         continue;
                     }
                     let wire_out = outs[out];
@@ -520,7 +645,8 @@ impl MultistageState {
                     // A real collision can slip past stale registers: the
                     // final hop double-checks the resource itself.
                     if k + 1 == n
-                        && (self.busy_resources[wire_out] >= self.resources_per_port
+                        && (self.port_down[wire_out]
+                            || self.busy_resources[wire_out] >= self.resources_per_port
                             || self.port_types[wire_out] != fl.ty)
                     {
                         continue;
@@ -737,6 +863,98 @@ mod tests {
         assert!(MultistageState::new_cube(10, 1).is_err());
     }
 
+    // ---- faults -----------------------------------------------------------
+
+    #[test]
+    fn failed_port_reports_no_availability_until_repair() {
+        let mut net = OmegaState::new(4, 1).expect("4x4");
+        for port in 1..4 {
+            net.fail_port(port);
+        }
+        assert!(!net.fail_port(1), "already down");
+        // Only port 0 is alive: one grant, and it lands there.
+        let res = net.resolve(&[0, 1, 2, 3], Admission::Simultaneous);
+        assert_eq!(res.granted.len(), 1);
+        assert_eq!(res.granted[0].port, 0);
+        assert!(net.repair_port(1));
+        assert!(!net.port_is_down(1));
+        net.release_circuit(&res.granted[0].clone());
+        net.occupy_resource(res.granted[0].port);
+        let res2 = net.resolve(&[1], Admission::Simultaneous);
+        assert_eq!(res2.granted.len(), 1);
+        assert_eq!(res2.granted[0].port, 1, "repaired pool serves again");
+    }
+
+    #[test]
+    fn failed_box_forces_reroute_around_it() {
+        // Kill a final-stage box: its two ports become unreachable, but the
+        // other six resources still are — every processor that can route
+        // through the surviving fabric is served.
+        let mut net = OmegaState::new(8, 1).expect("8x8");
+        let last = net.stages() - 1;
+        assert!(net.fail_box(last, 0));
+        assert!(!net.fail_box(last, 0), "already failed");
+        assert!(net.box_is_down(last, 0));
+        let res = net.resolve(&[0, 1, 2, 3, 4, 5, 6, 7], Admission::Simultaneous);
+        assert_eq!(res.granted.len(), 6, "rejected: {:?}", res.rejected);
+        for c in &res.granted {
+            assert!(
+                !matches!(c.port, 0 | 1),
+                "ports behind the dead box must be unreachable, got {}",
+                c.port
+            );
+        }
+    }
+
+    #[test]
+    fn failed_stage0_box_suppresses_its_processors() {
+        // Stage-0 box 0 feeds processors 0 and 1 (Omega wiring): with it
+        // dead, those processors see no availability and never submit.
+        let mut net = OmegaState::new(8, 1).expect("8x8");
+        // Find the stage-0 box of processor 0 by failing each in turn.
+        let mut suppressed_box = None;
+        for b in 0..net.boxes_per_stage() {
+            net.fail_box(0, b);
+            let r = net.resolve(&[0], Admission::Simultaneous);
+            let gone = r.not_submitted == vec![0];
+            for c in &r.granted {
+                net.release_circuit(c);
+            }
+            net.repair_box(0, b);
+            if gone {
+                suppressed_box = Some(b);
+                break;
+            }
+        }
+        let b = suppressed_box.expect("some stage-0 box serves processor 0");
+        net.fail_box(0, b);
+        // Processor 1 enters a different stage-0 box (its shuffled wire
+        // lands in box 1), so it still routes.
+        let res = net.resolve(&[0, 1], Admission::Simultaneous);
+        assert!(res.not_submitted.contains(&0));
+        assert_eq!(res.granted.len(), 1, "the other processor still routes");
+        assert_eq!(res.granted[0].processor, 1);
+    }
+
+    #[test]
+    fn cube_box_faults_reroute_too() {
+        let mut net = MultistageState::new_cube(8, 1).expect("8x8 cube");
+        let last = net.stages() - 1;
+        net.fail_box(last, 0);
+        let res = net.resolve(&[0, 1, 2, 3, 4, 5, 6, 7], Admission::Simultaneous);
+        assert_eq!(res.granted.len(), 6, "rejected: {:?}", res.rejected);
+    }
+
+    #[test]
+    fn fail_port_clears_busy_count_and_repair_restores_capacity() {
+        let mut net = OmegaState::new(4, 2).expect("4x4");
+        net.occupy_resource(0);
+        net.occupy_resource(0);
+        net.fail_port(0);
+        net.repair_port(0);
+        assert_eq!(net.free_resources(0), 2, "full capacity after repair");
+    }
+
     // ---- cube wiring ------------------------------------------------------
 
     #[test]
@@ -796,17 +1014,20 @@ mod tests {
         // Even ports host type 0, odd ports type 1 (interleaved placement).
         let types: Vec<usize> = (0..8).map(|p| p % 2).collect();
         net.set_port_types(&types);
-        let res = net.resolve_typed(
-            &[(0, 0), (1, 1), (2, 0), (3, 1)],
-            Admission::Simultaneous,
-        );
+        let res = net.resolve_typed(&[(0, 0), (1, 1), (2, 0), (3, 1)], Admission::Simultaneous);
         assert_eq!(res.granted.len(), 4, "rejected: {:?}", res.rejected);
         for c in &res.granted {
             let want = match c.processor {
                 0 | 2 => 0,
                 _ => 1,
             };
-            assert_eq!(net.port_type(c.port), want, "P{} got R{}", c.processor, c.port);
+            assert_eq!(
+                net.port_type(c.port),
+                want,
+                "P{} got R{}",
+                c.processor,
+                c.port
+            );
         }
     }
 

@@ -60,7 +60,9 @@ impl ReturnNetwork for OmegaReturnPath {
     fn try_send(&mut self, port: usize, processor: usize) -> Option<ReturnTicket> {
         // The return fabric's inputs are the resource ports; its outputs are
         // the processors.
-        let route = self.topo.route(port % self.topo.size(), processor % self.topo.size());
+        let route = self
+            .topo
+            .route(port % self.topo.size(), processor % self.topo.size());
         if route
             .links
             .iter()
@@ -124,14 +126,14 @@ mod tests {
         let w = Workload::for_intensity(&cfg, 0.4, 0.1).expect("valid");
         let opts = SimOptions {
             warmup_tasks: 1_000,
-            measured_tasks: 12_000,
+            measured_tasks: 32_000,
         };
-        let mut fwd = crate::OmegaNetwork::from_config(&cfg, crate::Admission::Simultaneous)
-            .expect("omega");
+        let mut fwd =
+            crate::OmegaNetwork::from_config(&cfg, crate::Admission::Simultaneous).expect("omega");
         let mut ret = OmegaReturnPath::new(8).expect("8x8");
         let mut rng = SimRng::new(3);
         let report = simulate_round_trip(&mut fwd, &mut ret, &w, w.mu_n(), &opts, &mut rng);
-        assert_eq!(report.round_trip.count(), 12_000);
+        assert_eq!(report.round_trip.count(), 32_000);
         // Round trip ≥ transmission + service + return means.
         let floor = 1.0 / w.mu_n() + 1.0 / w.mu_s() + 1.0 / w.mu_n();
         assert!(report.round_trip.mean() > floor);
@@ -145,17 +147,11 @@ mod tests {
         );
 
         // And d matches the plain (no-return) simulation within noise.
-        let mut fwd2 = crate::OmegaNetwork::from_config(&cfg, crate::Admission::Simultaneous)
-            .expect("omega");
+        let mut fwd2 =
+            crate::OmegaNetwork::from_config(&cfg, crate::Admission::Simultaneous).expect("omega");
         let mut rng = SimRng::new(3);
-        let plain = simulate_round_trip(
-            &mut fwd2,
-            &mut InstantReturn,
-            &w,
-            w.mu_n(),
-            &opts,
-            &mut rng,
-        );
+        let plain =
+            simulate_round_trip(&mut fwd2, &mut InstantReturn, &w, w.mu_n(), &opts, &mut rng);
         let a = report.queueing_delay.mean();
         let b = plain.queueing_delay.mean();
         assert!((a - b).abs() / b.max(1e-9) < 0.15, "d: {a} vs {b}");

@@ -86,7 +86,7 @@ impl TypedOmegaNetwork {
         assert!(partitions > 0, "need at least one partition");
         assert!(types > 0, "need at least one resource type");
         assert!(
-            size % types == 0,
+            size.is_multiple_of(types),
             "types must divide the port count for equal capacity"
         );
         let port_types: Vec<usize> = (0..size)
@@ -200,14 +200,8 @@ mod tests {
 
     #[test]
     fn typed_grants_match_requested_types() {
-        let mut net = TypedOmegaNetwork::new(
-            1,
-            8,
-            1,
-            2,
-            Placement::Blocked,
-            Admission::Simultaneous,
-        );
+        let mut net =
+            TypedOmegaNetwork::new(1, 8, 1, 2, Placement::Blocked, Admission::Simultaneous);
         let mut rng = SimRng::new(1);
         let mut pending = vec![None; 8];
         pending[0] = Some(1);
@@ -238,14 +232,8 @@ mod tests {
     fn typed_simulation_end_to_end() {
         let base = Workload::new(0.05, 10.0, 1.0).expect("valid");
         let w = TypedWorkload::new(base, vec![0.5, 0.5]).expect("valid");
-        let mut net = TypedOmegaNetwork::new(
-            1,
-            16,
-            2,
-            2,
-            Placement::Interleaved,
-            Admission::Simultaneous,
-        );
+        let mut net =
+            TypedOmegaNetwork::new(1, 16, 2, 2, Placement::Interleaved, Admission::Simultaneous);
         let mut rng = SimRng::new(9);
         let opts = SimOptions {
             warmup_tasks: 1_000,

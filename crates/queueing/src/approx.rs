@@ -84,14 +84,14 @@ pub fn crossbar_light_load(p: &CrossbarParams) -> Result<SharedBusSolution, Solv
 pub fn crossbar_heavy_load(p: &CrossbarParams) -> Result<SharedBusSolution, SolveError> {
     p.validate()?;
     let (procs, resources) = if p.processors >= p.buses {
-        if p.processors % p.buses != 0 {
+        if !p.processors.is_multiple_of(p.buses) {
             return Err(SolveError::BadParameter {
                 what: "heavy-load partitioning needs m to divide p",
             });
         }
         (p.processors / p.buses, p.resources_per_bus)
     } else {
-        if p.buses % p.processors != 0 {
+        if !p.buses.is_multiple_of(p.processors) {
             return Err(SolveError::BadParameter {
                 what: "heavy-load partitioning needs p to divide m",
             });
@@ -134,38 +134,36 @@ mod tests {
     }
 
     #[test]
-    fn square_crossbar_heavy_load_is_single_bus_per_processor() {
+    fn square_crossbar_heavy_load_is_single_bus_per_processor() -> Result<(), SolveError> {
         let p = params(8, 8, 2, 0.05);
-        let heavy = crossbar_heavy_load(&p).expect("heavy");
+        let heavy = crossbar_heavy_load(&p)?;
         let direct = SharedBusChain::new(SharedBusParams {
             processors: 1,
             resources: 2,
             lambda: 0.05,
             mu_n: 1.0,
             mu_s: 0.1,
-        })
-        .expect("stable")
-        .solve()
-        .expect("converges");
+        })?
+        .solve()?;
         assert!((heavy.mean_queue_delay - direct.mean_queue_delay).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn wide_crossbar_pools_resources() {
+    fn wide_crossbar_pools_resources() -> Result<(), SolveError> {
         // m > p: each processor sees m*r/p resources.
         let p = params(2, 8, 1, 0.05);
-        let heavy = crossbar_heavy_load(&p).expect("heavy");
+        let heavy = crossbar_heavy_load(&p)?;
         let direct = SharedBusChain::new(SharedBusParams {
             processors: 1,
             resources: 4,
             lambda: 0.05,
             mu_n: 1.0,
             mu_s: 0.1,
-        })
-        .expect("stable")
-        .solve()
-        .expect("converges");
+        })?
+        .solve()?;
         assert!((heavy.mean_queue_delay - direct.mean_queue_delay).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]

@@ -57,7 +57,9 @@ mod tests {
             residual: 1e-3,
         };
         assert!(e.to_string().contains("10"));
-        let e = SolveError::BadParameter { what: "r must be positive" };
+        let e = SolveError::BadParameter {
+            what: "r must be positive",
+        };
         assert!(e.to_string().contains("r must be positive"));
     }
 

@@ -102,7 +102,8 @@ impl Mat {
         let mut a = self.clone();
         let mut inv = Mat::identity(n);
         for col in 0..n {
-            let pivot = (col..n).max_by(|&i, &j| a[(i, col)].abs().total_cmp(&a[(j, col)].abs()))?;
+            let pivot =
+                (col..n).max_by(|&i, &j| a[(i, col)].abs().total_cmp(&a[(j, col)].abs()))?;
             if a[(pivot, col)].abs() < 1e-300 {
                 return None;
             }

@@ -81,7 +81,10 @@ impl Ctmc {
     pub fn add(&mut self, from: usize, to: usize, rate: f64) {
         assert!(from < self.n && to < self.n, "state index out of range");
         assert!(from != to, "self-loops have no effect in a CTMC");
-        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive, got {rate}"
+        );
         self.out[from].push((to, rate));
         self.inc[to].push((from, rate));
         self.out_rate[from] += rate;
@@ -90,7 +93,8 @@ impl Ctmc {
     /// Iterates over all transitions.
     pub fn transitions(&self) -> impl Iterator<Item = Transition> + '_ {
         self.out.iter().enumerate().flat_map(|(from, outs)| {
-            outs.iter().map(move |&(to, rate)| Transition { from, to, rate })
+            outs.iter()
+                .map(move |&(to, rate)| Transition { from, to, rate })
         })
     }
 
@@ -176,9 +180,7 @@ impl Ctmc {
             a[t.to][t.from] += t.rate;
             a[t.from][t.from] -= t.rate;
         }
-        for j in 0..n {
-            a[n - 1][j] = 1.0;
-        }
+        a[n - 1].fill(1.0);
         let mut b = vec![0.0_f64; n];
         b[n - 1] = 1.0;
 
@@ -200,8 +202,10 @@ impl Ctmc {
                 if factor == 0.0 {
                     continue;
                 }
-                for k in col..n {
-                    a[row][k] -= factor * a[col][k];
+                let (upper, lower) = a.split_at_mut(row);
+                let pivot_row = &upper[col];
+                for (v, p) in lower[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                    *v -= factor * p;
                 }
                 b[row] -= factor * b[col];
             }
@@ -321,7 +325,11 @@ mod tests {
         c.add(2, 0, 3.0);
         let ts: Vec<Transition> = c.transitions().collect();
         assert_eq!(ts.len(), 3);
-        assert!(ts.contains(&Transition { from: 1, to: 2, rate: 2.0 }));
+        assert!(ts.contains(&Transition {
+            from: 1,
+            to: 2,
+            rate: 2.0
+        }));
     }
 
     #[test]

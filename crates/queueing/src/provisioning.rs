@@ -108,7 +108,7 @@ pub fn min_partitions_for_delay(
         });
     }
     for parts in 1..=processors {
-        if processors % parts != 0 || total_resources % parts != 0 {
+        if !processors.is_multiple_of(parts) || !total_resources.is_multiple_of(parts) {
             continue;
         }
         let chain = match SharedBusChain::new(SharedBusParams {

@@ -479,11 +479,15 @@ impl SharedBusChain {
             u[stages - 1][b] = 1.0;
             for l in (2..=stages).rev() {
                 let cur = u[l - 1].clone();
-                let above = if l < stages { u[l].clone() } else { vec![0.0; width] };
+                let above = if l < stages {
+                    u[l].clone()
+                } else {
+                    vec![0.0; width]
+                };
                 let prev = &mut u[l - 2];
                 for s in 0..r {
                     let mut v = (lam + mu_n + s as f64 * mu_s) * cur[s];
-                    if s + 1 <= r - 1 {
+                    if s < r - 1 {
                         v -= (s + 1) as f64 * mu_s * cur[s + 1];
                     }
                     if s >= 1 {
@@ -506,12 +510,16 @@ impl SharedBusChain {
             }
             // Stage-0 states from stage-1 balance.
             let s1 = u[0].clone();
-            let s2 = if stages >= 2 { u[1].clone() } else { vec![0.0; width] };
+            let s2 = if stages >= 2 {
+                u[1].clone()
+            } else {
+                vec![0.0; width]
+            };
             let mut zero_n1 = vec![0.0_f64; r];
             let mut zero_n0 = vec![0.0_f64; r + 1];
             for s in 0..r {
                 let mut v = (lam + mu_n + s as f64 * mu_s) * s1[s];
-                if s + 1 <= r - 1 {
+                if s < r - 1 {
                     v -= (s + 1) as f64 * mu_s * s1[s + 1];
                 }
                 if s >= 1 {
@@ -534,7 +542,7 @@ impl SharedBusChain {
             let mut boundary = vec![0.0_f64; r];
             for (s, slot) in boundary.iter_mut().enumerate() {
                 let mut inflow = lam * zero_n0[s];
-                if s + 1 <= r - 1 {
+                if s < r - 1 {
                     inflow += (s + 1) as f64 * mu_s * zero_n1[s + 1];
                 }
                 if s >= 1 {
@@ -656,7 +664,11 @@ impl SharedBusChain {
                     c.add(idx(l, s), idx(l + 1, s), lam);
                 }
                 if s < r - 1 {
-                    let dest = if l == 1 { idx0_n1(s + 1) } else { idx(l - 1, s + 1) };
+                    let dest = if l == 1 {
+                        idx0_n1(s + 1)
+                    } else {
+                        idx(l - 1, s + 1)
+                    };
                     c.add(idx(l, s), dest, mu_n);
                 } else {
                     c.add(idx(l, s), idx(l, r), mu_n);
@@ -668,7 +680,11 @@ impl SharedBusChain {
             if l < max_stage {
                 c.add(idx(l, r), idx(l + 1, r), lam);
             }
-            let dest = if l == 1 { idx0_n1(r - 1) } else { idx(l - 1, r - 1) };
+            let dest = if l == 1 {
+                idx0_n1(r - 1)
+            } else {
+                idx(l - 1, r - 1)
+            };
             c.add(idx(l, r), dest, r as f64 * mu_s);
         }
 
@@ -758,8 +774,8 @@ mod tests {
             let chain = SharedBusChain::new(params(p, r, lam, mu_n, mu_s)).expect("stable");
             let a = chain.solve().expect("matrix-geometric");
             let b = chain.solve_truncated(96).expect("gs converges");
-            let rel = (a.mean_queue_delay - b.mean_queue_delay).abs()
-                / b.mean_queue_delay.max(1e-12);
+            let rel =
+                (a.mean_queue_delay - b.mean_queue_delay).abs() / b.mean_queue_delay.max(1e-12);
             assert!(
                 rel < 1e-5,
                 "p={p} r={r}: exact {} vs truncated {} (rel {rel})",
@@ -817,8 +833,8 @@ mod tests {
         let chain = SharedBusChain::new(params(p, r, lam, 1e5, mu_s)).expect("stable");
         let sol = chain.solve().expect("converges");
         let mmr = Mmr::new(p as f64 * lam, mu_s, r).expect("stable");
-        let rel = (sol.mean_queue_delay - mmr.mean_wait_in_queue()).abs()
-            / mmr.mean_wait_in_queue();
+        let rel =
+            (sol.mean_queue_delay - mmr.mean_wait_in_queue()).abs() / mmr.mean_wait_in_queue();
         assert!(
             rel < 0.01,
             "chain d {} vs M/M/r Wq {}",
@@ -834,8 +850,8 @@ mod tests {
         let chain = SharedBusChain::new(params(p, r, lam, mu_n, 1e5)).expect("stable");
         let sol = chain.solve().expect("converges");
         let mm1 = Mm1::new(p as f64 * lam, mu_n).expect("stable");
-        let rel = (sol.mean_queue_delay - mm1.mean_wait_in_queue()).abs()
-            / mm1.mean_wait_in_queue();
+        let rel =
+            (sol.mean_queue_delay - mm1.mean_wait_in_queue()).abs() / mm1.mean_wait_in_queue();
         assert!(
             rel < 0.01,
             "chain d {} vs M/M/1 Wq {}",
@@ -850,8 +866,8 @@ mod tests {
         let chain = SharedBusChain::new(params(2, 64, 0.3, 1.0, 0.05)).expect("stable");
         let sol = chain.solve().expect("converges");
         let mm1 = Mm1::new(0.6, 1.0).expect("stable");
-        let rel = (sol.mean_queue_delay - mm1.mean_wait_in_queue()).abs()
-            / mm1.mean_wait_in_queue();
+        let rel =
+            (sol.mean_queue_delay - mm1.mean_wait_in_queue()).abs() / mm1.mean_wait_in_queue();
         assert!(rel < 0.02, "rel {rel}");
     }
 
@@ -882,9 +898,7 @@ mod tests {
         let chain = SharedBusChain::new(params(2, 2, 0.1, 2.0, 1.0)).expect("stable");
         let sol = chain.solve().expect("converges");
         assert!((sol.normalized_delay - sol.mean_queue_delay * 1.0).abs() < 1e-12);
-        assert!(
-            (sol.mean_response_time - (sol.mean_queue_delay + 0.5 + 1.0)).abs() < 1e-12
-        );
+        assert!((sol.mean_response_time - (sol.mean_queue_delay + 0.5 + 1.0)).abs() < 1e-12);
         assert!((sol.mean_queue_length - 0.2 * sol.mean_queue_delay).abs() < 1e-9);
     }
 

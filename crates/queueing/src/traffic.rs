@@ -30,7 +30,10 @@
 #[must_use]
 pub fn reference_intensity(p: u32, total_resources: u32, lambda: f64, mu_n: f64, mu_s: f64) -> f64 {
     assert!(p > 0 && total_resources > 0, "counts must be positive");
-    assert!(lambda > 0.0 && mu_n > 0.0 && mu_s > 0.0, "rates must be positive");
+    assert!(
+        lambda > 0.0 && mu_n > 0.0 && mu_s > 0.0,
+        "rates must be positive"
+    );
     let pl = p as f64 * lambda;
     pl * (1.0 / (p as f64 * mu_n) + 1.0 / (total_resources as f64 * mu_s))
 }
@@ -52,13 +55,7 @@ pub fn reference_intensity(p: u32, total_resources: u32, lambda: f64, mu_n: f64,
 /// assert!((rho - 0.7).abs() < 1e-12);
 /// ```
 #[must_use]
-pub fn lambda_for_intensity(
-    p: u32,
-    total_resources: u32,
-    rho: f64,
-    mu_n: f64,
-    mu_s: f64,
-) -> f64 {
+pub fn lambda_for_intensity(p: u32, total_resources: u32, rho: f64, mu_n: f64, mu_s: f64) -> f64 {
     assert!(p > 0 && total_resources > 0, "counts must be positive");
     assert!(mu_n > 0.0 && mu_s > 0.0, "rates must be positive");
     assert!(rho > 0.0, "intensity must be positive");

@@ -203,13 +203,9 @@ impl SmallCrossbarChain {
         }
         // Fixed-priority dispatch: the first bus that is idle with a free
         // resource.
-        let dispatch = |t: &[bool], s: &[usize]| -> Option<usize> {
-            (0..m).find(|&j| !t[j] && s[j] < r)
-        };
-        let queue_ok: Vec<bool> = subs
-            .iter()
-            .map(|(t, s)| dispatch(t, s).is_none())
-            .collect();
+        let dispatch =
+            |t: &[bool], s: &[usize]| -> Option<usize> { (0..m).find(|&j| !t[j] && s[j] < r) };
+        let queue_ok: Vec<bool> = subs.iter().map(|(t, s)| dispatch(t, s).is_none()).collect();
         let key = |t: &[bool], s: &[usize]| -> u64 {
             let mut k = 0u64;
             for j in 0..m {

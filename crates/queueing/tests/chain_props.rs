@@ -1,6 +1,6 @@
 //! Property-based tests of the shared-bus Markov chain and its solvers.
 
-use proptest::prelude::*;
+use rsin_minicheck::check;
 use rsin_queueing::{Mm1, Mmr, SharedBusChain, SharedBusParams, SolveError};
 
 fn stable_chain(p: u32, r: u32, util: f64, mu_n: f64, mu_s: f64) -> Option<SharedBusChain> {
@@ -24,93 +24,101 @@ fn stable_chain(p: u32, r: u32, util: f64, mu_n: f64, mu_s: f64) -> Option<Share
     .ok()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The exact solver and the truncated full-balance solver agree.
-    #[test]
-    fn solvers_agree(
-        p in 1u32..8,
-        r in 1u32..6,
-        util in 0.05f64..0.7,
-        mu_n in 0.5f64..4.0,
-        mu_s in 0.5f64..4.0,
-    ) {
+/// The exact solver and the truncated full-balance solver agree.
+#[test]
+fn solvers_agree() {
+    check(16, |g| {
+        let p = g.u32_in(1, 8);
+        let r = g.u32_in(1, 6);
+        let util = g.f64_in(0.05, 0.7);
+        let mu_n = g.f64_in(0.5, 4.0);
+        let mu_s = g.f64_in(0.5, 4.0);
         let Some(chain) = stable_chain(p, r, util, mu_n, mu_s) else {
-            return Ok(());
+            return;
         };
         let exact = chain.solve().expect("exact solver");
         // Gauss–Seidel can hit its sweep cap on stiff random parameters;
         // it is the cross-check, so skip those samples rather than require
         // the reference to converge everywhere.
         let Ok(truncated) = chain.solve_truncated(64) else {
-            return Ok(());
+            return;
         };
         let rel = (exact.mean_queue_delay - truncated.mean_queue_delay).abs()
             / truncated.mean_queue_delay.max(1e-9);
-        prop_assert!(rel < 1e-4, "exact {} vs truncated {}", exact.mean_queue_delay,
-                     truncated.mean_queue_delay);
-    }
+        assert!(
+            rel < 1e-4,
+            "exact {} vs truncated {}",
+            exact.mean_queue_delay,
+            truncated.mean_queue_delay
+        );
+    });
+}
 
-    /// Flow conservation: bus utilization is Λ/µ_n and resource utilization
-    /// Λ/(rµ_s), independent of anything else.
-    #[test]
-    fn utilizations_are_flow_determined(
-        p in 1u32..8,
-        r in 1u32..6,
-        util in 0.05f64..0.8,
-    ) {
+/// Flow conservation: bus utilization is Λ/µ_n and resource utilization
+/// Λ/(rµ_s), independent of anything else.
+#[test]
+fn utilizations_are_flow_determined() {
+    check(16, |g| {
+        let p = g.u32_in(1, 8);
+        let r = g.u32_in(1, 6);
+        let util = g.f64_in(0.05, 0.8);
         let Some(chain) = stable_chain(p, r, util, 1.0, 1.0) else {
-            return Ok(());
+            return;
         };
         let lam = chain.arrival_rate();
         let sol = chain.solve().expect("solves");
-        prop_assert!((sol.bus_utilization - lam).abs() < 1e-6);
-        prop_assert!((sol.resource_utilization - lam / r as f64).abs() < 1e-6);
-    }
+        assert!((sol.bus_utilization - lam).abs() < 1e-6);
+        assert!((sol.resource_utilization - lam / r as f64).abs() < 1e-6);
+    });
+}
 
-    /// Delay is monotone in the arrival rate.
-    #[test]
-    fn delay_monotone_in_lambda(
-        p in 1u32..6,
-        r in 1u32..5,
-        base_util in 0.05f64..0.4,
-    ) {
+/// Delay is monotone in the arrival rate.
+#[test]
+fn delay_monotone_in_lambda() {
+    check(16, |g| {
+        let p = g.u32_in(1, 6);
+        let r = g.u32_in(1, 5);
+        let base_util = g.f64_in(0.05, 0.4);
         let Some(lo) = stable_chain(p, r, base_util, 1.0, 1.0) else {
-            return Ok(());
+            return;
         };
         let Some(hi) = stable_chain(p, r, base_util * 1.8, 1.0, 1.0) else {
-            return Ok(());
+            return;
         };
         let d_lo = lo.solve().expect("solves").mean_queue_delay;
         let d_hi = hi.solve().expect("solves").mean_queue_delay;
-        prop_assert!(d_hi >= d_lo, "delay must grow with load: {d_hi} < {d_lo}");
-    }
+        assert!(d_hi >= d_lo, "delay must grow with load: {d_hi} < {d_lo}");
+    });
+}
 
-    /// The chain's delay always dominates the M/M/1 (r = ∞) lower bound and
-    /// the M/M/r (µ_n = ∞) lower bound.
-    #[test]
-    fn bounded_below_by_degenerate_limits(
-        p in 1u32..6,
-        r in 1u32..5,
-        util in 0.05f64..0.6,
-    ) {
+/// The chain's delay always dominates the M/M/1 (r = ∞) lower bound and
+/// the M/M/r (µ_n = ∞) lower bound.
+#[test]
+fn bounded_below_by_degenerate_limits() {
+    check(16, |g| {
+        let p = g.u32_in(1, 6);
+        let r = g.u32_in(1, 5);
+        let util = g.f64_in(0.05, 0.6);
         let Some(chain) = stable_chain(p, r, util, 1.0, 1.0) else {
-            return Ok(());
+            return;
         };
         let d = chain.solve().expect("solves").mean_queue_delay;
         let lam = chain.arrival_rate();
         if let Ok(bus) = Mm1::new(lam, 1.0) {
-            prop_assert!(d >= bus.mean_wait_in_queue() - 1e-9);
+            assert!(d >= bus.mean_wait_in_queue() - 1e-9);
         }
         if let Ok(pool) = Mmr::new(lam, 1.0, r) {
-            prop_assert!(d >= pool.mean_wait_in_queue() - 1e-9);
+            assert!(d >= pool.mean_wait_in_queue() - 1e-9);
         }
-    }
+    });
+}
 
-    /// Validation rejects exactly the degenerate parameters.
-    #[test]
-    fn validation_is_total(lambda in -1.0f64..2.0, mu_n in -1.0f64..2.0) {
+/// Validation rejects exactly the degenerate parameters.
+#[test]
+fn validation_is_total() {
+    check(64, |g| {
+        let lambda = g.f64_in(-1.0, 2.0);
+        let mu_n = g.f64_in(-1.0, 2.0);
         let res = SharedBusChain::new(SharedBusParams {
             processors: 2,
             resources: 2,
@@ -120,16 +128,16 @@ proptest! {
         });
         match res {
             Ok(c) => {
-                prop_assert!(lambda > 0.0 && mu_n > 0.0);
-                prop_assert!(c.utilization() < 1.0);
+                assert!(lambda > 0.0 && mu_n > 0.0);
+                assert!(c.utilization() < 1.0);
             }
             Err(SolveError::BadParameter { .. }) => {
-                prop_assert!(lambda <= 0.0 || mu_n <= 0.0);
+                assert!(lambda <= 0.0 || mu_n <= 0.0);
             }
             Err(SolveError::Unstable { utilization }) => {
-                prop_assert!(utilization >= 1.0);
+                assert!(utilization >= 1.0);
             }
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Err(e) => panic!("unexpected error {e}"),
         }
-    }
+    });
 }

@@ -73,8 +73,12 @@ mod tests {
         let workload = Workload::new(0.03, 1.0, 1.0).expect("valid");
         let one: SystemConfig = "16/1x16x1 SBUS/32".parse().expect("valid");
         let four: SystemConfig = "16/4x4x1 SBUS/8".parse().expect("valid");
-        let d1 = partition_delay(&one, &workload).expect("stable").normalized_delay;
-        let d4 = partition_delay(&four, &workload).expect("stable").normalized_delay;
+        let d1 = partition_delay(&one, &workload)
+            .expect("stable")
+            .normalized_delay;
+        let d4 = partition_delay(&four, &workload)
+            .expect("stable")
+            .normalized_delay;
         assert!(d4 < d1, "4 partitions {d4} must beat 1 partition {d1}");
     }
 }

@@ -17,6 +17,10 @@ struct Bus {
     transmitting: bool,
     busy_resources: u32,
     arbiter: Arbiter,
+    /// Bus/arbiter hardware is operational (element fault state).
+    bus_up: bool,
+    /// The partition's resource pool is online (resource fault state).
+    pool_up: bool,
 }
 
 /// A partitioned single-shared-bus RSIN.
@@ -103,6 +107,8 @@ impl SharedBusNetwork {
                     transmitting: false,
                     busy_resources: 0,
                     arbiter: Arbiter::new(arbitration),
+                    bus_up: true,
+                    pool_up: true,
                 })
                 .collect(),
             counters: NetworkCounters::default(),
@@ -147,7 +153,11 @@ impl ResourceNetwork for SharedBusNetwork {
                 continue;
             }
             self.counters.attempts += candidates.len() as u64;
-            if bus.transmitting || bus.busy_resources >= self.resources_per_bus {
+            if !bus.bus_up
+                || !bus.pool_up
+                || bus.transmitting
+                || bus.busy_resources >= self.resources_per_bus
+            {
                 self.counters.rejections += candidates.len() as u64;
                 continue;
             }
@@ -175,8 +185,72 @@ impl ResourceNetwork for SharedBusNetwork {
 
     fn end_service(&mut self, grant: Grant) {
         let bus = &mut self.buses[grant.port];
+        if !bus.pool_up {
+            // The pool failed and was cleared while this task was in
+            // flight; nothing is held any more.
+            return;
+        }
         debug_assert!(bus.busy_resources > 0, "no busy resource to free");
         bus.busy_resources -= 1;
+    }
+
+    fn fail_resource(&mut self, port: usize) -> bool {
+        let Some(bus) = self.buses.get_mut(port) else {
+            return false;
+        };
+        if !bus.pool_up {
+            return false;
+        }
+        bus.pool_up = false;
+        // Per the trait contract: circuits and busy counts at this port
+        // are released internally; the simulator requeues the casualties.
+        bus.transmitting = false;
+        bus.busy_resources = 0;
+        self.counters.resource_failures += 1;
+        true
+    }
+
+    fn repair_resource(&mut self, port: usize) -> bool {
+        let Some(bus) = self.buses.get_mut(port) else {
+            return false;
+        };
+        if bus.pool_up {
+            return false;
+        }
+        bus.pool_up = true;
+        self.counters.resource_repairs += 1;
+        true
+    }
+
+    fn fail_element(&mut self, element: usize) -> bool {
+        // Element b = the bus/arbiter pair of partition b. An outage makes
+        // the whole partition unavailable until repair (fail-open: the
+        // transmission already on the wire completes).
+        let Some(bus) = self.buses.get_mut(element) else {
+            return false;
+        };
+        if !bus.bus_up {
+            return false;
+        }
+        bus.bus_up = false;
+        self.counters.element_failures += 1;
+        true
+    }
+
+    fn repair_element(&mut self, element: usize) -> bool {
+        let Some(bus) = self.buses.get_mut(element) else {
+            return false;
+        };
+        if bus.bus_up {
+            return false;
+        }
+        bus.bus_up = true;
+        self.counters.element_repairs += 1;
+        true
+    }
+
+    fn fault_elements(&self) -> usize {
+        self.buses.len()
     }
 
     fn take_counters(&mut self) -> NetworkCounters {
@@ -206,8 +280,20 @@ mod tests {
         let mut rng = SimRng::new(1);
         let grants = net.request_cycle(&pending(4, &[0, 1, 2, 3]), &mut rng);
         assert_eq!(grants.len(), 2, "one grant per bus");
-        assert_eq!(grants[0], Grant { processor: 0, port: 0 });
-        assert_eq!(grants[1], Grant { processor: 2, port: 1 });
+        assert_eq!(
+            grants[0],
+            Grant {
+                processor: 0,
+                port: 0
+            }
+        );
+        assert_eq!(
+            grants[1],
+            Grant {
+                processor: 2,
+                port: 1
+            }
+        );
     }
 
     #[test]
@@ -265,8 +351,8 @@ mod tests {
         let cfg: SystemConfig = "16/4x4x4 OMEGA/2".parse().expect("valid");
         assert!(SharedBusNetwork::from_config(&cfg, Arbitration::FixedPriority).is_err());
         let cfg: SystemConfig = "16/2x8x1 SBUS/16".parse().expect("valid");
-        let net = SharedBusNetwork::from_config(&cfg, Arbitration::FixedPriority)
-            .expect("sbus config");
+        let net =
+            SharedBusNetwork::from_config(&cfg, Arbitration::FixedPriority).expect("sbus config");
         assert_eq!(net.buses(), 2);
         assert_eq!(net.processors(), 16);
         assert_eq!(net.total_resources(), 32);

@@ -145,8 +145,7 @@ impl TypedResourceNetwork for TypedSharedBus {
         bus.transmitting = false;
         bus.busy_per_type[grant.resource_type] += 1;
         debug_assert!(
-            bus.busy_per_type[grant.resource_type]
-                <= self.resources_per_type[grant.resource_type]
+            bus.busy_per_type[grant.resource_type] <= self.resources_per_type[grant.resource_type]
         );
     }
 
@@ -184,7 +183,9 @@ mod tests {
         net.end_transmission(g[0]);
         assert_eq!(net.free_resources_on(0, 0), 0);
         // Another type-0 request stalls; a type-1 request flows.
-        assert!(net.request_cycle(&pending(3, &[(1, 0)]), &mut rng).is_empty());
+        assert!(net
+            .request_cycle(&pending(3, &[(1, 0)]), &mut rng)
+            .is_empty());
         let g1 = net.request_cycle(&pending(3, &[(1, 1)]), &mut rng);
         assert_eq!(g1.len(), 1);
         assert_eq!(g1[0].resource_type, 1);

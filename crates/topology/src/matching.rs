@@ -127,9 +127,7 @@ pub fn max_allocation(
         best: Vec::new(),
     };
     search.recurse(0);
-    Allocation {
-        pairs: search.best,
-    }
+    Allocation { pairs: search.best }
 }
 
 /// First-fit greedy matching: requesters in order, each taking the first
@@ -259,7 +257,12 @@ mod tests {
             let free: Vec<usize> = (0..8).filter(|_| next() % 2 == 0).collect();
             let g = greedy_allocation(&net, &reqs, &free);
             let o = max_allocation(&net, &reqs, &free);
-            assert!(o.len() >= g.len(), "optimal {} < greedy {}", o.len(), g.len());
+            assert!(
+                o.len() >= g.len(),
+                "optimal {} < greedy {}",
+                o.len(),
+                g.len()
+            );
             assert!(o.len() <= reqs.len().min(free.len()));
         }
     }

@@ -289,10 +289,14 @@ mod tests {
         assert_eq!(omega.box_of(Link { stage: 1, wire: 5 }), (1, 2));
         let cube = CubeTopology::new(8).expect("power of two");
         // Stage 1 pairs w and w^2: wires 4 and 6 share a box.
-        assert_eq!(cube.box_of(Link { stage: 1, wire: 4 }),
-                   cube.box_of(Link { stage: 1, wire: 6 }));
-        assert_ne!(cube.box_of(Link { stage: 1, wire: 4 }),
-                   cube.box_of(Link { stage: 1, wire: 5 }));
+        assert_eq!(
+            cube.box_of(Link { stage: 1, wire: 4 }),
+            cube.box_of(Link { stage: 1, wire: 6 })
+        );
+        assert_ne!(
+            cube.box_of(Link { stage: 1, wire: 4 }),
+            cube.box_of(Link { stage: 1, wire: 5 })
+        );
     }
 
     #[test]

@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn shuffle_is_a_permutation() {
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for w in 0..16 {
             seen[shuffle(4, w)] = true;
         }

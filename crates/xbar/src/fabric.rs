@@ -27,6 +27,9 @@ pub struct CrossbarFabric {
     p: usize,
     m: usize,
     cells: Vec<Cell>,
+    /// Stuck-open cells: a failed cell forwards both wave signals unchanged
+    /// and can never close its latch, so the wave routes around it.
+    failed: Vec<bool>,
 }
 
 impl CrossbarFabric {
@@ -43,6 +46,7 @@ impl CrossbarFabric {
             p,
             m,
             cells: vec![Cell::new(); p * m],
+            failed: vec![false; p * m],
         }
     }
 
@@ -73,6 +77,41 @@ impl CrossbarFabric {
         self.cells[i * self.m + j].is_connected()
     }
 
+    /// Whether cell `(i, j)` is marked failed (stuck open).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn is_failed(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.p && j < self.m, "cell index out of range");
+        self.failed[i * self.m + j]
+    }
+
+    /// Marks cell `(i, j)` stuck open. Returns `true` if the cell was
+    /// healthy. The fault is fail-open: a connection the cell currently
+    /// holds keeps behaving as a closed crosspoint until the normal reset
+    /// cycle releases it, but the latch can never close again afterward.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn fail_cell(&mut self, i: usize, j: usize) -> bool {
+        assert!(i < self.p && j < self.m, "cell index out of range");
+        !std::mem::replace(&mut self.failed[i * self.m + j], true)
+    }
+
+    /// Clears the failure mark on cell `(i, j)`. Returns `true` if the cell
+    /// was failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn repair_cell(&mut self, i: usize, j: usize) -> bool {
+        assert!(i < self.p && j < self.m, "cell index out of range");
+        std::mem::replace(&mut self.failed[i * self.m + j], false)
+    }
+
     /// Runs one request cycle.
     ///
     /// `requests[i]` is processor `i`'s `X_{i,0}` signal; `available[j]` is
@@ -89,16 +128,23 @@ impl CrossbarFabric {
         assert_eq!(available.len(), self.m, "available length");
         let mut col_y: Vec<bool> = available.to_vec();
         let mut grants = Vec::new();
-        for i in 0..self.p {
-            let mut x = requests[i];
-            for j in 0..self.m {
-                let was = self.cells[i * self.m + j].is_connected();
-                let (x_next, y_next) = self.cell(i, j).step(Mode::Request, x, col_y[j]);
-                if !was && self.cells[i * self.m + j].is_connected() {
+        for (i, &request) in requests.iter().enumerate() {
+            let mut x = request;
+            for (j, y) in col_y.iter_mut().enumerate() {
+                let idx = i * self.m + j;
+                if self.failed[idx] && !self.cells[idx].is_connected() {
+                    // Stuck-open cell: both signals pass straight through,
+                    // so the request keeps sweeping right and the
+                    // availability keeps sweeping down.
+                    continue;
+                }
+                let was = self.cells[idx].is_connected();
+                let (x_next, y_next) = self.cell(i, j).step(Mode::Request, x, *y);
+                if !was && self.cells[idx].is_connected() {
                     grants.push((i, j));
                 }
                 x = x_next;
-                col_y[j] = y_next;
+                *y = y_next;
             }
             // x is X_{i,m}, fed back to the processor: true means "resubmit
             // next cycle" — the caller sees this implicitly by not being in
@@ -116,8 +162,8 @@ impl CrossbarFabric {
     /// Panics if `resets.len() != p`.
     pub fn reset_cycle(&mut self, resets: &[bool]) {
         assert_eq!(resets.len(), self.p, "resets length");
-        for i in 0..self.p {
-            let mut x = resets[i];
+        for (i, &reset) in resets.iter().enumerate() {
+            let mut x = reset;
             for j in 0..self.m {
                 // Column Y values are irrelevant to the latch in reset mode.
                 let (x_next, _) = self.cell(i, j).step(Mode::Reset, x, false);
@@ -219,6 +265,45 @@ mod tests {
         let f = CrossbarFabric::new(16, 32);
         assert_eq!(f.request_cycle_gate_delay(), 4 * 48);
         assert_eq!(f.reset_cycle_gate_delay(), 48);
+    }
+
+    #[test]
+    fn failed_cell_routes_request_around_it() {
+        // Cell (0,0) is stuck open: processor 0's request passes over bus 0
+        // and lands on bus 1; the availability of bus 0 survives for row 1.
+        let mut f = CrossbarFabric::new(2, 2);
+        assert!(f.fail_cell(0, 0));
+        assert!(!f.fail_cell(0, 0), "double-fail reports already failed");
+        let grants = f.request_cycle(&[true, true], &[true, true]);
+        assert_eq!(grants, vec![(0, 1), (1, 0)]);
+        assert!(!f.is_connected(0, 0), "failed cell can never latch");
+    }
+
+    #[test]
+    fn repaired_cell_participates_again() {
+        let mut f = CrossbarFabric::new(1, 1);
+        f.fail_cell(0, 0);
+        assert!(f.request_cycle(&[true], &[true]).is_empty());
+        assert!(f.repair_cell(0, 0));
+        assert!(!f.repair_cell(0, 0), "double-repair reports healthy");
+        assert_eq!(f.request_cycle(&[true], &[true]), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn fail_open_preserves_existing_connection_until_reset() {
+        let mut f = CrossbarFabric::new(2, 1);
+        let _ = f.request_cycle(&[true, false], &[true]);
+        assert!(f.is_connected(0, 0));
+        f.fail_cell(0, 0);
+        // While held, the connected (failed) cell still blocks fresh Y.
+        assert!(f.request_cycle(&[false, true], &[true]).is_empty());
+        // The normal release path still works...
+        f.reset_cycle(&[true, false]);
+        assert!(!f.is_connected(0, 0));
+        // ...but afterward the cell is out of the scheduling fabric.
+        assert!(f.request_cycle(&[true, false], &[true]).is_empty());
+        let grants = f.request_cycle(&[false, true], &[true]);
+        assert_eq!(grants, vec![(1, 0)], "healthy rows still reach the bus");
     }
 
     #[test]

@@ -77,9 +77,15 @@ mod integration_tests {
         })
         .expect("stable")
         .mean_queue_delay;
-        assert!(sim * w.mu_s() <= 1.0, "test must sit in the light-load regime");
+        assert!(
+            sim * w.mu_s() <= 1.0,
+            "test must sit in the light-load regime"
+        );
         let rel = (sim - approx).abs() / approx.max(1e-9);
-        assert!(rel < 0.15, "sim {sim} vs light-load approx {approx} (rel {rel})");
+        assert!(
+            rel < 0.15,
+            "sim {sim} vs light-load approx {approx} (rel {rel})"
+        );
     }
 
     /// Heavy load: delay must land between the light-load (optimistic) and
@@ -99,8 +105,12 @@ mod integration_tests {
             mu_n: w.mu_n(),
             mu_s: w.mu_s(),
         };
-        let light = crossbar_light_load(&params).expect("stable").mean_queue_delay;
-        let heavy = crossbar_heavy_load(&params).expect("stable").mean_queue_delay;
+        let light = crossbar_light_load(&params)
+            .expect("stable")
+            .mean_queue_delay;
+        let heavy = crossbar_heavy_load(&params)
+            .expect("stable")
+            .mean_queue_delay;
         assert!(
             sim > light * 0.9 && sim < heavy * 1.5,
             "sim {sim} should sit between light {light} and heavy {heavy} regimes"

@@ -27,6 +27,8 @@ struct Partition {
     /// Which local processor holds each bus during transmission.
     held_by: Vec<Option<usize>>,
     busy_resources: Vec<u32>,
+    /// Whether each output column's resource pool is online.
+    pool_up: Vec<bool>,
 }
 
 /// A partitioned distributed-scheduling crossbar RSIN.
@@ -122,6 +124,7 @@ impl CrossbarNetwork {
                     fabric: CrossbarFabric::new(inputs, outputs),
                     held_by: vec![None; outputs],
                     busy_resources: vec![0; outputs],
+                    pool_up: vec![true; outputs],
                 })
                 .collect(),
             counters: NetworkCounters::default(),
@@ -163,20 +166,29 @@ impl ResourceNetwork for CrossbarNetwork {
             }
             self.counters.attempts += n_pending;
             let available: Vec<bool> = (0..self.outputs)
-                .map(|j| part.held_by[j].is_none() && part.busy_resources[j] < self.resources_per_bus)
+                .map(|j| {
+                    part.pool_up[j]
+                        && part.held_by[j].is_none()
+                        && part.busy_resources[j] < self.resources_per_bus
+                })
                 .collect();
             let local: Vec<(usize, usize)> = match self.policy {
                 CrossbarPolicy::FixedPriority => part.fabric.request_cycle(&requests, &available),
                 CrossbarPolicy::RandomToken => {
                     // Token scheme: each free bus captures a random pending
-                    // processor; equivalently match shuffled lists.
-                    let mut procs: Vec<usize> =
-                        (0..self.inputs).filter(|&l| requests[l]).collect();
+                    // processor; equivalently match shuffled lists. A pair
+                    // that lands on a failed crosspoint cannot connect and
+                    // is rejected for this cycle.
+                    let mut procs: Vec<usize> = (0..self.inputs).filter(|&l| requests[l]).collect();
                     let mut buses: Vec<usize> =
                         (0..self.outputs).filter(|&j| available[j]).collect();
                     rng.shuffle(&mut procs);
                     rng.shuffle(&mut buses);
-                    procs.into_iter().zip(buses).collect()
+                    procs
+                        .into_iter()
+                        .zip(buses)
+                        .filter(|&(li, lj)| !part.fabric.is_failed(li, lj))
+                        .collect()
                 }
             };
             self.counters.rejections += n_pending - local.len() as u64;
@@ -211,8 +223,88 @@ impl ResourceNetwork for CrossbarNetwork {
         let pi = grant.port / self.outputs;
         let lj = grant.port % self.outputs;
         let part = &mut self.partitions[pi];
+        if !part.pool_up[lj] {
+            // The pool failed and was cleared while this task was in
+            // flight; nothing is held any more.
+            return;
+        }
         debug_assert!(part.busy_resources[lj] > 0, "no busy resource to free");
         part.busy_resources[lj] -= 1;
+    }
+
+    fn fail_resource(&mut self, port: usize) -> bool {
+        let pi = port / self.outputs;
+        let lj = port % self.outputs;
+        let Some(part) = self.partitions.get_mut(pi) else {
+            return false;
+        };
+        if !part.pool_up[lj] {
+            return false;
+        }
+        part.pool_up[lj] = false;
+        // Per the trait contract: release every circuit and busy count at
+        // this port internally; the simulator requeues the casualties.
+        if let Some(holder) = part.held_by[lj].take() {
+            if self.policy == CrossbarPolicy::FixedPriority {
+                let mut resets = vec![false; self.inputs];
+                resets[holder] = true;
+                part.fabric.reset_cycle(&resets);
+            }
+        }
+        part.busy_resources[lj] = 0;
+        self.counters.resource_failures += 1;
+        true
+    }
+
+    fn repair_resource(&mut self, port: usize) -> bool {
+        let pi = port / self.outputs;
+        let lj = port % self.outputs;
+        let Some(part) = self.partitions.get_mut(pi) else {
+            return false;
+        };
+        if part.pool_up[lj] {
+            return false;
+        }
+        part.pool_up[lj] = true;
+        self.counters.resource_repairs += 1;
+        true
+    }
+
+    fn fail_element(&mut self, element: usize) -> bool {
+        // Element pi·(j·k) + i·k + j = crosspoint cell (i, j) of partition
+        // pi. The cell sticks open (fail-open: an established circuit
+        // keeps behaving as connected until its normal reset).
+        let cells = self.inputs * self.outputs;
+        let (pi, rem) = (element / cells, element % cells);
+        let Some(part) = self.partitions.get_mut(pi) else {
+            return false;
+        };
+        let accepted = part
+            .fabric
+            .fail_cell(rem / self.outputs, rem % self.outputs);
+        if accepted {
+            self.counters.element_failures += 1;
+        }
+        accepted
+    }
+
+    fn repair_element(&mut self, element: usize) -> bool {
+        let cells = self.inputs * self.outputs;
+        let (pi, rem) = (element / cells, element % cells);
+        let Some(part) = self.partitions.get_mut(pi) else {
+            return false;
+        };
+        let accepted = part
+            .fabric
+            .repair_cell(rem / self.outputs, rem % self.outputs);
+        if accepted {
+            self.counters.element_repairs += 1;
+        }
+        accepted
+    }
+
+    fn fault_elements(&self) -> usize {
+        self.partitions.len() * self.inputs * self.outputs
     }
 
     fn take_counters(&mut self) -> NetworkCounters {
@@ -310,11 +402,57 @@ mod tests {
         let cfg: SystemConfig = "16/16x1x1 SBUS/2".parse().expect("valid");
         assert!(CrossbarNetwork::from_config(&cfg, CrossbarPolicy::FixedPriority).is_err());
         let cfg: SystemConfig = "16/4x4x4 XBAR/2".parse().expect("valid");
-        let net = CrossbarNetwork::from_config(&cfg, CrossbarPolicy::FixedPriority)
-            .expect("xbar config");
+        let net =
+            CrossbarNetwork::from_config(&cfg, CrossbarPolicy::FixedPriority).expect("xbar config");
         assert_eq!(net.processors(), 16);
         assert_eq!(net.total_resources(), 32);
         assert_eq!(net.request_cycle_gate_delay(), 4 * 8);
+    }
+
+    #[test]
+    fn failed_pool_advertises_nothing_until_repair() {
+        let mut net = CrossbarNetwork::new(1, 2, 1, 2, CrossbarPolicy::FixedPriority);
+        let mut rng = SimRng::new(1);
+        let g = net.request_cycle(&pending(2, &[0]), &mut rng);
+        assert_eq!(g.len(), 1);
+        // Pool dies mid-transmission: the held bus is released internally.
+        assert!(net.fail_resource(0));
+        assert!(!net.fail_resource(0), "already down");
+        assert!(net.request_cycle(&pending(2, &[1]), &mut rng).is_empty());
+        assert!(net.repair_resource(0));
+        // Full capacity restored: bus free, both resources free.
+        assert_eq!(net.request_cycle(&pending(2, &[1]), &mut rng).len(), 1);
+        let c = net.take_counters();
+        assert_eq!(c.resource_failures, 1);
+        assert_eq!(c.resource_repairs, 1);
+    }
+
+    #[test]
+    fn failed_cell_masks_crosspoint_under_both_policies() {
+        for policy in [CrossbarPolicy::FixedPriority, CrossbarPolicy::RandomToken] {
+            let mut net = CrossbarNetwork::new(1, 2, 1, 1, policy);
+            let mut rng = SimRng::new(3);
+            // Element 0 = cell (0, 0): processor 0 can no longer reach the
+            // only bus, but processor 1 still can.
+            assert!(net.fail_element(0));
+            assert!(!net.fail_element(0), "already failed");
+            assert!(net.request_cycle(&pending(2, &[0]), &mut rng).is_empty());
+            let g = net.request_cycle(&pending(2, &[1]), &mut rng);
+            assert_eq!(g.len(), 1, "{policy:?}");
+            assert_eq!(g[0].processor, 1);
+            net.end_transmission(g[0]);
+            net.end_service(g[0]);
+            assert!(net.repair_element(0));
+            assert_eq!(net.request_cycle(&pending(2, &[0]), &mut rng).len(), 1);
+        }
+    }
+
+    #[test]
+    fn fault_element_space_covers_every_cell() {
+        let net = CrossbarNetwork::new(2, 4, 3, 1, CrossbarPolicy::FixedPriority);
+        assert_eq!(net.fault_elements(), 2 * 4 * 3);
+        let mut net = net;
+        assert!(!net.fail_element(24), "out of range is rejected");
     }
 
     #[test]

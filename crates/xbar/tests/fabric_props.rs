@@ -1,18 +1,17 @@
 //! Property-based tests of the gate-level crossbar fabric.
 
-use proptest::prelude::*;
+use rsin_minicheck::check;
 use rsin_xbar::{CentralScheduler, CrossbarFabric};
 
-proptest! {
-    /// On an all-open fabric the wave always produces a maximal matching:
-    /// exactly min(#requests, #available) grants, one per row and column.
-    #[test]
-    fn wave_is_a_maximal_matching(
-        p in 1usize..12,
-        m in 1usize..12,
-        req_mask in 0u64..,
-        avail_mask in 0u64..,
-    ) {
+/// On an all-open fabric the wave always produces a maximal matching:
+/// exactly min(#requests, #available) grants, one per row and column.
+#[test]
+fn wave_is_a_maximal_matching() {
+    check(256, |g| {
+        let p = g.usize_in(1, 12);
+        let m = g.usize_in(1, 12);
+        let req_mask = g.u64();
+        let avail_mask = g.u64();
         let requests: Vec<bool> = (0..p).map(|i| req_mask >> i & 1 == 1).collect();
         let available: Vec<bool> = (0..m).map(|j| avail_mask >> j & 1 == 1).collect();
         let mut fabric = CrossbarFabric::new(p, m);
@@ -20,51 +19,53 @@ proptest! {
 
         let n_req = requests.iter().filter(|&&b| b).count();
         let n_avail = available.iter().filter(|&&b| b).count();
-        prop_assert_eq!(grants.len(), n_req.min(n_avail));
+        assert_eq!(grants.len(), n_req.min(n_avail));
 
         let mut rows = vec![false; p];
         let mut cols = vec![false; m];
         for (i, j) in &grants {
-            prop_assert!(requests[*i], "grant to a non-requesting row");
-            prop_assert!(available[*j], "grant on an unavailable column");
-            prop_assert!(!rows[*i] && !cols[*j], "row/column double-granted");
+            assert!(requests[*i], "grant to a non-requesting row");
+            assert!(available[*j], "grant on an unavailable column");
+            assert!(!rows[*i] && !cols[*j], "row/column double-granted");
             rows[*i] = true;
             cols[*j] = true;
         }
-    }
+    });
+}
 
-    /// The wave and the centralized scheduler always agree on cardinality
-    /// (the crossbar is nonblocking, so both are maximal).
-    #[test]
-    fn wave_matches_central_cardinality(
-        p in 1usize..10,
-        m in 1usize..10,
-        req_mask in 0u64..,
-        avail_mask in 0u64..,
-    ) {
+/// The wave and the centralized scheduler always agree on cardinality
+/// (the crossbar is nonblocking, so both are maximal).
+#[test]
+fn wave_matches_central_cardinality() {
+    check(256, |g| {
+        let p = g.usize_in(1, 10);
+        let m = g.usize_in(1, 10);
+        let req_mask = g.u64();
+        let avail_mask = g.u64();
         let requests: Vec<bool> = (0..p).map(|i| req_mask >> i & 1 == 1).collect();
         let available: Vec<bool> = (0..m).map(|j| avail_mask >> j & 1 == 1).collect();
         let mut fabric = CrossbarFabric::new(p, m);
         let central = CentralScheduler::new(p, m);
         let wave = fabric.request_cycle(&requests, &available);
         let seq = central.allocate(&requests, &available);
-        prop_assert_eq!(wave.len(), seq.len());
-    }
+        assert_eq!(wave.len(), seq.len());
+    });
+}
 
-    /// Reset cycles clear exactly the requested rows and nothing else.
-    #[test]
-    fn reset_is_row_local(
-        p in 1usize..10,
-        m in 1usize..10,
-        reset_mask in 0u64..,
-    ) {
+/// Reset cycles clear exactly the requested rows and nothing else.
+#[test]
+fn reset_is_row_local() {
+    check(256, |g| {
+        let p = g.usize_in(1, 10);
+        let m = g.usize_in(1, 10);
+        let reset_mask = g.u64();
         let mut fabric = CrossbarFabric::new(p, m);
         // Connect as many rows as possible.
         let grants = fabric.request_cycle(&vec![true; p], &vec![true; m]);
         let resets: Vec<bool> = (0..p).map(|i| reset_mask >> i & 1 == 1).collect();
         fabric.reset_cycle(&resets);
         for (i, j) in grants {
-            prop_assert_eq!(
+            assert_eq!(
                 fabric.is_connected(i, j),
                 !resets[i],
                 "row {} reset={} but latch mismatch",
@@ -72,16 +73,17 @@ proptest! {
                 resets[i]
             );
         }
-    }
+    });
+}
 
-    /// Two consecutive request cycles never double-book a column: the
-    /// second cycle only fills columns the first left open.
-    #[test]
-    fn consecutive_cycles_compose(
-        p in 2usize..10,
-        m in 1usize..10,
-        first_mask in 0u64..,
-    ) {
+/// Two consecutive request cycles never double-book a column: the
+/// second cycle only fills columns the first left open.
+#[test]
+fn consecutive_cycles_compose() {
+    check(256, |g| {
+        let p = g.usize_in(2, 10);
+        let m = g.usize_in(1, 10);
+        let first_mask = g.u64();
         let first: Vec<bool> = (0..p).map(|i| first_mask >> i & 1 == 1).collect();
         let mut fabric = CrossbarFabric::new(p, m);
         let g1 = fabric.request_cycle(&first, &vec![true; m]);
@@ -96,8 +98,8 @@ proptest! {
         let g2 = fabric.request_cycle(&second, &avail);
         let mut cols = vec![false; m];
         for (_, j) in g1.iter().chain(g2.iter()) {
-            prop_assert!(!cols[*j], "column {j} double-booked across cycles");
+            assert!(!cols[*j], "column {j} double-booked across cycles");
             cols[*j] = true;
         }
-    }
+    });
 }

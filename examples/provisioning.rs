@@ -14,7 +14,10 @@ fn main() {
     let (mu_n, mu_s) = (10.0, 1.0); // mu_s/mu_n = 0.1: resource-bound regime
     let target = 0.1;
 
-    println!("delay target: d*mu_s <= {target}, mu_s/mu_n = {}\n", mu_s / mu_n);
+    println!(
+        "delay target: d*mu_s <= {target}, mu_s/mu_n = {}\n",
+        mu_s / mu_n
+    );
 
     println!("private bus per processor — fewest resources per processor:");
     for lambda in [0.4, 0.8, 1.2] {

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let exact = analytic::partition_delay(&cfg, &workload)?;
     println!("SBUS {cfg}");
-    println!("  exact Markov-chain delay : {:.4} service times", exact.normalized_delay);
+    println!(
+        "  exact Markov-chain delay : {:.4} service times",
+        exact.normalized_delay
+    );
 
     let mut net = SharedBusNetwork::from_config(&cfg, Arbitration::FixedPriority)?;
     let mut rng = SimRng::new(7);

@@ -1,0 +1,67 @@
+//! Fault injection and graceful degradation: distributed vs centralized.
+//!
+//! The paper's distributed-scheduling argument has a robustness corollary:
+//! scheduling state that lives *in* the network has no single point of
+//! failure. This example kills interchange boxes of a 16×16 Omega RSIN one
+//! at a time — the reject-and-reroute protocol works around the holes —
+//! then kills the one scheduler of a centralized baseline, which stalls
+//! every allocation in the system at once.
+//!
+//! Run with `cargo run --example resilience`.
+
+use rsin::core::{simulate_faulty, FaultOptions, SimError, SimOptions, SystemConfig, Workload};
+use rsin::des::{FaultPlan, FaultTarget, SimRng, SimTime};
+use rsin::omega::{Admission, CentralOmegaNetwork, OmegaNetwork};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg: SystemConfig = "16/1x16x16 OMEGA/2".parse()?;
+    let workload = Workload::for_intensity(&cfg, 0.5, 0.1)?;
+    let opts = SimOptions {
+        warmup_tasks: 1_000,
+        measured_tasks: 8_000,
+    };
+    let fopts = FaultOptions::default();
+
+    println!("distributed 16x16 Omega: kill interchange boxes at t = 1.0\n");
+    println!(
+        "{:>12} {:>12} {:>16}",
+        "dead boxes", "throughput", "normalized delay"
+    );
+    for failed in 0..=3 {
+        let mut net = OmegaNetwork::from_config(&cfg, Admission::Simultaneous)?;
+        let mut plan = FaultPlan::new();
+        // Boxes 0, 11, 22 sit in different stages of the 4-stage fabric.
+        for &b in [0usize, 11, 22].iter().take(failed) {
+            plan = plan.fail_at(SimTime::new(1.0), FaultTarget::Element(b));
+        }
+        let mut rng = SimRng::new(1983);
+        let report = simulate_faulty(&mut net, &workload, &opts, &plan, &fopts, &mut rng)
+            .expect("distributed network keeps delivering");
+        println!(
+            "{:>12} {:>12.4} {:>16.4}",
+            failed,
+            report.delivered_throughput,
+            report.normalized_delay(&workload)
+        );
+    }
+
+    println!("\ncentralized scheduler on the same Omega: kill the scheduler at t = 1.0\n");
+    let mut net = CentralOmegaNetwork::new(16, 2)?;
+    let plan = FaultPlan::new().fail_at(SimTime::new(1.0), FaultTarget::Element(0));
+    let mut rng = SimRng::new(1983);
+    match simulate_faulty(&mut net, &workload, &opts, &plan, &fopts, &mut rng) {
+        Ok(report) => println!(
+            "unexpectedly completed: throughput {:.4}",
+            report.delivered_throughput
+        ),
+        Err(SimError::Stalled { queued, .. }) => println!(
+            "watchdog: SimError::Stalled with {queued} tasks queued — one dead\n\
+             scheduler stops the whole machine, no livelock, no hang."
+        ),
+    }
+    println!(
+        "\n→ distributed scheduling degrades gracefully under element failures;\n  \
+         the centralized baseline is a single point of total failure."
+    );
+    Ok(())
+}

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w2 = TypedWorkload::new(base, vec![0.5, 0.5])?;
     for (placement, name) in [
         (Placement::Blocked, "two typed pools, blocked layout    "),
-        (Placement::Interleaved, "two typed pools, interleaved layout"),
+        (
+            Placement::Interleaved,
+            "two typed pools, interleaved layout",
+        ),
     ] {
         let mut net = TypedOmegaNetwork::new(1, 16, 1, 2, placement, Admission::Simultaneous);
         let mut rng = SimRng::new(21);
@@ -56,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- asymmetric demand -------------------------------------------------
     println!("\nasymmetric demand (80% FFT / 20% sort), equal capacity:");
     let w_skew = TypedWorkload::new(base, vec![0.8, 0.2])?;
-    let mut net = TypedOmegaNetwork::new(1, 16, 1, 2, Placement::Interleaved, Admission::Simultaneous);
+    let mut net =
+        TypedOmegaNetwork::new(1, 16, 1, 2, Placement::Interleaved, Admission::Simultaneous);
     let mut rng = SimRng::new(22);
     let report = simulate_typed(&mut net, &w_skew, &opts, &mut rng);
     println!(

@@ -27,8 +27,8 @@ fn crossbar_never_loses_to_omega_at_same_geometry() {
         let xc: SystemConfig = "16/1x16x16 XBAR/2".parse().expect("valid");
         let oc: SystemConfig = "16/1x16x16 OMEGA/2".parse().expect("valid");
         let w = Workload::for_intensity(&xc, rho, ratio).expect("valid");
-        let mut xbar = CrossbarNetwork::from_config(&xc, CrossbarPolicy::FixedPriority)
-            .expect("crossbar");
+        let mut xbar =
+            CrossbarNetwork::from_config(&xc, CrossbarPolicy::FixedPriority).expect("crossbar");
         let mut omega = OmegaNetwork::from_config(&oc, Admission::Simultaneous).expect("omega");
         let dx = delay_of(&mut xbar, &w, 100);
         let do_ = delay_of(&mut omega, &w, 100);

@@ -1,22 +1,21 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning several crates through the umbrella API.
 
-use proptest::prelude::*;
 use rsin::core::SystemConfig;
 use rsin::des::stats::Welford;
 use rsin::des::{Calendar, SimRng, SimTime};
 use rsin::omega::{Admission, OmegaState};
 use rsin::topology::{log2_exact, shuffle, unshuffle, Link, Multistage, OmegaTopology};
+use rsin_minicheck::check;
 
-proptest! {
-    /// Formatting and parsing a configuration is the identity.
-    #[test]
-    fn config_display_parse_roundtrip(
-        i in 1u32..8,
-        j_exp in 0u32..4,
-        r in 1u32..9,
-        kind in 0u32..4,
-    ) {
+/// Formatting and parsing a configuration is the identity.
+#[test]
+fn config_display_parse_roundtrip() {
+    check(256, |g| {
+        let i = g.u32_in(1, 8);
+        let j_exp = g.u32_in(0, 4);
+        let kind = g.u32_in(0, 4);
+        let r = g.u32_in(1, 9);
         let j = 1u32 << j_exp;
         let (kind_tok, k) = match kind {
             0 => ("SBUS", 1),
@@ -27,33 +26,42 @@ proptest! {
         };
         let s = format!("{}/{}x{}x{} {}/{}", i * j, i, j, k, kind_tok, r);
         let cfg: SystemConfig = s.parse().expect("constructed to be valid");
-        prop_assert_eq!(cfg.to_string(), s);
-        prop_assert_eq!(cfg.processors(), i * j);
-        prop_assert_eq!(cfg.total_resources(), i * k * r);
-    }
+        assert_eq!(cfg.to_string(), s);
+        assert_eq!(cfg.processors(), i * j);
+        assert_eq!(cfg.total_resources(), i * k * r);
+    });
+}
 
-    /// The perfect shuffle is a bijection and unshuffle inverts it.
-    #[test]
-    fn shuffle_bijection(bits in 1u32..10, w in 0usize..1024) {
+/// The perfect shuffle is a bijection and unshuffle inverts it.
+#[test]
+fn shuffle_bijection() {
+    check(256, |g| {
+        let bits = g.u32_in(1, 10);
         let n = 1usize << bits;
-        let w = w % n;
-        prop_assert_eq!(unshuffle(bits, shuffle(bits, w)), w);
-        prop_assert!(shuffle(bits, w) < n);
-    }
+        let w = g.usize_in(0, 1024) % n;
+        assert_eq!(unshuffle(bits, shuffle(bits, w)), w);
+        assert!(shuffle(bits, w) < n);
+    });
+}
 
-    /// log2_exact answers exactly the powers of two.
-    #[test]
-    fn log2_exact_consistent(n in 1usize..100_000) {
+/// log2_exact answers exactly the powers of two.
+#[test]
+fn log2_exact_consistent() {
+    check(256, |g| {
+        let n = g.usize_in(1, 100_000);
         match log2_exact(n) {
-            Some(b) => prop_assert_eq!(1usize << b, n),
-            None => prop_assert!(!n.is_power_of_two()),
+            Some(b) => assert_eq!(1usize << b, n),
+            None => assert!(!n.is_power_of_two()),
         }
-    }
+    });
+}
 
-    /// Welford merge is equivalent to sequential accumulation.
-    #[test]
-    fn welford_merge_matches_sequential(xs in prop::collection::vec(-1e6f64..1e6, 1..200), split in 0usize..200) {
-        let split = split % (xs.len() + 1);
+/// Welford merge is equivalent to sequential accumulation.
+#[test]
+fn welford_merge_matches_sequential() {
+    check(256, |g| {
+        let xs = g.vec_f64(-1e6, 1e6, 1, 200);
+        let split = g.usize_in(0, 200) % (xs.len() + 1);
         let mut all = Welford::new();
         for &x in &xs {
             all.push(x);
@@ -67,18 +75,21 @@ proptest! {
             b.push(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), all.count());
-        prop_assert!((a.mean() - all.mean()).abs() <= 1e-6 * (1.0 + all.mean().abs()));
-        prop_assert!(
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() <= 1e-6 * (1.0 + all.mean().abs()));
+        assert!(
             (a.sample_variance() - all.sample_variance()).abs()
                 <= 1e-5 * (1.0 + all.sample_variance().abs())
         );
-    }
+    });
+}
 
-    /// The calendar delivers events in nondecreasing time order regardless
-    /// of insertion order.
-    #[test]
-    fn calendar_is_time_ordered(times in prop::collection::vec(0.0f64..1e6, 1..100)) {
+/// The calendar delivers events in nondecreasing time order regardless
+/// of insertion order.
+#[test]
+fn calendar_is_time_ordered() {
+    check(256, |g| {
+        let times = g.vec_f64(0.0, 1e6, 1, 100);
         let mut cal = Calendar::new();
         for (i, &t) in times.iter().enumerate() {
             cal.schedule(SimTime::new(t), i);
@@ -86,37 +97,43 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut seen = 0;
         while let Some((t, _)) = cal.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             seen += 1;
         }
-        prop_assert_eq!(seen, times.len());
-    }
+        assert_eq!(seen, times.len());
+    });
+}
 
-    /// Omega destination-tag routes always terminate at their destination
-    /// and use exactly one link per stage.
-    #[test]
-    fn omega_routes_are_well_formed(bits in 1u32..7, src in 0usize..64, dst in 0usize..64) {
+/// Omega destination-tag routes always terminate at their destination
+/// and use exactly one link per stage.
+#[test]
+fn omega_routes_are_well_formed() {
+    check(256, |g| {
+        let bits = g.u32_in(1, 7);
         let n = 1usize << bits;
+        let src = g.usize_in(0, 64) % n;
+        let dst = g.usize_in(0, 64) % n;
         let net = OmegaTopology::new(n).expect("power of two");
-        let route = net.route(src % n, dst % n);
-        prop_assert_eq!(route.links.len(), bits as usize);
-        prop_assert_eq!(route.links.last().expect("nonempty").wire, dst % n);
+        let route = net.route(src, dst);
+        assert_eq!(route.links.len(), bits as usize);
+        assert_eq!(route.links.last().expect("nonempty").wire, dst);
         for (k, l) in route.links.iter().enumerate() {
-            prop_assert_eq!(l.stage as usize, k);
-            prop_assert!(l.wire < n);
+            assert_eq!(l.stage as usize, k);
+            assert!(l.wire < n);
         }
-    }
+    });
+}
 
-    /// Resolver invariants on random scenarios: grants never exceed
-    /// min(requests, free resources), every granted port was free, circuits
-    /// never share links, and resolution is deterministic.
-    #[test]
-    fn omega_resolver_invariants(
-        bits in 1u32..5,
-        req_mask in 0u64..,
-        busy_mask in 0u64..,
-    ) {
+/// Resolver invariants on random scenarios: grants never exceed
+/// min(requests, free resources), every granted port was free, circuits
+/// never share links, and resolution is deterministic.
+#[test]
+fn omega_resolver_invariants() {
+    check(256, |g| {
+        let bits = g.u32_in(1, 5);
+        let req_mask = g.u64();
+        let busy_mask = g.u64();
         let n = 1usize << bits;
         let requesters: Vec<usize> = (0..n).filter(|&i| req_mask >> i & 1 == 1).collect();
         let busy: Vec<usize> = (0..n).filter(|&i| busy_mask >> i & 1 == 1).collect();
@@ -132,14 +149,14 @@ proptest! {
         let res = net.resolve(&requesters, Admission::Simultaneous);
 
         let free = n - busy.len();
-        prop_assert!(res.granted.len() <= requesters.len().min(free));
+        assert!(res.granted.len() <= requesters.len().min(free));
         let mut used_ports: Vec<usize> = res.granted.iter().map(|c| c.port).collect();
         used_ports.sort_unstable();
         let before = used_ports.len();
         used_ports.dedup();
-        prop_assert_eq!(before, used_ports.len(), "ports granted at most once");
+        assert_eq!(before, used_ports.len(), "ports granted at most once");
         for p in &used_ports {
-            prop_assert!(!busy.contains(p), "granted port {p} was busy");
+            assert!(!busy.contains(p), "granted port {p} was busy");
         }
         let mut links: Vec<Link> = res
             .granted
@@ -149,8 +166,8 @@ proptest! {
         let total = links.len();
         links.sort_unstable();
         links.dedup();
-        prop_assert_eq!(total, links.len(), "links are exclusive");
-        prop_assert_eq!(
+        assert_eq!(total, links.len(), "links are exclusive");
+        assert_eq!(
             res.granted.len() + res.rejected.len() + res.not_submitted.len(),
             requesters.len(),
             "every request is accounted for"
@@ -159,16 +176,20 @@ proptest! {
         // Determinism.
         let mut net2 = build();
         let res2 = net2.resolve(&requesters, Admission::Simultaneous);
-        prop_assert_eq!(res, res2);
-    }
+        assert_eq!(res, res2);
+    });
+}
 
-    /// The SimRng exponential sampler is always positive and finite.
-    #[test]
-    fn exponential_samples_valid(seed in 0u64.., rate in 0.001f64..1000.0) {
+/// The SimRng exponential sampler is always positive and finite.
+#[test]
+fn exponential_samples_valid() {
+    check(256, |g| {
+        let seed = g.u64();
+        let rate = g.f64_in(0.001, 1000.0);
         let mut rng = SimRng::new(seed);
         for _ in 0..32 {
             let x = rng.exponential(rate);
-            prop_assert!(x.is_finite() && x >= 0.0);
+            assert!(x.is_finite() && x >= 0.0);
         }
-    }
+    });
 }
