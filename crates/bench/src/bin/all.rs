@@ -1,59 +1,10 @@
-//! Runs every figure/table regenerator in sequence.
+//! Runs every figure/table regenerator: artifacts are computed on `--jobs`
+//! workers (default: all cores, or `RSIN_JOBS`) and emitted in the fixed
+//! suite order, so the output is byte-identical to a `--jobs 1` run.
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    let mut fig04 = rsin_bench::figures::fig_sbus(0.1, 4);
-    fig04.add(rsin_bench::figures::sbus_sim_series(
-        "16/16x1x1 SBUS/2",
-        0.1,
-        &q,
-    ));
-    rsin_bench::output::emit("fig04", &fig04);
-    let mut fig05 = rsin_bench::figures::fig_sbus(1.0, 5);
-    fig05.add(rsin_bench::figures::sbus_sim_series(
-        "16/16x1x1 SBUS/2",
-        1.0,
-        &q,
-    ));
-    rsin_bench::output::emit("fig05", &fig05);
-    rsin_bench::output::emit("fig07", &rsin_bench::figures::fig_xbar(0.1, 7, &q));
-    rsin_bench::output::emit("fig08", &rsin_bench::figures::fig_xbar(1.0, 8, &q));
-    rsin_bench::output::emit("fig12", &rsin_bench::figures::fig_omega(0.1, 12, &q));
-    rsin_bench::output::emit("fig13", &rsin_bench::figures::fig_omega(1.0, 13, &q));
-    rsin_bench::output::emit_text("table1", &rsin_bench::tables::table1_text());
-    let mut t2 = rsin_bench::tables::table2_text();
-    t2.push('\n');
-    t2.push_str(&rsin_bench::tables::section6_text(&q));
-    rsin_bench::output::emit_text("table2", &t2);
-    rsin_bench::output::emit_text("blocking", &rsin_bench::tables::blocking_text(&q));
-    rsin_bench::output::emit_text("fig11", &rsin_bench::tables::fig11_text());
-    rsin_bench::output::emit_text(
-        "mapping_example",
-        &rsin_bench::tables::mapping_example_text(),
-    );
-    rsin_bench::output::emit_text(
-        "ablation_arbiter",
-        &rsin_bench::tables::ablation_arbiter_text(&q),
-    );
-    rsin_bench::output::emit_text(
-        "ablation_stagger",
-        &rsin_bench::tables::ablation_stagger_text(&q),
-    );
-    rsin_bench::output::emit_text(
-        "ablation_freshness",
-        &rsin_bench::tables::ablation_freshness_text(&q),
-    );
-    rsin_bench::output::emit_text(
-        "ablation_wiring",
-        &rsin_bench::tables::ablation_wiring_text(&q),
-    );
-    rsin_bench::output::emit_text(
-        "ablation_placement",
-        &rsin_bench::tables::ablation_placement_text(&q),
-    );
-    rsin_bench::output::emit_text(
-        "ablation_variability",
-        &rsin_bench::tables::ablation_variability_text(&q),
-    );
+    let outputs = rsin_bench::suite::run_suite(&q);
+    rsin_bench::suite::emit_all(&outputs);
     eprintln!(
         "all outputs written to {}",
         rsin_bench::output::output_dir().display()

@@ -1,0 +1,137 @@
+//! The tracked performance baseline: times the figure/table suite
+//! sequentially (`--jobs 1`) and in parallel, measures the hot-path
+//! kernels, and writes `BENCH_perf.json` at the repository root.
+//!
+//! `--quick` (the default preset) keeps the run in CI territory; `--full`
+//! times the publication preset; `--jobs N` pins the parallel worker count
+//! (default: all cores, or `RSIN_JOBS`). Timings vary run to run — the
+//! simulation *results* never do.
+
+use rsin_bench::figures::workload_at;
+use rsin_bench::microbench::measure_ns;
+use rsin_bench::suite::run_suite;
+use rsin_bench::RunQuality;
+use rsin_core::{simulate, SimOptions, SystemConfig};
+use rsin_des::{Calendar, SimRng, SimTime};
+use rsin_omega::{Admission, OmegaState};
+use rsin_xbar::CrossbarFabric;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+fn time_suite(q: &RunQuality) -> f64 {
+    let start = Instant::now();
+    black_box(run_suite(q).len());
+    start.elapsed().as_secs_f64()
+}
+
+fn kernels() -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+
+    let mut rng = SimRng::new(1);
+    out.push((
+        "calendar_schedule_pop_1k",
+        measure_ns(|| {
+            let mut cal = Calendar::new();
+            for i in 0..1_000u32 {
+                cal.schedule(SimTime::new(rng.uniform() * 100.0 + 100.0), i);
+            }
+            let mut count = 0;
+            while cal.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        }),
+    ));
+
+    let everyone: Vec<usize> = (0..16).collect();
+    out.push((
+        "omega_resolve_all_requesting_16",
+        measure_ns(|| {
+            let mut net = OmegaState::new(16, 1).expect("power of two");
+            net.resolve(&everyone, Admission::Simultaneous)
+        }),
+    ));
+
+    let requests = vec![true; 16];
+    let available = vec![true; 32];
+    out.push((
+        "xbar_request_cycle_16x32",
+        measure_ns(|| {
+            let mut fabric = CrossbarFabric::new(16, 32);
+            fabric.request_cycle(&requests, &available)
+        }),
+    ));
+
+    let cfg: SystemConfig = "16/1x16x16 XBAR/2".parse().expect("valid");
+    let opts = SimOptions {
+        warmup_tasks: 200,
+        measured_tasks: 3_000,
+    };
+    let w = workload_at(0.5, 0.1);
+    out.push((
+        "simulate_3k_tasks_xbar_1x16x16_r2",
+        measure_ns(|| {
+            let mut net = rsin_xbar::CrossbarNetwork::from_config(
+                &cfg,
+                rsin_xbar::CrossbarPolicy::FixedPriority,
+            )
+            .expect("xbar");
+            let mut rng = SimRng::new(1);
+            simulate(&mut net, &w, &opts, &mut rng).mean_delay()
+        }),
+    ));
+
+    out
+}
+
+fn main() {
+    let base = RunQuality::from_args();
+    let preset = if std::env::args().any(|a| a == "--full") {
+        "full"
+    } else {
+        "quick"
+    };
+    let par_jobs = base.jobs();
+
+    eprintln!("timing suite with --jobs 1 ...");
+    let seq_secs = time_suite(&RunQuality { jobs: 1, ..base });
+    eprintln!("timing suite with --jobs {par_jobs} ...");
+    let par_secs = time_suite(&RunQuality {
+        jobs: par_jobs,
+        ..base
+    });
+    eprintln!("measuring hot-path kernels ...");
+    let kernel_rows = kernels();
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generated_by\": \"cargo run --release -p rsin-bench --bin perf_report\",\n");
+    json.push_str(&format!("  \"preset\": \"{preset}\",\n"));
+    json.push_str(&format!("  \"cpu_cores\": {cores},\n"));
+    json.push_str("  \"suite\": {\n");
+    json.push_str("    \"sequential_jobs\": 1,\n");
+    json.push_str(&format!("    \"parallel_jobs\": {par_jobs},\n"));
+    json.push_str(&format!("    \"sequential_seconds\": {seq_secs:.3},\n"));
+    json.push_str(&format!("    \"parallel_seconds\": {par_secs:.3},\n"));
+    json.push_str(&format!(
+        "    \"speedup\": {:.3}\n",
+        seq_secs / par_secs.max(1e-9)
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"kernels_ns_per_iter\": {\n");
+    for (i, (name, ns)) in kernel_rows.iter().enumerate() {
+        let comma = if i + 1 < kernel_rows.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    print!("{json}");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

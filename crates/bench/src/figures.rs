@@ -9,7 +9,7 @@
 
 use crate::quality::RunQuality;
 use rsin_core::experiment::{Experiment, Series};
-use rsin_core::{estimate_delay, ResourceNetwork, SystemConfig, Workload};
+use rsin_core::{estimate_delay_jobs, ResourceNetwork, SystemConfig, Workload};
 use rsin_omega::{Admission, OmegaNetwork};
 use rsin_queueing::{traffic, Mm1, SharedBusChain, SharedBusParams};
 use rsin_sbus::Arbitration;
@@ -86,6 +86,12 @@ fn mm1_series(label: &str, ratio: f64) -> Series {
 }
 
 /// Simulated series for any configuration/factory pair.
+///
+/// The stable prefix of the ρ grid is computed up front (a pure function of
+/// the configuration), then the grid points run concurrently on
+/// `quality.jobs()` workers with replications inline — every point is a
+/// pure function of `(rho, seed)`, so the series is byte-identical to a
+/// sequential sweep.
 pub(crate) fn sim_series<F>(
     label: &str,
     cfg: &SystemConfig,
@@ -98,12 +104,15 @@ where
 {
     let mut s = Series::new(label);
     let opts = quality.sim_options();
-    for rho in rho_grid() {
+    let rhos: Vec<f64> = rho_grid()
+        .into_iter()
+        .take_while(|&rho| stable_enough(cfg, &workload_at(rho, ratio)))
+        .collect();
+    let points = rsin_des::scope_map(&rhos, quality.jobs(), |_, &rho| {
         let w = workload_at(rho, ratio);
-        if !stable_enough(cfg, &w) {
-            break;
-        }
-        let est = estimate_delay(|| factory(cfg), &w, &opts, quality.seed, quality.reps);
+        estimate_delay_jobs(|| factory(cfg), &w, &opts, quality.seed, quality.reps, 1)
+    });
+    for (&rho, est) in rhos.iter().zip(points) {
         s.push_ci(rho, est.normalized_delay, est.half_width);
     }
     s

@@ -34,6 +34,7 @@ pub mod microbench;
 pub mod output;
 pub mod quality;
 pub mod resilience;
+pub mod suite;
 pub mod tables;
 
 pub use quality::RunQuality;

@@ -29,15 +29,21 @@ pub const SAMPLES: usize = 7;
 ///
 /// The closure's return value is passed through [`black_box`] so the
 /// computation cannot be optimised away.
-pub fn bench<T, F: FnMut() -> T>(name: &str, mut f: F) {
-    let per_iter = measure(|iters| {
+pub fn bench<T, F: FnMut() -> T>(name: &str, f: F) {
+    report(name, measure_ns(f) / 1e9);
+}
+
+/// Measures `f` like [`bench`] but returns the median per-iteration time in
+/// nanoseconds instead of printing it (used by `perf_report` to persist the
+/// numbers).
+pub fn measure_ns<T, F: FnMut() -> T>(mut f: F) -> f64 {
+    measure(|iters| {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
         }
         start.elapsed()
-    });
-    report(name, per_iter);
+    }) * 1e9
 }
 
 /// Like [`bench`], but re-creates the input with `setup` outside the

@@ -13,13 +13,21 @@ pub fn output_dir() -> PathBuf {
     target.join("experiments")
 }
 
+/// The full text artifact of an experiment — the tables plus the ASCII
+/// chart, exactly as [`emit`] prints and persists it.
+#[must_use]
+pub fn render(experiment: &Experiment) -> String {
+    let mut text = experiment.to_text();
+    text.push('\n');
+    text.push_str(&experiment.to_ascii_chart(64, 16));
+    text
+}
+
 /// Prints an experiment and writes `<name>.txt` / `<name>.csv` under
 /// [`output_dir`]. IO failures are reported to stderr but do not abort the
 /// run — the stdout copy is the primary artifact.
 pub fn emit(name: &str, experiment: &Experiment) {
-    let mut text = experiment.to_text();
-    text.push('\n');
-    text.push_str(&experiment.to_ascii_chart(64, 16));
+    let text = render(experiment);
     print!("{text}");
     persist(name, &text, Some(&experiment.to_csv()));
 }

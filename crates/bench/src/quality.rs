@@ -15,6 +15,11 @@ pub struct RunQuality {
     pub trials: u32,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for the parallel stages; `0` means auto
+    /// ([`rsin_des::default_jobs`]: the `RSIN_JOBS` environment variable or
+    /// the machine's available parallelism). Results are byte-identical for
+    /// every value.
+    pub jobs: usize,
 }
 
 impl RunQuality {
@@ -27,6 +32,7 @@ impl RunQuality {
             reps: 2,
             trials: 2_000,
             seed: 1983,
+            jobs: 0,
         }
     }
 
@@ -39,17 +45,33 @@ impl RunQuality {
             reps: 5,
             trials: 20_000,
             seed: 1983,
+            jobs: 0,
         }
     }
 
-    /// Chooses the preset from the process arguments (`--full` selects the
-    /// publication preset).
+    /// Chooses the preset from the process arguments: `--full` selects the
+    /// publication preset; `--jobs N` (or `--jobs=N`) pins the worker
+    /// count, which changes only wall-clock time, never the results.
     #[must_use]
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--full") {
+        let args: Vec<String> = std::env::args().collect();
+        let mut q = if args.iter().any(|a| a == "--full") {
             RunQuality::full()
         } else {
             RunQuality::quick()
+        };
+        q.jobs = parse_jobs(&args).unwrap_or(0);
+        q
+    }
+
+    /// The resolved worker count: the explicit value, or
+    /// [`rsin_des::default_jobs`] when `jobs == 0`.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        if self.jobs == 0 {
+            rsin_des::default_jobs()
+        } else {
+            self.jobs
         }
     }
 
@@ -63,9 +85,44 @@ impl RunQuality {
     }
 }
 
+/// Extracts `--jobs N` / `--jobs=N` from an argument list.
+fn parse_jobs(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            return it.next()?.parse().ok();
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jobs_flag_is_parsed_in_both_spellings() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_jobs(&args(&["bin", "--jobs", "4"])), Some(4));
+        assert_eq!(parse_jobs(&args(&["bin", "--jobs=8", "--full"])), Some(8));
+        assert_eq!(parse_jobs(&args(&["bin", "--full"])), None);
+        assert_eq!(parse_jobs(&args(&["bin", "--jobs"])), None);
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_a_positive_default() {
+        let q = RunQuality::quick();
+        assert_eq!(q.jobs, 0);
+        assert!(q.jobs() >= 1);
+        let pinned = RunQuality {
+            jobs: 3,
+            ..RunQuality::quick()
+        };
+        assert_eq!(pinned.jobs(), 3);
+    }
 
     #[test]
     fn quick_is_cheaper_than_full() {

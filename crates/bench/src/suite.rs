@@ -1,0 +1,202 @@
+//! The complete figure/table suite as a task list.
+//!
+//! `bin/all` and `bin/perf_report` both drive the suite through
+//! [`run_suite`]: the tasks are computed concurrently on `quality.jobs()`
+//! workers (each task is a pure function of the quality preset), and
+//! [`emit_all`] then emits the artifacts in the fixed task order — so
+//! stdout and the files under `target/experiments/` are byte-identical for
+//! every worker count, `--jobs 1` included.
+
+use crate::figures;
+use crate::output;
+use crate::quality::RunQuality;
+use crate::tables;
+use rsin_core::experiment::Experiment;
+
+/// One computed suite artifact, ready to emit.
+#[derive(Debug)]
+pub enum SuiteOutput {
+    /// A figure experiment, persisted as text + CSV.
+    Figure(&'static str, Experiment),
+    /// Free-form text, persisted as text only.
+    Text(&'static str, String),
+}
+
+impl SuiteOutput {
+    /// The artifact's output name (`fig04`, `table2`, ...).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SuiteOutput::Figure(n, _) | SuiteOutput::Text(n, _) => n,
+        }
+    }
+
+    /// The text this artifact prints and persists.
+    #[must_use]
+    pub fn rendered(&self) -> String {
+        match self {
+            SuiteOutput::Figure(_, e) => output::render(e),
+            SuiteOutput::Text(_, t) => t.clone(),
+        }
+    }
+}
+
+type Task = fn(&RunQuality) -> SuiteOutput;
+
+fn fig04(q: &RunQuality) -> SuiteOutput {
+    let mut e = figures::fig_sbus(0.1, 4);
+    e.add(figures::sbus_sim_series("16/16x1x1 SBUS/2", 0.1, q));
+    SuiteOutput::Figure("fig04", e)
+}
+
+fn fig05(q: &RunQuality) -> SuiteOutput {
+    let mut e = figures::fig_sbus(1.0, 5);
+    e.add(figures::sbus_sim_series("16/16x1x1 SBUS/2", 1.0, q));
+    SuiteOutput::Figure("fig05", e)
+}
+
+fn fig07(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Figure("fig07", figures::fig_xbar(0.1, 7, q))
+}
+
+fn fig08(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Figure("fig08", figures::fig_xbar(1.0, 8, q))
+}
+
+fn fig12(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Figure("fig12", figures::fig_omega(0.1, 12, q))
+}
+
+fn fig13(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Figure("fig13", figures::fig_omega(1.0, 13, q))
+}
+
+fn table1(_q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Text("table1", tables::table1_text())
+}
+
+fn table2(q: &RunQuality) -> SuiteOutput {
+    let mut t = tables::table2_text();
+    t.push('\n');
+    t.push_str(&tables::section6_text(q));
+    SuiteOutput::Text("table2", t)
+}
+
+fn blocking(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Text("blocking", tables::blocking_text(q))
+}
+
+fn fig11(_q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Text("fig11", tables::fig11_text())
+}
+
+fn mapping_example(_q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Text("mapping_example", tables::mapping_example_text())
+}
+
+fn ablation_arbiter(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Text("ablation_arbiter", tables::ablation_arbiter_text(q))
+}
+
+fn ablation_stagger(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Text("ablation_stagger", tables::ablation_stagger_text(q))
+}
+
+fn ablation_freshness(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Text("ablation_freshness", tables::ablation_freshness_text(q))
+}
+
+fn ablation_wiring(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Text("ablation_wiring", tables::ablation_wiring_text(q))
+}
+
+fn ablation_placement(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Text("ablation_placement", tables::ablation_placement_text(q))
+}
+
+fn ablation_variability(q: &RunQuality) -> SuiteOutput {
+    SuiteOutput::Text("ablation_variability", tables::ablation_variability_text(q))
+}
+
+/// The suite's tasks in emission order.
+fn tasks() -> Vec<Task> {
+    vec![
+        fig04,
+        fig05,
+        fig07,
+        fig08,
+        fig12,
+        fig13,
+        table1,
+        table2,
+        blocking,
+        fig11,
+        mapping_example,
+        ablation_arbiter,
+        ablation_stagger,
+        ablation_freshness,
+        ablation_wiring,
+        ablation_placement,
+        ablation_variability,
+    ]
+}
+
+/// Computes every suite artifact on `quality.jobs()` workers, in emission
+/// order. Pin `quality.jobs` to 1 for a fully sequential run — the returned
+/// artifacts are identical either way.
+#[must_use]
+pub fn run_suite(quality: &RunQuality) -> Vec<SuiteOutput> {
+    rsin_des::scope_map(&tasks(), quality.jobs(), |_, t| t(quality))
+}
+
+/// Emits computed artifacts in order: stdout plus the files under
+/// [`output::output_dir`].
+pub fn emit_all(outputs: &[SuiteOutput]) {
+    for o in outputs {
+        match o {
+            SuiteOutput::Figure(name, e) => output::emit(name, e),
+            SuiteOutput::Text(name, t) => output::emit_text(name, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunQuality {
+        RunQuality {
+            warmup: 20,
+            measured: 120,
+            reps: 2,
+            trials: 200,
+            ..RunQuality::quick()
+        }
+    }
+
+    #[test]
+    fn suite_covers_every_binary_artifact() {
+        let names: Vec<&str> = tasks()
+            .iter()
+            .map(|t| t(&RunQuality { reps: 1, ..tiny() }).name())
+            .collect();
+        assert_eq!(names.len(), 17);
+        for expected in ["fig04", "fig13", "table1", "table2", "blocking"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn parallel_suite_is_byte_identical_to_sequential() {
+        let seq = run_suite(&RunQuality { jobs: 1, ..tiny() });
+        let par = run_suite(&RunQuality { jobs: 4, ..tiny() });
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.name(), p.name());
+            assert_eq!(s.rendered(), p.rendered(), "artifact {}", s.name());
+            if let (SuiteOutput::Figure(_, se), SuiteOutput::Figure(_, pe)) = (s, p) {
+                assert_eq!(se.to_csv(), pe.to_csv(), "CSV for {}", s.name());
+            }
+        }
+    }
+}

@@ -54,7 +54,7 @@ mod workload;
 pub use config::{NetworkKind, SystemConfig};
 pub use error::ConfigError;
 pub use network::{Grant, NetworkCounters, ResourceNetwork};
-pub use runner::{estimate_delay, DelayEstimate};
+pub use runner::{estimate_delay, estimate_delay_jobs, DelayEstimate};
 pub use sim::{
     simulate, simulate_faulty, simulate_general, simulate_general_faulty, FaultOptions, SimError,
     SimOptions, SimReport, StageDistributions,

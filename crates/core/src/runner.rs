@@ -1,14 +1,17 @@
 //! Replicated simulation runs with confidence intervals.
 //!
-//! Builds on [`rsin_des::replicate_parallel`]: each replication constructs a
+//! Builds on [`rsin_des::replicate_par`]: each replication constructs a
 //! fresh network from a factory, simulates it, and reports the mean
 //! normalized queueing delay; the spread across replications gives the 95%
-//! interval attached to simulation points on the figures.
+//! interval attached to simulation points on the figures. Replication `i`
+//! draws only from `SimRng::new(seed).derive(i)`, so the estimate is a pure
+//! function of `(seed, workload, opts, reps)` — independent of the worker
+//! count.
 
 use crate::network::ResourceNetwork;
 use crate::sim::{simulate, SimOptions};
 use crate::workload::Workload;
-use rsin_des::{replicate_parallel, SimRng};
+use rsin_des::{replicate_par, SimRng};
 
 /// A replicated delay estimate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -20,7 +23,8 @@ pub struct DelayEstimate {
 }
 
 /// Estimates the normalized queueing delay of a network under `workload`
-/// with `reps` independent replications run in parallel.
+/// with `reps` independent replications run on the default worker count
+/// ([`rsin_des::default_jobs`]).
 ///
 /// `factory` must build a fresh, identically configured network for each
 /// replication.
@@ -39,8 +43,37 @@ pub fn estimate_delay<F>(
 where
     F: Fn() -> Box<dyn ResourceNetwork> + Sync,
 {
+    estimate_delay_jobs(
+        factory,
+        workload,
+        opts,
+        seed,
+        reps,
+        rsin_des::default_jobs(),
+    )
+}
+
+/// [`estimate_delay`] with an explicit worker count. The estimate is
+/// bitwise identical for every `jobs` value (replications are collected by
+/// index); `jobs <= 1` runs fully inline.
+///
+/// # Panics
+///
+/// Panics if `reps == 0` (via the replication runner) or if the factory
+/// produces a network that violates the simulator's contracts.
+pub fn estimate_delay_jobs<F>(
+    factory: F,
+    workload: &Workload,
+    opts: &SimOptions,
+    seed: u64,
+    reps: usize,
+    jobs: usize,
+) -> DelayEstimate
+where
+    F: Fn() -> Box<dyn ResourceNetwork> + Sync,
+{
     let base = SimRng::new(seed);
-    let out = replicate_parallel(&base, reps, 0.95, |_, mut rng| {
+    let out = replicate_par(&base, reps, 0.95, jobs, |_, mut rng| {
         let mut net = factory();
         let report = simulate(net.as_mut(), workload, opts, &mut rng);
         report.normalized_delay(workload)

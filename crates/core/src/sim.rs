@@ -28,7 +28,7 @@ use rsin_des::{
     Calendar, Draw, EventHandle, Exponential, FaultAction, FaultEvent, FaultPlan, FaultTarget,
     SimRng, SimTime,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// The three stochastic stages of the task lifecycle, as arbitrary
@@ -196,6 +196,84 @@ struct InFlight {
     measured: bool,
     stage: Stage,
     handle: EventHandle,
+    /// Allocation sequence number: total order of grants, kept so casualty
+    /// teardown is deterministic even though slab slots are recycled.
+    seq: u64,
+}
+
+/// The in-flight task table: a slab whose slot index is the task id carried
+/// by calendar events, with a LIFO free list. Replaces the old per-task
+/// `HashMap<u64, InFlight>` — the simulator's hottest collection — with two
+/// flat vectors and zero steady-state allocation: a slot freed by a service
+/// completion (or casualty teardown) is recycled for the next grant.
+///
+/// Slot reuse is safe because a slot is only freed when its task's pending
+/// event has been delivered or cancelled, so no live event can alias a
+/// recycled id.
+#[derive(Debug, Default)]
+struct InFlightSlab {
+    slots: Vec<Option<InFlight>>,
+    free: Vec<usize>,
+}
+
+impl InFlightSlab {
+    /// The id the next [`InFlightSlab::insert`] will return — lets the
+    /// caller schedule the task's event (whose payload carries the id)
+    /// before constructing the `InFlight` that stores the event's handle.
+    fn next_id(&self) -> u64 {
+        match self.free.last() {
+            Some(&id) => id as u64,
+            None => self.slots.len() as u64,
+        }
+    }
+
+    /// Stores `fl`, returning the task id to embed in its lifecycle events.
+    fn insert(&mut self, fl: InFlight) -> u64 {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id].is_none(), "free slot was occupied");
+                self.slots[id] = Some(fl);
+                id as u64
+            }
+            None => {
+                self.slots.push(Some(fl));
+                (self.slots.len() - 1) as u64
+            }
+        }
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut InFlight> {
+        self.slots.get_mut(id as usize).and_then(Option::as_mut)
+    }
+
+    /// Removes the task and recycles its slot.
+    fn remove(&mut self, id: u64) -> Option<InFlight> {
+        let fl = self.slots.get_mut(id as usize).and_then(Option::take)?;
+        self.free.push(id as usize);
+        Some(fl)
+    }
+
+    /// Number of tasks currently in flight.
+    fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Ids of in-flight tasks holding `port`, in allocation order — the
+    /// deterministic casualty order for a resource failure.
+    fn casualties_at(&self, port: usize) -> Vec<u64> {
+        let mut hit: Vec<(u64, u64)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| {
+                slot.as_ref()
+                    .filter(|fl| fl.grant.port == port)
+                    .map(|fl| (fl.seq, id as u64))
+            })
+            .collect();
+        hit.sort_unstable();
+        hit.into_iter().map(|(_, id)| id).collect()
+    }
 }
 
 /// A task waiting at its processor's queue.
@@ -332,8 +410,8 @@ pub fn simulate_general_faulty(
     let mut timeline = faults.timeline(&mut fault_rng);
     let faults_active = !faults.is_empty();
 
-    let mut in_flight: HashMap<u64, InFlight> = HashMap::new();
-    let mut next_task: u64 = 0;
+    let mut in_flight = InFlightSlab::default();
+    let mut next_seq: u64 = 0;
     let mut arrivals: u64 = 0;
     let mut completions: u64 = 0;
     let mut measured_completions: u64 = 0;
@@ -353,6 +431,10 @@ pub fn simulate_general_faulty(
     let mut warmup_counters_dropped = false;
     let mut end_time = SimTime::ZERO;
 
+    // Per-cycle scratch, allocated once and reused every decision epoch.
+    let mut pending = vec![false; p];
+    let mut granted_this_cycle = vec![false; p];
+
     while allocations < target {
         let (now, ev) = cal
             .pop()
@@ -371,7 +453,7 @@ pub fn simulate_general_faulty(
                 cal.schedule(now + dt, Event::Arrival(proc));
             }
             Event::TxDone { task } => {
-                let fl = in_flight.get_mut(&task).expect("TxDone for unknown task");
+                let fl = in_flight.get_mut(task).expect("TxDone for unknown task");
                 net.end_transmission(fl.grant);
                 transmitting[fl.grant.processor] = false;
                 let dt = stages.service.draw(&mut svc_rng);
@@ -379,7 +461,7 @@ pub fn simulate_general_faulty(
                 fl.handle = cal.schedule(now + dt, Event::SvcDone { task });
             }
             Event::SvcDone { task } => {
-                let fl = in_flight.remove(&task).expect("SvcDone for unknown task");
+                let fl = in_flight.remove(task).expect("SvcDone for unknown task");
                 net.end_service(fl.grant);
                 completions += 1;
                 if fl.measured {
@@ -410,12 +492,14 @@ pub fn simulate_general_faulty(
         }
 
         // Decision epoch: let the network serve whoever is still waiting.
-        let pending: Vec<bool> = (0..p)
-            .map(|i| !transmitting[i] && !queues[i].is_empty() && now >= backoff_until[i])
-            .collect();
-        if pending.iter().any(|&b| b) {
+        let mut any_pending = false;
+        for i in 0..p {
+            let ready = !transmitting[i] && !queues[i].is_empty() && now >= backoff_until[i];
+            pending[i] = ready;
+            any_pending |= ready;
+        }
+        if any_pending {
             let grants = net.request_cycle(&pending, &mut net_rng);
-            let mut granted_this_cycle = vec![false; p];
             for grant in grants {
                 assert!(
                     pending[grant.processor] && !granted_this_cycle[grant.processor],
@@ -444,21 +528,22 @@ pub fn simulate_general_faulty(
                     delays.push(now - task.arrival);
                 }
                 let dt = stages.transmission.draw(&mut svc_rng);
-                let id = next_task;
-                next_task += 1;
+                let seq = next_seq;
+                next_seq += 1;
+                let id = in_flight.next_id();
                 let handle = cal.schedule(now + dt, Event::TxDone { task: id });
-                in_flight.insert(
-                    id,
-                    InFlight {
-                        grant,
-                        arrival: task.arrival,
-                        retries: task.retries,
-                        measured,
-                        stage: Stage::Transmission,
-                        handle,
-                    },
-                );
+                let stored = in_flight.insert(InFlight {
+                    grant,
+                    arrival: task.arrival,
+                    retries: task.retries,
+                    measured,
+                    stage: Stage::Transmission,
+                    handle,
+                    seq,
+                });
+                debug_assert_eq!(stored, id);
             }
+            granted_this_cycle.fill(false);
         }
 
         // Livelock watchdog: only armed when faults are in play — a
@@ -504,7 +589,7 @@ fn apply_fault(
     now: SimTime,
     fopts: &FaultOptions,
     cal: &mut Calendar<Event>,
-    in_flight: &mut HashMap<u64, InFlight>,
+    in_flight: &mut InFlightSlab,
     queues: &mut [VecDeque<QueuedTask>],
     transmitting: &mut [bool],
     backoff_until: &mut [SimTime],
@@ -516,16 +601,11 @@ fn apply_fault(
             if !net.fail_resource(port) {
                 return;
             }
-            // Sorted for a deterministic casualty order (task ids are
-            // assigned in allocation order).
-            let mut casualties: Vec<u64> = in_flight
-                .iter()
-                .filter(|(_, fl)| fl.grant.port == port)
-                .map(|(&id, _)| id)
-                .collect();
-            casualties.sort_unstable();
+            // Allocation-ordered (by seq, not slot id — slots are recycled)
+            // for a deterministic casualty order.
+            let casualties = in_flight.casualties_at(port);
             for id in casualties {
-                let fl = in_flight.remove(&id).expect("listed above");
+                let fl = in_flight.remove(id).expect("listed above");
                 cal.cancel(fl.handle);
                 if fl.stage == Stage::Transmission {
                     transmitting[fl.grant.processor] = false;

@@ -52,6 +52,12 @@ impl<E> Ord for Entry<E> {
 
 /// A future event list holding events of payload type `E`.
 ///
+/// Cancellation is lazy — a cancelled entry stays in the heap until it
+/// reaches the head — but bounded: whenever cancelled entries outnumber
+/// half the live ones the heap is compacted in place, so a workload that
+/// cancels heavily (e.g. fault-injection casualty teardown) cannot grow the
+/// calendar's memory without bound.
+///
 /// # Examples
 ///
 /// ```
@@ -171,11 +177,25 @@ impl<E> Calendar<E> {
             // Optimistically assume it was pending; pop() reconciles.
             if self.pending_seq(handle.0) {
                 self.live -= 1;
+                self.maybe_compact();
                 return true;
             }
             self.cancelled.remove(&handle.0);
         }
         false
+    }
+
+    /// Sheds lazily-cancelled entries once they outnumber half the live
+    /// ones, so heavy cancellation cannot grow the heap without bound. The
+    /// rebuild is O(n) and amortizes to O(1) per cancellation; delivery
+    /// order is unaffected because `(time, seq)` ordering is preserved.
+    fn maybe_compact(&mut self) {
+        const MIN_GARBAGE: usize = 64;
+        if self.cancelled.len() >= MIN_GARBAGE && self.cancelled.len() > self.live / 2 {
+            let cancelled = std::mem::take(&mut self.cancelled);
+            self.heap.retain(|e| !cancelled.contains(&e.seq));
+            debug_assert_eq!(self.heap.len(), self.live);
+        }
     }
 
     fn pending_seq(&self, seq: u64) -> bool {
@@ -302,6 +322,55 @@ mod tests {
         cal.cancel(h);
         assert_eq!(cal.peek_time(), Some(SimTime::new(2.0)));
         assert_eq!(cal.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn heavy_cancellation_compacts_the_heap() {
+        // Regression: lazy cancellation used to leave every cancelled entry
+        // in the heap until it reached the head, so a cancel-heavy workload
+        // (fault-injection casualty teardown) grew memory without bound.
+        let mut cal = Calendar::new();
+        let handles: Vec<EventHandle> = (0..10_000)
+            .map(|i| cal.schedule(SimTime::new(1.0 + i as f64), i))
+            .collect();
+        // Cancel all but every 100th event.
+        for (i, h) in handles.iter().enumerate() {
+            if i % 100 != 0 {
+                assert!(cal.cancel(*h));
+            }
+        }
+        assert_eq!(cal.len(), 100);
+        assert!(
+            cal.heap.len() <= 2 * cal.len() + 64,
+            "heap holds {} entries for {} live events",
+            cal.heap.len(),
+            cal.len()
+        );
+        assert!(
+            cal.cancelled.len() <= cal.len() + 64,
+            "{} cancelled markers linger",
+            cal.cancelled.len()
+        );
+        // Delivery is unaffected: the 100 survivors pop in order.
+        let out: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        let expect: Vec<i32> = (0..10_000).step_by(100).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn compaction_keeps_cancel_semantics() {
+        let mut cal = Calendar::new();
+        let handles: Vec<EventHandle> = (0..1_000)
+            .map(|i| cal.schedule(SimTime::new(i as f64 + 1.0), i))
+            .collect();
+        for h in &handles[..900] {
+            cal.cancel(*h);
+        }
+        // A compaction has happened; re-cancelling is still a no-op and
+        // cancelling a live handle still works.
+        assert!(!cal.cancel(handles[0]), "double cancel after compaction");
+        assert!(cal.cancel(handles[950]));
+        assert_eq!(cal.len(), 99);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   fail/repair schedules for fault-injection studies.
 //! - [`stats`]: Welford accumulators, time-weighted averages, histograms,
 //!   and batch-means / replication confidence intervals.
-//! - [`replicate`] / [`replicate_parallel`]: independent-replication runner.
+//! - [`replicate`] / [`replicate_par`]: independent-replication runners
+//!   (sequential and scoped-thread parallel, bitwise-identical results).
+//! - [`scope_map`] / [`default_jobs`]: the deterministic parallel-map
+//!   primitive the whole workspace's `--jobs` support is built on.
 //!
 //! # Example: an M/M/1 queue in ~30 lines
 //!
@@ -67,6 +70,7 @@
 mod calendar;
 mod dist;
 mod fault;
+mod parallel;
 mod replicate;
 mod rng;
 pub mod stats;
@@ -75,6 +79,7 @@ mod time;
 pub use calendar::{Calendar, EventHandle};
 pub use dist::{Deterministic, Draw, Erlang, Exponential, HyperExponential};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultTarget, FaultTimeline, StochasticFault};
-pub use replicate::{replicate, replicate_parallel, Replicated};
+pub use parallel::{default_jobs, scope_map, scope_map_indexed, JOBS_ENV};
+pub use replicate::{replicate, replicate_par, replicate_parallel, Replicated};
 pub use rng::SimRng;
 pub use time::SimTime;

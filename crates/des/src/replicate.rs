@@ -4,7 +4,15 @@
 //! independent replications with derived seeds gives iid estimates whose
 //! spread yields an honest confidence interval (see
 //! [`stats::replication_interval`](crate::stats::replication_interval)).
+//!
+//! Replications are embarrassingly parallel: replication `i` draws from the
+//! independent stream `base.derive(i)` and nothing else, so [`replicate_par`]
+//! distributes them over scoped threads ([`scope_map`](crate::scope_map))
+//! and collects the estimates by index — the [`Replicated`] output is
+//! **bitwise identical** to the sequential [`replicate`] for any worker
+//! count.
 
+use crate::parallel::scope_map_indexed;
 use crate::rng::SimRng;
 use crate::stats::{replication_interval, ConfidenceInterval};
 
@@ -18,15 +26,31 @@ pub struct Replicated {
 }
 
 impl Replicated {
+    /// Grand mean over replications, or `None` when there are none.
+    ///
+    /// Both runners assert `reps > 0`, so a `Replicated` they produce always
+    /// has a mean; this accessor exists for callers constructing the struct
+    /// by hand.
+    #[must_use]
+    pub fn try_mean(&self) -> Option<f64> {
+        if self.estimates.is_empty() {
+            None
+        } else {
+            Some(self.estimates.iter().sum::<f64>() / self.estimates.len() as f64)
+        }
+    }
+
     /// Grand mean over replications.
     ///
     /// # Panics
     ///
-    /// Panics if there are no replications.
+    /// Panics if there are no replications. [`replicate`] and
+    /// [`replicate_par`] both assert `reps > 0` up front (identically, so
+    /// the sequential and parallel paths cannot diverge in panic behavior);
+    /// use [`Replicated::try_mean`] for hand-built values.
     #[must_use]
     pub fn mean(&self) -> f64 {
-        assert!(!self.estimates.is_empty(), "no replications");
-        self.estimates.iter().sum::<f64>() / self.estimates.len() as f64
+        self.try_mean().expect("no replications")
     }
 }
 
@@ -54,10 +78,40 @@ where
     }
 }
 
-/// Runs `reps` independent replications of `experiment` across threads.
+/// Runs `reps` independent replications of `experiment` on up to `jobs`
+/// scoped threads.
 ///
 /// Semantically identical to [`replicate`] — including the seed for each
-/// replication index — so results match the sequential runner exactly.
+/// replication index — so the result is bitwise equal to the sequential
+/// runner for any `jobs`. `jobs <= 1` runs inline with no thread machinery.
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or `level` is outside `(0, 1)` (the same asserts,
+/// in the same order, as [`replicate`]).
+pub fn replicate_par<F>(
+    base: &SimRng,
+    reps: usize,
+    level: f64,
+    jobs: usize,
+    experiment: F,
+) -> Replicated
+where
+    F: Fn(usize, SimRng) -> f64 + Sync,
+{
+    assert!(reps > 0, "need at least one replication");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+    let estimates = scope_map_indexed(reps, jobs, |i| experiment(i, base.derive(i as u64)));
+    let interval = replication_interval(&estimates, level);
+    Replicated {
+        estimates,
+        interval,
+    }
+}
+
+/// [`replicate_par`] with the default worker count
+/// ([`default_jobs`](crate::default_jobs): `RSIN_JOBS` or the machine's
+/// available parallelism).
 ///
 /// # Panics
 ///
@@ -66,31 +120,13 @@ pub fn replicate_parallel<F>(base: &SimRng, reps: usize, level: f64, experiment:
 where
     F: Fn(usize, SimRng) -> f64 + Sync,
 {
-    assert!(reps > 0, "need at least one replication");
-    assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(reps);
-    let mut estimates = vec![0.0_f64; reps];
-    std::thread::scope(|scope| {
-        let chunk = reps.div_ceil(threads);
-        for (t, slot) in estimates.chunks_mut(chunk).enumerate() {
-            let experiment = &experiment;
-            let base = base.clone();
-            scope.spawn(move || {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let i = t * chunk + j;
-                    *out = experiment(i, base.derive(i as u64));
-                }
-            });
-        }
-    });
-    let interval = replication_interval(&estimates, level);
-    Replicated {
-        estimates,
-        interval,
-    }
+    replicate_par(
+        base,
+        reps,
+        level,
+        crate::parallel::default_jobs(),
+        experiment,
+    )
 }
 
 #[cfg(test)]
@@ -117,6 +153,10 @@ mod tests {
         let base = SimRng::new(42);
         let f = |i: usize, mut rng: SimRng| rng.uniform() + i as f64;
         let seq = replicate(&base, 7, 0.9, f);
+        for jobs in [1, 2, 4, 16] {
+            let par = replicate_par(&base, 7, 0.9, jobs, f);
+            assert_eq!(seq, par, "jobs = {jobs}");
+        }
         let par = replicate_parallel(&base, 7, 0.9, f);
         assert_eq!(seq.estimates, par.estimates);
     }
@@ -135,6 +175,36 @@ mod tests {
         let base = SimRng::new(3);
         let out = replicate(&base, 3, 0.95, |i, _| i as f64);
         assert!((out.mean() - 1.0).abs() < 1e-12);
+        assert_eq!(out.try_mean(), Some(out.mean()));
+    }
+
+    #[test]
+    fn try_mean_is_none_when_empty() {
+        let empty = Replicated {
+            estimates: Vec::new(),
+            interval: None,
+        };
+        assert_eq!(empty.try_mean(), None);
+        let r = std::panic::catch_unwind(move || empty.mean());
+        assert!(r.is_err(), "mean() panics on the empty struct");
+    }
+
+    #[test]
+    fn zero_reps_panics_identically_in_both_runners() {
+        let base = SimRng::new(1);
+        let seq = std::panic::catch_unwind(|| replicate(&base, 0, 0.95, |_, _| 0.0));
+        let par = std::panic::catch_unwind(|| replicate_par(&base, 0, 0.95, 4, |_, _| 0.0));
+        let msg = |e: Box<dyn std::any::Any + Send>| {
+            e.downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| e.downcast_ref::<String>().cloned())
+                .unwrap_or_default()
+        };
+        assert_eq!(
+            msg(seq.expect_err("seq must panic")),
+            msg(par.expect_err("par must panic")),
+            "panic messages must not diverge"
+        );
     }
 
     #[test]

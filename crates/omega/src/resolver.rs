@@ -174,6 +174,52 @@ pub struct MultistageState {
     /// advertises no availability, so requests reroute around it; circuits
     /// already established through it complete normally (fail-open).
     box_down: Vec<Vec<bool>>,
+    /// Reusable resolution scratch (claimed-link bits and per-type
+    /// reachability tables). Owned here so steady-state resolution does no
+    /// per-round heap allocation; it carries no observable state between
+    /// epochs.
+    scratch: ResolverScratch,
+}
+
+/// Dense `rows × cols` bit matrix backed by `u64` words.
+#[derive(Clone, Debug, Default)]
+struct BitMatrix {
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Resizes to `rows × cols` and zeroes every bit, keeping the backing
+    /// allocation.
+    fn reset(&mut self, rows: usize, cols: usize) {
+        self.words_per_row = cols.div_ceil(64);
+        self.words.clear();
+        self.words.resize(rows * self.words_per_row, 0);
+    }
+
+    #[inline]
+    fn get(&self, row: usize, col: usize) -> bool {
+        (self.words[row * self.words_per_row + col / 64] >> (col % 64)) & 1 != 0
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, col: usize) {
+        self.words[row * self.words_per_row + col / 64] |= 1 << (col % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, row: usize, col: usize) {
+        self.words[row * self.words_per_row + col / 64] &= !(1 << (col % 64));
+    }
+}
+
+/// Per-epoch working storage for [`MultistageState::resolve_batch`].
+#[derive(Clone, Debug, Default)]
+struct ResolverScratch {
+    /// `claimed[stage][wire]`: links claimed by in-flight requests.
+    claimed: BitMatrix,
+    /// One reachability table per resource type in flight, keyed by type.
+    down: Vec<(usize, BitMatrix)>,
 }
 
 /// The Omega-wired multistage RSIN state (the paper's primary subject).
@@ -266,6 +312,7 @@ impl MultistageState {
             port_types: vec![0; size],
             port_down: vec![false; size],
             box_down: vec![vec![false; size / 2]; bits as usize],
+            scratch: ResolverScratch::default(),
         })
     }
 
@@ -535,17 +582,20 @@ impl MultistageState {
         }
     }
 
-    /// Availability of every boundary wire given current links plus
-    /// `claimed`: `down[k][w]` is true when ≥ 1 free resource **of type
-    /// `ty`** is reachable from input wire `w` of stage `k` through free,
-    /// unclaimed links.
-    fn reachability(&self, claimed: &[Vec<bool>], ty: usize) -> Vec<Vec<bool>> {
+    /// Recomputes the availability of every boundary wire given current
+    /// links plus `claimed` into `down`: bit `(k, w)` is set when ≥ 1 free
+    /// resource **of type `ty`** is reachable from input wire `w` of stage
+    /// `k` through free, unclaimed links.
+    fn reachability_into(&self, claimed: &BitMatrix, ty: usize, down: &mut BitMatrix) {
         let n = self.bits as usize;
-        let mut down = vec![vec![false; self.size]; n + 1];
-        for (w, slot) in down[n].iter_mut().enumerate() {
-            *slot = !self.port_down[w]
+        down.reset(n + 1, self.size);
+        for w in 0..self.size {
+            if !self.port_down[w]
                 && self.port_types[w] == ty
-                && self.busy_resources[w] < self.resources_per_port;
+                && self.busy_resources[w] < self.resources_per_port
+            {
+                down.set(n, w);
+            }
         }
         for k in (0..n).rev() {
             for w_in in 0..self.size {
@@ -556,18 +606,24 @@ impl MultistageState {
                 let reach = !self.box_down[k][box_id]
                     && outs.iter().any(|&wire_out| {
                         !self.link_busy[k][wire_out]
-                            && !claimed[k][wire_out]
-                            && down[k + 1][wire_out]
+                            && !claimed.get(k, wire_out)
+                            && down.get(k + 1, wire_out)
                     });
-                down[k][w_in] = reach;
+                if reach {
+                    down.set(k, w_in);
+                }
             }
         }
-        down
     }
 
     fn resolve_batch(&mut self, requesters: &[(usize, usize)]) -> Resolution {
         let n = self.bits as usize;
-        let mut claimed = vec![vec![false; self.size]; n];
+        // Detach the scratch so `&self` stays free for reachability scans.
+        let ResolverScratch {
+            mut claimed,
+            mut down,
+        } = std::mem::take(&mut self.scratch);
+        claimed.reset(n, self.size);
         let mut res = Resolution::default();
 
         // One availability-register table per resource type in flight (the
@@ -576,25 +632,24 @@ impl MultistageState {
         let mut types: Vec<usize> = requesters.iter().map(|&(_, t)| t).collect();
         types.sort_unstable();
         types.dedup();
-        let down_of = |state: &Self, claimed: &[Vec<bool>]| -> Vec<(usize, Vec<Vec<bool>>)> {
-            types
-                .iter()
-                .map(|&t| (t, state.reachability(claimed, t)))
-                .collect()
-        };
+        down.truncate(types.len());
+        down.resize_with(types.len(), Default::default);
+        for (slot, &t) in down.iter_mut().zip(&types) {
+            slot.0 = t;
+        }
 
         // Submission: a processor only enters the network while its box
         // reports reachable availability of its type (end of the status
         // phase).
-        let mut down = down_of(self, &claimed);
-        let lookup = |down: &[(usize, Vec<Vec<bool>>)], t: usize| -> usize {
-            down.iter()
-                .position(|&(dt, _)| dt == t)
-                .expect("type present")
+        for (t, table) in down.iter_mut() {
+            self.reachability_into(&claimed, *t, table);
+        }
+        let lookup = |down: &[(usize, BitMatrix)], t: usize| -> usize {
+            down.iter().position(|e| e.0 == t).expect("type present")
         };
         let mut flights: Vec<Flight> = Vec::new();
         for &(p, t) in requesters {
-            if down[lookup(&down, t)].1[0][p] {
+            if down[lookup(&down, t)].1.get(0, p) {
                 res.box_visits += 1; // enters its stage-0 box
                 flights.push(Flight {
                     processor: p,
@@ -614,7 +669,9 @@ impl MultistageState {
         // Lock-step rounds: one action per active flight per round.
         while flights.iter().any(|f| f.state == FlightState::Active) {
             if self.freshness == StatusFreshness::Continuous {
-                down = down_of(self, &claimed);
+                for (t, table) in down.iter_mut() {
+                    self.reachability_into(&claimed, *t, table);
+                }
             }
             for fl in flights
                 .iter_mut()
@@ -636,10 +693,10 @@ impl MultistageState {
                         continue;
                     }
                     let wire_out = outs[out];
-                    if self.link_busy[k][wire_out] || claimed[k][wire_out] {
+                    if self.link_busy[k][wire_out] || claimed.get(k, wire_out) {
                         continue;
                     }
-                    if !fl_down[k + 1][wire_out] {
+                    if !fl_down.get(k + 1, wire_out) {
                         continue;
                     }
                     // A real collision can slip past stale registers: the
@@ -654,7 +711,7 @@ impl MultistageState {
                     // Claim the link (the box zeroes this availability
                     // register: resources are no longer reachable through it
                     // for anyone else until released).
-                    claimed[k][wire_out] = true;
+                    claimed.set(k, wire_out);
                     fl.links.push(Link {
                         stage: k as u32,
                         wire: wire_out,
@@ -681,7 +738,7 @@ impl MultistageState {
                 }
                 fl.frames.pop();
                 let undone = fl.links.pop().expect("frame implies link");
-                claimed[undone.stage as usize][undone.wire] = false;
+                claimed.clear_bit(undone.stage as usize, undone.wire);
                 let parent = fl.frames.last_mut().expect("parent frame exists");
                 let (parent_outs, _) =
                     self.wiring
@@ -709,6 +766,7 @@ impl MultistageState {
                 FlightState::Active => unreachable!("loop drains active flights"),
             }
         }
+        self.scratch = ResolverScratch { claimed, down };
         res
     }
 }

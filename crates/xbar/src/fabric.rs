@@ -30,6 +30,9 @@ pub struct CrossbarFabric {
     /// Stuck-open cells: a failed cell forwards both wave signals unchanged
     /// and can never close its latch, so the wave routes around it.
     failed: Vec<bool>,
+    /// Reusable column-wave buffer for request cycles (the `Y` signals as
+    /// the wave sweeps down), so steady-state cycles allocate nothing.
+    col_y: Vec<bool>,
 }
 
 impl CrossbarFabric {
@@ -47,6 +50,7 @@ impl CrossbarFabric {
             m,
             cells: vec![Cell::new(); p * m],
             failed: vec![false; p * m],
+            col_y: Vec::new(),
         }
     }
 
@@ -126,7 +130,9 @@ impl CrossbarFabric {
     pub fn request_cycle(&mut self, requests: &[bool], available: &[bool]) -> Vec<(usize, usize)> {
         assert_eq!(requests.len(), self.p, "requests length");
         assert_eq!(available.len(), self.m, "available length");
-        let mut col_y: Vec<bool> = available.to_vec();
+        let mut col_y = std::mem::take(&mut self.col_y);
+        col_y.clear();
+        col_y.extend_from_slice(available);
         let mut grants = Vec::new();
         for (i, &request) in requests.iter().enumerate() {
             let mut x = request;
@@ -150,6 +156,7 @@ impl CrossbarFabric {
             // next cycle" — the caller sees this implicitly by not being in
             // `grants`.
         }
+        self.col_y = col_y;
         grants
     }
 
@@ -163,12 +170,27 @@ impl CrossbarFabric {
     pub fn reset_cycle(&mut self, resets: &[bool]) {
         assert_eq!(resets.len(), self.p, "resets length");
         for (i, &reset) in resets.iter().enumerate() {
-            let mut x = reset;
-            for j in 0..self.m {
-                // Column Y values are irrelevant to the latch in reset mode.
-                let (x_next, _) = self.cell(i, j).step(Mode::Reset, x, false);
-                x = x_next;
+            if reset {
+                self.reset_row(i);
             }
+        }
+    }
+
+    /// Runs the reset wave for processor row `i` alone — equivalent to
+    /// [`CrossbarFabric::reset_cycle`] with only that bit set (a row whose
+    /// `X` is low passes reset-mode signals through unchanged), without the
+    /// caller materializing a reset vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= p`.
+    pub fn reset_row(&mut self, i: usize) {
+        assert!(i < self.p, "row out of range");
+        let mut x = true;
+        for j in 0..self.m {
+            // Column Y values are irrelevant to the latch in reset mode.
+            let (x_next, _) = self.cell(i, j).step(Mode::Reset, x, false);
+            x = x_next;
         }
     }
 

@@ -53,6 +53,17 @@ pub struct CrossbarNetwork {
     policy: CrossbarPolicy,
     partitions: Vec<Partition>,
     counters: NetworkCounters,
+    scratch: CycleScratch,
+}
+
+/// Reusable per-cycle buffers (the partition being swept), so request
+/// cycles in steady state allocate only the returned grant vector.
+#[derive(Debug, Default)]
+struct CycleScratch {
+    requests: Vec<bool>,
+    available: Vec<bool>,
+    procs: Vec<usize>,
+    buses: Vec<usize>,
 }
 
 /// Error building a [`CrossbarNetwork`] from a config of the wrong kind.
@@ -128,6 +139,7 @@ impl CrossbarNetwork {
                 })
                 .collect(),
             counters: NetworkCounters::default(),
+            scratch: CycleScratch::default(),
         }
     }
 
@@ -157,36 +169,45 @@ impl ResourceNetwork for CrossbarNetwork {
     fn request_cycle(&mut self, pending: &[bool], rng: &mut SimRng) -> Vec<Grant> {
         assert_eq!(pending.len(), self.processors(), "pending vector size");
         let mut grants = Vec::new();
+        let resources_per_bus = self.resources_per_bus;
+        let CycleScratch {
+            requests,
+            available,
+            procs,
+            buses,
+        } = &mut self.scratch;
         for (pi, part) in self.partitions.iter_mut().enumerate() {
             let base = pi * self.inputs;
-            let requests: Vec<bool> = (0..self.inputs).map(|l| pending[base + l]).collect();
+            requests.clear();
+            requests.extend_from_slice(&pending[base..base + self.inputs]);
             let n_pending = requests.iter().filter(|&&b| b).count() as u64;
             if n_pending == 0 {
                 continue;
             }
             self.counters.attempts += n_pending;
-            let available: Vec<bool> = (0..self.outputs)
-                .map(|j| {
-                    part.pool_up[j]
-                        && part.held_by[j].is_none()
-                        && part.busy_resources[j] < self.resources_per_bus
-                })
-                .collect();
+            available.clear();
+            available.extend((0..self.outputs).map(|j| {
+                part.pool_up[j]
+                    && part.held_by[j].is_none()
+                    && part.busy_resources[j] < resources_per_bus
+            }));
             let local: Vec<(usize, usize)> = match self.policy {
-                CrossbarPolicy::FixedPriority => part.fabric.request_cycle(&requests, &available),
+                CrossbarPolicy::FixedPriority => part.fabric.request_cycle(requests, available),
                 CrossbarPolicy::RandomToken => {
                     // Token scheme: each free bus captures a random pending
                     // processor; equivalently match shuffled lists. A pair
                     // that lands on a failed crosspoint cannot connect and
                     // is rejected for this cycle.
-                    let mut procs: Vec<usize> = (0..self.inputs).filter(|&l| requests[l]).collect();
-                    let mut buses: Vec<usize> =
-                        (0..self.outputs).filter(|&j| available[j]).collect();
-                    rng.shuffle(&mut procs);
-                    rng.shuffle(&mut buses);
+                    procs.clear();
+                    procs.extend((0..self.inputs).filter(|&l| requests[l]));
+                    buses.clear();
+                    buses.extend((0..self.outputs).filter(|&j| available[j]));
+                    rng.shuffle(procs);
+                    rng.shuffle(buses);
                     procs
-                        .into_iter()
-                        .zip(buses)
+                        .iter()
+                        .zip(buses.iter())
+                        .map(|(&li, &lj)| (li, lj))
                         .filter(|&(li, lj)| !part.fabric.is_failed(li, lj))
                         .collect()
                 }
@@ -211,9 +232,7 @@ impl ResourceNetwork for CrossbarNetwork {
         debug_assert_eq!(holder + pi * self.inputs, grant.processor);
         if self.policy == CrossbarPolicy::FixedPriority {
             // Break the circuit in the fabric: the holder's reset wave.
-            let mut resets = vec![false; self.inputs];
-            resets[holder] = true;
-            part.fabric.reset_cycle(&resets);
+            part.fabric.reset_row(holder);
         }
         part.busy_resources[lj] += 1;
         debug_assert!(part.busy_resources[lj] <= self.resources_per_bus);
@@ -246,9 +265,7 @@ impl ResourceNetwork for CrossbarNetwork {
         // this port internally; the simulator requeues the casualties.
         if let Some(holder) = part.held_by[lj].take() {
             if self.policy == CrossbarPolicy::FixedPriority {
-                let mut resets = vec![false; self.inputs];
-                resets[holder] = true;
-                part.fabric.reset_cycle(&resets);
+                part.fabric.reset_row(holder);
             }
         }
         part.busy_resources[lj] = 0;
