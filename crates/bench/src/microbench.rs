@@ -34,10 +34,23 @@ pub fn bench<T, F: FnMut() -> T>(name: &str, f: F) {
 }
 
 /// Measures `f` like [`bench`] but returns the median per-iteration time in
-/// nanoseconds instead of printing it (used by `perf_report` to persist the
-/// numbers).
-pub fn measure_ns<T, F: FnMut() -> T>(mut f: F) -> f64 {
-    measure(|iters| {
+/// nanoseconds instead of printing it.
+pub fn measure_ns<T, F: FnMut() -> T>(f: F) -> f64 {
+    measure_ns_with(Statistic::Median, f)
+}
+
+/// Measures `f` and returns the *minimum* per-iteration time over the
+/// samples, in nanoseconds. The minimum is the classic noise-robust
+/// estimator of a CPU-bound kernel's true cost — scheduler preemption and
+/// frequency dips only ever inflate a sample — so `perf_report` persists
+/// and regression-checks floor times rather than medians, which keeps the
+/// 1.5x CI gate from tripping on shared-runner noise.
+pub fn measure_ns_floor<T, F: FnMut() -> T>(f: F) -> f64 {
+    measure_ns_with(Statistic::Min, f)
+}
+
+fn measure_ns_with<T, F: FnMut() -> T>(stat: Statistic, mut f: F) -> f64 {
+    measure_with(stat, |iters| {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -64,9 +77,23 @@ where
     report(name, per_iter);
 }
 
+/// Which order statistic of the samples a measurement reports.
+#[derive(Clone, Copy, Debug)]
+enum Statistic {
+    Median,
+    Min,
+}
+
 /// Calibrates an iteration count against [`TARGET_MEASURE_TIME`], then
 /// returns the median per-iteration duration over [`SAMPLES`] samples.
-fn measure<F: FnMut(u64) -> Duration>(mut run: F) -> f64 {
+fn measure<F: FnMut(u64) -> Duration>(run: F) -> f64 {
+    measure_with(Statistic::Median, run)
+}
+
+/// Calibrates an iteration count against [`TARGET_MEASURE_TIME`], then
+/// returns the chosen order statistic of the per-iteration duration over
+/// [`SAMPLES`] samples.
+fn measure_with<F: FnMut(u64) -> Duration>(stat: Statistic, mut run: F) -> f64 {
     // Warm up and calibrate: grow the batch until it is long enough to
     // time reliably.
     let mut iters = 1u64;
@@ -83,7 +110,10 @@ fn measure<F: FnMut(u64) -> Duration>(mut run: F) -> f64 {
         .map(|_| run(iters).as_secs_f64() / iters as f64)
         .collect();
     samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    match stat {
+        Statistic::Median => samples[samples.len() / 2],
+        Statistic::Min => samples[0],
+    }
 }
 
 fn report(name: &str, per_iter_secs: f64) {

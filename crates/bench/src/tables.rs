@@ -13,7 +13,7 @@ use rsin_omega::blocking::{run_blocking_experiment, BlockingExperiment, Blocking
 use rsin_omega::{
     Admission, OmegaNetwork, OmegaState, Placement, StatusFreshness, TypedOmegaNetwork, Wiring,
 };
-use rsin_queueing::{SharedBusChain, SharedBusParams};
+use rsin_queueing::{solve_shared_bus_cached, SharedBusParams};
 use rsin_sbus::{Arbitration, SharedBusNetwork};
 use rsin_topology::{matching, OmegaTopology};
 use rsin_xbar::{Cell, CrossbarNetwork, CrossbarPolicy, Mode};
@@ -99,14 +99,13 @@ pub fn section6_comparison(ratio: f64, rho: f64, quality: &RunQuality) -> Vec<Co
     let opts = quality.sim_options();
     let mut rows = Vec::new();
 
-    let chain = SharedBusChain::new(SharedBusParams {
+    let chain = solve_shared_bus_cached(SharedBusParams {
         processors: 1,
         resources: 3,
         lambda: w.lambda(),
         mu_n: w.mu_n(),
         mu_s: w.mu_s(),
-    })
-    .and_then(|c| c.solve());
+    });
     if let Ok(sol) = chain {
         rows.push(ComparisonRow {
             config: "16/16x1x1 SBUS/3".into(),

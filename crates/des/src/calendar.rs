@@ -7,56 +7,97 @@
 //!    are delivered in scheduling order (FIFO), so a simulation run is a pure
 //!    function of its inputs and seed.
 //! 2. **O(log n) cancellation.** Scheduling returns an [`EventHandle`]; a
-//!    cancelled handle is lazily skipped when it reaches the head of the heap.
+//!    slot table maps live handles to their heap position, so `cancel`
+//!    removes the entry immediately — no tombstones, no compaction passes,
+//!    no hashing on the pop path.
+//!
+//! Internally the calendar is a slot-indexed 8-ary min-heap: each heap node
+//! records which slot owns it, each slot records where its node currently
+//! sits, and every sift keeps the two in sync. A wide layout cuts the tree
+//! depth to a third of a binary heap's; the child scan stays cheap because
+//! node ordering is a single branchless integer compare over contiguous
+//! 24-byte nodes, which is where this structure spends its time.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Identifies a scheduled event so it can later be cancelled.
 ///
-/// Handles are only meaningful for the [`Calendar`] that issued them.
+/// Handles are only meaningful for the [`Calendar`] that issued them. A
+/// handle packs the slot index with the slot's generation at scheduling
+/// time; delivering or cancelling the event bumps the generation, so stale
+/// handles (including handles that survive a [`Calendar::clear`]) can never
+/// alias a later event that happens to reuse the slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventHandle(u64);
 
+impl EventHandle {
+    fn new(generation: u32, slot: u32) -> Self {
+        EventHandle((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> u32 {
+        (self.0 & 0xffff_ffff) as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 #[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
+struct Node<E> {
+    /// The timestamp's IEEE bit pattern — order-preserving for the finite,
+    /// non-negative values [`SimTime`] guarantees, and 8 bytes narrower
+    /// than carrying a `u128` key plus a separate `SimTime`.
+    time_bits: u64,
+    /// FIFO sequence number; breaks same-instant ties in scheduling order.
     seq: u64,
+    slot: u32,
     payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<E> Node<E> {
+    /// `(time, seq)` as one integer so heap ordering is a single branchless
+    /// `u128` compare.
+    fn key(&self) -> u128 {
+        (u128::from(self.time_bits) << 64) | u128::from(self.seq)
     }
-}
-impl<E> Eq for Entry<E> {}
 
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    fn time(&self) -> SimTime {
+        SimTime::new(f64::from_bits(self.time_bits))
     }
 }
 
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
-        // first. seq breaks ties FIFO.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// The order-preserving integer image of a timestamp. `-0.0` (admitted by
+/// the `t >= 0.0` constructor check) is normalized to `+0.0` first — its
+/// raw bit pattern would otherwise sort above every positive time.
+fn time_bits(t: SimTime) -> u64 {
+    (t.as_f64() + 0.0).to_bits()
 }
+
+#[derive(Debug)]
+struct Slot {
+    /// Incremented whenever the slot's event leaves the heap (delivery,
+    /// cancellation, or clear), invalidating outstanding handles.
+    generation: u32,
+    /// Heap index of this slot's node; only meaningful while the slot is
+    /// occupied (i.e. not on the free list).
+    pos: u32,
+}
+
+/// Heap arity. Eight children per node cuts the tree depth (and with it the
+/// swap count per sift) to a third of a binary heap's; the wider
+/// min-of-children scan is nearly free because each comparison is one
+/// integer compare and the children sit in at most three cache lines.
+const ARITY: usize = 8;
 
 /// A future event list holding events of payload type `E`.
 ///
-/// Cancellation is lazy — a cancelled entry stays in the heap until it
-/// reaches the head — but bounded: whenever cancelled entries outnumber
-/// half the live ones the heap is compacted in place, so a workload that
-/// cancels heavily (e.g. fault-injection casualty teardown) cannot grow the
-/// calendar's memory without bound.
+/// Cancellation is eager and O(log n): the handle's slot names the heap
+/// position directly, the entry is swap-removed, and one sift restores heap
+/// order. `len()` is therefore always exact and the heap never holds dead
+/// entries, no matter how cancel-heavy the workload (e.g. fault-injection
+/// casualty teardown).
 ///
 /// # Examples
 ///
@@ -75,11 +116,14 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct Calendar<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// 8-ary min-heap ordered by `(time, seq)`; `seq` breaks ties FIFO.
+    heap: Vec<Node<E>>,
+    /// Slot table: handle → current heap position + generation.
+    slots: Vec<Slot>,
+    /// Slots whose event has left the heap, available for reuse.
+    free: Vec<u32>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
     now: SimTime,
-    live: usize,
 }
 
 impl<E> Default for Calendar<E> {
@@ -93,11 +137,11 @@ impl<E> Calendar<E> {
     #[must_use]
     pub fn new() -> Self {
         Calendar {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
             now: SimTime::ZERO,
-            live: 0,
         }
     }
 
@@ -111,13 +155,13 @@ impl<E> Calendar<E> {
     /// Number of scheduled, not-yet-cancelled, not-yet-delivered events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.live
+        self.heap.len()
     }
 
     /// Whether no live events remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.heap.is_empty()
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
@@ -136,13 +180,28 @@ impl<E> Calendar<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            time: at,
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("slot table overflow");
+                self.slots.push(Slot {
+                    generation: 0,
+                    pos: 0,
+                });
+                s
+            }
+        };
+        let pos = self.heap.len();
+        self.slots[slot as usize].pos = pos as u32;
+        let generation = self.slots[slot as usize].generation;
+        self.heap.push(Node {
+            time_bits: time_bits(at),
             seq,
+            slot,
             payload,
         });
-        self.live += 1;
-        EventHandle(seq)
+        self.sift_up(pos);
+        EventHandle::new(generation, slot)
     }
 
     /// Schedules `payload` to fire `dt` time units from now.
@@ -154,90 +213,134 @@ impl<E> Calendar<E> {
         self.schedule(self.now + dt, payload)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event in O(log n).
     ///
     /// Returns `true` if the event was still pending (it will never be
     /// delivered), `false` if it had already fired or been cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
-            return false;
-        }
-        let fresh = self.cancelled.insert(handle.0);
-        if fresh && self.live > 0 {
-            // The entry may already have been delivered; only count it as
-            // live-removed if it is still in the heap. We cannot cheaply know,
-            // so we instead verify on pop; `live` is corrected there. To keep
-            // `len` exact we check membership by replaying nothing: treat the
-            // cancel as effective only if the seq is still queued.
-            // A seq is still queued iff it has not been popped; popped seqs
-            // are recorded by removing them from `cancelled` at delivery time,
-            // so we track delivered seqs separately.
-        }
-        if fresh {
-            // Optimistically assume it was pending; pop() reconciles.
-            if self.pending_seq(handle.0) {
-                self.live -= 1;
-                self.maybe_compact();
-                return true;
+        let slot = handle.slot() as usize;
+        match self.slots.get(slot) {
+            Some(s) if s.generation == handle.generation() => {
+                let pos = s.pos as usize;
+                self.retire(handle.slot());
+                self.remove_at(pos);
+                true
             }
-            self.cancelled.remove(&handle.0);
+            _ => false,
         }
-        false
-    }
-
-    /// Sheds lazily-cancelled entries once they outnumber half the live
-    /// ones, so heavy cancellation cannot grow the heap without bound. The
-    /// rebuild is O(n) and amortizes to O(1) per cancellation; delivery
-    /// order is unaffected because `(time, seq)` ordering is preserved.
-    fn maybe_compact(&mut self) {
-        const MIN_GARBAGE: usize = 64;
-        if self.cancelled.len() >= MIN_GARBAGE && self.cancelled.len() > self.live / 2 {
-            let cancelled = std::mem::take(&mut self.cancelled);
-            self.heap.retain(|e| !cancelled.contains(&e.seq));
-            debug_assert_eq!(self.heap.len(), self.live);
-        }
-    }
-
-    fn pending_seq(&self, seq: u64) -> bool {
-        // Linear scan is acceptable: cancellation is rare in these models and
-        // heaps are small; correctness (exact len()) matters more here.
-        self.heap.iter().any(|e| e.seq == seq)
     }
 
     /// Removes and returns the earliest live event, advancing the clock to
     /// its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            self.now = entry.time;
-            self.live -= 1;
-            return Some((entry.time, entry.payload));
-        }
-        None
+        let slot = self.heap.first()?.slot;
+        self.retire(slot);
+        let node = self.remove_at(0);
+        let time = node.time();
+        self.now = time;
+        Some((time, node.payload))
     }
 
     /// Timestamp of the next live event without removing it.
     #[must_use]
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = self.heap.pop().expect("peeked entry exists").seq;
-                self.cancelled.remove(&seq);
-            } else {
-                return Some(entry.time);
-            }
-        }
-        None
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(Node::time)
     }
 
     /// Drops every pending event and resets the clock to zero.
+    ///
+    /// Handles issued before the clear stay invalid: each occupied slot's
+    /// generation is bumped as its event is dropped.
     pub fn clear(&mut self) {
+        for i in 0..self.heap.len() {
+            let slot = self.heap[i].slot;
+            self.slots[slot as usize].generation =
+                self.slots[slot as usize].generation.wrapping_add(1);
+            self.free.push(slot);
+        }
         self.heap.clear();
-        self.cancelled.clear();
         self.now = SimTime::ZERO;
-        self.live = 0;
+    }
+
+    /// Invalidates outstanding handles for `slot` and returns it to the free
+    /// list. Called exactly once per event as it leaves the heap.
+    fn retire(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Whether the node at `a` must pop before the node at `b`.
+    fn before(&self, a: usize, b: usize) -> bool {
+        self.heap[a].key() < self.heap[b].key()
+    }
+
+    /// Records that the node at heap index `i` lives there now.
+    fn sync_slot(&mut self, i: usize) {
+        self.slots[self.heap[i].slot as usize].pos = i as u32;
+    }
+
+    /// Both sift loops swap the moving node level by level but only patch
+    /// the *displaced* node's slot as they go — the mover's slot is written
+    /// once, at its final position, instead of at every level.
+    fn sift_up(&mut self, mut i: usize) {
+        let key = self.heap[i].key();
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if key < self.heap[parent].key() {
+                self.heap.swap(i, parent);
+                self.sync_slot(i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.sync_slot(i);
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        let key = self.heap[i].key();
+        loop {
+            let first = ARITY * i + 1;
+            if first >= n {
+                break;
+            }
+            let end = (first + ARITY).min(n);
+            let mut best = first;
+            let mut best_key = self.heap[first].key();
+            for c in first + 1..end {
+                let k = self.heap[c].key();
+                if k < best_key {
+                    best = c;
+                    best_key = k;
+                }
+            }
+            if best_key < key {
+                self.heap.swap(i, best);
+                self.sync_slot(i);
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.sync_slot(i);
+    }
+
+    /// Swap-removes the node at `pos` and restores heap order with a single
+    /// sift (up or down, whichever the displaced node needs).
+    fn remove_at(&mut self, pos: usize) -> Node<E> {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        let node = self.heap.pop().expect("heap is non-empty");
+        if pos < last {
+            if pos > 0 && self.before(pos, (pos - 1) / ARITY) {
+                self.sift_up(pos);
+            } else {
+                self.sift_down(pos);
+            }
+        }
+        node
     }
 }
 
@@ -325,13 +428,13 @@ mod tests {
     }
 
     #[test]
-    fn heavy_cancellation_compacts_the_heap() {
-        // Regression: lazy cancellation used to leave every cancelled entry
-        // in the heap until it reached the head, so a cancel-heavy workload
-        // (fault-injection casualty teardown) grew memory without bound.
+    fn heavy_cancellation_frees_heap_storage() {
+        // Cancellation is eager: a cancel-heavy workload (fault-injection
+        // casualty teardown) removes entries on the spot, so the heap holds
+        // exactly the live events — no tombstones, no compaction debt.
         let mut cal = Calendar::new();
         let handles: Vec<EventHandle> = (0..10_000)
-            .map(|i| cal.schedule(SimTime::new(1.0 + i as f64), i))
+            .map(|i| cal.schedule(SimTime::new(1.0 + f64::from(i)), i))
             .collect();
         // Cancel all but every 100th event.
         for (i, h) in handles.iter().enumerate() {
@@ -340,17 +443,6 @@ mod tests {
             }
         }
         assert_eq!(cal.len(), 100);
-        assert!(
-            cal.heap.len() <= 2 * cal.len() + 64,
-            "heap holds {} entries for {} live events",
-            cal.heap.len(),
-            cal.len()
-        );
-        assert!(
-            cal.cancelled.len() <= cal.len() + 64,
-            "{} cancelled markers linger",
-            cal.cancelled.len()
-        );
         // Delivery is unaffected: the 100 survivors pop in order.
         let out: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
         let expect: Vec<i32> = (0..10_000).step_by(100).collect();
@@ -358,19 +450,45 @@ mod tests {
     }
 
     #[test]
-    fn compaction_keeps_cancel_semantics() {
+    fn slot_reuse_keeps_cancel_semantics() {
+        // Slots freed by cancellation are reused by later schedules; the
+        // generation tag keeps every old handle dead.
         let mut cal = Calendar::new();
         let handles: Vec<EventHandle> = (0..1_000)
-            .map(|i| cal.schedule(SimTime::new(i as f64 + 1.0), i))
+            .map(|i| cal.schedule(SimTime::new(f64::from(i) + 1.0), i))
             .collect();
         for h in &handles[..900] {
             cal.cancel(*h);
         }
-        // A compaction has happened; re-cancelling is still a no-op and
-        // cancelling a live handle still works.
-        assert!(!cal.cancel(handles[0]), "double cancel after compaction");
+        assert!(!cal.cancel(handles[0]), "double cancel is a no-op");
         assert!(cal.cancel(handles[950]));
         assert_eq!(cal.len(), 99);
+        // New events reuse the freed slots; their handles must not collide
+        // with the cancelled ones.
+        let fresh: Vec<EventHandle> = (0..900)
+            .map(|i| cal.schedule(SimTime::new(2_000.0 + f64::from(i)), i))
+            .collect();
+        for h in &handles[..900] {
+            assert!(!cal.cancel(*h), "stale handle revived by slot reuse");
+        }
+        assert_eq!(cal.len(), 999);
+        for h in &fresh {
+            assert!(cal.cancel(*h));
+        }
+        assert_eq!(cal.len(), 99);
+    }
+
+    #[test]
+    fn handles_stay_dead_across_clear() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime::new(1.0), 1);
+        cal.clear();
+        assert!(!cal.cancel(h), "clear must invalidate outstanding handles");
+        // The slot is reused after the clear; the old handle still must not
+        // cancel the new event.
+        let h2 = cal.schedule(SimTime::new(1.0), 2);
+        assert!(!cal.cancel(h));
+        assert!(cal.cancel(h2));
     }
 
     #[test]

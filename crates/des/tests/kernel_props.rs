@@ -58,6 +58,127 @@ fn calendar_len_is_exact() {
     });
 }
 
+/// The indexed calendar agrees with a sorted-`Vec` reference model through
+/// arbitrary interleavings of schedule, cancel, pop, peek, and clear —
+/// including same-instant FIFO ties and cancels aimed at handles whose
+/// events were already delivered, cancelled, or wiped by `clear`.
+#[test]
+fn calendar_matches_reference_model() {
+    // The reference model: a flat list of live events ordered on demand by
+    // (time, insertion number), which is the documented tie-breaking rule.
+    struct Model {
+        live: Vec<(f64, u64, usize)>, // (time, seq, payload)
+        next_seq: u64,
+    }
+    impl Model {
+        fn min_index(&self) -> Option<usize> {
+            (0..self.live.len()).min_by(|&a, &b| {
+                let (ta, sa, _) = self.live[a];
+                let (tb, sb, _) = self.live[b];
+                ta.total_cmp(&tb).then(sa.cmp(&sb))
+            })
+        }
+    }
+
+    check(256, |g| {
+        let mut cal = Calendar::new();
+        let mut model = Model {
+            live: Vec::new(),
+            next_seq: 0,
+        };
+        // Every handle ever issued, with its model seq and liveness.
+        let mut issued: Vec<(rsin_des::EventHandle, u64, bool)> = Vec::new();
+        let mut now = 0.0f64;
+        let mut next_payload = 0usize;
+
+        let steps = g.usize_in(20, 200);
+        for _ in 0..steps {
+            match g.usize_in(0, 10) {
+                // Schedule at a fresh future offset (sometimes exactly now).
+                0..=3 => {
+                    let t = if g.bool() {
+                        now + g.f64_in(0.0, 100.0)
+                    } else {
+                        now // same-instant scheduling must honor FIFO order
+                    };
+                    let h = cal.schedule(SimTime::new(t), next_payload);
+                    model.live.push((t, model.next_seq, next_payload));
+                    issued.push((h, model.next_seq, true));
+                    model.next_seq += 1;
+                    next_payload += 1;
+                }
+                // Schedule a deliberate tie with a live event's time.
+                4 => {
+                    if let Some(&(t, _, _)) = model.live.first() {
+                        let h = cal.schedule(SimTime::new(t), next_payload);
+                        model.live.push((t, model.next_seq, next_payload));
+                        issued.push((h, model.next_seq, true));
+                        model.next_seq += 1;
+                        next_payload += 1;
+                    }
+                }
+                // Cancel a random handle from the full history: live ones
+                // must cancel exactly once; delivered/cancelled/cleared ones
+                // must report false.
+                5..=6 => {
+                    if !issued.is_empty() {
+                        let i = g.usize_in(0, issued.len());
+                        let (h, seq, alive) = issued[i];
+                        assert_eq!(cal.cancel(h), alive, "cancel of seq {seq}");
+                        if alive {
+                            issued[i].2 = false;
+                            model.live.retain(|&(_, s, _)| s != seq);
+                        }
+                        // A second cancel through the same handle is a no-op.
+                        assert!(!cal.cancel(h));
+                        issued[i].2 = false;
+                    }
+                }
+                // Pop: time, payload, and clock advance must all match.
+                7..=8 => match model.min_index() {
+                    Some(i) => {
+                        let (t, seq, payload) = model.live.swap_remove(i);
+                        let (pt, pp) = cal.pop().expect("model says nonempty");
+                        assert_eq!(pt, SimTime::new(t));
+                        assert_eq!(pp, payload);
+                        now = t;
+                        if let Some(slot) = issued.iter_mut().find(|(_, s, _)| *s == seq) {
+                            slot.2 = false;
+                        }
+                    }
+                    None => assert!(cal.pop().is_none()),
+                },
+                // Peek must agree without disturbing anything.
+                9 => {
+                    let expect = model.min_index().map(|i| SimTime::new(model.live[i].0));
+                    assert_eq!(cal.peek_time(), expect);
+                }
+                // Clear: everything dies, including outstanding handles.
+                _ => {
+                    cal.clear();
+                    model.live.clear();
+                    for slot in &mut issued {
+                        slot.2 = false;
+                    }
+                    now = 0.0;
+                }
+            }
+            assert_eq!(cal.len(), model.live.len());
+            assert_eq!(cal.is_empty(), model.live.is_empty());
+        }
+
+        // Drain: the full remaining order must match the reference.
+        while let Some(i) = model.min_index() {
+            let (t, _, payload) = model.live.swap_remove(i);
+            let (pt, pp) = cal.pop().expect("drain");
+            assert_eq!(pt, SimTime::new(t));
+            assert_eq!(pp, payload);
+        }
+        assert!(cal.pop().is_none());
+        assert!(cal.is_empty());
+    });
+}
+
 /// Histogram mass balance: bin counts plus overflow equal the total.
 #[test]
 fn histogram_mass_balance() {

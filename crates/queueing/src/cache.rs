@@ -1,0 +1,114 @@
+//! A keyed cache over the analytic solvers.
+//!
+//! The figure suite, the provisioning searches, and the Table-II advisor
+//! paths all solve the same chains repeatedly — the same `(p, r, λ, µ_n,
+//! µ_s)` point shows up in several figures and again in the tables. The
+//! cache memoizes [`SharedBusChain::solve`] by exact parameter value
+//! (`f64` bit patterns, so keys never alias across distinct inputs) and
+//! returns the stored solution verbatim: a cache hit is bit-for-bit the
+//! value a fresh chain would produce, making the cache safe for artifact
+//! paths that print full-precision floats.
+
+use crate::error::SolveError;
+use crate::sbus::{SharedBusChain, SharedBusParams, SharedBusSolution};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Exact-value key: integer fields plus the bit patterns of the rates.
+type Key = (u32, u32, u64, u64, u64);
+
+fn key(p: &SharedBusParams) -> Key {
+    (
+        p.processors,
+        p.resources,
+        p.lambda.to_bits(),
+        p.mu_n.to_bits(),
+        p.mu_s.to_bits(),
+    )
+}
+
+fn cache() -> &'static Mutex<HashMap<Key, Result<SharedBusSolution, SolveError>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Result<SharedBusSolution, SolveError>>>> =
+        OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Upper bound on retained entries — far above any suite run's working set;
+/// purely a leak guard for long-lived processes sweeping huge grids.
+const MAX_ENTRIES: usize = 65_536;
+
+/// [`SharedBusChain::new`] + [`SharedBusChain::solve`], memoized process-wide
+/// by exact parameter value. Errors (unstable or invalid parameter points)
+/// are cached too, so a grid sweep pays for each infeasible point once.
+///
+/// # Errors
+///
+/// Exactly the errors of [`SharedBusChain::new`] and
+/// [`SharedBusChain::solve`] for these parameters.
+pub fn solve_shared_bus_cached(params: SharedBusParams) -> Result<SharedBusSolution, SolveError> {
+    let k = key(&params);
+    let guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(hit) = guard.get(&k) {
+        return hit.clone();
+    }
+    drop(guard);
+    // Solve outside the lock: chains are independent and a slow solve must
+    // not serialize the parallel suite workers.
+    let result = SharedBusChain::new(params).and_then(|c| c.solve());
+    let mut guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+    if guard.len() >= MAX_ENTRIES {
+        guard.clear();
+    }
+    guard.entry(k).or_insert_with(|| result.clone());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(lambda: f64) -> SharedBusParams {
+        SharedBusParams {
+            processors: 4,
+            resources: 3,
+            lambda,
+            mu_n: 1.0,
+            mu_s: 0.25,
+        }
+    }
+
+    #[test]
+    fn hit_is_bitwise_identical_to_fresh_solve() {
+        let p = params(0.011);
+        let fresh = SharedBusChain::new(p).expect("valid").solve().expect("ok");
+        let first = solve_shared_bus_cached(p).expect("ok");
+        let second = solve_shared_bus_cached(p).expect("ok");
+        // PartialEq on the solution compares every f64 field exactly.
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+    }
+
+    #[test]
+    fn errors_are_cached_and_reproduced() {
+        let p = SharedBusParams {
+            processors: 1,
+            resources: 1,
+            lambda: 10.0, // far beyond saturation
+            mu_n: 1.0,
+            mu_s: 1.0,
+        };
+        let direct = SharedBusChain::new(p).and_then(|c| c.solve());
+        let cached = solve_shared_bus_cached(p);
+        let again = solve_shared_bus_cached(p);
+        assert_eq!(cached, direct);
+        assert_eq!(again, direct);
+        assert!(cached.is_err());
+    }
+
+    #[test]
+    fn distinct_params_do_not_alias() {
+        let a = solve_shared_bus_cached(params(0.012)).expect("ok");
+        let b = solve_shared_bus_cached(params(0.013)).expect("ok");
+        assert_ne!(a.mean_queue_delay, b.mean_queue_delay);
+    }
+}

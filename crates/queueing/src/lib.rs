@@ -42,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod approx;
+mod cache;
 mod error;
 mod linalg;
 mod markov;
@@ -52,9 +53,12 @@ mod sbus;
 pub mod traffic;
 mod xbar_chain;
 
+pub use cache::solve_shared_bus_cached;
 pub use error::SolveError;
 pub use markov::{Ctmc, Transition};
 pub use mm1::Mm1;
 pub use mmr::Mmr;
-pub use sbus::{SharedBusChain, SharedBusParams, SharedBusSolution};
-pub use xbar_chain::{SmallCrossbarChain, SmallCrossbarParams, SmallCrossbarSolution};
+pub use sbus::{SharedBusChain, SharedBusParams, SharedBusSeed, SharedBusSolution};
+pub use xbar_chain::{
+    SmallCrossbarChain, SmallCrossbarParams, SmallCrossbarSeed, SmallCrossbarSolution,
+};

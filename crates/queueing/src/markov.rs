@@ -115,11 +115,42 @@ impl Ctmc {
     ///
     /// [`SolveError::NoConvergence`] when the residual stays above `tol`.
     pub fn solve_with(&self, tol: f64, max_sweeps: usize) -> Result<Vec<f64>, SolveError> {
+        self.solve_with_guess(None, tol, max_sweeps)
+    }
+
+    /// [`Ctmc::solve_with`] warm-started from an initial guess for π.
+    ///
+    /// A guess close to the stationary distribution (e.g. the solution of a
+    /// neighboring parameter point, or of a smaller truncation of the same
+    /// chain) cuts the sweep count substantially; the converged result
+    /// still satisfies the same tolerance as a cold solve. A guess with the
+    /// wrong length, non-finite entries, or no positive mass is ignored and
+    /// the solve falls back to the uniform start.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoConvergence`] when the residual stays above `tol`.
+    pub fn solve_with_guess(
+        &self,
+        guess: Option<&[f64]>,
+        tol: f64,
+        max_sweeps: usize,
+    ) -> Result<Vec<f64>, SolveError> {
         let n = self.n;
         if n == 1 {
             return Ok(vec![1.0]);
         }
-        let mut pi = vec![1.0 / n as f64; n];
+        let mut pi = match guess {
+            Some(g)
+                if g.len() == n
+                    && g.iter().all(|v| v.is_finite() && *v >= 0.0)
+                    && g.iter().sum::<f64>() > 0.0 =>
+            {
+                let total: f64 = g.iter().sum();
+                g.iter().map(|v| v / total).collect()
+            }
+            _ => vec![1.0 / n as f64; n],
+        };
         // Damped Gauss–Seidel: the undamped sweep can oscillate on chains
         // with strong same-level cycles (e.g. the shared-bus chain's
         // N_{1,r-1} → N_{0,r} transitions); under-relaxation restores

@@ -10,9 +10,10 @@
 //! * the **fewest partitions** of a processor pool that meet the target with
 //!   a fixed total resource budget.
 
+use crate::cache::solve_shared_bus_cached;
 use crate::error::SolveError;
 use crate::mm1::Mm1;
-use crate::sbus::{SharedBusChain, SharedBusParams};
+use crate::sbus::SharedBusParams;
 
 /// Result of a sizing search.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -62,18 +63,19 @@ pub fn min_resources_for_delay(
         }
     }
     for r in 1..=max_r {
-        let chain = match SharedBusChain::new(SharedBusParams {
+        // The cached solve makes repeated searches over overlapping ranges
+        // (and the figure/table paths hitting the same points) free.
+        let sol = match solve_shared_bus_cached(SharedBusParams {
             processors,
             resources: r,
             lambda,
             mu_n,
             mu_s,
         }) {
-            Ok(c) => c,
+            Ok(sol) => sol,
             Err(SolveError::Unstable { .. }) => continue,
             Err(e) => return Err(e),
         };
-        let sol = chain.solve()?;
         if sol.normalized_delay <= target {
             return Ok(Sizing {
                 chosen: r,
@@ -111,18 +113,17 @@ pub fn min_partitions_for_delay(
         if !processors.is_multiple_of(parts) || !total_resources.is_multiple_of(parts) {
             continue;
         }
-        let chain = match SharedBusChain::new(SharedBusParams {
+        let sol = match solve_shared_bus_cached(SharedBusParams {
             processors: processors / parts,
             resources: total_resources / parts,
             lambda,
             mu_n,
             mu_s,
         }) {
-            Ok(c) => c,
+            Ok(sol) => sol,
             Err(SolveError::Unstable { .. }) => continue,
             Err(e) => return Err(e),
         };
-        let sol = chain.solve()?;
         if sol.normalized_delay <= target {
             return Ok(Sizing {
                 chosen: parts,
@@ -138,6 +139,7 @@ pub fn min_partitions_for_delay(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sbus::SharedBusChain;
 
     #[test]
     fn more_demanding_targets_need_more_resources() {

@@ -79,6 +79,19 @@ pub struct SharedBusSolution {
     pub residual: f64,
 }
 
+/// A warm-start seed for [`SharedBusChain::solve_seeded`]: the converged
+/// rate matrix `R` of a previously solved chain, plus the resource count it
+/// was solved for (seeds never transfer across block dimensions).
+///
+/// Seeds are opaque by design — they accelerate the `R` iteration without
+/// changing what it converges to, so callers only thread them from one
+/// solve to the next.
+#[derive(Clone, Debug)]
+pub struct SharedBusSeed {
+    resources: u32,
+    r_mat: Mat,
+}
+
 /// The shared-bus Markov chain model.
 ///
 /// # Examples
@@ -225,8 +238,17 @@ impl SharedBusChain {
         a2
     }
 
-    /// Iterates `R = −(A0 + R²·A2)·A1⁻¹` to convergence.
+    /// Iterates `R = −(A0 + R²·A2)·A1⁻¹` to convergence, from zero.
     fn rate_matrix(&self) -> Result<Mat, SolveError> {
+        self.rate_matrix_from(None)
+    }
+
+    /// Iterates `R = −(A0 + R²·A2)·A1⁻¹` to convergence, starting from
+    /// `seed` when given (e.g. the converged `R` of a nearby parameter
+    /// point) and from zero otherwise. The fixed point is unique for
+    /// validated stable parameters, so the seed only changes how fast the
+    /// iteration gets there.
+    fn rate_matrix_from(&self, seed: Option<&Mat>) -> Result<Mat, SolveError> {
         let a0 = self.block_a0();
         let a1 = self.block_a1();
         let a2 = self.block_a2();
@@ -235,7 +257,10 @@ impl SharedBusChain {
             residual: f64::INFINITY,
         })?;
         let n = a0.n_rows;
-        let mut r_mat = Mat::zeros(n, n);
+        let mut r_mat = match seed {
+            Some(s) if s.n_rows == n && s.n_cols == n => s.clone(),
+            _ => Mat::zeros(n, n),
+        };
         for it in 0..2_000_000usize {
             let rr = r_mat.mul(&r_mat);
             let next = {
@@ -269,13 +294,56 @@ impl SharedBusChain {
     /// boundary system fails (does not occur for validated, stable
     /// parameters in practice).
     pub fn solve(&self) -> Result<SharedBusSolution, SolveError> {
+        let r_mat = self.rate_matrix()?;
+        self.solve_with_rate_matrix(&r_mat)
+    }
+
+    /// [`SharedBusChain::solve`] warm-started from the converged `R` matrix
+    /// of a previously solved chain — typically the neighboring point of a
+    /// rho-grid sweep, where `R` changes slowly and the seeded iteration
+    /// converges in a fraction of the cold iteration count.
+    ///
+    /// Returns the solution together with a seed for the next solve. A seed
+    /// from a chain with a different resource count is ignored (the block
+    /// dimension differs); if the seeded iteration fails to converge the
+    /// solve silently retries cold, so a seed can never make a solvable
+    /// chain unsolvable.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoConvergence`] under the same conditions as
+    /// [`SharedBusChain::solve`].
+    pub fn solve_seeded(
+        &self,
+        seed: Option<&SharedBusSeed>,
+    ) -> Result<(SharedBusSolution, SharedBusSeed), SolveError> {
+        let usable = seed.filter(|s| s.resources == self.params.resources);
+        let r_mat = match usable {
+            Some(s) => match self.rate_matrix_from(Some(&s.r_mat)) {
+                Ok(m) => m,
+                Err(_) => self.rate_matrix()?,
+            },
+            None => self.rate_matrix()?,
+        };
+        let sol = self.solve_with_rate_matrix(&r_mat)?;
+        Ok((
+            sol,
+            SharedBusSeed {
+                resources: self.params.resources,
+                r_mat,
+            },
+        ))
+    }
+
+    /// The boundary/tail computation shared by [`SharedBusChain::solve`]
+    /// and [`SharedBusChain::solve_seeded`], given a converged `R`.
+    fn solve_with_rate_matrix(&self, r_mat: &Mat) -> Result<SharedBusSolution, SolveError> {
         let r = self.params.resources as usize;
         let lam = self.arrival_rate();
         let (mu_n, mu_s) = (self.params.mu_n, self.params.mu_s);
         let n1 = r + 1; // block size of repeating stages
         let n0 = 2 * r + 1; // stage-0 size
 
-        let r_mat = self.rate_matrix()?;
         let a1 = self.block_a1();
         let a2 = self.block_a2();
 
@@ -340,7 +408,7 @@ impl SharedBusChain {
                 m[(n0 + j, n0 + k)] = a1_ra2[(k, j)];
             }
         }
-        let i_minus_r = Mat::identity(n1).sub(&r_mat);
+        let i_minus_r = Mat::identity(n1).sub(r_mat);
         let sum_r = i_minus_r.inverse().ok_or(SolveError::NoConvergence {
             iterations: 0,
             residual: f64::INFINITY,
@@ -428,8 +496,27 @@ impl SharedBusChain {
     /// [`SolveError::NoConvergence`] if no `q` yields a solvable boundary
     /// system.
     pub fn solve_paper_iterative(&self) -> Result<SharedBusSolution, SolveError> {
+        self.solve_paper_iterative_from(None)
+    }
+
+    /// [`SharedBusChain::solve_paper_iterative`] with a starting hint for
+    /// the elementary-stage count `q` — typically `stages - 1` of a
+    /// neighboring grid point's solution, which skips the warm-up doublings
+    /// below the hint. The stopping rule is unchanged, so the hint only
+    /// shortens the search.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::NoConvergence`] if no `q` yields a solvable boundary
+    /// system.
+    pub fn solve_paper_iterative_from(
+        &self,
+        q_hint: Option<usize>,
+    ) -> Result<SharedBusSolution, SolveError> {
         let mut best: Option<SharedBusSolution> = None;
-        let mut q = 4usize;
+        // Start one doubling below the hint so the convergence comparison
+        // still brackets it.
+        let mut q = q_hint.map_or(4, |h| (h / 2).next_power_of_two().clamp(4, 4096));
         while q <= 4096 {
             if let Some(sol) = self.stage_recursion(q) {
                 if let Some(prev) = best {

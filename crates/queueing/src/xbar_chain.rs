@@ -60,6 +60,17 @@ pub struct SmallCrossbarSolution {
     pub levels: usize,
 }
 
+/// A warm-start seed for [`SmallCrossbarChain::solve_seeded`]: the
+/// stationary distribution of a previously solved truncation, plus the
+/// state-space shape it was solved on (seeds never transfer across chains
+/// with a different per-level structure).
+#[derive(Clone, Debug)]
+pub struct SmallCrossbarSeed {
+    l0_count: usize,
+    per_level: usize,
+    pi: Vec<f64>,
+}
+
 /// The exact chain for `m ∈ {1, 2, 3}` buses.
 #[derive(Clone, Copy, Debug)]
 pub struct SmallCrossbarChain {
@@ -123,7 +134,9 @@ impl SmallCrossbarChain {
     }
 
     /// Solves the truncated chain, growing the queue cap until the delay
-    /// stabilizes.
+    /// stabilizes. Every truncation is solved cold; this is the library's
+    /// reference path (see [`SmallCrossbarChain::solve_seeded`] for the
+    /// warm-started one).
     ///
     /// # Errors
     ///
@@ -152,12 +165,61 @@ impl SmallCrossbarChain {
         })
     }
 
+    /// [`SmallCrossbarChain::solve`] warm-started: each truncation's
+    /// Gauss–Seidel solve is seeded with the previous (smaller) truncation's
+    /// π — a smaller truncation's states are exactly a prefix of a larger
+    /// one's numbering — and the first truncation with `seed` when given
+    /// (e.g. the solution of a neighboring rho-grid point). The growth
+    /// ladder and stopping rule match [`SmallCrossbarChain::solve`], so the
+    /// result agrees with the cold solve up to the CTMC solver's `1e-12`
+    /// convergence noise.
+    ///
+    /// Returns the solution together with a seed for the next solve. A seed
+    /// from a chain of a different shape is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SmallCrossbarChain::solve`].
+    pub fn solve_seeded(
+        &self,
+        seed: Option<&SmallCrossbarSeed>,
+    ) -> Result<(SmallCrossbarSolution, SmallCrossbarSeed), SolveError> {
+        let mut levels = 24usize;
+        let mut last: Option<(SmallCrossbarSolution, SmallCrossbarSeed)> = None;
+        while levels <= 1536 {
+            let (sol, new_seed) = {
+                let prev_seed = last.as_ref().map(|(_, s)| s).or(seed);
+                self.solve_truncated_inner(levels, prev_seed)?
+            };
+            if let Some((prev, _)) = &last {
+                let diff = (sol.mean_queue_delay - prev.mean_queue_delay).abs();
+                if diff < 1e-6 * sol.mean_queue_delay.max(1e-300) || diff < 1e-10 {
+                    return Ok((sol, new_seed));
+                }
+            }
+            last = Some((sol, new_seed));
+            levels *= 2;
+        }
+        Err(SolveError::NoConvergence {
+            iterations: 1536,
+            residual: f64::NAN,
+        })
+    }
+
     /// Solves with a fixed queue cap.
     ///
     /// # Errors
     ///
     /// Propagates [`SolveError::NoConvergence`] from the CTMC solver.
     pub fn solve_truncated(&self, levels: usize) -> Result<SmallCrossbarSolution, SolveError> {
+        self.solve_truncated_inner(levels, None).map(|(sol, _)| sol)
+    }
+
+    fn solve_truncated_inner(
+        &self,
+        levels: usize,
+        seed: Option<&SmallCrossbarSeed>,
+    ) -> Result<(SmallCrossbarSolution, SmallCrossbarSeed), SolveError> {
         let m = self.params.buses as usize;
         let r = self.params.resources_per_bus as usize;
         let lam = self.arrival_rate();
@@ -294,7 +356,18 @@ impl SmallCrossbarChain {
             }
         }
 
-        let pi = c.solve()?;
+        // A seed from a smaller truncation of the same chain maps onto the
+        // prefix of this one's state numbering (level-0 subs first, then the
+        // queued subs per level); the missing tail levels start at zero.
+        let guess: Option<Vec<f64>> = seed
+            .filter(|s| s.l0_count == l0_count && s.per_level == per_level)
+            .map(|s| {
+                let mut g = vec![0.0_f64; n_states];
+                let shared = s.pi.len().min(n_states);
+                g[..shared].copy_from_slice(&s.pi[..shared]);
+                g
+            });
+        let pi = c.solve_with_guess(guess.as_deref(), 1e-12, 100_000)?;
         let mut mean_queue = 0.0;
         let mut buses_busy = 0.0;
         let mut res_busy = 0.0;
@@ -313,14 +386,22 @@ impl SmallCrossbarChain {
             }
         }
         let d = mean_queue / lam;
-        Ok(SmallCrossbarSolution {
+        let sol = SmallCrossbarSolution {
             mean_queue_delay: d,
             normalized_delay: d * mu_s,
             mean_queue_length: mean_queue,
             bus_utilization: buses_busy / m as f64,
             resource_utilization: res_busy / (m * r) as f64,
             levels,
-        })
+        };
+        Ok((
+            sol,
+            SmallCrossbarSeed {
+                l0_count,
+                per_level,
+                pi,
+            },
+        ))
     }
 }
 

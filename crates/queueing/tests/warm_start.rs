@@ -1,0 +1,195 @@
+//! Warm-started solves agree with cold solves across the figure grids.
+//!
+//! The warm-start machinery (R-matrix seeding in the shared-bus chain,
+//! π chaining in the small-crossbar chain, the q hint in the paper's
+//! stage recursion) only accelerates iteration toward a unique fixed
+//! point — these tests pin the contract: every warm result matches the
+//! cold result within 1e-9 relative error, over every rho-grid point of
+//! every figure configuration.
+
+use rsin_queueing::{
+    solve_shared_bus_cached, traffic, SharedBusChain, SharedBusParams, SmallCrossbarChain,
+    SmallCrossbarParams,
+};
+
+/// The figure rho grid (see `rsin-bench::figures::rho_grid`).
+fn rho_grid() -> Vec<f64> {
+    std::iter::once(0.05)
+        .chain((1..=9).map(|i| f64::from(i) / 10.0))
+        .collect()
+}
+
+/// Every analytic shared-bus series drawn on Figs. 4, 5, 12, 13:
+/// `(procs_per_bus, resources_per_bus)`.
+const SBUS_FIGURE_CONFIGS: [(u32, u32); 6] = [(16, 32), (8, 16), (2, 4), (1, 2), (1, 3), (1, 4)];
+
+/// The figures' transmission-to-service ratios `µ_s/µ_n`.
+const RATIOS: [f64; 2] = [0.1, 1.0];
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-300)
+}
+
+#[test]
+fn sbus_warm_grid_matches_cold_within_1e9() {
+    for ratio in RATIOS {
+        let (mu_n, mu_s) = (1.0, ratio);
+        for (procs, res) in SBUS_FIGURE_CONFIGS {
+            let mut seed = None;
+            for rho in rho_grid() {
+                let lambda = traffic::lambda_for_intensity(16, 32, rho, mu_n, mu_s);
+                let params = SharedBusParams {
+                    processors: procs,
+                    resources: res,
+                    lambda,
+                    mu_n,
+                    mu_s,
+                };
+                let Ok(chain) = SharedBusChain::new(params) else {
+                    break; // saturated: the figure curve ends here
+                };
+                let cold = chain.solve().expect("cold solve");
+                let (warm, next_seed) = chain.solve_seeded(seed.as_ref()).expect("warm solve");
+                seed = Some(next_seed);
+                for (w, c) in [
+                    (warm.normalized_delay, cold.normalized_delay),
+                    (warm.mean_queue_length, cold.mean_queue_length),
+                    (warm.bus_utilization, cold.bus_utilization),
+                    (warm.resource_utilization, cold.resource_utilization),
+                ] {
+                    assert!(
+                        rel_err(w, c) < 1e-9,
+                        "{procs}x{res} ratio {ratio} rho {rho}: warm {w} vs cold {c}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sbus_unseeded_solve_seeded_equals_solve_exactly() {
+    // With no seed, solve_seeded runs the very same code path as solve();
+    // the results must agree bit for bit, not just to tolerance.
+    let chain = SharedBusChain::new(SharedBusParams {
+        processors: 2,
+        resources: 4,
+        lambda: 0.1,
+        mu_n: 1.0,
+        mu_s: 0.1,
+    })
+    .expect("stable");
+    let cold = chain.solve().expect("solves");
+    let (warm, _) = chain.solve_seeded(None).expect("solves");
+    assert_eq!(warm, cold);
+}
+
+#[test]
+fn sbus_wrong_dimension_seed_is_ignored() {
+    let small = SharedBusChain::new(SharedBusParams {
+        processors: 1,
+        resources: 2,
+        lambda: 0.1,
+        mu_n: 1.0,
+        mu_s: 0.1,
+    })
+    .expect("stable");
+    let (_, seed_r2) = small.solve_seeded(None).expect("solves");
+    let big = SharedBusChain::new(SharedBusParams {
+        processors: 1,
+        resources: 4,
+        lambda: 0.1,
+        mu_n: 1.0,
+        mu_s: 0.1,
+    })
+    .expect("stable");
+    let cold = big.solve().expect("solves");
+    let (warm, _) = big.solve_seeded(Some(&seed_r2)).expect("solves");
+    assert_eq!(warm, cold, "a mismatched seed must fall back to cold");
+}
+
+#[test]
+fn paper_iterative_hint_matches_unhinted_within_1e9() {
+    for ratio in RATIOS {
+        let (mu_n, mu_s) = (1.0, ratio);
+        let mut hint = None;
+        for rho in [0.05, 0.1, 0.2, 0.3] {
+            let lambda = traffic::lambda_for_intensity(16, 32, rho, mu_n, mu_s);
+            let Ok(chain) = SharedBusChain::new(SharedBusParams {
+                processors: 1,
+                resources: 2,
+                lambda,
+                mu_n,
+                mu_s,
+            }) else {
+                break;
+            };
+            let cold = chain.solve_paper_iterative().expect("cold");
+            let warm = chain.solve_paper_iterative_from(hint).expect("warm");
+            hint = Some(warm.stages - 1);
+            assert!(
+                rel_err(warm.mean_queue_delay, cold.mean_queue_delay) < 1e-9,
+                "ratio {ratio} rho {rho}: warm {} vs cold {}",
+                warm.mean_queue_delay,
+                cold.mean_queue_delay
+            );
+        }
+    }
+}
+
+#[test]
+fn xbar_warm_grid_matches_cold_within_1e9() {
+    // Small-m crossbar chains for every tractable bus count, warm-chained
+    // across an arrival-rate grid the way a figure sweep would.
+    for (m, r) in [(1u32, 2u32), (2, 1), (3, 1)] {
+        let mut seed = None;
+        for lam in [0.01, 0.03, 0.05] {
+            let params = SmallCrossbarParams {
+                processors: 4,
+                buses: m,
+                resources_per_bus: r,
+                lambda: lam,
+                mu_n: 1.0,
+                mu_s: 0.5,
+            };
+            let Ok(chain) = SmallCrossbarChain::new(params) else {
+                break;
+            };
+            let cold = chain.solve().expect("cold solve");
+            let (warm, next_seed) = chain.solve_seeded(seed.as_ref()).expect("warm solve");
+            seed = Some(next_seed);
+            for (w, c) in [
+                (warm.normalized_delay, cold.normalized_delay),
+                (warm.mean_queue_length, cold.mean_queue_length),
+                (warm.bus_utilization, cold.bus_utilization),
+            ] {
+                assert!(
+                    rel_err(w, c) < 1e-9,
+                    "m={m} r={r} lambda {lam}: warm {w} vs cold {c}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_returns_what_a_fresh_chain_returns() {
+    // Satellite contract: the solution cache is transparent — a hit is the
+    // exact value a fresh chain would produce.
+    for rho in [0.05, 0.3, 0.6] {
+        let lambda = traffic::lambda_for_intensity(16, 32, rho, 1.0, 0.1);
+        let params = SharedBusParams {
+            processors: 2,
+            resources: 4,
+            lambda,
+            mu_n: 1.0,
+            mu_s: 0.1,
+        };
+        let fresh = SharedBusChain::new(params)
+            .expect("stable")
+            .solve()
+            .expect("solves");
+        assert_eq!(solve_shared_bus_cached(params).expect("ok"), fresh);
+        assert_eq!(solve_shared_bus_cached(params).expect("ok"), fresh, "hit");
+    }
+}

@@ -10,6 +10,22 @@
 
 use crate::cell::{Cell, Mode, REQUEST_GATE_DELAY, RESET_GATE_DELAY};
 
+/// How many closed latches a processor row holds — the fabric's shortcut
+/// table. Most sweeps never need to touch a row's cells at all: an idle row
+/// with no connection leaves the wave untouched, and an idle row holding one
+/// bus only masks that bus's availability. Both facts follow directly from
+/// Table I, so the shortcuts reproduce the full sweep bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RowLink {
+    /// No latch closed in this row.
+    None,
+    /// Exactly one latch closed, at the given column.
+    One(u32),
+    /// Two or more latches closed (only reachable through direct fabric use;
+    /// the simulators hold at most one bus per processor).
+    Many,
+}
+
 /// A gate-level `p × m` distributed-scheduling crossbar.
 ///
 /// # Examples
@@ -30,6 +46,9 @@ pub struct CrossbarFabric {
     /// Stuck-open cells: a failed cell forwards both wave signals unchanged
     /// and can never close its latch, so the wave routes around it.
     failed: Vec<bool>,
+    /// Per-row latch census; lets request/reset cycles skip rows whose cells
+    /// cannot affect the wave.
+    row_link: Vec<RowLink>,
     /// Reusable column-wave buffer for request cycles (the `Y` signals as
     /// the wave sweeps down), so steady-state cycles allocate nothing.
     col_y: Vec<bool>,
@@ -50,6 +69,7 @@ impl CrossbarFabric {
             m,
             cells: vec![Cell::new(); p * m],
             failed: vec![false; p * m],
+            row_link: vec![RowLink::None; p],
             col_y: Vec::new(),
         }
     }
@@ -128,36 +148,115 @@ impl CrossbarFabric {
     ///
     /// Panics if the slice lengths don't match the fabric dimensions.
     pub fn request_cycle(&mut self, requests: &[bool], available: &[bool]) -> Vec<(usize, usize)> {
+        let mut grants = Vec::new();
+        self.request_cycle_into(requests, available, &mut grants);
+        grants
+    }
+
+    /// [`CrossbarFabric::request_cycle`] writing the grants into a
+    /// caller-provided buffer (cleared first), so steady-state cycles
+    /// allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths don't match the fabric dimensions.
+    pub fn request_cycle_into(
+        &mut self,
+        requests: &[bool],
+        available: &[bool],
+        grants: &mut Vec<(usize, usize)>,
+    ) {
         assert_eq!(requests.len(), self.p, "requests length");
         assert_eq!(available.len(), self.m, "available length");
+        grants.clear();
         let mut col_y = std::mem::take(&mut self.col_y);
         col_y.clear();
         col_y.extend_from_slice(available);
-        let mut grants = Vec::new();
         for (i, &request) in requests.iter().enumerate() {
-            let mut x = request;
-            for (j, y) in col_y.iter_mut().enumerate() {
-                let idx = i * self.m + j;
-                if self.failed[idx] && !self.cells[idx].is_connected() {
-                    // Stuck-open cell: both signals pass straight through,
-                    // so the request keeps sweeping right and the
-                    // availability keeps sweeping down.
-                    continue;
+            let base = i * self.m;
+            match (request, self.row_link[i]) {
+                // Idle row, no latch: every cell either passes both signals
+                // through (X=0 with an open latch leaves Y unchanged) or is
+                // stuck open — the wave crosses untouched.
+                (false, RowLink::None) => {}
+                // Idle row holding one bus: the only Table-I effect of the
+                // sweep is the held cell blocking its column's availability
+                // (Y' = !latch); failed-but-connected cells behave the same.
+                (false, RowLink::One(c)) => col_y[c as usize] = false,
+                // Idle row holding several buses: same masking, per column.
+                (false, RowLink::Many) => {
+                    for (j, y) in col_y.iter_mut().enumerate() {
+                        if self.cells[base + j].is_connected() {
+                            *y = false;
+                        }
+                    }
                 }
-                let was = self.cells[idx].is_connected();
-                let (x_next, y_next) = self.cell(i, j).step(Mode::Request, x, *y);
-                if !was && self.cells[idx].is_connected() {
-                    grants.push((i, j));
+                // Requesting row with no latch: X sweeps right past busy
+                // columns unchanged until it meets the first availability,
+                // where the latch closes and absorbs both signals. Every
+                // cell after the grant sees X=0 and an open latch, so the
+                // sweep can stop at the grant.
+                (true, RowLink::None) => {
+                    let mut x = true;
+                    for (j, y) in col_y.iter_mut().enumerate() {
+                        let idx = base + j;
+                        if self.failed[idx] {
+                            // Stuck-open cell: both signals pass straight
+                            // through (no latch here to hold a connection).
+                            continue;
+                        }
+                        let (x_next, y_next) = self.cells[idx].step(Mode::Request, x, *y);
+                        x = x_next;
+                        *y = y_next;
+                        if self.cells[idx].is_connected() {
+                            grants.push((i, j));
+                            self.row_link[i] = RowLink::One(j as u32);
+                            break;
+                        }
+                    }
                 }
-                x = x_next;
-                *y = y_next;
+                // Requesting row that already holds a bus: run the full
+                // Table-I sweep (an already-connected cell absorbs both
+                // signals on X=1, Y=1), then re-count the row's latches.
+                (true, _) => {
+                    let mut x = true;
+                    for (j, y) in col_y.iter_mut().enumerate() {
+                        let idx = base + j;
+                        if self.failed[idx] && !self.cells[idx].is_connected() {
+                            continue;
+                        }
+                        let was = self.cells[idx].is_connected();
+                        let (x_next, y_next) = self.cells[idx].step(Mode::Request, x, *y);
+                        if !was && self.cells[idx].is_connected() {
+                            grants.push((i, j));
+                        }
+                        x = x_next;
+                        *y = y_next;
+                    }
+                    self.rescan_row_link(i);
+                }
             }
-            // x is X_{i,m}, fed back to the processor: true means "resubmit
+            // X_{i,m} is fed back to the processor: true means "resubmit
             // next cycle" — the caller sees this implicitly by not being in
             // `grants`.
         }
         self.col_y = col_y;
-        grants
+    }
+
+    /// Recounts the closed latches in row `i` after a sweep that may have
+    /// changed them in ways the shortcuts can't track.
+    fn rescan_row_link(&mut self, i: usize) {
+        let base = i * self.m;
+        let mut link = RowLink::None;
+        for j in 0..self.m {
+            if self.cells[base + j].is_connected() {
+                link = match link {
+                    RowLink::None => RowLink::One(j as u32),
+                    _ => RowLink::Many,
+                };
+            }
+        }
+        self.row_link[i] = link;
     }
 
     /// Runs one reset cycle: every processor `i` with `resets[i]` set
@@ -186,12 +285,25 @@ impl CrossbarFabric {
     /// Panics if `i >= p`.
     pub fn reset_row(&mut self, i: usize) {
         assert!(i < self.p, "row out of range");
-        let mut x = true;
-        for j in 0..self.m {
-            // Column Y values are irrelevant to the latch in reset mode.
-            let (x_next, _) = self.cell(i, j).step(Mode::Reset, x, false);
-            x = x_next;
+        // The reset wave forwards X unchanged through every cell, clearing
+        // each latch it crosses — so its only effect is opening the row's
+        // closed latches, which the row census names directly.
+        match self.row_link[i] {
+            RowLink::None => {}
+            RowLink::One(c) => {
+                let _ = self.cells[i * self.m + c as usize].step(Mode::Reset, true, false);
+            }
+            RowLink::Many => {
+                let mut x = true;
+                for j in 0..self.m {
+                    // Column Y values are irrelevant to the latch in reset
+                    // mode.
+                    let (x_next, _) = self.cell(i, j).step(Mode::Reset, x, false);
+                    x = x_next;
+                }
+            }
         }
+        self.row_link[i] = RowLink::None;
     }
 
     /// Worst-case request-cycle length in gate delays: `4(p + m)`.
@@ -326,6 +438,110 @@ mod tests {
         assert!(f.request_cycle(&[true, false], &[true]).is_empty());
         let grants = f.request_cycle(&[false, true], &[true]);
         assert_eq!(grants, vec![(1, 0)], "healthy rows still reach the bus");
+    }
+
+    /// The unshortcut fabric: a plain row-major Table-I sweep with no row
+    /// census, as the fabric was originally written. The shortcut paths must
+    /// reproduce it bit for bit.
+    struct NaiveFabric {
+        m: usize,
+        cells: Vec<Cell>,
+        failed: Vec<bool>,
+    }
+
+    impl NaiveFabric {
+        fn new(p: usize, m: usize) -> Self {
+            NaiveFabric {
+                m,
+                cells: vec![Cell::new(); p * m],
+                failed: vec![false; p * m],
+            }
+        }
+
+        fn request_cycle(&mut self, requests: &[bool], available: &[bool]) -> Vec<(usize, usize)> {
+            let mut col_y = available.to_vec();
+            let mut grants = Vec::new();
+            for (i, &request) in requests.iter().enumerate() {
+                let mut x = request;
+                for (j, y) in col_y.iter_mut().enumerate() {
+                    let idx = i * self.m + j;
+                    if self.failed[idx] && !self.cells[idx].is_connected() {
+                        continue;
+                    }
+                    let was = self.cells[idx].is_connected();
+                    let (x_next, y_next) = self.cells[idx].step(Mode::Request, x, *y);
+                    if !was && self.cells[idx].is_connected() {
+                        grants.push((i, j));
+                    }
+                    x = x_next;
+                    *y = y_next;
+                }
+            }
+            grants
+        }
+
+        fn reset_row(&mut self, i: usize) {
+            let mut x = true;
+            for j in 0..self.m {
+                let (x_next, _) = self.cells[i * self.m + j].step(Mode::Reset, x, false);
+                x = x_next;
+            }
+        }
+    }
+
+    #[test]
+    fn shortcuts_match_naive_sweep_exactly() {
+        // Random interleavings of request cycles, row resets, failures and
+        // repairs: the row-census shortcuts must leave the fabric in exactly
+        // the state the plain sweep produces, and grant the same pairs in
+        // the same order.
+        let (p, m) = (5, 4);
+        let mut fast = CrossbarFabric::new(p, m);
+        let mut naive = NaiveFabric::new(p, m);
+        // Small deterministic LCG so the test needs no RNG dependency.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..2_000 {
+            match next() % 4 {
+                0 | 1 => {
+                    let requests: Vec<bool> = (0..p).map(|_| next() % 2 == 0).collect();
+                    let available: Vec<bool> = (0..m).map(|_| next() % 3 != 0).collect();
+                    let g_fast = fast.request_cycle(&requests, &available);
+                    let g_naive = naive.request_cycle(&requests, &available);
+                    assert_eq!(g_fast, g_naive);
+                }
+                2 => {
+                    let i = next() as usize % p;
+                    fast.reset_row(i);
+                    naive.reset_row(i);
+                }
+                _ => {
+                    let idx = next() as usize % (p * m);
+                    let (i, j) = (idx / m, idx % m);
+                    if next() % 2 == 0 {
+                        fast.fail_cell(i, j);
+                        naive.failed[idx] = true;
+                    } else {
+                        fast.repair_cell(i, j);
+                        naive.failed[idx] = false;
+                    }
+                }
+            }
+            for i in 0..p {
+                for j in 0..m {
+                    assert_eq!(
+                        fast.is_connected(i, j),
+                        naive.cells[i * m + j].is_connected(),
+                        "latch ({i},{j}) diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

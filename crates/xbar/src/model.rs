@@ -64,6 +64,7 @@ struct CycleScratch {
     available: Vec<bool>,
     procs: Vec<usize>,
     buses: Vec<usize>,
+    local: Vec<(usize, usize)>,
 }
 
 /// Error building a [`CrossbarNetwork`] from a config of the wrong kind.
@@ -175,6 +176,7 @@ impl ResourceNetwork for CrossbarNetwork {
             available,
             procs,
             buses,
+            local,
         } = &mut self.scratch;
         for (pi, part) in self.partitions.iter_mut().enumerate() {
             let base = pi * self.inputs;
@@ -191,8 +193,10 @@ impl ResourceNetwork for CrossbarNetwork {
                     && part.held_by[j].is_none()
                     && part.busy_resources[j] < resources_per_bus
             }));
-            let local: Vec<(usize, usize)> = match self.policy {
-                CrossbarPolicy::FixedPriority => part.fabric.request_cycle(requests, available),
+            match self.policy {
+                CrossbarPolicy::FixedPriority => {
+                    part.fabric.request_cycle_into(requests, available, local);
+                }
                 CrossbarPolicy::RandomToken => {
                     // Token scheme: each free bus captures a random pending
                     // processor; equivalently match shuffled lists. A pair
@@ -204,16 +208,18 @@ impl ResourceNetwork for CrossbarNetwork {
                     buses.extend((0..self.outputs).filter(|&j| available[j]));
                     rng.shuffle(procs);
                     rng.shuffle(buses);
-                    procs
-                        .iter()
-                        .zip(buses.iter())
-                        .map(|(&li, &lj)| (li, lj))
-                        .filter(|&(li, lj)| !part.fabric.is_failed(li, lj))
-                        .collect()
+                    local.clear();
+                    local.extend(
+                        procs
+                            .iter()
+                            .zip(buses.iter())
+                            .map(|(&li, &lj)| (li, lj))
+                            .filter(|&(li, lj)| !part.fabric.is_failed(li, lj)),
+                    );
                 }
-            };
+            }
             self.counters.rejections += n_pending - local.len() as u64;
-            for (li, lj) in local {
+            for &(li, lj) in local.iter() {
                 part.held_by[lj] = Some(li);
                 grants.push(Grant {
                     processor: base + li,
