@@ -1,7 +1,7 @@
 //! Ablation: availability-register freshness (continuous vs stale).
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text(
+    rsin_bench::output::emit_text_or_exit(
         "ablation_freshness",
         &rsin_bench::tables::ablation_freshness_text(&q),
     );

@@ -1,7 +1,7 @@
 //! Ablation: typed-resource placement (blocked vs interleaved).
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text(
+    rsin_bench::output::emit_text_or_exit(
         "ablation_placement",
         &rsin_bench::tables::ablation_placement_text(&q),
     );

@@ -1,7 +1,7 @@
 //! Ablation: Omega admission discipline (simultaneous vs staggered).
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text(
+    rsin_bench::output::emit_text_or_exit(
         "ablation_stagger",
         &rsin_bench::tables::ablation_stagger_text(&q),
     );

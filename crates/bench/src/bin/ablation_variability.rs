@@ -1,7 +1,7 @@
 //! Ablation: service-time distribution sensitivity.
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text(
+    rsin_bench::output::emit_text_or_exit(
         "ablation_variability",
         &rsin_bench::tables::ablation_variability_text(&q),
     );

@@ -1,7 +1,7 @@
 //! Ablation: Omega vs indirect binary n-cube wiring.
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
-    rsin_bench::output::emit_text(
+    rsin_bench::output::emit_text_or_exit(
         "ablation_wiring",
         &rsin_bench::tables::ablation_wiring_text(&q),
     );

@@ -8,5 +8,5 @@ fn main() {
         0.1,
         &q,
     ));
-    rsin_bench::output::emit("fig04", &e);
+    rsin_bench::output::emit_or_exit("fig04", &e);
 }

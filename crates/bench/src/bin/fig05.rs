@@ -8,5 +8,5 @@ fn main() {
         1.0,
         &q,
     ));
-    rsin_bench::output::emit("fig05", &e);
+    rsin_bench::output::emit_or_exit("fig05", &e);
 }

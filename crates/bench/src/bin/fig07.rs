@@ -3,5 +3,5 @@
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
     let e = rsin_bench::figures::fig_xbar(0.1, 7, &q);
-    rsin_bench::output::emit("fig07", &e);
+    rsin_bench::output::emit_or_exit("fig07", &e);
 }

@@ -2,5 +2,5 @@
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
     let e = rsin_bench::figures::fig_xbar(1.0, 8, &q);
-    rsin_bench::output::emit("fig08", &e);
+    rsin_bench::output::emit_or_exit("fig08", &e);
 }

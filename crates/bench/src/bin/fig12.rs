@@ -2,5 +2,5 @@
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
     let e = rsin_bench::figures::fig_omega(0.1, 12, &q);
-    rsin_bench::output::emit("fig12", &e);
+    rsin_bench::output::emit_or_exit("fig12", &e);
 }

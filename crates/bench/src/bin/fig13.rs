@@ -2,5 +2,5 @@
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
     let e = rsin_bench::figures::fig_omega(1.0, 13, &q);
-    rsin_bench::output::emit("fig13", &e);
+    rsin_bench::output::emit_or_exit("fig13", &e);
 }

@@ -1,6 +1,6 @@
 //! Regenerates the Section II Omega mapping example.
 fn main() {
-    rsin_bench::output::emit_text(
+    rsin_bench::output::emit_text_or_exit(
         "mapping_example",
         &rsin_bench::tables::mapping_example_text(),
     );

@@ -339,9 +339,14 @@ fn main() {
     json.push_str("}\n");
 
     print!("{json}");
-    match std::fs::write(&path, &json) {
+    // Atomic + fatal: a missing or truncated BENCH_perf.json would silently
+    // disarm the CI regression gate, so a failed write is a failed run.
+    match rsin_bench::output::atomic_write(&path, json.as_bytes()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        Err(e) => {
+            eprintln!("perf_report: FAILED — {e}");
+            std::process::exit(1);
+        }
     }
 
     if !regressed.is_empty() {

@@ -4,15 +4,15 @@
 fn main() {
     let q = rsin_bench::RunQuality::from_args();
     let points = rsin_bench::resilience::sweep(&q);
-    rsin_bench::output::emit(
+    rsin_bench::output::emit_or_exit(
         "resilience",
         &rsin_bench::resilience::throughput_experiment(&points),
     );
-    rsin_bench::output::emit(
+    rsin_bench::output::emit_or_exit(
         "resilience_delay",
         &rsin_bench::resilience::delay_experiment(&points),
     );
-    rsin_bench::output::emit_text(
+    rsin_bench::output::emit_text_or_exit(
         "resilience_summary",
         &rsin_bench::resilience::summary(&points),
     );

@@ -4,5 +4,5 @@ fn main() {
     let mut text = rsin_bench::tables::table2_text();
     text.push('\n');
     text.push_str(&rsin_bench::tables::section6_text(&q));
-    rsin_bench::output::emit_text("table2", &text);
+    rsin_bench::output::emit_text_or_exit("table2", &text);
 }

@@ -30,6 +30,8 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
+pub mod manifest;
 pub mod microbench;
 pub mod output;
 pub mod quality;

@@ -1,0 +1,642 @@
+//! The resume manifest: per-task status, artifact digests, durations, and
+//! retry counts, checkpointed atomically to `manifest.json` in the
+//! experiment output directory.
+//!
+//! The manifest is what makes a long suite run *resumable*: the harness
+//! rewrites it (atomically — see [`crate::output::atomic_write`]) after
+//! every task, so a run killed at any instant leaves a manifest describing
+//! exactly the artifacts that are complete on disk. `all --resume` then
+//! skips every task whose recorded digest still matches the bytes in its
+//! artifact files and recomputes the rest.
+//!
+//! Digests are 64-bit FNV-1a over the rendered artifact bytes — collisions
+//! are irrelevant here (the digest guards against *truncation and staleness*,
+//! not adversaries) and the hash needs no dependencies.
+//!
+//! Everything in the file is deterministic in the suite results except the
+//! `duration_ms` fields; in particular the digests are byte-identical for
+//! every worker count.
+
+use rsin_core::HarnessError;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Manifest schema version; bump on incompatible changes so an old manifest
+/// is recomputed rather than misread.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// 64-bit FNV-1a over `bytes`.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How a task ended, as recorded in the manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// The task computed and all its artifacts were persisted.
+    Ok,
+    /// The task panicked/stalled terminally, or its artifacts could not be
+    /// written. Resume recomputes it.
+    Failed,
+}
+
+impl EntryStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            EntryStatus::Ok => "ok",
+            EntryStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One task's record in the manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ManifestEntry {
+    /// The artifact name (`fig04`, `table2`, ...).
+    pub name: String,
+    /// Terminal status of the task in the recorded run.
+    pub status: EntryStatus,
+    /// FNV-1a digest of `<name>.txt`, when persisted.
+    pub digest: Option<u64>,
+    /// FNV-1a digest of `<name>.csv`, for figure tasks.
+    pub csv_digest: Option<u64>,
+    /// Wall-clock compute time, including retries and backoff.
+    pub duration_ms: u64,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Whether the watchdog flagged the task past its soft deadline or an
+    /// attempt was abandoned at the hard deadline.
+    pub stalled: bool,
+    /// The terminal error, for failed entries.
+    pub error: Option<String>,
+}
+
+/// The manifest: a quality fingerprint plus one entry per finished task, in
+/// suite order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Manifest {
+    /// [`crate::RunQuality::fingerprint`] of the run that produced the
+    /// entries. Resume ignores manifests with a different fingerprint.
+    pub quality: String,
+    /// Finished tasks, in suite order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// An empty manifest for a run with the given quality fingerprint.
+    #[must_use]
+    pub fn new(quality_fingerprint: impl Into<String>) -> Self {
+        Manifest {
+            quality: quality_fingerprint.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The entry for `name`, if that task finished in the recorded run.
+    #[must_use]
+    pub fn entry(&self, name: &str) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Serializes the manifest as JSON (one task object per line).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": {MANIFEST_VERSION},");
+        let _ = writeln!(s, "  \"quality\": {},", json_string(&self.quality));
+        s.push_str("  \"tasks\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": {}, \"status\": \"{}\", \"digest\": {}, \"csv_digest\": {}, \
+                 \"duration_ms\": {}, \"attempts\": {}, \"stalled\": {}, \"error\": {}}}{comma}",
+                json_string(&e.name),
+                e.status.as_str(),
+                json_digest(e.digest),
+                json_digest(e.csv_digest),
+                e.duration_ms,
+                e.attempts,
+                e.stalled,
+                e.error
+                    .as_deref()
+                    .map_or_else(|| "null".to_string(), json_string),
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a manifest produced by [`Manifest::to_json`] (or hand-edited
+    /// equivalents).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::ManifestCorrupt`] when the text is not JSON, the
+    /// schema version is unknown, or a required field is missing/mistyped.
+    pub fn parse(text: &str, path: &Path) -> Result<Self, HarnessError> {
+        let corrupt = |what: String| HarnessError::ManifestCorrupt {
+            path: path.display().to_string(),
+            what,
+        };
+        let root = json::parse(text).map_err(|e| corrupt(format!("not JSON: {e}")))?;
+        let version = root
+            .get("version")
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| corrupt("missing numeric \"version\"".into()))?;
+        if version != MANIFEST_VERSION {
+            return Err(corrupt(format!(
+                "schema version {version}, expected {MANIFEST_VERSION}"
+            )));
+        }
+        let quality = root
+            .get("quality")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| corrupt("missing string \"quality\"".into()))?
+            .to_string();
+        let tasks = root
+            .get("tasks")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| corrupt("missing array \"tasks\"".into()))?;
+        let mut entries = Vec::with_capacity(tasks.len());
+        for (i, t) in tasks.iter().enumerate() {
+            let field = |k: &str| {
+                t.get(k)
+                    .ok_or_else(|| corrupt(format!("task #{i}: missing \"{k}\"")))
+            };
+            let name = field("name")?
+                .as_str()
+                .ok_or_else(|| corrupt(format!("task #{i}: \"name\" not a string")))?
+                .to_string();
+            let status = match field("status")?.as_str() {
+                Some("ok") => EntryStatus::Ok,
+                Some("failed") => EntryStatus::Failed,
+                other => {
+                    return Err(corrupt(format!("task {name}: bad status {other:?}")));
+                }
+            };
+            let digest =
+                parse_digest(field("digest")?).map_err(|e| corrupt(format!("task {name}: {e}")))?;
+            let csv_digest = parse_digest(field("csv_digest")?)
+                .map_err(|e| corrupt(format!("task {name}: {e}")))?;
+            let duration_ms = field("duration_ms")?
+                .as_u64()
+                .ok_or_else(|| corrupt(format!("task {name}: bad duration_ms")))?;
+            let attempts = u32::try_from(
+                field("attempts")?
+                    .as_u64()
+                    .ok_or_else(|| corrupt(format!("task {name}: bad attempts")))?,
+            )
+            .map_err(|_| corrupt(format!("task {name}: attempts out of range")))?;
+            let stalled = field("stalled")?
+                .as_bool()
+                .ok_or_else(|| corrupt(format!("task {name}: bad stalled")))?;
+            let error = match field("error")? {
+                json::Value::Null => None,
+                json::Value::Str(s) => Some(s.clone()),
+                _ => return Err(corrupt(format!("task {name}: bad error"))),
+            };
+            entries.push(ManifestEntry {
+                name,
+                status,
+                digest,
+                csv_digest,
+                duration_ms,
+                attempts,
+                stalled,
+                error,
+            });
+        }
+        Ok(Manifest { quality, entries })
+    }
+
+    /// Reads and parses the manifest at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Io`] when the file cannot be read,
+    /// [`HarnessError::ManifestCorrupt`] when it cannot be parsed.
+    pub fn load(path: &Path) -> Result<Self, HarnessError> {
+        let text = std::fs::read_to_string(path).map_err(|e| HarnessError::Io {
+            op: "read",
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Manifest::parse(&text, path)
+    }
+
+    /// Atomically writes the manifest to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Io`] when the write or rename fails.
+    pub fn save(&self, path: &Path) -> Result<(), HarnessError> {
+        crate::output::atomic_write(path, self.to_json().as_bytes())
+    }
+}
+
+/// Renders a digest as `"fnv64:<16 hex digits>"`, or `null`.
+fn json_digest(d: Option<u64>) -> String {
+    d.map_or_else(|| "null".to_string(), |v| format!("\"fnv64:{v:016x}\""))
+}
+
+fn parse_digest(v: &json::Value) -> Result<Option<u64>, String> {
+    match v {
+        json::Value::Null => Ok(None),
+        json::Value::Str(s) => {
+            let hex = s
+                .strip_prefix("fnv64:")
+                .ok_or_else(|| format!("digest {s:?} lacks fnv64: prefix"))?;
+            u64::from_str_radix(hex, 16)
+                .map(Some)
+                .map_err(|_| format!("digest {s:?} is not hex"))
+        }
+        _ => Err("digest is neither null nor a string".to_string()),
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal recursive-descent JSON parser — just enough for the manifest
+/// (and deliberately dependency-free). Strings support the standard escape
+/// set including `\uXXXX`; numbers parse as `f64`.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup (first match).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) =>
+                {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|c| c as char),
+                    self.pos
+                )),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut kv = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(kv));
+            }
+            loop {
+                self.skip_ws();
+                let k = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let v = self.value()?;
+                kv.push((k, v));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(kv));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}' at byte {}, found {:?}",
+                            self.pos,
+                            other.map(|c| c as char)
+                        ));
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or ']' at byte {}, found {:?}",
+                            self.pos,
+                            other.map(|c| c as char)
+                        ));
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex =
+                                    std::str::from_utf8(hex).map_err(|_| "non-ASCII \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                                self.pos += 4;
+                                // Surrogate pairs are not needed for manifest
+                                // content; map lone surrogates to U+FFFD.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            other => {
+                                return Err(format!("unknown escape \\{}", other as char));
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        // Copy one UTF-8 scalar (strings are valid UTF-8
+                        // because the input is a &str).
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                        let c = s.chars().next().ok_or("empty scalar")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sample() -> Manifest {
+        Manifest {
+            quality: "warmup=1000 measured=8000 reps=2 trials=2000 seed=1983".into(),
+            entries: vec![
+                ManifestEntry {
+                    name: "fig04".into(),
+                    status: EntryStatus::Ok,
+                    digest: Some(0x1234_5678_9abc_def0),
+                    csv_digest: Some(42),
+                    duration_ms: 120,
+                    attempts: 1,
+                    stalled: false,
+                    error: None,
+                },
+                ManifestEntry {
+                    name: "fig07".into(),
+                    status: EntryStatus::Failed,
+                    digest: None,
+                    csv_digest: None,
+                    duration_ms: 2_000,
+                    attempts: 3,
+                    stalled: true,
+                    error: Some("task fig07 panicked after 3 attempt(s): chaos".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fnv_digest_is_stable_and_discriminating() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        // Known FNV-1a test vector.
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"fig04 contents"), fnv1a64(b"fig04 content!"));
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = sample();
+        let json = m.to_json();
+        let back = Manifest::parse(&json, &PathBuf::from("m.json")).expect("parses");
+        assert_eq!(back, m);
+        assert_eq!(back.entry("fig07").expect("entry").attempts, 3);
+        assert!(back.entry("nope").is_none());
+    }
+
+    #[test]
+    fn corrupt_manifests_are_typed_errors() {
+        let p = PathBuf::from("m.json");
+        for bad in [
+            "",
+            "{",
+            "not json at all",
+            "{\"version\": 99, \"quality\": \"q\", \"tasks\": []}",
+            "{\"version\": 1, \"tasks\": []}",
+            "{\"version\": 1, \"quality\": \"q\", \"tasks\": [{\"name\": \"x\"}]}",
+        ] {
+            let err = Manifest::parse(bad, &p).expect_err("must reject");
+            assert!(
+                matches!(err, HarnessError::ManifestCorrupt { .. }),
+                "wrong error for {bad:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_and_load_are_atomic_and_faithful() {
+        let dir = std::env::temp_dir().join(format!("rsin_manifest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("manifest.json");
+        let m = sample();
+        m.save(&path).expect("save");
+        assert_eq!(Manifest::load(&path).expect("load"), m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_strings_with_escapes_roundtrip() {
+        let mut m = sample();
+        m.entries[1].error = Some("path \"C:\\tmp\"\nline2\ttab".into());
+        let back = Manifest::parse(&m.to_json(), &PathBuf::from("m.json")).expect("parses");
+        assert_eq!(back.entries[1].error, m.entries[1].error);
+    }
+}

@@ -1,12 +1,31 @@
 //! Output handling for the experiment binaries: print to stdout and persist
-//! text + CSV under `target/experiments/`.
+//! text + CSV under the experiment output directory.
+//!
+//! All persistence is **crash-safe**: every file is written to a temporary
+//! sibling and atomically renamed into place, so a killed run never leaves a
+//! half-written artifact behind — a reader (including `all --resume`) sees
+//! either the complete previous version or the complete new one.
 
 use rsin_core::experiment::Experiment;
-use std::path::PathBuf;
+use rsin_core::HarnessError;
+use std::path::{Path, PathBuf};
 
-/// Directory where experiment outputs are persisted.
+/// Environment variable overriding the experiment output directory.
+///
+/// Takes precedence over `CARGO_TARGET_DIR`; lets CI chaos jobs and
+/// concurrent local runs write to disjoint directories instead of racing on
+/// `target/experiments/`.
+pub const OUTPUT_DIR_ENV: &str = "RSIN_OUTPUT_DIR";
+
+/// Directory where experiment outputs are persisted: `RSIN_OUTPUT_DIR` when
+/// set, else `$CARGO_TARGET_DIR/experiments`, else `target/experiments`.
 #[must_use]
 pub fn output_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os(OUTPUT_DIR_ENV) {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     let target = std::env::var_os("CARGO_TARGET_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target"));
@@ -23,34 +42,107 @@ pub fn render(experiment: &Experiment) -> String {
     text
 }
 
+/// Writes `bytes` to `path` atomically: the content goes to a temporary
+/// sibling (`<name>.tmp.<pid>`) which is then renamed over `path`, so
+/// concurrent readers and interrupted runs never observe a partial file.
+///
+/// # Errors
+///
+/// [`HarnessError::Io`] naming the failing operation and path.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), HarnessError> {
+    fn io_err(op: &'static str, p: &Path, e: &std::io::Error) -> HarnessError {
+        HarnessError::Io {
+            op,
+            path: p.display().to_string(),
+            message: e.to_string(),
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(|e| io_err("write", &tmp, &e))?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_err("rename into", path, &e));
+    }
+    Ok(())
+}
+
+/// Persists an artifact under [`output_dir`]: `<name>.txt` always, plus
+/// `<name>.csv` when `csv` is given. Both writes are atomic.
+///
+/// # Errors
+///
+/// [`HarnessError::Io`] on the first failing operation; an artifact is only
+/// considered persisted when every one of its files landed.
+pub fn persist(name: &str, text: &str, csv: Option<&str>) -> Result<(), HarnessError> {
+    let dir = output_dir();
+    persist_in(&dir, name, text, csv)
+}
+
+/// [`persist`] into an explicit directory (used by the resilient harness,
+/// which pins the directory once per run).
+///
+/// # Errors
+///
+/// [`HarnessError::Io`] on the first failing operation.
+pub fn persist_in(
+    dir: &Path,
+    name: &str,
+    text: &str,
+    csv: Option<&str>,
+) -> Result<(), HarnessError> {
+    std::fs::create_dir_all(dir).map_err(|e| HarnessError::Io {
+        op: "create dir",
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    atomic_write(&dir.join(format!("{name}.txt")), text.as_bytes())?;
+    if let Some(csv) = csv {
+        atomic_write(&dir.join(format!("{name}.csv")), csv.as_bytes())?;
+    }
+    Ok(())
+}
+
 /// Prints an experiment and writes `<name>.txt` / `<name>.csv` under
-/// [`output_dir`]. IO failures are reported to stderr but do not abort the
-/// run — the stdout copy is the primary artifact.
-pub fn emit(name: &str, experiment: &Experiment) {
+/// [`output_dir`]. The stdout copy is always produced, even when
+/// persistence fails.
+///
+/// # Errors
+///
+/// [`HarnessError::Io`] when any artifact file cannot be written.
+pub fn emit(name: &str, experiment: &Experiment) -> Result<(), HarnessError> {
     let text = render(experiment);
     print!("{text}");
-    persist(name, &text, Some(&experiment.to_csv()));
+    persist(name, &text, Some(&experiment.to_csv()))
 }
 
 /// Prints free-form text and persists it as `<name>.txt`.
-pub fn emit_text(name: &str, text: &str) {
+///
+/// # Errors
+///
+/// [`HarnessError::Io`] when the artifact file cannot be written.
+pub fn emit_text(name: &str, text: &str) -> Result<(), HarnessError> {
     print!("{text}");
-    persist(name, text, None);
+    persist(name, text, None)
 }
 
-fn persist(name: &str, text: &str, csv: Option<&str>) {
-    let dir = output_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
-    }
-    if let Err(e) = std::fs::write(dir.join(format!("{name}.txt")), text) {
-        eprintln!("warning: cannot write {name}.txt: {e}");
-    }
-    if let Some(csv) = csv {
-        if let Err(e) = std::fs::write(dir.join(format!("{name}.csv")), csv) {
-            eprintln!("warning: cannot write {name}.csv: {e}");
-        }
+/// [`emit`] for single-artifact binaries: on persistence failure, reports
+/// the error on stderr and exits the process with code 1, so scripted runs
+/// can detect a missing artifact.
+pub fn emit_or_exit(name: &str, experiment: &Experiment) {
+    exit_on_error(emit(name, experiment));
+}
+
+/// [`emit_text`] with [`emit_or_exit`]'s exit-code contract.
+pub fn emit_text_or_exit(name: &str, text: &str) {
+    exit_on_error(emit_text(name, text));
+}
+
+fn exit_on_error(r: Result<(), HarnessError>) {
+    if let Err(e) = r {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -59,17 +151,60 @@ mod tests {
     use super::*;
     use rsin_core::experiment::Series;
 
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rsin_output_test_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn emit_writes_files() {
         let mut e = Experiment::new("t", "x", "y");
         let mut s = Series::new("s");
         s.push(0.1, 1.0);
         e.add(s);
-        emit("unit_test_artifact", &e);
+        emit("unit_test_artifact", &e).expect("emit persists");
         let dir = output_dir();
         assert!(dir.join("unit_test_artifact.txt").exists());
         assert!(dir.join("unit_test_artifact.csv").exists());
         let _ = std::fs::remove_file(dir.join("unit_test_artifact.txt"));
         let _ = std::fs::remove_file(dir.join("unit_test_artifact.csv"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_temp() {
+        let dir = scratch_dir("atomic");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("artifact.txt");
+        atomic_write(&path, b"first").expect("first write");
+        atomic_write(&path, b"second").expect("overwrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("list")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_failure_is_a_typed_io_error() {
+        let dir = scratch_dir("noexist").join("file-not-dir");
+        std::fs::create_dir_all(dir.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&dir, b"a plain file where a dir is needed").expect("plant file");
+        let err = persist_in(&dir, "x", "text", None).expect_err("dir is a file");
+        match &err {
+            HarnessError::Io { op, path, .. } => {
+                assert!(!path.is_empty());
+                assert!(!op.is_empty());
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir.parent().expect("parent"));
     }
 }

@@ -1,6 +1,6 @@
 //! Run-quality presets shared by the experiment regenerators.
 
-use rsin_core::SimOptions;
+use rsin_core::{ConfigError, SimOptions};
 
 /// How much simulation effort to spend per point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,16 +52,49 @@ impl RunQuality {
     /// Chooses the preset from the process arguments: `--full` selects the
     /// publication preset; `--jobs N` (or `--jobs=N`) pins the worker
     /// count, which changes only wall-clock time, never the results.
+    ///
+    /// A malformed `--jobs` value is an actionable error on stderr followed
+    /// by exit code 2 — silently falling back to a default would make a
+    /// typo'd run differ from the one the user asked for.
     #[must_use]
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        match RunQuality::try_from_args(&args) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`RunQuality::from_args`] over an explicit argument list, returning
+    /// a typed error instead of exiting.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Parse`] when `--jobs` is present but its value is
+    /// missing, not an integer, or zero.
+    pub fn try_from_args(args: &[String]) -> Result<Self, ConfigError> {
         let mut q = if args.iter().any(|a| a == "--full") {
             RunQuality::full()
         } else {
             RunQuality::quick()
         };
-        q.jobs = parse_jobs(&args).unwrap_or(0);
-        q
+        q.jobs = parse_jobs(args)?.unwrap_or(0);
+        Ok(q)
+    }
+
+    /// A stable fingerprint of everything that determines the suite's
+    /// *results* (worker count excluded — it never changes artifacts).
+    /// Resume manifests record it so a `--resume` against artifacts from a
+    /// different preset recomputes instead of mixing qualities.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "warmup={} measured={} reps={} trials={} seed={}",
+            self.warmup, self.measured, self.reps, self.trials, self.seed
+        )
     }
 
     /// The resolved worker count: the explicit value, or
@@ -85,31 +118,79 @@ impl RunQuality {
     }
 }
 
-/// Extracts `--jobs N` / `--jobs=N` from an argument list.
-fn parse_jobs(args: &[String]) -> Option<usize> {
+/// Extracts `--jobs N` / `--jobs=N` from an argument list. `Ok(None)` when
+/// the flag is absent; a typed error when it is present but unusable.
+fn parse_jobs(args: &[String]) -> Result<Option<usize>, ConfigError> {
+    let parse = |v: &str| -> Result<Option<usize>, ConfigError> {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(ConfigError::Parse {
+                input: format!("--jobs {v}"),
+                expected: "a positive worker count, e.g. --jobs 4",
+            }),
+        }
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--jobs" {
-            return it.next()?.parse().ok();
+            return match it.next() {
+                Some(v) => parse(v),
+                None => Err(ConfigError::Parse {
+                    input: "--jobs".into(),
+                    expected: "a worker count after --jobs, e.g. --jobs 4",
+                }),
+            };
         }
         if let Some(v) = a.strip_prefix("--jobs=") {
-            return v.parse().ok();
+            return parse(v);
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_string()).collect()
+    }
+
     #[test]
     fn jobs_flag_is_parsed_in_both_spellings() {
-        let args = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>();
-        assert_eq!(parse_jobs(&args(&["bin", "--jobs", "4"])), Some(4));
-        assert_eq!(parse_jobs(&args(&["bin", "--jobs=8", "--full"])), Some(8));
-        assert_eq!(parse_jobs(&args(&["bin", "--full"])), None);
-        assert_eq!(parse_jobs(&args(&["bin", "--jobs"])), None);
+        assert_eq!(parse_jobs(&args(&["bin", "--jobs", "4"])), Ok(Some(4)));
+        assert_eq!(
+            parse_jobs(&args(&["bin", "--jobs=8", "--full"])),
+            Ok(Some(8))
+        );
+        assert_eq!(parse_jobs(&args(&["bin", "--full"])), Ok(None));
+    }
+
+    #[test]
+    fn malformed_jobs_is_a_typed_actionable_error() {
+        for bad in [
+            args(&["bin", "--jobs"]),
+            args(&["bin", "--jobs", "zero"]),
+            args(&["bin", "--jobs=0"]),
+            args(&["bin", "--jobs=-2"]),
+        ] {
+            let err = parse_jobs(&bad).expect_err("must reject");
+            assert!(
+                err.to_string().contains("--jobs"),
+                "error must name the flag: {err}"
+            );
+            assert!(RunQuality::try_from_args(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_relevant_fields_only() {
+        let q = RunQuality::quick();
+        let same_but_parallel = RunQuality { jobs: 8, ..q };
+        assert_eq!(q.fingerprint(), same_but_parallel.fingerprint());
+        let other = RunQuality { seed: 7, ..q };
+        assert_ne!(q.fingerprint(), other.fingerprint());
+        assert_ne!(q.fingerprint(), RunQuality::full().fingerprint());
     }
 
     #[test]

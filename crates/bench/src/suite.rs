@@ -41,7 +41,20 @@ impl SuiteOutput {
     }
 }
 
-type Task = fn(&RunQuality) -> SuiteOutput;
+/// A suite task: a pure function from the quality preset to one artifact.
+pub type Task = fn(&RunQuality) -> SuiteOutput;
+
+/// A named suite task. The name is the artifact name the task will produce
+/// (`spec.run(q).name() == spec.name`), known *before* the task runs — the
+/// resilient harness keys resume manifests, chaos injection, and retry RNG
+/// streams off it.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskSpec {
+    /// The artifact name (`fig04`, `table2`, ...).
+    pub name: &'static str,
+    /// The task function.
+    pub run: Task,
+}
 
 fn fig04(q: &RunQuality) -> SuiteOutput {
     let mut e = figures::fig_sbus(0.1, 4);
@@ -118,9 +131,15 @@ fn ablation_variability(q: &RunQuality) -> SuiteOutput {
     SuiteOutput::Text("ablation_variability", tables::ablation_variability_text(q))
 }
 
-/// The suite's tasks in emission order.
-fn tasks() -> Vec<Task> {
-    vec![
+/// The suite's tasks in emission order, each under its artifact name.
+#[must_use]
+pub fn task_specs() -> Vec<TaskSpec> {
+    macro_rules! spec {
+        ($($f:ident),* $(,)?) => {
+            vec![$(TaskSpec { name: stringify!($f), run: $f }),*]
+        };
+    }
+    spec![
         fig04,
         fig05,
         fig07,
@@ -146,18 +165,25 @@ fn tasks() -> Vec<Task> {
 /// artifacts are identical either way.
 #[must_use]
 pub fn run_suite(quality: &RunQuality) -> Vec<SuiteOutput> {
-    rsin_des::scope_map(&tasks(), quality.jobs(), |_, t| t(quality))
+    rsin_des::scope_map(&task_specs(), quality.jobs(), |_, t| (t.run)(quality))
 }
 
 /// Emits computed artifacts in order: stdout plus the files under
-/// [`output::output_dir`].
-pub fn emit_all(outputs: &[SuiteOutput]) {
+/// [`output::output_dir`]. Every artifact is printed even when some fail to
+/// persist; the persistence failures are returned so callers can report
+/// them and exit nonzero.
+pub fn emit_all(outputs: &[SuiteOutput]) -> Vec<rsin_core::HarnessError> {
+    let mut failures = Vec::new();
     for o in outputs {
-        match o {
+        let r = match o {
             SuiteOutput::Figure(name, e) => output::emit(name, e),
             SuiteOutput::Text(name, t) => output::emit_text(name, t),
+        };
+        if let Err(e) = r {
+            failures.push(e);
         }
     }
+    failures
 }
 
 #[cfg(test)]
@@ -176,11 +202,17 @@ mod tests {
 
     #[test]
     fn suite_covers_every_binary_artifact() {
-        let names: Vec<&str> = tasks()
-            .iter()
-            .map(|t| t(&RunQuality { reps: 1, ..tiny() }).name())
-            .collect();
-        assert_eq!(names.len(), 17);
+        let q = RunQuality { reps: 1, ..tiny() };
+        let specs = task_specs();
+        assert_eq!(specs.len(), 17);
+        for spec in &specs {
+            assert_eq!(
+                (spec.run)(&q).name(),
+                spec.name,
+                "spec name must match the artifact it produces"
+            );
+        }
+        let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
         for expected in ["fig04", "fig13", "table1", "table2", "blocking"] {
             assert!(names.contains(&expected), "missing {expected}");
         }

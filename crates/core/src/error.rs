@@ -33,6 +33,83 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Errors from the experiment harness itself — the machinery that runs
+/// suite tasks and persists their artifacts, as opposed to the models it
+/// runs.
+///
+/// IO sources are captured as rendered text rather than `std::io::Error`
+/// so the type stays `Clone`/`PartialEq` and failures can be aggregated
+/// into suite reports and manifests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HarnessError {
+    /// A filesystem operation on an artifact or manifest failed.
+    Io {
+        /// What was being attempted (`"create dir"`, `"write"`, `"rename"`, …).
+        op: &'static str,
+        /// The path involved.
+        path: String,
+        /// The underlying error, rendered.
+        message: String,
+    },
+    /// A suite task panicked on every allowed attempt.
+    TaskPanicked {
+        /// The task's artifact name (`fig07`, `table2`, …).
+        task: String,
+        /// The final panic payload, rendered.
+        message: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A suite task exceeded its hard deadline on every allowed attempt.
+    TaskStalled {
+        /// The task's artifact name.
+        task: String,
+        /// The per-attempt deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A resume manifest could not be understood.
+    ManifestCorrupt {
+        /// The manifest path.
+        path: String,
+        /// What was wrong with it.
+        what: String,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Io { op, path, message } => {
+                write!(f, "cannot {op} {path}: {message}")
+            }
+            HarnessError::TaskPanicked {
+                task,
+                message,
+                attempts,
+            } => write!(
+                f,
+                "task {task} panicked after {attempts} attempt(s): {message}"
+            ),
+            HarnessError::TaskStalled {
+                task,
+                deadline_ms,
+                attempts,
+            } => write!(
+                f,
+                "task {task} stalled past its {deadline_ms}ms deadline on all {attempts} attempt(s)"
+            ),
+            HarnessError::ManifestCorrupt { path, what } => write!(
+                f,
+                "resume manifest {path} is unusable ({what}); rerun without --resume to rebuild it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +125,36 @@ mod tests {
             expected: "p/ixjxk KIND/r",
         };
         assert!(e.to_string().contains("xyz"));
+    }
+
+    #[test]
+    fn harness_errors_name_the_task_and_path() {
+        let e = HarnessError::TaskPanicked {
+            task: "fig07".into(),
+            message: "chaos: injected panic".into(),
+            attempts: 3,
+        };
+        let text = e.to_string();
+        assert!(
+            text.contains("fig07") && text.contains("3 attempt"),
+            "{text}"
+        );
+        let e = HarnessError::Io {
+            op: "write",
+            path: "target/experiments/fig04.txt".into(),
+            message: "No space left on device".into(),
+        };
+        assert!(e.to_string().contains("fig04.txt"));
+        let e = HarnessError::ManifestCorrupt {
+            path: "m.json".into(),
+            what: "not JSON".into(),
+        };
+        assert!(e.to_string().contains("--resume"));
+        let e = HarnessError::TaskStalled {
+            task: "fig12".into(),
+            deadline_ms: 500,
+            attempts: 2,
+        };
+        assert!(e.to_string().contains("500ms"));
     }
 }

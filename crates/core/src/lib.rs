@@ -52,7 +52,7 @@ pub mod typed;
 mod workload;
 
 pub use config::{NetworkKind, SystemConfig};
-pub use error::ConfigError;
+pub use error::{ConfigError, HarnessError};
 pub use network::{Grant, NetworkCounters, ResourceNetwork};
 pub use runner::{estimate_delay, estimate_delay_jobs, DelayEstimate};
 pub use sim::{

@@ -1090,6 +1090,47 @@ mod tests {
     }
 
     #[test]
+    fn fault_at_t_zero_and_zero_duration_window_complete_cleanly() {
+        use rsin_des::{FaultPlan, FaultTarget};
+        // Two timeline edge cases the resilient harness leans on: the pool
+        // is already down when the first task arrives (fail at t = 0), and
+        // a later fail/repair pair lands at the same instant (zero-duration
+        // window). Both must leave the engine live and task-conserving.
+        let workload = Workload::new(0.05, 1.0, 0.5).expect("valid");
+        let mut rng = SimRng::new(41);
+        let mut net = TinyBus::new(4, 2);
+        let opts = SimOptions {
+            warmup_tasks: 500,
+            measured_tasks: 10_000,
+        };
+        let plan = FaultPlan::new()
+            .fail_at(SimTime::ZERO, FaultTarget::Resource(0))
+            .repair_at(SimTime::new(20.0), FaultTarget::Resource(0))
+            .fail_at(SimTime::new(50.0), FaultTarget::Resource(0))
+            .repair_at(SimTime::new(50.0), FaultTarget::Resource(0));
+        let report = simulate_faulty(
+            &mut net,
+            &workload,
+            &opts,
+            &plan,
+            &FaultOptions::default(),
+            &mut rng,
+        )
+        .expect("repairs keep the system live");
+        // All four fault events land inside the warmup window, and network
+        // counters cover the measured window only — so no failures are
+        // *counted*, but the run must still complete and conserve tasks.
+        assert_eq!(report.counters.resource_failures, 0);
+        assert_eq!(report.counters.resource_repairs, 0);
+        assert!(report.completions > 0);
+        assert_eq!(
+            report.arrivals,
+            report.completions + report.queued_at_end + report.in_flight_at_end,
+            "conservation with a t=0 fault and a zero-duration window"
+        );
+    }
+
+    #[test]
     fn fault_free_plan_matches_plain_simulate() {
         use rsin_des::FaultPlan;
         let workload = Workload::new(0.06, 1.0, 0.5).expect("valid");

@@ -79,7 +79,10 @@ mod time;
 pub use calendar::{Calendar, EventHandle};
 pub use dist::{Deterministic, Draw, Erlang, Exponential, HyperExponential};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultTarget, FaultTimeline, StochasticFault};
-pub use parallel::{default_jobs, scope_map, scope_map_indexed, JOBS_ENV};
+pub use parallel::{
+    default_jobs, panic_message, run_supervised, scope_map, scope_map_indexed, RetryPolicy,
+    RunFailure, Supervised, JOBS_ENV,
+};
 pub use replicate::{replicate, replicate_par, replicate_parallel, Replicated};
 pub use rng::SimRng;
 pub use time::SimTime;

@@ -1,0 +1,136 @@
+//! Edge cases of the fault timeline that the resilient experiment harness
+//! leans on: zero-duration repairs, overlapping scripted windows on one
+//! resource, and schedules whose first failure lands at t = 0.
+
+use rsin_des::{FaultAction, FaultPlan, FaultTarget, SimRng, SimTime, StochasticFault};
+
+fn drain(plan: &FaultPlan, seed: u64, n: usize) -> Vec<(f64, FaultTarget, FaultAction)> {
+    let mut rng = SimRng::new(seed);
+    let mut tl = plan.timeline(&mut rng);
+    (0..n)
+        .map_while(|_| tl.pop())
+        .map(|e| (e.time.as_f64(), e.target, e.action))
+        .collect()
+}
+
+#[test]
+fn zero_duration_repair_keeps_fail_before_repair() {
+    // A repair scheduled at the very instant of the failure: the window has
+    // zero duration, and insertion order must still deliver Fail first so a
+    // consumer tracking up/down state ends the instant *up*.
+    let t = SimTime::new(5.0);
+    let plan = FaultPlan::new()
+        .fail_at(t, FaultTarget::Resource(2))
+        .repair_at(t, FaultTarget::Resource(2));
+    let events = drain(&plan, 1, 8);
+    assert_eq!(
+        events,
+        vec![
+            (5.0, FaultTarget::Resource(2), FaultAction::Fail),
+            (5.0, FaultTarget::Resource(2), FaultAction::Repair),
+        ]
+    );
+    let mut up = true;
+    for (_, _, action) in &events {
+        up = matches!(action, FaultAction::Repair);
+    }
+    assert!(up, "zero-duration window must leave the resource up");
+}
+
+#[test]
+fn overlapping_scripted_windows_on_same_resource_stay_ordered() {
+    // Two overlapping outage windows, [2, 8] and [5, 10], on the same
+    // resource. The timeline's contract is time order (ties by insertion);
+    // the consumer sees a second Fail while already down and a Repair while
+    // still inside the second window.
+    let r = FaultTarget::Resource(0);
+    let plan = FaultPlan::new()
+        .fail_at(SimTime::new(2.0), r)
+        .repair_at(SimTime::new(8.0), r)
+        .fail_at(SimTime::new(5.0), r)
+        .repair_at(SimTime::new(10.0), r);
+    let events = drain(&plan, 1, 8);
+    assert_eq!(
+        events,
+        vec![
+            (2.0, r, FaultAction::Fail),
+            (5.0, r, FaultAction::Fail),
+            (8.0, r, FaultAction::Repair),
+            (10.0, r, FaultAction::Repair),
+        ]
+    );
+    // Depth-counting consumer: the resource is continuously down from 2 to
+    // 10 and the windows are balanced at the end.
+    let mut depth = 0i32;
+    for (time, _, action) in &events {
+        match action {
+            FaultAction::Fail => depth += 1,
+            FaultAction::Repair => depth -= 1,
+        }
+        if (2.0..10.0).contains(time) {
+            assert!(depth > 0, "resource must be down inside the union window");
+        }
+    }
+    assert_eq!(depth, 0, "every fail has a matching repair");
+}
+
+#[test]
+fn first_failure_at_t_zero_is_delivered_first() {
+    // A schedule whose first failure is at the simulation origin — the
+    // resource is down before the first task even arrives — merged with an
+    // ongoing stochastic process.
+    let plan = FaultPlan::new()
+        .fail_at(SimTime::ZERO, FaultTarget::Element(1))
+        .repair_at(SimTime::new(3.0), FaultTarget::Element(1))
+        .stochastic(StochasticFault {
+            target: FaultTarget::Resource(0),
+            mtbf: 10.0,
+            mttr: 1.0,
+        });
+    let mut rng = SimRng::new(11);
+    let mut tl = plan.timeline(&mut rng);
+    assert_eq!(tl.peek(), Some(SimTime::ZERO), "t=0 event must be visible");
+    let first = tl.pop().expect("first event");
+    assert_eq!(first.time, SimTime::ZERO);
+    assert_eq!(first.target, FaultTarget::Element(1));
+    assert_eq!(first.action, FaultAction::Fail);
+    // The merged stream stays nondecreasing past the origin.
+    let mut last = SimTime::ZERO;
+    for _ in 0..40 {
+        let e = tl.pop().expect("stochastic stream is endless");
+        assert!(e.time >= last, "time order violated");
+        last = e.time;
+    }
+}
+
+#[test]
+fn near_zero_mtbf_mttr_schedule_is_dense_but_ordered() {
+    // An MTBF/MTTR process many orders of magnitude faster than the
+    // simulation horizon: the first failure lands at (numerically) t ≈ 0
+    // and events pile up near the origin without violating order or phase.
+    let plan = FaultPlan::new().stochastic(StochasticFault {
+        target: FaultTarget::Resource(5),
+        mtbf: 1e-9,
+        mttr: 1e-9,
+    });
+    let mut rng = SimRng::new(3);
+    let mut tl = plan.timeline(&mut rng);
+    let first = tl.peek().expect("endless process");
+    assert!(first.as_f64() < 1e-6, "first failure must land at t ≈ 0");
+    let mut last = SimTime::ZERO;
+    for i in 0..200 {
+        let e = tl.pop().expect("endless process");
+        assert!(e.time >= last, "event {i} out of order");
+        last = e.time;
+        let expect = if i % 2 == 0 {
+            FaultAction::Fail
+        } else {
+            FaultAction::Repair
+        };
+        assert_eq!(e.action, expect, "event {i} out of phase");
+    }
+    assert!(
+        last.as_f64() < 1e-3,
+        "the whole burst stays near the origin"
+    );
+}
