@@ -1,0 +1,43 @@
+//! Runs the runtime-broker benchmark: model predictions (deterministic,
+//! resumable via `broker_manifest.json`) plus a measured sweep of the SBUS
+//! broker under real worker threads.
+//!
+//! ```text
+//! cargo run --release -p rsin-bench --bin broker_bench -- \
+//!     --threads 6 --duration-ms 400 --rho 0.2,0.5,0.8 [--jobs N] [--resume]
+//! ```
+//!
+//! Exit codes: 0 on success, 1 when an artifact cannot be persisted or the
+//! exclusivity audit flags a violation, 2 on a malformed flag.
+
+use rsin_bench::broker_bench::{self, BrokerBenchConfig};
+use rsin_bench::RunQuality;
+
+fn main() {
+    let quality = RunQuality::from_args();
+    let cfg = BrokerBenchConfig::from_args();
+    let resume = std::env::args().any(|a| a == "--resume");
+    match broker_bench::run(&cfg, &quality, resume) {
+        Ok(summary) => {
+            if summary.violations > 0 {
+                eprintln!(
+                    "broker_bench: FAILED — {} exclusivity violation(s) in the measured sweep",
+                    summary.violations
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "broker_bench: ok (predictions {})",
+                if summary.resumed_predictions {
+                    "resumed"
+                } else {
+                    "computed"
+                }
+            );
+        }
+        Err(e) => {
+            eprintln!("broker_bench: FAILED — {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! The tracked performance baseline: times the figure/table suite
 //! sequentially (`--jobs 1`) and in parallel, measures the hot-path
-//! kernels, and writes `BENCH_perf.json` at the repository root.
+//! kernels (including the runtime brokers' uncontended grant cycles) and
+//! the brokers' saturated multi-threaded throughput, and writes
+//! `BENCH_perf.json` at the repository root.
 //!
 //! `--quick` (the default preset) keeps the run in CI territory; `--full`
 //! times the publication preset; `--jobs N` pins the parallel worker count
@@ -21,6 +23,9 @@ use rsin_bench::figures::workload_at;
 use rsin_bench::microbench::measure_ns_floor;
 use rsin_bench::suite::run_suite;
 use rsin_bench::RunQuality;
+use rsin_broker::{
+    run_saturated, Broker, OmegaBroker, RunControl, SbusBroker, XbarBroker, XbarPolicy,
+};
 use rsin_core::{simulate, SimOptions, SystemConfig};
 use rsin_des::{Calendar, SimRng, SimTime};
 use rsin_omega::{Admission, OmegaState};
@@ -147,6 +152,43 @@ fn kernels() -> Vec<(&'static str, f64)> {
         }),
     ));
 
+    // Uncontended acquire → end_transmission → release cycles of the
+    // runtime brokers: the single-thread fast path every loaded run pays on
+    // top of the queueing the models predict. ns/iter here is the inverse
+    // of the broker's peak grant throughput, so the `--check` gate doubles
+    // as a throughput-regression gate.
+    let ctl = RunControl::new();
+    let sbus = SbusBroker::new(2, 2);
+    out.push((
+        "broker_sbus_uncontended_cycle",
+        measure_ns_floor(|| {
+            let g = sbus.acquire(0, &ctl).expect("uncontended");
+            sbus.end_transmission(0, g);
+            sbus.release(0, g);
+            black_box(g.resource)
+        }),
+    ));
+    let xbar = XbarBroker::new(2, 2, XbarPolicy::TokenRotation);
+    out.push((
+        "broker_xbar_uncontended_cycle",
+        measure_ns_floor(|| {
+            let g = xbar.acquire(0, &ctl).expect("uncontended");
+            xbar.end_transmission(0, g);
+            xbar.release(0, g);
+            black_box(g.resource)
+        }),
+    ));
+    let omega = OmegaBroker::new(2, 2);
+    out.push((
+        "broker_omega_uncontended_cycle",
+        measure_ns_floor(|| {
+            let g = omega.acquire(0, &ctl).expect("uncontended");
+            omega.end_transmission(0, g);
+            omega.release(0, g);
+            black_box(g.resource)
+        }),
+    ));
+
     let cfg: SystemConfig = "16/1x16x16 XBAR/2".parse().expect("valid");
     let opts = SimOptions {
         warmup_tasks: 200,
@@ -167,6 +209,33 @@ fn kernels() -> Vec<(&'static str, f64)> {
     ));
 
     out
+}
+
+/// Saturated multi-threaded grant throughput (grants per wall second) of
+/// each runtime broker discipline: 4 workers on 2 resources, zero hold
+/// time, a short fixed window. Contended-path counterpart of the
+/// `broker_*_uncontended_cycle` kernels; recorded in the `broker` section
+/// of `BENCH_perf.json` for trend visibility (wall-clock thread scheduling
+/// makes it too noisy for a hard gate — the gate is the kernels).
+fn broker_saturated_throughput() -> Vec<(&'static str, f64)> {
+    let window = std::time::Duration::from_millis(120);
+    let secs = window.as_secs_f64();
+    let disciplines: Vec<(&'static str, Box<dyn Broker>)> = vec![
+        ("sbus", Box::new(SbusBroker::new(4, 2))),
+        (
+            "xbar_token",
+            Box::new(XbarBroker::new(4, 2, XbarPolicy::TokenRotation)),
+        ),
+        ("omega", Box::new(OmegaBroker::new(4, 2))),
+    ];
+    disciplines
+        .into_iter()
+        .map(|(name, broker)| {
+            let report = run_saturated(broker.as_ref(), std::time::Duration::ZERO, window);
+            assert_eq!(report.violations, 0, "{name}: exclusivity violated");
+            (name, report.total_grants() as f64 / secs)
+        })
+        .collect()
 }
 
 /// Extracts `(name, ns_per_iter)` rows from the `kernels_ns_per_iter`
@@ -293,6 +362,8 @@ fn main() {
     };
     eprintln!("measuring hot-path kernels ...");
     let mut kernel_rows = kernels();
+    eprintln!("measuring saturated broker throughput ...");
+    let broker_rows = broker_saturated_throughput();
 
     let path = baseline_path();
     let regressed = if check {
@@ -329,6 +400,14 @@ fn main() {
             json.push_str("    \"speedup\": null\n");
         }
     }
+    json.push_str("  },\n");
+    json.push_str("  \"broker\": {\n");
+    json.push_str("    \"saturated_grants_per_sec\": {\n");
+    for (i, (name, rate)) in broker_rows.iter().enumerate() {
+        let comma = if i + 1 < broker_rows.len() { "," } else { "" };
+        json.push_str(&format!("      \"{name}\": {rate:.0}{comma}\n"));
+    }
+    json.push_str("    }\n");
     json.push_str("  },\n");
     json.push_str("  \"kernels_ns_per_iter\": {\n");
     for (i, (name, ns)) in kernel_rows.iter().enumerate() {

@@ -1,0 +1,585 @@
+//! The runtime-broker benchmark: sweeps offered load ρ (and a worker-thread
+//! count) through the `rsin-broker` SBUS implementation and emits two
+//! artifacts under the experiment output directory:
+//!
+//! - `broker_predictions` — the model side (exact [`SharedBusChain`] curve
+//!   plus a DES replication interval per ρ). Fully deterministic:
+//!   byte-identical for every `--jobs` value, so it participates in the
+//!   `broker_manifest.json` digest gate and `--resume` skips it when its
+//!   digests still match the files on disk.
+//! - `broker_measured` — the runtime side (real threads, wall clock). Timing
+//!   data by nature, so it is always recomputed; its table carries the
+//!   model/measured ratio per ρ and the exclusivity-audit verdict.
+//!
+//! CLI: `--threads N`, `--duration-ms N`, `--rho a,b,c` (both `--flag v`
+//! and `--flag=v` spellings), plus the shared `--jobs` / `--full` /
+//! `--resume` harness flags. Malformed values are typed
+//! [`ConfigError::Parse`] errors, exactly like the suite's `--jobs`.
+
+use crate::manifest::{fnv1a64, EntryStatus, Manifest, ManifestEntry};
+use crate::output;
+use crate::RunQuality;
+use rsin_broker::{run_load, LoadConfig, SbusBroker};
+use rsin_core::experiment::{Experiment, Series};
+use rsin_core::{simulate, ConfigError, HarnessError, SimOptions, Workload};
+use rsin_des::{replicate, scope_map_indexed, SimRng};
+use rsin_queueing::{SharedBusChain, SharedBusParams};
+use rsin_sbus::{Arbitration, SharedBusNetwork};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Resources in the benchmarked pool (Section III's `r`).
+pub const RESOURCES: usize = 2;
+/// Transmission rate µ_n.
+pub const MU_N: f64 = 4.0;
+/// Service rate µ_s.
+pub const MU_S: f64 = 1.0;
+/// Wall microseconds per model time unit in the measured leg.
+pub const SCALE_US: f64 = 1_200.0;
+
+/// What to sweep: parsed from the command line, defaulted for CI.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BrokerBenchConfig {
+    /// Worker threads contending for the broker (the model's `p`).
+    pub threads: usize,
+    /// Measured wall time per ρ point, in milliseconds.
+    pub duration_ms: u64,
+    /// Offered-load points, each relative to the pipeline's saturation
+    /// throughput (the chain's `utilization()` dial).
+    pub rho: Vec<f64>,
+}
+
+impl Default for BrokerBenchConfig {
+    fn default() -> Self {
+        BrokerBenchConfig {
+            threads: 6,
+            duration_ms: 400,
+            rho: vec![0.2, 0.5, 0.8],
+        }
+    }
+}
+
+impl BrokerBenchConfig {
+    /// Parses `--threads`, `--duration-ms` and `--rho` from an argument
+    /// list; absent flags keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Parse`] naming the offending flag and the expected
+    /// shape when a value is missing, malformed, or out of range.
+    pub fn try_from_args(args: &[String]) -> Result<Self, ConfigError> {
+        let mut cfg = BrokerBenchConfig::default();
+        if let Some(v) = flag_value(args, "--threads")? {
+            cfg.threads = parse_threads(&v)?;
+        }
+        if let Some(v) = flag_value(args, "--duration-ms")? {
+            cfg.duration_ms = parse_duration_ms(&v)?;
+        }
+        if let Some(v) = flag_value(args, "--rho")? {
+            cfg.rho = parse_rho(&v)?;
+        }
+        Ok(cfg)
+    }
+
+    /// [`BrokerBenchConfig::try_from_args`] over the process arguments;
+    /// a malformed flag is an actionable error on stderr and exit code 2.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        match BrokerBenchConfig::try_from_args(&args) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Stable fingerprint of everything that determines the *predictions*
+    /// artifact; recorded in `broker_manifest.json` so `--resume` against a
+    /// different sweep recomputes instead of mixing configurations.
+    #[must_use]
+    pub fn fingerprint(&self, quality: &RunQuality) -> String {
+        let rho: Vec<String> = self.rho.iter().map(|r| format!("{r}")).collect();
+        format!(
+            "broker threads={} rho={} r={RESOURCES} mu_n={MU_N} mu_s={MU_S} | {}",
+            self.threads,
+            rho.join(","),
+            quality.fingerprint()
+        )
+    }
+
+    /// Per-worker arrival rate that offers `rho` of the pipeline's
+    /// saturation throughput.
+    #[must_use]
+    pub fn lambda_at(&self, rho: f64) -> f64 {
+        rho * saturation_capacity() / self.threads as f64
+    }
+}
+
+/// Saturation throughput of the benchmarked bus–resource pipeline,
+/// `µ_n · (1 − B(µ_n/µ_s, r))` — probed from the chain at vanishing load.
+#[must_use]
+pub fn saturation_capacity() -> f64 {
+    SharedBusChain::new(SharedBusParams {
+        processors: 1,
+        resources: RESOURCES as u32,
+        lambda: 1e-9,
+        mu_n: MU_N,
+        mu_s: MU_S,
+    })
+    .expect("stable at vanishing load")
+    .saturation_throughput()
+}
+
+/// Extracts `--flag v` / `--flag=v`; `Ok(None)` when absent, a typed error
+/// when the flag is present without a value.
+fn flag_value(args: &[String], flag: &'static str) -> Result<Option<String>, ConfigError> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return match it.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(ConfigError::Parse {
+                    input: flag.into(),
+                    expected: "a value after the flag",
+                }),
+            };
+        }
+        if let Some(v) = a.strip_prefix(flag) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Ok(Some(v.to_string()));
+            }
+        }
+    }
+    Ok(None)
+}
+
+fn parse_threads(v: &str) -> Result<usize, ConfigError> {
+    match v.parse::<usize>() {
+        Ok(n) if (1..=64).contains(&n) => Ok(n),
+        _ => Err(ConfigError::Parse {
+            input: format!("--threads {v}"),
+            expected: "a worker-thread count between 1 and 64, e.g. --threads 6",
+        }),
+    }
+}
+
+fn parse_duration_ms(v: &str) -> Result<u64, ConfigError> {
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(ConfigError::Parse {
+            input: format!("--duration-ms {v}"),
+            expected: "a positive measured duration in milliseconds, e.g. --duration-ms 400",
+        }),
+    }
+}
+
+fn parse_rho(v: &str) -> Result<Vec<f64>, ConfigError> {
+    let bad = || ConfigError::Parse {
+        input: format!("--rho {v}"),
+        expected: "a comma-separated list of loads in (0, 1), e.g. --rho 0.2,0.5,0.8",
+    };
+    let mut out = Vec::new();
+    for part in v.split(',') {
+        match part.trim().parse::<f64>() {
+            Ok(r) if r > 0.0 && r < 1.0 => out.push(r),
+            _ => return Err(bad()),
+        }
+    }
+    if out.is_empty() {
+        return Err(bad());
+    }
+    Ok(out)
+}
+
+/// The deterministic model-side artifact: chain curve + DES replication
+/// interval per ρ. DES points are computed on `quality.jobs()` workers;
+/// the result is byte-identical for every worker count (fixed per-point
+/// seeds, emission in ρ order).
+#[must_use]
+pub fn predictions_experiment(cfg: &BrokerBenchConfig, quality: &RunQuality) -> Experiment {
+    let p = cfg.threads;
+    let opts = SimOptions {
+        warmup_tasks: quality.warmup,
+        measured_tasks: quality.measured,
+    };
+    let reps = quality.reps.max(2);
+    let rows: Vec<(f64, f64, f64, f64)> = scope_map_indexed(cfg.rho.len(), quality.jobs(), |i| {
+        let rho = cfg.rho[i];
+        let lambda = cfg.lambda_at(rho);
+        let chain = SharedBusChain::new(SharedBusParams {
+            processors: p as u32,
+            resources: RESOURCES as u32,
+            lambda,
+            mu_n: MU_N,
+            mu_s: MU_S,
+        })
+        .expect("rho < 1 keeps the chain stable")
+        .solve()
+        .expect("solves")
+        .mean_queue_delay;
+        let workload = Workload::new(lambda, MU_N, MU_S).expect("valid workload");
+        let des = replicate(
+            &SimRng::new(quality.seed ^ (0xB0_5E_u64 + i as u64)),
+            reps,
+            0.95,
+            |_, mut rng| {
+                let mut net =
+                    SharedBusNetwork::new(1, p, RESOURCES as u32, Arbitration::RoundRobin);
+                simulate(&mut net, &workload, &opts, &mut rng).mean_delay()
+            },
+        );
+        let interval = des.interval.expect("at least two replications");
+        (rho, chain, interval.mean, interval.half_width)
+    });
+
+    let mut e = Experiment::new(
+        format!(
+            "Runtime broker predictions: {p} processors, {RESOURCES} resources, \
+             mu_n = {MU_N}, mu_s = {MU_S}"
+        ),
+        "rho (offered load / saturation throughput)",
+        "mean grant delay d (1/mu_s units)",
+    );
+    let mut chain_s = Series::new("chain (exact)");
+    let mut des_s = Series::new("DES (95% CI)");
+    for &(rho, chain, des_mean, hw) in &rows {
+        chain_s.push(rho, chain);
+        des_s.push_ci(rho, des_mean, hw);
+    }
+    e.add(chain_s);
+    e.add(des_s);
+    e
+}
+
+/// One ρ point of the measured leg.
+#[derive(Clone, Debug)]
+pub struct MeasuredPoint {
+    /// The offered-load dial.
+    pub rho: f64,
+    /// Measured mean grant delay in model units.
+    pub mean_delay: f64,
+    /// Iid standard error of the mean (understates near saturation).
+    pub std_error: f64,
+    /// Completed measured acquisitions.
+    pub measured: u64,
+    /// Grants per wall second over the measured window.
+    pub throughput: f64,
+    /// Exclusivity violations flagged by the independent ledger.
+    pub violations: u64,
+}
+
+/// Runs the measured leg: the SBUS broker under `cfg.threads` real worker
+/// threads at each ρ, `cfg.duration_ms` of measured wall time per point.
+#[must_use]
+pub fn measure(cfg: &BrokerBenchConfig, quality: &RunQuality) -> Vec<MeasuredPoint> {
+    let duration_units = (cfg.duration_ms as f64) * 1_000.0 / SCALE_US;
+    cfg.rho
+        .iter()
+        .map(|&rho| {
+            let mut lc = LoadConfig::new(cfg.lambda_at(rho), MU_S);
+            lc.mu_n = Some(MU_N);
+            lc.scale_us = SCALE_US;
+            lc.warmup = duration_units / 4.0;
+            lc.duration = duration_units;
+            lc.drain = 50.0;
+            lc.seed = quality.seed ^ 0xB70B ^ ((rho * 1_000.0) as u64);
+            let broker = SbusBroker::new(cfg.threads, RESOURCES);
+            let start = Instant::now();
+            let report = run_load(&broker, &lc);
+            let wall = start.elapsed().as_secs_f64();
+            MeasuredPoint {
+                rho,
+                mean_delay: report.mean_delay(),
+                std_error: report.delay.std_error(),
+                measured: report.measured(),
+                throughput: report.measured() as f64 / wall.max(1e-9),
+                violations: report.violations,
+            }
+        })
+        .collect()
+}
+
+/// Renders the measured leg next to the chain prediction.
+#[must_use]
+pub fn measured_table(cfg: &BrokerBenchConfig, points: &[MeasuredPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Runtime broker, measured: SBUS, {} threads, {RESOURCES} resources, \
+         {} ms per point (scale {SCALE_US} us/unit)",
+        cfg.threads, cfg.duration_ms
+    );
+    let _ = writeln!(
+        s,
+        "{:>6} {:>12} {:>10} {:>8} {:>12} {:>12} {:>10}",
+        "rho", "measured d", "iid se", "n", "grants/sec", "chain d", "violations"
+    );
+    for pt in points {
+        let chain = SharedBusChain::new(SharedBusParams {
+            processors: cfg.threads as u32,
+            resources: RESOURCES as u32,
+            lambda: cfg.lambda_at(pt.rho),
+            mu_n: MU_N,
+            mu_s: MU_S,
+        })
+        .expect("stable")
+        .solve()
+        .expect("solves")
+        .mean_queue_delay;
+        let _ = writeln!(
+            s,
+            "{:>6.2} {:>12.4} {:>10.4} {:>8} {:>12.0} {:>12.4} {:>10}",
+            pt.rho, pt.mean_delay, pt.std_error, pt.measured, pt.throughput, chain, pt.violations
+        );
+    }
+    s
+}
+
+/// Outcome of a [`run`] invocation.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Whether the predictions artifact was resumed from disk.
+    pub resumed_predictions: bool,
+    /// Total exclusivity violations across the measured sweep (must be 0).
+    pub violations: u64,
+}
+
+const PREDICTIONS: &str = "broker_predictions";
+const MEASURED: &str = "broker_measured";
+const MANIFEST: &str = "broker_manifest.json";
+
+/// Runs the benchmark end to end: predictions (resume-skippable, atomic,
+/// digest-recorded in `broker_manifest.json`) then the measured sweep
+/// (always recomputed — it is timing data). Artifacts land under
+/// [`output::output_dir`] and the manifest is checkpointed after each leg.
+///
+/// # Errors
+///
+/// [`HarnessError::Io`] when an artifact or the manifest cannot be
+/// persisted.
+pub fn run(
+    cfg: &BrokerBenchConfig,
+    quality: &RunQuality,
+    resume: bool,
+) -> Result<RunSummary, HarnessError> {
+    let dir = output::output_dir();
+    let fp = cfg.fingerprint(quality);
+    let manifest_path = dir.join(MANIFEST);
+    let mut manifest = Manifest::new(fp.clone());
+
+    let resumed_text = if resume {
+        resumable_predictions(&manifest_path, &fp, &dir)
+    } else {
+        None
+    };
+    let resumed_predictions = resumed_text.is_some();
+    let pred_entry = match resumed_text {
+        Some((text, entry)) => {
+            print!("{text}");
+            eprintln!("resume: {PREDICTIONS} digests match; skipped recompute");
+            entry
+        }
+        None => {
+            let start = Instant::now();
+            let e = predictions_experiment(cfg, quality);
+            let text = output::render(&e);
+            let csv = e.to_csv();
+            print!("{text}");
+            output::persist_in(&dir, PREDICTIONS, &text, Some(&csv))?;
+            ManifestEntry {
+                name: PREDICTIONS.into(),
+                status: EntryStatus::Ok,
+                digest: Some(fnv1a64(text.as_bytes())),
+                csv_digest: Some(fnv1a64(csv.as_bytes())),
+                duration_ms: start.elapsed().as_millis().try_into().unwrap_or(u64::MAX),
+                attempts: 1,
+                stalled: false,
+                error: None,
+            }
+        }
+    };
+    manifest.entries.push(pred_entry);
+    manifest.save(&manifest_path)?;
+
+    let start = Instant::now();
+    let points = measure(cfg, quality);
+    let text = measured_table(cfg, &points);
+    print!("{text}");
+    output::persist_in(&dir, MEASURED, &text, None)?;
+    manifest.entries.push(ManifestEntry {
+        name: MEASURED.into(),
+        status: EntryStatus::Ok,
+        digest: Some(fnv1a64(text.as_bytes())),
+        csv_digest: None,
+        duration_ms: start.elapsed().as_millis().try_into().unwrap_or(u64::MAX),
+        attempts: 1,
+        stalled: false,
+        error: None,
+    });
+    manifest.save(&manifest_path)?;
+
+    Ok(RunSummary {
+        resumed_predictions,
+        violations: points.iter().map(|p| p.violations).sum(),
+    })
+}
+
+/// When resuming: the on-disk predictions text, provided the manifest's
+/// fingerprint matches and both artifact digests still match the bytes on
+/// disk. Any mismatch (or a missing manifest) silently recomputes.
+fn resumable_predictions(
+    manifest_path: &Path,
+    fingerprint: &str,
+    dir: &Path,
+) -> Option<(String, ManifestEntry)> {
+    let manifest = match Manifest::load(manifest_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("resume: cold start ({e})");
+            return None;
+        }
+    };
+    if manifest.quality != fingerprint {
+        eprintln!("resume: different sweep/quality fingerprint; recomputing");
+        return None;
+    }
+    let entry = manifest.entry(PREDICTIONS)?.clone();
+    if entry.status != EntryStatus::Ok {
+        return None;
+    }
+    let text = std::fs::read_to_string(dir.join(format!("{PREDICTIONS}.txt"))).ok()?;
+    if Some(fnv1a64(text.as_bytes())) != entry.digest {
+        eprintln!("resume: {PREDICTIONS}.txt digest stale; recomputing");
+        return None;
+    }
+    let csv = std::fs::read_to_string(dir.join(format!("{PREDICTIONS}.csv"))).ok()?;
+    if Some(fnv1a64(csv.as_bytes())) != entry.csv_digest {
+        eprintln!("resume: {PREDICTIONS}.csv digest stale; recomputing");
+        return None;
+    }
+    Some((text, entry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_survive_an_empty_command_line() {
+        let cfg = BrokerBenchConfig::try_from_args(&args(&["bin"])).expect("defaults");
+        assert_eq!(cfg, BrokerBenchConfig::default());
+    }
+
+    #[test]
+    fn all_flags_parse_in_both_spellings() {
+        let cfg = BrokerBenchConfig::try_from_args(&args(&[
+            "bin",
+            "--threads",
+            "4",
+            "--duration-ms=250",
+            "--rho",
+            "0.3,0.7",
+        ]))
+        .expect("valid flags");
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.duration_ms, 250);
+        assert_eq!(cfg.rho, vec![0.3, 0.7]);
+        let eq = BrokerBenchConfig::try_from_args(&args(&["bin", "--threads=4"])).expect("eq");
+        assert_eq!(eq.threads, 4);
+    }
+
+    #[test]
+    fn malformed_threads_is_a_typed_actionable_error() {
+        for bad in ["zero", "0", "65", "-3", ""] {
+            let err = BrokerBenchConfig::try_from_args(&args(&["bin", "--threads", bad]))
+                .expect_err("must reject");
+            assert!(matches!(err, ConfigError::Parse { .. }));
+            assert!(
+                err.to_string().contains("--threads"),
+                "error must name the flag: {err}"
+            );
+        }
+        let err = BrokerBenchConfig::try_from_args(&args(&["bin", "--threads"]))
+            .expect_err("missing value");
+        assert!(err.to_string().contains("--threads"));
+    }
+
+    #[test]
+    fn malformed_duration_is_a_typed_actionable_error() {
+        for bad in ["soon", "0", "-1", "1.5"] {
+            let err = BrokerBenchConfig::try_from_args(&args(&["bin", "--duration-ms", bad]))
+                .expect_err("must reject");
+            assert!(matches!(err, ConfigError::Parse { .. }));
+            assert!(
+                err.to_string().contains("--duration-ms"),
+                "error must name the flag: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_rho_is_a_typed_actionable_error() {
+        for bad in ["", "1.0", "0", "0.5,nope", "0.2,,0.8", "-0.1"] {
+            let err = BrokerBenchConfig::try_from_args(&args(&["bin", "--rho", bad]))
+                .expect_err(&format!("must reject {bad:?}"));
+            assert!(matches!(err, ConfigError::Parse { .. }));
+            assert!(
+                err.to_string().contains("--rho"),
+                "error must name the flag: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_tracks_rho_through_the_pipeline_capacity() {
+        let cfg = BrokerBenchConfig::default();
+        let cap = saturation_capacity();
+        assert!(cap > 0.0 && cap < MU_N, "capacity below the bare bus rate");
+        let lam = cfg.lambda_at(0.5);
+        assert!((lam * cfg.threads as f64 - 0.5 * cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_are_deterministic_across_jobs() {
+        let cfg = BrokerBenchConfig {
+            rho: vec![0.2, 0.5],
+            ..BrokerBenchConfig::default()
+        };
+        let q = RunQuality {
+            warmup: 100,
+            measured: 500,
+            reps: 2,
+            ..RunQuality::quick()
+        };
+        let a = predictions_experiment(&cfg, &RunQuality { jobs: 1, ..q });
+        let b = predictions_experiment(&cfg, &RunQuality { jobs: 4, ..q });
+        assert_eq!(
+            a.to_csv(),
+            b.to_csv(),
+            "worker count must not change results"
+        );
+        assert_eq!(output::render(&a), output::render(&b));
+    }
+
+    #[test]
+    fn fingerprint_tracks_sweep_and_quality() {
+        let cfg = BrokerBenchConfig::default();
+        let q = RunQuality::quick();
+        let base = cfg.fingerprint(&q);
+        let other = BrokerBenchConfig {
+            threads: 5,
+            ..cfg.clone()
+        };
+        assert_ne!(base, other.fingerprint(&q));
+        assert_ne!(base, cfg.fingerprint(&RunQuality { seed: 7, ..q }));
+        // jobs never changes artifacts, so it must not change the print.
+        assert_eq!(base, cfg.fingerprint(&RunQuality { jobs: 9, ..q }));
+    }
+}

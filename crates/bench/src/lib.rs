@@ -16,6 +16,7 @@
 //! | `fig11` | the distributed-scheduling walkthrough |
 //! | `mapping_example` | the Section II blocking example |
 //! | `ablation_arbiter` / `ablation_stagger` | design-choice ablations |
+//! | `broker_bench` | runtime-broker sweep cross-checked against the models |
 //! | `all` | everything above in sequence |
 //!
 //! Micro-benchmarks (`cargo bench -p rsin-bench`, built on the in-tree
@@ -29,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod broker_bench;
 pub mod figures;
 pub mod harness;
 pub mod manifest;

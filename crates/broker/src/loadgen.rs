@@ -1,0 +1,575 @@
+//! Closed-loop load generation against a [`Broker`], with sharded
+//! statistics and an independent grant audit.
+//!
+//! [`run_load`] replays the paper's task lifecycle in real time: each of
+//! the broker's workers is an OS thread playing one processor. The thread
+//! draws a Poisson arrival schedule from its own deterministic
+//! [`SimRng`] stream and, for every arrival, blocks in
+//! [`Broker::acquire`], holds the circuit for an exponential transmission,
+//! then hands the grant to a **reaper** thread that releases it after the
+//! exponential service interval. Offloading the release is what makes the
+//! semantics match the DES in `rsin-core`: there a processor is occupied
+//! only while queueing and transmitting — service overlaps with the
+//! processor's next request — so the worker thread must be free to start
+//! its next acquire while earlier grants are still in service.
+//!
+//! Grant delay is measured from the *scheduled* arrival instant (so a
+//! backlogged processor correctly charges head-of-line waiting to the
+//! tasks behind it, exactly as the DES does) and recorded in per-worker
+//! [`Welford`]/[`Histogram`] shards that are merged losslessly after the
+//! run — the merge operations that `tests/property.rs` proves equivalent
+//! to single-stream accumulation.
+//!
+//! Model time maps to wall time through [`LoadConfig::scale_us`]
+//! (microseconds per model unit). All timed waits finish with a short spin
+//! ([`sleep_until`]) so scheduling overshoot stays in the microseconds;
+//! the residual measurement floor — a blocked acquire re-polls at worst
+//! every [`Waiter::MAX_SLEEP`](crate::Waiter::MAX_SLEEP) — is budgeted
+//! explicitly by the cross-validation tolerances (DESIGN.md §8).
+//!
+//! [`run_saturated`] is the companion closed-loop driver for fairness and
+//! safety work: every worker re-requests as fast as it can, and the report
+//! exposes per-worker grant counts and worst-case waits.
+
+use crate::{Broker, BrokerGrant, RunControl, WorkerId, VACANT};
+use rsin_des::stats::{Histogram, Welford};
+use rsin_des::SimRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Final stretch of every timed wait that is spun, not slept, so wall
+/// targets are hit with microsecond accuracy even though `thread::sleep`
+/// overshoots by scheduler quanta.
+const SPIN_WINDOW: Duration = Duration::from_micros(250);
+
+/// Sleeps until `target`, finishing with a bounded spin for accuracy.
+fn sleep_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        let Some(remaining) = target.checked_duration_since(now) else {
+            return;
+        };
+        if remaining > SPIN_WINDOW {
+            std::thread::sleep(remaining - SPIN_WINDOW);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Offered load and run-length parameters for [`run_load`], in the
+/// paper's model units.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Poisson arrival rate per worker.
+    pub lambda: f64,
+    /// Transmission rate µ_n; `None` is the µ_n → ∞ degenerate limit
+    /// (the circuit is released the instant it is granted).
+    pub mu_n: Option<f64>,
+    /// Service rate µ_s.
+    pub mu_s: f64,
+    /// Wall microseconds per model time unit.
+    pub scale_us: f64,
+    /// Model time discarded while the system warms up.
+    pub warmup: f64,
+    /// Model time measured after warm-up.
+    pub duration: f64,
+    /// Model time allowed after the measured window for queued tasks to
+    /// drain before stragglers are aborted.
+    pub drain: f64,
+    /// Root seed; worker `w` draws from the derived stream `w`.
+    pub seed: u64,
+    /// Bins of the per-worker delay histograms.
+    pub hist_bins: usize,
+    /// Upper edge of the delay histograms, in model units.
+    pub hist_upper: f64,
+}
+
+impl LoadConfig {
+    /// A config with the workspace's defaults for everything but the
+    /// rates: 4 ms per model unit, 50 warm-up units, 200 measured units.
+    #[must_use]
+    pub fn new(lambda: f64, mu_s: f64) -> Self {
+        LoadConfig {
+            lambda,
+            mu_n: None,
+            mu_s,
+            scale_us: 4_000.0,
+            warmup: 50.0,
+            duration: 200.0,
+            drain: 30.0,
+            seed: 1,
+            hist_bins: 64,
+            hist_upper: 8.0,
+        }
+    }
+
+    fn scale_secs(&self) -> f64 {
+        self.scale_us * 1e-6
+    }
+
+    fn wall_after(&self, model_t: f64) -> Duration {
+        Duration::from_secs_f64(model_t * self.scale_secs())
+    }
+}
+
+/// One worker thread's statistics, recorded without any cross-thread
+/// sharing and merged after the run.
+#[derive(Clone, Debug)]
+pub struct WorkerShard {
+    /// Grant delays (model units) of tasks arriving in the measured window.
+    pub delay: Welford,
+    /// The same delays, binned.
+    pub hist: Histogram,
+    /// Grants won over the whole run, warm-up included.
+    pub grants: u64,
+    /// Tasks scheduled inside the measured window.
+    pub offered: u64,
+    /// Acquires aborted by the drain deadline.
+    pub abandoned: u64,
+}
+
+impl WorkerShard {
+    fn new(cfg: &LoadConfig) -> Self {
+        WorkerShard {
+            delay: Welford::new(),
+            hist: Histogram::new(cfg.hist_bins, cfg.hist_upper),
+            grants: 0,
+            offered: 0,
+            abandoned: 0,
+        }
+    }
+}
+
+/// Merged output of one [`run_load`] run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// All measured grant delays, in model units.
+    pub delay: Welford,
+    /// The same delays, binned.
+    pub hist: Histogram,
+    /// Grants won over the whole run, warm-up included.
+    pub grants: u64,
+    /// Tasks scheduled inside the measured window.
+    pub offered: u64,
+    /// Acquires aborted by the drain deadline.
+    pub abandoned: u64,
+    /// Exclusivity violations detected by the [`Ledger`]; zero for a
+    /// correct broker.
+    pub violations: u64,
+    /// The per-worker shards the totals were merged from.
+    pub shards: Vec<WorkerShard>,
+}
+
+impl LoadReport {
+    /// Mean grant delay in model units — the paper's `d`.
+    #[must_use]
+    pub fn mean_delay(&self) -> f64 {
+        self.delay.mean()
+    }
+
+    /// Measured tasks whose delay was recorded.
+    #[must_use]
+    pub fn measured(&self) -> u64 {
+        self.delay.count()
+    }
+}
+
+/// Output of one [`run_saturated`] run.
+#[derive(Clone, Debug)]
+pub struct SaturatedReport {
+    /// Grants won by each worker.
+    pub grants: Vec<u64>,
+    /// Longest single acquire wait each worker observed.
+    pub max_wait: Vec<Duration>,
+    /// Exclusivity violations detected by the [`Ledger`].
+    pub violations: u64,
+}
+
+impl SaturatedReport {
+    /// Total grants across all workers.
+    #[must_use]
+    pub fn total_grants(&self) -> u64 {
+        self.grants.iter().sum()
+    }
+}
+
+/// Independent audit of grant exclusivity.
+///
+/// The ledger mirrors every claim and vacate in its own atomic array,
+/// *outside* the broker under test: if a broken broker ever grants one
+/// resource to two holders, the second [`Ledger::claim`] finds the slot
+/// occupied and counts a violation instead of trusting the broker's own
+/// bookkeeping.
+#[derive(Debug)]
+pub struct Ledger {
+    slots: Vec<AtomicU64>,
+    violations: AtomicU64,
+}
+
+impl Ledger {
+    /// A ledger for `resources` slots, all vacant.
+    #[must_use]
+    pub fn new(resources: usize) -> Self {
+        Ledger {
+            slots: (0..resources).map(|_| AtomicU64::new(VACANT)).collect(),
+            violations: AtomicU64::new(0),
+        }
+    }
+
+    /// Records that `who` was granted `resource`.
+    pub fn claim(&self, resource: usize, who: WorkerId) {
+        if self.slots[resource]
+            .compare_exchange(VACANT, who as u64, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records that `who` released `resource`.
+    pub fn vacate(&self, resource: usize, who: WorkerId) {
+        if self.slots[resource]
+            .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Violations observed so far.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+
+    /// Slots currently marked held.
+    #[must_use]
+    pub fn held(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) != VACANT)
+            .count()
+    }
+}
+
+/// A grant awaiting its service-completion release.
+#[derive(Debug)]
+struct PendingRelease {
+    due: Instant,
+    who: WorkerId,
+    grant: BrokerGrant,
+}
+
+impl PartialEq for PendingRelease {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.who == other.who
+    }
+}
+impl Eq for PendingRelease {}
+impl PartialOrd for PendingRelease {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingRelease {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.who).cmp(&(other.due, other.who))
+    }
+}
+
+/// The reaper's shared queue of pending releases.
+#[derive(Debug, Default)]
+struct ReaperQueue {
+    heap: BinaryHeap<Reverse<PendingRelease>>,
+    closed: bool,
+}
+
+/// Release scheduler shared between the workers (producers) and the
+/// reaper thread (consumer).
+#[derive(Debug, Default)]
+struct Reaper {
+    queue: Mutex<ReaperQueue>,
+    wake: Condvar,
+}
+
+impl Reaper {
+    fn push(&self, due: Instant, who: WorkerId, grant: BrokerGrant) {
+        let mut q = self.queue.lock().expect("reaper lock");
+        q.heap.push(Reverse(PendingRelease { due, who, grant }));
+        self.wake.notify_one();
+    }
+
+    fn close(&self) {
+        self.queue.lock().expect("reaper lock").closed = true;
+        self.wake.notify_one();
+    }
+
+    /// Runs until closed *and* drained, releasing each grant at its due
+    /// instant (immediately once closed — the run is over).
+    fn run<B: Broker + ?Sized>(&self, broker: &B, ledger: &Ledger) {
+        let mut q = self.queue.lock().expect("reaper lock");
+        loop {
+            let now = Instant::now();
+            match q.heap.peek() {
+                Some(Reverse(top)) if top.due <= now || q.closed => {
+                    let Reverse(p) = q.heap.pop().expect("peeked");
+                    drop(q);
+                    ledger.vacate(p.grant.resource, p.who);
+                    broker.release(p.who, p.grant);
+                    q = self.queue.lock().expect("reaper lock");
+                }
+                Some(Reverse(top)) => {
+                    let wait = top.due - now;
+                    if wait > SPIN_WINDOW {
+                        let (guard, _) = self
+                            .wake
+                            .wait_timeout(q, wait - SPIN_WINDOW)
+                            .expect("reaper lock");
+                        q = guard;
+                    } else {
+                        let due = top.due;
+                        drop(q);
+                        sleep_until(due);
+                        q = self.queue.lock().expect("reaper lock");
+                    }
+                }
+                None if q.closed => return,
+                None => q = self.wake.wait(q).expect("reaper lock"),
+            }
+        }
+    }
+}
+
+/// One worker thread: replays its arrival schedule against the broker.
+fn drive_worker<B: Broker + ?Sized>(
+    broker: &B,
+    ledger: &Ledger,
+    reaper: &Reaper,
+    ctl: &RunControl,
+    cfg: &LoadConfig,
+    epoch: Instant,
+    who: WorkerId,
+) -> WorkerShard {
+    let mut rng = SimRng::new(cfg.seed).derive(who as u64);
+    let mut shard = WorkerShard::new(cfg);
+    let horizon = cfg.warmup + cfg.duration;
+    let mut t = 0.0_f64;
+    loop {
+        t += rng.exponential(cfg.lambda);
+        if t >= horizon {
+            break;
+        }
+        let measured = t >= cfg.warmup;
+        if measured {
+            shard.offered += 1;
+        }
+        let scheduled = epoch + cfg.wall_after(t);
+        sleep_until(scheduled);
+        let Some(grant) = broker.acquire(who, ctl) else {
+            shard.abandoned += 1;
+            break;
+        };
+        let waited = Instant::now().saturating_duration_since(scheduled);
+        ledger.claim(grant.resource, who);
+        shard.grants += 1;
+        if measured {
+            let d = waited.as_secs_f64() / cfg.scale_secs();
+            shard.delay.push(d);
+            shard.hist.record(d);
+        }
+        if let Some(mu_n) = cfg.mu_n {
+            let tx = rng.exponential(mu_n);
+            sleep_until(Instant::now() + cfg.wall_after(tx));
+        }
+        broker.end_transmission(who, grant);
+        let svc = rng.exponential(cfg.mu_s);
+        reaper.push(Instant::now() + cfg.wall_after(svc), who, grant);
+    }
+    shard
+}
+
+/// Drives `broker` with open-loop Poisson traffic from one thread per
+/// worker, returning merged delay statistics.
+///
+/// The run is self-limiting: once the schedule horizon plus
+/// [`LoadConfig::drain`] has elapsed on the wall clock, the shared
+/// [`RunControl`] is stopped and any still-blocked acquire unwinds as an
+/// abandonment — a hung broker fails the run's assertions instead of
+/// hanging the process.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (e.g. a broker protocol assertion
+/// fires) or if the config's rates are not positive.
+pub fn run_load<B: Broker + ?Sized>(broker: &B, cfg: &LoadConfig) -> LoadReport {
+    assert!(cfg.lambda > 0.0, "arrival rate must be positive");
+    assert!(cfg.mu_s > 0.0, "service rate must be positive");
+    assert!(cfg.scale_us > 0.0, "time scale must be positive");
+    let workers = broker.workers();
+    let ledger = Ledger::new(broker.resources());
+    let reaper = Reaper::default();
+    let ctl = RunControl::new();
+    let epoch = Instant::now() + Duration::from_millis(10);
+    let deadline = epoch + cfg.wall_after(cfg.warmup + cfg.duration + cfg.drain);
+
+    let mut shards: Vec<Option<WorkerShard>> = (0..workers).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let reaper_handle = s.spawn(|| reaper.run(broker, &ledger));
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (ledger, reaper, ctl, cfg) = (&ledger, &reaper, &ctl, &cfg);
+                s.spawn(move || drive_worker(broker, ledger, reaper, ctl, cfg, epoch, w))
+            })
+            .collect();
+        sleep_until(deadline);
+        ctl.stop();
+        for (w, h) in handles.into_iter().enumerate() {
+            shards[w] = Some(h.join().expect("worker panicked"));
+        }
+        reaper.close();
+        reaper_handle.join().expect("reaper panicked");
+    });
+
+    let shards: Vec<WorkerShard> = shards.into_iter().map(|s| s.expect("joined")).collect();
+    let mut delay = Welford::new();
+    let mut hist = Histogram::new(cfg.hist_bins, cfg.hist_upper);
+    let (mut grants, mut offered, mut abandoned) = (0, 0, 0);
+    for s in &shards {
+        delay.merge(&s.delay);
+        hist.merge(&s.hist);
+        grants += s.grants;
+        offered += s.offered;
+        abandoned += s.abandoned;
+    }
+    LoadReport {
+        delay,
+        hist,
+        grants,
+        offered,
+        abandoned,
+        violations: ledger.violations(),
+        shards,
+    }
+}
+
+/// Drives `broker` at saturation: every worker loops acquire → hold →
+/// release with zero think time for `run_for`, then the run is stopped.
+///
+/// The per-worker grant counts and worst-case waits are what the fairness
+/// regression asserts on: fixed-priority arbitration starves the
+/// highest-index worker here, token rotation does not.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_saturated<B: Broker + ?Sized>(
+    broker: &B,
+    hold: Duration,
+    run_for: Duration,
+) -> SaturatedReport {
+    let workers = broker.workers();
+    let ledger = Ledger::new(broker.resources());
+    let ctl = RunControl::new();
+    let mut grants = vec![0u64; workers];
+    let mut max_wait = vec![Duration::ZERO; workers];
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (ledger, ctl) = (&ledger, &ctl);
+                s.spawn(move || {
+                    let mut won = 0u64;
+                    let mut worst = Duration::ZERO;
+                    loop {
+                        let started = Instant::now();
+                        let Some(grant) = broker.acquire(w, ctl) else {
+                            break;
+                        };
+                        worst = worst.max(started.elapsed());
+                        ledger.claim(grant.resource, w);
+                        won += 1;
+                        std::thread::sleep(hold);
+                        broker.end_transmission(w, grant);
+                        ledger.vacate(grant.resource, w);
+                        broker.release(w, grant);
+                    }
+                    (won, worst)
+                })
+            })
+            .collect();
+        std::thread::sleep(run_for);
+        ctl.stop();
+        for (w, h) in handles.into_iter().enumerate() {
+            let (won, worst) = h.join().expect("worker panicked");
+            grants[w] = won;
+            max_wait[w] = worst;
+        }
+    });
+
+    SaturatedReport {
+        grants,
+        max_wait,
+        violations: ledger.violations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{XbarBroker, XbarPolicy};
+
+    #[test]
+    fn ledger_counts_double_claims_and_foreign_vacates() {
+        let l = Ledger::new(2);
+        l.claim(0, 3);
+        assert_eq!(l.held(), 1);
+        l.claim(0, 4); // double grant
+        assert_eq!(l.violations(), 1);
+        l.vacate(0, 5); // not the holder
+        assert_eq!(l.violations(), 2);
+        l.vacate(0, 3);
+        assert_eq!(l.held(), 0);
+        assert_eq!(l.violations(), 2);
+    }
+
+    #[test]
+    fn sleep_until_is_accurate_to_the_spin_window() {
+        let target = Instant::now() + Duration::from_millis(5);
+        sleep_until(target);
+        let over = Instant::now().saturating_duration_since(target);
+        assert!(over < Duration::from_millis(2), "overshot by {over:?}");
+    }
+
+    #[test]
+    fn load_run_is_audited_and_self_limiting() {
+        let broker = XbarBroker::new(2, 2, XbarPolicy::TokenRotation);
+        let mut cfg = LoadConfig::new(0.4, 2.0);
+        cfg.scale_us = 500.0;
+        cfg.warmup = 10.0;
+        cfg.duration = 60.0;
+        let report = run_load(&broker, &cfg);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.abandoned, 0, "light load must drain fully");
+        assert_eq!(report.measured(), report.offered);
+        assert!(report.measured() > 0, "some tasks must be measured");
+        assert!(report.mean_delay() >= 0.0);
+        assert_eq!(report.hist.count(), report.measured());
+        assert_eq!(report.shards.len(), 2);
+    }
+
+    #[test]
+    fn saturated_run_counts_every_worker() {
+        let broker = XbarBroker::new(3, 1, XbarPolicy::TokenRotation);
+        let report = run_saturated(
+            &broker,
+            Duration::from_micros(300),
+            Duration::from_millis(120),
+        );
+        assert_eq!(report.violations, 0);
+        assert!(report.total_grants() > 10, "saturation must make progress");
+    }
+}

@@ -1,0 +1,292 @@
+//! The circuit-switched Omega network at runtime: stage-by-stage link
+//! claiming along the destination-tag route, with claim-or-rollback
+//! conflict resolution.
+//!
+//! Section V's Omega network is blocking: a circuit occupies one output
+//! link per stage, and two circuits conflict exactly when they share a
+//! link. The runtime makes every link a claim word and builds a circuit
+//! the way the hardware's wave does — stage by stage in route order:
+//!
+//! 1. Claim a free resource (the destination port) by CAS on its owner
+//!    word; the destination-tag route from the worker's source port is then
+//!    fully determined, so the grant needs no extra bookkeeping.
+//! 2. Claim the route's links in stage order. A link that is already taken
+//!    means a blocking conflict with a live circuit: **roll back** every
+//!    link claimed so far *and* the resource, then wait and retry from
+//!    scratch.
+//!
+//! A worker therefore never waits while holding a partial path — the claim
+//! attempt either completes in a bounded number of CAS operations or
+//! releases everything before sleeping. Circular wait is impossible and
+//! the protocol cannot deadlock; the blocked worker's retry succeeds once
+//! the conflicting circuit's transmission ends (paths are freed by
+//! [`Broker::end_transmission`], matching the model where the circuit is
+//! held only for the transmission stage).
+//!
+//! ## No fairness guarantee
+//!
+//! Unlike the SBUS ticket queue and the XBAR rotating token, claim-or-retry
+//! carries **no queue-order state**: who wins a contended resource is
+//! whichever retry happens to land first. Under sustained saturation a
+//! worker that just released can re-win the race against sleeping waiters
+//! indefinitely, so starvation is possible — the runtime analogue of a
+//! blocking MIN resolving conflicts by drop-and-retry, which is
+//! probabilistically fair only while contention is transient. Runs below
+//! saturation drain cleanly (see `tests/stress.rs`); fairness under
+//! saturation is exactly what the paper's token-style mechanisms exist to
+//! provide, and this crate implements that fix on the crossbar
+//! ([`crate::XbarPolicy::TokenRotation`]), not here.
+
+use crate::{Broker, BrokerGrant, RunControl, Waiter, WorkerId, VACANT};
+use rsin_topology::{Multistage, OmegaTopology};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Runtime Omega-network broker: `workers` source ports sharing
+/// `resources` destination ports through a `size × size` Omega fabric
+/// (`size` = the smallest power of two covering both).
+///
+/// # Examples
+///
+/// ```
+/// use rsin_broker::{Broker, OmegaBroker, RunControl};
+///
+/// let broker = OmegaBroker::new(4, 2);
+/// let ctl = RunControl::new();
+/// let grant = broker.acquire(3, &ctl).expect("uncontended");
+/// broker.end_transmission(3, grant); // frees the circuit
+/// broker.release(3, grant); // frees the resource
+/// ```
+#[derive(Debug)]
+pub struct OmegaBroker {
+    workers: usize,
+    topo: OmegaTopology,
+    /// Per-resource owner words (`VACANT` or the holder's `WorkerId`).
+    owners: Vec<AtomicU64>,
+    /// Per-link claim words, `links[stage * size + wire]`.
+    links: Vec<AtomicU64>,
+}
+
+impl OmegaBroker {
+    /// Creates a broker over the smallest Omega fabric that fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `resources` is zero.
+    #[must_use]
+    pub fn new(workers: usize, resources: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(resources > 0, "need at least one resource");
+        let size = workers.max(resources).next_power_of_two().max(2);
+        let topo = OmegaTopology::new(size).expect("size is a power of two >= 2");
+        let n_links = size * topo.stages() as usize;
+        OmegaBroker {
+            workers,
+            topo,
+            owners: (0..resources).map(|_| AtomicU64::new(VACANT)).collect(),
+            links: (0..n_links).map(|_| AtomicU64::new(VACANT)).collect(),
+        }
+    }
+
+    /// Port count of the underlying fabric (a power of two).
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.topo.size()
+    }
+
+    fn link(&self, stage: u32, wire: usize) -> &AtomicU64 {
+        &self.links[stage as usize * self.topo.size() + wire]
+    }
+
+    /// Claims the whole route `who → resource` in stage order; on a
+    /// conflict rolls back every link claimed so far and reports failure.
+    fn try_claim_path(&self, who: WorkerId, resource: usize) -> bool {
+        let route = self.topo.route(who, resource);
+        for (i, l) in route.links.iter().enumerate() {
+            let claimed = self
+                .link(l.stage, l.wire)
+                .compare_exchange(VACANT, who as u64, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok();
+            if !claimed {
+                for held in route.links[..i].iter().rev() {
+                    self.link(held.stage, held.wire)
+                        .store(VACANT, Ordering::Release);
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Frees the circuit `who → resource` (reverse stage order).
+    fn free_path(&self, who: WorkerId, resource: usize) {
+        let route = self.topo.route(who, resource);
+        for l in route.links.iter().rev() {
+            let ok = self
+                .link(l.stage, l.wire)
+                .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok();
+            debug_assert!(ok, "freed a link worker {who} did not hold");
+        }
+    }
+}
+
+impl Broker for OmegaBroker {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn resources(&self) -> usize {
+        self.owners.len()
+    }
+
+    fn acquire(&self, who: WorkerId, ctl: &RunControl) -> Option<BrokerGrant> {
+        debug_assert!(who < self.workers, "worker id out of range");
+        let r = self.owners.len();
+        let mut waiter = Waiter::new();
+        let mut attempt = 0usize;
+        loop {
+            if ctl.is_stopped() {
+                return None;
+            }
+            // Rotate the scan origin per worker and per attempt so
+            // concurrent claimers fan out over the destination ports.
+            let start = (who + attempt) % r;
+            attempt = attempt.wrapping_add(1);
+            let mut progressed = false;
+            for step in 0..r {
+                let res = (start + step) % r;
+                if self.owners[res].load(Ordering::Relaxed) != VACANT {
+                    continue;
+                }
+                if self.owners[res]
+                    .compare_exchange(VACANT, who as u64, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+                if self.try_claim_path(who, res) {
+                    return Some(BrokerGrant { resource: res });
+                }
+                // Blocked in the fabric: give the resource back before
+                // waiting so we never hold anything while blocked.
+                let released = self.owners[res]
+                    .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok();
+                debug_assert!(released, "owner word changed under the claimant");
+                progressed = true;
+            }
+            if progressed {
+                waiter.reset();
+            }
+            waiter.wait();
+        }
+    }
+
+    fn end_transmission(&self, who: WorkerId, grant: BrokerGrant) {
+        self.free_path(who, grant.resource);
+    }
+
+    fn release(&self, who: WorkerId, grant: BrokerGrant) {
+        let ok = self.owners[grant.resource]
+            .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok();
+        assert!(
+            ok,
+            "release of resource {} by worker {who} who does not hold it",
+            grant.resource
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn held_links(b: &OmegaBroker) -> usize {
+        b.links
+            .iter()
+            .filter(|l| l.load(Ordering::Relaxed) != VACANT)
+            .count()
+    }
+
+    #[test]
+    fn grant_holds_the_circuit_until_end_of_transmission() {
+        let b = OmegaBroker::new(4, 4);
+        let ctl = RunControl::new();
+        let g = b.acquire(3, &ctl).expect("free fabric");
+        assert_eq!(held_links(&b), b.topo.stages() as usize, "one link/stage");
+        b.end_transmission(3, g);
+        assert_eq!(held_links(&b), 0, "circuit freed, resource kept");
+        assert_ne!(b.owners[g.resource].load(Ordering::Relaxed), VACANT);
+        b.release(3, g);
+        assert_eq!(b.owners[g.resource].load(Ordering::Relaxed), VACANT);
+    }
+
+    #[test]
+    fn conflicting_claim_rolls_back_completely() {
+        // Find a blocking pair in the 8-port fabric: distinct sources and
+        // distinct destinations whose routes share a link.
+        let b = OmegaBroker::new(8, 8);
+        let mut pair = None;
+        'outer: for s1 in 0..8 {
+            for s2 in 0..8 {
+                for d1 in 0..8 {
+                    for d2 in 0..8 {
+                        if s1 == s2 || d1 == d2 {
+                            continue;
+                        }
+                        let r1 = b.topo.route(s1, d1);
+                        let r2 = b.topo.route(s2, d2);
+                        if r1.conflicts_with(&r2) {
+                            pair = Some((s1, d1, s2, d2));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        let (s1, d1, s2, d2) = pair.expect("an 8-port Omega network is blocking");
+        assert!(b.try_claim_path(s1, d1), "empty fabric");
+        let before = held_links(&b);
+        assert!(!b.try_claim_path(s2, d2), "routes conflict");
+        assert_eq!(held_links(&b), before, "failed claim left no residue");
+        b.free_path(s1, d1);
+        assert!(b.try_claim_path(s2, d2), "claimable once the blocker frees");
+        b.free_path(s2, d2);
+        assert_eq!(held_links(&b), 0);
+    }
+
+    #[test]
+    fn blocked_acquire_unwinds_on_stop() {
+        let b = OmegaBroker::new(2, 1);
+        let ctl = RunControl::new();
+        let g = b.acquire(0, &ctl).expect("free");
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| b.acquire(1, &ctl));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(!handle.is_finished(), "must block: the resource is held");
+            ctl.stop();
+            assert_eq!(handle.join().expect("no panic"), None);
+        });
+        b.end_transmission(0, g);
+        b.release(0, g);
+        assert_eq!(held_links(&b), 0);
+    }
+
+    #[test]
+    fn fabric_covers_workers_and_resources() {
+        assert_eq!(OmegaBroker::new(6, 3).ports(), 8);
+        assert_eq!(OmegaBroker::new(1, 1).ports(), 2);
+        assert_eq!(OmegaBroker::new(4, 4).ports(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn foreign_release_is_a_protocol_violation() {
+        let b = OmegaBroker::new(2, 1);
+        let ctl = RunControl::new();
+        let g = b.acquire(0, &ctl).expect("free");
+        b.end_transmission(0, g);
+        b.release(1, g);
+    }
+}

@@ -1,0 +1,276 @@
+//! The shared-bus discipline at runtime: a broadcast free-count status
+//! word plus a ticket arbiter.
+//!
+//! Section III's single bus serializes transmissions; which waiting
+//! processor transmits next is the arbiter's choice. The hardware's daisy
+//! chain favors low indices, and the paper points at POLYP's circulating
+//! token as the fair fix — the runtime equivalent of a circulating grant is
+//! a **ticket queue**: every acquire takes the next ticket, the bus serves
+//! tickets in order, and the mean delay is unchanged (service is
+//! exponential and the bus is work-conserving, so the mean is
+//! discipline-insensitive — exactly why the [`SharedBusChain`] oracle does
+//! not need to know which arbiter the runtime uses).
+//!
+//! [`SharedBusChain`]: ../rsin_queueing/struct.SharedBusChain.html
+//!
+//! ## Protocol
+//!
+//! - `free` is the broadcast status word every processor snoops: the number
+//!   of currently free resources. A releaser vacates its resource slot
+//!   (`Release` store) *before* incrementing `free` (`Release` RMW); an
+//!   acquirer decrements `free` (`Acquire` RMW) *before* scanning for a
+//!   slot. The counter therefore never exceeds the number of vacant slots,
+//!   so a successful decrement is a reservation: the slot scan below it
+//!   cannot fail permanently.
+//! - `serving`/`next_ticket` implement the bus itself. The ticket holder
+//!   keeps the bus through its transmission phase;
+//!   [`SbusBroker::end_transmission`] passes the bus on (`Release`
+//!   increment, matching the waiters' `Acquire` loads).
+//!
+//! Ordering matters. Section III's bus carries transmissions, nothing
+//! else, and a processor is granted only when the bus AND a resource are
+//! free at the same instant. The runtime reproduces that with a
+//! snoop → ticket → confirm sequence: no bus request while the status word
+//! reads zero; the reservation is confirmed only at bus-grant time; and a
+//! lost race passes the bus straight on and retries with backoff. The two
+//! tempting simplifications are both measurably wrong against the
+//! chain/DES predictions — waiting for a resource *while holding* the bus
+//! blocks every other transmission behind a busy pool, and reserving
+//! *before* queueing for the bus parks resources idle for the whole bus
+//! wait (which destabilizes the system well before the model says it
+//! should saturate). The cross-validation suite is what polices this
+//! equivalence.
+//!
+//! An acquire aborted by [`RunControl`] still advances `serving` once its
+//! turn comes, so a stopping run unwinds the whole ticket queue instead of
+//! wedging it.
+
+use crate::{Broker, BrokerGrant, RunControl, Waiter, WorkerId, VACANT};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Runtime shared-bus broker: one bus, `workers` processors, `resources`
+/// identical resources.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_broker::{Broker, RunControl, SbusBroker};
+///
+/// let broker = SbusBroker::new(2, 1);
+/// let ctl = RunControl::new();
+/// let grant = broker.acquire(0, &ctl).expect("uncontended");
+/// broker.end_transmission(0, grant);
+/// broker.release(0, grant);
+/// ```
+#[derive(Debug)]
+pub struct SbusBroker {
+    workers: usize,
+    /// Broadcast free-resource count (the status word of Section III).
+    free: AtomicU64,
+    /// Next ticket to hand out.
+    next_ticket: AtomicU64,
+    /// Ticket currently owning the bus.
+    serving: AtomicU64,
+    /// Per-resource owner words (`VACANT` or the holder's `WorkerId`).
+    slots: Vec<AtomicU64>,
+}
+
+impl SbusBroker {
+    /// Creates a broker with all resources free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `resources` is zero.
+    #[must_use]
+    pub fn new(workers: usize, resources: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(resources > 0, "need at least one resource");
+        SbusBroker {
+            workers,
+            free: AtomicU64::new(resources as u64),
+            next_ticket: AtomicU64::new(0),
+            serving: AtomicU64::new(0),
+            slots: (0..resources).map(|_| AtomicU64::new(VACANT)).collect(),
+        }
+    }
+
+    /// Current value of the broadcast status word.
+    #[must_use]
+    pub fn free_count(&self) -> u64 {
+        self.free.load(Ordering::Acquire)
+    }
+
+    /// Tries to reserve one resource by decrementing the status word.
+    fn try_reserve(&self) -> bool {
+        let mut f = self.free.load(Ordering::Acquire);
+        while f > 0 {
+            match self
+                .free
+                .compare_exchange_weak(f, f - 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return true,
+                Err(now) => f = now,
+            }
+        }
+        false
+    }
+}
+
+impl Broker for SbusBroker {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn resources(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn acquire(&self, who: WorkerId, ctl: &RunControl) -> Option<BrokerGrant> {
+        debug_assert!(who < self.workers, "worker id out of range");
+        let mut waiter = Waiter::new();
+        loop {
+            // Phase 1: snoop the broadcast status word; don't even request
+            // the bus while it reads zero (the paper's retry-on-status-
+            // change). Only the snoop is free-running — everything past it
+            // is one bounded bus turn.
+            if ctl.is_stopped() {
+                return None;
+            }
+            if self.free.load(Ordering::Acquire) == 0 {
+                waiter.wait();
+                continue;
+            }
+            // Phase 2: queue for the bus. Once the ticket is taken the
+            // turn must be waited out even on stop — tickets ahead of us
+            // are either transmissions (which end) or probes/aborters
+            // (which pass), so the wait is bounded and skipping our own
+            // pass would wedge everyone behind us.
+            let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+            let mut bus_wait = Waiter::new();
+            while self.serving.load(Ordering::Acquire) != ticket {
+                bus_wait.wait();
+            }
+            if ctl.is_stopped() {
+                self.serving.fetch_add(1, Ordering::Release);
+                return None;
+            }
+            // Phase 3: with the bus held, confirm the resource the status
+            // word advertised. Reserving at bus-grant time is what keeps
+            // the runtime equivalent to the model, where a processor is
+            // granted only when bus AND resource are free at the same
+            // instant; losing the race just passes the bus on and retries,
+            // so the bus itself never blocks on busy resources.
+            if !self.try_reserve() {
+                self.serving.fetch_add(1, Ordering::Release);
+                waiter.wait();
+                continue;
+            }
+            // The reservation guarantees a vacant slot exists; contend for
+            // one. A failed CAS only ever means another reserver claimed
+            // that particular slot — rescan.
+            let mut scan = Waiter::new();
+            loop {
+                for (i, slot) in self.slots.iter().enumerate() {
+                    if slot.load(Ordering::Relaxed) == VACANT
+                        && slot
+                            .compare_exchange(
+                                VACANT,
+                                who as u64,
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                    {
+                        return Some(BrokerGrant { resource: i });
+                    }
+                }
+                scan.wait();
+            }
+        }
+    }
+
+    fn end_transmission(&self, _who: WorkerId, _grant: BrokerGrant) {
+        // Transmission done: pass the bus to the next ticket.
+        self.serving.fetch_add(1, Ordering::Release);
+    }
+
+    fn release(&self, who: WorkerId, grant: BrokerGrant) {
+        let ok = self.slots[grant.resource]
+            .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok();
+        assert!(
+            ok,
+            "release of resource {} by worker {who} who does not hold it",
+            grant.resource
+        );
+        self.free.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_every_resource_then_blocks_until_stopped() {
+        let b = SbusBroker::new(4, 2);
+        let ctl = RunControl::new();
+        let g0 = b.acquire(0, &ctl).expect("free");
+        b.end_transmission(0, g0);
+        let g1 = b.acquire(1, &ctl).expect("free");
+        b.end_transmission(1, g1);
+        assert_ne!(g0.resource, g1.resource, "distinct resources");
+        assert_eq!(b.free_count(), 0);
+        // A third acquire blocks on the empty status word; stopping the
+        // control unblocks it as None.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| b.acquire(2, &ctl));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(!handle.is_finished(), "must block while free == 0");
+            ctl.stop();
+            assert_eq!(handle.join().expect("no panic"), None);
+        });
+        b.release(0, g0);
+        b.release(1, g1);
+        assert_eq!(b.free_count(), 2);
+    }
+
+    #[test]
+    fn bus_is_held_through_transmission() {
+        let b = SbusBroker::new(2, 2);
+        let ctl = RunControl::new();
+        let g = b.acquire(0, &ctl).expect("free");
+        // Worker 1's ticket is behind worker 0's un-passed bus even though
+        // a resource is free; end_transmission passes the bus on.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| b.acquire(1, &ctl));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(!handle.is_finished(), "must block while the bus is held");
+            b.end_transmission(0, g);
+            let g1 = handle.join().expect("no panic").expect("granted");
+            b.end_transmission(1, g1);
+            b.release(1, g1);
+        });
+        b.release(0, g);
+    }
+
+    #[test]
+    fn stopped_control_rejects_before_taking_a_ticket() {
+        let b = SbusBroker::new(2, 1);
+        let ctl = RunControl::new();
+        ctl.stop();
+        assert_eq!(b.acquire(0, &ctl), None);
+        assert_eq!(b.next_ticket.load(Ordering::Relaxed), 0, "no ticket hole");
+        assert_eq!(b.free_count(), 1, "no reservation leaked");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn foreign_release_is_a_protocol_violation() {
+        let b = SbusBroker::new(2, 1);
+        let ctl = RunControl::new();
+        let g = b.acquire(0, &ctl).expect("free");
+        b.end_transmission(0, g);
+        b.release(1, g);
+    }
+}

@@ -1,0 +1,277 @@
+//! The distributed-scheduling crossbar at runtime: per-column claim words
+//! arbitrated by the Table-I request-cycle wave in rank form.
+//!
+//! Section IV's crossbar fuses the scheduler into the fabric: every cell
+//! `(row, column)` holds a requests flip-flop, and a grant wave sweeps the
+//! array each cycle so that the highest-priority requesting row of each
+//! free column wins it. The runtime settles the same wave with atomics:
+//!
+//! - `requests` is a bitmask of rows currently requesting (the OR of the
+//!   row request lines). A worker raises its bit before arbitrating and
+//!   lowers it after it wins or aborts.
+//! - `owners[c]` is the claim word of column `c` (`VACANT` or the holder).
+//! - Arbitration is by **rank**: a worker reads the request mask, computes
+//!   its rank among the requesters under the active [`XbarPolicy`], and
+//!   claims the rank-th free column by CAS. When the mask and the free set
+//!   are stable — which is exactly the saturated case where fairness
+//!   matters — ranks are distinct, so each requester targets a different
+//!   column and the wave settles without collisions; under churn a lost CAS
+//!   just re-runs the wave.
+//!
+//! [`XbarPolicy::FixedPriority`] ranks by row index (the paper's baseline
+//! wave, low index wins) and **starves** high rows under saturation.
+//! [`XbarPolicy::TokenRotation`] ranks by circular distance from a rotating
+//! token (the POLYP fix, Section IV-B): the winner hands the token to its
+//! successor, so every requester's wait is bounded by one rotation. The
+//! fairness regression test in `tests/fairness.rs` asserts both behaviors
+//! against the gate-level simulator in `rsin-xbar`.
+//!
+//! Crossbar columns are dedicated buses, so [`Broker::end_transmission`] is
+//! a no-op here: the column is the circuit *and* the resource claim, held
+//! from grant to release.
+
+use crate::{Broker, BrokerGrant, RunControl, Waiter, WorkerId, VACANT};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Arbitration policy of the request-cycle wave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XbarPolicy {
+    /// Low row index wins (the paper's baseline daisy-chain priority).
+    /// Starves high rows at saturation.
+    FixedPriority,
+    /// A circulating token sets the priority origin; the winner advances
+    /// it. Bounds every requester's wait (POLYP-style fairness).
+    TokenRotation,
+}
+
+/// Runtime crossbar broker: `workers` rows by `resources` columns.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_broker::{Broker, RunControl, XbarBroker, XbarPolicy};
+///
+/// let broker = XbarBroker::new(4, 2, XbarPolicy::TokenRotation);
+/// let ctl = RunControl::new();
+/// let grant = broker.acquire(1, &ctl).expect("uncontended");
+/// broker.end_transmission(1, grant);
+/// broker.release(1, grant);
+/// ```
+#[derive(Debug)]
+pub struct XbarBroker {
+    workers: usize,
+    policy: XbarPolicy,
+    /// OR of the row request lines (bit per worker).
+    requests: AtomicU64,
+    /// Priority origin for [`XbarPolicy::TokenRotation`].
+    token: AtomicU64,
+    /// Per-column claim words (`VACANT` or the holder's `WorkerId`).
+    owners: Vec<AtomicU64>,
+}
+
+impl XbarBroker {
+    /// Creates a broker with every column free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or exceeds 64 (the request mask is one
+    /// machine word, like the hardware's request lines), or if `resources`
+    /// is zero.
+    #[must_use]
+    pub fn new(workers: usize, resources: usize, policy: XbarPolicy) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(workers <= 64, "request mask is one machine word");
+        assert!(resources > 0, "need at least one resource");
+        XbarBroker {
+            workers,
+            policy,
+            requests: AtomicU64::new(0),
+            token: AtomicU64::new(0),
+            owners: (0..resources).map(|_| AtomicU64::new(VACANT)).collect(),
+        }
+    }
+
+    /// The active arbitration policy.
+    #[must_use]
+    pub fn policy(&self) -> XbarPolicy {
+        self.policy
+    }
+
+    /// Rank of `who` among the requesters in `mask` under the active
+    /// policy: the number of requesters with strictly higher priority.
+    fn rank(&self, who: WorkerId, mask: u64) -> u32 {
+        match self.policy {
+            // Requesters below `who` outrank it.
+            XbarPolicy::FixedPriority => (mask & ((1u64 << who) - 1)).count_ones(),
+            // Requesters circularly between the token and `who` outrank it.
+            XbarPolicy::TokenRotation => {
+                let n = self.workers;
+                let token = self.token.load(Ordering::Relaxed) as usize % n;
+                let pos = (who + n - token) % n;
+                (0..n)
+                    .filter(|&j| mask & (1u64 << j) != 0 && (j + n - token) % n < pos)
+                    .count() as u32
+            }
+        }
+    }
+}
+
+impl Broker for XbarBroker {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn resources(&self) -> usize {
+        self.owners.len()
+    }
+
+    fn acquire(&self, who: WorkerId, ctl: &RunControl) -> Option<BrokerGrant> {
+        debug_assert!(who < self.workers, "worker id out of range");
+        let bit = 1u64 << who;
+        // Raise our request line (Release publishes it to concurrent
+        // rank computations; AcqRel so we also see the current mask).
+        let prior = self.requests.fetch_or(bit, Ordering::AcqRel);
+        debug_assert_eq!(prior & bit, 0, "worker already requesting");
+        let mut waiter = Waiter::new();
+        loop {
+            if ctl.is_stopped() {
+                self.requests.fetch_and(!bit, Ordering::AcqRel);
+                return None;
+            }
+            // One settling pass of the grant wave, from this row's view.
+            let mask = self.requests.load(Ordering::Acquire);
+            let my_rank = self.rank(who, mask);
+            let mut free_seen = 0;
+            let mut claimed = None;
+            for (c, owner) in self.owners.iter().enumerate() {
+                if owner.load(Ordering::Relaxed) != VACANT {
+                    continue;
+                }
+                if free_seen == my_rank {
+                    if owner
+                        .compare_exchange(VACANT, who as u64, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        claimed = Some(c);
+                    }
+                    // Won or lost, this wave is over; re-rank on a retry.
+                    break;
+                }
+                free_seen += 1;
+            }
+            if let Some(c) = claimed {
+                // Lower the request line, then pass the token on so the
+                // next rotation starts after us.
+                self.requests.fetch_and(!bit, Ordering::AcqRel);
+                if self.policy == XbarPolicy::TokenRotation {
+                    self.token
+                        .store(((who + 1) % self.workers) as u64, Ordering::Relaxed);
+                }
+                return Some(BrokerGrant { resource: c });
+            }
+            waiter.wait();
+        }
+    }
+
+    fn end_transmission(&self, _who: WorkerId, _grant: BrokerGrant) {
+        // A crossbar column is a dedicated bus: nothing extra to free.
+    }
+
+    fn release(&self, who: WorkerId, grant: BrokerGrant) {
+        let ok = self.owners[grant.resource]
+            .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok();
+        assert!(
+            ok,
+            "release of column {} by worker {who} who does not hold it",
+            grant.resource
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_distinct_columns_up_to_capacity() {
+        let b = XbarBroker::new(4, 3, XbarPolicy::FixedPriority);
+        let ctl = RunControl::new();
+        let grants: Vec<_> = (0..3)
+            .map(|w| b.acquire(w, &ctl).expect("column free"))
+            .collect();
+        let mut cols: Vec<_> = grants.iter().map(|g| g.resource).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), 3, "each grant a distinct column");
+        // Fourth acquire must block until a column frees.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| b.acquire(3, &ctl));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(!handle.is_finished(), "must block while saturated");
+            b.release(0, grants[0]);
+            let g = handle.join().expect("no panic").expect("granted");
+            assert_eq!(g.resource, grants[0].resource, "reuses the freed column");
+            b.release(3, g);
+        });
+        b.release(1, grants[1]);
+        b.release(2, grants[2]);
+    }
+
+    #[test]
+    fn fixed_priority_ranks_by_row_index() {
+        let b = XbarBroker::new(4, 1, XbarPolicy::FixedPriority);
+        assert_eq!(b.rank(0, 0b1111), 0);
+        assert_eq!(b.rank(3, 0b1111), 3);
+        assert_eq!(b.rank(3, 0b1000), 0, "alone means top rank");
+        assert_eq!(b.rank(2, 0b0101), 1);
+    }
+
+    #[test]
+    fn token_rotation_ranks_from_the_token() {
+        let b = XbarBroker::new(4, 1, XbarPolicy::TokenRotation);
+        b.token.store(2, Ordering::Relaxed);
+        // Priority order is 2, 3, 0, 1.
+        assert_eq!(b.rank(2, 0b1111), 0);
+        assert_eq!(b.rank(3, 0b1111), 1);
+        assert_eq!(b.rank(0, 0b1111), 2);
+        assert_eq!(b.rank(1, 0b1111), 3);
+        // Non-requesters don't occupy ranks.
+        assert_eq!(b.rank(1, 0b0010), 0);
+    }
+
+    #[test]
+    fn winner_advances_the_token() {
+        let b = XbarBroker::new(4, 1, XbarPolicy::TokenRotation);
+        let ctl = RunControl::new();
+        let g = b.acquire(2, &ctl).expect("free");
+        assert_eq!(b.token.load(Ordering::Relaxed), 3);
+        b.release(2, g);
+    }
+
+    #[test]
+    fn stopped_control_clears_the_request_line() {
+        let b = XbarBroker::new(2, 1, XbarPolicy::FixedPriority);
+        let ctl = RunControl::new();
+        let g = b.acquire(0, &ctl).expect("free");
+        // Worker 1 blocks on the taken column; stop unwinds it.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| b.acquire(1, &ctl));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(!handle.is_finished(), "must block on a taken column");
+            ctl.stop();
+            assert_eq!(handle.join().expect("no panic"), None);
+        });
+        assert_eq!(b.requests.load(Ordering::Relaxed), 0, "line lowered");
+        b.release(0, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn foreign_release_is_a_protocol_violation() {
+        let b = XbarBroker::new(2, 1, XbarPolicy::FixedPriority);
+        let ctl = RunControl::new();
+        let g = b.acquire(0, &ctl).expect("free");
+        b.release(1, g);
+    }
+}

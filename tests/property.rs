@@ -2,7 +2,7 @@
 //! spanning several crates through the umbrella API.
 
 use rsin::core::SystemConfig;
-use rsin::des::stats::Welford;
+use rsin::des::stats::{Histogram, Welford};
 use rsin::des::{Calendar, SimRng, SimTime};
 use rsin::omega::{Admission, OmegaState};
 use rsin::topology::{log2_exact, shuffle, unshuffle, Link, Multistage, OmegaTopology};
@@ -81,6 +81,69 @@ fn welford_merge_matches_sequential() {
             (a.sample_variance() - all.sample_variance()).abs()
                 <= 1e-5 * (1.0 + all.sample_variance().abs())
         );
+    });
+}
+
+/// K-way Welford shard merge is order-insensitive: observations scattered
+/// over K shards in *interleaved* order (the broker's per-thread shard
+/// pattern, not a contiguous split) merge to exactly the single-stream
+/// accumulator.
+#[test]
+fn welford_interleaved_shard_merge_matches_single_stream() {
+    check(256, |g| {
+        let k = g.usize_in(2, 6);
+        let xs = g.vec_f64(-1e6, 1e6, 1, 300);
+        let mut all = Welford::new();
+        let mut shards = vec![Welford::new(); k];
+        for &x in &xs {
+            all.push(x);
+            shards[g.usize_in(0, k - 1)].push(x);
+        }
+        let mut merged = Welford::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), all.count());
+        assert_eq!(merged.min(), all.min(), "min is exact under merge");
+        assert_eq!(merged.max(), all.max(), "max is exact under merge");
+        assert!((merged.mean() - all.mean()).abs() <= 1e-6 * (1.0 + all.mean().abs()));
+        assert!(
+            (merged.sample_variance() - all.sample_variance()).abs()
+                <= 1e-5 * (1.0 + all.sample_variance().abs())
+        );
+    });
+}
+
+/// K-way Histogram shard merge on interleaved observations is *exactly*
+/// the single-stream histogram: same total, overflow, every bin, and
+/// therefore every quantile (counts are integers — no tolerance).
+#[test]
+fn histogram_interleaved_shard_merge_matches_single_stream() {
+    check(256, |g| {
+        let k = g.usize_in(2, 6);
+        let bins = g.usize_in(1, 32);
+        let upper = g.f64_in(0.5, 100.0);
+        // Range straddles the upper bound so the overflow bin is exercised,
+        // and dips slightly negative to exercise the clamp-to-bin-0 path.
+        let xs = g.vec_f64(-1.0, 1.5 * upper, 1, 300);
+        let mut all = Histogram::new(bins, upper);
+        let mut shards = vec![Histogram::new(bins, upper); k];
+        for &x in &xs {
+            all.record(x);
+            shards[g.usize_in(0, k - 1)].record(x);
+        }
+        let mut merged = Histogram::new(bins, upper);
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), all.count());
+        assert_eq!(merged.overflow(), all.overflow());
+        for i in 0..bins {
+            assert_eq!(merged.bin_count(i), all.bin_count(i), "bin {i}");
+        }
+        for q in [0.25, 0.5, 0.9] {
+            assert_eq!(merged.quantile(q), all.quantile(q), "q = {q}");
+        }
     });
 }
 
