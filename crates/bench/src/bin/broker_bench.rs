@@ -4,11 +4,19 @@
 //!
 //! ```text
 //! cargo run --release -p rsin-bench --bin broker_bench -- \
-//!     --threads 6 --duration-ms 400 --rho 0.2,0.5,0.8 [--jobs N] [--resume]
+//!     --threads 6 --duration-ms 400 --rho 0.2,0.5,0.8 \
+//!     [--chaos kill=0.25,stall=0.125,seed=7[,mtbf=40,mttr=8]] \
+//!     [--jobs N] [--resume]
 //! ```
 //!
-//! Exit codes: 0 on success, 1 when an artifact cannot be persisted or the
-//! exclusivity audit flags a violation, 2 on a malformed flag.
+//! `--chaos` (or the `RSIN_BROKER_CHAOS` environment variable) runs the
+//! measured sweep under the chaos-hardened driver: seeded client crashes
+//! and stalls, optional stochastic resource outages, leases reclaimed by
+//! the supervisor.
+//!
+//! Exit codes: 0 on success, 1 when an artifact cannot be persisted, the
+//! exclusivity audit flags a violation, or a chaos run leaks a resource;
+//! 2 on a malformed flag (including a malformed chaos spec).
 
 use rsin_bench::broker_bench::{self, BrokerBenchConfig};
 use rsin_bench::RunQuality;
@@ -23,6 +31,14 @@ fn main() {
                 eprintln!(
                     "broker_bench: FAILED — {} exclusivity violation(s) in the measured sweep",
                     summary.violations
+                );
+                std::process::exit(1);
+            }
+            if summary.leaked > 0 {
+                eprintln!(
+                    "broker_bench: FAILED — {} resource(s)/grant(s) leaked through \
+                     chaos shutdown",
+                    summary.leaked
                 );
                 std::process::exit(1);
             }

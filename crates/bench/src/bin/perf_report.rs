@@ -24,7 +24,8 @@ use rsin_bench::microbench::measure_ns_floor;
 use rsin_bench::suite::run_suite;
 use rsin_bench::RunQuality;
 use rsin_broker::{
-    run_saturated, Broker, OmegaBroker, RunControl, SbusBroker, XbarBroker, XbarPolicy,
+    run_saturated, run_saturated_chaos, Broker, ChaosOptions, ChaosPlan, ClientChaos, ClientEvent,
+    OmegaBroker, RunControl, SbusBroker, XbarBroker, XbarPolicy,
 };
 use rsin_core::{simulate, SimOptions, SystemConfig};
 use rsin_des::{Calendar, SimRng, SimTime};
@@ -238,6 +239,78 @@ fn broker_saturated_throughput() -> Vec<(&'static str, f64)> {
         .collect()
 }
 
+/// Degraded-mode counterpart of [`broker_saturated_throughput`]: each
+/// discipline rebuilt with a lease and measured twice over the same
+/// window — healthy, then with worker 0 killed mid-protocol at the 40 ms
+/// mark and its leaked lease reclaimed by the supervisor. Recorded as the
+/// `resilience_grants_per_sec` object of the `broker` section (trend
+/// visibility, not a hard gate — same rationale as the saturated rates);
+/// the run itself still hard-asserts zero violations, the kill firing,
+/// and post-fault liveness, so a wedged discipline fails the report.
+type BrokerFactory = Box<dyn Fn() -> Box<dyn Broker>>;
+
+fn broker_resilience() -> Vec<(&'static str, f64, f64)> {
+    let window = std::time::Duration::from_millis(120);
+    // The lease must dominate the worst-case scheduler stall of a *live*
+    // holder — on a loaded single-core runner a spinning holder can sit
+    // off-CPU for several milliseconds, and evicting it would double-grant.
+    // 20 ms still reclaims the killed worker's grant with two thirds of the
+    // window left to measure post-fault throughput.
+    let lease = std::time::Duration::from_millis(20);
+    let secs = window.as_secs_f64();
+    let disciplines: Vec<(&'static str, BrokerFactory)> = vec![
+        (
+            "sbus",
+            Box::new(move || Box::new(SbusBroker::with_lease(4, 2, lease))),
+        ),
+        (
+            "xbar_token",
+            Box::new(move || {
+                Box::new(XbarBroker::with_lease(
+                    4,
+                    2,
+                    XbarPolicy::TokenRotation,
+                    lease,
+                ))
+            }),
+        ),
+        (
+            "omega",
+            Box::new(move || Box::new(OmegaBroker::with_lease(4, 2, lease))),
+        ),
+    ];
+    disciplines
+        .into_iter()
+        .map(|(name, make)| {
+            let healthy = {
+                let broker = make();
+                let report = run_saturated(broker.as_ref(), std::time::Duration::ZERO, window);
+                assert_eq!(report.violations, 0, "{name}: exclusivity violated");
+                report.total_grants() as f64 / secs
+            };
+            let degraded = {
+                let broker = make();
+                let plan = ChaosPlan::new().with(ClientEvent {
+                    at: 40.0, // milliseconds on the saturated driver's wall clock
+                    worker: 0,
+                    kind: ClientChaos::Crash,
+                });
+                let opts = ChaosOptions::new(plan, lease);
+                let report =
+                    run_saturated_chaos(broker.as_ref(), std::time::Duration::ZERO, window, &opts);
+                assert_eq!(report.sat.violations, 0, "{name}: exclusivity violated");
+                assert_eq!(report.crashed, 1, "{name}: the kill must fire");
+                assert!(
+                    report.post_chaos_grants > 0,
+                    "{name}: wedged after the kill"
+                );
+                report.sat.total_grants() as f64 / secs
+            };
+            (name, healthy, degraded)
+        })
+        .collect()
+}
+
 /// Extracts `(name, ns_per_iter)` rows from the `kernels_ns_per_iter`
 /// object of a previously written `BENCH_perf.json`. Hand-rolled to match
 /// the hand-rolled writer below — one `"name": value` pair per line.
@@ -364,6 +437,8 @@ fn main() {
     let mut kernel_rows = kernels();
     eprintln!("measuring saturated broker throughput ...");
     let broker_rows = broker_saturated_throughput();
+    eprintln!("measuring degraded-mode broker throughput ...");
+    let resilience_rows = broker_resilience();
 
     let path = baseline_path();
     let regressed = if check {
@@ -406,6 +481,18 @@ fn main() {
     for (i, (name, rate)) in broker_rows.iter().enumerate() {
         let comma = if i + 1 < broker_rows.len() { "," } else { "" };
         json.push_str(&format!("      \"{name}\": {rate:.0}{comma}\n"));
+    }
+    json.push_str("    },\n");
+    json.push_str("    \"resilience_grants_per_sec\": {\n");
+    for (i, (name, healthy, degraded)) in resilience_rows.iter().enumerate() {
+        let comma = if i + 1 < resilience_rows.len() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!(
+            "      \"{name}\": {{ \"healthy\": {healthy:.0}, \"degraded\": {degraded:.0} }}{comma}\n"
+        ));
     }
     json.push_str("    }\n");
     json.push_str("  },\n");

@@ -15,18 +15,31 @@
 //! and `--flag=v` spellings), plus the shared `--jobs` / `--full` /
 //! `--resume` harness flags. Malformed values are typed
 //! [`ConfigError::Parse`] errors, exactly like the suite's `--jobs`.
+//!
+//! `--chaos <spec>` (or the `RSIN_BROKER_CHAOS` environment variable; the
+//! flag wins when both are present) switches the measured leg to the
+//! chaos-hardened driver: the spec's seeded fractions of worker threads
+//! crash or stall mid-protocol, optional `mtbf=`/`mttr=` add a stochastic
+//! outage of resource 0, and the table gains a fault-accounting section.
+//! The exclusivity audit and the leak inventory still gate the exit code —
+//! a chaos run that violates exclusivity or leaks a resource fails the
+//! benchmark exactly like a healthy run with a violation.
 
 use crate::manifest::{fnv1a64, EntryStatus, Manifest, ManifestEntry};
 use crate::output;
 use crate::RunQuality;
-use rsin_broker::{run_load, LoadConfig, SbusBroker};
+use rsin_broker::{
+    run_load, run_load_chaos, ChaosOptions, ChaosPlan, ChaosSpec, LoadConfig, SbusBroker,
+};
 use rsin_core::experiment::{Experiment, Series};
 use rsin_core::{simulate, ConfigError, HarnessError, SimOptions, Workload};
 use rsin_des::{replicate, scope_map_indexed, SimRng};
+use rsin_des::{FaultPlan, FaultTarget, StochasticFault};
 use rsin_queueing::{SharedBusChain, SharedBusParams};
 use rsin_sbus::{Arbitration, SharedBusNetwork};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Duration;
 use std::time::Instant;
 
 /// Resources in the benchmarked pool (Section III's `r`).
@@ -37,6 +50,12 @@ pub const MU_N: f64 = 4.0;
 pub const MU_S: f64 = 1.0;
 /// Wall microseconds per model time unit in the measured leg.
 pub const SCALE_US: f64 = 1_200.0;
+/// Lease used by the chaos leg. Must be ≫ the mean service time in model
+/// units (1/µ_s = 1 unit = 1.2 ms wall here) or the supervisor truncates
+/// the exponential service tail by evicting legitimate slow holders —
+/// ~21 units keeps P(service > lease) ≈ e⁻²¹ while still reclaiming a
+/// dead client's grant within 25 ms.
+pub const CHAOS_LEASE: Duration = Duration::from_millis(25);
 
 /// What to sweep: parsed from the command line, defaulted for CI.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,6 +67,9 @@ pub struct BrokerBenchConfig {
     /// Offered-load points, each relative to the pipeline's saturation
     /// throughput (the chain's `utilization()` dial).
     pub rho: Vec<f64>,
+    /// Chaos schedule for the measured leg (`--chaos` /
+    /// `RSIN_BROKER_CHAOS`); `None` runs the healthy driver.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for BrokerBenchConfig {
@@ -56,19 +78,38 @@ impl Default for BrokerBenchConfig {
             threads: 6,
             duration_ms: 400,
             rho: vec![0.2, 0.5, 0.8],
+            chaos: None,
         }
     }
 }
 
 impl BrokerBenchConfig {
-    /// Parses `--threads`, `--duration-ms` and `--rho` from an argument
-    /// list; absent flags keep their defaults.
+    /// Parses `--threads`, `--duration-ms`, `--rho` and `--chaos` from an
+    /// argument list; absent flags keep their defaults, and an absent
+    /// `--chaos` falls back to the `RSIN_BROKER_CHAOS` environment
+    /// variable.
     ///
     /// # Errors
     ///
-    /// [`ConfigError::Parse`] naming the offending flag and the expected
-    /// shape when a value is missing, malformed, or out of range.
+    /// [`ConfigError::Parse`] naming the offending flag (or environment
+    /// variable) and the expected shape when a value is missing,
+    /// malformed, or out of range.
     pub fn try_from_args(args: &[String]) -> Result<Self, ConfigError> {
+        let env = std::env::var("RSIN_BROKER_CHAOS").ok();
+        BrokerBenchConfig::try_from_args_with_env(args, env.as_deref())
+    }
+
+    /// [`BrokerBenchConfig::try_from_args`] with the `RSIN_BROKER_CHAOS`
+    /// value injected explicitly (tests use this; process env reads race
+    /// across parallel test threads).
+    ///
+    /// # Errors
+    ///
+    /// As [`BrokerBenchConfig::try_from_args`].
+    pub fn try_from_args_with_env(
+        args: &[String],
+        chaos_env: Option<&str>,
+    ) -> Result<Self, ConfigError> {
         let mut cfg = BrokerBenchConfig::default();
         if let Some(v) = flag_value(args, "--threads")? {
             cfg.threads = parse_threads(&v)?;
@@ -78,6 +119,11 @@ impl BrokerBenchConfig {
         }
         if let Some(v) = flag_value(args, "--rho")? {
             cfg.rho = parse_rho(&v)?;
+        }
+        if let Some(v) = flag_value(args, "--chaos")? {
+            cfg.chaos = Some(parse_chaos("--chaos", &v)?);
+        } else if let Some(v) = chaos_env {
+            cfg.chaos = Some(parse_chaos("RSIN_BROKER_CHAOS", v)?);
         }
         Ok(cfg)
     }
@@ -176,6 +222,17 @@ fn parse_duration_ms(v: &str) -> Result<u64, ConfigError> {
     }
 }
 
+fn parse_chaos(origin: &str, v: &str) -> Result<ChaosSpec, ConfigError> {
+    ChaosSpec::parse(v).map_err(|detail| {
+        eprintln!("note: {detail}");
+        ConfigError::Parse {
+            input: format!("{origin} {v}"),
+            expected: "key=value pairs kill=<frac>, stall=<frac>, seed=<u64>, \
+                       optional mtbf=/mttr= (e.g. kill=0.25,stall=0.125,seed=7)",
+        }
+    })
+}
+
 fn parse_rho(v: &str) -> Result<Vec<f64>, ConfigError> {
     let bad = || ConfigError::Parse {
         input: format!("--rho {v}"),
@@ -269,10 +326,57 @@ pub struct MeasuredPoint {
     pub throughput: f64,
     /// Exclusivity violations flagged by the independent ledger.
     pub violations: u64,
+    /// Fault-tolerance accounting, present iff the point ran under chaos.
+    pub chaos: Option<ChaosAccounting>,
+}
+
+/// Fault-tolerance accounting of one chaos-mode measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosAccounting {
+    /// Worker threads crashed mid-protocol (scheduled and fired).
+    pub crashed: usize,
+    /// Stalls executed past the lease.
+    pub stalled: usize,
+    /// Leases reclaimed by the supervisor plus shutdown force-reclaims.
+    pub reclaimed: u64,
+    /// Grants after the last scheduled chaos event (liveness witness).
+    pub post_chaos_grants: u64,
+    /// Resources missing at shutdown plus grants still on the audit
+    /// ledger — must be zero.
+    pub leaked: u64,
+}
+
+/// Builds the per-point chaos options from the flat spec: a seeded client
+/// plan inside the measured window, stalls 2.5 leases long (so the
+/// supervisor must evict them), and an optional stochastic outage of
+/// resource 0.
+fn chaos_options(spec: &ChaosSpec, workers: usize, lc: &LoadConfig) -> ChaosOptions {
+    let lease_units = CHAOS_LEASE.as_secs_f64() * 1e6 / SCALE_US;
+    let window = (lc.warmup + 0.1 * lc.duration, lc.warmup + 0.5 * lc.duration);
+    let plan = ChaosPlan::seeded(
+        spec.seed,
+        workers,
+        spec.kill,
+        spec.stall,
+        window,
+        2.5 * lease_units,
+    );
+    let mut opts = ChaosOptions::new(plan, CHAOS_LEASE);
+    if let (Some(mtbf), Some(mttr)) = (spec.mtbf, spec.mttr) {
+        opts.faults = FaultPlan::new().stochastic(StochasticFault {
+            target: FaultTarget::Resource(0),
+            mtbf,
+            mttr,
+        });
+        opts.fault_seed = spec.seed ^ 0xFA17;
+    }
+    opts
 }
 
 /// Runs the measured leg: the SBUS broker under `cfg.threads` real worker
 /// threads at each ρ, `cfg.duration_ms` of measured wall time per point.
+/// With a chaos spec the broker carries a [`CHAOS_LEASE`] lease and the
+/// chaos driver injects the scheduled crashes, stalls, and outages.
 #[must_use]
 pub fn measure(cfg: &BrokerBenchConfig, quality: &RunQuality) -> Vec<MeasuredPoint> {
     let duration_units = (cfg.duration_ms as f64) * 1_000.0 / SCALE_US;
@@ -286,9 +390,28 @@ pub fn measure(cfg: &BrokerBenchConfig, quality: &RunQuality) -> Vec<MeasuredPoi
             lc.duration = duration_units;
             lc.drain = 50.0;
             lc.seed = quality.seed ^ 0xB70B ^ ((rho * 1_000.0) as u64);
-            let broker = SbusBroker::new(cfg.threads, RESOURCES);
             let start = Instant::now();
-            let report = run_load(&broker, &lc);
+            let (report, chaos) = match &cfg.chaos {
+                None => {
+                    let broker = SbusBroker::new(cfg.threads, RESOURCES);
+                    (run_load(&broker, &lc), None)
+                }
+                Some(spec) => {
+                    let broker = SbusBroker::with_lease(cfg.threads, RESOURCES, CHAOS_LEASE);
+                    let opts = chaos_options(spec, cfg.threads, &lc);
+                    let r = run_load_chaos(&broker, &lc, &opts);
+                    let leaked = (RESOURCES.saturating_sub(r.available_at_end)
+                        + r.ledger_held_at_end) as u64;
+                    let acct = ChaosAccounting {
+                        crashed: r.crashed,
+                        stalled: r.stalled,
+                        reclaimed: r.reclaimed + r.forced_reclaims,
+                        post_chaos_grants: r.post_chaos_grants,
+                        leaked,
+                    };
+                    (r.load, Some(acct))
+                }
+            };
             let wall = start.elapsed().as_secs_f64();
             MeasuredPoint {
                 rho,
@@ -297,6 +420,7 @@ pub fn measure(cfg: &BrokerBenchConfig, quality: &RunQuality) -> Vec<MeasuredPoi
                 measured: report.measured(),
                 throughput: report.measured() as f64 / wall.max(1e-9),
                 violations: report.violations,
+                chaos,
             }
         })
         .collect()
@@ -335,6 +459,26 @@ pub fn measured_table(cfg: &BrokerBenchConfig, points: &[MeasuredPoint]) -> Stri
             pt.rho, pt.mean_delay, pt.std_error, pt.measured, pt.throughput, chain, pt.violations
         );
     }
+    if points.iter().any(|p| p.chaos.is_some()) {
+        let _ = writeln!(
+            s,
+            "Chaos accounting (lease {} ms):",
+            CHAOS_LEASE.as_millis()
+        );
+        let _ = writeln!(
+            s,
+            "{:>6} {:>8} {:>8} {:>10} {:>12} {:>8}",
+            "rho", "crashed", "stalled", "reclaimed", "post grants", "leaked"
+        );
+        for pt in points {
+            let Some(c) = pt.chaos else { continue };
+            let _ = writeln!(
+                s,
+                "{:>6.2} {:>8} {:>8} {:>10} {:>12} {:>8}",
+                pt.rho, c.crashed, c.stalled, c.reclaimed, c.post_chaos_grants, c.leaked
+            );
+        }
+    }
     s
 }
 
@@ -345,6 +489,9 @@ pub struct RunSummary {
     pub resumed_predictions: bool,
     /// Total exclusivity violations across the measured sweep (must be 0).
     pub violations: u64,
+    /// Total resources/grants leaked through shutdown across chaos-mode
+    /// points (must be 0; always 0 for healthy runs).
+    pub leaked: u64,
 }
 
 const PREDICTIONS: &str = "broker_predictions";
@@ -424,6 +571,11 @@ pub fn run(
     Ok(RunSummary {
         resumed_predictions,
         violations: points.iter().map(|p| p.violations).sum(),
+        leaked: points
+            .iter()
+            .filter_map(|p| p.chaos)
+            .map(|c| c.leaked)
+            .sum(),
     })
 }
 
@@ -535,6 +687,86 @@ mod tests {
                 "error must name the flag: {err}"
             );
         }
+    }
+
+    #[test]
+    fn chaos_flag_parses_and_env_is_the_fallback() {
+        let cfg = BrokerBenchConfig::try_from_args_with_env(
+            &args(&["bin", "--chaos", "kill=0.25,stall=0.125,seed=7"]),
+            None,
+        )
+        .expect("valid spec");
+        let spec = cfg.chaos.expect("chaos set");
+        assert_eq!(spec.kill, 0.25);
+        assert_eq!(spec.stall, 0.125);
+        assert_eq!(spec.seed, 7);
+
+        let env = BrokerBenchConfig::try_from_args_with_env(
+            &args(&["bin"]),
+            Some("kill=0.5,mtbf=40,mttr=8"),
+        )
+        .expect("valid env spec");
+        let spec = env.chaos.expect("env chaos set");
+        assert_eq!(spec.kill, 0.5);
+        assert_eq!(spec.mtbf, Some(40.0));
+
+        // The flag wins over the environment.
+        let both = BrokerBenchConfig::try_from_args_with_env(
+            &args(&["bin", "--chaos=kill=0.1"]),
+            Some("kill=0.9"),
+        )
+        .expect("valid");
+        assert_eq!(both.chaos.expect("set").kill, 0.1);
+
+        // No flag, no env: the healthy driver.
+        let healthy =
+            BrokerBenchConfig::try_from_args_with_env(&args(&["bin"]), None).expect("valid");
+        assert!(healthy.chaos.is_none());
+    }
+
+    #[test]
+    fn malformed_chaos_is_a_typed_actionable_error() {
+        for bad in ["", "kill=2", "bogus=1", "mtbf=40", "kill=0.6,stall=0.6"] {
+            let err =
+                BrokerBenchConfig::try_from_args_with_env(&args(&["bin", "--chaos", bad]), None)
+                    .expect_err(&format!("must reject {bad:?}"));
+            assert!(matches!(err, ConfigError::Parse { .. }));
+            assert!(
+                err.to_string().contains("--chaos"),
+                "error must name the flag: {err}"
+            );
+        }
+        let err = BrokerBenchConfig::try_from_args_with_env(&args(&["bin"]), Some("kill=2"))
+            .expect_err("env spec must be validated too");
+        assert!(matches!(err, ConfigError::Parse { .. }));
+        assert!(
+            err.to_string().contains("RSIN_BROKER_CHAOS"),
+            "error must name the environment variable: {err}"
+        );
+        let err = BrokerBenchConfig::try_from_args(&args(&["bin", "--chaos"]))
+            .expect_err("missing value");
+        assert!(err.to_string().contains("--chaos"));
+    }
+
+    #[test]
+    fn chaos_measured_leg_reclaims_and_keeps_granting() {
+        let cfg = BrokerBenchConfig {
+            threads: 4,
+            duration_ms: 150,
+            rho: vec![0.4],
+            chaos: Some(ChaosSpec::parse("kill=0.25,stall=0.25,seed=11").expect("valid")),
+        };
+        let q = RunQuality::quick();
+        let points = measure(&cfg, &q);
+        assert_eq!(points.len(), 1);
+        let pt = &points[0];
+        assert_eq!(pt.violations, 0, "chaos must not break exclusivity");
+        let c = pt.chaos.expect("chaos accounting present");
+        assert_eq!(c.crashed, 1, "kill=0.25 of 4 workers is one crash");
+        assert_eq!(c.stalled, 1, "stall=0.25 of 4 workers is one stall");
+        assert!(c.reclaimed >= 1, "the dead worker's lease must come back");
+        assert_eq!(c.leaked, 0, "chaos shutdown must recover every resource");
+        assert!(c.post_chaos_grants > 0, "the sweep must outlive the chaos");
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! The central-scheduler baseline: one arbiter thread that every grant
+//! must pass through — the runtime twin of the DES's
+//! `CentralOmegaNetwork`, existing to reproduce the paper's
+//! distributed-vs-central resilience claim end to end.
+//!
+//! The paper's core argument for distributing the scheduler into the
+//! fabric is that a central scheduler is a single point of failure. The
+//! three distributed disciplines in this crate have no grant-critical
+//! thread: every worker makes progress through its own CAS protocol, and
+//! the chaos suite shows them granting straight through client deaths.
+//! [`CentralBroker`] is the opposite by construction — workers post
+//! requests to per-worker mailboxes and a single **arbiter thread** is
+//! the only thing that ever assigns a resource. [`CentralBroker::kill_arbiter`]
+//! fail-stops that thread: every outstanding and future acquire then
+//! blocks forever (until its [`RunControl`] stops it), which is exactly
+//! the demonstration `tests/chaos.rs` asserts against the distributed
+//! disciplines' continued throughput.
+//!
+//! The mailbox protocol is deliberately minimal (this is a baseline, not
+//! a product): a worker CASes its mailbox `IDLE → REQUEST`, the arbiter
+//! answers with a resource index, and release posts `RELEASING` for the
+//! arbiter to collect. Leases, faults, and reclamation are not modeled —
+//! the SPOF is the point.
+
+use crate::{Broker, BrokerGrant, ReleaseOutcome, RunControl, Waiter, WorkerId, VACANT};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Mailbox sentinel: no request outstanding.
+const IDLE: u64 = u64::MAX;
+/// Mailbox sentinel: grant wanted.
+const REQUEST: u64 = u64::MAX - 1;
+/// Mailbox sentinel: grant being handed back.
+const RELEASING: u64 = u64::MAX - 2;
+
+#[derive(Debug)]
+struct Inner {
+    resources: usize,
+    /// One mailbox per worker: [`IDLE`], [`REQUEST`], [`RELEASING`], or a
+    /// granted resource index.
+    mailboxes: Vec<AtomicU64>,
+    /// Owner words, written only by the arbiter (workers just read).
+    slots: Vec<AtomicU64>,
+    /// Orderly shutdown (Drop).
+    shutdown: AtomicBool,
+    /// The fail-stop switch.
+    killed: AtomicBool,
+}
+
+impl Inner {
+    /// The arbiter: the single thread through which every grant flows.
+    fn arbitrate(&self) {
+        let mut assigned: Vec<Option<usize>> = vec![None; self.mailboxes.len()];
+        loop {
+            if self.killed.load(Ordering::Acquire) || self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let mut progress = false;
+            for (w, mailbox) in self.mailboxes.iter().enumerate() {
+                match mailbox.load(Ordering::Acquire) {
+                    RELEASING => {
+                        let r = assigned[w].take().expect("release without a grant");
+                        self.slots[r].store(VACANT, Ordering::Release);
+                        mailbox.store(IDLE, Ordering::Release);
+                        progress = true;
+                    }
+                    REQUEST => {
+                        if let Some(r) = self
+                            .slots
+                            .iter()
+                            .position(|s| s.load(Ordering::Relaxed) == VACANT)
+                        {
+                            self.slots[r].store(w as u64, Ordering::Release);
+                            assigned[w] = Some(r);
+                            mailbox.store(r as u64, Ordering::Release);
+                            progress = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !progress {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+/// Single-arbiter broker: the runtime single-point-of-failure baseline.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_broker::{Broker, CentralBroker, RunControl};
+///
+/// let broker = CentralBroker::new(2, 1);
+/// let ctl = RunControl::new();
+/// let grant = broker.acquire(0, &ctl).expect("arbiter alive");
+/// broker.end_transmission(0, grant);
+/// broker.release(0, grant);
+/// broker.kill_arbiter(); // from here on, nobody is ever granted again
+/// ```
+#[derive(Debug)]
+pub struct CentralBroker {
+    workers: usize,
+    inner: Arc<Inner>,
+    arbiter: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl CentralBroker {
+    /// Creates the broker and spawns its arbiter thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `resources` is zero.
+    #[must_use]
+    pub fn new(workers: usize, resources: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(resources > 0, "need at least one resource");
+        let inner = Arc::new(Inner {
+            resources,
+            mailboxes: (0..workers).map(|_| AtomicU64::new(IDLE)).collect(),
+            slots: (0..resources).map(|_| AtomicU64::new(VACANT)).collect(),
+            shutdown: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+        });
+        let arbiter_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("central-arbiter".into())
+            .spawn(move || arbiter_inner.arbitrate())
+            .expect("spawn arbiter");
+        CentralBroker {
+            workers,
+            inner,
+            arbiter: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Fail-stops the arbiter thread (and joins it, so "dead" is definite
+    /// when this returns). Outstanding grants stay granted; every pending
+    /// and future acquire blocks until its [`RunControl`] stops.
+    pub fn kill_arbiter(&self) {
+        self.inner.killed.store(true, Ordering::Release);
+        if let Some(handle) = self.arbiter.lock().expect("arbiter handle").take() {
+            handle.join().expect("arbiter panicked");
+        }
+    }
+
+    /// Whether the arbiter has been killed.
+    #[must_use]
+    pub fn arbiter_dead(&self) -> bool {
+        self.inner.killed.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for CentralBroker {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.arbiter.lock().expect("arbiter handle").take() {
+            handle.join().expect("arbiter panicked");
+        }
+    }
+}
+
+impl Broker for CentralBroker {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn resources(&self) -> usize {
+        self.inner.resources
+    }
+
+    fn acquire(&self, who: WorkerId, ctl: &RunControl) -> Option<BrokerGrant> {
+        debug_assert!(who < self.workers, "worker id out of range");
+        let mailbox = &self.inner.mailboxes[who];
+        // Wait out any previous release still being collected, then post.
+        let mut waiter = Waiter::new();
+        loop {
+            if ctl.is_stopped() {
+                return None;
+            }
+            if mailbox
+                .compare_exchange(IDLE, REQUEST, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+            waiter.wait();
+        }
+        let mut grant_wait = Waiter::new();
+        loop {
+            let v = mailbox.load(Ordering::Acquire);
+            if v < RELEASING {
+                return Some(BrokerGrant {
+                    resource: v as usize,
+                    generation: 0,
+                });
+            }
+            if ctl.is_stopped() {
+                // Retract the request; if a grant landed in the race,
+                // take it and hand it straight back.
+                if mailbox
+                    .compare_exchange(REQUEST, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    let v = mailbox.load(Ordering::Acquire);
+                    if v < RELEASING {
+                        mailbox.store(RELEASING, Ordering::Release);
+                    }
+                }
+                return None;
+            }
+            grant_wait.wait();
+        }
+    }
+
+    fn end_transmission(&self, _who: WorkerId, _grant: BrokerGrant) {
+        // The baseline models no separate transmission circuit.
+    }
+
+    fn release_audited(
+        &self,
+        who: WorkerId,
+        grant: BrokerGrant,
+        audit: &mut dyn FnMut(usize, WorkerId),
+    ) -> ReleaseOutcome {
+        audit(grant.resource, who);
+        self.inner.mailboxes[who].store(RELEASING, Ordering::Release);
+        ReleaseOutcome::Released
+    }
+
+    fn available_resources(&self) -> usize {
+        self.inner
+            .slots
+            .iter()
+            .filter(|s| s.load(Ordering::Acquire) == VACANT)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_and_releases_through_the_arbiter() {
+        let b = CentralBroker::new(3, 2);
+        let ctl = RunControl::new();
+        let g0 = b.acquire(0, &ctl).expect("arbiter alive");
+        let g1 = b.acquire(1, &ctl).expect("second resource");
+        assert_ne!(g0.resource, g1.resource);
+        assert_eq!(b.available_resources(), 0);
+        // A third acquire blocks until a release is collected.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| b.acquire(2, &ctl));
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(!handle.is_finished(), "must block while saturated");
+            b.release(0, g0);
+            let g = handle.join().expect("no panic").expect("granted");
+            b.release(2, g);
+        });
+        b.release(1, g1);
+        // Releases are asynchronous; wait for the arbiter to collect.
+        let mut w = Waiter::new();
+        while b.available_resources() != 2 {
+            w.wait();
+        }
+    }
+
+    #[test]
+    fn killed_arbiter_stops_granting_but_stop_still_unblocks() {
+        let b = CentralBroker::new(2, 2);
+        let ctl = RunControl::new();
+        let g = b.acquire(0, &ctl).expect("arbiter alive");
+        b.kill_arbiter();
+        assert!(b.arbiter_dead());
+        // Resources are free, yet nobody is ever granted again.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| b.acquire(1, &ctl));
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(
+                !handle.is_finished(),
+                "no grants without the central scheduler"
+            );
+            ctl.stop();
+            assert_eq!(handle.join().expect("no panic"), None);
+        });
+        // The holder's release is posted but never collected — frozen.
+        b.release(0, g);
+        assert_eq!(b.available_resources(), 1);
+    }
+}

@@ -50,13 +50,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod central;
+pub mod chaos;
+pub mod lease;
 pub mod loadgen;
 mod omega;
 mod sbus;
 mod xbar;
 
+pub use central::CentralBroker;
+pub use chaos::{ChaosOptions, ChaosPlan, ChaosSpec, ClientChaos, ClientEvent};
 pub use loadgen::{
-    run_load, run_saturated, Ledger, LoadConfig, LoadReport, SaturatedReport, WorkerShard,
+    run_load, run_load_chaos, run_saturated, run_saturated_chaos, ChaosReport, GrantGuard, Ledger,
+    LoadConfig, LoadReport, SaturatedChaosReport, SaturatedReport, WorkerShard,
 };
 pub use omega::OmegaBroker;
 pub use sbus::SbusBroker;
@@ -65,7 +71,8 @@ pub use xbar::{XbarBroker, XbarPolicy};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-/// Sentinel for "no owner" in every claim word of the crate.
+/// Sentinel for "no owner" in the Omega link claim words (resource claim
+/// words use the richer [`lease`] encoding).
 pub const VACANT: u64 = u64::MAX;
 
 /// Identity of a worker thread, `0 .. workers`.
@@ -76,11 +83,17 @@ pub type WorkerId = usize;
 /// The grant is a plain value: disciplines that need per-grant bookkeeping
 /// (the Omega path, the SBUS ticket) recompute it from `(worker, resource)`
 /// — routes are deterministic and tickets live in the broker — so grants
-/// cannot go stale or be forged across resources.
+/// cannot go stale or be forged across resources. The `generation` ties the
+/// grant to one *lease* of the resource: if a crashed holder's lease is
+/// reclaimed and the resource re-granted, the old grant's generation no
+/// longer matches and its late release is refused instead of corrupting
+/// the new holder's claim (see the [`lease`] module).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BrokerGrant {
     /// Index of the granted resource.
     pub resource: usize,
+    /// Lease generation this grant belongs to.
+    pub generation: u32,
 }
 
 /// Cooperative shutdown/abort flag shared by all workers of a run.
@@ -151,6 +164,17 @@ impl Waiter {
     }
 }
 
+/// How a release (or audited release) ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReleaseOutcome {
+    /// The caller held the grant and the resource is free again.
+    Released,
+    /// The grant's generation was stale: the lease had already been
+    /// reclaimed (the holder was presumed crashed). The release is a
+    /// harmless no-op — the reclaimer already ran the audit hook.
+    Stale,
+}
+
 /// A runtime scheduling discipline: workers block in [`Broker::acquire`]
 /// until a resource is granted, optionally hold the network circuit through
 /// a transmission phase, then release.
@@ -158,6 +182,18 @@ impl Waiter {
 /// Implementations must be safe to drive from `workers()` concurrent
 /// threads, each using its own distinct [`WorkerId`]; a worker holds at
 /// most one grant at a time (the paper's assumption (f)).
+///
+/// ## Leases and reclamation
+///
+/// Every grant is a lease (see the [`lease`] module): brokers built with a
+/// `with_lease` constructor stamp each grant with a deadline, and a
+/// supervisor may call [`Broker::reclaim_expired`] to recover resources
+/// from crashed or stalled holders. The `audit` hooks exist so external
+/// bookkeeping (the [`loadgen::Ledger`]) is updated *atomically enough*:
+/// the hook runs while the slot is still unclaimable (the `RECLAIMING`
+/// phase), so a new grant of the same resource can never be recorded
+/// before the old one's end. Brokers built with plain `new` never expire
+/// leases and behave exactly like the pre-lease protocols.
 pub trait Broker: Sync {
     /// Number of workers (processors) the broker arbitrates.
     fn workers(&self) -> usize;
@@ -172,13 +208,63 @@ pub trait Broker: Sync {
 
     /// Ends the transmission phase: releases whatever network capacity the
     /// discipline holds during transmission (the SBUS bus, the Omega path)
-    /// while keeping the resource itself.
+    /// while keeping the resource itself. Tolerates a stale grant (the
+    /// circuit was already reclaimed).
     fn end_transmission(&self, who: WorkerId, grant: BrokerGrant);
 
-    /// Releases the resource.
+    /// Releases the resource, running `audit(resource, who)` while the
+    /// slot is still unclaimable, and reports whether the grant was live.
     ///
     /// Callers must have called [`Broker::end_transmission`] first.
-    fn release(&self, who: WorkerId, grant: BrokerGrant);
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grant's generation is live but held by a different
+    /// worker — a forged release is a protocol violation, not a race.
+    fn release_audited(
+        &self,
+        who: WorkerId,
+        grant: BrokerGrant,
+        audit: &mut dyn FnMut(usize, WorkerId),
+    ) -> ReleaseOutcome;
+
+    /// Releases the resource with no audit hook.
+    fn release(&self, who: WorkerId, grant: BrokerGrant) {
+        self.release_audited(who, grant, &mut |_, _| {});
+    }
+
+    /// Reclaims every resource whose lease has expired, running
+    /// `audit(resource, evicted_holder)` per reclaim while the slot is
+    /// unclaimable; returns the number reclaimed. Also repairs any
+    /// discipline-internal state the dead holder wedged (the SBUS bus
+    /// turn, Omega circuit links, the rotating token). No-op for brokers
+    /// without expiring leases.
+    fn reclaim_expired(&self, audit: &mut dyn FnMut(usize, WorkerId)) -> usize {
+        let _ = audit;
+        0
+    }
+
+    /// Forcibly reclaims every held resource regardless of deadline —
+    /// the shutdown path, for after all worker threads have been joined
+    /// (a live holder would be evicted). Returns the number reclaimed.
+    fn reclaim_all(&self, audit: &mut dyn FnMut(usize, WorkerId)) -> usize {
+        let _ = audit;
+        0
+    }
+
+    /// Applies (`down = true`) or repairs (`down = false`) a resource
+    /// fault: a down resource stops being granted. Faulting a *held*
+    /// resource parks the fault until the holder's release or reclaim.
+    /// Brokers that do not model resource faults ignore the call.
+    fn set_resource_faulted(&self, resource: usize, down: bool) {
+        let _ = (resource, down);
+    }
+
+    /// Number of resources currently grantable (not held, not mid-reclaim,
+    /// not faulted). After a quiescent shutdown — workers joined, faults
+    /// repaired, [`Broker::reclaim_all`] run — this must equal
+    /// [`Broker::resources`], or grants leaked.
+    fn available_resources(&self) -> usize;
 }
 
 #[cfg(test)]

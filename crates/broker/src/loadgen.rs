@@ -1,5 +1,6 @@
 //! Closed-loop load generation against a [`Broker`], with sharded
-//! statistics and an independent grant audit.
+//! statistics, an independent grant audit, and a chaos mode that injects
+//! client crashes, stalls, and resource faults under supervision.
 //!
 //! [`run_load`] replays the paper's task lifecycle in real time: each of
 //! the broker's workers is an OS thread playing one processor. The thread
@@ -12,6 +13,22 @@
 //! only while queueing and transmitting — service overlaps with the
 //! processor's next request — so the worker thread must be free to start
 //! its next acquire while earlier grants are still in service.
+//!
+//! Every held grant lives inside a [`GrantGuard`]: if the holding thread
+//! unwinds for any reason, the guard's `Drop` ends the transmission and
+//! releases the resource with the ledger kept honest, so a panic can no
+//! longer leak a grant. The only way to leak is to *ask* for it
+//! ([`GrantGuard::forget`]) — which is exactly what the chaos driver does
+//! to simulate fail-stop client death.
+//!
+//! [`run_load_chaos`] is the hardened twin: it additionally executes a
+//! [`ChaosPlan`](crate::ChaosPlan) (seeded client crashes and stalls), a
+//! [`rsin_des::FaultPlan`] of resource outages, and promotes the
+//! reaper into a **supervisor** that periodically reclaims expired leases
+//! ([`Broker::reclaim_expired`]) and applies due fault events. Crashed
+//! worker threads genuinely unwind; their statistics shards ride out in
+//! the unwind payload and are recovered at join, so crashed workers still
+//! count in the merged report.
 //!
 //! Grant delay is measured from the *scheduled* arrival instant (so a
 //! backlogged processor correctly charges head-of-line waiting to the
@@ -30,13 +47,18 @@
 //! [`run_saturated`] is the companion closed-loop driver for fairness and
 //! safety work: every worker re-requests as fast as it can, and the report
 //! exposes per-worker grant counts and worst-case waits.
+//! [`run_saturated_chaos`] adds the same supervision; there, chaos and
+//! fault times are in **milliseconds of wall time** (a saturated run has
+//! no model clock).
 
+use crate::chaos::ChaosOptions;
 use crate::{Broker, BrokerGrant, RunControl, WorkerId, VACANT};
 use rsin_des::stats::{Histogram, Welford};
-use rsin_des::SimRng;
+use rsin_des::{FaultAction, FaultPlan, FaultTarget, SimRng, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -178,6 +200,33 @@ impl LoadReport {
     }
 }
 
+/// Output of one [`run_load_chaos`] run: the ordinary load report plus
+/// the fault-tolerance accounting the chaos acceptance criteria assert on.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The merged load statistics (crashed workers' shards included —
+    /// they are recovered from the unwind payload).
+    pub load: LoadReport,
+    /// Worker threads that genuinely crashed (unwound) mid-protocol.
+    pub crashed: usize,
+    /// Stalls executed (grants held past their lease by live stragglers).
+    pub stalled: usize,
+    /// Leases the supervisor reclaimed from dead or stalled holders.
+    pub reclaimed: u64,
+    /// Leases force-reclaimed at shutdown (leaked grants whose lease had
+    /// not yet expired when the run ended).
+    pub forced_reclaims: u64,
+    /// Grants won by arrivals after the last scheduled chaos event — the
+    /// "system keeps granting" liveness witness.
+    pub post_chaos_grants: u64,
+    /// [`Broker::available_resources`] after shutdown reclamation and
+    /// fault repair; equals the resource count iff nothing leaked.
+    pub available_at_end: usize,
+    /// [`Ledger::held`] after shutdown — zero iff the audit saw every
+    /// grant matched by a release or a reclaim.
+    pub ledger_held_at_end: usize,
+}
+
 /// Output of one [`run_saturated`] run.
 #[derive(Clone, Debug)]
 pub struct SaturatedReport {
@@ -197,13 +246,33 @@ impl SaturatedReport {
     }
 }
 
+/// Output of one [`run_saturated_chaos`] run.
+#[derive(Clone, Debug)]
+pub struct SaturatedChaosReport {
+    /// The per-worker saturation statistics (crashed workers included).
+    pub sat: SaturatedReport,
+    /// Worker threads that genuinely crashed mid-protocol.
+    pub crashed: usize,
+    /// Leases the supervisor reclaimed from dead or stalled holders.
+    pub reclaimed: u64,
+    /// Leases force-reclaimed at shutdown.
+    pub forced_reclaims: u64,
+    /// Grants won after the last scheduled chaos event.
+    pub post_chaos_grants: u64,
+    /// [`Broker::available_resources`] after shutdown reclamation and
+    /// fault repair.
+    pub available_at_end: usize,
+}
+
 /// Independent audit of grant exclusivity.
 ///
 /// The ledger mirrors every claim and vacate in its own atomic array,
 /// *outside* the broker under test: if a broken broker ever grants one
 /// resource to two holders, the second [`Ledger::claim`] finds the slot
 /// occupied and counts a violation instead of trusting the broker's own
-/// bookkeeping.
+/// bookkeeping. Under chaos the reclaim paths vacate through the same
+/// audit hooks, during the window in which the slot is unclaimable, so a
+/// reclaim-then-regrant can never appear as a double claim.
 #[derive(Debug)]
 pub struct Ledger {
     slots: Vec<AtomicU64>,
@@ -256,6 +325,116 @@ impl Ledger {
     }
 }
 
+/// RAII custody of one grant: ends the transmission and releases the
+/// resource (audited) when dropped, so an unwinding holder can no longer
+/// leak a grant.
+///
+/// The pre-guard load generator had exactly that bug: a panic between
+/// `acquire` and `release` left the resource held forever. Now the only
+/// way to leak is deliberate — [`GrantGuard::forget`] — which is the
+/// chaos driver's fail-stop crash simulation, and whose leak the lease
+/// supervisor is designed to reclaim.
+pub struct GrantGuard<'a, B: Broker + ?Sized> {
+    broker: &'a B,
+    ledger: Option<&'a Ledger>,
+    who: WorkerId,
+    grant: BrokerGrant,
+    transmitting: bool,
+    armed: bool,
+}
+
+impl<'a, B: Broker + ?Sized> GrantGuard<'a, B> {
+    /// Guards `grant` without ledger bookkeeping.
+    #[must_use]
+    pub fn new(broker: &'a B, who: WorkerId, grant: BrokerGrant) -> Self {
+        GrantGuard {
+            broker,
+            ledger: None,
+            who,
+            grant,
+            transmitting: true,
+            armed: true,
+        }
+    }
+
+    /// Guards `grant` and records the claim in `ledger` now; the matching
+    /// vacate runs inside the audited release when the guard drops.
+    #[must_use]
+    pub fn audited(broker: &'a B, ledger: &'a Ledger, who: WorkerId, grant: BrokerGrant) -> Self {
+        ledger.claim(grant.resource, who);
+        GrantGuard {
+            broker,
+            ledger: Some(ledger),
+            who,
+            grant,
+            transmitting: true,
+            armed: true,
+        }
+    }
+
+    /// The guarded grant.
+    #[must_use]
+    pub fn grant(&self) -> BrokerGrant {
+        self.grant
+    }
+
+    /// Ends the transmission phase (idempotent; `Drop` calls it if the
+    /// holder never did).
+    pub fn end_transmission(&mut self) {
+        if self.transmitting {
+            self.transmitting = false;
+            self.broker.end_transmission(self.who, self.grant);
+        }
+    }
+
+    /// Releases now (equivalent to dropping, spelled out at call sites).
+    pub fn release(self) {}
+
+    /// Deliberately leaks the grant — no transmission end, no release, no
+    /// audit — simulating the holder's fail-stop death mid-protocol.
+    /// Returns the leaked grant for the record.
+    #[must_use]
+    pub fn forget(mut self) -> BrokerGrant {
+        self.armed = false;
+        self.grant
+    }
+
+    /// Hands the release off to the reaper at `due` and disarms the
+    /// guard. Transmission must already be ended.
+    fn defer(mut self, reaper: &Reaper, due: Instant) {
+        debug_assert!(!self.transmitting, "defer before end_transmission");
+        self.armed = false;
+        reaper.push(due, self.who, self.grant);
+    }
+}
+
+impl<B: Broker + ?Sized> fmt::Debug for GrantGuard<'_, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GrantGuard")
+            .field("who", &self.who)
+            .field("grant", &self.grant)
+            .field("transmitting", &self.transmitting)
+            .field("armed", &self.armed)
+            .finish()
+    }
+}
+
+impl<B: Broker + ?Sized> Drop for GrantGuard<'_, B> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.end_transmission();
+        let ledger = self.ledger;
+        self.broker
+            .release_audited(self.who, self.grant, &mut |r, w| {
+                if let Some(l) = ledger {
+                    l.vacate(r, w);
+                }
+            });
+    }
+}
+
 /// A grant awaiting its service-completion release.
 #[derive(Debug)]
 struct PendingRelease {
@@ -289,7 +468,9 @@ struct ReaperQueue {
 }
 
 /// Release scheduler shared between the workers (producers) and the
-/// reaper thread (consumer).
+/// reaper thread (consumer). Under chaos the same thread doubles as the
+/// **supervisor**: between releases it reclaims expired leases and
+/// applies due resource-fault events.
 #[derive(Debug, Default)]
 struct Reaper {
     queue: Mutex<ReaperQueue>,
@@ -309,42 +490,167 @@ impl Reaper {
     }
 
     /// Runs until closed *and* drained, releasing each grant at its due
-    /// instant (immediately once closed — the run is over).
-    fn run<B: Broker + ?Sized>(&self, broker: &B, ledger: &Ledger) {
-        let mut q = self.queue.lock().expect("reaper lock");
+    /// instant (immediately once closed — the run is over). With a
+    /// supervisor attached, additionally wakes at least every
+    /// `supervisor.poll` to reclaim expired leases and apply fault
+    /// events; returns the number of leases reclaimed.
+    ///
+    /// Releases go through [`Broker::release_audited`] and tolerate
+    /// [`ReleaseOutcome::Stale`](crate::ReleaseOutcome::Stale): a grant
+    /// the supervisor already reclaimed (its holder stalled) must not be
+    /// vacated a second time.
+    fn run<B: Broker + ?Sized>(
+        &self,
+        broker: &B,
+        ledger: &Ledger,
+        mut supervisor: Option<&mut Supervisor>,
+    ) -> u64 {
+        let mut reclaimed = 0u64;
         loop {
-            let now = Instant::now();
-            match q.heap.peek() {
-                Some(Reverse(top)) if top.due <= now || q.closed => {
-                    let Reverse(p) = q.heap.pop().expect("peeked");
-                    drop(q);
-                    ledger.vacate(p.grant.resource, p.who);
-                    broker.release(p.who, p.grant);
-                    q = self.queue.lock().expect("reaper lock");
-                }
-                Some(Reverse(top)) => {
-                    let wait = top.due - now;
-                    if wait > SPIN_WINDOW {
-                        let (guard, _) = self
-                            .wake
-                            .wait_timeout(q, wait - SPIN_WINDOW)
-                            .expect("reaper lock");
-                        q = guard;
-                    } else {
-                        let due = top.due;
+            if let Some(sup) = supervisor.as_deref_mut() {
+                sup.faults.apply_due(broker);
+                reclaimed += broker.reclaim_expired(&mut |r, w| ledger.vacate(r, w)) as u64;
+            }
+            let mut q = self.queue.lock().expect("reaper lock");
+            loop {
+                let now = Instant::now();
+                match q.heap.peek() {
+                    Some(Reverse(top)) if top.due <= now || q.closed => {
+                        let Reverse(p) = q.heap.pop().expect("peeked");
                         drop(q);
-                        sleep_until(due);
+                        broker.release_audited(p.who, p.grant, &mut |r, w| ledger.vacate(r, w));
                         q = self.queue.lock().expect("reaper lock");
                     }
+                    _ => break,
                 }
-                None if q.closed => return,
-                None => q = self.wake.wait(q).expect("reaper lock"),
+            }
+            let now = Instant::now();
+            let next_due = q.heap.peek().map(|Reverse(top)| top.due);
+            if q.closed && next_due.is_none() {
+                return reclaimed;
+            }
+            let mut wait = match next_due {
+                Some(due) => due.saturating_duration_since(now),
+                None => Duration::from_secs(3_600),
+            };
+            if let Some(sup) = supervisor.as_deref() {
+                wait = wait.min(sup.poll);
+            }
+            if wait > SPIN_WINDOW {
+                let (guard, _) = self
+                    .wake
+                    .wait_timeout(q, wait - SPIN_WINDOW)
+                    .expect("reaper lock");
+                drop(guard);
+            } else {
+                drop(q);
+                sleep_until(now + wait);
             }
         }
     }
 }
 
-/// One worker thread: replays its arrival schedule against the broker.
+/// Wall-clock materialization of a [`FaultPlan`]: the finite, time-sorted
+/// prefix of events inside the run horizon, mapped to instants.
+#[derive(Debug)]
+struct FaultSchedule {
+    /// `(when, resource, down)` in nondecreasing `when` order.
+    events: Vec<(Instant, usize, bool)>,
+    next: usize,
+    down: Vec<bool>,
+}
+
+impl FaultSchedule {
+    /// Drains `plan`'s timeline (materialized with `seed` — feed the DES
+    /// the same seed and it sees the identical event sequence) up to
+    /// `horizon` model units, mapping model time `t` to
+    /// `epoch + t * scale_secs`. `Element` targets and out-of-range
+    /// resource indices are ignored.
+    fn materialize(
+        plan: &FaultPlan,
+        seed: u64,
+        resources: usize,
+        epoch: Instant,
+        scale_secs: f64,
+        horizon: f64,
+    ) -> Self {
+        let mut events = Vec::new();
+        if !plan.is_empty() {
+            let mut rng = SimRng::new(seed);
+            let mut timeline = plan.timeline(&mut rng);
+            for e in timeline.drain_until(SimTime::new(horizon)) {
+                if let FaultTarget::Resource(r) = e.target {
+                    if r < resources {
+                        let due = epoch + Duration::from_secs_f64(e.time.as_f64() * scale_secs);
+                        events.push((due, r, e.action == FaultAction::Fail));
+                    }
+                }
+            }
+        }
+        FaultSchedule {
+            events,
+            next: 0,
+            down: vec![false; resources],
+        }
+    }
+
+    /// Applies every event that is due, skipping no-op transitions.
+    fn apply_due<B: Broker + ?Sized>(&mut self, broker: &B) {
+        let now = Instant::now();
+        while let Some(&(due, r, down)) = self.events.get(self.next) {
+            if due > now {
+                break;
+            }
+            self.next += 1;
+            if self.down[r] != down {
+                self.down[r] = down;
+                broker.set_resource_faulted(r, down);
+            }
+        }
+    }
+
+    /// Repairs everything still down — the shutdown path, so the
+    /// leak audit compares against full capacity.
+    fn repair_all<B: Broker + ?Sized>(&mut self, broker: &B) {
+        for (r, d) in self.down.iter_mut().enumerate() {
+            if *d {
+                *d = false;
+                broker.set_resource_faulted(r, false);
+            }
+        }
+    }
+}
+
+/// The reaper's chaos-mode side job.
+#[derive(Debug)]
+struct Supervisor {
+    poll: Duration,
+    faults: FaultSchedule,
+}
+
+/// What a chaos worker thread hands back — normally by return, after a
+/// crash by unwind payload.
+struct ChaosOut {
+    shard: WorkerShard,
+    post_grants: u64,
+    stalls: usize,
+}
+
+/// Unwind payload of a simulated fail-stop crash. Carried via
+/// [`std::panic::resume_unwind`] so the default panic hook stays silent —
+/// these deaths are scheduled, not bugs.
+struct CrashPayload(ChaosOut);
+
+/// Client-side chaos context for one run.
+struct ChaosCtx {
+    plan: crate::ChaosPlan,
+    /// Model time after which every scheduled misbehavior has begun.
+    horizon: f64,
+}
+
+/// One worker thread: replays its arrival schedule against the broker,
+/// misbehaving on cue when a chaos context is attached.
+#[allow(clippy::too_many_arguments)]
 fn drive_worker<B: Broker + ?Sized>(
     broker: &B,
     ledger: &Ledger,
@@ -353,9 +659,14 @@ fn drive_worker<B: Broker + ?Sized>(
     cfg: &LoadConfig,
     epoch: Instant,
     who: WorkerId,
-) -> WorkerShard {
+    chaos: Option<&ChaosCtx>,
+) -> ChaosOut {
     let mut rng = SimRng::new(cfg.seed).derive(who as u64);
     let mut shard = WorkerShard::new(cfg);
+    let my_events = chaos.map(|cx| cx.plan.for_worker(who)).unwrap_or_default();
+    let mut next_event = 0usize;
+    let mut post_grants = 0u64;
+    let mut stalls = 0usize;
     let horizon = cfg.warmup + cfg.duration;
     let mut t = 0.0_f64;
     loop {
@@ -374,22 +685,75 @@ fn drive_worker<B: Broker + ?Sized>(
             break;
         };
         let waited = Instant::now().saturating_duration_since(scheduled);
-        ledger.claim(grant.resource, who);
+        let mut guard = GrantGuard::audited(broker, ledger, who, grant);
         shard.grants += 1;
         if measured {
             let d = waited.as_secs_f64() / cfg.scale_secs();
             shard.delay.push(d);
             shard.hist.record(d);
         }
+        if let Some(cx) = chaos {
+            if t >= cx.horizon {
+                post_grants += 1;
+            }
+            if let Some(e) = my_events.get(next_event) {
+                if e.at <= t {
+                    next_event += 1;
+                    match e.kind {
+                        crate::ClientChaos::Crash => {
+                            // Fail-stop death while holding the grant: leak
+                            // it (the lease supervisor's problem now) and
+                            // genuinely unwind, smuggling the statistics
+                            // out through the panic payload.
+                            let _ = guard.forget();
+                            std::panic::resume_unwind(Box::new(CrashPayload(ChaosOut {
+                                shard,
+                                post_grants,
+                                stalls,
+                            })));
+                        }
+                        crate::ClientChaos::StallFor(s) => {
+                            // Sit on the grant far past the lease: the
+                            // supervisor evicts us mid-sleep and our own
+                            // late protocol calls must land as stale no-ops.
+                            stalls += 1;
+                            std::thread::sleep(cfg.wall_after(s));
+                        }
+                    }
+                }
+            }
+        }
         if let Some(mu_n) = cfg.mu_n {
             let tx = rng.exponential(mu_n);
             sleep_until(Instant::now() + cfg.wall_after(tx));
         }
-        broker.end_transmission(who, grant);
+        guard.end_transmission();
         let svc = rng.exponential(cfg.mu_s);
-        reaper.push(Instant::now() + cfg.wall_after(svc), who, grant);
+        guard.defer(reaper, Instant::now() + cfg.wall_after(svc));
     }
-    shard
+    ChaosOut {
+        shard,
+        post_grants,
+        stalls,
+    }
+}
+
+/// Joins a chaos worker, recovering the statistics of a scheduled crash
+/// from the unwind payload; real (unscheduled) panics propagate.
+fn join_chaos_worker(
+    handle: std::thread::ScopedJoinHandle<'_, ChaosOut>,
+    crashed: &mut usize,
+) -> ChaosOut {
+    match handle.join() {
+        Ok(out) => out,
+        Err(payload) => match payload.downcast::<CrashPayload>() {
+            Ok(crash) => {
+                *crashed += 1;
+                crash.0
+            }
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
 }
 
 /// Drives `broker` with open-loop Poisson traffic from one thread per
@@ -418,23 +782,28 @@ pub fn run_load<B: Broker + ?Sized>(broker: &B, cfg: &LoadConfig) -> LoadReport 
 
     let mut shards: Vec<Option<WorkerShard>> = (0..workers).map(|_| None).collect();
     std::thread::scope(|s| {
-        let reaper_handle = s.spawn(|| reaper.run(broker, &ledger));
+        let reaper_handle = s.spawn(|| reaper.run(broker, &ledger, None));
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let (ledger, reaper, ctl, cfg) = (&ledger, &reaper, &ctl, &cfg);
-                s.spawn(move || drive_worker(broker, ledger, reaper, ctl, cfg, epoch, w))
+                s.spawn(move || drive_worker(broker, ledger, reaper, ctl, cfg, epoch, w, None))
             })
             .collect();
         sleep_until(deadline);
         ctl.stop();
         for (w, h) in handles.into_iter().enumerate() {
-            shards[w] = Some(h.join().expect("worker panicked"));
+            shards[w] = Some(h.join().expect("worker panicked").shard);
         }
         reaper.close();
         reaper_handle.join().expect("reaper panicked");
     });
 
     let shards: Vec<WorkerShard> = shards.into_iter().map(|s| s.expect("joined")).collect();
+    merge_report(cfg, shards, &ledger)
+}
+
+/// Merges per-worker shards and the ledger verdict into a [`LoadReport`].
+fn merge_report(cfg: &LoadConfig, shards: Vec<WorkerShard>, ledger: &Ledger) -> LoadReport {
     let mut delay = Welford::new();
     let mut hist = Histogram::new(cfg.hist_bins, cfg.hist_upper);
     let (mut grants, mut offered, mut abandoned) = (0, 0, 0);
@@ -453,6 +822,93 @@ pub fn run_load<B: Broker + ?Sized>(broker: &B, cfg: &LoadConfig) -> LoadReport 
         abandoned,
         violations: ledger.violations(),
         shards,
+    }
+}
+
+/// [`run_load`] under fire: executes `opts.plan`'s client crashes and
+/// stalls, applies `opts.faults` resource outages, and supervises the
+/// broker's leases throughout. The broker should be built `with_lease`
+/// (roughly `opts.lease`), or leaked grants survive until the shutdown
+/// force-reclaim.
+///
+/// Shutdown sequence: workers joined (crash payloads recovered) → reaper
+/// drained → [`Broker::reclaim_all`] (catches leaks whose lease had not
+/// yet expired) → outstanding faults repaired → capacity audited. A
+/// chaos-correct broker ends with `available_at_end == resources()`,
+/// `ledger_held_at_end == 0`, and zero violations.
+///
+/// # Panics
+///
+/// Panics on an *unscheduled* worker panic (broker protocol assertion) or
+/// non-positive rates.
+pub fn run_load_chaos<B: Broker + ?Sized>(
+    broker: &B,
+    cfg: &LoadConfig,
+    opts: &ChaosOptions,
+) -> ChaosReport {
+    assert!(cfg.lambda > 0.0, "arrival rate must be positive");
+    assert!(cfg.mu_s > 0.0, "service rate must be positive");
+    assert!(cfg.scale_us > 0.0, "time scale must be positive");
+    let workers = broker.workers();
+    let resources = broker.resources();
+    let ledger = Ledger::new(resources);
+    let reaper = Reaper::default();
+    let ctl = RunControl::new();
+    let epoch = Instant::now() + Duration::from_millis(10);
+    let horizon = cfg.warmup + cfg.duration + cfg.drain;
+    let deadline = epoch + cfg.wall_after(horizon);
+    let chaos_ctx = ChaosCtx {
+        plan: opts.plan.clone(),
+        horizon: opts.plan.horizon(),
+    };
+    let mut supervisor = Supervisor {
+        poll: opts.supervisor_poll(),
+        faults: FaultSchedule::materialize(
+            &opts.faults,
+            opts.fault_seed,
+            resources,
+            epoch,
+            cfg.scale_secs(),
+            horizon,
+        ),
+    };
+
+    let mut outs: Vec<Option<ChaosOut>> = (0..workers).map(|_| None).collect();
+    let mut crashed = 0usize;
+    let reclaimed = std::thread::scope(|s| {
+        let sup = &mut supervisor;
+        let reaper_handle = s.spawn(|| reaper.run(broker, &ledger, Some(sup)));
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (ledger, reaper, ctl, cfg, cx) = (&ledger, &reaper, &ctl, &cfg, &chaos_ctx);
+                s.spawn(move || drive_worker(broker, ledger, reaper, ctl, cfg, epoch, w, Some(cx)))
+            })
+            .collect();
+        sleep_until(deadline);
+        ctl.stop();
+        for (w, h) in handles.into_iter().enumerate() {
+            outs[w] = Some(join_chaos_worker(h, &mut crashed));
+        }
+        reaper.close();
+        reaper_handle.join().expect("reaper panicked")
+    });
+
+    let forced_reclaims = broker.reclaim_all(&mut |r, w| ledger.vacate(r, w)) as u64;
+    supervisor.faults.repair_all(broker);
+
+    let outs: Vec<ChaosOut> = outs.into_iter().map(|o| o.expect("joined")).collect();
+    let post_chaos_grants = outs.iter().map(|o| o.post_grants).sum();
+    let stalled = outs.iter().map(|o| o.stalls).sum();
+    let shards = outs.into_iter().map(|o| o.shard).collect();
+    ChaosReport {
+        load: merge_report(cfg, shards, &ledger),
+        crashed,
+        stalled,
+        reclaimed,
+        forced_reclaims,
+        post_chaos_grants,
+        available_at_end: broker.available_resources(),
+        ledger_held_at_end: ledger.held(),
     }
 }
 
@@ -490,12 +946,11 @@ pub fn run_saturated<B: Broker + ?Sized>(
                             break;
                         };
                         worst = worst.max(started.elapsed());
-                        ledger.claim(grant.resource, w);
+                        let mut guard = GrantGuard::audited(broker, ledger, w, grant);
                         won += 1;
                         std::thread::sleep(hold);
-                        broker.end_transmission(w, grant);
-                        ledger.vacate(grant.resource, w);
-                        broker.release(w, grant);
+                        guard.end_transmission();
+                        guard.release();
                     }
                     (won, worst)
                 })
@@ -517,10 +972,153 @@ pub fn run_saturated<B: Broker + ?Sized>(
     }
 }
 
+/// Unwind payload of a crashed saturated worker.
+struct SatCrashPayload {
+    won: u64,
+    worst: Duration,
+    post_grants: u64,
+}
+
+/// [`run_saturated`] under fire. Because a saturated run has no model
+/// clock, `opts.plan` event times, stall durations, and `opts.faults`
+/// times are interpreted as **milliseconds of wall time** from the run's
+/// start.
+///
+/// # Panics
+///
+/// Panics on an unscheduled worker panic.
+pub fn run_saturated_chaos<B: Broker + ?Sized>(
+    broker: &B,
+    hold: Duration,
+    run_for: Duration,
+    opts: &ChaosOptions,
+) -> SaturatedChaosReport {
+    const MS_PER_UNIT: f64 = 1e-3;
+    let workers = broker.workers();
+    let resources = broker.resources();
+    let ledger = Ledger::new(resources);
+    let ctl = RunControl::new();
+    let epoch = Instant::now();
+    let chaos_over = epoch + Duration::from_secs_f64(opts.plan.horizon() * MS_PER_UNIT);
+    let mut faults = FaultSchedule::materialize(
+        &opts.faults,
+        opts.fault_seed,
+        resources,
+        epoch,
+        MS_PER_UNIT,
+        run_for.as_secs_f64() / MS_PER_UNIT,
+    );
+    let poll = opts.supervisor_poll();
+    let supervisor_done = AtomicBool::new(false);
+
+    let mut grants = vec![0u64; workers];
+    let mut max_wait = vec![Duration::ZERO; workers];
+    let mut crashed = 0usize;
+    let mut post_chaos_grants = 0u64;
+    let reclaimed = std::thread::scope(|s| {
+        let (faults_ref, done, sup_ledger) = (&mut faults, &supervisor_done, &ledger);
+        let sup_handle = s.spawn(move || {
+            let mut reclaimed = 0u64;
+            loop {
+                faults_ref.apply_due(broker);
+                reclaimed += broker.reclaim_expired(&mut |r, w| sup_ledger.vacate(r, w)) as u64;
+                if done.load(Ordering::Acquire) {
+                    return reclaimed;
+                }
+                std::thread::sleep(poll);
+            }
+        });
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (ledger, ctl, opts) = (&ledger, &ctl, &opts);
+                s.spawn(move || {
+                    let my_events = opts.plan.for_worker(w);
+                    let mut next_event = 0usize;
+                    let mut won = 0u64;
+                    let mut worst = Duration::ZERO;
+                    let mut post = 0u64;
+                    loop {
+                        let started = Instant::now();
+                        let Some(grant) = broker.acquire(w, ctl) else {
+                            break;
+                        };
+                        worst = worst.max(started.elapsed());
+                        let mut guard = GrantGuard::audited(broker, ledger, w, grant);
+                        won += 1;
+                        if Instant::now() >= chaos_over {
+                            post += 1;
+                        }
+                        if let Some(e) = my_events.get(next_event) {
+                            let due = epoch + Duration::from_secs_f64(e.at * MS_PER_UNIT);
+                            if Instant::now() >= due {
+                                next_event += 1;
+                                match e.kind {
+                                    crate::ClientChaos::Crash => {
+                                        let _ = guard.forget();
+                                        std::panic::resume_unwind(Box::new(SatCrashPayload {
+                                            won,
+                                            worst,
+                                            post_grants: post,
+                                        }));
+                                    }
+                                    crate::ClientChaos::StallFor(ms) => {
+                                        std::thread::sleep(Duration::from_secs_f64(
+                                            ms * MS_PER_UNIT,
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        std::thread::sleep(hold);
+                        guard.end_transmission();
+                        guard.release();
+                    }
+                    (won, worst, post)
+                })
+            })
+            .collect();
+        std::thread::sleep(run_for);
+        ctl.stop();
+        for (w, h) in handles.into_iter().enumerate() {
+            let (won, worst, post) = match h.join() {
+                Ok(out) => out,
+                Err(payload) => match payload.downcast::<SatCrashPayload>() {
+                    Ok(crash) => {
+                        crashed += 1;
+                        (crash.won, crash.worst, crash.post_grants)
+                    }
+                    Err(other) => std::panic::resume_unwind(other),
+                },
+            };
+            grants[w] = won;
+            max_wait[w] = worst;
+            post_chaos_grants += post;
+        }
+        supervisor_done.store(true, Ordering::Release);
+        sup_handle.join().expect("supervisor panicked")
+    });
+
+    let forced_reclaims = broker.reclaim_all(&mut |r, w| ledger.vacate(r, w)) as u64;
+    faults.repair_all(broker);
+
+    SaturatedChaosReport {
+        sat: SaturatedReport {
+            grants,
+            max_wait,
+            violations: ledger.violations(),
+        },
+        crashed,
+        reclaimed,
+        forced_reclaims,
+        post_chaos_grants,
+        available_at_end: broker.available_resources(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{XbarBroker, XbarPolicy};
+    use crate::{ChaosPlan, ClientChaos, ClientEvent, XbarBroker, XbarPolicy};
 
     #[test]
     fn ledger_counts_double_claims_and_foreign_vacates() {
@@ -542,6 +1140,41 @@ mod tests {
         sleep_until(target);
         let over = Instant::now().saturating_duration_since(target);
         assert!(over < Duration::from_millis(2), "overshot by {over:?}");
+    }
+
+    #[test]
+    fn grant_guard_releases_when_the_holder_panics() {
+        let broker = XbarBroker::new(2, 2, XbarPolicy::FixedPriority);
+        let ledger = Ledger::new(2);
+        let ctl = RunControl::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let grant = broker.acquire(0, &ctl).expect("free column");
+            let _guard = GrantGuard::audited(&broker, &ledger, 0, grant);
+            panic!("holder dies mid-protocol");
+        }));
+        assert!(result.is_err());
+        // The unwound guard ended the transmission, released, and vacated.
+        assert_eq!(broker.available_resources(), 2, "grant leaked on panic");
+        assert_eq!(ledger.held(), 0);
+        assert_eq!(ledger.violations(), 0);
+    }
+
+    #[test]
+    fn grant_guard_forget_leaks_on_purpose() {
+        let broker = XbarBroker::new(2, 2, XbarPolicy::FixedPriority);
+        let ledger = Ledger::new(2);
+        let ctl = RunControl::new();
+        let grant = broker.acquire(0, &ctl).expect("free column");
+        let guard = GrantGuard::audited(&broker, &ledger, 0, grant);
+        let leaked = guard.forget();
+        assert_eq!(leaked, grant);
+        assert_eq!(broker.available_resources(), 1, "leak must persist");
+        // Shutdown force-reclaim recovers it and squares the ledger.
+        let n = broker.reclaim_all(&mut |r, w| ledger.vacate(r, w));
+        assert_eq!(n, 1);
+        assert_eq!(broker.available_resources(), 2);
+        assert_eq!(ledger.held(), 0);
+        assert_eq!(ledger.violations(), 0);
     }
 
     #[test]
@@ -571,5 +1204,35 @@ mod tests {
         );
         assert_eq!(report.violations, 0);
         assert!(report.total_grants() > 10, "saturation must make progress");
+    }
+
+    #[test]
+    fn chaos_run_recovers_crashed_workers_and_their_grants() {
+        let lease = Duration::from_millis(2);
+        let broker = XbarBroker::with_lease(4, 2, XbarPolicy::TokenRotation, lease);
+        let mut cfg = LoadConfig::new(0.5, 2.0);
+        cfg.scale_us = 500.0;
+        cfg.warmup = 5.0;
+        cfg.duration = 60.0;
+        let plan = ChaosPlan::new().with(ClientEvent {
+            at: 20.0,
+            worker: 1,
+            kind: ClientChaos::Crash,
+        });
+        let opts = ChaosOptions::new(plan, lease);
+        let report = run_load_chaos(&broker, &cfg, &opts);
+        assert_eq!(report.crashed, 1, "the scheduled crash must fire");
+        assert_eq!(report.load.violations, 0);
+        assert!(
+            report.reclaimed + report.forced_reclaims >= 1,
+            "the leak is reclaimed"
+        );
+        assert!(
+            report.post_chaos_grants > 0,
+            "granting continues after the crash"
+        );
+        assert_eq!(report.available_at_end, 2, "no leaked resources");
+        assert_eq!(report.ledger_held_at_end, 0);
+        assert_eq!(report.load.shards.len(), 4, "crashed shard recovered");
     }
 }

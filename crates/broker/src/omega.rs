@@ -7,9 +7,9 @@
 //! link. The runtime makes every link a claim word and builds a circuit
 //! the way the hardware's wave does — stage by stage in route order:
 //!
-//! 1. Claim a free resource (the destination port) by CAS on its owner
-//!    word; the destination-tag route from the worker's source port is then
-//!    fully determined, so the grant needs no extra bookkeeping.
+//! 1. Claim a free resource (the destination port) by CAS on its leased
+//!    owner word; the destination-tag route from the worker's source port
+//!    is then fully determined, so the grant needs no extra bookkeeping.
 //! 2. Claim the route's links in stage order. A link that is already taken
 //!    means a blocking conflict with a live circuit: **roll back** every
 //!    link claimed so far *and* the resource, then wait and retry from
@@ -22,6 +22,28 @@
 //! the conflicting circuit's transmission ends (paths are freed by
 //! [`Broker::end_transmission`], matching the model where the circuit is
 //! held only for the transmission stage).
+//!
+//! ## Crash tolerance (route rollback by the supervisor)
+//!
+//! A holder that dies during its transmission leaves its whole circuit —
+//! one link per stage — claimed, and any circuit that shares a link with
+//! it blocks forever. Because routes are a pure function of
+//! `(worker, resource)`, the supervisor needs no record of the dead
+//! claimant's progress: when a resource lease expires it replays the
+//! route and rolls back **whatever prefix of it the dead worker actually
+//! held**, link by link in reverse stage order, with a `dead → VACANT`
+//! CAS per link. A link the worker never claimed (it died mid-claim, or
+//! had already finished its rollback or its transmission) fails the CAS
+//! and is skipped — so abandonment at *any* stage index, including stage
+//! zero and a completed circuit, reduces to the same tolerant sweep. The
+//! sweep runs while the resource's lease word is in its unclaimable
+//! `RECLAIMING` phase, so no new circuit to the same destination can be
+//! mid-construction while its links are being swept; circuits to *other*
+//! destinations never hold `dead`-valued links (a worker holds at most
+//! one grant), so the CAS can never free a live circuit's link. Rollback
+//! acquires nothing and retries nothing — it is a fixed reverse walk of
+//! at most `stages` CASes — so it cannot deadlock with claimants, which
+//! only ever *advance* in stage order and never wait while holding links.
 //!
 //! ## No fairness guarantee
 //!
@@ -37,9 +59,11 @@
 //! provide, and this crate implements that fix on the crossbar
 //! ([`crate::XbarPolicy::TokenRotation`]), not here.
 
-use crate::{Broker, BrokerGrant, RunControl, Waiter, WorkerId, VACANT};
+use crate::lease::{self, LeaseClock, LeaseWord, UnclaimStart, NO_OWNER};
+use crate::{Broker, BrokerGrant, ReleaseOutcome, RunControl, Waiter, WorkerId, VACANT};
 use rsin_topology::{Multistage, OmegaTopology};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Runtime Omega-network broker: `workers` source ports sharing
 /// `resources` destination ports through a `size × size` Omega fabric
@@ -60,20 +84,37 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct OmegaBroker {
     workers: usize,
     topo: OmegaTopology,
-    /// Per-resource owner words (`VACANT` or the holder's `WorkerId`).
-    owners: Vec<AtomicU64>,
+    /// Per-resource lease words.
+    owners: Vec<LeaseWord>,
     /// Per-link claim words, `links[stage * size + wire]`.
     links: Vec<AtomicU64>,
+    clock: LeaseClock,
 }
 
 impl OmegaBroker {
-    /// Creates a broker over the smallest Omega fabric that fits.
+    /// Creates a broker over the smallest Omega fabric that fits, with
+    /// non-expiring leases (the pre-lease protocol on the fault-free
+    /// path).
     ///
     /// # Panics
     ///
     /// Panics if `workers` or `resources` is zero.
     #[must_use]
     pub fn new(workers: usize, resources: usize) -> Self {
+        Self::build(workers, resources, None)
+    }
+
+    /// Creates a broker whose grants expire `lease` after issue, making
+    /// them (and their circuits) reclaimable through
+    /// [`Broker::reclaim_expired`]. Choose the lease much longer than any
+    /// honest hold time: a slower-than-lease holder is evicted as
+    /// presumed dead.
+    #[must_use]
+    pub fn with_lease(workers: usize, resources: usize, lease: Duration) -> Self {
+        Self::build(workers, resources, Some(lease))
+    }
+
+    fn build(workers: usize, resources: usize, lease: Option<Duration>) -> Self {
         assert!(workers > 0, "need at least one worker");
         assert!(resources > 0, "need at least one resource");
         let size = workers.max(resources).next_power_of_two().max(2);
@@ -82,8 +123,9 @@ impl OmegaBroker {
         OmegaBroker {
             workers,
             topo,
-            owners: (0..resources).map(|_| AtomicU64::new(VACANT)).collect(),
+            owners: (0..resources).map(|_| LeaseWord::new()).collect(),
             links: (0..n_links).map(|_| AtomicU64::new(VACANT)).collect(),
+            clock: LeaseClock::new(lease),
         }
     }
 
@@ -117,16 +159,36 @@ impl OmegaBroker {
         true
     }
 
-    /// Frees the circuit `who → resource` (reverse stage order).
+    /// Frees whatever prefix of the circuit `who → resource` is held by
+    /// `who`, in reverse stage order. Tolerant by design: each link is a
+    /// `who → VACANT` CAS that simply skips links `who` does not hold, so
+    /// the same sweep serves a normal end-of-transmission, a reclaim of a
+    /// route abandoned at any stage index, and a stale double-free.
     fn free_path(&self, who: WorkerId, resource: usize) {
         let route = self.topo.route(who, resource);
         for l in route.links.iter().rev() {
-            let ok = self
-                .link(l.stage, l.wire)
-                .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok();
-            debug_assert!(ok, "freed a link worker {who} did not hold");
+            let _ = self.link(l.stage, l.wire).compare_exchange(
+                who as u64,
+                VACANT,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
         }
+    }
+
+    /// Reclaims every resource whose lease is expired at `now_us`,
+    /// sweeping the dead holder's route while the slot is unclaimable.
+    fn reclaim_at(&self, now_us: u64, audit: &mut dyn FnMut(usize, WorkerId)) -> usize {
+        let mut reclaimed = 0;
+        for (res, owner) in self.owners.iter().enumerate() {
+            if let Some(dead) = owner.begin_reclaim(now_us) {
+                self.free_path(dead, res);
+                audit(res, dead);
+                owner.finish_unclaim();
+                reclaimed += 1;
+            }
+        }
+        reclaimed
     }
 }
 
@@ -155,24 +217,36 @@ impl Broker for OmegaBroker {
             let mut progressed = false;
             for step in 0..r {
                 let res = (start + step) % r;
-                if self.owners[res].load(Ordering::Relaxed) != VACANT {
+                if lease::owner_of(self.owners[res].load()) != NO_OWNER {
                     continue;
                 }
-                if self.owners[res]
-                    .compare_exchange(VACANT, who as u64, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_err()
-                {
+                let Some(generation) =
+                    self.owners[res].try_claim(who, self.clock.deadline_from_now())
+                else {
                     continue;
-                }
+                };
                 if self.try_claim_path(who, res) {
-                    return Some(BrokerGrant { resource: res });
+                    return Some(BrokerGrant {
+                        resource: res,
+                        generation,
+                    });
                 }
                 // Blocked in the fabric: give the resource back before
-                // waiting so we never hold anything while blocked.
-                let released = self.owners[res]
-                    .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok();
-                debug_assert!(released, "owner word changed under the claimant");
+                // waiting so we never hold anything while blocked. The
+                // two-phase unclaim mirrors release; there is no audit to
+                // run because the grant never happened.
+                match self.owners[res].begin_unclaim(who, generation) {
+                    UnclaimStart::Begun => {
+                        self.owners[res].finish_unclaim();
+                    }
+                    // The supervisor can only have reclaimed us if the
+                    // lease is shorter than one claim attempt — tolerate
+                    // it; the reclaimer swept our (empty) route.
+                    UnclaimStart::Stale => {}
+                    UnclaimStart::Foreign => {
+                        unreachable!("owner word changed under the claimant")
+                    }
+                }
                 progressed = true;
             }
             if progressed {
@@ -183,18 +257,56 @@ impl Broker for OmegaBroker {
     }
 
     fn end_transmission(&self, who: WorkerId, grant: BrokerGrant) {
+        // Tolerant sweep: if the grant was reclaimed meanwhile, the
+        // supervisor already freed these links and every CAS just fails.
         self.free_path(who, grant.resource);
     }
 
-    fn release(&self, who: WorkerId, grant: BrokerGrant) {
-        let ok = self.owners[grant.resource]
-            .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok();
-        assert!(
-            ok,
-            "release of resource {} by worker {who} who does not hold it",
-            grant.resource
-        );
+    fn release_audited(
+        &self,
+        who: WorkerId,
+        grant: BrokerGrant,
+        audit: &mut dyn FnMut(usize, WorkerId),
+    ) -> ReleaseOutcome {
+        let owner = &self.owners[grant.resource];
+        match owner.begin_unclaim(who, grant.generation) {
+            UnclaimStart::Begun => {
+                audit(grant.resource, who);
+                owner.finish_unclaim();
+                ReleaseOutcome::Released
+            }
+            UnclaimStart::Stale => ReleaseOutcome::Stale,
+            UnclaimStart::Foreign => panic!(
+                "release of resource {} by worker {who} who does not hold it",
+                grant.resource
+            ),
+        }
+    }
+
+    fn reclaim_expired(&self, audit: &mut dyn FnMut(usize, WorkerId)) -> usize {
+        if !self.clock.leases_expire() {
+            return 0;
+        }
+        self.reclaim_at(self.clock.now_us(), audit)
+    }
+
+    fn reclaim_all(&self, audit: &mut dyn FnMut(usize, WorkerId)) -> usize {
+        self.reclaim_at(u64::MAX, audit)
+    }
+
+    fn set_resource_faulted(&self, resource: usize, down: bool) {
+        if down {
+            self.owners[resource].set_faulted();
+        } else {
+            self.owners[resource].clear_faulted();
+        }
+    }
+
+    fn available_resources(&self) -> usize {
+        self.owners
+            .iter()
+            .filter(|o| lease::owner_of(o.load()) == NO_OWNER)
+            .count()
     }
 }
 
@@ -217,9 +329,13 @@ mod tests {
         assert_eq!(held_links(&b), b.topo.stages() as usize, "one link/stage");
         b.end_transmission(3, g);
         assert_eq!(held_links(&b), 0, "circuit freed, resource kept");
-        assert_ne!(b.owners[g.resource].load(Ordering::Relaxed), VACANT);
+        assert_ne!(
+            lease::owner_of(b.owners[g.resource].load()),
+            NO_OWNER,
+            "resource still held"
+        );
         b.release(3, g);
-        assert_eq!(b.owners[g.resource].load(Ordering::Relaxed), VACANT);
+        assert_eq!(lease::owner_of(b.owners[g.resource].load()), NO_OWNER);
     }
 
     #[test]
@@ -254,6 +370,39 @@ mod tests {
         assert!(b.try_claim_path(s2, d2), "claimable once the blocker frees");
         b.free_path(s2, d2);
         assert_eq!(held_links(&b), 0);
+    }
+
+    #[test]
+    fn reclaim_rolls_back_routes_abandoned_at_every_stage_index() {
+        let b = OmegaBroker::with_lease(8, 8, Duration::from_micros(1));
+        let stages = b.topo.stages() as usize;
+        let (who, res) = (5usize, 3usize);
+        // Abandonment at stage k: the worker claimed the resource and the
+        // first k links of its route, then died. k = 0 is death before any
+        // link; k = stages is death mid-transmission with a full circuit.
+        for k in 0..=stages {
+            b.owners[res]
+                .try_claim(who, b.clock.deadline_from_now())
+                .expect("resource free");
+            let route = b.topo.route(who, res);
+            for l in &route.links[..k] {
+                let claimed = b
+                    .link(l.stage, l.wire)
+                    .compare_exchange(VACANT, who as u64, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok();
+                assert!(claimed, "stage {k}: fabric should be empty");
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            let mut evicted = Vec::new();
+            let n = b.reclaim_expired(&mut |r, w| evicted.push((r, w)));
+            assert_eq!(n, 1, "stage {k}: one expired lease");
+            assert_eq!(evicted, vec![(res, who)], "stage {k}");
+            assert_eq!(held_links(&b), 0, "stage {k}: residue left in fabric");
+            // The destination and the swept links are claimable again.
+            assert!(b.try_claim_path(0, res), "stage {k}: route still wedged");
+            b.free_path(0, res);
+            assert_eq!(lease::owner_of(b.owners[res].load()), NO_OWNER);
+        }
     }
 
     #[test]

@@ -17,15 +17,16 @@
 //!
 //! - `free` is the broadcast status word every processor snoops: the number
 //!   of currently free resources. A releaser vacates its resource slot
-//!   (`Release` store) *before* incrementing `free` (`Release` RMW); an
-//!   acquirer decrements `free` (`Acquire` RMW) *before* scanning for a
-//!   slot. The counter therefore never exceeds the number of vacant slots,
-//!   so a successful decrement is a reservation: the slot scan below it
-//!   cannot fail permanently.
-//! - `serving`/`next_ticket` implement the bus itself. The ticket holder
-//!   keeps the bus through its transmission phase;
-//!   [`SbusBroker::end_transmission`] passes the bus on (`Release`
-//!   increment, matching the waiters' `Acquire` loads).
+//!   *before* incrementing `free` (`Release` RMW); an acquirer decrements
+//!   `free` (`Acquire` RMW) *before* scanning for a slot. The counter
+//!   therefore never exceeds the number of vacant slots, so a successful
+//!   decrement is a reservation: the slot scan below it cannot fail
+//!   permanently.
+//! - `serving`/`next_ticket` implement the bus queue, and the `bus`
+//!   [`LeaseWord`] records who is actually transmitting: the ticket holder
+//!   claims the bus lease when its turn comes, keeps it through the
+//!   transmission phase, and [`SbusBroker::end_transmission`] vacates the
+//!   lease and passes the turn on.
 //!
 //! Ordering matters. Section III's bus carries transmissions, nothing
 //! else, and a processor is granted only when the bus AND a resource are
@@ -44,9 +45,39 @@
 //! An acquire aborted by [`RunControl`] still advances `serving` once its
 //! turn comes, so a stopping run unwinds the whole ticket queue instead of
 //! wedging it.
+//!
+//! ## Crash tolerance (status-word repair)
+//!
+//! A crashed holder can wedge this discipline in three places, and the
+//! supervisor ([`Broker::reclaim_expired`]) repairs all three:
+//!
+//! 1. **A leaked resource slot**: the slot's lease expires, the supervisor
+//!    reclaims it, and — the status-word repair — returns its credit to
+//!    `free` (unless a parked fault consumed the slot). The generation CAS
+//!    makes the repair safe against the holder's own late release.
+//! 2. **A dead transmitter**: the bus lease expires; the supervisor
+//!    vacates it and advances `serving` past the dead holder's ticket.
+//!    The advance is a CAS keyed on that specific ticket, and the vacate
+//!    is keyed on the bus generation, so a slow-but-alive transmitter
+//!    whose `end_transmission` races the repair passes the turn exactly
+//!    once — whichever CAS wins; the loser observes `Stale` and stands
+//!    down.
+//! 3. **A dead *queued* ticket** (a worker that died after taking a ticket
+//!    but before its turn): nobody will advance `serving` past it. The
+//!    supervisor watches the `(serving, next_ticket)` pair; if tickets are
+//!    queued, the bus is vacant, and nothing has moved for a full lease,
+//!    it skips the presumed-dead ticket. A live-but-descheduled worker
+//!    whose turn is skipped simply observes `serving` beyond its ticket
+//!    and re-queues — the skip can cost it a retry, never a wedge or a
+//!    double grant.
 
-use crate::{Broker, BrokerGrant, RunControl, Waiter, WorkerId, VACANT};
+use crate::lease::{self, LeaseClock, LeaseWord, UnclaimStart, NO_OWNER};
+use crate::{Broker, BrokerGrant, ReleaseOutcome, RunControl, Waiter, WorkerId};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sentinel in the per-worker ticket table: no ticket outstanding.
+const TICKET_NONE: u64 = u64::MAX;
 
 /// Runtime shared-bus broker: one bus, `workers` processors, `resources`
 /// identical resources.
@@ -69,20 +100,49 @@ pub struct SbusBroker {
     free: AtomicU64,
     /// Next ticket to hand out.
     next_ticket: AtomicU64,
-    /// Ticket currently owning the bus.
+    /// Ticket currently owning the bus turn.
     serving: AtomicU64,
-    /// Per-resource owner words (`VACANT` or the holder's `WorkerId`).
-    slots: Vec<AtomicU64>,
+    /// Who is actually transmitting (leased, reclaimable).
+    bus: LeaseWord,
+    /// `tickets[w]`: the ticket worker `w` currently holds, or
+    /// [`TICKET_NONE`]. Lets the supervisor advance `serving` past a dead
+    /// holder's ticket with a ticket-keyed CAS.
+    tickets: Vec<AtomicU64>,
+    /// `bus_generation[w]`: the bus-lease generation of worker `w`'s
+    /// current transmission (written and read only by `w` itself).
+    bus_generation: Vec<AtomicU64>,
+    /// Per-resource lease words.
+    slots: Vec<LeaseWord>,
+    /// Stalled-queue watchdog state: last `(serving, next_ticket)` pair
+    /// the supervisor observed, and when it first observed it.
+    seen_serving: AtomicU64,
+    seen_next: AtomicU64,
+    seen_at_us: AtomicU64,
+    clock: LeaseClock,
 }
 
 impl SbusBroker {
-    /// Creates a broker with all resources free.
+    /// Creates a broker with all resources free and non-expiring leases
+    /// (the pre-lease protocol on the fault-free path).
     ///
     /// # Panics
     ///
     /// Panics if `workers` or `resources` is zero.
     #[must_use]
     pub fn new(workers: usize, resources: usize) -> Self {
+        Self::build(workers, resources, None)
+    }
+
+    /// Creates a broker whose grants (and bus turns) expire `lease` after
+    /// issue, making them reclaimable through [`Broker::reclaim_expired`].
+    /// Choose the lease much longer than any honest hold or transmission
+    /// time: a slower-than-lease holder is evicted as presumed dead.
+    #[must_use]
+    pub fn with_lease(workers: usize, resources: usize, lease: Duration) -> Self {
+        Self::build(workers, resources, Some(lease))
+    }
+
+    fn build(workers: usize, resources: usize, lease: Option<Duration>) -> Self {
         assert!(workers > 0, "need at least one worker");
         assert!(resources > 0, "need at least one resource");
         SbusBroker {
@@ -90,7 +150,14 @@ impl SbusBroker {
             free: AtomicU64::new(resources as u64),
             next_ticket: AtomicU64::new(0),
             serving: AtomicU64::new(0),
-            slots: (0..resources).map(|_| AtomicU64::new(VACANT)).collect(),
+            bus: LeaseWord::new(),
+            tickets: (0..workers).map(|_| AtomicU64::new(TICKET_NONE)).collect(),
+            bus_generation: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..resources).map(|_| LeaseWord::new()).collect(),
+            seen_serving: AtomicU64::new(0),
+            seen_next: AtomicU64::new(0),
+            seen_at_us: AtomicU64::new(0),
+            clock: LeaseClock::new(lease),
         }
     }
 
@@ -113,6 +180,111 @@ impl SbusBroker {
             }
         }
         false
+    }
+
+    /// Vacates the caller's bus lease and passes the turn on. Tolerates
+    /// having already been evicted by the supervisor (`Stale`): the turn
+    /// was passed by the reclaimer, so the caller only forgets its ticket.
+    fn pass_bus(&self, who: WorkerId) {
+        let ticket = self.tickets[who].load(Ordering::Acquire);
+        let generation = self.bus_generation[who].load(Ordering::Acquire) as u32;
+        match self.bus.begin_unclaim(who, generation) {
+            UnclaimStart::Begun => {
+                self.bus.finish_unclaim();
+                if ticket != TICKET_NONE {
+                    let _ = self.serving.compare_exchange(
+                        ticket,
+                        ticket + 1,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    );
+                }
+            }
+            UnclaimStart::Stale => {}
+            UnclaimStart::Foreign => unreachable!("bus generations are per-holder"),
+        }
+        if ticket != TICKET_NONE {
+            let _ = self.tickets[who].compare_exchange(
+                ticket,
+                TICKET_NONE,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// One supervisor pass at `now_us`: reclaim expired slot leases
+    /// (repairing the status word), repair a dead transmitter's bus, and
+    /// skip dead queued tickets.
+    fn reclaim_at(
+        &self,
+        now_us: u64,
+        skip_queued: bool,
+        audit: &mut dyn FnMut(usize, WorkerId),
+    ) -> usize {
+        let mut reclaimed = 0;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(dead) = slot.begin_reclaim(now_us) {
+                audit(i, dead);
+                let vacated = slot.finish_unclaim();
+                if !vacated.to_faulted {
+                    // The status-word repair: the dead holder's credit
+                    // comes back (unless a parked fault consumed it).
+                    self.free.fetch_add(1, Ordering::Release);
+                }
+                reclaimed += 1;
+            }
+        }
+        if let Some(dead) = self.bus.begin_reclaim(now_us) {
+            self.bus.finish_unclaim();
+            let ticket = self.tickets[dead].load(Ordering::Acquire);
+            if ticket != TICKET_NONE {
+                let _ = self.serving.compare_exchange(
+                    ticket,
+                    ticket + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+                let _ = self.tickets[dead].compare_exchange(
+                    ticket,
+                    TICKET_NONE,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+        if skip_queued {
+            self.skip_dead_tickets(now_us);
+        }
+        reclaimed
+    }
+
+    /// Detects a wedged ticket queue — tickets waiting, bus vacant,
+    /// nothing moving for a full lease — and skips the presumed-dead
+    /// ticket at the head.
+    fn skip_dead_tickets(&self, now_us: u64) {
+        let serving = self.serving.load(Ordering::Acquire);
+        let next = self.next_ticket.load(Ordering::Relaxed);
+        if serving != self.seen_serving.load(Ordering::Relaxed)
+            || next != self.seen_next.load(Ordering::Relaxed)
+        {
+            self.seen_serving.store(serving, Ordering::Relaxed);
+            self.seen_next.store(next, Ordering::Relaxed);
+            self.seen_at_us.store(now_us, Ordering::Relaxed);
+            return;
+        }
+        let stalled_for = now_us.saturating_sub(self.seen_at_us.load(Ordering::Relaxed));
+        if serving < next
+            && lease::owner_of(self.bus.load()) == NO_OWNER
+            && stalled_for >= self.clock.lease_us()
+            && self
+                .serving
+                .compare_exchange(serving, serving + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.seen_serving.store(serving + 1, Ordering::Relaxed);
+            self.seen_at_us.store(now_us, Ordering::Relaxed);
+        }
     }
 }
 
@@ -144,16 +316,57 @@ impl Broker for SbusBroker {
             // turn must be waited out even on stop — tickets ahead of us
             // are either transmissions (which end) or probes/aborters
             // (which pass), so the wait is bounded and skipping our own
-            // pass would wedge everyone behind us.
+            // pass would wedge everyone behind us. The only other exit is
+            // the supervisor skipping us as presumed dead, in which case
+            // we re-queue.
             let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+            self.tickets[who].store(ticket, Ordering::Release);
             let mut bus_wait = Waiter::new();
-            while self.serving.load(Ordering::Acquire) != ticket {
+            let reached_turn = loop {
+                let s = self.serving.load(Ordering::Acquire);
+                if s == ticket {
+                    break true;
+                }
+                if s > ticket {
+                    break false;
+                }
                 bus_wait.wait();
+            };
+            if !reached_turn {
+                self.tickets[who].store(TICKET_NONE, Ordering::Release);
+                waiter.wait();
+                continue;
             }
             if ctl.is_stopped() {
-                self.serving.fetch_add(1, Ordering::Release);
+                let _ = self.serving.compare_exchange(
+                    ticket,
+                    ticket + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+                self.tickets[who].store(TICKET_NONE, Ordering::Release);
                 return None;
             }
+            // Our turn: claim the bus lease. The previous transmitter may
+            // still be mid-vacate (its lease word in the RECLAIMING
+            // phase) — retry with capped backoff; stand down if the
+            // supervisor skips us meanwhile.
+            let mut claim_wait = Waiter::new();
+            let bus_generation = loop {
+                if let Some(g) = self.bus.try_claim(who, self.clock.deadline_from_now()) {
+                    break Some(g);
+                }
+                if self.serving.load(Ordering::Acquire) != ticket {
+                    break None;
+                }
+                claim_wait.wait();
+            };
+            let Some(bus_generation) = bus_generation else {
+                self.tickets[who].store(TICKET_NONE, Ordering::Release);
+                waiter.wait();
+                continue;
+            };
+            self.bus_generation[who].store(u64::from(bus_generation), Ordering::Release);
             // Phase 3: with the bus held, confirm the resource the status
             // word advertised. Reserving at bus-grant time is what keeps
             // the runtime equivalent to the model, where a processor is
@@ -161,7 +374,7 @@ impl Broker for SbusBroker {
             // instant; losing the race just passes the bus on and retries,
             // so the bus itself never blocks on busy resources.
             if !self.try_reserve() {
-                self.serving.fetch_add(1, Ordering::Release);
+                self.pass_bus(who);
                 waiter.wait();
                 continue;
             }
@@ -171,17 +384,14 @@ impl Broker for SbusBroker {
             let mut scan = Waiter::new();
             loop {
                 for (i, slot) in self.slots.iter().enumerate() {
-                    if slot.load(Ordering::Relaxed) == VACANT
-                        && slot
-                            .compare_exchange(
-                                VACANT,
-                                who as u64,
-                                Ordering::AcqRel,
-                                Ordering::Relaxed,
-                            )
-                            .is_ok()
-                    {
-                        return Some(BrokerGrant { resource: i });
+                    if lease::owner_of(slot.load()) != NO_OWNER {
+                        continue;
+                    }
+                    if let Some(generation) = slot.try_claim(who, self.clock.deadline_from_now()) {
+                        return Some(BrokerGrant {
+                            resource: i,
+                            generation,
+                        });
                     }
                 }
                 scan.wait();
@@ -189,21 +399,104 @@ impl Broker for SbusBroker {
         }
     }
 
-    fn end_transmission(&self, _who: WorkerId, _grant: BrokerGrant) {
-        // Transmission done: pass the bus to the next ticket.
-        self.serving.fetch_add(1, Ordering::Release);
+    fn end_transmission(&self, who: WorkerId, _grant: BrokerGrant) {
+        // Transmission done: vacate the bus lease and pass the turn on.
+        self.pass_bus(who);
     }
 
-    fn release(&self, who: WorkerId, grant: BrokerGrant) {
-        let ok = self.slots[grant.resource]
-            .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok();
-        assert!(
-            ok,
-            "release of resource {} by worker {who} who does not hold it",
-            grant.resource
-        );
-        self.free.fetch_add(1, Ordering::Release);
+    fn release_audited(
+        &self,
+        who: WorkerId,
+        grant: BrokerGrant,
+        audit: &mut dyn FnMut(usize, WorkerId),
+    ) -> ReleaseOutcome {
+        let slot = &self.slots[grant.resource];
+        match slot.begin_unclaim(who, grant.generation) {
+            UnclaimStart::Begun => {
+                audit(grant.resource, who);
+                let vacated = slot.finish_unclaim();
+                if !vacated.to_faulted {
+                    self.free.fetch_add(1, Ordering::Release);
+                }
+                ReleaseOutcome::Released
+            }
+            UnclaimStart::Stale => ReleaseOutcome::Stale,
+            UnclaimStart::Foreign => panic!(
+                "release of resource {} by worker {who} who does not hold it",
+                grant.resource
+            ),
+        }
+    }
+
+    fn reclaim_expired(&self, audit: &mut dyn FnMut(usize, WorkerId)) -> usize {
+        if !self.clock.leases_expire() {
+            return 0;
+        }
+        self.reclaim_at(self.clock.now_us(), true, audit)
+    }
+
+    fn reclaim_all(&self, audit: &mut dyn FnMut(usize, WorkerId)) -> usize {
+        // `u64::MAX` beats every deadline — shutdown only, workers joined.
+        self.reclaim_at(u64::MAX, false, audit)
+    }
+
+    fn set_resource_faulted(&self, resource: usize, down: bool) {
+        let slot = &self.slots[resource];
+        if !down {
+            if slot.clear_faulted() == lease::RepairOutcome::Repaired {
+                // The repaired slot is grantable again: its credit returns
+                // to the status word.
+                self.free.fetch_add(1, Ordering::Release);
+            }
+            return;
+        }
+        // Faulting must keep the reservation invariant `free <= vacant
+        // slots` at all times, so a vacant slot's credit is *reserved
+        // first* and only then converted into the fault. If the slot gets
+        // claimed between the two steps, the fault parks on the holder
+        // (whose own reservation pays for the slot) and our excess
+        // reservation is refunded.
+        let mut waiter = Waiter::new();
+        loop {
+            match lease::owner_of(slot.load()) {
+                lease::FAULTED => return,
+                NO_OWNER => {
+                    if self.try_reserve() {
+                        match slot.set_faulted() {
+                            lease::FaultOutcome::WasVacant => return,
+                            lease::FaultOutcome::Parked | lease::FaultOutcome::AlreadyFaulted => {
+                                self.free.fetch_add(1, Ordering::Release);
+                                return;
+                            }
+                        }
+                    }
+                    // free == 0 with a vacant slot is a transient: an
+                    // in-flight reserver is about to claim some slot.
+                    // Retry with backoff.
+                    waiter.wait();
+                }
+                _ => {
+                    // Held or mid-reclaim: park the fault on the word; it
+                    // applies (and consumes the holder's credit) when the
+                    // slot vacates.
+                    if slot.set_faulted() != lease::FaultOutcome::WasVacant {
+                        return;
+                    }
+                    // The slot vacated between the load and the fault —
+                    // it went vacant→FAULTED without a reserved credit;
+                    // undo and retry through the vacant path.
+                    slot.clear_faulted();
+                    waiter.wait();
+                }
+            }
+        }
+    }
+
+    fn available_resources(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| lease::owner_of(s.load()) == NO_OWNER)
+            .count()
     }
 }
 
@@ -233,6 +526,7 @@ mod tests {
         b.release(0, g0);
         b.release(1, g1);
         assert_eq!(b.free_count(), 2);
+        assert_eq!(b.available_resources(), 2);
     }
 
     #[test]
@@ -262,6 +556,78 @@ mod tests {
         assert_eq!(b.acquire(0, &ctl), None);
         assert_eq!(b.next_ticket.load(Ordering::Relaxed), 0, "no ticket hole");
         assert_eq!(b.free_count(), 1, "no reservation leaked");
+    }
+
+    #[test]
+    fn reclaim_repairs_slot_bus_and_status_word() {
+        let b = SbusBroker::with_lease(3, 2, Duration::from_micros(1));
+        let ctl = RunControl::new();
+        // Worker 0 "dies" mid-transmission: holds a slot AND the bus.
+        let g = b.acquire(0, &ctl).expect("free");
+        std::thread::sleep(Duration::from_millis(2));
+        let mut evicted = Vec::new();
+        let n = b.reclaim_expired(&mut |res, who| evicted.push((res, who)));
+        assert_eq!(n, 1);
+        assert_eq!(evicted, vec![(g.resource, 0)]);
+        assert_eq!(b.free_count(), 2, "status word repaired");
+        assert_eq!(b.available_resources(), 2);
+        // The queue is not wedged: another worker acquires normally.
+        let g1 = b.acquire(1, &ctl).expect("bus repaired");
+        b.end_transmission(1, g1);
+        // The dead worker's late protocol calls are harmlessly stale.
+        b.end_transmission(0, g);
+        assert_eq!(
+            b.release_audited(0, g, &mut |_, _| {}),
+            ReleaseOutcome::Stale
+        );
+        b.release(1, g1);
+        assert_eq!(b.free_count(), 2);
+    }
+
+    #[test]
+    fn dead_queued_ticket_is_skipped_after_a_full_lease() {
+        let b = SbusBroker::with_lease(2, 1, Duration::from_micros(500));
+        // Simulate a worker that died right after taking a ticket: the
+        // queue head never claims the bus.
+        let dead_ticket = b.next_ticket.fetch_add(1, Ordering::Relaxed);
+        b.tickets[0].store(dead_ticket, Ordering::Release);
+        // First supervisor pass arms the watchdog; a pass after a full
+        // lease of no movement skips the dead ticket.
+        b.reclaim_expired(&mut |_, _| {});
+        assert_eq!(b.serving.load(Ordering::Relaxed), 0, "armed, not skipped");
+        std::thread::sleep(Duration::from_millis(2));
+        b.reclaim_expired(&mut |_, _| {});
+        assert_eq!(b.serving.load(Ordering::Relaxed), 1, "dead ticket skipped");
+        // The queue works again end to end.
+        let ctl = RunControl::new();
+        let g = b.acquire(1, &ctl).expect("queue unwedged");
+        b.end_transmission(1, g);
+        b.release(1, g);
+    }
+
+    #[test]
+    fn faulting_a_vacant_slot_consumes_its_credit() {
+        let b = SbusBroker::new(2, 2);
+        b.set_resource_faulted(0, true);
+        assert_eq!(b.free_count(), 1, "fault consumed one credit");
+        assert_eq!(b.available_resources(), 1);
+        b.set_resource_faulted(0, false);
+        assert_eq!(b.free_count(), 2, "repair returned it");
+    }
+
+    #[test]
+    fn fault_parked_on_a_held_slot_applies_at_release() {
+        let b = SbusBroker::new(2, 1);
+        let ctl = RunControl::new();
+        let g = b.acquire(0, &ctl).expect("free");
+        b.end_transmission(0, g);
+        b.set_resource_faulted(g.resource, true);
+        assert_eq!(b.free_count(), 0, "holder's credit already out");
+        b.release(0, g);
+        assert_eq!(b.free_count(), 0, "credit consumed by the parked fault");
+        assert_eq!(b.available_resources(), 0);
+        b.set_resource_faulted(g.resource, false);
+        assert_eq!(b.free_count(), 1);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //!
 //! - `requests` is a bitmask of rows currently requesting (the OR of the
 //!   row request lines). A worker raises its bit before arbitrating and
-//!   lowers it after it wins or aborts.
-//! - `owners[c]` is the claim word of column `c` (`VACANT` or the holder).
+//!   lowers it after it wins or aborts — a panic-safe guard lowers it on
+//!   unwind, so a dying row cannot jam its request line high.
+//! - `owners[c]` is the [`LeaseWord`] of column `c`: a generation-tagged
+//!   claim with a lease deadline, reclaimable if the holder crashes.
 //! - Arbitration is by **rank**: a worker reads the request mask, computes
 //!   its rank among the requesters under the active [`XbarPolicy`], and
 //!   claims the rank-th free column by CAS. When the mask and the free set
@@ -21,17 +23,36 @@
 //! [`XbarPolicy::FixedPriority`] ranks by row index (the paper's baseline
 //! wave, low index wins) and **starves** high rows under saturation.
 //! [`XbarPolicy::TokenRotation`] ranks by circular distance from a rotating
-//! token (the POLYP fix, Section IV-B): the winner hands the token to its
-//! successor, so every requester's wait is bounded by one rotation. The
+//! token (the POLYP fix, Section IV-B): the *releaser* hands the token to
+//! its successor, so every requester's wait is bounded by one rotation. The
 //! fairness regression test in `tests/fairness.rs` asserts both behaviors
 //! against the gate-level simulator in `rsin-xbar`.
+//!
+//! ## Token uniqueness under holder death
+//!
+//! The token is one atomic word packed `generation << 32 | position`, so
+//! *by representation* there is always exactly one token. What needs proof
+//! is that it is **live** — that a holder's death cannot stop it from ever
+//! passing again — and that it passes exactly once per grant even when a
+//! reclaim races the holder's own slow release. Both follow from the lease
+//! word: the token is passed only by whoever wins the `begin_unclaim` /
+//! `begin_reclaim` generation CAS on the column, and for any one grant
+//! generation exactly one of {the holder's release, the supervisor's
+//! reclaim} can win that CAS. A dead holder's pass is performed by the
+//! reclaimer in its stead (regenerating the token at the dead row's
+//! successor); a slow-but-alive holder whose lease was reclaimed gets
+//! [`ReleaseOutcome::Stale`] and does *not* pass — the reclaimer already
+//! did. `tests/chaos.rs` asserts the invariant by counting token
+//! generations against grant + reclaim totals.
 //!
 //! Crossbar columns are dedicated buses, so [`Broker::end_transmission`] is
 //! a no-op here: the column is the circuit *and* the resource claim, held
 //! from grant to release.
 
-use crate::{Broker, BrokerGrant, RunControl, Waiter, WorkerId, VACANT};
+use crate::lease::{self, LeaseClock, LeaseWord, UnclaimStart, NO_OWNER};
+use crate::{Broker, BrokerGrant, ReleaseOutcome, RunControl, Waiter, WorkerId};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Arbitration policy of the request-cycle wave.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,7 +60,7 @@ pub enum XbarPolicy {
     /// Low row index wins (the paper's baseline daisy-chain priority).
     /// Starves high rows at saturation.
     FixedPriority,
-    /// A circulating token sets the priority origin; the winner advances
+    /// A circulating token sets the priority origin; the releaser advances
     /// it. Bounds every requester's wait (POLYP-style fairness).
     TokenRotation,
 }
@@ -63,14 +84,29 @@ pub struct XbarBroker {
     policy: XbarPolicy,
     /// OR of the row request lines (bit per worker).
     requests: AtomicU64,
-    /// Priority origin for [`XbarPolicy::TokenRotation`].
+    /// Priority origin for [`XbarPolicy::TokenRotation`], packed
+    /// `generation << 32 | position`.
     token: AtomicU64,
-    /// Per-column claim words (`VACANT` or the holder's `WorkerId`).
-    owners: Vec<AtomicU64>,
+    /// Per-column lease words.
+    owners: Vec<LeaseWord>,
+    clock: LeaseClock,
+}
+
+/// Lowers the raised request line even if the owner unwinds.
+struct RequestLine<'a> {
+    requests: &'a AtomicU64,
+    bit: u64,
+}
+
+impl Drop for RequestLine<'_> {
+    fn drop(&mut self) {
+        self.requests.fetch_and(!self.bit, Ordering::AcqRel);
+    }
 }
 
 impl XbarBroker {
-    /// Creates a broker with every column free.
+    /// Creates a broker with every column free and non-expiring leases
+    /// (the pre-lease protocol, byte for byte on the fast path).
     ///
     /// # Panics
     ///
@@ -79,6 +115,29 @@ impl XbarBroker {
     /// is zero.
     #[must_use]
     pub fn new(workers: usize, resources: usize, policy: XbarPolicy) -> Self {
+        Self::build(workers, resources, policy, None)
+    }
+
+    /// Creates a broker whose grants expire `lease` after issue, making
+    /// them reclaimable through [`Broker::reclaim_expired`]. Choose the
+    /// lease much longer than any honest hold time: a slower-than-lease
+    /// holder is indistinguishable from a dead one and will be evicted.
+    #[must_use]
+    pub fn with_lease(
+        workers: usize,
+        resources: usize,
+        policy: XbarPolicy,
+        lease: Duration,
+    ) -> Self {
+        Self::build(workers, resources, policy, Some(lease))
+    }
+
+    fn build(
+        workers: usize,
+        resources: usize,
+        policy: XbarPolicy,
+        lease: Option<Duration>,
+    ) -> Self {
         assert!(workers > 0, "need at least one worker");
         assert!(workers <= 64, "request mask is one machine word");
         assert!(resources > 0, "need at least one resource");
@@ -87,7 +146,8 @@ impl XbarBroker {
             policy,
             requests: AtomicU64::new(0),
             token: AtomicU64::new(0),
-            owners: (0..resources).map(|_| AtomicU64::new(VACANT)).collect(),
+            owners: (0..resources).map(|_| LeaseWord::new()).collect(),
+            clock: LeaseClock::new(lease),
         }
     }
 
@@ -95,6 +155,34 @@ impl XbarBroker {
     #[must_use]
     pub fn policy(&self) -> XbarPolicy {
         self.policy
+    }
+
+    /// Current token position (the priority origin row).
+    #[must_use]
+    pub fn token_position(&self) -> usize {
+        (self.token.load(Ordering::Acquire) as u32) as usize % self.workers
+    }
+
+    /// Number of times the token has been passed or regenerated — the
+    /// observable for the exactly-once-per-grant invariant.
+    #[must_use]
+    pub fn token_generation(&self) -> u32 {
+        (self.token.load(Ordering::Acquire) >> 32) as u32
+    }
+
+    /// Passes the token to the successor of `from` (the row whose grant
+    /// just ended — by its own release or by reclaim on its behalf).
+    fn pass_token(&self, from: WorkerId) {
+        if self.policy != XbarPolicy::TokenRotation {
+            return;
+        }
+        let next = ((from + 1) % self.workers) as u64;
+        let _ = self
+            .token
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| {
+                let generation = (t >> 32).wrapping_add(1);
+                Some((generation << 32) | next)
+            });
     }
 
     /// Rank of `who` among the requesters in `mask` under the active
@@ -106,13 +194,28 @@ impl XbarBroker {
             // Requesters circularly between the token and `who` outrank it.
             XbarPolicy::TokenRotation => {
                 let n = self.workers;
-                let token = self.token.load(Ordering::Relaxed) as usize % n;
+                let token = self.token_position();
                 let pos = (who + n - token) % n;
                 (0..n)
                     .filter(|&j| mask & (1u64 << j) != 0 && (j + n - token) % n < pos)
                     .count() as u32
             }
         }
+    }
+
+    /// Reclaims every column whose lease is expired at `now_us`, passing
+    /// the token on each dead holder's behalf.
+    fn reclaim_at(&self, now_us: u64, audit: &mut dyn FnMut(usize, WorkerId)) -> usize {
+        let mut reclaimed = 0;
+        for (c, owner) in self.owners.iter().enumerate() {
+            if let Some(dead) = owner.begin_reclaim(now_us) {
+                audit(c, dead);
+                owner.finish_unclaim();
+                self.pass_token(dead);
+                reclaimed += 1;
+            }
+        }
+        reclaimed
     }
 }
 
@@ -129,13 +232,17 @@ impl Broker for XbarBroker {
         debug_assert!(who < self.workers, "worker id out of range");
         let bit = 1u64 << who;
         // Raise our request line (Release publishes it to concurrent
-        // rank computations; AcqRel so we also see the current mask).
+        // rank computations; AcqRel so we also see the current mask). The
+        // guard lowers it on every exit path, unwinding included.
         let prior = self.requests.fetch_or(bit, Ordering::AcqRel);
         debug_assert_eq!(prior & bit, 0, "worker already requesting");
+        let _line = RequestLine {
+            requests: &self.requests,
+            bit,
+        };
         let mut waiter = Waiter::new();
         loop {
             if ctl.is_stopped() {
-                self.requests.fetch_and(!bit, Ordering::AcqRel);
                 return None;
             }
             // One settling pass of the grant wave, from this row's view.
@@ -144,30 +251,23 @@ impl Broker for XbarBroker {
             let mut free_seen = 0;
             let mut claimed = None;
             for (c, owner) in self.owners.iter().enumerate() {
-                if owner.load(Ordering::Relaxed) != VACANT {
+                if lease::owner_of(owner.load()) != NO_OWNER {
                     continue;
                 }
                 if free_seen == my_rank {
-                    if owner
-                        .compare_exchange(VACANT, who as u64, Ordering::AcqRel, Ordering::Relaxed)
-                        .is_ok()
-                    {
-                        claimed = Some(c);
+                    if let Some(generation) = owner.try_claim(who, self.clock.deadline_from_now()) {
+                        claimed = Some((c, generation));
                     }
                     // Won or lost, this wave is over; re-rank on a retry.
                     break;
                 }
                 free_seen += 1;
             }
-            if let Some(c) = claimed {
-                // Lower the request line, then pass the token on so the
-                // next rotation starts after us.
-                self.requests.fetch_and(!bit, Ordering::AcqRel);
-                if self.policy == XbarPolicy::TokenRotation {
-                    self.token
-                        .store(((who + 1) % self.workers) as u64, Ordering::Relaxed);
-                }
-                return Some(BrokerGrant { resource: c });
+            if let Some((resource, generation)) = claimed {
+                return Some(BrokerGrant {
+                    resource,
+                    generation,
+                });
             }
             waiter.wait();
         }
@@ -177,15 +277,54 @@ impl Broker for XbarBroker {
         // A crossbar column is a dedicated bus: nothing extra to free.
     }
 
-    fn release(&self, who: WorkerId, grant: BrokerGrant) {
-        let ok = self.owners[grant.resource]
-            .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok();
-        assert!(
-            ok,
-            "release of column {} by worker {who} who does not hold it",
-            grant.resource
-        );
+    fn release_audited(
+        &self,
+        who: WorkerId,
+        grant: BrokerGrant,
+        audit: &mut dyn FnMut(usize, WorkerId),
+    ) -> ReleaseOutcome {
+        let owner = &self.owners[grant.resource];
+        match owner.begin_unclaim(who, grant.generation) {
+            UnclaimStart::Begun => {
+                audit(grant.resource, who);
+                owner.finish_unclaim();
+                self.pass_token(who);
+                ReleaseOutcome::Released
+            }
+            UnclaimStart::Stale => ReleaseOutcome::Stale,
+            UnclaimStart::Foreign => panic!(
+                "release of column {} by worker {who} who does not hold it",
+                grant.resource
+            ),
+        }
+    }
+
+    fn reclaim_expired(&self, audit: &mut dyn FnMut(usize, WorkerId)) -> usize {
+        if !self.clock.leases_expire() {
+            return 0;
+        }
+        self.reclaim_at(self.clock.now_us(), audit)
+    }
+
+    fn reclaim_all(&self, audit: &mut dyn FnMut(usize, WorkerId)) -> usize {
+        // `u64::MAX` beats every real deadline (and even `NEVER`), so this
+        // evicts unconditionally — shutdown only, after workers joined.
+        self.reclaim_at(u64::MAX, audit)
+    }
+
+    fn set_resource_faulted(&self, resource: usize, down: bool) {
+        if down {
+            self.owners[resource].set_faulted();
+        } else {
+            self.owners[resource].clear_faulted();
+        }
+    }
+
+    fn available_resources(&self) -> usize {
+        self.owners
+            .iter()
+            .filter(|o| lease::owner_of(o.load()) == NO_OWNER)
+            .count()
     }
 }
 
@@ -204,6 +343,7 @@ mod tests {
         cols.sort_unstable();
         cols.dedup();
         assert_eq!(cols.len(), 3, "each grant a distinct column");
+        assert_eq!(b.available_resources(), 0);
         // Fourth acquire must block until a column frees.
         std::thread::scope(|s| {
             let handle = s.spawn(|| b.acquire(3, &ctl));
@@ -216,6 +356,7 @@ mod tests {
         });
         b.release(1, grants[1]);
         b.release(2, grants[2]);
+        assert_eq!(b.available_resources(), 3);
     }
 
     #[test]
@@ -241,12 +382,53 @@ mod tests {
     }
 
     #[test]
-    fn winner_advances_the_token() {
+    fn releaser_passes_the_token_exactly_once() {
         let b = XbarBroker::new(4, 1, XbarPolicy::TokenRotation);
         let ctl = RunControl::new();
         let g = b.acquire(2, &ctl).expect("free");
-        assert_eq!(b.token.load(Ordering::Relaxed), 3);
+        assert_eq!(b.token_position(), 0, "token rests until the release");
+        assert_eq!(b.token_generation(), 0);
         b.release(2, g);
+        assert_eq!(b.token_position(), 3, "passed to the releaser's successor");
+        assert_eq!(b.token_generation(), 1, "one grant, one pass");
+    }
+
+    #[test]
+    fn reclaim_evicts_expired_leases_and_regenerates_the_token() {
+        let b = XbarBroker::with_lease(4, 2, XbarPolicy::TokenRotation, Duration::from_micros(1));
+        let ctl = RunControl::new();
+        let g = b.acquire(1, &ctl).expect("free");
+        std::thread::sleep(Duration::from_millis(2));
+        let mut evicted = Vec::new();
+        let n = b.reclaim_expired(&mut |res, who| evicted.push((res, who)));
+        assert_eq!(n, 1);
+        assert_eq!(evicted, vec![(g.resource, 1)]);
+        assert_eq!(
+            b.token_position(),
+            2,
+            "regenerated at the dead row's successor"
+        );
+        assert_eq!(b.available_resources(), 2);
+        // The dead holder's late release is stale, tolerated, and passes
+        // no second token.
+        assert_eq!(
+            b.release_audited(1, g, &mut |_, _| {}),
+            ReleaseOutcome::Stale
+        );
+        assert_eq!(b.token_generation(), 1, "exactly one pass for that grant");
+    }
+
+    #[test]
+    fn faulted_columns_are_skipped_by_the_wave() {
+        let b = XbarBroker::new(2, 2, XbarPolicy::FixedPriority);
+        let ctl = RunControl::new();
+        b.set_resource_faulted(0, true);
+        assert_eq!(b.available_resources(), 1);
+        let g = b.acquire(0, &ctl).expect("column 1 still up");
+        assert_eq!(g.resource, 1);
+        b.release(0, g);
+        b.set_resource_faulted(0, false);
+        assert_eq!(b.available_resources(), 2);
     }
 
     #[test]

@@ -234,6 +234,21 @@ impl FaultTimeline {
         };
         Some(event)
     }
+
+    /// Removes and returns, in time order, every event at or before
+    /// `until` — the finite prefix a bounded run cares about. Stochastic
+    /// processes stay live; a later `drain_until` continues where this
+    /// one stopped.
+    pub fn drain_until(&mut self, until: SimTime) -> Vec<FaultEvent> {
+        let mut out = Vec::new();
+        while let Some(t) = self.peek() {
+            if t > until {
+                break;
+            }
+            out.push(self.pop().expect("peeked an event"));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +366,28 @@ mod tests {
         };
         assert_eq!(drain(11), drain(11));
         assert_ne!(drain(11), drain(12));
+    }
+
+    #[test]
+    fn drain_until_takes_the_prefix_and_leaves_the_rest() {
+        let plan = FaultPlan::new()
+            .fail_at(SimTime::new(2.0), FaultTarget::Resource(0))
+            .repair_at(SimTime::new(6.0), FaultTarget::Resource(0))
+            .stochastic(StochasticFault {
+                target: FaultTarget::Resource(1),
+                mtbf: 3.0,
+                mttr: 1.0,
+            });
+        let mut rng = SimRng::new(5);
+        let mut tl = plan.timeline(&mut rng);
+        let prefix = tl.drain_until(SimTime::new(4.0));
+        assert!(!prefix.is_empty());
+        assert!(prefix.iter().all(|e| e.time <= SimTime::new(4.0)));
+        assert!(prefix.windows(2).all(|w| w[0].time <= w[1].time));
+        // The rest continues past the cut, still in order.
+        let next = tl.pop().expect("stochastic process never runs dry");
+        assert!(next.time > SimTime::new(4.0));
+        assert!(prefix.iter().any(|e| e.time == SimTime::new(2.0)));
     }
 
     #[test]
