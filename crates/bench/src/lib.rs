@@ -36,6 +36,7 @@ pub mod harness;
 pub mod manifest;
 pub mod microbench;
 pub mod output;
+pub mod perfgate;
 pub mod quality;
 pub mod resilience;
 pub mod suite;

@@ -45,6 +45,7 @@ mod config;
 mod error;
 pub mod experiment;
 mod network;
+pub mod resolvers;
 pub mod roundtrip;
 mod runner;
 mod sim;
@@ -53,7 +54,8 @@ mod workload;
 
 pub use config::{NetworkKind, SystemConfig};
 pub use error::{ConfigError, HarnessError};
-pub use network::{Grant, NetworkCounters, ResourceNetwork};
+pub use network::{Grant, NetworkCounters, PendingSet, ResourceNetwork};
+pub use resolvers::{default_resolver_engine, ResolverEngine};
 pub use runner::{estimate_delay, estimate_delay_jobs, DelayEstimate};
 pub use sim::{
     simulate, simulate_faulty, simulate_general, simulate_general_faulty, FaultOptions, SimError,

@@ -26,6 +26,20 @@ pub struct Grant {
     pub port: usize,
 }
 
+/// The simulator's pending set, carried in two consistent views: one flag
+/// per processor, and the same flags bit-packed 64 per `u64`, LSB-first
+/// (the `rsin-bitslice` lane layout). Lanes past the last processor are
+/// zero. The simulator maintains both views incrementally, so a network
+/// with a packed fast path starts from `words` without re-packing while
+/// everything else reads `bools`.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingSet<'a> {
+    /// `bools[i]` is true when processor `i` has a task awaiting allocation.
+    pub bools: &'a [bool],
+    /// The same flags packed 64 per word, LSB-first; tail lanes zero.
+    pub words: &'a [u64],
+}
+
 /// Counters a network accumulates about its own scheduling work.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetworkCounters {
@@ -88,6 +102,37 @@ pub trait ResourceNetwork: std::fmt::Debug {
     /// Implementations must never grant a processor that is not pending and
     /// never grant the same processor twice in one cycle.
     fn request_cycle(&mut self, pending: &[bool], rng: &mut SimRng) -> Vec<Grant>;
+
+    /// Runs one request cycle, writing the grants into a caller-owned buffer.
+    ///
+    /// Semantically identical to [`ResourceNetwork::request_cycle`] (same
+    /// grants, in the same order, with the same RNG consumption), but lets
+    /// the simulator's hot loop reuse one `Vec` across epochs instead of
+    /// allocating a fresh one per decision. The default implementation
+    /// delegates to `request_cycle`; the workspace networks override it to
+    /// write grants directly.
+    fn request_cycle_into(&mut self, pending: &[bool], rng: &mut SimRng, out: &mut Vec<Grant>) {
+        out.clear();
+        out.extend(self.request_cycle(pending, rng));
+    }
+
+    /// Runs one request cycle from a [`PendingSet`] carrying both views of
+    /// the pending processors.
+    ///
+    /// Semantically identical to [`ResourceNetwork::request_cycle_into`] on
+    /// `pending.bools` — same grants, same order, same RNG consumption —
+    /// and that is exactly what the default implementation does. Networks
+    /// whose scheduling fabric is bit-sliced override it to feed
+    /// `pending.words` to the fabric directly, skipping the per-epoch
+    /// re-pack of the request vector.
+    fn request_cycle_pending(
+        &mut self,
+        pending: PendingSet<'_>,
+        rng: &mut SimRng,
+        out: &mut Vec<Grant>,
+    ) {
+        self.request_cycle_into(pending.bools, rng, out);
+    }
 
     /// The task finished transmitting: release the circuit; the resource at
     /// `grant.port` begins service.

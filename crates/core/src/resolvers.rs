@@ -1,0 +1,46 @@
+//! Selecting between the bit-sliced and naive reference resolvers.
+//!
+//! The network fabrics ship two functionally identical evaluators: the
+//! bit-sliced gate compilation (default, 64 cells/boxes per instruction) and
+//! the original cell-by-cell code kept as the reference oracle. The
+//! `RSIN_NAIVE_RESOLVERS` environment variable flips every network
+//! constructed afterwards back to the reference path — the equivalence CI
+//! job runs the full artifact suite both ways and asserts byte-identical
+//! output. Tests select an engine explicitly through the networks' setters
+//! instead of mutating the (process-global, once-read) environment.
+
+use std::sync::OnceLock;
+
+/// Which evaluator a network fabric uses for its scheduling hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolverEngine {
+    /// Packed u64 lanes, branchless straight-line gate code (the default).
+    Bitslice,
+    /// The original per-cell/per-wire sweep, kept as the reference oracle.
+    Reference,
+}
+
+static DEFAULT_ENGINE: OnceLock<ResolverEngine> = OnceLock::new();
+
+/// The engine newly constructed networks default to.
+///
+/// Reads `RSIN_NAIVE_RESOLVERS` once per process: set to anything other than
+/// `0`, `false`, `no`, or empty to select [`ResolverEngine::Reference`].
+#[must_use]
+pub fn default_resolver_engine() -> ResolverEngine {
+    *DEFAULT_ENGINE.get_or_init(|| match std::env::var("RSIN_NAIVE_RESOLVERS") {
+        Ok(v) if !matches!(v.as_str(), "" | "0" | "false" | "no") => ResolverEngine::Reference,
+        _ => ResolverEngine::Bitslice,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_engine_is_stable_across_calls() {
+        // Whatever the environment selected, repeated calls agree (OnceLock).
+        assert_eq!(default_resolver_engine(), default_resolver_engine());
+    }
+}

@@ -21,7 +21,7 @@
 //! configurable event budget while work is pending — a plan that kills
 //! every resource produces a typed error, not a hang.
 
-use crate::network::{Grant, NetworkCounters, ResourceNetwork};
+use crate::network::{Grant, NetworkCounters, PendingSet, ResourceNetwork};
 use crate::workload::Workload;
 use rsin_des::stats::{TimeWeighted, Welford};
 use rsin_des::{
@@ -283,6 +283,140 @@ struct QueuedTask {
     retries: u32,
 }
 
+/// Incrementally maintained request-readiness: `pending[i]` mirrors
+/// `!transmitting[i] && !queues[i].is_empty() && now >= backoff_until[i]`
+/// at every decision epoch. The old loop recomputed that predicate for all
+/// `p` processors on **every** event; here each event refreshes only the
+/// processors it touched, and `count` answers "anyone ready?" in O(1).
+///
+/// Backoff is the one term that flips by time passing alone, so processors
+/// inside a backoff window sit on a watch list that the epoch drains once
+/// `now` reaches their deadline — tie-correct even when another event pops
+/// at exactly the Resume timestamp.
+#[derive(Debug)]
+struct ReadySet {
+    pending: Vec<bool>,
+    /// `pending` bit-packed 64 per word, LSB-first — kept in lockstep so
+    /// the decision epoch can hand the network a [`PendingSet`] without a
+    /// per-epoch re-pack.
+    words: Vec<u64>,
+    count: usize,
+    backoff_watch: Vec<usize>,
+    in_backoff: Vec<bool>,
+}
+
+impl ReadySet {
+    fn new(p: usize) -> Self {
+        ReadySet {
+            pending: vec![false; p],
+            words: vec![0; p.div_ceil(64)],
+            count: 0,
+            backoff_watch: Vec::new(),
+            in_backoff: vec![false; p],
+        }
+    }
+
+    /// Records processor `i`'s freshly evaluated readiness in both views.
+    #[inline]
+    fn apply(&mut self, i: usize, ready: bool) {
+        if self.pending[i] != ready {
+            self.pending[i] = ready;
+            let lane = 1u64 << (i & 63);
+            if ready {
+                self.words[i >> 6] |= lane;
+                self.count += 1;
+            } else {
+                self.words[i >> 6] &= !lane;
+                self.count -= 1;
+            }
+        }
+    }
+
+    /// Re-evaluates processor `i`'s readiness from the live lifecycle state.
+    fn refresh(
+        &mut self,
+        i: usize,
+        now: SimTime,
+        transmitting: &[bool],
+        queues: &[VecDeque<QueuedTask>],
+        backoff_until: &[SimTime],
+    ) {
+        let ready = !transmitting[i] && !queues[i].is_empty() && now >= backoff_until[i];
+        self.apply(i, ready);
+    }
+
+    /// [`ReadySet::refresh`] right after `queues[i]` gained a task — the
+    /// queue is nonempty by construction, so that term is skipped.
+    fn refresh_after_push(
+        &mut self,
+        i: usize,
+        now: SimTime,
+        transmitting: &[bool],
+        backoff_until: &[SimTime],
+    ) {
+        self.apply(i, !transmitting[i] && now >= backoff_until[i]);
+    }
+
+    /// [`ReadySet::refresh`] right after `transmitting[i]` was cleared —
+    /// that term is true by construction and is skipped.
+    fn refresh_after_txdone(
+        &mut self,
+        i: usize,
+        now: SimTime,
+        queues: &[VecDeque<QueuedTask>],
+        backoff_until: &[SimTime],
+    ) {
+        self.apply(i, !queues[i].is_empty() && now >= backoff_until[i]);
+    }
+
+    /// Drops a just-granted processor from the set. By the network contract
+    /// it was pending, and the caller has marked it transmitting, so its
+    /// readiness is unconditionally false — no predicate re-evaluation.
+    fn clear_granted(&mut self, i: usize) {
+        debug_assert!(self.pending[i], "granted processor was not pending");
+        self.pending[i] = false;
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+        self.count -= 1;
+    }
+
+    /// Both views of the pending set, for the network's request cycle.
+    fn as_pending(&self) -> PendingSet<'_> {
+        PendingSet {
+            bools: &self.pending,
+            words: &self.words,
+        }
+    }
+
+    /// Puts `i` on the backoff watch list (idempotent).
+    fn watch_backoff(&mut self, i: usize) {
+        if !self.in_backoff[i] {
+            self.in_backoff[i] = true;
+            self.backoff_watch.push(i);
+        }
+    }
+
+    /// Drains watch-list entries whose window has closed, refreshing them.
+    fn expire_backoffs(
+        &mut self,
+        now: SimTime,
+        transmitting: &[bool],
+        queues: &[VecDeque<QueuedTask>],
+        backoff_until: &[SimTime],
+    ) {
+        let mut idx = 0;
+        while idx < self.backoff_watch.len() {
+            let proc = self.backoff_watch[idx];
+            if now >= backoff_until[proc] {
+                self.in_backoff[proc] = false;
+                self.backoff_watch.swap_remove(idx);
+                self.refresh(proc, now, transmitting, queues, backoff_until);
+            } else {
+                idx += 1;
+            }
+        }
+    }
+}
+
 /// Simulates `net` under `workload` until `opts.measured_tasks` allocations
 /// have been measured (after discarding `opts.warmup_tasks`).
 ///
@@ -432,12 +566,17 @@ pub fn simulate_general_faulty(
     let mut end_time = SimTime::ZERO;
 
     // Per-cycle scratch, allocated once and reused every decision epoch.
-    let mut pending = vec![false; p];
+    let mut ready = ReadySet::new(p);
     let mut granted_this_cycle = vec![false; p];
+    let mut grants: Vec<Grant> = Vec::new();
 
     while allocations < target {
-        let (now, ev) = cal
-            .pop()
+        // `pop_open` + `refill`: the arms that schedule exactly one
+        // successor event (the bulk of all events) drop it straight into
+        // the root hole with one sift; the rest drop the guard, which
+        // repairs the heap as a plain `pop` would.
+        let (now, ev, hole) = cal
+            .pop_open()
             .expect("arrival self-scheduling keeps the calendar nonempty");
         end_time = now;
         events_since_alloc += 1;
@@ -450,17 +589,21 @@ pub fn simulate_general_faulty(
                 });
                 queue_len.add(now, 1.0);
                 let dt = stages.interarrival.draw(&mut arr_rng);
-                cal.schedule(now + dt, Event::Arrival(proc));
+                hole.refill(now + dt, Event::Arrival(proc));
+                ready.refresh_after_push(proc, now, &transmitting, &backoff_until);
             }
             Event::TxDone { task } => {
                 let fl = in_flight.get_mut(task).expect("TxDone for unknown task");
                 net.end_transmission(fl.grant);
-                transmitting[fl.grant.processor] = false;
+                let proc = fl.grant.processor;
+                transmitting[proc] = false;
                 let dt = stages.service.draw(&mut svc_rng);
                 fl.stage = Stage::Service;
-                fl.handle = cal.schedule(now + dt, Event::SvcDone { task });
+                fl.handle = hole.refill(now + dt, Event::SvcDone { task });
+                ready.refresh_after_txdone(proc, now, &queues, &backoff_until);
             }
             Event::SvcDone { task } => {
+                drop(hole);
                 let fl = in_flight.remove(task).expect("SvcDone for unknown task");
                 net.end_service(fl.grant);
                 completions += 1;
@@ -470,6 +613,7 @@ pub fn simulate_general_faulty(
                 }
             }
             Event::Fault(fe) => {
+                drop(hole);
                 apply_fault(
                     net,
                     &fe,
@@ -482,27 +626,26 @@ pub fn simulate_general_faulty(
                     &mut backoff_until,
                     &mut queue_len,
                     &mut requeues,
+                    &mut ready,
                 );
                 if let Some(next) = timeline.pop() {
                     cal.schedule(next.time, Event::Fault(next));
                 }
             }
             // A backoff expired; the decision epoch below re-requests.
-            Event::Resume(proc) => debug_assert!(proc < p, "resume for unknown processor"),
+            Event::Resume(proc) => {
+                drop(hole);
+                debug_assert!(proc < p, "resume for unknown processor");
+            }
         }
 
         // Decision epoch: let the network serve whoever is still waiting.
-        let mut any_pending = false;
-        for i in 0..p {
-            let ready = !transmitting[i] && !queues[i].is_empty() && now >= backoff_until[i];
-            pending[i] = ready;
-            any_pending |= ready;
-        }
-        if any_pending {
-            let grants = net.request_cycle(&pending, &mut net_rng);
-            for grant in grants {
+        ready.expire_backoffs(now, &transmitting, &queues, &backoff_until);
+        if ready.count > 0 {
+            net.request_cycle_pending(ready.as_pending(), &mut net_rng, &mut grants);
+            for grant in grants.drain(..) {
                 assert!(
-                    pending[grant.processor] && !granted_this_cycle[grant.processor],
+                    ready.pending[grant.processor] && !granted_this_cycle[grant.processor],
                     "network granted processor {} that was not pending (or twice)",
                     grant.processor
                 );
@@ -542,6 +685,7 @@ pub fn simulate_general_faulty(
                     seq,
                 });
                 debug_assert_eq!(stored, id);
+                ready.clear_granted(grant.processor);
             }
             granted_this_cycle.fill(false);
         }
@@ -595,6 +739,7 @@ fn apply_fault(
     backoff_until: &mut [SimTime],
     queue_len: &mut TimeWeighted,
     requeues: &mut u64,
+    ready: &mut ReadySet,
 ) {
     match (fe.target, fe.action) {
         (FaultTarget::Resource(port), FaultAction::Fail) => {
@@ -625,6 +770,8 @@ fn apply_fault(
                     backoff_until[fl.grant.processor] = until;
                 }
                 cal.schedule(until, Event::Resume(fl.grant.processor));
+                ready.refresh(fl.grant.processor, now, transmitting, queues, backoff_until);
+                ready.watch_backoff(fl.grant.processor);
             }
         }
         (FaultTarget::Resource(port), FaultAction::Repair) => {

@@ -16,7 +16,7 @@
 //! sits, and every sift keeps the two in sync. A wide layout cuts the tree
 //! depth to a third of a binary heap's; the child scan stays cheap because
 //! node ordering is a single branchless integer compare over contiguous
-//! 24-byte nodes, which is where this structure spends its time.
+//! 16-byte nodes, which is where this structure spends its time.
 
 use crate::time::SimTime;
 
@@ -44,23 +44,41 @@ impl EventHandle {
     }
 }
 
-#[derive(Debug)]
-struct Node<E> {
+/// A heap entry: ordering key plus owning slot, 16 bytes with no payload.
+/// Payloads live in the slot-indexed side table instead, so the sift loops
+/// — where the calendar spends its time — move small, fixed-size nodes no
+/// matter how wide the event type is, and a d-ary child scan touches the
+/// fewest cache lines possible.
+#[derive(Clone, Copy, Debug)]
+struct Node {
     /// The timestamp's IEEE bit pattern — order-preserving for the finite,
     /// non-negative values [`SimTime`] guarantees, and 8 bytes narrower
     /// than carrying a `u128` key plus a separate `SimTime`.
     time_bits: u64,
-    /// FIFO sequence number; breaks same-instant ties in scheduling order.
-    seq: u64,
-    slot: u32,
-    payload: E,
+    /// FIFO sequence number (high half) packed with the owning slot (low
+    /// half). `seq` is unique per calendar lifetime, so ordering by
+    /// `(time, seq, slot)` equals ordering by `(time, seq)` — the slot
+    /// bits are dead weight in the compare but free to carry, and packing
+    /// them here keeps the node at 16 bytes.
+    seq_slot: u64,
 }
 
-impl<E> Node<E> {
-    /// `(time, seq)` as one integer so heap ordering is a single branchless
-    /// `u128` compare.
+impl Node {
+    fn new(time_bits: u64, seq: u32, slot: u32) -> Self {
+        Node {
+            time_bits,
+            seq_slot: (u64::from(seq) << 32) | u64::from(slot),
+        }
+    }
+
+    /// `(time, seq, slot)` as one integer so heap ordering is a single
+    /// branchless `u128` compare.
     fn key(&self) -> u128 {
-        (u128::from(self.time_bits) << 64) | u128::from(self.seq)
+        (u128::from(self.time_bits) << 64) | u128::from(self.seq_slot)
+    }
+
+    fn slot(&self) -> u32 {
+        (self.seq_slot & 0xffff_ffff) as u32
     }
 
     fn time(&self) -> SimTime {
@@ -89,7 +107,20 @@ struct Slot {
 /// swap count per sift) to a third of a binary heap's; the wider
 /// min-of-children scan is nearly free because each comparison is one
 /// integer compare and the children sit in at most three cache lines.
+/// The full-node tournament in `sift_down` spells out the reduction for
+/// exactly eight children.
 const ARITY: usize = 8;
+
+/// The smaller-keyed of two `(heap index, key)` candidates. Keys are unique,
+/// so strict `<` with either tie-bias is correct.
+#[inline]
+fn min2(a: (usize, u128), b: (usize, u128)) -> (usize, u128) {
+    if b.1 < a.1 {
+        b
+    } else {
+        a
+    }
+}
 
 /// A future event list holding events of payload type `E`.
 ///
@@ -117,9 +148,13 @@ const ARITY: usize = 8;
 #[derive(Debug)]
 pub struct Calendar<E> {
     /// 8-ary min-heap ordered by `(time, seq)`; `seq` breaks ties FIFO.
-    heap: Vec<Node<E>>,
+    heap: Vec<Node>,
     /// Slot table: handle → current heap position + generation.
     slots: Vec<Slot>,
+    /// Slot-indexed payload storage; `Some` exactly while the slot's node
+    /// is in the heap. Kept out of the heap nodes so sifts move 16-byte
+    /// entries regardless of the payload type's size.
+    payloads: Vec<Option<E>>,
     /// Slots whose event has left the heap, available for reuse.
     free: Vec<u32>,
     next_seq: u64,
@@ -139,6 +174,7 @@ impl<E> Calendar<E> {
         Calendar {
             heap: Vec::new(),
             slots: Vec::new(),
+            payloads: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
@@ -173,12 +209,24 @@ impl<E> Calendar<E> {
     /// Panics if `at` is earlier than the current clock — scheduling into the
     /// past would silently corrupt causality.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        let (node, generation) = self.admit(at, payload);
+        let pos = self.heap.len();
+        self.heap.push(node);
+        self.sift_up_from(pos, node);
+        EventHandle::new(generation, node.slot())
+    }
+
+    /// Allocates the sequence number, slot, and payload storage for a new
+    /// event — everything [`Calendar::schedule`] does except placing the
+    /// node in the heap. Returns the node and the slot's generation.
+    fn admit(&mut self, at: SimTime, payload: E) -> (Node, u32) {
         assert!(
             at >= self.now,
             "cannot schedule into the past: {at} < now {}",
             self.now
         );
-        let seq = self.next_seq;
+        let seq = u32::try_from(self.next_seq)
+            .expect("calendar FIFO sequence space exhausted (2^32 schedules per calendar)");
         self.next_seq += 1;
         let slot = match self.free.pop() {
             Some(s) => s,
@@ -188,20 +236,14 @@ impl<E> Calendar<E> {
                     generation: 0,
                     pos: 0,
                 });
+                self.payloads.push(None);
                 s
             }
         };
-        let pos = self.heap.len();
-        self.slots[slot as usize].pos = pos as u32;
         let generation = self.slots[slot as usize].generation;
-        self.heap.push(Node {
-            time_bits: time_bits(at),
-            seq,
-            slot,
-            payload,
-        });
-        self.sift_up(pos);
-        EventHandle::new(generation, slot)
+        debug_assert!(self.payloads[slot as usize].is_none());
+        self.payloads[slot as usize] = Some(payload);
+        (Node::new(time_bits(at), seq, slot), generation)
     }
 
     /// Schedules `payload` to fire `dt` time units from now.
@@ -223,6 +265,7 @@ impl<E> Calendar<E> {
             Some(s) if s.generation == handle.generation() => {
                 let pos = s.pos as usize;
                 self.retire(handle.slot());
+                self.payloads[slot] = None;
                 self.remove_at(pos);
                 true
             }
@@ -233,12 +276,34 @@ impl<E> Calendar<E> {
     /// Removes and returns the earliest live event, advancing the clock to
     /// its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let slot = self.heap.first()?.slot;
+        // The guard drops immediately, repairing the root hole.
+        let (time, payload, _hole) = self.pop_open()?;
+        Some((time, payload))
+    }
+
+    /// [`Calendar::pop`], but the root hole is handed back instead of being
+    /// repaired on the spot.
+    ///
+    /// Event handlers that schedule exactly one successor event (an arrival
+    /// re-arming its stream, a stage completion starting the next stage)
+    /// can [`OpenRoot::refill`] the hole with that successor: the new node
+    /// sifts down from the root once, where a separate `pop` + `schedule`
+    /// would sift the displaced last node down *and* bottom-insert the new
+    /// one. If the handler schedules nothing, dropping the guard repairs
+    /// the heap exactly as `pop` would have — including on panic.
+    ///
+    /// The guard borrows the calendar exclusively, so no other calendar
+    /// operation can observe the hole.
+    pub fn pop_open(&mut self) -> Option<(SimTime, E, OpenRoot<'_, E>)> {
+        let node = *self.heap.first()?;
+        let slot = node.slot();
         self.retire(slot);
-        let node = self.remove_at(0);
+        let payload = self.payloads[slot as usize]
+            .take()
+            .expect("occupied slot has a payload");
         let time = node.time();
         self.now = time;
-        Some((time, node.payload))
+        Some((time, payload, OpenRoot { cal: self }))
     }
 
     /// Timestamp of the next live event without removing it.
@@ -253,9 +318,10 @@ impl<E> Calendar<E> {
     /// generation is bumped as its event is dropped.
     pub fn clear(&mut self) {
         for i in 0..self.heap.len() {
-            let slot = self.heap[i].slot;
+            let slot = self.heap[i].slot();
             self.slots[slot as usize].generation =
                 self.slots[slot as usize].generation.wrapping_add(1);
+            self.payloads[slot as usize] = None;
             self.free.push(slot);
         }
         self.heap.clear();
@@ -270,77 +336,144 @@ impl<E> Calendar<E> {
         self.free.push(slot);
     }
 
-    /// Whether the node at `a` must pop before the node at `b`.
-    fn before(&self, a: usize, b: usize) -> bool {
-        self.heap[a].key() < self.heap[b].key()
-    }
-
     /// Records that the node at heap index `i` lives there now.
     fn sync_slot(&mut self, i: usize) {
-        self.slots[self.heap[i].slot as usize].pos = i as u32;
+        self.slots[self.heap[i].slot() as usize].pos = i as u32;
     }
 
-    /// Both sift loops swap the moving node level by level but only patch
-    /// the *displaced* node's slot as they go — the mover's slot is written
-    /// once, at its final position, instead of at every level.
-    fn sift_up(&mut self, mut i: usize) {
-        let key = self.heap[i].key();
+    /// Both sift loops carry the moving node in a register ("hole"
+    /// technique): displaced nodes are copied one step and have their slot
+    /// patched as they go, and the mover is written exactly once, at its
+    /// final position — half the memory traffic of a swap per level. The
+    /// `_from` variants take the mover by value so `remove_at` never has to
+    /// write the displaced last node into the hole just to re-read it.
+    fn sift_up_from(&mut self, mut i: usize, moving: Node) {
+        let key = moving.key();
         while i > 0 {
             let parent = (i - 1) / ARITY;
             if key < self.heap[parent].key() {
-                self.heap.swap(i, parent);
+                self.heap[i] = self.heap[parent];
                 self.sync_slot(i);
                 i = parent;
             } else {
                 break;
             }
         }
+        self.heap[i] = moving;
         self.sync_slot(i);
     }
 
-    fn sift_down(&mut self, mut i: usize) {
+    fn sift_down_from(&mut self, mut i: usize, moving: Node) {
         let n = self.heap.len();
-        let key = self.heap[i].key();
+        let key = moving.key();
         loop {
             let first = ARITY * i + 1;
             if first >= n {
                 break;
             }
             let end = (first + ARITY).min(n);
-            let mut best = first;
-            let mut best_key = self.heap[first].key();
-            for c in first + 1..end {
-                let k = self.heap[c].key();
-                if k < best_key {
-                    best = c;
-                    best_key = k;
+            let (best, best_key) = if end - first == ARITY {
+                // Full node: pairwise tournament. Keys are unique (every
+                // node carries a distinct seq), so reduction order cannot
+                // change the winner, and three dependent compare levels
+                // replace a seven-deep serial select chain.
+                let ch: &[Node; ARITY] = self.heap[first..first + ARITY]
+                    .try_into()
+                    .expect("slice has ARITY nodes");
+                let m01 = min2((first, ch[0].key()), (first + 1, ch[1].key()));
+                let m23 = min2((first + 2, ch[2].key()), (first + 3, ch[3].key()));
+                let m45 = min2((first + 4, ch[4].key()), (first + 5, ch[5].key()));
+                let m67 = min2((first + 6, ch[6].key()), (first + 7, ch[7].key()));
+                min2(min2(m01, m23), min2(m45, m67))
+            } else {
+                let mut best = first;
+                let mut best_key = self.heap[first].key();
+                for c in first + 1..end {
+                    // Select form rather than a branch: the comparison
+                    // outcome is data-dependent noise, so a conditional
+                    // move beats a mispredict-prone jump in this scan.
+                    let k = self.heap[c].key();
+                    let take = k < best_key;
+                    best = if take { c } else { best };
+                    best_key = if take { k } else { best_key };
                 }
-            }
+                (best, best_key)
+            };
             if best_key < key {
-                self.heap.swap(i, best);
+                self.heap[i] = self.heap[best];
                 self.sync_slot(i);
                 i = best;
             } else {
                 break;
             }
         }
+        self.heap[i] = moving;
         self.sync_slot(i);
     }
 
-    /// Swap-removes the node at `pos` and restores heap order with a single
-    /// sift (up or down, whichever the displaced node needs).
-    fn remove_at(&mut self, pos: usize) -> Node<E> {
-        let last = self.heap.len() - 1;
-        self.heap.swap(pos, last);
-        let node = self.heap.pop().expect("heap is non-empty");
-        if pos < last {
-            if pos > 0 && self.before(pos, (pos - 1) / ARITY) {
-                self.sift_up(pos);
+    /// Removes the node at `pos` and restores heap order by sifting the
+    /// displaced last node straight from its register copy into the hole
+    /// (up or down, whichever it needs) — no intermediate store at `pos`.
+    fn remove_at(&mut self, pos: usize) -> Node {
+        let node = self.heap[pos];
+        let moved = self.heap.pop().expect("heap is non-empty");
+        if pos < self.heap.len() {
+            if pos > 0 && moved.key() < self.heap[(pos - 1) / ARITY].key() {
+                self.sift_up_from(pos, moved);
             } else {
-                self.sift_down(pos);
+                self.sift_down_from(pos, moved);
             }
         }
         node
+    }
+}
+
+/// The root hole left by [`Calendar::pop_open`]: the popped event's slot
+/// and clock bookkeeping is settled, but the root heap position still
+/// holds the stale node. Consume the guard with [`OpenRoot::refill`] to
+/// drop a successor event into the hole, or let it fall out of scope to
+/// repair the heap as a plain [`Calendar::pop`] would.
+///
+/// Either way the calendar ends in exactly the state the equivalent
+/// `pop`-then-`schedule` sequence produces: same slot reuse, same handle
+/// generations, same FIFO sequence numbers, and — because node keys are
+/// unique — the same delivery order for every remaining event.
+#[derive(Debug)]
+pub struct OpenRoot<'a, E> {
+    cal: &'a mut Calendar<E>,
+}
+
+impl<E> OpenRoot<'_, E> {
+    /// Schedules `payload` at `at`, placing its node straight into the
+    /// root hole with a single down-sift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the calendar clock, like
+    /// [`Calendar::schedule`].
+    pub fn refill(self, at: SimTime, payload: E) -> EventHandle {
+        // Admit first: if it panics (scheduling into the past), the guard
+        // is still armed and Drop repairs the heap. Only then disarm the
+        // repair — the hole is consumed by the new node.
+        let (node, generation) = self.cal.admit(at, payload);
+        let mut this = std::mem::ManuallyDrop::new(self);
+        this.cal.sift_down_from(0, node);
+        EventHandle::new(generation, node.slot())
+    }
+}
+
+impl<E> Drop for OpenRoot<'_, E> {
+    fn drop(&mut self) {
+        // Inline root removal, as in `pop`: move the last node into the
+        // hole; the root needs no sift-direction probe.
+        let moved = self
+            .cal
+            .heap
+            .pop()
+            .expect("open root implies a nonempty heap");
+        if !self.cal.heap.is_empty() {
+            self.cal.sift_down_from(0, moved);
+        }
     }
 }
 
@@ -425,6 +558,91 @@ mod tests {
         cal.cancel(h);
         assert_eq!(cal.peek_time(), Some(SimTime::new(2.0)));
         assert_eq!(cal.pop().map(|(_, e)| e), Some(2));
+    }
+
+    /// Driving one calendar with `pop_open`/`refill` and a twin with plain
+    /// `pop` + `schedule` must produce identical deliveries and handles:
+    /// same times, same payloads, same slot reuse, same cancel behavior.
+    #[test]
+    fn pop_open_refill_matches_pop_then_schedule() {
+        let mut fused: Calendar<u32> = Calendar::new();
+        let mut plain: Calendar<u32> = Calendar::new();
+        let mut lcg: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut step = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as f64 / f64::from(1u32 << 31)
+        };
+        for i in 0..32 {
+            let t = SimTime::new(step());
+            fused.schedule(t, i);
+            plain.schedule(t, i);
+        }
+        let mut fused_handles = Vec::new();
+        let mut plain_handles = Vec::new();
+        for round in 0..2_000 {
+            let dt = step();
+            let (tf, ef, hole) = fused.pop_open().expect("fused calendar nonempty");
+            let hf = if round % 3 == 0 {
+                drop(hole);
+                fused.schedule(tf + dt, ef)
+            } else {
+                hole.refill(tf + dt, ef)
+            };
+            let (tp, ep) = plain.pop().expect("plain calendar nonempty");
+            let hp = plain.schedule(tp + dt, ep);
+            assert_eq!((tf, ef), (tp, ep), "round {round} delivery diverged");
+            assert_eq!(hf, hp, "round {round} handle diverged");
+            fused_handles.push(hf);
+            plain_handles.push(hp);
+        }
+        // Handles from both calendars stay interchangeable: cancelling the
+        // live tail works, cancelling delivered events fails, on both.
+        for (hf, hp) in fused_handles.iter().zip(&plain_handles) {
+            assert_eq!(fused.cancel(*hf), plain.cancel(*hp));
+        }
+        assert_eq!(fused.len(), plain.len());
+    }
+
+    #[test]
+    fn dropped_open_root_repairs_the_heap() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule(SimTime::new(f64::from(i)), i);
+        }
+        // Pop half the events without refilling: every drop must leave a
+        // well-ordered heap behind.
+        for expect in 0..50 {
+            let (t, e, hole) = cal.pop_open().expect("nonempty");
+            drop(hole);
+            assert_eq!((t, e), (SimTime::new(f64::from(expect)), expect));
+        }
+        assert_eq!(cal.len(), 50);
+        let rest: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, (50..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn refill_into_singleton_heap() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(1.0), "only");
+        let (t, e, hole) = cal.pop_open().expect("nonempty");
+        assert_eq!((t, e), (SimTime::new(1.0), "only"));
+        let h = hole.refill(SimTime::new(2.0), "next");
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.peek_time(), Some(SimTime::new(2.0)));
+        assert!(cal.cancel(h));
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn refill_into_the_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::new(2.0), ());
+        let (_, _, hole) = cal.pop_open().expect("nonempty");
+        hole.refill(SimTime::new(1.0), ());
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub trait Draw: std::fmt::Debug + Send + Sync {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Exponential {
     rate: f64,
+    /// `-1/rate`, precomputed: the inverse-transform draw multiplies the
+    /// log by this instead of paying a floating divide per variate.
+    neg_mean: f64,
 }
 
 impl Exponential {
@@ -47,7 +50,10 @@ impl Exponential {
             rate.is_finite() && rate > 0.0,
             "rate must be positive, got {rate}"
         );
-        Exponential { rate }
+        Exponential {
+            rate,
+            neg_mean: -1.0 / rate,
+        }
     }
 
     /// Creates an exponential distribution from its mean.
@@ -61,7 +67,7 @@ impl Exponential {
             mean.is_finite() && mean > 0.0,
             "mean must be positive, got {mean}"
         );
-        Exponential { rate: 1.0 / mean }
+        Self::with_rate(1.0 / mean)
     }
 
     /// The rate parameter.
@@ -73,7 +79,10 @@ impl Exponential {
 
 impl Draw for Exponential {
     fn draw(&self, rng: &mut SimRng) -> f64 {
-        rng.exponential(self.rate)
+        // Inverse transform, as in `SimRng::exponential`, but the rate
+        // was validated at construction and the divide is a precomputed
+        // multiply. `ln(1-U) <= 0` times `-1/rate < 0` keeps it >= 0.
+        (1.0 - rng.uniform()).ln() * self.neg_mean
     }
     fn mean(&self) -> f64 {
         1.0 / self.rate

@@ -76,7 +76,7 @@ mod rng;
 pub mod stats;
 mod time;
 
-pub use calendar::{Calendar, EventHandle};
+pub use calendar::{Calendar, EventHandle, OpenRoot};
 pub use dist::{Deterministic, Draw, Erlang, Exponential, HyperExponential};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultTarget, FaultTimeline, StochasticFault};
 pub use parallel::{

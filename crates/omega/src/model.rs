@@ -34,6 +34,8 @@ pub struct OmegaNetwork {
     /// Active circuits keyed by global processor index.
     circuits: HashMap<usize, Circuit>,
     counters: NetworkCounters,
+    /// Per-partition requester list, reused across request cycles.
+    requesters: Vec<usize>,
 }
 
 /// Error building an [`OmegaNetwork`] from a config of the wrong kind.
@@ -128,6 +130,7 @@ impl OmegaNetwork {
             partitions: parts,
             circuits: HashMap::new(),
             counters: NetworkCounters::default(),
+            requesters: Vec::new(),
         }
     }
 
@@ -142,6 +145,21 @@ impl OmegaNetwork {
         for part in &mut self.partitions {
             part.set_status_freshness(freshness);
         }
+    }
+
+    /// Selects the reachability evaluator on every partition (the bit-sliced
+    /// stage compilation or the per-wire reference oracle). Both engines
+    /// resolve identically; this knob exists for cross-validation.
+    pub fn set_resolver_engine(&mut self, engine: rsin_core::ResolverEngine) {
+        for part in &mut self.partitions {
+            part.set_resolver_engine(engine);
+        }
+    }
+
+    /// The reachability evaluator in force.
+    #[must_use]
+    pub fn resolver_engine(&self) -> rsin_core::ResolverEngine {
+        self.partitions[0].resolver_engine()
     }
 
     /// The admission discipline in force.
@@ -160,14 +178,23 @@ impl ResourceNetwork for OmegaNetwork {
         self.partitions.len() * self.size * self.resources_per_port as usize
     }
 
-    fn request_cycle(&mut self, pending: &[bool], _rng: &mut SimRng) -> Vec<Grant> {
-        assert_eq!(pending.len(), self.processors(), "pending vector size");
+    fn request_cycle(&mut self, pending: &[bool], rng: &mut SimRng) -> Vec<Grant> {
         let mut grants = Vec::new();
+        self.request_cycle_into(pending, rng, &mut grants);
+        grants
+    }
+
+    fn request_cycle_into(&mut self, pending: &[bool], _rng: &mut SimRng, out: &mut Vec<Grant>) {
+        assert_eq!(pending.len(), self.processors(), "pending vector size");
+        out.clear();
+        let mut requesters = std::mem::take(&mut self.requesters);
         for (pi, part) in self.partitions.iter_mut().enumerate() {
             let base = pi * self.size;
-            let requesters: Vec<usize> = (0..self.size)
-                .filter(|&l| pending[base + l] && !self.circuits.contains_key(&(base + l)))
-                .collect();
+            requesters.clear();
+            requesters.extend(
+                (0..self.size)
+                    .filter(|&l| pending[base + l] && !self.circuits.contains_key(&(base + l))),
+            );
             if requesters.is_empty() {
                 continue;
             }
@@ -179,13 +206,13 @@ impl ResourceNetwork for OmegaNetwork {
                 let proc = base + circuit.processor;
                 let port = base + circuit.port;
                 self.circuits.insert(proc, circuit);
-                grants.push(Grant {
+                out.push(Grant {
                     processor: proc,
                     port,
                 });
             }
         }
-        grants
+        self.requesters = requesters;
     }
 
     fn end_transmission(&mut self, grant: Grant) {

@@ -33,6 +33,10 @@
 //!   continue to propagate in the presence of possibly outdated status
 //!   information. This tends to lengthen the time to find a free resource").
 
+use rsin_bitslice::{
+    clear_bit, or_pairs_compress, set_bit, swap_or, tail_mask, tile_double, words_for,
+};
+use rsin_core::{default_resolver_engine, ResolverEngine};
 use rsin_topology::{bit, shuffle, with_bit, Link};
 
 /// A granted circuit: the processor, the output port reached, and the links
@@ -162,21 +166,41 @@ pub struct MultistageState {
     resources_per_port: u32,
     wiring: Wiring,
     freshness: StatusFreshness,
-    /// `link_busy[stage][wire]`: held by an established circuit.
-    link_busy: Vec<Vec<bool>>,
+    /// Which reachability evaluator the status phase runs: the bit-sliced
+    /// stage compilation (default) or the per-wire reference sweep. Both
+    /// compute identical availability tables, so resolution is identical —
+    /// property tests enforce it.
+    engine: ResolverEngine,
+    /// Words per packed wire row (`ceil(size / 64)`).
+    words_per_row: usize,
+    /// Link occupancy packed as `bits` rows of `words_per_row` lanes: bit
+    /// `(stage, wire)` is held by an established circuit.
+    link_busy: Vec<u64>,
     /// Busy resources per output port.
     busy_resources: Vec<u32>,
     /// Resource type hosted by each output port (all 0 when untyped).
     port_types: Vec<usize>,
     /// Output ports whose resource pool is offline (fault state).
     port_down: Vec<bool>,
-    /// `box_down[stage][box]`: failed interchange boxes. A failed box
+    /// Packed status-phase source row: bit `w` set when port `w` is online
+    /// with ≥ 1 free resource. Maintained incrementally by every
+    /// occupy/release/fail/repair so the bit-sliced status phase starts from
+    /// a ready-made lane vector.
+    port_free: Vec<u64>,
+    /// `box_down[stage * N/2 + box]`: failed interchange boxes. A failed box
     /// advertises no availability, so requests reroute around it; circuits
     /// already established through it complete normally (fail-open).
-    box_down: Vec<Vec<bool>>,
-    /// Reusable resolution scratch (claimed-link bits and per-type
-    /// reachability tables). Owned here so steady-state resolution does no
-    /// per-round heap allocation; it carries no observable state between
+    box_down: Vec<bool>,
+    /// The packed shadow of `box_down` on the wire axis: bit
+    /// `(stage, wire_out)` set when the box owning `wire_out` is down —
+    /// degraded fault masks clear whole lanes of the status wave.
+    box_dead_wires: Vec<u64>,
+    /// Packed per-type port masks (bit `w` set when `port_types[w] == t`),
+    /// rebuilt by [`MultistageState::set_port_types`].
+    type_masks: Vec<(usize, Vec<u64>)>,
+    /// Reusable resolution scratch (claimed-link bits, per-type reachability
+    /// tables, and flight arenas). Owned here so steady-state resolution does
+    /// no per-round heap allocation; it carries no observable state between
     /// epochs.
     scratch: ResolverScratch,
 }
@@ -189,6 +213,16 @@ struct BitMatrix {
 }
 
 impl BitMatrix {
+    /// An empty matrix whose backing store can hold `words` words without
+    /// reallocating, so a later [`BitMatrix::reset`] within that bound is
+    /// allocation-free.
+    fn with_word_capacity(words: usize) -> Self {
+        BitMatrix {
+            words_per_row: 0,
+            words: Vec::with_capacity(words),
+        }
+    }
+
     /// Resizes to `rows × cols` and zeroes every bit, keeping the backing
     /// allocation.
     fn reset(&mut self, rows: usize, cols: usize) {
@@ -211,6 +245,16 @@ impl BitMatrix {
     fn clear_bit(&mut self, row: usize, col: usize) {
         self.words[row * self.words_per_row + col / 64] &= !(1 << (col % 64));
     }
+
+    #[inline]
+    fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, r: usize) -> &mut [u64] {
+        &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
 }
 
 /// Per-epoch working storage for [`MultistageState::resolve_batch`].
@@ -220,11 +264,54 @@ struct ResolverScratch {
     claimed: BitMatrix,
     /// One reachability table per resource type in flight, keyed by type.
     down: Vec<(usize, BitMatrix)>,
+    /// Stage-wave lane buffers for the bit-sliced status phase.
+    t_in: Vec<u64>,
+    t_box: Vec<u64>,
+    /// Duplicate-requester check buffer for `resolve`/`resolve_typed`.
+    seen: Vec<bool>,
+    /// Untyped→typed request adaptation buffer for `resolve`.
+    typed: Vec<(usize, usize)>,
+    /// Distinct requested types this epoch.
+    types: Vec<usize>,
+    /// In-flight request bookkeeping, plus the frame/link arenas the
+    /// flights index with stride `stages` (a flight never holds more than
+    /// one frame or link per stage).
+    flights: Vec<Flight>,
+    frames: Vec<Frame>,
+    links: Vec<Link>,
+}
+
+impl ResolverScratch {
+    /// Scratch pre-sized for an `N`-port, `bits`-stage network. Every buffer
+    /// carries the capacity a full-occupancy single-type epoch needs, so even
+    /// the *first* resolution after construction allocates nothing beyond the
+    /// returned [`Resolution`] — that epoch is on the hot path of short-lived
+    /// networks (one `down` table is pre-built; further resource types, a cold
+    /// reconfiguration, grow the table on first use).
+    fn preallocated(size: usize, bits: u32) -> Self {
+        let n = bits as usize;
+        let wpr = words_for(size);
+        let mut down = Vec::with_capacity(4);
+        down.push((0, BitMatrix::with_word_capacity((n + 1) * wpr)));
+        ResolverScratch {
+            claimed: BitMatrix::with_word_capacity(n * wpr),
+            down,
+            t_in: Vec::with_capacity(wpr),
+            t_box: Vec::with_capacity(wpr),
+            seen: Vec::with_capacity(size),
+            typed: Vec::with_capacity(size),
+            types: Vec::with_capacity(size),
+            flights: Vec::with_capacity(size),
+            frames: Vec::with_capacity(size * n),
+            links: Vec::with_capacity(size * n),
+        }
+    }
 }
 
 /// The Omega-wired multistage RSIN state (the paper's primary subject).
 pub type OmegaState = MultistageState;
 
+#[derive(Clone, Copy, Debug)]
 struct Frame {
     /// Input wire (boundary index) through which the box was entered.
     wire_in: usize,
@@ -232,16 +319,21 @@ struct Frame {
     tried: [bool; 2],
 }
 
+/// One in-flight request. Its frames live at
+/// `scratch.frames[index * stages ..][..frame_len]` and its claimed links at
+/// `scratch.links[index * stages ..][..link_len]` — arena slots instead of
+/// per-flight vectors, so an epoch allocates nothing for backtracking state.
+#[derive(Clone, Copy, Debug)]
 struct Flight {
     processor: usize,
     /// Requested resource type (0 in the untyped system).
     ty: usize,
-    frames: Vec<Frame>,
-    links: Vec<Link>,
+    frame_len: usize,
+    link_len: usize,
     state: FlightState,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum FlightState {
     Active,
     Granted,
@@ -301,19 +393,104 @@ impl MultistageState {
             Some(b) if b >= 1 => b,
             _ => return Err(rsin_topology::TopologyError::NotPowerOfTwo { size }),
         };
+        let words_per_row = words_for(size);
+        let mut all_ports = vec![u64::MAX; words_per_row];
+        all_ports[words_per_row - 1] = tail_mask(size);
         Ok(MultistageState {
             bits,
             size,
             resources_per_port,
             wiring,
             freshness: StatusFreshness::Continuous,
-            link_busy: vec![vec![false; size]; bits as usize],
+            engine: default_resolver_engine(),
+            words_per_row,
+            link_busy: vec![0; bits as usize * words_per_row],
             busy_resources: vec![0; size],
             port_types: vec![0; size],
             port_down: vec![false; size],
-            box_down: vec![vec![false; size / 2]; bits as usize],
-            scratch: ResolverScratch::default(),
+            port_free: all_ports.clone(),
+            box_down: vec![false; bits as usize * (size / 2)],
+            box_dead_wires: vec![0; bits as usize * words_per_row],
+            // All ports host type 0 until `set_port_types` says otherwise.
+            type_masks: vec![(0, all_ports)],
+            scratch: ResolverScratch::preallocated(size, bits),
         })
+    }
+
+    /// Selects the reachability evaluator (bit-sliced compilation or the
+    /// per-wire reference oracle). Safe to flip at any time: both engines
+    /// compute identical availability tables.
+    pub fn set_resolver_engine(&mut self, engine: ResolverEngine) {
+        self.engine = engine;
+    }
+
+    /// The reachability evaluator in force.
+    #[must_use]
+    pub fn resolver_engine(&self) -> ResolverEngine {
+        self.engine
+    }
+
+    /// Refreshes `port`'s lane in the packed status-source row.
+    #[inline]
+    fn update_port_free(&mut self, port: usize) {
+        if !self.port_down[port] && self.busy_resources[port] < self.resources_per_port {
+            set_bit(&mut self.port_free, port);
+        } else {
+            clear_bit(&mut self.port_free, port);
+        }
+    }
+
+    /// Flattened index of `box_id` in stage `stage`.
+    #[inline]
+    fn box_index(&self, stage: usize, box_id: usize) -> usize {
+        stage * (self.size / 2) + box_id
+    }
+
+    /// Whether stage `k`'s link `wire` is held, read from the packed rows.
+    #[inline]
+    fn link_busy_at(&self, k: usize, wire: usize) -> bool {
+        self.link_busy[k * self.words_per_row + wire / 64] & (1u64 << (wire % 64)) != 0
+    }
+
+    /// Rewrites the packed dead-wire lanes of (`stage`, `box_id`) after a
+    /// box fault or repair (cold path).
+    fn refresh_box_wires(&mut self, stage: u32, box_id: usize) {
+        let dead = self.box_down[self.box_index(stage as usize, box_id)];
+        let base = stage as usize * self.words_per_row;
+        for w in 0..self.size {
+            if self.wiring.box_of_output(self.bits, stage, w) == box_id {
+                if dead {
+                    set_bit(&mut self.box_dead_wires[base..], w);
+                } else {
+                    clear_bit(&mut self.box_dead_wires[base..], w);
+                }
+            }
+        }
+    }
+
+    /// The packed port mask of resource type `ty`, if any port hosts it.
+    #[inline]
+    fn type_mask(&self, ty: usize) -> Option<&[u64]> {
+        self.type_masks
+            .iter()
+            .find(|e| e.0 == ty)
+            .map(|e| e.1.as_slice())
+    }
+
+    /// Rebuilds the packed per-type port masks from `port_types`.
+    fn rebuild_type_masks(&mut self) {
+        let wpr = self.words_per_row;
+        self.type_masks.clear();
+        for w in 0..self.size {
+            let t = self.port_types[w];
+            if let Some(pos) = self.type_masks.iter().position(|e| e.0 == t) {
+                set_bit(&mut self.type_masks[pos].1, w);
+            } else {
+                let mut mask = vec![0u64; wpr];
+                set_bit(&mut mask, w);
+                self.type_masks.push((t, mask));
+            }
+        }
     }
 
     /// Sets how often availability registers refresh during resolution.
@@ -343,6 +520,7 @@ impl MultistageState {
     pub fn set_port_types(&mut self, types: &[usize]) {
         assert_eq!(types.len(), self.size, "one type per output port");
         self.port_types.copy_from_slice(types);
+        self.rebuild_type_masks();
     }
 
     /// The resource type hosted on `port`.
@@ -386,6 +564,7 @@ impl MultistageState {
             "port {port} has no free resource to occupy"
         );
         self.busy_resources[port] += 1;
+        self.update_port_free(port);
     }
 
     /// Frees one resource on `port` (end of service).
@@ -400,6 +579,7 @@ impl MultistageState {
             "port {port} has no busy resource"
         );
         self.busy_resources[port] -= 1;
+        self.update_port_free(port);
     }
 
     /// Free resources currently on `port`.
@@ -421,16 +601,20 @@ impl MultistageState {
     /// Panics if any link of the circuit is not currently held.
     pub fn release_circuit(&mut self, circuit: &Circuit) {
         for l in &circuit.links {
-            let slot = &mut self.link_busy[l.stage as usize][l.wire];
-            assert!(*slot, "releasing a link that is not held: {l:?}");
-            *slot = false;
+            let idx = l.stage as usize * self.words_per_row + l.wire / 64;
+            let lane = 1u64 << (l.wire % 64);
+            assert!(
+                self.link_busy[idx] & lane != 0,
+                "releasing a link that is not held: {l:?}"
+            );
+            self.link_busy[idx] &= !lane;
         }
     }
 
     /// Whether a link is currently held by a circuit.
     #[must_use]
     pub fn link_is_busy(&self, link: Link) -> bool {
-        self.link_busy[link.stage as usize][link.wire]
+        self.link_busy_at(link.stage as usize, link.wire)
     }
 
     /// Takes the resource pool on `port` offline and clears its busy count
@@ -448,6 +632,7 @@ impl MultistageState {
         }
         self.port_down[port] = true;
         self.busy_resources[port] = 0;
+        self.update_port_free(port);
         true
     }
 
@@ -459,7 +644,9 @@ impl MultistageState {
     /// Panics if the port is out of range.
     pub fn repair_port(&mut self, port: usize) -> bool {
         assert!(port < self.size, "port out of range");
-        std::mem::replace(&mut self.port_down[port], false)
+        let was = std::mem::replace(&mut self.port_down[port], false);
+        self.update_port_free(port);
+        was
     }
 
     /// Whether the resource pool on `port` is offline.
@@ -490,7 +677,10 @@ impl MultistageState {
     pub fn fail_box(&mut self, stage: u32, box_id: usize) -> bool {
         assert!(stage < self.bits, "stage out of range");
         assert!(box_id < self.size / 2, "box out of range");
-        !std::mem::replace(&mut self.box_down[stage as usize][box_id], true)
+        let idx = self.box_index(stage as usize, box_id);
+        let was = std::mem::replace(&mut self.box_down[idx], true);
+        self.refresh_box_wires(stage, box_id);
+        !was
     }
 
     /// Repairs interchange box `box_id` of stage `stage`. Returns `true`
@@ -502,7 +692,10 @@ impl MultistageState {
     pub fn repair_box(&mut self, stage: u32, box_id: usize) -> bool {
         assert!(stage < self.bits, "stage out of range");
         assert!(box_id < self.size / 2, "box out of range");
-        std::mem::replace(&mut self.box_down[stage as usize][box_id], false)
+        let idx = self.box_index(stage as usize, box_id);
+        let was = std::mem::replace(&mut self.box_down[idx], false);
+        self.refresh_box_wires(stage, box_id);
+        was
     }
 
     /// Whether interchange box `box_id` of stage `stage` is failed.
@@ -514,7 +707,7 @@ impl MultistageState {
     pub fn box_is_down(&self, stage: u32, box_id: usize) -> bool {
         assert!(stage < self.bits, "stage out of range");
         assert!(box_id < self.size / 2, "box out of range");
-        self.box_down[stage as usize][box_id]
+        self.box_down[self.box_index(stage as usize, box_id)]
     }
 
     /// Runs one resolution epoch for `requesters` (distinct processor
@@ -524,14 +717,11 @@ impl MultistageState {
     ///
     /// Panics if a requester index is out of range or duplicated.
     pub fn resolve(&mut self, requesters: &[usize], admission: Admission) -> Resolution {
-        let mut seen = vec![false; self.size];
-        for &p in requesters {
-            assert!(p < self.size, "processor {p} out of range");
-            assert!(!seen[p], "processor {p} duplicated");
-            seen[p] = true;
-        }
-        let typed: Vec<(usize, usize)> = requesters.iter().map(|&p| (p, 0)).collect();
-        match admission {
+        self.check_distinct(requesters.iter().copied());
+        let mut typed = std::mem::take(&mut self.scratch.typed);
+        typed.clear();
+        typed.extend(requesters.iter().map(|&p| (p, 0)));
+        let res = match admission {
             Admission::Simultaneous => self.resolve_batch(&typed),
             Admission::Staggered => {
                 let mut total = Resolution::default();
@@ -544,6 +734,20 @@ impl MultistageState {
                 }
                 total
             }
+        };
+        self.scratch.typed = typed;
+        res
+    }
+
+    /// Panics unless every requester index is in range and distinct.
+    fn check_distinct(&mut self, requesters: impl Iterator<Item = usize>) {
+        let seen = &mut self.scratch.seen;
+        seen.clear();
+        seen.resize(self.size, false);
+        for p in requesters {
+            assert!(p < self.size, "processor {p} out of range");
+            assert!(!seen[p], "processor {p} duplicated");
+            seen[p] = true;
         }
     }
 
@@ -560,12 +764,7 @@ impl MultistageState {
         requests: &[(usize, usize)],
         admission: Admission,
     ) -> Resolution {
-        let mut seen = vec![false; self.size];
-        for &(p, _) in requests {
-            assert!(p < self.size, "processor {p} out of range");
-            assert!(!seen[p], "processor {p} duplicated");
-            seen[p] = true;
-        }
+        self.check_distinct(requests.iter().map(|&(p, _)| p));
         match admission {
             Admission::Simultaneous => self.resolve_batch(requests),
             Admission::Staggered => {
@@ -585,8 +784,28 @@ impl MultistageState {
     /// Recomputes the availability of every boundary wire given current
     /// links plus `claimed` into `down`: bit `(k, w)` is set when ≥ 1 free
     /// resource **of type `ty`** is reachable from input wire `w` of stage
-    /// `k` through free, unclaimed links.
-    fn reachability_into(&self, claimed: &BitMatrix, ty: usize, down: &mut BitMatrix) {
+    /// `k` through free, unclaimed links. Dispatches on the configured
+    /// [`ResolverEngine`]; both implementations produce identical tables.
+    fn reachability_into(
+        &self,
+        claimed: &BitMatrix,
+        ty: usize,
+        down: &mut BitMatrix,
+        t_in: &mut Vec<u64>,
+        t_box: &mut Vec<u64>,
+    ) {
+        match self.engine {
+            ResolverEngine::Bitslice => {
+                self.reachability_bitslice_into(claimed, ty, down, t_in, t_box);
+            }
+            ResolverEngine::Reference => self.reachability_reference_into(claimed, ty, down),
+        }
+    }
+
+    /// The reference oracle: one traversal per wire per stage, reading box
+    /// topology on the fly. Kept verbatim as the semantic definition that
+    /// the bit-sliced compilation is property-tested against.
+    fn reachability_reference_into(&self, claimed: &BitMatrix, ty: usize, down: &mut BitMatrix) {
         let n = self.bits as usize;
         down.reset(n + 1, self.size);
         for w in 0..self.size {
@@ -603,9 +822,9 @@ impl MultistageState {
                 // A failed box's availability registers are stuck at zero:
                 // nothing is reachable through it.
                 let box_id = self.wiring.box_of_output(self.bits, k as u32, outs[0]);
-                let reach = !self.box_down[k][box_id]
+                let reach = !self.box_down[self.box_index(k, box_id)]
                     && outs.iter().any(|&wire_out| {
-                        !self.link_busy[k][wire_out]
+                        !self.link_busy_at(k, wire_out)
                             && !claimed.get(k, wire_out)
                             && down.get(k + 1, wire_out)
                     });
@@ -616,25 +835,92 @@ impl MultistageState {
         }
     }
 
+    /// The bit-sliced status wave: each stage is a handful of whole-word
+    /// AND/OR/shift operations on packed wire lanes instead of `N` per-wire
+    /// traversals.
+    ///
+    /// Per stage `k` (walking from the resource side), the transmissible
+    /// lanes are `t = down[k+1] & !link_busy[k] & !claimed[k] & !dead[k]`;
+    /// a box input reaches stage `k+1` iff either of its two output wires
+    /// is transmissible. Under Omega wiring, output wire `w`'s box is
+    /// `w >> 1` and input wire `w` enters box `w mod N/2` — so the stage
+    /// reduces to an even/odd pairwise OR compress followed by tiling the
+    /// half-row twice. Under Cube wiring stage `k` pairs wires differing in
+    /// bit `bits-1-k`, a single distance-`d` swap-OR. Tail lanes stay zero
+    /// throughout because every row is ANDed against an already-clean row.
+    fn reachability_bitslice_into(
+        &self,
+        claimed: &BitMatrix,
+        ty: usize,
+        down: &mut BitMatrix,
+        t_in: &mut Vec<u64>,
+        t_box: &mut Vec<u64>,
+    ) {
+        let n = self.bits as usize;
+        let wpr = self.words_per_row;
+        down.reset(n + 1, self.size);
+        // Base row: online ports of the requested type with a free resource.
+        // No port hosting `ty` (no mask) leaves the row all-zero.
+        if let Some(mask) = self.type_mask(ty) {
+            let base = down.row_mut(n);
+            for w in 0..wpr {
+                base[w] = self.port_free[w] & mask[w];
+            }
+        }
+        t_in.clear();
+        t_in.resize(wpr, 0);
+        for k in (0..n).rev() {
+            let busy = &self.link_busy[k * wpr..(k + 1) * wpr];
+            let dead = &self.box_dead_wires[k * wpr..(k + 1) * wpr];
+            let cl = claimed.row(k);
+            let up = down.row(k + 1);
+            for w in 0..wpr {
+                t_in[w] = up[w] & !busy[w] & !cl[w] & !dead[w];
+            }
+            match self.wiring {
+                Wiring::Omega => {
+                    or_pairs_compress(t_in, self.size / 2, t_box);
+                    tile_double(t_box, self.size / 2, t_in);
+                    down.row_mut(k).copy_from_slice(&t_in[..wpr]);
+                }
+                Wiring::Cube => {
+                    swap_or(t_in, 1usize << (self.bits - 1 - k as u32), t_box);
+                    down.row_mut(k).copy_from_slice(&t_box[..wpr]);
+                }
+            }
+        }
+    }
+
     fn resolve_batch(&mut self, requesters: &[(usize, usize)]) -> Resolution {
         let n = self.bits as usize;
         // Detach the scratch so `&self` stays free for reachability scans.
+        let mut scratch = std::mem::take(&mut self.scratch);
         let ResolverScratch {
-            mut claimed,
-            mut down,
-        } = std::mem::take(&mut self.scratch);
+            claimed,
+            down,
+            t_in,
+            t_box,
+            types,
+            flights,
+            frames,
+            links,
+            ..
+        } = &mut scratch;
         claimed.reset(n, self.size);
         let mut res = Resolution::default();
+        // One exact reservation instead of doubling growth as grants land.
+        res.granted.reserve(requesters.len());
 
         // One availability-register table per resource type in flight (the
         // paper: "there is one register for each type of resources reachable
         // from this output port").
-        let mut types: Vec<usize> = requesters.iter().map(|&(_, t)| t).collect();
+        types.clear();
+        types.extend(requesters.iter().map(|&(_, t)| t));
         types.sort_unstable();
         types.dedup();
         down.truncate(types.len());
         down.resize_with(types.len(), Default::default);
-        for (slot, &t) in down.iter_mut().zip(&types) {
+        for (slot, &t) in down.iter_mut().zip(types.iter()) {
             slot.0 = t;
         }
 
@@ -642,23 +928,34 @@ impl MultistageState {
         // reports reachable availability of its type (end of the status
         // phase).
         for (t, table) in down.iter_mut() {
-            self.reachability_into(&claimed, *t, table);
+            self.reachability_into(claimed, *t, table, t_in, t_box);
         }
         let lookup = |down: &[(usize, BitMatrix)], t: usize| -> usize {
             down.iter().position(|e| e.0 == t).expect("type present")
         };
-        let mut flights: Vec<Flight> = Vec::new();
+        // Arena slots: flight `i` owns `frames[i*n..][..frame_len]` and
+        // `links[i*n..][..link_len]`.
+        let idle = Frame {
+            wire_in: 0,
+            tried: [false, false],
+        };
+        frames.clear();
+        frames.resize(requesters.len() * n, idle);
+        links.clear();
+        links.resize(requesters.len() * n, Link { stage: 0, wire: 0 });
+        flights.clear();
         for &(p, t) in requesters {
-            if down[lookup(&down, t)].1.get(0, p) {
+            if down[lookup(down, t)].1.get(0, p) {
                 res.box_visits += 1; // enters its stage-0 box
+                frames[flights.len() * n] = Frame {
+                    wire_in: p,
+                    tried: [false, false],
+                };
                 flights.push(Flight {
                     processor: p,
                     ty: t,
-                    frames: vec![Frame {
-                        wire_in: p,
-                        tried: [false, false],
-                    }],
-                    links: Vec::new(),
+                    frame_len: 1,
+                    link_len: 0,
                     state: FlightState::Active,
                 });
             } else {
@@ -670,21 +967,23 @@ impl MultistageState {
         while flights.iter().any(|f| f.state == FlightState::Active) {
             if self.freshness == StatusFreshness::Continuous {
                 for (t, table) in down.iter_mut() {
-                    self.reachability_into(&claimed, *t, table);
+                    self.reachability_into(claimed, *t, table, t_in, t_box);
                 }
             }
-            for fl in flights
+            for (fi, fl) in flights
                 .iter_mut()
-                .filter(|f| f.state == FlightState::Active)
+                .enumerate()
+                .filter(|(_, f)| f.state == FlightState::Active)
             {
-                let k = fl.links.len(); // current stage
-                let fl_down = &down[lookup(&down, fl.ty)].1;
-                let frame = fl.frames.last_mut().expect("active flight has a frame");
+                let fbase = fi * n;
+                let k = fl.link_len; // current stage
+                let fl_down = &down[lookup(down, fl.ty)].1;
+                let frame = frames[fbase + fl.frame_len - 1];
                 let (outs, straight) = self.wiring.box_outputs(self.bits, k as u32, frame.wire_in);
                 // A failed box switches nothing: the request sees an
                 // immediate reject and backtracks.
-                let box_dead =
-                    self.box_down[k][self.wiring.box_of_output(self.bits, k as u32, outs[0])];
+                let box_dead = self.box_down
+                    [self.box_index(k, self.wiring.box_of_output(self.bits, k as u32, outs[0]))];
                 // Prefer the straight connection, then exchange.
                 let preference = [straight, straight ^ 1];
                 let mut advanced = false;
@@ -693,7 +992,7 @@ impl MultistageState {
                         continue;
                     }
                     let wire_out = outs[out];
-                    if self.link_busy[k][wire_out] || claimed.get(k, wire_out) {
+                    if self.link_busy_at(k, wire_out) || claimed.get(k, wire_out) {
                         continue;
                     }
                     if !fl_down.get(k + 1, wire_out) {
@@ -712,18 +1011,20 @@ impl MultistageState {
                     // register: resources are no longer reachable through it
                     // for anyone else until released).
                     claimed.set(k, wire_out);
-                    fl.links.push(Link {
+                    links[fbase + fl.link_len] = Link {
                         stage: k as u32,
                         wire: wire_out,
-                    });
+                    };
+                    fl.link_len += 1;
                     if k + 1 == n {
                         fl.state = FlightState::Granted;
                     } else {
                         res.box_visits += 1; // enters the next box
-                        fl.frames.push(Frame {
+                        frames[fbase + fl.frame_len] = Frame {
                             wire_in: wire_out,
                             tried: [false, false],
-                        });
+                        };
+                        fl.frame_len += 1;
                     }
                     advanced = true;
                     break;
@@ -732,41 +1033,47 @@ impl MultistageState {
                     continue;
                 }
                 // Reject J: backtrack one stage.
-                if fl.frames.len() == 1 {
+                if fl.frame_len == 1 {
                     fl.state = FlightState::Rejected;
                     continue;
                 }
-                fl.frames.pop();
-                let undone = fl.links.pop().expect("frame implies link");
+                fl.frame_len -= 1;
+                fl.link_len -= 1;
+                let undone = links[fbase + fl.link_len];
                 claimed.clear_bit(undone.stage as usize, undone.wire);
-                let parent = fl.frames.last_mut().expect("parent frame exists");
+                let parent = &mut frames[fbase + fl.frame_len - 1];
                 let (parent_outs, _) =
                     self.wiring
-                        .box_outputs(self.bits, (fl.links.len()) as u32, parent.wire_in);
+                        .box_outputs(self.bits, fl.link_len as u32, parent.wire_in);
                 let out_bit = usize::from(parent_outs[1] == undone.wire);
                 parent.tried[out_bit] = true;
                 res.box_visits += 1; // re-enters the parent box
             }
         }
 
-        for fl in flights {
+        for (fi, fl) in flights.iter().enumerate() {
+            let fbase = fi * n;
             match fl.state {
                 FlightState::Granted => {
-                    let port = fl.links.last().expect("granted flight has links").wire;
-                    for l in &fl.links {
-                        self.link_busy[l.stage as usize][l.wire] = true;
+                    let held = &links[fbase..fbase + fl.link_len];
+                    let port = held.last().expect("granted flight has links").wire;
+                    for l in held {
+                        set_bit(
+                            &mut self.link_busy[l.stage as usize * self.words_per_row..],
+                            l.wire,
+                        );
                     }
                     res.granted.push(Circuit {
                         processor: fl.processor,
                         port,
-                        links: fl.links,
+                        links: held.to_vec(),
                     });
                 }
                 FlightState::Rejected => res.rejected.push(fl.processor),
                 FlightState::Active => unreachable!("loop drains active flights"),
             }
         }
-        self.scratch = ResolverScratch { claimed, down };
+        self.scratch = scratch;
         res
     }
 }
@@ -1146,6 +1453,158 @@ mod tests {
                 rf.granted.len()
             );
         }
+    }
+
+    // ---- bit-sliced engine equivalence ------------------------------------
+
+    /// Deterministic SplitMix-style generator so the fuzz corpus is stable.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u32 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 33) as u32
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            self.next() as usize % n
+        }
+
+        fn chance(&mut self, pct: u32) -> bool {
+            self.next() % 100 < pct
+        }
+    }
+
+    /// Scrambles a network into a random mid-simulation state: busy
+    /// resources, held links, typed ports, and port/box casualties.
+    fn scramble(net: &mut MultistageState, rng: &mut Lcg, types: usize) {
+        let size = net.size();
+        let mut port_types = vec![0usize; size];
+        for t in &mut port_types {
+            *t = rng.below(types);
+        }
+        net.set_port_types(&port_types);
+        for port in 0..size {
+            for _ in 0..net.resources_per_port() {
+                if rng.chance(30) {
+                    net.occupy_resource(port);
+                }
+            }
+            if rng.chance(10) {
+                net.fail_port(port);
+            }
+        }
+        for stage in 0..net.stages() {
+            for b in 0..net.boxes_per_stage() {
+                if rng.chance(8) {
+                    net.fail_box(stage, b);
+                }
+            }
+            // Held links straight into the packed rows: reachability reads
+            // them identically through both engines.
+            let base = stage as usize * net.words_per_row;
+            for w in 0..size {
+                if rng.chance(15) {
+                    set_bit(&mut net.link_busy[base..], w);
+                }
+            }
+        }
+    }
+
+    /// The tentpole's core claim: the bit-sliced stage compilation computes
+    /// the **same availability table, bit for bit**, as the per-wire
+    /// reference oracle — across wirings, non-power-of-64 sizes (lane-tail
+    /// masking), multi-word rows, typed ports, faults, and claimed links.
+    #[test]
+    fn bitslice_reachability_matches_reference_bit_for_bit() {
+        let mut rng = Lcg(0x5eed);
+        for wiring in [Wiring::Omega, Wiring::Cube] {
+            for size in [2usize, 4, 8, 16, 32, 128] {
+                for round in 0..8 {
+                    let mut net = MultistageState::with_wiring(size, 2, wiring).expect("pow2");
+                    scramble(&mut net, &mut rng, 1 + round % 3);
+                    let mut claimed = BitMatrix::default();
+                    claimed.reset(net.stages() as usize, size);
+                    for row in 0..net.stages() as usize {
+                        for w in 0..size {
+                            if rng.chance(20) {
+                                claimed.set(row, w);
+                            }
+                        }
+                    }
+                    let (mut fast, mut slow) = (BitMatrix::default(), BitMatrix::default());
+                    let (mut t_in, mut t_box) = (Vec::new(), Vec::new());
+                    for ty in 0..3 {
+                        net.reachability_bitslice_into(
+                            &claimed, ty, &mut fast, &mut t_in, &mut t_box,
+                        );
+                        net.reachability_reference_into(&claimed, ty, &mut slow);
+                        assert_eq!(
+                            fast.words, slow.words,
+                            "{wiring:?} N={size} round={round} ty={ty}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whole-resolution equivalence: identical `Resolution`s (grants in the
+    /// same order, same rejects, same box-visit counts) from both engines on
+    /// scrambled networks, for both admission disciplines and both
+    /// freshness regimes, untyped and typed.
+    #[test]
+    fn engines_resolve_identically() {
+        let mut rng = Lcg(0xfacade);
+        for wiring in [Wiring::Omega, Wiring::Cube] {
+            for size in [4usize, 8, 128] {
+                for round in 0..4 {
+                    let mut fast = MultistageState::with_wiring(size, 2, wiring).expect("pow2");
+                    fast.set_resolver_engine(ResolverEngine::Bitslice);
+                    scramble(&mut fast, &mut rng, 2);
+                    let mut slow = fast.clone();
+                    slow.set_resolver_engine(ResolverEngine::Reference);
+                    let freshness = if round % 2 == 0 {
+                        StatusFreshness::Continuous
+                    } else {
+                        StatusFreshness::EpochStart
+                    };
+                    fast.set_status_freshness(freshness);
+                    slow.set_status_freshness(freshness);
+                    let admission = if round < 2 {
+                        Admission::Simultaneous
+                    } else {
+                        Admission::Staggered
+                    };
+                    let mut requests: Vec<(usize, usize)> = Vec::new();
+                    for p in 0..size {
+                        if rng.chance(60) {
+                            let ty = rng.below(2);
+                            requests.push((p, ty));
+                        }
+                    }
+                    let ra = fast.resolve_typed(&requests, admission);
+                    let rb = slow.resolve_typed(&requests, admission);
+                    assert_eq!(ra, rb, "{wiring:?} N={size} round={round}");
+                    assert_eq!(
+                        fast.link_busy, slow.link_busy,
+                        "held links diverged: {wiring:?} N={size} round={round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_knob_round_trips() {
+        let mut net = OmegaState::new(4, 1).expect("4x4");
+        net.set_resolver_engine(ResolverEngine::Reference);
+        assert_eq!(net.resolver_engine(), ResolverEngine::Reference);
+        net.set_resolver_engine(ResolverEngine::Bitslice);
+        assert_eq!(net.resolver_engine(), ResolverEngine::Bitslice);
     }
 
     #[test]

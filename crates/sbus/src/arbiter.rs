@@ -7,6 +7,7 @@
 //! and the POLYP-style circulating token which effectively grants a random
 //! waiting processor. Round-robin is included as the textbook fair policy.
 
+use rsin_bitslice::{first_set, rotating_grant, select_nth_set};
 use rsin_des::SimRng;
 
 /// How a bus picks among simultaneously pending processors.
@@ -64,6 +65,35 @@ impl Arbiter {
         self.last_winner = Some(winner);
         Some(winner)
     }
+
+    /// Packed-lane counterpart of [`Arbiter::pick`]: candidates arrive as a
+    /// bit mask with `count` set lanes. All three policies reduce to
+    /// parallel-prefix selects on the packed words (lowest-set isolation,
+    /// token-rotated lowest-set, n-th-set), and the random policy draws from
+    /// the rng exactly once with the same bound as the list form — so both
+    /// paths always elect the same winner.
+    pub fn pick_packed(
+        &mut self,
+        candidates: &[u64],
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Option<usize> {
+        if count == 0 {
+            return None;
+        }
+        let winner = match self.policy {
+            Arbitration::FixedPriority => first_set(candidates).expect("count > 0"),
+            Arbitration::Random => {
+                select_nth_set(candidates, rng.index(count)).expect("index < count")
+            }
+            Arbitration::RoundRobin => {
+                let start = self.last_winner.map_or(0, |w| w + 1);
+                rotating_grant(candidates, start).expect("count > 0")
+            }
+        };
+        self.last_winner = Some(winner);
+        Some(winner)
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +130,38 @@ mod tests {
         assert_eq!(arb.pick(&[0, 1, 2], &mut rng), Some(2));
         assert_eq!(arb.pick(&[0, 1, 2], &mut rng), Some(0), "wraps around");
         assert_eq!(arb.pick(&[0, 2], &mut rng), Some(2), "skips absent");
+    }
+
+    #[test]
+    fn packed_pick_matches_list_pick_for_every_policy() {
+        for policy in [
+            Arbitration::FixedPriority,
+            Arbitration::Random,
+            Arbitration::RoundRobin,
+        ] {
+            let mut list = Arbiter::new(policy);
+            let mut packed = Arbiter::new(policy);
+            let mut rng_a = SimRng::new(77);
+            let mut rng_b = SimRng::new(77);
+            let mut lcg = 0x5eedu64;
+            for _ in 0..300 {
+                // Random candidate sets over 0..150 (multi-word masks).
+                let mut candidates = Vec::new();
+                let mut words = vec![0u64; 3];
+                for i in 0..150 {
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if (lcg >> 33).is_multiple_of(5) {
+                        candidates.push(i);
+                        words[i / 64] |= 1 << (i % 64);
+                    }
+                }
+                let a = list.pick(&candidates, &mut rng_a);
+                let b = packed.pick_packed(&words, candidates.len(), &mut rng_b);
+                assert_eq!(a, b, "{policy:?} diverged on {candidates:?}");
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! bus itself is idle.
 
 use crate::arbiter::{Arbiter, Arbitration};
-use rsin_core::{Grant, NetworkCounters, ResourceNetwork, SystemConfig};
+use rsin_bitslice::{count_ones, pack_bools};
+use rsin_core::{
+    default_resolver_engine, Grant, NetworkCounters, ResolverEngine, ResourceNetwork, SystemConfig,
+};
 use rsin_des::SimRng;
 
 /// State of one bus partition.
@@ -43,6 +46,11 @@ pub struct SharedBusNetwork {
     resources_per_bus: u32,
     buses: Vec<Bus>,
     counters: NetworkCounters,
+    /// Whether arbitration runs on packed candidate lanes (default) or the
+    /// candidate-list reference path; both elect identical winners.
+    engine: ResolverEngine,
+    /// Packed per-bus candidate mask, reused across cycles.
+    scratch: Vec<u64>,
 }
 
 /// Error building a [`SharedBusNetwork`] from a config of the wrong kind.
@@ -112,7 +120,22 @@ impl SharedBusNetwork {
                 })
                 .collect(),
             counters: NetworkCounters::default(),
+            engine: default_resolver_engine(),
+            scratch: Vec::new(),
         }
+    }
+
+    /// Selects the arbitration evaluator (packed lanes or the
+    /// candidate-list reference). Both pick identical winners; the knob
+    /// exists for cross-validation.
+    pub fn set_resolver_engine(&mut self, engine: ResolverEngine) {
+        self.engine = engine;
+    }
+
+    /// The arbitration evaluator in force.
+    #[must_use]
+    pub fn resolver_engine(&self) -> ResolverEngine {
+        self.engine
     }
 
     /// Number of independent bus partitions.
@@ -142,8 +165,48 @@ impl ResourceNetwork for SharedBusNetwork {
     }
 
     fn request_cycle(&mut self, pending: &[bool], rng: &mut SimRng) -> Vec<Grant> {
-        assert_eq!(pending.len(), self.processors(), "pending vector size");
         let mut grants = Vec::new();
+        self.request_cycle_into(pending, rng, &mut grants);
+        grants
+    }
+
+    fn request_cycle_into(&mut self, pending: &[bool], rng: &mut SimRng, out: &mut Vec<Grant>) {
+        assert_eq!(pending.len(), self.processors(), "pending vector size");
+        out.clear();
+        if self.engine == ResolverEngine::Bitslice {
+            // Packed path: candidates live in u64 lanes; arbitration is a
+            // parallel-prefix select instead of a candidate-list scan.
+            let mut mask = std::mem::take(&mut self.scratch);
+            for (b, bus) in self.buses.iter_mut().enumerate() {
+                let base = b * self.procs_per_bus;
+                pack_bools(&pending[base..base + self.procs_per_bus], &mut mask);
+                let count = count_ones(&mask);
+                if count == 0 {
+                    continue;
+                }
+                self.counters.attempts += count as u64;
+                if !bus.bus_up
+                    || !bus.pool_up
+                    || bus.transmitting
+                    || bus.busy_resources >= self.resources_per_bus
+                {
+                    self.counters.rejections += count as u64;
+                    continue;
+                }
+                let winner = bus
+                    .arbiter
+                    .pick_packed(&mask, count, rng)
+                    .expect("count > 0");
+                self.counters.rejections += count as u64 - 1;
+                bus.transmitting = true;
+                out.push(Grant {
+                    processor: base + winner,
+                    port: b,
+                });
+            }
+            self.scratch = mask;
+            return;
+        }
         for (b, bus) in self.buses.iter_mut().enumerate() {
             let base = b * self.procs_per_bus;
             let candidates: Vec<usize> = (0..self.procs_per_bus)
@@ -167,12 +230,11 @@ impl ResourceNetwork for SharedBusNetwork {
                 .expect("candidates nonempty");
             self.counters.rejections += candidates.len() as u64 - 1;
             bus.transmitting = true;
-            grants.push(Grant {
+            out.push(Grant {
                 processor: base + winner,
                 port: b,
             });
         }
-        grants
     }
 
     fn end_transmission(&mut self, grant: Grant) {
@@ -356,6 +418,72 @@ mod tests {
         assert_eq!(net.buses(), 2);
         assert_eq!(net.processors(), 16);
         assert_eq!(net.total_resources(), 32);
+    }
+
+    /// Packed and reference arbitration must stay byte-identical through
+    /// the whole network surface — grants, counters, and rng consumption —
+    /// under a chaotic mix of requests, completions, and faults.
+    #[test]
+    fn engines_agree_through_the_network_surface() {
+        for policy in [
+            Arbitration::FixedPriority,
+            Arbitration::Random,
+            Arbitration::RoundRobin,
+        ] {
+            // 2 buses × 70 processors: multi-word candidate masks.
+            let mut fast = SharedBusNetwork::new(2, 70, 3, policy);
+            fast.set_resolver_engine(ResolverEngine::Bitslice);
+            let mut slow = SharedBusNetwork::new(2, 70, 3, policy);
+            slow.set_resolver_engine(ResolverEngine::Reference);
+            let mut rng_a = SimRng::new(97);
+            let mut rng_b = SimRng::new(97);
+            let mut lcg = 0xb0b0u64;
+            let mut step = move || {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (lcg >> 33) as usize
+            };
+            let mut live: Vec<Grant> = Vec::new();
+            for _ in 0..400 {
+                match step() % 10 {
+                    0..=5 => {
+                        let mut pending = vec![false; 140];
+                        for p in &mut pending {
+                            *p = step() % 3 == 0;
+                        }
+                        let ga = fast.request_cycle(&pending, &mut rng_a);
+                        let gb = slow.request_cycle(&pending, &mut rng_b);
+                        assert_eq!(ga, gb, "{policy:?} grants diverged");
+                        live.extend(ga);
+                    }
+                    6 => {
+                        if !live.is_empty() {
+                            let g = live.swap_remove(step() % live.len());
+                            fast.end_transmission(g);
+                            slow.end_transmission(g);
+                            fast.end_service(g);
+                            slow.end_service(g);
+                        }
+                    }
+                    7 => {
+                        let b = step() % 2;
+                        assert_eq!(fast.fail_element(b), slow.fail_element(b));
+                        assert_eq!(fast.repair_element(b), slow.repair_element(b));
+                    }
+                    _ => {
+                        let b = step() % 2;
+                        let failed = fast.fail_resource(b);
+                        assert_eq!(failed, slow.fail_resource(b));
+                        if failed {
+                            live.retain(|g| g.port != b);
+                        }
+                        assert_eq!(fast.repair_resource(b), slow.repair_resource(b));
+                    }
+                }
+            }
+            assert_eq!(fast.take_counters(), slow.take_counters(), "{policy:?}");
+        }
     }
 
     #[test]

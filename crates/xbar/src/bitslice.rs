@@ -1,0 +1,511 @@
+//! Bit-sliced compilation of the Table-I crossbar: whole rows of cells
+//! evaluated as branchless `u64` lane operations.
+//!
+//! [`CrossbarFabric`](crate::CrossbarFabric) sweeps the request wave cell by
+//! cell. But the Table-I transition function admits a closed form over an
+//! entire row at once. For a requesting row with latch lanes `L`, failed
+//! lanes `F`, and incoming availability lanes `A`:
+//!
+//! * *transparent* cells (`F & !L`) forward both signals unchanged, so the
+//!   cells that can stop the wave are `A & (!F | L)` — the **candidate**
+//!   lanes;
+//! * the wave latches (or is absorbed by an existing latch) at the *lowest*
+//!   candidate lane — a parallel-prefix select, [`lowest_set`], replacing the
+//!   O(m) daisy chain;
+//! * after the wave, every latched cell has driven `Y' = Y & !latch`: the
+//!   row's entire effect on the availability wave is `A &= !L` (candidate
+//!   analysis shows latched lanes before the absorption point carry `A = 0`
+//!   already, so the blanket mask is exact);
+//! * an idle row only performs that same masking, and an idle row with no
+//!   latches is a no-op — so the cycle iterates exactly the lanes of
+//!   `requests | rows_with_latches`.
+//!
+//! The evaluator is fault-aware by construction: a degraded mask simply sets
+//! lanes in `F`, which removes them from the candidate set without branching.
+//! Tail lanes (columns `m..64*ceil(m/64)`) are kept zero in every vector —
+//! the lane-layout invariant of `rsin-bitslice`.
+
+use crate::cell::{REQUEST_GATE_DELAY, RESET_GATE_DELAY};
+use rsin_bitslice::{
+    clear_bit, lowest_set, pack_bools, set_bit, tail_mask, test_bit, words_for, WORD_BITS,
+};
+
+/// A gate-level `p × m` crossbar with rows packed into `u64` lanes.
+///
+/// Drop-in equivalent of [`CrossbarFabric`](crate::CrossbarFabric): same
+/// constructor, same cycle API, same grants in the same order, bit-for-bit —
+/// property tests fuzz the two against each other, including stuck-open
+/// faults and widths that are not multiples of 64.
+///
+/// # Examples
+///
+/// ```
+/// use rsin_xbar::BitFabric;
+///
+/// let mut fabric = BitFabric::new(2, 2);
+/// let grants = fabric.request_cycle(&[true, true], &[true, true]);
+/// assert_eq!(grants, vec![(0, 0), (1, 1)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BitFabric {
+    p: usize,
+    m: usize,
+    /// Words per row (`ceil(m / 64)`).
+    wpr: usize,
+    /// Valid-lane mask for the last word of each row.
+    tail: u64,
+    /// Closed latches, `p` rows of `wpr` words.
+    latch: Vec<u64>,
+    /// Stuck-open cells, same layout.
+    failed: Vec<u64>,
+    /// Bit `i` set when row `i` holds at least one latch — the packed
+    /// equivalent of the naive fabric's row census.
+    rows_with_latch: Vec<u64>,
+    /// Reusable buffers so steady-state cycles allocate nothing.
+    scratch_avail: Vec<u64>,
+    scratch_req: Vec<u64>,
+}
+
+impl BitFabric {
+    /// Creates a fabric with `p` processor rows and `m` bus columns, all
+    /// latches open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `m == 0`.
+    #[must_use]
+    pub fn new(p: usize, m: usize) -> Self {
+        assert!(p > 0 && m > 0, "fabric dimensions must be positive");
+        let wpr = words_for(m);
+        BitFabric {
+            p,
+            m,
+            wpr,
+            tail: tail_mask(m),
+            latch: vec![0; p * wpr],
+            failed: vec![0; p * wpr],
+            rows_with_latch: vec![0; words_for(p)],
+            scratch_avail: Vec::new(),
+            scratch_req: Vec::new(),
+        }
+    }
+
+    /// Processor rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.p
+    }
+
+    /// Bus columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.m
+    }
+
+    /// Whether processor `i` currently holds bus `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn is_connected(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.p && j < self.m, "cell index out of range");
+        test_bit(&self.latch[i * self.wpr..], j)
+    }
+
+    /// Whether cell `(i, j)` is marked failed (stuck open).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn is_failed(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.p && j < self.m, "cell index out of range");
+        test_bit(&self.failed[i * self.wpr..], j)
+    }
+
+    /// Marks cell `(i, j)` stuck open. Returns `true` if the cell was
+    /// healthy. Fail-open: a currently held connection keeps blocking its
+    /// column until reset, but the lane leaves the candidate set for good.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn fail_cell(&mut self, i: usize, j: usize) -> bool {
+        assert!(i < self.p && j < self.m, "cell index out of range");
+        let was = test_bit(&self.failed[i * self.wpr..], j);
+        set_bit(&mut self.failed[i * self.wpr..], j);
+        !was
+    }
+
+    /// Clears the failure mark on cell `(i, j)`. Returns `true` if the cell
+    /// was failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn repair_cell(&mut self, i: usize, j: usize) -> bool {
+        assert!(i < self.p && j < self.m, "cell index out of range");
+        let was = test_bit(&self.failed[i * self.wpr..], j);
+        clear_bit(&mut self.failed[i * self.wpr..], j);
+        was
+    }
+
+    /// Runs one request cycle (allocating convenience wrapper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths don't match the fabric dimensions.
+    pub fn request_cycle(&mut self, requests: &[bool], available: &[bool]) -> Vec<(usize, usize)> {
+        let mut grants = Vec::new();
+        self.request_cycle_into(requests, available, &mut grants);
+        grants
+    }
+
+    /// [`BitFabric::request_cycle`] writing the grants into a caller-provided
+    /// buffer (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths don't match the fabric dimensions.
+    pub fn request_cycle_into(
+        &mut self,
+        requests: &[bool],
+        available: &[bool],
+        grants: &mut Vec<(usize, usize)>,
+    ) {
+        assert_eq!(requests.len(), self.p, "requests length");
+        assert_eq!(available.len(), self.m, "available length");
+        let mut req = std::mem::take(&mut self.scratch_req);
+        pack_bools(requests, &mut req);
+        let mut avail = std::mem::take(&mut self.scratch_avail);
+        pack_bools(available, &mut avail);
+        self.request_cycle_packed(&req, &mut avail, grants);
+        self.scratch_req = req;
+        self.scratch_avail = avail;
+    }
+
+    /// The packed request wave: `req` holds `p` request lanes, `avail` holds
+    /// `m` availability lanes and is updated in place to the wave's output
+    /// (`Y_{p,j}`). Grants are appended in row-major order, matching the
+    /// naive sweep exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word counts don't match the fabric dimensions, or if
+    /// tail lanes are set (debug builds).
+    pub fn request_cycle_packed(
+        &mut self,
+        req: &[u64],
+        avail: &mut [u64],
+        grants: &mut Vec<(usize, usize)>,
+    ) {
+        assert_eq!(req.len(), words_for(self.p), "request word count");
+        assert_eq!(avail.len(), self.wpr, "availability word count");
+        debug_assert_eq!(
+            avail[self.wpr - 1] & !self.tail,
+            0,
+            "tail lanes must be zero"
+        );
+        grants.clear();
+        let wpr = self.wpr;
+        for (rw, &req_word) in req.iter().enumerate() {
+            // Rows that are neither requesting nor holding a latch cannot
+            // affect the wave; skip them wholesale.
+            let mut active = req_word | self.rows_with_latch[rw];
+            while active != 0 {
+                let bit = lowest_set(active);
+                active &= !bit;
+                let i = rw * WORD_BITS + bit.trailing_zeros() as usize;
+                let base = i * wpr;
+                if req_word & bit != 0 {
+                    // Parallel-prefix grant: the wave stops at the lowest
+                    // candidate lane (availability on a non-transparent cell).
+                    for (w, &a) in avail.iter().enumerate() {
+                        let latch_w = self.latch[base + w];
+                        let cand = a & (!self.failed[base + w] | latch_w);
+                        if cand != 0 {
+                            let lane = lowest_set(cand);
+                            if latch_w & lane == 0 {
+                                self.latch[base + w] |= lane;
+                                self.rows_with_latch[rw] |= bit;
+                                grants.push((i, w * WORD_BITS + lane.trailing_zeros() as usize));
+                            }
+                            break;
+                        }
+                    }
+                }
+                // Every latched cell drives Y' = Y & !latch; lanes the wave
+                // was absorbed on are latched too, so one mask covers all.
+                for (w, a) in avail.iter_mut().enumerate() {
+                    *a &= !self.latch[base + w];
+                }
+            }
+        }
+    }
+
+    /// [`BitFabric::request_cycle_packed`] specialized to callers that
+    /// guarantee every column latched by a *previous* cycle is already
+    /// unavailable in `avail` — exactly the resource-network invariant,
+    /// where a latched column is a held bus and the availability predicate
+    /// masks it out. Under that precondition a latched, non-requesting row
+    /// can never change a grant (its mask only clears bits that are
+    /// already zero), so the wave walks requesting rows only. Grants are
+    /// identical to [`BitFabric::request_cycle_packed`]; the final state of
+    /// `avail` may differ on the columns such skipped rows would have
+    /// masked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word counts don't match the fabric dimensions, or
+    /// (debug builds) if tail lanes are set or the held-column precondition
+    /// is violated.
+    pub fn request_cycle_packed_assuming_held(
+        &mut self,
+        req: &[u64],
+        avail: &mut [u64],
+        grants: &mut Vec<(usize, usize)>,
+    ) {
+        assert_eq!(req.len(), words_for(self.p), "request word count");
+        assert_eq!(avail.len(), self.wpr, "availability word count");
+        debug_assert_eq!(
+            avail[self.wpr - 1] & !self.tail,
+            0,
+            "tail lanes must be zero"
+        );
+        #[cfg(debug_assertions)]
+        for (rw, &latched) in self.rows_with_latch.iter().enumerate() {
+            let mut rows = latched;
+            while rows != 0 {
+                let bit = lowest_set(rows);
+                rows &= !bit;
+                let base = (rw * WORD_BITS + bit.trailing_zeros() as usize) * self.wpr;
+                for (w, a) in avail.iter().enumerate() {
+                    debug_assert_eq!(
+                        a & self.latch[base + w],
+                        0,
+                        "caller advertised a latched (held) column as available"
+                    );
+                }
+            }
+        }
+        grants.clear();
+        let wpr = self.wpr;
+        for (rw, &req_word) in req.iter().enumerate() {
+            let mut active = req_word;
+            while active != 0 {
+                let bit = lowest_set(active);
+                active &= !bit;
+                let i = rw * WORD_BITS + bit.trailing_zeros() as usize;
+                let base = i * wpr;
+                for (w, &a) in avail.iter().enumerate() {
+                    let latch_w = self.latch[base + w];
+                    let cand = a & (!self.failed[base + w] | latch_w);
+                    if cand != 0 {
+                        let lane = lowest_set(cand);
+                        if latch_w & lane == 0 {
+                            self.latch[base + w] |= lane;
+                            self.rows_with_latch[rw] |= bit;
+                            grants.push((i, w * WORD_BITS + lane.trailing_zeros() as usize));
+                        }
+                        break;
+                    }
+                }
+                for (w, a) in avail.iter_mut().enumerate() {
+                    *a &= !self.latch[base + w];
+                }
+            }
+        }
+    }
+
+    /// [`BitFabric::request_cycle_packed_assuming_held`] specialized to a
+    /// cycle with exactly one requesting row — the dominant shape of an
+    /// uncontended simulation, where each decision epoch serves the single
+    /// processor whose arrival triggered it. With no later row to observe
+    /// the availability wave, `avail` is read without being consumed, so
+    /// the caller skips both the working copy and the post-grant masking
+    /// pass. Returns the granted column, if any; latch state advances
+    /// exactly as the general wave would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or the word count is out of range, or (debug builds)
+    /// if tail lanes are set or the held-column precondition is violated.
+    pub fn request_single_assuming_held(&mut self, i: usize, avail: &[u64]) -> Option<usize> {
+        assert!(i < self.p, "row out of range");
+        assert_eq!(avail.len(), self.wpr, "availability word count");
+        debug_assert_eq!(
+            avail[self.wpr - 1] & !self.tail,
+            0,
+            "tail lanes must be zero"
+        );
+        #[cfg(debug_assertions)]
+        for (rw, &latched) in self.rows_with_latch.iter().enumerate() {
+            let mut rows = latched;
+            while rows != 0 {
+                let bit = lowest_set(rows);
+                rows &= !bit;
+                let base = (rw * WORD_BITS + bit.trailing_zeros() as usize) * self.wpr;
+                for (w, a) in avail.iter().enumerate() {
+                    debug_assert_eq!(
+                        a & self.latch[base + w],
+                        0,
+                        "caller advertised a latched (held) column as available"
+                    );
+                }
+            }
+        }
+        let base = i * self.wpr;
+        for (w, &a) in avail.iter().enumerate() {
+            let latch_w = self.latch[base + w];
+            let cand = a & (!self.failed[base + w] | latch_w);
+            if cand != 0 {
+                let lane = lowest_set(cand);
+                if latch_w & lane == 0 {
+                    self.latch[base + w] |= lane;
+                    set_bit(&mut self.rows_with_latch, i);
+                    return Some(w * WORD_BITS + lane.trailing_zeros() as usize);
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Runs one reset cycle: every processor `i` with `resets[i]` set
+    /// relinquishes all its connections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resets.len() != p`.
+    pub fn reset_cycle(&mut self, resets: &[bool]) {
+        assert_eq!(resets.len(), self.p, "resets length");
+        for (i, &reset) in resets.iter().enumerate() {
+            if reset {
+                self.reset_row(i);
+            }
+        }
+    }
+
+    /// Runs the reset wave for processor row `i` alone: the wave forwards
+    /// `X` through every cell (failed or not) and opens each latch it
+    /// crosses, so the packed effect is zeroing the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= p`.
+    pub fn reset_row(&mut self, i: usize) {
+        assert!(i < self.p, "row out of range");
+        self.latch[i * self.wpr..(i + 1) * self.wpr].fill(0);
+        clear_bit(&mut self.rows_with_latch, i);
+    }
+
+    /// Worst-case request-cycle length in gate delays: `4(p + m)` — the
+    /// emulated hardware's timing is unchanged by how we evaluate it.
+    #[must_use]
+    pub fn request_cycle_gate_delay(&self) -> u32 {
+        REQUEST_GATE_DELAY * (self.p + self.m) as u32
+    }
+
+    /// Worst-case reset-cycle length in gate delays: `p + m`.
+    #[must_use]
+    pub fn reset_cycle_gate_delay(&self) -> u32 {
+        RESET_GATE_DELAY * (self.p + self.m) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CrossbarFabric;
+
+    #[test]
+    fn mirrors_basic_fabric_behaviour() {
+        let mut f = BitFabric::new(2, 1);
+        assert_eq!(f.request_cycle(&[true, true], &[true]), vec![(0, 0)]);
+        assert!(f.is_connected(0, 0));
+        // Held bus blocks a re-broadcast availability.
+        assert!(f.request_cycle(&[false, true], &[true]).is_empty());
+        f.reset_row(0);
+        assert!(!f.is_connected(0, 0));
+        assert_eq!(f.request_cycle(&[false, true], &[true]), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn gate_delays_match_section_iv() {
+        let f = BitFabric::new(16, 32);
+        assert_eq!(f.request_cycle_gate_delay(), 4 * 48);
+        assert_eq!(f.reset_cycle_gate_delay(), 48);
+    }
+
+    #[test]
+    fn wide_row_grants_across_word_boundaries() {
+        // 70 columns: only column 68 (word 1) is available.
+        let mut f = BitFabric::new(1, 70);
+        let mut avail = vec![false; 70];
+        avail[68] = true;
+        assert_eq!(f.request_cycle(&[true], &avail), vec![(0, 68)]);
+        assert!(f.is_connected(0, 68));
+    }
+
+    /// Bit-for-bit fuzz against the cell-by-cell reference fabric: random
+    /// interleavings of request cycles, row resets, cell failures and
+    /// repairs, across widths spanning word boundaries and lane tails.
+    #[test]
+    fn bitslice_matches_cell_sweep_exactly() {
+        for &(p, m) in &[
+            (5usize, 4usize),
+            (4, 5),
+            (3, 70),
+            (2, 130),
+            (66, 3),
+            (16, 64),
+        ] {
+            let mut bits = BitFabric::new(p, m);
+            let mut cells = CrossbarFabric::new(p, m);
+            let mut state = 0x9e37_79b9_u64 ^ ((p as u64) << 32 | m as u64);
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u32
+            };
+            let mut g_bits = Vec::new();
+            let mut g_cells = Vec::new();
+            for round in 0..600 {
+                match next() % 4 {
+                    0 | 1 => {
+                        let requests: Vec<bool> = (0..p).map(|_| next() % 2 == 0).collect();
+                        let available: Vec<bool> = (0..m).map(|_| next() % 3 != 0).collect();
+                        bits.request_cycle_into(&requests, &available, &mut g_bits);
+                        cells.request_cycle_into(&requests, &available, &mut g_cells);
+                        assert_eq!(g_bits, g_cells, "{p}x{m} round {round}");
+                    }
+                    2 => {
+                        let i = next() as usize % p;
+                        bits.reset_row(i);
+                        cells.reset_row(i);
+                    }
+                    _ => {
+                        let (i, j) = (next() as usize % p, next() as usize % m);
+                        if next() % 2 == 0 {
+                            assert_eq!(bits.fail_cell(i, j), cells.fail_cell(i, j));
+                        } else {
+                            assert_eq!(bits.repair_cell(i, j), cells.repair_cell(i, j));
+                        }
+                    }
+                }
+                for i in 0..p {
+                    for j in 0..m {
+                        assert_eq!(
+                            bits.is_connected(i, j),
+                            cells.is_connected(i, j),
+                            "latch ({i},{j}) diverged at {p}x{m} round {round}"
+                        );
+                        assert_eq!(bits.is_failed(i, j), cells.is_failed(i, j));
+                    }
+                }
+            }
+        }
+    }
+}

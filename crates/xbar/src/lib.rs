@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bitslice;
 mod cell;
 mod central;
 mod fabric;
 mod model;
 
+pub use bitslice::BitFabric;
 pub use cell::{Cell, Mode, REQUEST_GATE_DELAY, RESET_GATE_DELAY};
 pub use central::CentralScheduler;
 pub use fabric::CrossbarFabric;

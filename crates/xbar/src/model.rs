@@ -5,8 +5,12 @@
 //! when its bus is idle **and** at least one of its resources is free; the
 //! gate-level fabric of [`CrossbarFabric`] resolves each request cycle.
 
+use crate::bitslice::BitFabric;
 use crate::fabric::CrossbarFabric;
-use rsin_core::{Grant, NetworkCounters, ResourceNetwork, SystemConfig};
+use rsin_core::{
+    default_resolver_engine, Grant, NetworkCounters, PendingSet, ResolverEngine, ResourceNetwork,
+    SystemConfig,
+};
 use rsin_des::SimRng;
 
 /// How winners are chosen when several processors contend.
@@ -21,14 +25,98 @@ pub enum CrossbarPolicy {
     RandomToken,
 }
 
+/// The fabric evaluator behind a partition: the bit-sliced compilation
+/// (default) or the original cell-by-cell sweep kept as the reference
+/// oracle. Both produce identical grants in identical order — the
+/// `bitslice` property tests and the DES equivalence suite enforce it.
+#[derive(Debug)]
+enum Fabric {
+    Bit(BitFabric),
+    Cells(CrossbarFabric),
+}
+
+impl Fabric {
+    fn new(engine: ResolverEngine, p: usize, m: usize) -> Self {
+        match engine {
+            ResolverEngine::Bitslice => Fabric::Bit(BitFabric::new(p, m)),
+            ResolverEngine::Reference => Fabric::Cells(CrossbarFabric::new(p, m)),
+        }
+    }
+
+    fn engine(&self) -> ResolverEngine {
+        match self {
+            Fabric::Bit(_) => ResolverEngine::Bitslice,
+            Fabric::Cells(_) => ResolverEngine::Reference,
+        }
+    }
+
+    fn reset_row(&mut self, i: usize) {
+        match self {
+            Fabric::Bit(f) => f.reset_row(i),
+            Fabric::Cells(f) => f.reset_row(i),
+        }
+    }
+
+    fn is_failed(&self, i: usize, j: usize) -> bool {
+        match self {
+            Fabric::Bit(f) => f.is_failed(i, j),
+            Fabric::Cells(f) => f.is_failed(i, j),
+        }
+    }
+
+    fn fail_cell(&mut self, i: usize, j: usize) -> bool {
+        match self {
+            Fabric::Bit(f) => f.fail_cell(i, j),
+            Fabric::Cells(f) => f.fail_cell(i, j),
+        }
+    }
+
+    fn repair_cell(&mut self, i: usize, j: usize) -> bool {
+        match self {
+            Fabric::Bit(f) => f.repair_cell(i, j),
+            Fabric::Cells(f) => f.repair_cell(i, j),
+        }
+    }
+
+    fn request_cycle_gate_delay(&self) -> u32 {
+        match self {
+            Fabric::Bit(f) => f.request_cycle_gate_delay(),
+            Fabric::Cells(f) => f.request_cycle_gate_delay(),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Partition {
-    fabric: CrossbarFabric,
+    fabric: Fabric,
     /// Which local processor holds each bus during transmission.
     held_by: Vec<Option<usize>>,
     busy_resources: Vec<u32>,
     /// Whether each output column's resource pool is online.
     pool_up: Vec<bool>,
+    /// Packed image of the availability predicate, maintained incrementally:
+    /// bit `j` set iff `pool_up[j] && held_by[j].is_none() &&
+    /// busy_resources[j] < r`. Lets the bit-sliced wave start from a
+    /// one-word copy instead of re-deriving and re-packing the predicate
+    /// every cycle. The cell-by-cell reference path deliberately keeps
+    /// re-deriving it from the scalar fields, so an incremental-update bug
+    /// here shows up as an engine divergence in the equivalence tests.
+    avail: Vec<u64>,
+}
+
+impl Partition {
+    /// Re-evaluates the availability bit of column `j` after any of its
+    /// inputs changed.
+    fn refresh_avail(&mut self, j: usize, resources_per_bus: u32) {
+        if self.pool_up[j]
+            && self.held_by[j].is_none()
+            && self.busy_resources[j] < resources_per_bus
+        {
+            rsin_bitslice::set_bit(&mut self.avail, j);
+        } else {
+            rsin_bitslice::clear_bit(&mut self.avail, j);
+        }
+    }
 }
 
 /// A partitioned distributed-scheduling crossbar RSIN.
@@ -62,6 +150,8 @@ pub struct CrossbarNetwork {
 struct CycleScratch {
     requests: Vec<bool>,
     available: Vec<bool>,
+    req_words: Vec<u64>,
+    avail_words: Vec<u64>,
     procs: Vec<usize>,
     buses: Vec<usize>,
     local: Vec<(usize, usize)>,
@@ -108,7 +198,8 @@ impl CrossbarNetwork {
     }
 
     /// Builds `partitions` independent `inputs × outputs` crossbars with
-    /// `resources_per_bus` resources on every output column.
+    /// `resources_per_bus` resources on every output column, using the
+    /// process-default resolver engine.
     ///
     /// # Panics
     ///
@@ -121,6 +212,31 @@ impl CrossbarNetwork {
         resources_per_bus: u32,
         policy: CrossbarPolicy,
     ) -> Self {
+        CrossbarNetwork::new_with_engine(
+            partitions,
+            inputs,
+            outputs,
+            resources_per_bus,
+            policy,
+            default_resolver_engine(),
+        )
+    }
+
+    /// [`CrossbarNetwork::new`] with an explicit fabric evaluator — the
+    /// bit-sliced compilation or the cell-by-cell reference oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    #[must_use]
+    pub fn new_with_engine(
+        partitions: usize,
+        inputs: usize,
+        outputs: usize,
+        resources_per_bus: u32,
+        policy: CrossbarPolicy,
+        engine: ResolverEngine,
+    ) -> Self {
         assert!(
             partitions > 0 && inputs > 0 && outputs > 0,
             "counts must be positive"
@@ -132,11 +248,18 @@ impl CrossbarNetwork {
             resources_per_bus,
             policy,
             partitions: (0..partitions)
-                .map(|_| Partition {
-                    fabric: CrossbarFabric::new(inputs, outputs),
-                    held_by: vec![None; outputs],
-                    busy_resources: vec![0; outputs],
-                    pool_up: vec![true; outputs],
+                .map(|_| {
+                    let mut avail = vec![u64::MAX; rsin_bitslice::words_for(outputs)];
+                    if let Some(last) = avail.last_mut() {
+                        *last &= rsin_bitslice::tail_mask(outputs);
+                    }
+                    Partition {
+                        fabric: Fabric::new(engine, inputs, outputs),
+                        held_by: vec![None; outputs],
+                        busy_resources: vec![0; outputs],
+                        pool_up: vec![true; outputs],
+                        avail,
+                    }
                 })
                 .collect(),
             counters: NetworkCounters::default(),
@@ -150,11 +273,128 @@ impl CrossbarNetwork {
         self.policy
     }
 
+    /// The fabric evaluator in force.
+    #[must_use]
+    pub fn resolver_engine(&self) -> ResolverEngine {
+        self.partitions[0].fabric.engine()
+    }
+
     /// Worst-case request-cycle cost of one partition in gate delays,
     /// `4(j + k)` (Section IV).
     #[must_use]
     pub fn request_cycle_gate_delay(&self) -> u32 {
         self.partitions[0].fabric.request_cycle_gate_delay()
+    }
+
+    /// One partition's request cycle. `pslice` and `req_words` are the
+    /// partition's pending processors in unpacked and packed form — the
+    /// caller supplies both views of the *same* set. Appends grants in
+    /// global coordinates and updates the attempt/rejection counters.
+    fn partition_cycle(
+        &mut self,
+        pi: usize,
+        pslice: &[bool],
+        req_words: &[u64],
+        rng: &mut SimRng,
+        grants: &mut Vec<Grant>,
+    ) {
+        let n_pending = rsin_bitslice::count_ones(req_words) as u64;
+        if n_pending == 0 {
+            return;
+        }
+        self.counters.attempts += n_pending;
+        let base = pi * self.inputs;
+        let resources_per_bus = self.resources_per_bus;
+        let CycleScratch {
+            requests,
+            available,
+            avail_words,
+            procs,
+            buses,
+            local,
+            ..
+        } = &mut self.scratch;
+        let part = &mut self.partitions[pi];
+        match self.policy {
+            CrossbarPolicy::FixedPriority => match &mut part.fabric {
+                Fabric::Bit(f) => {
+                    // Fast path: the packed availability image is kept
+                    // current by `refresh_avail`, so the wave starts
+                    // from a word copy instead of a predicate sweep —
+                    // and since a held bus is never advertised as
+                    // available, the wave may skip idle latched rows.
+                    if n_pending == 1 {
+                        // Lone requester: no later row observes the
+                        // availability wave, so `avail` is read in
+                        // place — no copy, no masking pass.
+                        let (rw, word) = req_words
+                            .iter()
+                            .enumerate()
+                            .find(|&(_, &w)| w != 0)
+                            .expect("n_pending > 0");
+                        let li = rw * 64 + word.trailing_zeros() as usize;
+                        local.clear();
+                        local.extend(
+                            f.request_single_assuming_held(li, &part.avail)
+                                .map(|lj| (li, lj)),
+                        );
+                    } else {
+                        avail_words.clear();
+                        avail_words.extend_from_slice(&part.avail);
+                        f.request_cycle_packed_assuming_held(req_words, avail_words, local);
+                    }
+                }
+                Fabric::Cells(f) => {
+                    // Reference oracle: re-derive the predicate from
+                    // the scalar fields so an incremental-update bug in
+                    // `avail` diverges from this path and is caught.
+                    requests.clear();
+                    requests.extend_from_slice(pslice);
+                    available.clear();
+                    available.extend((0..self.outputs).map(|j| {
+                        part.pool_up[j]
+                            && part.held_by[j].is_none()
+                            && part.busy_resources[j] < resources_per_bus
+                    }));
+                    f.request_cycle_into(requests, available, local);
+                }
+            },
+            CrossbarPolicy::RandomToken => {
+                // Token scheme: each free bus captures a random pending
+                // processor; equivalently match shuffled lists. A pair
+                // that lands on a failed crosspoint cannot connect and
+                // is rejected for this cycle. Candidate lists are built
+                // in ascending order from the scalar predicate, so RNG
+                // consumption is identical under both engines.
+                procs.clear();
+                procs.extend((0..self.inputs).filter(|&l| pslice[l]));
+                buses.clear();
+                buses.extend((0..self.outputs).filter(|&j| {
+                    part.pool_up[j]
+                        && part.held_by[j].is_none()
+                        && part.busy_resources[j] < resources_per_bus
+                }));
+                rng.shuffle(procs);
+                rng.shuffle(buses);
+                local.clear();
+                local.extend(
+                    procs
+                        .iter()
+                        .zip(buses.iter())
+                        .map(|(&li, &lj)| (li, lj))
+                        .filter(|&(li, lj)| !part.fabric.is_failed(li, lj)),
+                );
+            }
+        }
+        self.counters.rejections += n_pending - local.len() as u64;
+        for &(li, lj) in local.iter() {
+            part.held_by[lj] = Some(li);
+            part.refresh_avail(lj, resources_per_bus);
+            grants.push(Grant {
+                processor: base + li,
+                port: pi * self.outputs + lj,
+            });
+        }
     }
 }
 
@@ -168,66 +408,46 @@ impl ResourceNetwork for CrossbarNetwork {
     }
 
     fn request_cycle(&mut self, pending: &[bool], rng: &mut SimRng) -> Vec<Grant> {
-        assert_eq!(pending.len(), self.processors(), "pending vector size");
         let mut grants = Vec::new();
-        let resources_per_bus = self.resources_per_bus;
-        let CycleScratch {
-            requests,
-            available,
-            procs,
-            buses,
-            local,
-        } = &mut self.scratch;
-        for (pi, part) in self.partitions.iter_mut().enumerate() {
-            let base = pi * self.inputs;
-            requests.clear();
-            requests.extend_from_slice(&pending[base..base + self.inputs]);
-            let n_pending = requests.iter().filter(|&&b| b).count() as u64;
-            if n_pending == 0 {
-                continue;
-            }
-            self.counters.attempts += n_pending;
-            available.clear();
-            available.extend((0..self.outputs).map(|j| {
-                part.pool_up[j]
-                    && part.held_by[j].is_none()
-                    && part.busy_resources[j] < resources_per_bus
-            }));
-            match self.policy {
-                CrossbarPolicy::FixedPriority => {
-                    part.fabric.request_cycle_into(requests, available, local);
-                }
-                CrossbarPolicy::RandomToken => {
-                    // Token scheme: each free bus captures a random pending
-                    // processor; equivalently match shuffled lists. A pair
-                    // that lands on a failed crosspoint cannot connect and
-                    // is rejected for this cycle.
-                    procs.clear();
-                    procs.extend((0..self.inputs).filter(|&l| requests[l]));
-                    buses.clear();
-                    buses.extend((0..self.outputs).filter(|&j| available[j]));
-                    rng.shuffle(procs);
-                    rng.shuffle(buses);
-                    local.clear();
-                    local.extend(
-                        procs
-                            .iter()
-                            .zip(buses.iter())
-                            .map(|(&li, &lj)| (li, lj))
-                            .filter(|&(li, lj)| !part.fabric.is_failed(li, lj)),
-                    );
-                }
-            }
-            self.counters.rejections += n_pending - local.len() as u64;
-            for &(li, lj) in local.iter() {
-                part.held_by[lj] = Some(li);
-                grants.push(Grant {
-                    processor: base + li,
-                    port: pi * self.outputs + lj,
-                });
-            }
-        }
+        self.request_cycle_into(pending, rng, &mut grants);
         grants
+    }
+
+    fn request_cycle_into(&mut self, pending: &[bool], rng: &mut SimRng, grants: &mut Vec<Grant>) {
+        assert_eq!(pending.len(), self.processors(), "pending vector size");
+        grants.clear();
+        // The scratch word buffer is moved out for the sweep so each
+        // partition call can borrow the rest of `self` mutably.
+        let mut req_words = std::mem::take(&mut self.scratch.req_words);
+        for pi in 0..self.partitions.len() {
+            let base = pi * self.inputs;
+            let pslice = &pending[base..base + self.inputs];
+            rsin_bitslice::pack_bools(pslice, &mut req_words);
+            self.partition_cycle(pi, pslice, &req_words, rng, grants);
+        }
+        self.scratch.req_words = req_words;
+    }
+
+    fn request_cycle_pending(
+        &mut self,
+        pending: PendingSet<'_>,
+        rng: &mut SimRng,
+        grants: &mut Vec<Grant>,
+    ) {
+        if self.partitions.len() == 1 {
+            // Single-partition crossbar: the partition's bits are the global
+            // bits, so the simulator's packed words feed the wave directly —
+            // no per-epoch repack at all.
+            assert_eq!(
+                pending.bools.len(),
+                self.processors(),
+                "pending vector size"
+            );
+            grants.clear();
+            self.partition_cycle(0, pending.bools, pending.words, rng, grants);
+        } else {
+            self.request_cycle_into(pending.bools, rng, grants);
+        }
     }
 
     fn end_transmission(&mut self, grant: Grant) {
@@ -242,6 +462,7 @@ impl ResourceNetwork for CrossbarNetwork {
         }
         part.busy_resources[lj] += 1;
         debug_assert!(part.busy_resources[lj] <= self.resources_per_bus);
+        part.refresh_avail(lj, self.resources_per_bus);
     }
 
     fn end_service(&mut self, grant: Grant) {
@@ -255,6 +476,7 @@ impl ResourceNetwork for CrossbarNetwork {
         }
         debug_assert!(part.busy_resources[lj] > 0, "no busy resource to free");
         part.busy_resources[lj] -= 1;
+        part.refresh_avail(lj, self.resources_per_bus);
     }
 
     fn fail_resource(&mut self, port: usize) -> bool {
@@ -275,6 +497,7 @@ impl ResourceNetwork for CrossbarNetwork {
             }
         }
         part.busy_resources[lj] = 0;
+        part.refresh_avail(lj, self.resources_per_bus);
         self.counters.resource_failures += 1;
         true
     }
@@ -289,6 +512,7 @@ impl ResourceNetwork for CrossbarNetwork {
             return false;
         }
         part.pool_up[lj] = true;
+        part.refresh_avail(lj, self.resources_per_bus);
         self.counters.resource_repairs += 1;
         true
     }
@@ -349,6 +573,70 @@ mod tests {
             v[i] = true;
         }
         v
+    }
+
+    fn pack(bools: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; bools.len().div_ceil(64)];
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                words[i >> 6] |= 1 << (i & 63);
+            }
+        }
+        words
+    }
+
+    /// The packed entry point must be indistinguishable from the unpacked
+    /// one: same grants in the same order, same counters, same RNG
+    /// consumption — across policies and across the single-partition fast
+    /// path vs the multi-partition fallback.
+    #[test]
+    fn packed_pending_entry_matches_unpacked() {
+        for policy in [CrossbarPolicy::FixedPriority, CrossbarPolicy::RandomToken] {
+            for parts in [1usize, 2] {
+                let p = parts * 8;
+                let mut by_bools = CrossbarNetwork::new(parts, 8, 4, 2, policy);
+                let mut by_words = CrossbarNetwork::new(parts, 8, 4, 2, policy);
+                let mut rng_a = SimRng::new(0xfeed);
+                let mut rng_b = SimRng::new(0xfeed);
+                let mut pick = SimRng::new(7);
+                let mut ga = Vec::new();
+                let mut gb = Vec::new();
+                let mut held: Vec<Grant> = Vec::new();
+                for round in 0..200 {
+                    let mut req: Vec<bool> = (0..p).map(|_| pick.chance(0.4)).collect();
+                    // A processor holds at most one circuit (assumption (f)):
+                    // never re-request one whose grant is still outstanding.
+                    for g in &held {
+                        req[g.processor] = false;
+                    }
+                    by_bools.request_cycle_into(&req, &mut rng_a, &mut ga);
+                    by_words.request_cycle_pending(
+                        PendingSet {
+                            bools: &req,
+                            words: &pack(&req),
+                        },
+                        &mut rng_b,
+                        &mut gb,
+                    );
+                    assert_eq!(ga, gb, "round {round} grants diverged");
+                    held.extend(ga.iter().copied());
+                    // Retire a few circuits so availability keeps churning.
+                    while held.len() > 3 {
+                        let g = held.remove(0);
+                        by_bools.end_transmission(g);
+                        by_words.end_transmission(g);
+                        by_bools.end_service(g);
+                        by_words.end_service(g);
+                    }
+                }
+                assert_eq!(by_bools.take_counters(), by_words.take_counters());
+                assert_eq!(
+                    rng_a.next_u64(),
+                    rng_b.next_u64(),
+                    "RNG consumption diverged"
+                );
+            }
+        }
     }
 
     #[test]
@@ -476,6 +764,79 @@ mod tests {
         assert_eq!(net.fault_elements(), 2 * 4 * 3);
         let mut net = net;
         assert!(!net.fail_element(24), "out of range is rejected");
+    }
+
+    /// Bit-sliced vs reference network, driven through the full
+    /// `ResourceNetwork` surface with identical RNG streams: grants,
+    /// counters, and fault bookkeeping must match exactly under both
+    /// policies, including degraded cell masks and pool failures.
+    #[test]
+    fn engines_agree_through_the_network_surface() {
+        for policy in [CrossbarPolicy::FixedPriority, CrossbarPolicy::RandomToken] {
+            let (parts, p, m, r) = (2usize, 3usize, 5usize, 2u32);
+            let procs = parts * p;
+            let mut bit =
+                CrossbarNetwork::new_with_engine(parts, p, m, r, policy, ResolverEngine::Bitslice);
+            let mut cells =
+                CrossbarNetwork::new_with_engine(parts, p, m, r, policy, ResolverEngine::Reference);
+            assert_eq!(bit.resolver_engine(), ResolverEngine::Bitslice);
+            assert_eq!(cells.resolver_engine(), ResolverEngine::Reference);
+            let mut rng_a = SimRng::new(97);
+            let mut rng_b = SimRng::new(97);
+            let mut state = 0xdead_beef_u64 ^ policy as u64;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u32
+            };
+            let mut live: Vec<Grant> = Vec::new();
+            for _ in 0..1_500 {
+                match next() % 8 {
+                    0..=3 => {
+                        let mut busy = vec![false; procs];
+                        for g in &live {
+                            busy[g.processor] = true;
+                        }
+                        let pending: Vec<bool> =
+                            (0..procs).map(|i| !busy[i] && next() % 2 == 0).collect();
+                        let ga = bit.request_cycle(&pending, &mut rng_a);
+                        let gb = cells.request_cycle(&pending, &mut rng_b);
+                        assert_eq!(ga, gb, "{policy:?}");
+                        live.extend(ga);
+                    }
+                    4 => {
+                        if !live.is_empty() {
+                            let g = live.swap_remove(next() as usize % live.len());
+                            bit.end_transmission(g);
+                            cells.end_transmission(g);
+                            bit.end_service(g);
+                            cells.end_service(g);
+                        }
+                    }
+                    5 => {
+                        let e = next() as usize % bit.fault_elements();
+                        assert_eq!(bit.fail_element(e), cells.fail_element(e));
+                    }
+                    6 => {
+                        let e = next() as usize % bit.fault_elements();
+                        assert_eq!(bit.repair_element(e), cells.repair_element(e));
+                    }
+                    _ => {
+                        let port = next() as usize % (parts * m);
+                        if next() % 2 == 0 {
+                            assert_eq!(bit.fail_resource(port), cells.fail_resource(port));
+                            // The pool clears its held circuit internally;
+                            // drop the casualty from our live list too.
+                            live.retain(|g| g.port != port);
+                        } else {
+                            assert_eq!(bit.repair_resource(port), cells.repair_resource(port));
+                        }
+                    }
+                }
+            }
+            assert_eq!(bit.take_counters(), cells.take_counters(), "{policy:?}");
+        }
     }
 
     #[test]

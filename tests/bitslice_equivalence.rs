@@ -1,0 +1,171 @@
+//! Umbrella byte-identity tests for the bit-sliced resolver engine.
+//!
+//! The compiled evaluators in `rsin-bitslice` are only admissible as the
+//! *default* engine if they are observationally indistinguishable from the
+//! naive reference oracles through the full discrete-event simulation:
+//! same grants in the same order, same RNG consumption, and therefore a
+//! field-for-field identical [`SimReport`] — for every discipline and
+//! policy, healthy and under fault injection alike. These tests run each
+//! network twice, once per engine, and demand exact (bitwise `f64`)
+//! equality of everything the report records.
+
+use rsin::core::{
+    simulate, simulate_faulty, FaultOptions, ResolverEngine, ResourceNetwork, SimOptions,
+    SimReport, Workload,
+};
+use rsin::des::{FaultPlan, FaultTarget, SimRng, StochasticFault};
+use rsin::omega::{Admission, OmegaNetwork, Wiring};
+use rsin::sbus::{Arbitration, SharedBusNetwork};
+use rsin::xbar::{CrossbarNetwork, CrossbarPolicy};
+
+/// Demands exact equality of every statistic a run reports. Any divergence
+/// between the engines — an extra RNG draw, a reordered grant, a different
+/// winner — shows up here as a hard mismatch, not a tolerance miss.
+fn assert_reports_identical(a: &SimReport, b: &SimReport, label: &str) {
+    assert_eq!(
+        a.queueing_delay, b.queueing_delay,
+        "{label}: queueing delay"
+    );
+    assert_eq!(a.response_time, b.response_time, "{label}: response time");
+    assert_eq!(
+        a.mean_queue_length.to_bits(),
+        b.mean_queue_length.to_bits(),
+        "{label}: mean queue length"
+    );
+    assert_eq!(
+        a.throughput.to_bits(),
+        b.throughput.to_bits(),
+        "{label}: throughput"
+    );
+    assert_eq!(
+        a.measured_time.to_bits(),
+        b.measured_time.to_bits(),
+        "{label}: measured time"
+    );
+    assert_eq!(a.counters, b.counters, "{label}: network counters");
+    assert_eq!(a.arrivals, b.arrivals, "{label}: arrivals");
+    assert_eq!(a.completions, b.completions, "{label}: completions");
+    assert_eq!(a.requeues, b.requeues, "{label}: requeues");
+    assert_eq!(a.queued_at_end, b.queued_at_end, "{label}: queued at end");
+    assert_eq!(
+        a.in_flight_at_end, b.in_flight_at_end,
+        "{label}: in flight at end"
+    );
+    assert_eq!(
+        a.delivered_throughput.to_bits(),
+        b.delivered_throughput.to_bits(),
+        "{label}: delivered throughput"
+    );
+}
+
+/// Every network under test, built twice — index 0 on the bit-sliced
+/// engine, index 1 on the reference oracle. Engines are pinned with the
+/// explicit constructors/setters (never the process-wide env knob, which
+/// is racy under the threaded test harness).
+fn engine_pairs() -> Vec<(String, [Box<dyn ResourceNetwork>; 2])> {
+    let mut pairs: Vec<(String, [Box<dyn ResourceNetwork>; 2])> = Vec::new();
+
+    for arb in [
+        Arbitration::FixedPriority,
+        Arbitration::Random,
+        Arbitration::RoundRobin,
+    ] {
+        let pair = [ResolverEngine::Bitslice, ResolverEngine::Reference].map(|engine| {
+            let mut net = SharedBusNetwork::new(2, 3, 2, arb);
+            net.set_resolver_engine(engine);
+            Box::new(net) as Box<dyn ResourceNetwork>
+        });
+        pairs.push((format!("sbus/{arb:?}"), pair));
+    }
+
+    for policy in [CrossbarPolicy::FixedPriority, CrossbarPolicy::RandomToken] {
+        let pair = [ResolverEngine::Bitslice, ResolverEngine::Reference].map(|engine| {
+            Box::new(CrossbarNetwork::new_with_engine(2, 4, 3, 2, policy, engine))
+                as Box<dyn ResourceNetwork>
+        });
+        pairs.push((format!("xbar/{policy:?}"), pair));
+    }
+
+    for wiring in [Wiring::Omega, Wiring::Cube] {
+        for admission in [Admission::Simultaneous, Admission::Staggered] {
+            let pair = [ResolverEngine::Bitslice, ResolverEngine::Reference].map(|engine| {
+                let mut net = OmegaNetwork::with_wiring(1, 8, 2, admission, wiring);
+                net.set_resolver_engine(engine);
+                Box::new(net) as Box<dyn ResourceNetwork>
+            });
+            pairs.push((format!("omega/{wiring:?}/{admission:?}"), pair));
+        }
+    }
+
+    pairs
+}
+
+#[test]
+fn engines_produce_identical_reports_on_healthy_networks() {
+    for (label, [mut bits, mut reference]) in engine_pairs() {
+        let workload =
+            Workload::new(0.3 * bits.processors() as f64, 10.0, 1.0).expect("valid workload");
+        let opts = SimOptions {
+            warmup_tasks: 100,
+            measured_tasks: 1_500,
+        };
+        let fast = simulate(bits.as_mut(), &workload, &opts, &mut SimRng::new(42));
+        let slow = simulate(reference.as_mut(), &workload, &opts, &mut SimRng::new(42));
+        assert_reports_identical(&fast, &slow, &label);
+    }
+}
+
+#[test]
+fn engines_produce_identical_reports_under_fault_injection() {
+    for (label, [mut bits, mut reference]) in engine_pairs() {
+        let mut plan = FaultPlan::new().stochastic(StochasticFault {
+            target: FaultTarget::Resource(0),
+            mtbf: 2.0,
+            mttr: 0.5,
+        });
+        if bits.fault_elements() > 0 {
+            plan = plan.stochastic(StochasticFault {
+                target: FaultTarget::Element(bits.fault_elements() / 2),
+                mtbf: 1.5,
+                mttr: 0.8,
+            });
+        }
+        let workload =
+            Workload::new(0.25 * bits.processors() as f64, 10.0, 1.0).expect("valid workload");
+        let opts = SimOptions {
+            warmup_tasks: 50,
+            measured_tasks: 800,
+        };
+        let fopts = FaultOptions::default();
+        let fast = simulate_faulty(
+            bits.as_mut(),
+            &workload,
+            &opts,
+            &plan,
+            &fopts,
+            &mut SimRng::new(7),
+        );
+        let slow = simulate_faulty(
+            reference.as_mut(),
+            &workload,
+            &opts,
+            &plan,
+            &fopts,
+            &mut SimRng::new(7),
+        );
+        match (fast, slow) {
+            (Ok(fast), Ok(slow)) => assert_reports_identical(&fast, &slow, &label),
+            (Err(fast), Err(slow)) => {
+                assert_eq!(
+                    fast.to_string(),
+                    slow.to_string(),
+                    "{label}: both stalled, but differently"
+                );
+            }
+            (fast, slow) => panic!(
+                "{label}: engines diverged on the run outcome: \
+                 bitslice {fast:?} vs reference {slow:?}"
+            ),
+        }
+    }
+}
