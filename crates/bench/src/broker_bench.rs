@@ -11,10 +11,14 @@
 //!   data by nature, so it is always recomputed; its table carries the
 //!   model/measured ratio per ρ and the exclusivity-audit verdict.
 //!
-//! CLI: `--threads N`, `--duration-ms N`, `--rho a,b,c` (both `--flag v`
-//! and `--flag=v` spellings), plus the shared `--jobs` / `--full` /
-//! `--resume` harness flags. Malformed values are typed
+//! CLI: `--threads N`, `--duration-ms N`, `--rho a,b,c`, `--shards N`
+//! (both `--flag v` and `--flag=v` spellings), plus the shared `--jobs` /
+//! `--full` / `--resume` harness flags. Malformed values are typed
 //! [`ConfigError::Parse`] errors, exactly like the suite's `--jobs`.
+//! `--shards N` partitions the pool into N per-shard SBUS arbiters behind
+//! a [`ShardedBroker`] ([`RESOURCES`] slots each); the model side solves
+//! the chain at the same total pool, so the model/measured ratio stays
+//! meaningful at every shard count.
 //!
 //! `--chaos <spec>` (or the `RSIN_BROKER_CHAOS` environment variable; the
 //! flag wins when both are present) switches the measured leg to the
@@ -30,6 +34,7 @@ use crate::output;
 use crate::RunQuality;
 use rsin_broker::{
     run_load, run_load_chaos, ChaosOptions, ChaosPlan, ChaosSpec, LoadConfig, SbusBroker,
+    ShardedBroker,
 };
 use rsin_core::experiment::{Experiment, Series};
 use rsin_core::{simulate, ConfigError, HarnessError, SimOptions, Workload};
@@ -42,7 +47,9 @@ use std::path::Path;
 use std::time::Duration;
 use std::time::Instant;
 
-/// Resources in the benchmarked pool (Section III's `r`).
+/// Resources *per logical shard* in the benchmarked pool (Section III's
+/// `r` when running unsharded; the sweep's total pool is
+/// [`BrokerBenchConfig::total_resources`]).
 pub const RESOURCES: usize = 2;
 /// Transmission rate µ_n.
 pub const MU_N: f64 = 4.0;
@@ -67,6 +74,10 @@ pub struct BrokerBenchConfig {
     /// Offered-load points, each relative to the pipeline's saturation
     /// throughput (the chain's `utilization()` dial).
     pub rho: Vec<f64>,
+    /// Logical shards the resource pool is partitioned into (`--shards`);
+    /// each shard holds [`RESOURCES`] slots, so the total pool scales with
+    /// the shard count. `1` runs the plain single-arbiter broker.
+    pub shards: usize,
     /// Chaos schedule for the measured leg (`--chaos` /
     /// `RSIN_BROKER_CHAOS`); `None` runs the healthy driver.
     pub chaos: Option<ChaosSpec>,
@@ -78,6 +89,7 @@ impl Default for BrokerBenchConfig {
             threads: 6,
             duration_ms: 400,
             rho: vec![0.2, 0.5, 0.8],
+            shards: 1,
             chaos: None,
         }
     }
@@ -120,6 +132,9 @@ impl BrokerBenchConfig {
         if let Some(v) = flag_value(args, "--rho")? {
             cfg.rho = parse_rho(&v)?;
         }
+        if let Some(v) = flag_value(args, "--shards")? {
+            cfg.shards = parse_shards(&v)?;
+        }
         if let Some(v) = flag_value(args, "--chaos")? {
             cfg.chaos = Some(parse_chaos("--chaos", &v)?);
         } else if let Some(v) = chaos_env {
@@ -149,28 +164,45 @@ impl BrokerBenchConfig {
     pub fn fingerprint(&self, quality: &RunQuality) -> String {
         let rho: Vec<String> = self.rho.iter().map(|r| format!("{r}")).collect();
         format!(
-            "broker threads={} rho={} r={RESOURCES} mu_n={MU_N} mu_s={MU_S} | {}",
+            "broker threads={} rho={} shards={} r={} mu_n={MU_N} mu_s={MU_S} | {}",
             self.threads,
             rho.join(","),
+            self.shards,
+            self.total_resources(),
             quality.fingerprint()
         )
+    }
+
+    /// Size of the whole benchmarked pool: [`RESOURCES`] slots per logical
+    /// shard. The model side uses the same total, so the model/measured
+    /// ratio stays apples-to-apples at every shard count.
+    #[must_use]
+    pub fn total_resources(&self) -> usize {
+        RESOURCES * self.shards
     }
 
     /// Per-worker arrival rate that offers `rho` of the pipeline's
     /// saturation throughput.
     #[must_use]
     pub fn lambda_at(&self, rho: f64) -> f64 {
-        rho * saturation_capacity() / self.threads as f64
+        rho * saturation_capacity_for(self.total_resources()) / self.threads as f64
     }
 }
 
-/// Saturation throughput of the benchmarked bus–resource pipeline,
-/// `µ_n · (1 − B(µ_n/µ_s, r))` — probed from the chain at vanishing load.
+/// Saturation throughput of the default (unsharded) bus–resource pipeline.
 #[must_use]
 pub fn saturation_capacity() -> f64 {
+    saturation_capacity_for(RESOURCES)
+}
+
+/// Saturation throughput of a bus–resource pipeline with `resources`
+/// slots, `µ_n · (1 − B(µ_n/µ_s, r))` — probed from the chain at
+/// vanishing load.
+#[must_use]
+pub fn saturation_capacity_for(resources: usize) -> f64 {
     SharedBusChain::new(SharedBusParams {
         processors: 1,
-        resources: RESOURCES as u32,
+        resources: resources as u32,
         lambda: 1e-9,
         mu_n: MU_N,
         mu_s: MU_S,
@@ -208,6 +240,16 @@ fn parse_threads(v: &str) -> Result<usize, ConfigError> {
         _ => Err(ConfigError::Parse {
             input: format!("--threads {v}"),
             expected: "a worker-thread count between 1 and 64, e.g. --threads 6",
+        }),
+    }
+}
+
+fn parse_shards(v: &str) -> Result<usize, ConfigError> {
+    match v.parse::<usize>() {
+        Ok(n) if (1..=8).contains(&n) => Ok(n),
+        _ => Err(ConfigError::Parse {
+            input: format!("--shards {v}"),
+            expected: "a logical shard count between 1 and 8, e.g. --shards 2",
         }),
     }
 }
@@ -258,6 +300,7 @@ fn parse_rho(v: &str) -> Result<Vec<f64>, ConfigError> {
 #[must_use]
 pub fn predictions_experiment(cfg: &BrokerBenchConfig, quality: &RunQuality) -> Experiment {
     let p = cfg.threads;
+    let r = cfg.total_resources();
     let opts = SimOptions {
         warmup_tasks: quality.warmup,
         measured_tasks: quality.measured,
@@ -268,7 +311,7 @@ pub fn predictions_experiment(cfg: &BrokerBenchConfig, quality: &RunQuality) -> 
         let lambda = cfg.lambda_at(rho);
         let chain = SharedBusChain::new(SharedBusParams {
             processors: p as u32,
-            resources: RESOURCES as u32,
+            resources: r as u32,
             lambda,
             mu_n: MU_N,
             mu_s: MU_S,
@@ -283,8 +326,7 @@ pub fn predictions_experiment(cfg: &BrokerBenchConfig, quality: &RunQuality) -> 
             reps,
             0.95,
             |_, mut rng| {
-                let mut net =
-                    SharedBusNetwork::new(1, p, RESOURCES as u32, Arbitration::RoundRobin);
+                let mut net = SharedBusNetwork::new(1, p, r as u32, Arbitration::RoundRobin);
                 simulate(&mut net, &workload, &opts, &mut rng).mean_delay()
             },
         );
@@ -294,7 +336,7 @@ pub fn predictions_experiment(cfg: &BrokerBenchConfig, quality: &RunQuality) -> 
 
     let mut e = Experiment::new(
         format!(
-            "Runtime broker predictions: {p} processors, {RESOURCES} resources, \
+            "Runtime broker predictions: {p} processors, {r} resources, \
              mu_n = {MU_N}, mu_s = {MU_S}"
         ),
         "rho (offered load / saturation throughput)",
@@ -375,11 +417,16 @@ fn chaos_options(spec: &ChaosSpec, workers: usize, lc: &LoadConfig) -> ChaosOpti
 
 /// Runs the measured leg: the SBUS broker under `cfg.threads` real worker
 /// threads at each ρ, `cfg.duration_ms` of measured wall time per point.
-/// With a chaos spec the broker carries a [`CHAOS_LEASE`] lease and the
-/// chaos driver injects the scheduled crashes, stalls, and outages.
+/// `--shards N` (N > 1) swaps in a [`ShardedBroker`] over N per-shard SBUS
+/// arbiters with the same total pool; the load generator's worker ids land
+/// round-robin across the shards (home shard = `who % N`), so every shard
+/// serves local requesters and overflow steals cross shards. With a chaos
+/// spec the broker carries a [`CHAOS_LEASE`] lease and the chaos driver
+/// injects the scheduled crashes, stalls, and outages.
 #[must_use]
 pub fn measure(cfg: &BrokerBenchConfig, quality: &RunQuality) -> Vec<MeasuredPoint> {
     let duration_units = (cfg.duration_ms as f64) * 1_000.0 / SCALE_US;
+    let pool = cfg.total_resources();
     cfg.rho
         .iter()
         .map(|&rho| {
@@ -391,25 +438,37 @@ pub fn measure(cfg: &BrokerBenchConfig, quality: &RunQuality) -> Vec<MeasuredPoi
             lc.drain = 50.0;
             lc.seed = quality.seed ^ 0xB70B ^ ((rho * 1_000.0) as u64);
             let start = Instant::now();
-            let (report, chaos) = match &cfg.chaos {
-                None => {
-                    let broker = SbusBroker::new(cfg.threads, RESOURCES);
+            let chaos_leg = |broker: &dyn rsin_broker::Broker, spec: &ChaosSpec| {
+                let opts = chaos_options(spec, cfg.threads, &lc);
+                let r = run_load_chaos(broker, &lc, &opts);
+                let leaked =
+                    (pool.saturating_sub(r.available_at_end) + r.ledger_held_at_end) as u64;
+                let acct = ChaosAccounting {
+                    crashed: r.crashed,
+                    stalled: r.stalled,
+                    reclaimed: r.reclaimed + r.forced_reclaims,
+                    post_chaos_grants: r.post_chaos_grants,
+                    leaked,
+                };
+                (r.load, Some(acct))
+            };
+            let (report, chaos) = match (&cfg.chaos, cfg.shards) {
+                (None, 1) => {
+                    let broker = SbusBroker::new(cfg.threads, pool);
                     (run_load(&broker, &lc), None)
                 }
-                Some(spec) => {
-                    let broker = SbusBroker::with_lease(cfg.threads, RESOURCES, CHAOS_LEASE);
-                    let opts = chaos_options(spec, cfg.threads, &lc);
-                    let r = run_load_chaos(&broker, &lc, &opts);
-                    let leaked = (RESOURCES.saturating_sub(r.available_at_end)
-                        + r.ledger_held_at_end) as u64;
-                    let acct = ChaosAccounting {
-                        crashed: r.crashed,
-                        stalled: r.stalled,
-                        reclaimed: r.reclaimed + r.forced_reclaims,
-                        post_chaos_grants: r.post_chaos_grants,
-                        leaked,
-                    };
-                    (r.load, Some(acct))
+                (None, shards) => {
+                    let broker = ShardedBroker::sbus(cfg.threads, pool, shards);
+                    (run_load(&broker, &lc), None)
+                }
+                (Some(spec), 1) => {
+                    let broker = SbusBroker::with_lease(cfg.threads, pool, CHAOS_LEASE);
+                    chaos_leg(&broker, spec)
+                }
+                (Some(spec), shards) => {
+                    let broker =
+                        ShardedBroker::sbus_with_lease(cfg.threads, pool, shards, CHAOS_LEASE);
+                    chaos_leg(&broker, spec)
                 }
             };
             let wall = start.elapsed().as_secs_f64();
@@ -430,11 +489,18 @@ pub fn measure(cfg: &BrokerBenchConfig, quality: &RunQuality) -> Vec<MeasuredPoi
 #[must_use]
 pub fn measured_table(cfg: &BrokerBenchConfig, points: &[MeasuredPoint]) -> String {
     let mut s = String::new();
+    let shard_note = if cfg.shards > 1 {
+        format!(" in {} shards", cfg.shards)
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         s,
-        "Runtime broker, measured: SBUS, {} threads, {RESOURCES} resources, \
+        "Runtime broker, measured: SBUS, {} threads, {} resources{shard_note}, \
          {} ms per point (scale {SCALE_US} us/unit)",
-        cfg.threads, cfg.duration_ms
+        cfg.threads,
+        cfg.total_resources(),
+        cfg.duration_ms
     );
     let _ = writeln!(
         s,
@@ -444,7 +510,7 @@ pub fn measured_table(cfg: &BrokerBenchConfig, points: &[MeasuredPoint]) -> Stri
     for pt in points {
         let chain = SharedBusChain::new(SharedBusParams {
             processors: cfg.threads as u32,
-            resources: RESOURCES as u32,
+            resources: cfg.total_resources() as u32,
             lambda: cfg.lambda_at(pt.rho),
             mu_n: MU_N,
             mu_s: MU_S,
@@ -690,6 +756,72 @@ mod tests {
     }
 
     #[test]
+    fn shards_flag_parses_and_scales_the_pool() {
+        let cfg =
+            BrokerBenchConfig::try_from_args(&args(&["bin", "--shards", "2"])).expect("valid");
+        assert_eq!(cfg.shards, 2);
+        assert_eq!(cfg.total_resources(), 2 * RESOURCES);
+        let eq = BrokerBenchConfig::try_from_args(&args(&["bin", "--shards=4"])).expect("eq");
+        assert_eq!(eq.shards, 4);
+        let default = BrokerBenchConfig::default();
+        assert_eq!(default.shards, 1);
+        assert_eq!(default.total_resources(), RESOURCES);
+    }
+
+    #[test]
+    fn malformed_shards_is_a_typed_actionable_error() {
+        for bad in ["zero", "0", "9", "-1", "1.5", ""] {
+            let err = BrokerBenchConfig::try_from_args(&args(&["bin", "--shards", bad]))
+                .expect_err(&format!("must reject {bad:?}"));
+            assert!(matches!(err, ConfigError::Parse { .. }));
+            assert!(
+                err.to_string().contains("--shards"),
+                "error must name the flag: {err}"
+            );
+        }
+        let err = BrokerBenchConfig::try_from_args(&args(&["bin", "--shards"]))
+            .expect_err("missing value");
+        assert!(err.to_string().contains("--shards"));
+    }
+
+    #[test]
+    fn sharded_measured_leg_grants_cleanly_across_shards() {
+        let cfg = BrokerBenchConfig {
+            threads: 4,
+            duration_ms: 100,
+            rho: vec![0.5],
+            shards: 2,
+            chaos: None,
+        };
+        let q = RunQuality::quick();
+        let points = measure(&cfg, &q);
+        assert_eq!(points.len(), 1);
+        let pt = &points[0];
+        assert_eq!(pt.violations, 0, "sharding must not break exclusivity");
+        assert!(pt.measured > 0, "the sharded sweep must grant");
+    }
+
+    #[test]
+    fn sharded_chaos_leg_reclaims_across_shards_without_leaking() {
+        let cfg = BrokerBenchConfig {
+            threads: 4,
+            duration_ms: 150,
+            rho: vec![0.4],
+            shards: 2,
+            chaos: Some(ChaosSpec::parse("kill=0.25,stall=0.25,seed=11").expect("valid")),
+        };
+        let q = RunQuality::quick();
+        let points = measure(&cfg, &q);
+        let pt = &points[0];
+        assert_eq!(pt.violations, 0, "chaos must not break exclusivity");
+        let c = pt.chaos.expect("chaos accounting present");
+        assert_eq!(c.crashed, 1, "kill=0.25 of 4 workers is one crash");
+        assert!(c.reclaimed >= 1, "the dead worker's lease must come back");
+        assert_eq!(c.leaked, 0, "sharded shutdown must recover every slot");
+        assert!(c.post_chaos_grants > 0, "the sweep must outlive the chaos");
+    }
+
+    #[test]
     fn chaos_flag_parses_and_env_is_the_fallback() {
         let cfg = BrokerBenchConfig::try_from_args_with_env(
             &args(&["bin", "--chaos", "kill=0.25,stall=0.125,seed=7"]),
@@ -754,6 +886,7 @@ mod tests {
             threads: 4,
             duration_ms: 150,
             rho: vec![0.4],
+            shards: 1,
             chaos: Some(ChaosSpec::parse("kill=0.25,stall=0.25,seed=11").expect("valid")),
         };
         let q = RunQuality::quick();

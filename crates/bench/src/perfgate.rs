@@ -24,6 +24,22 @@ pub const REGRESSION_TOLERANCE: f64 = 1.5;
 /// a host with one CPU.
 pub const SINGLE_CORE_REASON: &str = "single core";
 
+/// How much slower the warm-started `sbus_rho_grid_warm_2x4` kernel may be
+/// than its cold twin before `--check` fails. The two kernels do identical
+/// useful work over the same grid; warm-starting exists to *save*
+/// iterations, so warm materially above cold means the seeding path has
+/// regressed into a pessimization. 10% head-room absorbs measurement noise
+/// between two back-to-back floor measurements.
+pub const WARM_START_TOLERANCE: f64 = 1.10;
+
+/// Whether a warm-start timing regressed past its cold twin: `true` when
+/// `warm > cold ×` [`WARM_START_TOLERANCE`]. Non-positive cold timings
+/// (a parse failure upstream) never flag — the kernel gate owns those.
+#[must_use]
+pub fn warm_start_regressed(cold_ns: f64, warm_ns: f64) -> bool {
+    cold_ns > 0.0 && warm_ns > cold_ns * WARM_START_TOLERANCE
+}
+
 /// One kernel's comparison against the committed baseline.
 #[derive(Clone, Debug, PartialEq)]
 pub struct KernelCheck {
@@ -247,6 +263,150 @@ pub fn parallel_leg_status(baseline: &SuiteTimings, fresh: &SuiteTimings) -> Leg
     }
 }
 
+/// One point of the broker scaling curve: saturated grants/sec per
+/// discipline at a given logical-shard count, stamped with the host's CPU
+/// core count so `--check` never compares curves measured on different
+/// machines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// Logical shards the pool was partitioned into.
+    pub shards: usize,
+    /// `available_parallelism` of the host that measured the point.
+    pub cpu_cores: usize,
+    /// `(discipline, grants_per_sec)` rows, in emission order.
+    pub rates: Vec<(String, f64)>,
+}
+
+/// Parses the `scaling_grants_per_sec` object of a previously written
+/// `BENCH_perf.json`. Hand-rolled to match [`scaling_json`]: one
+/// `"shards_N": { "cpu_cores": C, "<discipline>": rate, ... }` object per
+/// line. Unparseable lines are skipped; a missing section is an empty
+/// curve.
+#[must_use]
+pub fn parse_scaling(json: &str) -> Vec<ScalingPoint> {
+    let mut points = Vec::new();
+    let mut in_scaling = false;
+    for line in json.lines() {
+        if line.contains("\"scaling_grants_per_sec\"") {
+            in_scaling = true;
+            continue;
+        }
+        if in_scaling {
+            let entry = line.trim().trim_end_matches(',');
+            if entry.starts_with('}') {
+                break;
+            }
+            if let Some(point) = parse_scaling_point(entry) {
+                points.push(point);
+            }
+        }
+    }
+    points
+}
+
+/// One `"shards_N": { ... }` line of the scaling section.
+fn parse_scaling_point(entry: &str) -> Option<ScalingPoint> {
+    let (name, body) = entry.split_once(':')?;
+    let shards = name
+        .trim()
+        .trim_matches('"')
+        .strip_prefix("shards_")?
+        .parse::<usize>()
+        .ok()?;
+    let body = body.trim().strip_prefix('{')?.trim_end_matches(',');
+    let body = body.trim().strip_suffix('}')?;
+    let mut cpu_cores = None;
+    let mut rates = Vec::new();
+    for pair in body.split(',') {
+        let (key, value) = pair.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim().parse::<f64>().ok()?;
+        if key == "cpu_cores" {
+            cpu_cores = Some(value as usize);
+        } else {
+            rates.push((key.to_string(), value));
+        }
+    }
+    Some(ScalingPoint {
+        shards,
+        cpu_cores: cpu_cores?,
+        rates,
+    })
+}
+
+/// Renders the `"scaling_grants_per_sec"` object for the report writer —
+/// nested inside the `broker` section, one point per line so the
+/// line-based [`parse_scaling`] round-trips it.
+#[must_use]
+pub fn scaling_json(points: &[ScalingPoint]) -> String {
+    let mut s = String::new();
+    s.push_str("    \"scaling_grants_per_sec\": {\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let mut fields = vec![format!("\"cpu_cores\": {}", p.cpu_cores)];
+        fields.extend(
+            p.rates
+                .iter()
+                .map(|(name, rate)| format!("\"{name}\": {rate:.0}")),
+        );
+        s.push_str(&format!(
+            "      \"shards_{}\": {{ {} }}{comma}\n",
+            p.shards,
+            fields.join(", ")
+        ));
+    }
+    s.push_str("    },\n");
+    s
+}
+
+/// Whether one fresh scaling point participates in a baseline comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScalingStatus {
+    /// A baseline point with the same shard count was measured on a host
+    /// with the same core count: per-discipline `fresh / baseline` ratios.
+    Compared {
+        /// `(discipline, fresh_rate / baseline_rate)` for every discipline
+        /// present on both sides.
+        ratios: Vec<(String, f64)>,
+    },
+    /// No comparable baseline point; the check skips it with the reason,
+    /// exactly like the single-core parallel-leg skip.
+    Skipped {
+        /// Why the point is not compared.
+        reason: String,
+    },
+}
+
+/// Decides whether `--check` compares one fresh scaling point against the
+/// baseline curve. Throughput only compares like for like: a missing
+/// baseline point or a different host core count is a skip-with-reason,
+/// never a failure.
+#[must_use]
+pub fn scaling_point_status(baseline: &[ScalingPoint], fresh: &ScalingPoint) -> ScalingStatus {
+    let Some(old) = baseline.iter().find(|p| p.shards == fresh.shards) else {
+        return ScalingStatus::Skipped {
+            reason: format!("no baseline point for {} shard(s)", fresh.shards),
+        };
+    };
+    if old.cpu_cores != fresh.cpu_cores {
+        return ScalingStatus::Skipped {
+            reason: format!(
+                "core counts differ (baseline {}, fresh {})",
+                old.cpu_cores, fresh.cpu_cores
+            ),
+        };
+    }
+    let ratios = fresh
+        .rates
+        .iter()
+        .filter_map(|(name, fresh_rate)| {
+            let (_, old_rate) = old.rates.iter().find(|(n, _)| n == name)?;
+            (*old_rate > 0.0).then(|| (name.clone(), fresh_rate / old_rate))
+        })
+        .collect();
+    ScalingStatus::Compared { ratios }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +496,97 @@ mod tests {
         let parsed = parse_suite(&measured);
         assert_eq!(parsed.parallel_seconds, Some(2.0));
         assert_eq!(parsed.skipped_reason, None);
+    }
+
+    #[test]
+    fn warm_start_gate_flags_only_material_slowdowns() {
+        assert!(!warm_start_regressed(100.0, 100.0), "equal is fine");
+        assert!(!warm_start_regressed(100.0, 109.0), "inside the head-room");
+        assert!(warm_start_regressed(100.0, 111.0), "beyond the head-room");
+        assert!(!warm_start_regressed(0.0, 50.0), "bad cold never flags");
+    }
+
+    const SCALING_BASELINE: &str = r#"{
+  "broker": {
+    "scaling_grants_per_sec": {
+      "shards_1": { "cpu_cores": 1, "sbus": 100000, "xbar_token": 200000, "omega": 150000 },
+      "shards_2": { "cpu_cores": 1, "sbus": 110000, "xbar_token": 210000, "omega": 160000 }
+    },
+    "kernels_ns_per_iter": {
+      "alpha": 100.0
+    }
+  }
+}
+"#;
+
+    #[test]
+    fn scaling_curve_round_trips_through_the_writer() {
+        let points = vec![
+            ScalingPoint {
+                shards: 1,
+                cpu_cores: 1,
+                rates: vec![("sbus".into(), 100_000.0), ("omega".into(), 150_000.0)],
+            },
+            ScalingPoint {
+                shards: 4,
+                cpu_cores: 2,
+                rates: vec![("sbus".into(), 120_000.0), ("omega".into(), 170_000.0)],
+            },
+        ];
+        let json = scaling_json(&points);
+        assert_eq!(parse_scaling(&json), points);
+    }
+
+    #[test]
+    fn parses_scaling_points_and_ignores_the_kernel_section() {
+        let points = parse_scaling(SCALING_BASELINE);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].shards, 1);
+        assert_eq!(points[0].cpu_cores, 1);
+        assert_eq!(points[0].rates.len(), 3);
+        assert_eq!(points[1].shards, 2);
+        assert!(parse_scaling("{}\n").is_empty(), "missing section is empty");
+    }
+
+    #[test]
+    fn scaling_points_compare_only_at_matching_shards_and_cores() {
+        let baseline = parse_scaling(SCALING_BASELINE);
+        let fresh = ScalingPoint {
+            shards: 1,
+            cpu_cores: 1,
+            rates: vec![("sbus".into(), 50_000.0), ("brand_new".into(), 1.0)],
+        };
+        match scaling_point_status(&baseline, &fresh) {
+            ScalingStatus::Compared { ratios } => {
+                // Only the discipline on both sides is ratioed.
+                assert_eq!(ratios.len(), 1);
+                assert_eq!(ratios[0].0, "sbus");
+                assert!((ratios[0].1 - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected a comparison, got {other:?}"),
+        }
+
+        let unknown_shards = ScalingPoint {
+            shards: 4,
+            ..fresh.clone()
+        };
+        assert_eq!(
+            scaling_point_status(&baseline, &unknown_shards),
+            ScalingStatus::Skipped {
+                reason: "no baseline point for 4 shard(s)".to_string()
+            }
+        );
+
+        let other_host = ScalingPoint {
+            cpu_cores: 8,
+            ..fresh
+        };
+        assert_eq!(
+            scaling_point_status(&baseline, &other_host),
+            ScalingStatus::Skipped {
+                reason: "core counts differ (baseline 1, fresh 8)".to_string()
+            }
+        );
     }
 
     #[test]

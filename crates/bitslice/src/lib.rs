@@ -165,6 +165,41 @@ pub fn rotating_grant(words: &[u64], token: usize) -> Option<usize> {
     first_set_at_or_after(words, token).or_else(|| first_set(words))
 }
 
+/// Doubled-mask rotate: the low `n` lanes of `mask` rotated right by `by`
+/// positions (lane `by` of the input lands in lane 0 of the output). Lanes
+/// at or above `n` must be zero and stay zero.
+///
+/// This is the doubled-vector trick of the parallel round-robin arbiter
+/// decomposition: concatenating the mask with itself turns a circular
+/// priority window into a linear one, so a single shift realigns the
+/// rotation origin instead of an O(n) barrel sweep.
+#[inline]
+pub fn rotate_lanes_right(mask: u64, n: usize, by: usize) -> u64 {
+    debug_assert!((1..=WORD_BITS).contains(&n), "lane count out of range");
+    debug_assert_eq!(mask & !tail_mask(n), 0, "garbage above lane n");
+    let by = by % n;
+    let doubled = u128::from(mask) | (u128::from(mask) << n);
+    ((doubled >> by) as u64) & tail_mask(n)
+}
+
+/// Rank of lane `who` among the set lanes of `mask` under the circular
+/// priority order that starts at lane `token`: the number of set lanes
+/// strictly between the token (inclusive) and `who` going upward with
+/// wraparound. `who`'s own lane does not count toward its rank.
+///
+/// This is the round-robin arbiter's priority resolution as two constant-
+/// depth word operations — a doubled-mask rotate to move the token to lane
+/// 0 followed by a prefix popcount — replacing the O(n) circular-distance
+/// scan a naive token arbiter performs per request.
+#[inline]
+pub fn rotating_rank(mask: u64, n: usize, token: usize, who: usize) -> u32 {
+    debug_assert!(who < n, "who out of range");
+    let token = token % n;
+    let rot = rotate_lanes_right(mask, n, token);
+    let pos = (who + n - token) % n;
+    (rot & ((1u64 << pos) - 1)).count_ones()
+}
+
 /// Index of the `n`-th (0-based) set lane, or `None` if fewer than `n + 1`
 /// lanes are set. Used by random arbitration to pick the winner drawn by the
 /// RNG without materialising a candidate list.
@@ -313,6 +348,46 @@ mod tests {
             }
         }
         v
+    }
+
+    #[test]
+    fn rotate_lanes_right_matches_scalar_rotation() {
+        let mut rng = Lcg(0x60d);
+        for &n in &[1usize, 2, 3, 7, 8, 31, 32, 33, 63, 64] {
+            for _ in 0..40 {
+                let mask = rng.word() & tail_mask(n);
+                let by = rng.next() as usize % n;
+                let rot = rotate_lanes_right(mask, n, by);
+                for lane in 0..n {
+                    let want = mask & (1u64 << ((lane + by) % n)) != 0;
+                    assert_eq!(rot & (1u64 << lane) != 0, want, "n {n} by {by} lane {lane}");
+                }
+                assert_eq!(rot & !tail_mask(n), 0, "tail must stay clean");
+            }
+        }
+    }
+
+    #[test]
+    fn rotating_rank_matches_circular_distance_scan() {
+        let mut rng = Lcg(0xc1c);
+        for &n in &[1usize, 2, 4, 5, 16, 33, 64] {
+            for _ in 0..60 {
+                let mask = rng.word() & tail_mask(n);
+                let token = rng.next() as usize % n;
+                let who = rng.next() as usize % n;
+                // The naive token arbiter's scan: requesters circularly
+                // between the token and `who` outrank it.
+                let pos = (who + n - token) % n;
+                let naive = (0..n)
+                    .filter(|&j| mask & (1u64 << j) != 0 && (j + n - token) % n < pos)
+                    .count() as u32;
+                assert_eq!(
+                    rotating_rank(mask, n, token, who),
+                    naive,
+                    "n {n} token {token} who {who} mask {mask:#x}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -217,6 +217,46 @@ impl Broker for CentralBroker {
         }
     }
 
+    fn try_acquire(&self, who: WorkerId) -> Option<BrokerGrant> {
+        debug_assert!(who < self.workers, "worker id out of range");
+        let mailbox = &self.inner.mailboxes[who];
+        // A busy mailbox (previous release still uncollected) fails the
+        // probe outright rather than waiting for the arbiter.
+        if mailbox
+            .compare_exchange(IDLE, REQUEST, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None;
+        }
+        // The arbiter answers asynchronously: give it a bounded number of
+        // poll rounds (it wakes at least every 50 µs), then retract.
+        let mut grant_wait = Waiter::new();
+        for _ in 0..64 {
+            let v = mailbox.load(Ordering::Acquire);
+            if v < RELEASING {
+                return Some(BrokerGrant {
+                    resource: v as usize,
+                    generation: 0,
+                });
+            }
+            grant_wait.wait();
+        }
+        if mailbox
+            .compare_exchange(REQUEST, IDLE, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // A grant landed while we were retracting — keep it.
+            let v = mailbox.load(Ordering::Acquire);
+            if v < RELEASING {
+                return Some(BrokerGrant {
+                    resource: v as usize,
+                    generation: 0,
+                });
+            }
+        }
+        None
+    }
+
     fn end_transmission(&self, _who: WorkerId, _grant: BrokerGrant) {
         // The baseline models no separate transmission circuit.
     }
@@ -291,5 +331,15 @@ mod tests {
         // The holder's release is posted but never collected — frozen.
         b.release(0, g);
         assert_eq!(b.available_resources(), 1);
+    }
+
+    #[test]
+    fn try_acquire_grants_while_alive_and_times_out_when_killed() {
+        let b = CentralBroker::new(2, 1);
+        let g = b.try_acquire(0).expect("arbiter alive");
+        assert_eq!(b.try_acquire(1), None, "saturated: probe retracts");
+        b.release(0, g);
+        b.kill_arbiter();
+        assert_eq!(b.try_acquire(1), None, "dead arbiter never answers");
     }
 }

@@ -56,6 +56,7 @@ pub mod lease;
 pub mod loadgen;
 mod omega;
 mod sbus;
+mod shard;
 mod xbar;
 
 pub use central::CentralBroker;
@@ -66,6 +67,7 @@ pub use loadgen::{
 };
 pub use omega::OmegaBroker;
 pub use sbus::SbusBroker;
+pub use shard::ShardedBroker;
 pub use xbar::{XbarBroker, XbarPolicy};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -205,6 +207,16 @@ pub trait Broker: Sync {
     /// (returning `None` — no statistics should be recorded for an aborted
     /// acquire).
     fn acquire(&self, who: WorkerId, ctl: &RunControl) -> Option<BrokerGrant>;
+
+    /// One bounded arbitration attempt: grants a resource to `who` if the
+    /// discipline can do so now, or reports `None` when the pool looks
+    /// exhausted or the attempt loses its claim races. Unlike
+    /// [`Broker::acquire`] this never waits for capacity to free up — it
+    /// may still wait out bounded protocol turns (the SBUS bus queue), but
+    /// a probe of an exhausted pool returns promptly. This is the probe
+    /// primitive of [`ShardedBroker`]'s overflow-stealing path; callers
+    /// that get a grant owe the usual `end_transmission` + `release`.
+    fn try_acquire(&self, who: WorkerId) -> Option<BrokerGrant>;
 
     /// Ends the transmission phase: releases whatever network capacity the
     /// discipline holds during transmission (the SBUS bus, the Omega path)

@@ -256,6 +256,41 @@ impl Broker for OmegaBroker {
         }
     }
 
+    fn try_acquire(&self, who: WorkerId) -> Option<BrokerGrant> {
+        debug_assert!(who < self.workers, "worker id out of range");
+        // One claim-or-rollback sweep over the destination ports, from
+        // this worker's home origin. Claim-or-retry is already attempt-
+        // shaped — the probe is simply a single attempt with no backoff.
+        let r = self.owners.len();
+        let start = who % r;
+        for step in 0..r {
+            let res = (start + step) % r;
+            if lease::owner_of(self.owners[res].load()) != NO_OWNER {
+                continue;
+            }
+            let Some(generation) = self.owners[res].try_claim(who, self.clock.deadline_from_now())
+            else {
+                continue;
+            };
+            if self.try_claim_path(who, res) {
+                return Some(BrokerGrant {
+                    resource: res,
+                    generation,
+                });
+            }
+            match self.owners[res].begin_unclaim(who, generation) {
+                UnclaimStart::Begun => {
+                    self.owners[res].finish_unclaim();
+                }
+                UnclaimStart::Stale => {}
+                UnclaimStart::Foreign => {
+                    unreachable!("owner word changed under the claimant")
+                }
+            }
+        }
+        None
+    }
+
     fn end_transmission(&self, who: WorkerId, grant: BrokerGrant) {
         // Tolerant sweep: if the grant was reclaimed meanwhile, the
         // supervisor already freed these links and every CAS just fails.
@@ -437,5 +472,24 @@ mod tests {
         let g = b.acquire(0, &ctl).expect("free");
         b.end_transmission(0, g);
         b.release(1, g);
+    }
+
+    #[test]
+    fn try_acquire_claims_a_circuit_or_leaves_no_residue() {
+        let b = OmegaBroker::new(2, 1);
+        let g = b.try_acquire(0).expect("fabric empty");
+        assert_eq!(held_links(&b), b.topo.stages() as usize);
+        assert_eq!(b.try_acquire(1), None, "resource held");
+        assert_eq!(
+            held_links(&b),
+            b.topo.stages() as usize,
+            "failed probe left no residue"
+        );
+        b.end_transmission(0, g);
+        b.release(0, g);
+        let g1 = b.try_acquire(1).expect("free again");
+        b.end_transmission(1, g1);
+        b.release(1, g1);
+        assert_eq!(held_links(&b), 0);
     }
 }

@@ -182,6 +182,51 @@ impl SbusBroker {
         false
     }
 
+    /// One claim sweep over the vacancy set starting from `origin`
+    /// (wrapping). Pools up to 64 slots pack their vacancy bits into one
+    /// word and pick claim targets with the parallel-prefix rotating grant
+    /// ([`rsin_bitslice::rotating_grant`]); wider pools run the equivalent
+    /// rotated index sweep. Returns `None` when every vacancy seen was
+    /// claimed by a faster reserver — the caller backs off and rescans.
+    fn claim_slot_from(&self, who: WorkerId, origin: usize) -> Option<BrokerGrant> {
+        let n = self.slots.len();
+        if n <= 64 {
+            let mut vacant = 0u64;
+            for (i, slot) in self.slots.iter().enumerate() {
+                vacant |= u64::from(lease::owner_of(slot.load()) == NO_OWNER) << i;
+            }
+            while vacant != 0 {
+                let i = rsin_bitslice::rotating_grant(&[vacant], origin)?;
+                if let Some(generation) =
+                    self.slots[i].try_claim(who, self.clock.deadline_from_now())
+                {
+                    return Some(BrokerGrant {
+                        resource: i,
+                        generation,
+                    });
+                }
+                // Lost that CAS — the slot is taken; grant from the rest.
+                vacant &= !(1u64 << i);
+            }
+            None
+        } else {
+            for k in 0..n {
+                let i = (origin + k) % n;
+                let slot = &self.slots[i];
+                if lease::owner_of(slot.load()) != NO_OWNER {
+                    continue;
+                }
+                if let Some(generation) = slot.try_claim(who, self.clock.deadline_from_now()) {
+                    return Some(BrokerGrant {
+                        resource: i,
+                        generation,
+                    });
+                }
+            }
+            None
+        }
+    }
+
     /// Vacates the caller's bus lease and passes the turn on. Tolerates
     /// having already been evicted by the supervisor (`Stale`): the turn
     /// was passed by the reclaimer, so the caller only forgets its ticket.
@@ -379,23 +424,81 @@ impl Broker for SbusBroker {
                 continue;
             }
             // The reservation guarantees a vacant slot exists; contend for
-            // one. A failed CAS only ever means another reserver claimed
-            // that particular slot — rescan.
+            // one. Each worker sweeps from its own home origin, spread
+            // evenly across the pool, so concurrent reservers fan out over
+            // distinct slots instead of piling onto slot 0 and fighting
+            // the same CAS. A failed sweep only ever means other reservers
+            // claimed every vacancy it saw — rescan.
+            let origin = who * self.slots.len() / self.workers;
             let mut scan = Waiter::new();
             loop {
-                for (i, slot) in self.slots.iter().enumerate() {
-                    if lease::owner_of(slot.load()) != NO_OWNER {
-                        continue;
-                    }
-                    if let Some(generation) = slot.try_claim(who, self.clock.deadline_from_now()) {
-                        return Some(BrokerGrant {
-                            resource: i,
-                            generation,
-                        });
-                    }
+                if let Some(grant) = self.claim_slot_from(who, origin) {
+                    return Some(grant);
                 }
                 scan.wait();
             }
+        }
+    }
+
+    fn try_acquire(&self, who: WorkerId) -> Option<BrokerGrant> {
+        debug_assert!(who < self.workers, "worker id out of range");
+        // Snoop: an exhausted pool is answered from the status word alone,
+        // without queueing for the bus — the cheap-probe property the
+        // sharded overflow path depends on.
+        if self.free.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        // One bus turn, same protocol as `acquire` phase 2: the turn wait
+        // is bounded (tickets ahead either transmit and end, or pass), so
+        // the probe never waits for *capacity*, only for its turn.
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.tickets[who].store(ticket, Ordering::Release);
+        let mut bus_wait = Waiter::new();
+        let reached_turn = loop {
+            let s = self.serving.load(Ordering::Acquire);
+            if s == ticket {
+                break true;
+            }
+            if s > ticket {
+                break false;
+            }
+            bus_wait.wait();
+        };
+        if !reached_turn {
+            self.tickets[who].store(TICKET_NONE, Ordering::Release);
+            return None;
+        }
+        let mut claim_wait = Waiter::new();
+        let bus_generation = loop {
+            if let Some(g) = self.bus.try_claim(who, self.clock.deadline_from_now()) {
+                break Some(g);
+            }
+            if self.serving.load(Ordering::Acquire) != ticket {
+                break None;
+            }
+            claim_wait.wait();
+        };
+        let Some(bus_generation) = bus_generation else {
+            self.tickets[who].store(TICKET_NONE, Ordering::Release);
+            return None;
+        };
+        self.bus_generation[who].store(u64::from(bus_generation), Ordering::Release);
+        // Confirm at bus-grant time; a lost reservation passes the bus on
+        // and the probe fails instead of retrying.
+        if !self.try_reserve() {
+            self.pass_bus(who);
+            return None;
+        }
+        // The reservation guarantees a vacant slot; contend for one. On a
+        // grant the bus stays held through the transmission phase, exactly
+        // as in `acquire` — the caller owes `end_transmission`.
+        let origin = who * self.slots.len() / self.workers;
+        let mut scan = Waiter::new();
+        loop {
+            if let Some(grant) = self.claim_slot_from(who, origin) {
+                return Some(grant);
+            }
+            scan.wait();
         }
     }
 
@@ -638,5 +741,26 @@ mod tests {
         let g = b.acquire(0, &ctl).expect("free");
         b.end_transmission(0, g);
         b.release(1, g);
+    }
+
+    #[test]
+    fn try_acquire_grants_then_fails_fast_on_exhaustion() {
+        let b = SbusBroker::new(2, 1);
+        let g = b.try_acquire(0).expect("pool has a slot");
+        b.end_transmission(0, g);
+        // Exhausted: the probe answers from the status word without
+        // queueing for the bus.
+        let tickets_before = b.next_ticket.load(Ordering::Relaxed);
+        assert_eq!(b.try_acquire(1), None);
+        assert_eq!(
+            b.next_ticket.load(Ordering::Relaxed),
+            tickets_before,
+            "no ticket taken for an exhausted-pool probe"
+        );
+        b.release(0, g);
+        let g1 = b.try_acquire(1).expect("freed slot grantable again");
+        b.end_transmission(1, g1);
+        b.release(1, g1);
+        assert_eq!(b.free_count(), 1);
     }
 }

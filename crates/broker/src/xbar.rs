@@ -187,19 +187,53 @@ impl XbarBroker {
 
     /// Rank of `who` among the requesters in `mask` under the active
     /// policy: the number of requesters with strictly higher priority.
+    ///
+    /// Both arms are constant-depth word operations. The token arm is the
+    /// parallel round-robin arbiter's priority resolution — a doubled-mask
+    /// rotate aligning the token to lane 0 followed by a prefix popcount
+    /// ([`rsin_bitslice::rotating_rank`]) — replacing the O(n) circular-
+    /// distance scan the naive arbiter pays on every settling pass.
     fn rank(&self, who: WorkerId, mask: u64) -> u32 {
         match self.policy {
             // Requesters below `who` outrank it.
             XbarPolicy::FixedPriority => (mask & ((1u64 << who) - 1)).count_ones(),
             // Requesters circularly between the token and `who` outrank it.
             XbarPolicy::TokenRotation => {
-                let n = self.workers;
-                let token = self.token_position();
-                let pos = (who + n - token) % n;
-                (0..n)
-                    .filter(|&j| mask & (1u64 << j) != 0 && (j + n - token) % n < pos)
-                    .count() as u32
+                rsin_bitslice::rotating_rank(mask, self.workers, self.token_position(), who)
             }
+        }
+    }
+
+    /// One settling pass of the grant wave for `who` at `rank`: pick the
+    /// `rank`-th free column and CAS-claim it. `None` ends the wave — the
+    /// caller re-reads the mask and re-ranks before the next pass.
+    ///
+    /// Up to 64 columns the free set is packed into one word and the
+    /// column is picked by prefix select ([`rsin_bitslice::select_nth_set`]),
+    /// the same parallel-prefix grant machinery the gate-level resolvers
+    /// compile to; wider arrays fall back to the counting sweep.
+    fn claim_nth_free(&self, who: WorkerId, rank: u32) -> Option<(usize, u32)> {
+        if self.owners.len() <= 64 {
+            let mut free = 0u64;
+            for (c, owner) in self.owners.iter().enumerate() {
+                free |= u64::from(lease::owner_of(owner.load()) == NO_OWNER) << c;
+            }
+            let c = rsin_bitslice::select_nth_set(&[free], rank as usize)?;
+            let generation = self.owners[c].try_claim(who, self.clock.deadline_from_now())?;
+            Some((c, generation))
+        } else {
+            let mut free_seen = 0;
+            for (c, owner) in self.owners.iter().enumerate() {
+                if lease::owner_of(owner.load()) != NO_OWNER {
+                    continue;
+                }
+                if free_seen == rank {
+                    let generation = owner.try_claim(who, self.clock.deadline_from_now())?;
+                    return Some((c, generation));
+                }
+                free_seen += 1;
+            }
+            None
         }
     }
 
@@ -248,22 +282,7 @@ impl Broker for XbarBroker {
             // One settling pass of the grant wave, from this row's view.
             let mask = self.requests.load(Ordering::Acquire);
             let my_rank = self.rank(who, mask);
-            let mut free_seen = 0;
-            let mut claimed = None;
-            for (c, owner) in self.owners.iter().enumerate() {
-                if lease::owner_of(owner.load()) != NO_OWNER {
-                    continue;
-                }
-                if free_seen == my_rank {
-                    if let Some(generation) = owner.try_claim(who, self.clock.deadline_from_now()) {
-                        claimed = Some((c, generation));
-                    }
-                    // Won or lost, this wave is over; re-rank on a retry.
-                    break;
-                }
-                free_seen += 1;
-            }
-            if let Some((resource, generation)) = claimed {
+            if let Some((resource, generation)) = self.claim_nth_free(who, my_rank) {
                 return Some(BrokerGrant {
                     resource,
                     generation,
@@ -271,6 +290,27 @@ impl Broker for XbarBroker {
             }
             waiter.wait();
         }
+    }
+
+    fn try_acquire(&self, who: WorkerId) -> Option<BrokerGrant> {
+        debug_assert!(who < self.workers, "worker id out of range");
+        let bit = 1u64 << who;
+        let prior = self.requests.fetch_or(bit, Ordering::AcqRel);
+        debug_assert_eq!(prior & bit, 0, "worker already requesting");
+        let _line = RequestLine {
+            requests: &self.requests,
+            bit,
+        };
+        // Exactly one settling pass: rank among the current requesters,
+        // claim the rank-th free column or report the probe failed. The
+        // guard lowers the request line either way.
+        let mask = self.requests.load(Ordering::Acquire);
+        let my_rank = self.rank(who, mask);
+        self.claim_nth_free(who, my_rank)
+            .map(|(resource, generation)| BrokerGrant {
+                resource,
+                generation,
+            })
     }
 
     fn end_transmission(&self, _who: WorkerId, _grant: BrokerGrant) {
@@ -455,5 +495,18 @@ mod tests {
         let ctl = RunControl::new();
         let g = b.acquire(0, &ctl).expect("free");
         b.release(1, g);
+    }
+
+    #[test]
+    fn try_acquire_is_one_wave_and_lowers_the_request_line() {
+        let b = XbarBroker::new(2, 1, XbarPolicy::TokenRotation);
+        let g = b.try_acquire(0).expect("column free");
+        assert_eq!(b.requests.load(Ordering::Relaxed), 0, "line lowered");
+        assert_eq!(b.try_acquire(1), None, "no column left");
+        assert_eq!(b.requests.load(Ordering::Relaxed), 0, "lowered on failure");
+        b.release(0, g);
+        let g1 = b.try_acquire(1).expect("freed column grantable");
+        b.release(1, g1);
+        assert_eq!(b.token_generation(), 2, "probes pass the token like grants");
     }
 }

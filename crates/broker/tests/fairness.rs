@@ -130,3 +130,44 @@ fn simulated_crossbar_policies_split_on_starvation() {
         );
     }
 }
+
+/// Cross-shard fairness: partition the token-rotation crossbar into two
+/// one-slot shards and saturate it. Within a shard the camp queue serves
+/// waiters in FIFO order; across shards the rotating steal token keeps
+/// probing siblings for overflow, so *every* worker — whichever shard it
+/// calls home — keeps a bounded wait and a non-trivial share of the
+/// grants. Under *symmetric* saturation the camp gates correctly route
+/// each shard's capacity to its own campers, so completed steals may be
+/// rare — but the steal path must at least be probed continuously (the
+/// deterministic completed-steal coverage lives in the shard unit tests
+/// and the dead-thief chaos test).
+#[test]
+fn sharded_token_rotation_bounds_waits_across_shards() {
+    let _guard = serial();
+    let broker = rsin_broker::ShardedBroker::xbar(WORKERS, 2, 2, XbarPolicy::TokenRotation);
+    let report = run_saturated(&broker, HOLD, RUN);
+    assert_eq!(report.violations, 0, "stealing must never double-grant");
+    assert!(
+        broker.steal_probes() > 0,
+        "saturating two one-slot shards must keep the steal path probing"
+    );
+    let g = &report.grants;
+    let total = report.total_grants();
+    for (w, &won) in g.iter().enumerate() {
+        assert!(won > 0, "worker {w} starved across shards: {g:?}");
+        assert!(
+            won as f64 > total as f64 / (4.0 * WORKERS as f64),
+            "worker {w} got far less than its share: {g:?}"
+        );
+    }
+    // Same slack as the flat token-rotation bound: a full home-shard
+    // rotation plus one steal-token rotation is still far below RUN/4.
+    let bound = RUN / 4;
+    for (w, &worst) in report.max_wait.iter().enumerate() {
+        assert!(
+            worst < bound,
+            "worker {w} waited {worst:?} (> {bound:?}): cross-shard rotation \
+             is not bounding waits"
+        );
+    }
+}

@@ -264,3 +264,68 @@ fn welford_permutation_invariant() {
         assert_eq!(a.max(), b.max());
     });
 }
+
+/// Per-shard Welford/Histogram accumulators over an interleaved
+/// cross-shard sample stream merge to exactly the single-stream result,
+/// whatever the shard count, home mapping, or merge order — the loadgen
+/// invariant the sharded broker's scaling measurements lean on: each
+/// requester's delays land on its home shard's accumulator (`worker %
+/// shards`), and shards are merged in arbitrary order at shutdown.
+#[test]
+fn sharded_stat_merges_equal_single_stream() {
+    check(128, |g| {
+        let shards = g.usize_in(1, 5);
+        let n = g.usize_in(0, 200);
+        let bins = g.usize_in(1, 8);
+        let upper = g.f64_in(1.0, 50.0);
+        let samples: Vec<(usize, f64)> = (0..n)
+            .map(|_| (g.usize_in(0, 15), g.f64_in(0.0, 60.0)))
+            .collect();
+
+        let mut single_w = Welford::new();
+        let mut single_h = Histogram::new(bins, upper);
+        let mut shard_w = vec![Welford::new(); shards];
+        let mut shard_h: Vec<Histogram> =
+            (0..shards).map(|_| Histogram::new(bins, upper)).collect();
+        for &(worker, x) in &samples {
+            single_w.push(x);
+            single_h.record(x);
+            let home = worker % shards;
+            shard_w[home].push(x);
+            shard_h[home].record(x);
+        }
+
+        // Merge starting at a random shard: order independence is part of
+        // the claim (worker threads retire in unpredictable order).
+        let start = g.usize_in(0, shards);
+        let mut merged_w = Welford::new();
+        let mut merged_h = Histogram::new(bins, upper);
+        for k in 0..shards {
+            let s = (start + k) % shards;
+            merged_w.merge(&shard_w[s]);
+            merged_h.merge(&shard_h[s]);
+        }
+
+        assert_eq!(merged_w.count(), single_w.count());
+        if single_w.count() > 0 {
+            assert!(
+                (merged_w.mean() - single_w.mean()).abs() < 1e-9 * (1.0 + single_w.mean().abs()),
+                "merged mean diverged"
+            );
+            assert_eq!(merged_w.min(), single_w.min());
+            assert_eq!(merged_w.max(), single_w.max());
+        }
+        if single_w.count() > 1 {
+            assert!(
+                (merged_w.sample_variance() - single_w.sample_variance()).abs()
+                    < 1e-8 * (1.0 + single_w.sample_variance()),
+                "merged variance diverged"
+            );
+        }
+        assert_eq!(merged_h.count(), single_h.count());
+        assert_eq!(merged_h.overflow(), single_h.overflow());
+        for i in 0..bins {
+            assert_eq!(merged_h.bin_count(i), single_h.bin_count(i));
+        }
+    });
+}
