@@ -22,6 +22,7 @@
 //! persisted as `null` with a `"skipped_reason"`) is skipped by the check.
 //! The comparison logic lives in `rsin_bench::perfgate`.
 
+use rsin_bench::broker_bench::CHAOS_LEASE;
 use rsin_bench::figures::workload_at;
 use rsin_bench::microbench::measure_ns_floor;
 use rsin_bench::perfgate::{
@@ -31,6 +32,7 @@ use rsin_bench::perfgate::{
 use rsin_bench::suite::run_suite;
 use rsin_bench::RunQuality;
 use rsin_bitslice::{or_pairs_compress, rotating_grant, set_bit, swap_or, tile_double};
+use rsin_broker::net::{run_net_load, NetLoadConfig, NetServer, NetServerConfig};
 use rsin_broker::{
     run_saturated, run_saturated_chaos, Broker, ChaosOptions, ChaosPlan, ClientChaos, ClientEvent,
     OmegaBroker, RunControl, SbusBroker, ShardedBroker, XbarBroker, XbarPolicy,
@@ -495,6 +497,50 @@ fn broker_resilience() -> Vec<(&'static str, f64, f64)> {
         .collect()
 }
 
+/// Saturated loopback throughput and grant-latency quantiles of the
+/// networked front-end: an in-process [`NetServer`] over a 2-shard SBUS
+/// pool, driven closed-loop by 4 loopback TCP clients across 3 tenant
+/// classes. Recorded as the `netbroker` section of `BENCH_perf.json` for
+/// trend visibility — real sockets plus thread scheduling are too noisy
+/// for a hard gate (the gated kernels are untouched) — but the run still
+/// hard-asserts a clean exclusivity ledger and zero leaked slots, so a
+/// broken wire protocol fails the report.
+fn netbroker_perf() -> (f64, f64, f64, f64) {
+    const CLIENTS: usize = 4;
+    let broker = ShardedBroker::sbus_with_lease(2 * CLIENTS, 4, 2, CHAOS_LEASE);
+    let server = NetServer::bind(
+        "127.0.0.1:0".parse().expect("loopback"),
+        broker,
+        NetServerConfig {
+            tenants: 3,
+            lease: CHAOS_LEASE,
+            ..NetServerConfig::default()
+        },
+    )
+    .expect("bind loopback ephemeral port");
+    let cfg = NetLoadConfig {
+        clients: CLIENTS,
+        tenants: 3,
+        window: std::time::Duration::from_millis(150),
+        deadline: Some(std::time::Duration::from_millis(100)),
+        ..NetLoadConfig::default()
+    };
+    let report = run_net_load(server.local_addr(), &cfg);
+    let sr = server.stop();
+    assert_eq!(sr.violations, 0, "netbroker: exclusivity violated");
+    assert_eq!(sr.leaked, 0, "netbroker: slots leaked through shutdown");
+    assert!(
+        report.grants > 0,
+        "netbroker: the loopback sweep never granted"
+    );
+    (
+        report.latency_quantile_us(0.50),
+        report.latency_quantile_us(0.99),
+        report.latency_quantile_us(0.999),
+        report.grants_per_sec,
+    )
+}
+
 /// Prints one line per kernel verdict. New kernels are explicitly called
 /// out as recorded rather than failed, so a CI log never reads an added
 /// kernel as a problem.
@@ -695,6 +741,8 @@ fn main() {
     let resilience_rows = broker_resilience();
     eprintln!("measuring sharded broker scaling curve ...");
     let scaling_points = broker_scaling(cores);
+    eprintln!("measuring networked front-end loopback throughput ...");
+    let (net_p50, net_p99, net_p999, net_gps) = netbroker_perf();
 
     let path = baseline_path();
     let regressed = if check {
@@ -753,6 +801,16 @@ fn main() {
     json.push_str(&perfgate::scaling_json(&scaling_points));
     json.push_str("    \"scaling_workers\": 8,\n");
     json.push_str("    \"scaling_resources\": 4\n");
+    json.push_str("  },\n");
+    json.push_str("  \"netbroker\": {\n");
+    json.push_str("    \"clients\": 4,\n");
+    json.push_str("    \"tenants\": 3,\n");
+    json.push_str("    \"shards\": 2,\n");
+    json.push_str(&format!(
+        "    \"grant_latency_us\": {{ \"p50\": {net_p50:.0}, \"p99\": {net_p99:.0}, \
+         \"p999\": {net_p999:.0} }},\n"
+    ));
+    json.push_str(&format!("    \"saturated_grants_per_sec\": {net_gps:.0}\n"));
     json.push_str("  },\n");
     json.push_str("  \"kernels_ns_per_iter\": {\n");
     for (i, (name, ns)) in kernel_rows.iter().enumerate() {

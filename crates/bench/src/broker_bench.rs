@@ -64,12 +64,26 @@ pub const SCALE_US: f64 = 1_200.0;
 /// dead client's grant within 25 ms.
 pub const CHAOS_LEASE: Duration = Duration::from_millis(25);
 
+/// Where `--connect` points the networked load harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetTarget {
+    /// Spin up an in-process server on a loopback ephemeral port, drive
+    /// it, and shut it down — the self-contained mode CI uses, and the
+    /// only one that can audit the server-side ledger.
+    SelfServe,
+    /// An already-running server (started with `--serve`), possibly on
+    /// another host. Client-side statistics only.
+    Addr(std::net::SocketAddr),
+}
+
 /// What to sweep: parsed from the command line, defaulted for CI.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BrokerBenchConfig {
-    /// Worker threads contending for the broker (the model's `p`).
+    /// Worker threads contending for the broker (the model's `p`). In the
+    /// networked mode this is the client-connection count.
     pub threads: usize,
-    /// Measured wall time per ρ point, in milliseconds.
+    /// Measured wall time per ρ point, in milliseconds. The networked
+    /// mode's measurement window.
     pub duration_ms: u64,
     /// Offered-load points, each relative to the pipeline's saturation
     /// throughput (the chain's `utilization()` dial).
@@ -79,8 +93,22 @@ pub struct BrokerBenchConfig {
     /// the shard count. `1` runs the plain single-arbiter broker.
     pub shards: usize,
     /// Chaos schedule for the measured leg (`--chaos` /
-    /// `RSIN_BROKER_CHAOS`); `None` runs the healthy driver.
+    /// `RSIN_BROKER_CHAOS`); `None` runs the healthy driver. The
+    /// `trunc=`/`junk=` wire faults require the networked mode.
     pub chaos: Option<ChaosSpec>,
+    /// `--serve ADDR`: run a networked broker front-end on `ADDR` instead
+    /// of the benchmark, until stdin closes.
+    pub serve: Option<std::net::SocketAddr>,
+    /// `--connect ADDR|self`: run the networked load harness instead of
+    /// the in-process measured sweep.
+    pub connect: Option<NetTarget>,
+    /// Tenant classes of the networked mode (`--tenants`, 1–8); class 0
+    /// is never shed by admission control.
+    pub tenants: u8,
+    /// Per-request deadline of the networked mode in milliseconds
+    /// (`--deadline-ms`, ≥ 1), carried on the wire so the server sheds
+    /// expired work before arbitration.
+    pub deadline_ms: u64,
 }
 
 impl Default for BrokerBenchConfig {
@@ -91,6 +119,10 @@ impl Default for BrokerBenchConfig {
             rho: vec![0.2, 0.5, 0.8],
             shards: 1,
             chaos: None,
+            serve: None,
+            connect: None,
+            tenants: 3,
+            deadline_ms: 100,
         }
     }
 }
@@ -139,6 +171,33 @@ impl BrokerBenchConfig {
             cfg.chaos = Some(parse_chaos("--chaos", &v)?);
         } else if let Some(v) = chaos_env {
             cfg.chaos = Some(parse_chaos("RSIN_BROKER_CHAOS", v)?);
+        }
+        if let Some(v) = flag_value(args, "--serve")? {
+            cfg.serve = Some(parse_serve(&v)?);
+        }
+        if let Some(v) = flag_value(args, "--connect")? {
+            cfg.connect = Some(parse_connect(&v)?);
+        }
+        if let Some(v) = flag_value(args, "--tenants")? {
+            cfg.tenants = parse_tenants(&v)?;
+        }
+        if let Some(v) = flag_value(args, "--deadline-ms")? {
+            cfg.deadline_ms = parse_deadline_ms_flag("--deadline-ms", &v)?;
+        }
+        if cfg.serve.is_some() && cfg.connect.is_some() {
+            return Err(ConfigError::Parse {
+                input: "--serve --connect".into(),
+                expected: "at most one of --serve (run a server) and --connect (drive one)",
+            });
+        }
+        if let Some(spec) = &cfg.chaos {
+            if (spec.trunc > 0.0 || spec.junk > 0.0) && cfg.connect.is_none() {
+                return Err(ConfigError::Parse {
+                    input: format!("--chaos trunc={},junk={}", spec.trunc, spec.junk),
+                    expected: "trunc=/junk= are wire-level faults; they need the networked \
+                               harness (--connect ADDR or --connect self)",
+                });
+            }
         }
         Ok(cfg)
     }
@@ -260,6 +319,46 @@ fn parse_duration_ms(v: &str) -> Result<u64, ConfigError> {
         _ => Err(ConfigError::Parse {
             input: format!("--duration-ms {v}"),
             expected: "a positive measured duration in milliseconds, e.g. --duration-ms 400",
+        }),
+    }
+}
+
+fn parse_serve(v: &str) -> Result<std::net::SocketAddr, ConfigError> {
+    v.parse().map_err(|_| ConfigError::Parse {
+        input: format!("--serve {v}"),
+        expected: "a bind address like 127.0.0.1:7070 (port 0 picks one), e.g. --serve 127.0.0.1:0",
+    })
+}
+
+fn parse_connect(v: &str) -> Result<NetTarget, ConfigError> {
+    if v == "self" {
+        return Ok(NetTarget::SelfServe);
+    }
+    v.parse()
+        .map(NetTarget::Addr)
+        .map_err(|_| ConfigError::Parse {
+            input: format!("--connect {v}"),
+            expected: "a server address like 127.0.0.1:7070, or `self` for an in-process \
+                       loopback server, e.g. --connect self",
+        })
+}
+
+fn parse_tenants(v: &str) -> Result<u8, ConfigError> {
+    match v.parse::<u8>() {
+        Ok(n) if (1..=8).contains(&n) => Ok(n),
+        _ => Err(ConfigError::Parse {
+            input: format!("--tenants {v}"),
+            expected: "a tenant-class count between 1 and 8, e.g. --tenants 3",
+        }),
+    }
+}
+
+fn parse_deadline_ms_flag(flag: &str, v: &str) -> Result<u64, ConfigError> {
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(ConfigError::Parse {
+            input: format!("{flag} {v}"),
+            expected: "a positive per-request deadline in milliseconds, e.g. --deadline-ms 100",
         }),
     }
 }
@@ -792,6 +891,7 @@ mod tests {
             rho: vec![0.5],
             shards: 2,
             chaos: None,
+            ..BrokerBenchConfig::default()
         };
         let q = RunQuality::quick();
         let points = measure(&cfg, &q);
@@ -809,6 +909,7 @@ mod tests {
             rho: vec![0.4],
             shards: 2,
             chaos: Some(ChaosSpec::parse("kill=0.25,stall=0.25,seed=11").expect("valid")),
+            ..BrokerBenchConfig::default()
         };
         let q = RunQuality::quick();
         let points = measure(&cfg, &q);
@@ -819,6 +920,106 @@ mod tests {
         assert!(c.reclaimed >= 1, "the dead worker's lease must come back");
         assert_eq!(c.leaked, 0, "sharded shutdown must recover every slot");
         assert!(c.post_chaos_grants > 0, "the sweep must outlive the chaos");
+    }
+
+    #[test]
+    fn net_flags_parse_in_both_spellings() {
+        let cfg = BrokerBenchConfig::try_from_args(&args(&[
+            "bin",
+            "--connect",
+            "self",
+            "--tenants",
+            "4",
+            "--deadline-ms=50",
+        ]))
+        .expect("valid net flags");
+        assert_eq!(cfg.connect, Some(NetTarget::SelfServe));
+        assert_eq!(cfg.tenants, 4);
+        assert_eq!(cfg.deadline_ms, 50);
+
+        let cfg = BrokerBenchConfig::try_from_args(&args(&["bin", "--connect=127.0.0.1:7070"]))
+            .expect("addr target");
+        assert_eq!(
+            cfg.connect,
+            Some(NetTarget::Addr("127.0.0.1:7070".parse().expect("addr")))
+        );
+
+        let cfg = BrokerBenchConfig::try_from_args(&args(&["bin", "--serve", "127.0.0.1:0"]))
+            .expect("serve addr");
+        assert_eq!(cfg.serve, Some("127.0.0.1:0".parse().expect("addr")));
+
+        let default = BrokerBenchConfig::default();
+        assert_eq!(default.serve, None);
+        assert_eq!(default.connect, None);
+        assert_eq!(default.tenants, 3);
+        assert_eq!(default.deadline_ms, 100);
+    }
+
+    #[test]
+    fn malformed_net_flags_are_typed_actionable_errors() {
+        for (flag, bads) in [
+            ("--serve", &["nowhere", "127.0.0.1", ":x", ""][..]),
+            ("--connect", &["myself", "127.0.0.1", ""][..]),
+            ("--tenants", &["0", "9", "many", "-1", ""][..]),
+            ("--deadline-ms", &["0", "soon", "-5", "1.5", ""][..]),
+        ] {
+            for bad in bads {
+                let err = BrokerBenchConfig::try_from_args(&args(&["bin", flag, bad]))
+                    .expect_err(&format!("must reject {flag} {bad:?}"));
+                assert!(matches!(err, ConfigError::Parse { .. }));
+                assert!(
+                    err.to_string().contains(flag),
+                    "error must name the flag: {err}"
+                );
+            }
+            let err =
+                BrokerBenchConfig::try_from_args(&args(&["bin", flag])).expect_err("missing value");
+            assert!(err.to_string().contains(flag));
+        }
+    }
+
+    #[test]
+    fn serve_and_connect_are_mutually_exclusive() {
+        let err = BrokerBenchConfig::try_from_args(&args(&[
+            "bin",
+            "--serve",
+            "127.0.0.1:0",
+            "--connect",
+            "self",
+        ]))
+        .expect_err("must reject both modes at once");
+        assert!(matches!(err, ConfigError::Parse { .. }));
+        assert!(err.to_string().contains("--serve"));
+        assert!(err.to_string().contains("--connect"));
+    }
+
+    #[test]
+    fn wire_chaos_requires_the_networked_mode() {
+        let err = BrokerBenchConfig::try_from_args_with_env(
+            &args(&["bin", "--chaos", "kill=0.25,trunc=0.25,seed=3"]),
+            None,
+        )
+        .expect_err("trunc without --connect must be rejected");
+        assert!(matches!(err, ConfigError::Parse { .. }));
+        assert!(
+            err.to_string().contains("trunc"),
+            "error must name the wire fault: {err}"
+        );
+
+        let ok = BrokerBenchConfig::try_from_args_with_env(
+            &args(&[
+                "bin",
+                "--connect",
+                "self",
+                "--chaos",
+                "kill=0.25,trunc=0.125,junk=0.125,seed=3",
+            ]),
+            None,
+        )
+        .expect("wire chaos is valid in net mode");
+        let spec = ok.chaos.expect("chaos set");
+        assert_eq!(spec.trunc, 0.125);
+        assert_eq!(spec.junk, 0.125);
     }
 
     #[test]
@@ -888,6 +1089,7 @@ mod tests {
             rho: vec![0.4],
             shards: 1,
             chaos: Some(ChaosSpec::parse("kill=0.25,stall=0.25,seed=11").expect("valid")),
+            ..BrokerBenchConfig::default()
         };
         let q = RunQuality::quick();
         let points = measure(&cfg, &q);

@@ -35,6 +35,7 @@ pub mod figures;
 pub mod harness;
 pub mod manifest;
 pub mod microbench;
+pub mod netbench;
 pub mod output;
 pub mod perfgate;
 pub mod quality;

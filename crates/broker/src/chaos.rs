@@ -224,12 +224,25 @@ impl ChaosOptions {
 /// `stall=<frac>`, `seed=<u64>`, and optionally `mtbf=<f64>`/`mttr=<f64>`
 /// (both or neither) for a stochastic single-resource fault process.
 /// Example: `kill=0.25,stall=0.25,seed=7,mtbf=40,mttr=8`.
+///
+/// In net mode (`broker_bench --connect`) two more keys apply:
+/// `trunc=<frac>` clients write a truncated frame then close, and
+/// `junk=<frac>` clients write byte garbage mid-stream. In thread mode
+/// those fractions must stay 0 (there is no wire to corrupt), which the
+/// bench layer enforces; `kill` maps to a mid-grant connection drop and
+/// `stall` to a half-open stall held past the lease.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChaosSpec {
     /// Fraction of client threads crashed mid-protocol.
     pub kill: f64,
     /// Fraction of client threads stalled past their lease.
     pub stall: f64,
+    /// Net mode only: fraction of clients that send a truncated frame then
+    /// close mid-grant.
+    pub trunc: f64,
+    /// Net mode only: fraction of clients that inject byte garbage
+    /// mid-stream.
+    pub junk: f64,
     /// Seed for the client schedule and the fault timeline.
     pub seed: u64,
     /// Mean model time between failures of resource 0, if faulting.
@@ -245,6 +258,8 @@ impl ChaosSpec {
         let mut out = ChaosSpec {
             kill: 0.0,
             stall: 0.0,
+            trunc: 0.0,
+            junk: 0.0,
             seed: 1,
             mtbf: None,
             mttr: None,
@@ -257,21 +272,18 @@ impl ChaosSpec {
                 .split_once('=')
                 .ok_or_else(|| format!("chaos spec item `{pair}` is not key=value"))?;
             let bad = |what: &str| format!("chaos spec `{key}` has invalid {what}: `{value}`");
+            let frac = |value: &str| -> Result<f64, String> {
+                let v: f64 = value.trim().parse().map_err(|_| bad("fraction"))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(bad("fraction (want 0..=1)"));
+                }
+                Ok(v)
+            };
             match key.trim() {
-                "kill" => {
-                    let v: f64 = value.trim().parse().map_err(|_| bad("fraction"))?;
-                    if !(0.0..=1.0).contains(&v) {
-                        return Err(bad("fraction (want 0..=1)"));
-                    }
-                    out.kill = v;
-                }
-                "stall" => {
-                    let v: f64 = value.trim().parse().map_err(|_| bad("fraction"))?;
-                    if !(0.0..=1.0).contains(&v) {
-                        return Err(bad("fraction (want 0..=1)"));
-                    }
-                    out.stall = v;
-                }
+                "kill" => out.kill = frac(value)?,
+                "stall" => out.stall = frac(value)?,
+                "trunc" => out.trunc = frac(value)?,
+                "junk" => out.junk = frac(value)?,
                 "seed" => out.seed = value.trim().parse().map_err(|_| bad("seed"))?,
                 "mtbf" => {
                     let v: f64 = value.trim().parse().map_err(|_| bad("time"))?;
@@ -290,10 +302,10 @@ impl ChaosSpec {
                 other => return Err(format!("unknown chaos spec key `{other}`")),
             }
         }
-        if out.kill + out.stall > 1.0 {
+        let victims = out.kill + out.stall + out.trunc + out.junk;
+        if victims > 1.0 {
             return Err(format!(
-                "kill + stall = {} selects more victims than workers",
-                out.kill + out.stall
+                "kill + stall + trunc + junk = {victims} selects more victims than workers"
             ));
         }
         if out.mtbf.is_some() != out.mttr.is_some() {
@@ -352,6 +364,8 @@ mod tests {
             ChaosSpec {
                 kill: 0.25,
                 stall: 0.25,
+                trunc: 0.0,
+                junk: 0.0,
                 seed: 7,
                 mtbf: Some(40.0),
                 mttr: Some(8.0),
@@ -360,6 +374,9 @@ mod tests {
         let minimal = ChaosSpec::parse("kill=0.5").expect("valid");
         assert_eq!(minimal.kill, 0.5);
         assert_eq!(minimal.seed, 1);
+        let net = ChaosSpec::parse("kill=0.2,trunc=0.2,junk=0.2,seed=3").expect("valid");
+        assert_eq!(net.trunc, 0.2);
+        assert_eq!(net.junk, 0.2);
     }
 
     #[test]
@@ -373,6 +390,9 @@ mod tests {
             "seed=abc",
             "bogus=1",
             "kill=0.6,stall=0.6",
+            "kill=0.4,stall=0.3,trunc=0.3,junk=0.3",
+            "trunc=2",
+            "junk=nope",
             "mtbf=40",
             "mttr=0",
         ] {

@@ -54,6 +54,7 @@ mod central;
 pub mod chaos;
 pub mod lease;
 pub mod loadgen;
+pub mod net;
 mod omega;
 mod sbus;
 mod shard;

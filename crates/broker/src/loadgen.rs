@@ -276,8 +276,17 @@ pub struct SaturatedChaosReport {
 #[derive(Debug)]
 pub struct Ledger {
     slots: Vec<AtomicU64>,
+    /// Attribution tags, parallel to `slots`: an opaque caller-packed word
+    /// (the networked front-end packs `(tenant, connection id)`) recorded
+    /// alongside each claim. [`NO_TAG`] when vacant. Tags are bookkeeping,
+    /// not the exclusivity check — `slots` alone decides violations — so a
+    /// racing reader sees at worst a stale tag, never a false violation.
+    tags: Vec<AtomicU64>,
     violations: AtomicU64,
 }
+
+/// Tag value of a vacant slot.
+pub const NO_TAG: u64 = u64::MAX;
 
 impl Ledger {
     /// A ledger for `resources` slots, all vacant.
@@ -285,27 +294,58 @@ impl Ledger {
     pub fn new(resources: usize) -> Self {
         Ledger {
             slots: (0..resources).map(|_| AtomicU64::new(VACANT)).collect(),
+            tags: (0..resources).map(|_| AtomicU64::new(NO_TAG)).collect(),
             violations: AtomicU64::new(0),
         }
     }
 
     /// Records that `who` was granted `resource`.
     pub fn claim(&self, resource: usize, who: WorkerId) {
+        self.claim_tagged(resource, who, who as u64);
+    }
+
+    /// Records that `who` was granted `resource`, attributed to `tag` (an
+    /// opaque word; the net layer packs `(tenant, connection id)` so audits
+    /// can distinguish a reclaim-then-regrant to a *new* connection from a
+    /// double grant to a dead one). The thread-local load generators tag
+    /// with the worker id.
+    pub fn claim_tagged(&self, resource: usize, who: WorkerId, tag: u64) {
         if self.slots[resource]
             .compare_exchange(VACANT, who as u64, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.tags[resource].store(tag, Ordering::Release);
+        }
+    }
+
+    /// Records that `who` released `resource`.
+    pub fn vacate(&self, resource: usize, who: WorkerId) {
+        // Clear the tag before freeing the slot: once the CAS lands another
+        // claimant may retag immediately, and a late store from this side
+        // would misattribute the new holder.
+        self.tags[resource].store(NO_TAG, Ordering::Release);
+        if self.slots[resource]
+            .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
             .is_err()
         {
             self.violations.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Records that `who` released `resource`.
-    pub fn vacate(&self, resource: usize, who: WorkerId) {
-        if self.slots[resource]
-            .compare_exchange(who as u64, VACANT, Ordering::AcqRel, Ordering::Relaxed)
-            .is_err()
-        {
-            self.violations.fetch_add(1, Ordering::Relaxed);
+    /// The attribution tag of `resource`'s current holder, or `None` when
+    /// vacant. Advisory: concurrent claim/vacate can race the two loads, so
+    /// callers treat this as a diagnostic snapshot, not a synchronization
+    /// primitive.
+    #[must_use]
+    pub fn tag(&self, resource: usize) -> Option<u64> {
+        if self.slots[resource].load(Ordering::Acquire) == VACANT {
+            return None;
+        }
+        match self.tags[resource].load(Ordering::Acquire) {
+            NO_TAG => None,
+            t => Some(t),
         }
     }
 

@@ -1,0 +1,274 @@
+//! Seeded connection-level chaos for the networked broker: the wire twin
+//! of [`ChaosPlan`](crate::ChaosPlan).
+//!
+//! Where the in-process plan makes threads panic or stall, this one makes
+//! *connections* misbehave, covering the four failure shapes a serving
+//! stack actually meets: abrupt close mid-grant (fail-stop client death),
+//! half-open stalls (client alive at TCP level, silent at protocol level,
+//! squatting on a grant past its lease), truncated frames (death mid-
+//! write), and byte garbage (corruption, confusion, or malice). The load
+//! harness executes the plan from the client side; the server under test
+//! must shed, reclaim, and keep serving the healthy tenants — the
+//! assertions live in `tests/net.rs` and the CI net-smoke job.
+//!
+//! Plans are inert data, fully deterministic in their seed, with disjoint
+//! victims — the same contract as the thread-chaos plan, so a spec like
+//! `kill=0.25,trunc=0.125,seed=7` reproduces exactly.
+
+use crate::chaos::ChaosSpec;
+use rsin_des::SimRng;
+use std::time::Duration;
+
+/// What a chosen connection does to the server, once, at its scheduled
+/// time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnChaos {
+    /// Close the socket abruptly while holding a grant: no release, no
+    /// goodbye. The server's disconnect path must reclaim the grant.
+    Reset,
+    /// Go silent while holding a grant for the given wall interval — a
+    /// half-open connection the reactor cannot distinguish from a slow
+    /// client. Only the lease supervisor can reclaim it; the client's
+    /// eventual release must land harmlessly stale.
+    Stall(Duration),
+    /// Write a truncated frame, then close. Exercises the decoder's
+    /// partial-frame buffering and the disconnect reclaim together.
+    Truncate,
+    /// Write seeded byte garbage mid-stream. The server must classify it
+    /// as a typed protocol error and drop the connection.
+    Junk,
+}
+
+/// One scheduled connection misbehavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetChaosEvent {
+    /// Wall-clock offset into the run at which the client misbehaves on
+    /// its next grant.
+    pub at: Duration,
+    /// Victim client index, `0 .. clients`.
+    pub client: usize,
+    /// What it does.
+    pub kind: ConnChaos,
+}
+
+/// A seeded, deterministic schedule of connection misbehavior.
+#[derive(Clone, Debug, Default)]
+pub struct NetChaosPlan {
+    events: Vec<NetChaosEvent>,
+}
+
+impl NetChaosPlan {
+    /// A plan that injects nothing.
+    #[must_use]
+    pub fn new() -> Self {
+        NetChaosPlan::default()
+    }
+
+    /// Adds one event (kept sorted by time).
+    #[must_use]
+    pub fn with(mut self, event: NetChaosEvent) -> Self {
+        self.events.push(event);
+        self.events.sort_by_key(|e| (e.at, e.client));
+        self
+    }
+
+    /// A seeded plan over `clients` connections: `reset`/`stall`/`trunc`/
+    /// `junk` fractions of them (each rounded up, victims disjoint)
+    /// misbehave at uniform times inside `window`; stalls last
+    /// `stall_for`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions sum past 1, the window is empty, or
+    /// `stall_for` is zero.
+    #[must_use]
+    pub fn seeded(
+        seed: u64,
+        clients: usize,
+        fracs: NetChaosFractions,
+        window: (Duration, Duration),
+        stall_for: Duration,
+    ) -> Self {
+        let NetChaosFractions {
+            reset,
+            stall,
+            trunc,
+            junk,
+        } = fracs;
+        for f in [reset, stall, trunc, junk] {
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "chaos fractions must be in [0, 1]"
+            );
+        }
+        assert!(window.0 < window.1, "empty chaos window");
+        assert!(!stall_for.is_zero(), "stall duration must be positive");
+        let count = |f: f64, left: usize| ((clients as f64 * f).ceil() as usize).min(left);
+        let n_reset = count(reset, clients);
+        let n_stall = count(stall, clients - n_reset);
+        let n_trunc = count(trunc, clients - n_reset - n_stall);
+        let n_junk = count(junk, clients - n_reset - n_stall - n_trunc);
+        let total = n_reset + n_stall + n_trunc + n_junk;
+        assert!(
+            total <= clients,
+            "chaos fractions select more victims than clients"
+        );
+        let mut rng = SimRng::new(seed).derive(0xC4A1);
+        let mut victims: Vec<usize> = (0..clients).collect();
+        rng.shuffle(&mut victims);
+        let span = (window.1 - window.0).as_secs_f64();
+        let mut events = Vec::with_capacity(total);
+        for (i, &client) in victims.iter().take(total).enumerate() {
+            let at = window.0 + Duration::from_secs_f64(rng.uniform() * span);
+            let kind = if i < n_reset {
+                ConnChaos::Reset
+            } else if i < n_reset + n_stall {
+                ConnChaos::Stall(stall_for)
+            } else if i < n_reset + n_stall + n_trunc {
+                ConnChaos::Truncate
+            } else {
+                ConnChaos::Junk
+            };
+            events.push(NetChaosEvent { at, client, kind });
+        }
+        events.sort_by_key(|e| (e.at, e.client));
+        NetChaosPlan { events }
+    }
+
+    /// A plan materialized from the flat [`ChaosSpec`] form: `kill` maps
+    /// to [`ConnChaos::Reset`], `stall` to a half-open stall of
+    /// `stall_for`, `trunc` and `junk` to their wire injections.
+    #[must_use]
+    pub fn from_spec(
+        spec: &ChaosSpec,
+        clients: usize,
+        window: (Duration, Duration),
+        stall_for: Duration,
+    ) -> Self {
+        NetChaosPlan::seeded(
+            spec.seed,
+            clients,
+            NetChaosFractions {
+                reset: spec.kill,
+                stall: spec.stall,
+                trunc: spec.trunc,
+                junk: spec.junk,
+            },
+            window,
+            stall_for,
+        )
+    }
+
+    /// All events, sorted by time.
+    #[must_use]
+    pub fn events(&self) -> &[NetChaosEvent] {
+        &self.events
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events aimed at one client, in time order.
+    #[must_use]
+    pub fn for_client(&self, client: usize) -> Vec<NetChaosEvent> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.client == client)
+            .collect()
+    }
+
+    /// Wall offset after which every misbehavior (including stall tails)
+    /// has begun and ended.
+    #[must_use]
+    pub fn horizon(&self) -> Duration {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                ConnChaos::Stall(d) => e.at + d,
+                _ => e.at,
+            })
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Number of events of the given shape.
+    #[must_use]
+    pub fn count(&self, kind: fn(&ConnChaos) -> bool) -> usize {
+        self.events.iter().filter(|e| kind(&e.kind)).count()
+    }
+}
+
+/// Victim fractions of a seeded plan, named so call sites read.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetChaosFractions {
+    /// Fraction of clients that abruptly close mid-grant.
+    pub reset: f64,
+    /// Fraction that go half-open while holding a grant.
+    pub stall: f64,
+    /// Fraction that write a truncated frame then close.
+    pub trunc: f64,
+    /// Fraction that write byte garbage mid-stream.
+    pub junk: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fr(reset: f64, stall: f64, trunc: f64, junk: f64) -> NetChaosFractions {
+        NetChaosFractions {
+            reset,
+            stall,
+            trunc,
+            junk,
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_disjoint_and_sized() {
+        let w = (Duration::from_millis(10), Duration::from_millis(50));
+        let s = Duration::from_millis(5);
+        let p = NetChaosPlan::seeded(7, 12, fr(0.25, 0.125, 0.125, 0.125), w, s);
+        let q = NetChaosPlan::seeded(7, 12, fr(0.25, 0.125, 0.125, 0.125), w, s);
+        assert_eq!(p.events(), q.events(), "same seed, same plan");
+        let r = NetChaosPlan::seeded(8, 12, fr(0.25, 0.125, 0.125, 0.125), w, s);
+        assert_ne!(p.events(), r.events(), "different seed, different plan");
+        assert_eq!(p.count(|k| matches!(k, ConnChaos::Reset)), 3);
+        assert_eq!(p.count(|k| matches!(k, ConnChaos::Stall(_))), 2);
+        assert_eq!(p.count(|k| matches!(k, ConnChaos::Truncate)), 2);
+        assert_eq!(p.count(|k| matches!(k, ConnChaos::Junk)), 2);
+        let mut victims: Vec<_> = p.events().iter().map(|e| e.client).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), p.events().len(), "victims are disjoint");
+        for e in p.events() {
+            assert!(e.at >= w.0 && e.at < w.1);
+        }
+        assert!(p.horizon() >= w.0 && p.horizon() <= w.1 + s);
+    }
+
+    #[test]
+    fn spec_mapping_covers_all_four_shapes() {
+        let spec = ChaosSpec::parse("kill=0.25,stall=0.25,trunc=0.25,junk=0.25,seed=3")
+            .expect("valid spec");
+        let p = NetChaosPlan::from_spec(
+            &spec,
+            8,
+            (Duration::from_millis(1), Duration::from_millis(9)),
+            Duration::from_millis(4),
+        );
+        assert_eq!(p.events().len(), 8);
+        for kind in [
+            |k: &ConnChaos| matches!(k, ConnChaos::Reset),
+            |k: &ConnChaos| matches!(k, ConnChaos::Stall(_)),
+            |k: &ConnChaos| matches!(k, ConnChaos::Truncate),
+            |k: &ConnChaos| matches!(k, ConnChaos::Junk),
+        ] {
+            assert_eq!(p.count(kind), 2);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! `rsin-netbroker` — the networked front-end of the runtime broker.
+//!
+//! ROADMAP item 1's "millions of users" leg: a long-lived TCP server
+//! exposing the allocation disciplines over a compact binary protocol, so
+//! the paper's *distributed* resource sharing is exercised by genuinely
+//! distributed clients rather than threads in one address space. The
+//! stack is hand-rolled on `std` alone, like everything else here.
+//!
+//! Layers, bottom up:
+//!
+//! - [`proto`] — the wire format: 4-byte-header frames, an incremental
+//!   panic-free decoder, typed [`proto::ProtocolError`].
+//! - [`server`] — a nonblocking poll-reactor [`server::NetServer`]
+//!   fronting any [`Broker`](crate::Broker) (one connection = one remote
+//!   worker slot) with per-request deadlines, bounded write backpressure,
+//!   tenant-class admission control, and lease-backed reclamation of
+//!   whatever dead or half-open connections leave behind.
+//! - [`client`] — a blocking [`client::NetClient`] with
+//!   [`rsin_des::RetryPolicy`]-driven reconnect/shed backoff, plus the
+//!   raw-byte chaos hooks.
+//! - [`chaos`] — seeded [`chaos::NetChaosPlan`] connection misbehavior:
+//!   resets, half-open stalls, truncated frames, byte garbage.
+//! - [`load`] — the multi-connection open-loop harness measuring
+//!   p50/p99/p999 grant latency and saturated grants/sec.
+
+pub mod chaos;
+pub mod client;
+pub mod load;
+pub mod proto;
+pub mod server;
+
+pub use chaos::{ConnChaos, NetChaosEvent, NetChaosFractions, NetChaosPlan};
+pub use client::{NetClient, NetError, NetGrant};
+pub use load::{run_net_load, ClientShard, NetLoadConfig, NetLoadReport};
+pub use proto::{Decoder, Frame, ProtocolError, RejectReason};
+pub use server::{
+    attribution_tag, latency_histogram, split_tag, NetCounters, NetServer, NetServerConfig,
+    NetServerReport,
+};

@@ -1,0 +1,501 @@
+//! Wire protocol of the networked broker front-end.
+//!
+//! Frames are tiny and fixed-layout: a 4-byte header
+//! `[MAGIC][kind][len lo][len hi]` followed by `len` payload bytes,
+//! everything little-endian. The request/grant/release vocabulary mirrors
+//! the in-process [`Broker`](crate::Broker) protocol one-to-one, with two
+//! additions a wire needs and a shared-memory call does not: an explicit
+//! per-request deadline (µs, propagated so the server can shed work that
+//! is already dead) and typed rejection reasons for admission control.
+//!
+//! The decoder is incremental and total: feed it arbitrary bytes, pop
+//! complete frames. Every malformed input maps to a typed
+//! [`ProtocolError`] — never a panic, never an unbounded allocation
+//! (lengths beyond [`MAX_PAYLOAD`] are rejected from the header alone,
+//! before any buffering decision). A truncated frame is simply "not yet a
+//! frame" (`Ok(None)`); the error/no-error distinction is what the fuzz
+//! tests in `tests/net.rs` pin down.
+
+use std::fmt;
+
+/// First byte of every frame. Chosen to be neither ASCII nor 0x00/0xFF so
+/// common garbage (text, zero fill) fails fast.
+pub const MAGIC: u8 = 0xB7;
+
+/// Header bytes before the payload: magic, kind, length (u16 LE).
+pub const HEADER_LEN: usize = 4;
+
+/// Upper bound on any payload length. The largest real frame is 12 bytes;
+/// the slack leaves room for protocol growth while keeping the decoder's
+/// buffering decision trivially bounded.
+pub const MAX_PAYLOAD: usize = 32;
+
+/// Frame kind bytes. Client→server kinds have the high bit clear,
+/// server→client kinds have it set.
+mod kind {
+    pub const REQUEST: u8 = 0x01;
+    pub const RELEASE: u8 = 0x02;
+    pub const GRANT: u8 = 0x81;
+    pub const REJECT: u8 = 0x82;
+    pub const RELEASED: u8 = 0x83;
+}
+
+/// Why the server refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The request's deadline passed before arbitration (shed pre-grant).
+    Expired,
+    /// Admission control shed this tenant class under overload.
+    Shed,
+    /// Per-connection pipeline depth exceeded.
+    Busy,
+    /// The server is shutting down.
+    Stopping,
+}
+
+impl RejectReason {
+    fn to_u8(self) -> u8 {
+        match self {
+            RejectReason::Expired => 0,
+            RejectReason::Shed => 1,
+            RejectReason::Busy => 2,
+            RejectReason::Stopping => 3,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => RejectReason::Expired,
+            1 => RejectReason::Shed,
+            2 => RejectReason::Busy,
+            3 => RejectReason::Stopping,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded protocol frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Client asks for one resource. `deadline_us` is the client's grant
+    /// deadline in microseconds from receipt (0 = none); the server sheds
+    /// the request unanswered-by-grant once it passes.
+    Request {
+        /// Client-chosen correlation id, echoed in the reply.
+        req_id: u32,
+        /// Tenant class, 0 = highest priority.
+        tenant: u8,
+        /// Deadline in µs from server receipt; 0 means no deadline.
+        deadline_us: u32,
+    },
+    /// Client returns a granted resource.
+    Release {
+        /// Correlation id of the release itself.
+        req_id: u32,
+        /// The granted resource index.
+        resource: u32,
+        /// The grant's lease generation (stale generations are refused
+        /// harmlessly server-side).
+        generation: u32,
+    },
+    /// Server grants a resource for an earlier `Request`.
+    Grant {
+        /// Correlation id of the request being answered.
+        req_id: u32,
+        /// Granted resource index.
+        resource: u32,
+        /// Lease generation the client must echo in its `Release`.
+        generation: u32,
+    },
+    /// Server refuses a request.
+    Reject {
+        /// Correlation id of the request being refused.
+        req_id: u32,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Server acknowledges a `Release`. `live` is false when the grant had
+    /// already been reclaimed (the release landed stale — harmless).
+    Released {
+        /// Correlation id of the release being acknowledged.
+        req_id: u32,
+        /// Whether the released grant was still live.
+        live: bool,
+    },
+}
+
+/// A malformed byte stream, classified. Every variant is a hard framing
+/// error: the connection cannot be resynchronized (frame boundaries are
+/// lost), so servers drop the peer on any of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The first byte of a frame was not [`MAGIC`].
+    BadMagic(u8),
+    /// The header announced a payload longer than [`MAX_PAYLOAD`].
+    Oversized {
+        /// Announced payload length.
+        len: u16,
+    },
+    /// The kind byte is not part of the protocol.
+    UnknownKind(u8),
+    /// A known kind with the wrong payload length.
+    BadLength {
+        /// Frame kind byte.
+        kind: u8,
+        /// Announced payload length.
+        len: u16,
+        /// The length this kind requires.
+        want: u16,
+    },
+    /// A structurally sized payload with an invalid field (unknown reject
+    /// reason, non-boolean live byte).
+    BadPayload {
+        /// Frame kind byte.
+        kind: u8,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadMagic(b) => write!(f, "bad frame magic 0x{b:02x}"),
+            ProtocolError::Oversized { len } => {
+                write!(f, "payload length {len} exceeds {MAX_PAYLOAD}")
+            }
+            ProtocolError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            ProtocolError::BadLength { kind, len, want } => {
+                write!(f, "kind 0x{kind:02x} payload length {len}, want {want}")
+            }
+            ProtocolError::BadPayload { kind } => {
+                write!(f, "kind 0x{kind:02x} payload has an invalid field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Appends the encoding of `frame` to `out`.
+pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    let (k, len) = match frame {
+        Frame::Request { .. } => (kind::REQUEST, 9u16),
+        Frame::Release { .. } => (kind::RELEASE, 12),
+        Frame::Grant { .. } => (kind::GRANT, 12),
+        Frame::Reject { .. } => (kind::REJECT, 5),
+        Frame::Released { .. } => (kind::RELEASED, 5),
+    };
+    out.push(MAGIC);
+    out.push(k);
+    out.extend_from_slice(&len.to_le_bytes());
+    match *frame {
+        Frame::Request {
+            req_id,
+            tenant,
+            deadline_us,
+        } => {
+            put_u32(out, req_id);
+            out.push(tenant);
+            put_u32(out, deadline_us);
+        }
+        Frame::Release {
+            req_id,
+            resource,
+            generation,
+        }
+        | Frame::Grant {
+            req_id,
+            resource,
+            generation,
+        } => {
+            put_u32(out, req_id);
+            put_u32(out, resource);
+            put_u32(out, generation);
+        }
+        Frame::Reject { req_id, reason } => {
+            put_u32(out, req_id);
+            out.push(reason.to_u8());
+        }
+        Frame::Released { req_id, live } => {
+            put_u32(out, req_id);
+            out.push(u8::from(live));
+        }
+    }
+}
+
+/// The payload length each kind requires, or `None` for unknown kinds.
+fn want_len(k: u8) -> Option<u16> {
+    Some(match k {
+        kind::REQUEST => 9,
+        kind::RELEASE | kind::GRANT => 12,
+        kind::REJECT | kind::RELEASED => 5,
+        _ => return None,
+    })
+}
+
+fn parse_payload(k: u8, p: &[u8]) -> Result<Frame, ProtocolError> {
+    Ok(match k {
+        kind::REQUEST => Frame::Request {
+            req_id: get_u32(p),
+            tenant: p[4],
+            deadline_us: get_u32(&p[5..]),
+        },
+        kind::RELEASE => Frame::Release {
+            req_id: get_u32(p),
+            resource: get_u32(&p[4..]),
+            generation: get_u32(&p[8..]),
+        },
+        kind::GRANT => Frame::Grant {
+            req_id: get_u32(p),
+            resource: get_u32(&p[4..]),
+            generation: get_u32(&p[8..]),
+        },
+        kind::REJECT => Frame::Reject {
+            req_id: get_u32(p),
+            reason: RejectReason::from_u8(p[4]).ok_or(ProtocolError::BadPayload { kind: k })?,
+        },
+        kind::RELEASED => Frame::Released {
+            req_id: get_u32(p),
+            live: match p[4] {
+                0 => false,
+                1 => true,
+                _ => return Err(ProtocolError::BadPayload { kind: k }),
+            },
+        },
+        _ => unreachable!("kind validated by want_len"),
+    })
+}
+
+/// Incremental frame decoder: buffer bytes as they arrive, pop complete
+/// frames. A poisoned decoder (one that returned an error) keeps returning
+/// the same error — framing is unrecoverable, the caller must drop the
+/// connection.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    start: usize,
+    poisoned: Option<ProtocolError>,
+}
+
+impl Decoder {
+    /// A fresh decoder with nothing buffered.
+    #[must_use]
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Buffers `bytes` for decoding.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete frame: `Ok(None)` means "need more bytes"
+    /// (a truncated frame is not an error until the stream ends), a
+    /// [`ProtocolError`] means the stream is unframeable from here on.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtocolError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        match self.next_inner() {
+            Ok(f) => Ok(f),
+            Err(e) => {
+                self.poisoned = Some(e);
+                Err(e)
+            }
+        }
+    }
+
+    fn next_inner(&mut self) -> Result<Option<Frame>, ProtocolError> {
+        let avail = &self.buf[self.start..];
+        if avail.is_empty() {
+            self.compact();
+            return Ok(None);
+        }
+        // Validate greedily from the bytes already here, so garbage is
+        // reported as soon as it is distinguishable from a slow frame.
+        if avail[0] != MAGIC {
+            return Err(ProtocolError::BadMagic(avail[0]));
+        }
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let k = avail[1];
+        let len = u16::from_le_bytes([avail[2], avail[3]]);
+        if len as usize > MAX_PAYLOAD {
+            return Err(ProtocolError::Oversized { len });
+        }
+        let want = want_len(k).ok_or(ProtocolError::UnknownKind(k))?;
+        if len != want {
+            return Err(ProtocolError::BadLength { kind: k, len, want });
+        }
+        if avail.len() < HEADER_LEN + len as usize {
+            return Ok(None);
+        }
+        let frame = parse_payload(k, &avail[HEADER_LEN..HEADER_LEN + len as usize])?;
+        self.start += HEADER_LEN + len as usize;
+        self.compact();
+        Ok(Some(frame))
+    }
+
+    /// Reclaims consumed prefix space once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Request {
+                req_id: 7,
+                tenant: 2,
+                deadline_us: 1500,
+            },
+            Frame::Release {
+                req_id: 8,
+                resource: 3,
+                generation: 41,
+            },
+            Frame::Grant {
+                req_id: 7,
+                resource: 3,
+                generation: 41,
+            },
+            Frame::Reject {
+                req_id: 9,
+                reason: RejectReason::Shed,
+            },
+            Frame::Released {
+                req_id: 8,
+                live: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        for f in all_frames() {
+            let mut bytes = Vec::new();
+            encode(&f, &mut bytes);
+            let mut d = Decoder::new();
+            d.feed(&bytes);
+            assert_eq!(d.next_frame().expect("valid"), Some(f));
+            assert_eq!(d.next_frame().expect("drained"), None);
+            assert_eq!(d.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_feed_yields_the_same_frames() {
+        let mut stream = Vec::new();
+        for f in all_frames() {
+            encode(&f, &mut stream);
+        }
+        let mut d = Decoder::new();
+        let mut out = Vec::new();
+        for b in stream {
+            d.feed(&[b]);
+            while let Some(f) = d.next_frame().expect("valid stream") {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, all_frames());
+    }
+
+    #[test]
+    fn truncation_is_not_an_error_until_completed() {
+        let mut bytes = Vec::new();
+        encode(
+            &Frame::Grant {
+                req_id: 1,
+                resource: 2,
+                generation: 3,
+            },
+            &mut bytes,
+        );
+        for cut in 0..bytes.len() {
+            let mut d = Decoder::new();
+            d.feed(&bytes[..cut]);
+            assert_eq!(d.next_frame().expect("prefix is never an error"), None);
+            d.feed(&bytes[cut..]);
+            assert!(d.next_frame().expect("completed").is_some());
+        }
+    }
+
+    #[test]
+    fn typed_errors_for_garbage_oversize_and_bad_fields() {
+        let mut d = Decoder::new();
+        d.feed(&[0x00]);
+        assert_eq!(d.next_frame(), Err(ProtocolError::BadMagic(0x00)));
+        // Poisoned decoders stay poisoned.
+        d.feed(&{
+            let mut v = Vec::new();
+            encode(
+                &Frame::Released {
+                    req_id: 1,
+                    live: false,
+                },
+                &mut v,
+            );
+            v
+        });
+        assert_eq!(d.next_frame(), Err(ProtocolError::BadMagic(0x00)));
+
+        let mut d = Decoder::new();
+        d.feed(&[MAGIC, 0x01, 0xFF, 0xFF]);
+        assert_eq!(
+            d.next_frame(),
+            Err(ProtocolError::Oversized { len: 0xFFFF })
+        );
+
+        let mut d = Decoder::new();
+        d.feed(&[MAGIC, 0x7E, 4, 0]);
+        assert_eq!(d.next_frame(), Err(ProtocolError::UnknownKind(0x7E)));
+
+        let mut d = Decoder::new();
+        d.feed(&[MAGIC, 0x01, 8, 0]);
+        assert_eq!(
+            d.next_frame(),
+            Err(ProtocolError::BadLength {
+                kind: 0x01,
+                len: 8,
+                want: 9
+            })
+        );
+
+        // Reject with an unknown reason byte.
+        let mut d = Decoder::new();
+        d.feed(&[MAGIC, 0x82, 5, 0, 1, 0, 0, 0, 99]);
+        assert_eq!(
+            d.next_frame(),
+            Err(ProtocolError::BadPayload { kind: 0x82 })
+        );
+
+        // Released with a non-boolean live byte.
+        let mut d = Decoder::new();
+        d.feed(&[MAGIC, 0x83, 5, 0, 1, 0, 0, 0, 2]);
+        assert_eq!(
+            d.next_frame(),
+            Err(ProtocolError::BadPayload { kind: 0x83 })
+        );
+    }
+}

@@ -168,6 +168,28 @@ impl RetryPolicy {
             hard_deadline: None,
         }
     }
+
+    /// The backoff before retry number `retry` (1-based): `base · 2^(retry-1)`
+    /// capped at [`RetryPolicy::backoff_cap`], scaled by a deterministic
+    /// jitter factor in `[0.5, 1.0]` drawn from the policy's jitter stream.
+    /// Pure in `(self, retry)`, so replays reproduce the schedule exactly.
+    ///
+    /// Public so other retry loops (the networked broker client's
+    /// reconnect/shed-retry path) reuse the same capped-jittered discipline
+    /// instead of growing a second one.
+    #[must_use]
+    pub fn delay_before(&self, retry: u32) -> Duration {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32.checked_shl(retry - 1).unwrap_or(u32::MAX))
+            .min(self.backoff_cap);
+        let jitter = 0.5
+            + 0.5
+                * SimRng::new(self.jitter_seed)
+                    .derive(u64::from(retry))
+                    .uniform();
+        exp.mul_f64(jitter)
+    }
 }
 
 /// The outcome of a [`run_supervised`] call.
@@ -206,21 +228,11 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// The backoff before retry number `retry` (1-based): `base · 2^(retry-1)`
-/// capped at `cap`, scaled by a deterministic jitter factor in `[0.5, 1.0]`
-/// drawn from the policy's jitter stream. Pure in `(policy, retry)`.
+/// The backoff before retry number `retry` (1-based). See
+/// [`RetryPolicy::delay_before`].
 #[must_use]
 fn backoff_delay(policy: &RetryPolicy, retry: u32) -> Duration {
-    let exp = policy
-        .backoff_base
-        .saturating_mul(1u32.checked_shl(retry - 1).unwrap_or(u32::MAX))
-        .min(policy.backoff_cap);
-    let jitter = 0.5
-        + 0.5
-            * SimRng::new(policy.jitter_seed)
-                .derive(u64::from(retry))
-                .uniform();
-    exp.mul_f64(jitter)
+    policy.delay_before(retry)
 }
 
 /// Runs `f` under supervision: panics are caught per attempt, attempts that
