@@ -29,6 +29,7 @@ use rsin_bench::perfgate::{
     self, KernelCheck, LegStatus, ParallelLeg, ScalingPoint, ScalingStatus, SuiteTimings, Verdict,
     REGRESSION_TOLERANCE, WARM_START_TOLERANCE,
 };
+use rsin_bench::provision_bench;
 use rsin_bench::suite::run_suite;
 use rsin_bench::RunQuality;
 use rsin_bitslice::{or_pairs_compress, rotating_grant, set_bit, swap_or, tile_double};
@@ -743,6 +744,8 @@ fn main() {
     let scaling_points = broker_scaling(cores);
     eprintln!("measuring networked front-end loopback throughput ...");
     let (net_p50, net_p99, net_p999, net_gps) = netbroker_perf();
+    eprintln!("running the provisioning-search probe ...");
+    let (prov_secs, prov_report) = provision_bench::perf_section();
 
     let path = baseline_path();
     let regressed = if check {
@@ -811,6 +814,34 @@ fn main() {
          \"p999\": {net_p999:.0} }},\n"
     ));
     json.push_str(&format!("    \"saturated_grants_per_sec\": {net_gps:.0}\n"));
+    json.push_str("  },\n");
+    // Informational only (not gated): search wall time varies by host; the
+    // counters describe the optimizer's pruning and caching behavior on a
+    // fixed 16-processor shared-bus probe.
+    json.push_str("  \"provisioning\": {\n");
+    json.push_str("    \"probe\": \"p=16 sbus-only quick search\",\n");
+    json.push_str(&format!("    \"search_wall_seconds\": {prov_secs:.3},\n"));
+    json.push_str(&format!(
+        "    \"configs_enumerated\": {},\n",
+        prov_report.total_configs
+    ));
+    json.push_str(&format!(
+        "    \"configs_evaluated\": {},\n",
+        prov_report.evaluated
+    ));
+    json.push_str(&format!(
+        "    \"pruned_fraction\": {:.3},\n",
+        prov_report.pruned_fraction()
+    ));
+    let (prov_hits, prov_misses) = (prov_report.cache_hits, prov_report.cache_misses);
+    let prov_hit_rate = if prov_hits + prov_misses == 0 {
+        0.0
+    } else {
+        prov_hits as f64 / (prov_hits + prov_misses) as f64
+    };
+    json.push_str(&format!(
+        "    \"solver_cache_hit_rate\": {prov_hit_rate:.3}\n"
+    ));
     json.push_str("  },\n");
     json.push_str("  \"kernels_ns_per_iter\": {\n");
     for (i, (name, ns)) in kernel_rows.iter().enumerate() {

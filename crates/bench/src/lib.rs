@@ -17,6 +17,7 @@
 //! | `mapping_example` | the Section II blocking example |
 //! | `ablation_arbiter` / `ablation_stagger` | design-choice ablations |
 //! | `broker_bench` | runtime-broker sweep cross-checked against the models |
+//! | `provision` | cost-aware provisioning search over the config space |
 //! | `all` | everything above in sequence |
 //!
 //! Micro-benchmarks (`cargo bench -p rsin-bench`, built on the in-tree
@@ -38,6 +39,7 @@ pub mod microbench;
 pub mod netbench;
 pub mod output;
 pub mod perfgate;
+pub mod provision_bench;
 pub mod quality;
 pub mod resilience;
 pub mod suite;

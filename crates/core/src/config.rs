@@ -114,9 +114,24 @@ impl SystemConfig {
         if resources_per_port == 0 {
             return fail("resources per port must be positive".into());
         }
-        if networks * inputs != processors {
+        // All derived products are validated here with checked arithmetic so
+        // the accessors below can multiply plain u32s: provisioning sweeps
+        // push p into the thousands (and enumerate far wilder shapes), and a
+        // wrapped product must be a typed error, never a silently aliased
+        // dimension.
+        if networks.checked_mul(inputs) != Some(processors) {
             return fail(format!(
                 "p = i*j must hold: {networks}*{inputs} != {processors}"
+            ));
+        }
+        if networks
+            .checked_mul(outputs)
+            .and_then(|ports| ports.checked_mul(resources_per_port))
+            .is_none()
+        {
+            return fail(format!(
+                "total resources i*k*r = {networks}*{outputs}*{resources_per_port} \
+                 overflows u32"
             ));
         }
         match kind {
@@ -286,6 +301,32 @@ mod tests {
         assert!(SystemConfig::new(16, 1, NetworkKind::Omega, 16, 32, 1).is_err());
         assert!(SystemConfig::new(12, 2, NetworkKind::Omega, 6, 6, 1).is_err());
         assert!(SystemConfig::new(16, 1, NetworkKind::Cube, 16, 16, 2).is_ok());
+    }
+
+    #[test]
+    fn rejects_overflowing_dimension_products() {
+        // i*j wraps u32: 2^16 networks of 2^16 inputs is 2^32 processors.
+        assert!(SystemConfig::new(0, 1 << 16, NetworkKind::Crossbar, 1 << 16, 1, 1).is_err());
+        // i*j fits but i*k*r wraps u32.
+        let cfg = SystemConfig::new(1 << 16, 1 << 16, NetworkKind::Crossbar, 1, 1 << 15, 1 << 2);
+        assert!(matches!(cfg, Err(ConfigError::Invalid { ref what }) if what.contains("overflow")));
+        // The same shape with a small r is fine, and the totals are exact.
+        let ok = SystemConfig::new(1 << 16, 1 << 16, NetworkKind::Crossbar, 1, 2, 2)
+            .expect("large but in-range config");
+        assert_eq!(ok.total_resources(), 1 << 18);
+        assert_eq!(ok.total_ports(), 1 << 17);
+    }
+
+    #[test]
+    fn thousands_of_processors_roundtrip() {
+        for s in [
+            "1024/1024x1x1 SBUS/2",
+            "4096/64x64x64 XBAR/1",
+            "2048/2x1024x1024 OMEGA/2",
+        ] {
+            let cfg: SystemConfig = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(cfg.to_string(), s);
+        }
     }
 
     #[test]

@@ -76,6 +76,16 @@ pub enum HarnessError {
         /// What was wrong with it.
         what: String,
     },
+    /// A task's derived configuration was invalid — the harness-side wrap
+    /// of [`ConfigError`] for drivers (like the provisioning sweep) that
+    /// build model configurations per leg at run time.
+    Config(ConfigError),
+}
+
+impl From<ConfigError> for HarnessError {
+    fn from(e: ConfigError) -> Self {
+        HarnessError::Config(e)
+    }
 }
 
 impl fmt::Display for HarnessError {
@@ -104,6 +114,7 @@ impl fmt::Display for HarnessError {
                 f,
                 "resume manifest {path} is unusable ({what}); rerun without --resume to rebuild it"
             ),
+            HarnessError::Config(e) => write!(f, "{e}"),
         }
     }
 }
@@ -156,5 +167,9 @@ mod tests {
             attempts: 2,
         };
         assert!(e.to_string().contains("500ms"));
+        let e = HarnessError::from(ConfigError::Invalid {
+            what: "2p overflows".into(),
+        });
+        assert!(e.to_string().contains("2p overflows"));
     }
 }

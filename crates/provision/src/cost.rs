@@ -1,0 +1,182 @@
+//! The hardware cost model behind the paper's cost-effectiveness framing.
+//!
+//! Section VI weighs `COST_net` against `COST_res` without committing to
+//! absolute units; this module makes the comparison computable. Network
+//! hardware is counted in two structural units:
+//!
+//! * **Switch points** — active crosspoints. A `j×k` crossbar has `j·k`
+//!   (Table I cells); a square Omega/Cube fabric of size `j` has
+//!   `(j/2)·log2 j` interchange boxes of 4 switch points each, i.e.
+//!   `2·j·log2 j` — the `O(N log N)` vs `O(N²)` hardware argument the
+//!   paper's Section V makes. A multi-lane fabric duplicates its box
+//!   datapaths per lane.
+//! * **Bus taps** — passive connections to a time-shared bus: `j + 1` per
+//!   bus (its processors plus the resource pool port).
+//!
+//! Resources and processors carry their own unit costs. All four unit
+//! prices are user-overridable; the defaults put one resource at 8 switch
+//! points, the regime the paper's reference comparison (and Table II's
+//! middle rows) lives in.
+
+use crate::topo::CandidateTopology;
+use rsin_core::NetworkKind;
+
+/// Structural hardware counts of a candidate, in the two network units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hardware {
+    /// Active crosspoints (crossbar cells, interchange-box points).
+    pub switch_points: u64,
+    /// Passive bus taps.
+    pub bus_taps: u64,
+}
+
+/// Counts the network hardware of a candidate topology.
+#[must_use]
+pub fn hardware(topo: &CandidateTopology) -> Hardware {
+    match topo {
+        CandidateTopology::Classic(c) => {
+            let i = u64::from(c.networks());
+            let j = u64::from(c.inputs());
+            let k = u64::from(c.outputs());
+            match c.kind() {
+                NetworkKind::SharedBus => Hardware {
+                    switch_points: 0,
+                    bus_taps: i * (j + 1),
+                },
+                NetworkKind::Crossbar => Hardware {
+                    switch_points: i * j * k,
+                    bus_taps: 0,
+                },
+                NetworkKind::Omega | NetworkKind::Cube => Hardware {
+                    switch_points: i * 2 * j * u64::from(j.trailing_zeros()),
+                    bus_taps: 0,
+                },
+            }
+        }
+        CandidateTopology::Clustered(c) => {
+            let clusters = u64::from(c.clusters());
+            let jc = u64::from(c.cluster_inputs());
+            let u = u64::from(c.uplinks());
+            let s = u64::from(c.core_size());
+            Hardware {
+                switch_points: clusters * jc * u + 2 * s * u64::from(s.trailing_zeros()),
+                bus_taps: 0,
+            }
+        }
+        CandidateTopology::MultiLane(m) => {
+            let i = u64::from(m.networks());
+            let j = u64::from(m.size());
+            let lanes = u64::from(m.lanes());
+            Hardware {
+                switch_points: i * lanes * 2 * j * u64::from(j.trailing_zeros()),
+                bus_taps: 0,
+            }
+        }
+    }
+}
+
+/// Unit prices combining hardware counts into one scalar cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Price of one active switch point.
+    pub per_switch_point: f64,
+    /// Price of one passive bus tap.
+    pub per_bus_tap: f64,
+    /// Price of one resource.
+    pub per_resource: f64,
+    /// Price of one processor (usually 0: `p` is fixed per search, so it
+    /// shifts every candidate equally).
+    pub per_processor: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_switch_point: 1.0,
+            per_bus_tap: 1.0,
+            per_resource: 8.0,
+            per_processor: 0.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total cost of a candidate under these unit prices.
+    #[must_use]
+    pub fn cost(&self, topo: &CandidateTopology) -> f64 {
+        let hw = hardware(topo);
+        hw.switch_points as f64 * self.per_switch_point
+            + hw.bus_taps as f64 * self.per_bus_tap
+            + f64::from(topo.total_resources()) * self.per_resource
+            + f64::from(topo.processors()) * self.per_processor
+    }
+
+    /// Validates that every unit price is finite and non-negative.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        [
+            self.per_switch_point,
+            self.per_bus_tap,
+            self.per_resource,
+            self.per_processor,
+        ]
+        .iter()
+        .all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{classic, ClusteredXbar, MultiLaneOmega};
+
+    #[test]
+    fn table_counts_match_the_paper_classes() {
+        // 16 private buses: 16 * (1 + 1) taps, no switch points.
+        let sbus = classic(16, 16, NetworkKind::SharedBus, 1, 1, 2).expect("valid");
+        assert_eq!(
+            hardware(&sbus),
+            Hardware {
+                switch_points: 0,
+                bus_taps: 32
+            }
+        );
+        // One 16x32 crossbar: 512 cells.
+        let xbar = classic(16, 1, NetworkKind::Crossbar, 16, 32, 1).expect("valid");
+        assert_eq!(hardware(&xbar).switch_points, 512);
+        // One 16x16 Omega: (16/2)*4 boxes * 4 points = 2*16*4 = 128 —
+        // the O(N log N) count that undercuts the crossbar's O(N^2).
+        let omega = classic(16, 1, NetworkKind::Omega, 16, 16, 2).expect("valid");
+        assert_eq!(hardware(&omega).switch_points, 128);
+        assert!(hardware(&omega).switch_points < hardware(&xbar).switch_points);
+    }
+
+    #[test]
+    fn composites_count_both_layers() {
+        // 4 clusters of 8x4 crossbars (128 cells) + 16-port core (128).
+        let clx = CandidateTopology::Clustered(ClusteredXbar::new(4, 8, 4, 2).expect("valid"));
+        assert_eq!(hardware(&clx).switch_points, 128 + 128);
+        // Two lanes double the fabric.
+        let one = CandidateTopology::MultiLane(MultiLaneOmega::new(1, 16, 1, 2).expect("valid"));
+        let two = CandidateTopology::MultiLane(MultiLaneOmega::new(1, 16, 2, 2).expect("valid"));
+        assert_eq!(
+            hardware(&two).switch_points,
+            2 * hardware(&one).switch_points
+        );
+    }
+
+    #[test]
+    fn default_model_prices_resources_above_switch_points() {
+        let m = CostModel::default();
+        assert!(m.is_valid());
+        let omega = classic(16, 1, NetworkKind::Omega, 16, 16, 2).expect("valid");
+        let xbar = classic(16, 1, NetworkKind::Crossbar, 16, 32, 1).expect("valid");
+        // Equal resource totals: the cheaper fabric decides.
+        assert!(m.cost(&omega) < m.cost(&xbar));
+        assert!(!CostModel {
+            per_resource: f64::NAN,
+            ..m
+        }
+        .is_valid());
+    }
+}

@@ -1,0 +1,530 @@
+//! DES models of the composite topologies — the simulation fallback the
+//! SLO evaluator uses where no analytic chain exists.
+//!
+//! Both models implement [`ResourceNetwork`] over link-level circuit
+//! switching on an [`OmegaTopology`]: a request claims every interstage
+//! link of its destination-tag route (respecting each link's lane
+//! capacity), holds them through transmission, and releases them when
+//! service begins — the same lifecycle the classic Omega model follows,
+//! with two structural twists:
+//!
+//! * [`ClusteredXbarNet`] concentrates `j_c` processors per cluster onto
+//!   `u` uplink trunks through a nonblocking crossbar, so at most `u`
+//!   circuits per cluster are in flight and the core fabric is smaller
+//!   than `p`.
+//! * [`MultiLaneOmegaNet`] gives every link a lane capacity > 1, so two
+//!   circuits sharing a link no longer conflict until the lanes fill.
+//!
+//! Scheduling is deterministic (no RNG draws): processors are scanned from
+//! a rotating start each cycle, and each grants the first destination port
+//! with a free resource and a free route, also scanned from a rotating
+//! start. The rotation keeps long-run fairness without consuming
+//! simulation randomness, so replicated runs stay a pure function of the
+//! replication seed.
+
+use crate::topo::{ClusteredXbar, MultiLaneOmega};
+use rsin_core::{Grant, NetworkCounters, ResourceNetwork};
+use rsin_des::SimRng;
+use rsin_topology::{Multistage, OmegaTopology, Route};
+use std::collections::HashMap;
+
+/// Link-occupancy state of one (or several) Omega fabrics, with a lane
+/// capacity per link.
+#[derive(Clone, Debug)]
+struct LinkFabric {
+    topo: OmegaTopology,
+    size: usize,
+    lanes: u8,
+    /// Occupancy per copy, flattened `[stage][wire]`.
+    load: Vec<Vec<u8>>,
+}
+
+impl LinkFabric {
+    fn new(copies: usize, size: usize, lanes: u8) -> Self {
+        let topo = OmegaTopology::new(size).expect("validated power-of-two size");
+        let stages = topo.stages() as usize;
+        LinkFabric {
+            topo,
+            size,
+            lanes,
+            load: vec![vec![0u8; stages * size]; copies],
+        }
+    }
+
+    fn slot(&self, link: rsin_topology::Link) -> usize {
+        link.stage as usize * self.size + link.wire
+    }
+
+    fn route_free(&self, copy: usize, route: &Route) -> bool {
+        route
+            .links
+            .iter()
+            .all(|&l| self.load[copy][self.slot(l)] < self.lanes)
+    }
+
+    fn claim(&mut self, copy: usize, route: &Route) {
+        for &l in &route.links {
+            let s = self.slot(l);
+            self.load[copy][s] += 1;
+        }
+    }
+
+    fn release(&mut self, copy: usize, route: &Route) {
+        for &l in &route.links {
+            let s = self.slot(l);
+            debug_assert!(self.load[copy][s] > 0, "releasing a free link");
+            self.load[copy][s] -= 1;
+        }
+    }
+}
+
+/// One in-flight circuit: where it terminates and what it still holds.
+#[derive(Clone, Debug)]
+struct Circuit {
+    /// Global output port.
+    port: usize,
+    /// Fabric copy the route runs through.
+    copy: usize,
+    /// The held route; emptied once transmission ends (links released).
+    route: Option<Route>,
+    /// Uplink slot held through transmission (clustered model only).
+    uplink: Option<usize>,
+}
+
+/// Shared port-side state: busy counts, fault status, circuits.
+#[derive(Clone, Debug)]
+struct PortPool {
+    resources_per_port: u32,
+    busy: Vec<u32>,
+    up: Vec<bool>,
+}
+
+impl PortPool {
+    fn new(ports: usize, resources_per_port: u32) -> Self {
+        PortPool {
+            resources_per_port,
+            busy: vec![0; ports],
+            up: vec![true; ports],
+        }
+    }
+
+    fn has_free(&self, port: usize) -> bool {
+        self.up[port] && self.busy[port] < self.resources_per_port
+    }
+}
+
+/// Clustered crossbars feeding a shared Omega core (see module docs).
+#[derive(Clone, Debug)]
+pub struct ClusteredXbarNet {
+    spec: ClusteredXbar,
+    fabric: LinkFabric,
+    /// One flag per core input slot; cluster `c` owns
+    /// `[c*u, (c+1)*u)`.
+    uplink_used: Vec<bool>,
+    pool: PortPool,
+    circuits: HashMap<usize, Circuit>,
+    rotate: usize,
+    counters: NetworkCounters,
+}
+
+impl ClusteredXbarNet {
+    /// Builds the network for a validated clustered topology.
+    #[must_use]
+    pub fn new(spec: ClusteredXbar) -> Self {
+        let s = spec.core_size() as usize;
+        ClusteredXbarNet {
+            spec,
+            fabric: LinkFabric::new(1, s, 1),
+            uplink_used: vec![false; s],
+            pool: PortPool::new(s, spec.resources_per_port()),
+            circuits: HashMap::new(),
+            rotate: 0,
+            counters: NetworkCounters::default(),
+        }
+    }
+
+    /// Tries to place one processor's request; returns the grant on
+    /// success.
+    fn try_place(&mut self, processor: usize) -> Option<Grant> {
+        let u = self.spec.uplinks() as usize;
+        let cluster = processor / self.spec.cluster_inputs() as usize;
+        let s = self.spec.core_size() as usize;
+        let base = cluster * u;
+        // The cluster crossbar is nonblocking: any free uplink slot serves.
+        let free_uplinks: Vec<usize> = (base..base + u).filter(|&i| !self.uplink_used[i]).collect();
+        if free_uplinks.is_empty() {
+            return None;
+        }
+        // Scan destinations from the rotating start; for each port with a
+        // free resource, try every free uplink until a route fits.
+        for step in 0..s {
+            let port = (self.rotate + step) % s;
+            if !self.pool.has_free(port) {
+                continue;
+            }
+            for &uplink in &free_uplinks {
+                let route = self.fabric.topo.route(uplink, port);
+                if self.fabric.route_free(0, &route) {
+                    self.fabric.claim(0, &route);
+                    self.counters.boxes_traversed += route.links.len() as u64;
+                    self.uplink_used[uplink] = true;
+                    self.pool.busy[port] += 1;
+                    self.circuits.insert(
+                        processor,
+                        Circuit {
+                            port,
+                            copy: 0,
+                            route: Some(route),
+                            uplink: Some(uplink),
+                        },
+                    );
+                    return Some(Grant { processor, port });
+                }
+            }
+        }
+        None
+    }
+}
+
+impl ResourceNetwork for ClusteredXbarNet {
+    fn processors(&self) -> usize {
+        (self.spec.clusters() * self.spec.cluster_inputs()) as usize
+    }
+
+    fn total_resources(&self) -> usize {
+        (self.spec.core_size() * self.spec.resources_per_port()) as usize
+    }
+
+    fn request_cycle(&mut self, pending: &[bool], _rng: &mut SimRng) -> Vec<Grant> {
+        let p = pending.len();
+        let mut grants = Vec::new();
+        self.rotate = self.rotate.wrapping_add(1);
+        for step in 0..p {
+            let proc = (self.rotate + step) % p;
+            if !pending[proc] || self.circuits.contains_key(&proc) {
+                continue;
+            }
+            self.counters.attempts += 1;
+            match self.try_place(proc) {
+                Some(g) => grants.push(g),
+                None => self.counters.rejections += 1,
+            }
+        }
+        grants
+    }
+
+    fn end_transmission(&mut self, grant: Grant) {
+        let c = self
+            .circuits
+            .get_mut(&grant.processor)
+            .expect("transmission ends on a held circuit");
+        if let Some(route) = c.route.take() {
+            self.fabric.release(c.copy, &route);
+        }
+        if let Some(uplink) = c.uplink.take() {
+            self.uplink_used[uplink] = false;
+        }
+    }
+
+    fn end_service(&mut self, grant: Grant) {
+        let c = self
+            .circuits
+            .remove(&grant.processor)
+            .expect("service ends on a held circuit");
+        // A port failure zeroes its busy count and drops its circuits, so
+        // a straggling end_service for it must not underflow.
+        if self.pool.busy[c.port] > 0 {
+            self.pool.busy[c.port] -= 1;
+        }
+    }
+
+    fn take_counters(&mut self) -> NetworkCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    fn fail_resource(&mut self, port: usize) -> bool {
+        if port >= self.pool.up.len() || !self.pool.up[port] {
+            return false;
+        }
+        self.pool.up[port] = false;
+        self.pool.busy[port] = 0;
+        self.counters.resource_failures += 1;
+        // Drop every circuit terminating at the port, releasing whatever
+        // it still holds; the simulator requeues the casualties.
+        let victims: Vec<usize> = self
+            .circuits
+            .iter()
+            .filter(|(_, c)| c.port == port)
+            .map(|(&p, _)| p)
+            .collect();
+        for v in victims {
+            let c = self.circuits.remove(&v).expect("listed above");
+            if let Some(route) = &c.route {
+                self.fabric.release(c.copy, route);
+            }
+            if let Some(uplink) = c.uplink {
+                self.uplink_used[uplink] = false;
+            }
+        }
+        true
+    }
+
+    fn repair_resource(&mut self, port: usize) -> bool {
+        if port >= self.pool.up.len() || self.pool.up[port] {
+            return false;
+        }
+        self.pool.up[port] = true;
+        self.counters.resource_repairs += 1;
+        true
+    }
+
+    fn label(&self) -> &'static str {
+        "CLX"
+    }
+}
+
+/// A multi-lane Omega fabric (see module docs).
+#[derive(Clone, Debug)]
+pub struct MultiLaneOmegaNet {
+    spec: MultiLaneOmega,
+    fabric: LinkFabric,
+    pool: PortPool,
+    circuits: HashMap<usize, Circuit>,
+    rotate: usize,
+    counters: NetworkCounters,
+}
+
+impl MultiLaneOmegaNet {
+    /// Builds the network for a validated multi-lane topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes > 8` (excluded by the topology's constructor).
+    #[must_use]
+    pub fn new(spec: MultiLaneOmega) -> Self {
+        let size = spec.size() as usize;
+        let copies = spec.networks() as usize;
+        let lanes = u8::try_from(spec.lanes()).expect("lanes validated <= 8");
+        MultiLaneOmegaNet {
+            spec,
+            fabric: LinkFabric::new(copies, size, lanes),
+            pool: PortPool::new(copies * size, spec.resources_per_port()),
+            circuits: HashMap::new(),
+            rotate: 0,
+            counters: NetworkCounters::default(),
+        }
+    }
+
+    fn try_place(&mut self, processor: usize) -> Option<Grant> {
+        let size = self.spec.size() as usize;
+        let copy = processor / size;
+        let src = processor % size;
+        for step in 0..size {
+            let local = (self.rotate + step) % size;
+            let port = copy * size + local;
+            if !self.pool.has_free(port) {
+                continue;
+            }
+            let route = self.fabric.topo.route(src, local);
+            if self.fabric.route_free(copy, &route) {
+                self.fabric.claim(copy, &route);
+                self.counters.boxes_traversed += route.links.len() as u64;
+                self.pool.busy[port] += 1;
+                self.circuits.insert(
+                    processor,
+                    Circuit {
+                        port,
+                        copy,
+                        route: Some(route),
+                        uplink: None,
+                    },
+                );
+                return Some(Grant { processor, port });
+            }
+        }
+        None
+    }
+}
+
+impl ResourceNetwork for MultiLaneOmegaNet {
+    fn processors(&self) -> usize {
+        (self.spec.networks() * self.spec.size()) as usize
+    }
+
+    fn total_resources(&self) -> usize {
+        (self.spec.networks() * self.spec.size() * self.spec.resources_per_port()) as usize
+    }
+
+    fn request_cycle(&mut self, pending: &[bool], _rng: &mut SimRng) -> Vec<Grant> {
+        let p = pending.len();
+        let mut grants = Vec::new();
+        self.rotate = self.rotate.wrapping_add(1);
+        for step in 0..p {
+            let proc = (self.rotate + step) % p;
+            if !pending[proc] || self.circuits.contains_key(&proc) {
+                continue;
+            }
+            self.counters.attempts += 1;
+            match self.try_place(proc) {
+                Some(g) => grants.push(g),
+                None => self.counters.rejections += 1,
+            }
+        }
+        grants
+    }
+
+    fn end_transmission(&mut self, grant: Grant) {
+        let c = self
+            .circuits
+            .get_mut(&grant.processor)
+            .expect("transmission ends on a held circuit");
+        if let Some(route) = c.route.take() {
+            self.fabric.release(c.copy, &route);
+        }
+    }
+
+    fn end_service(&mut self, grant: Grant) {
+        let c = self
+            .circuits
+            .remove(&grant.processor)
+            .expect("service ends on a held circuit");
+        if self.pool.busy[c.port] > 0 {
+            self.pool.busy[c.port] -= 1;
+        }
+    }
+
+    fn take_counters(&mut self) -> NetworkCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    fn fail_resource(&mut self, port: usize) -> bool {
+        if port >= self.pool.up.len() || !self.pool.up[port] {
+            return false;
+        }
+        self.pool.up[port] = false;
+        self.pool.busy[port] = 0;
+        self.counters.resource_failures += 1;
+        let victims: Vec<usize> = self
+            .circuits
+            .iter()
+            .filter(|(_, c)| c.port == port)
+            .map(|(&p, _)| p)
+            .collect();
+        for v in victims {
+            let c = self.circuits.remove(&v).expect("listed above");
+            if let Some(route) = &c.route {
+                self.fabric.release(c.copy, route);
+            }
+        }
+        true
+    }
+
+    fn repair_resource(&mut self, port: usize) -> bool {
+        if port >= self.pool.up.len() || self.pool.up[port] {
+            return false;
+        }
+        self.pool.up[port] = true;
+        self.counters.resource_repairs += 1;
+        true
+    }
+
+    fn label(&self) -> &'static str {
+        "MLOMEGA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_cycle(net: &mut dyn ResourceNetwork, pending: &[bool]) -> Vec<Grant> {
+        let mut rng = SimRng::new(7);
+        net.request_cycle(pending, &mut rng)
+    }
+
+    #[test]
+    fn clustered_concentration_caps_in_flight_circuits_per_cluster() {
+        // 2 clusters of 4 procs, 1 uplink each -> 2-port core: at most one
+        // circuit per cluster regardless of demand.
+        let spec = ClusteredXbar::new(2, 4, 1, 4).expect("valid");
+        let mut net = ClusteredXbarNet::new(spec);
+        let pending = vec![true; 8];
+        let grants = drive_cycle(&mut net, &pending);
+        assert_eq!(grants.len(), 2, "one uplink per cluster");
+        let more = drive_cycle(&mut net, &pending);
+        assert!(more.is_empty(), "uplinks are saturated");
+        // Finishing one transmission frees the uplink for a clustermate.
+        net.end_transmission(grants[0]);
+        let refill = drive_cycle(&mut net, &pending);
+        assert_eq!(refill.len(), 1);
+        net.end_service(grants[0]);
+    }
+
+    #[test]
+    fn multilane_lanes_lift_link_conflicts() {
+        // In a 4-port Omega, sources 0 and 1 to the same-box destinations
+        // share the stage-0 output link region under heavy demand; with
+        // enough lanes every processor can hold a circuit at once.
+        let lanes2 = MultiLaneOmega::new(1, 4, 4, 1).expect("valid");
+        let mut net = MultiLaneOmegaNet::new(lanes2);
+        let pending = vec![true; 4];
+        let grants = drive_cycle(&mut net, &pending);
+        assert_eq!(grants.len(), 4, "4 lanes make the fabric nonblocking");
+
+        let lanes1 = MultiLaneOmega::new(1, 4, 1, 1).expect("valid");
+        let mut net1 = MultiLaneOmegaNet::new(lanes1);
+        let g1 = drive_cycle(&mut net1, &pending);
+        assert!(
+            g1.len() >= 2,
+            "distinct ports with free links must still connect"
+        );
+        assert!(g1.len() <= 4);
+    }
+
+    #[test]
+    fn grants_never_double_and_release_restores_capacity() {
+        let spec = MultiLaneOmega::new(2, 4, 2, 1).expect("valid");
+        let mut net = MultiLaneOmegaNet::new(spec);
+        let pending = vec![true; 8];
+        let grants = drive_cycle(&mut net, &pending);
+        let mut seen = std::collections::HashSet::new();
+        for g in &grants {
+            assert!(seen.insert(g.processor), "double grant for {}", g.processor);
+        }
+        // Full lifecycle: all capacity returns.
+        for g in &grants {
+            net.end_transmission(*g);
+        }
+        for g in &grants {
+            net.end_service(*g);
+        }
+        assert!(net.circuits.is_empty());
+        assert!(net.pool.busy.iter().all(|&b| b == 0));
+        assert!(net
+            .fabric
+            .load
+            .iter()
+            .all(|copy| copy.iter().all(|&l| l == 0)));
+    }
+
+    #[test]
+    fn resource_fault_drops_circuits_and_blocks_the_port() {
+        let spec = ClusteredXbar::new(2, 2, 2, 1).expect("valid");
+        let mut net = ClusteredXbarNet::new(spec);
+        let pending = vec![true; 4];
+        let grants = drive_cycle(&mut net, &pending);
+        assert!(!grants.is_empty());
+        let hit = grants[0].port;
+        assert!(net.fail_resource(hit));
+        assert!(!net.fail_resource(hit), "double fault refused");
+        // The casualty's circuit is gone; its processor can request again,
+        // but never lands on the dead port.
+        let again = drive_cycle(&mut net, &pending);
+        assert!(again.iter().all(|g| g.port != hit));
+        assert!(net.repair_resource(hit));
+        assert!(!net.repair_resource(hit));
+        let counters = net.take_counters();
+        assert_eq!(counters.resource_failures, 1);
+        assert_eq!(counters.resource_repairs, 1);
+    }
+}

@@ -1,0 +1,807 @@
+//! The search driver: guided coordinate descent over the configuration
+//! axes, with monotone pruning and a Pareto frontier output.
+//!
+//! The space factors into **shapes** (a family plus its structural
+//! dimensions — partition count, fabric size, output buses, lanes) times
+//! the **resource axis** `r`. Under a fixed absolute traffic profile,
+//! delay is monotone nonincreasing in `r` at a fixed shape, so the driver
+//! descends each shape's `r` axis by binary search: `O(log r_max)`
+//! evaluations find the cheapest feasible `r`, and every unevaluated
+//! config below the highest observed failure is *pruned* — inferred
+//! infeasible without a solve. The pruned set is reported (and sampled
+//! into [`SearchReport::pruned_examples`]) so its soundness is testable.
+//!
+//! The output is not just an argmin: every shape's cheapest feasible
+//! configuration becomes a candidate, and the driver reports the Pareto
+//! frontier of (cost, delay) — the configs for which no cheaper candidate
+//! is also faster. The winner (cheapest feasible, ties to lower delay) can
+//! be confirmed by an independent DES run with CI-based tolerance and
+//! optionally re-checked with one resource port failed.
+
+use crate::cost::CostModel;
+use crate::slo::{
+    build_network, DelayOutcome, DelayValue, EvalCounters, EvalQuality, Evaluator, TrafficProfile,
+    EVAL_SEED,
+};
+use crate::topo::{classic, CandidateTopology, ClusteredXbar, MultiLaneOmega};
+use rsin_core::{simulate_faulty, ConfigError, FaultOptions, NetworkKind};
+use rsin_des::{replicate_par, FaultPlan, FaultTarget, SimRng, SimTime};
+use rsin_queueing::shared_bus_cache_stats;
+use std::collections::BTreeSet;
+
+/// A topology family the search can explore.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Partitioned shared buses (analytic).
+    Sbus,
+    /// Partitioned crossbars (analytic for `k ≤ 3`, DES beyond).
+    Xbar,
+    /// Partitioned Omega fabrics (DES).
+    Omega,
+    /// Partitioned indirect binary n-cubes (DES).
+    Cube,
+    /// Clustered crossbars feeding an Omega core (DES).
+    Clustered,
+    /// Multi-lane Omega fabrics (DES).
+    MultiLane,
+}
+
+impl Family {
+    /// Every family, in report order.
+    pub const ALL: [Family; 6] = [
+        Family::Sbus,
+        Family::Xbar,
+        Family::Omega,
+        Family::Cube,
+        Family::Clustered,
+        Family::MultiLane,
+    ];
+
+    /// The families whose evaluation never needs the simulator.
+    pub const ANALYTIC: [Family; 2] = [Family::Sbus, Family::Xbar];
+
+    /// Short token (CLI value and report label).
+    #[must_use]
+    pub fn token(&self) -> &'static str {
+        match self {
+            Family::Sbus => "sbus",
+            Family::Xbar => "xbar",
+            Family::Omega => "omega",
+            Family::Cube => "cube",
+            Family::Clustered => "clx",
+            Family::MultiLane => "mlomega",
+        }
+    }
+}
+
+impl std::str::FromStr for Family {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sbus" => Ok(Family::Sbus),
+            "xbar" => Ok(Family::Xbar),
+            "omega" => Ok(Family::Omega),
+            "cube" => Ok(Family::Cube),
+            "clx" => Ok(Family::Clustered),
+            "mlomega" => Ok(Family::MultiLane),
+            other => Err(ConfigError::Invalid {
+                what: format!(
+                    "unknown family {other:?} (expected sbus|xbar|omega|cube|clx|mlomega)"
+                ),
+            }),
+        }
+    }
+}
+
+/// What to search: the load point, the SLO, the families, the budget.
+#[derive(Clone, Debug)]
+pub struct SearchSpec {
+    /// Processor count `p` (fixed per search).
+    pub processors: u32,
+    /// Traffic intensity at the reference pool `R = 2p`.
+    pub rho: f64,
+    /// Service/transmission ratio `µ_s/µ_n`.
+    pub ratio: f64,
+    /// SLO: maximum acceptable normalized queueing delay `d · µ_s`.
+    pub target: f64,
+    /// Largest `r` the descent may reach per shape.
+    pub max_resources_per_port: u32,
+    /// Families to explore.
+    pub families: Vec<Family>,
+    /// Unit prices.
+    pub cost_model: CostModel,
+    /// Simulation effort for search-loop DES evaluations.
+    pub quality: EvalQuality,
+    /// Independent DES confirmation of the winner (`None` skips it).
+    pub confirm: Option<EvalQuality>,
+    /// Re-check the winner with one resource port failed.
+    pub fault_recheck: bool,
+}
+
+impl SearchSpec {
+    /// A spec with workspace defaults: every family, `r ≤ 64`, quick
+    /// search quality, DES confirmation on, fault recheck off.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Invalid`] for a zero `p`, a `rho` outside `(0, 1)`,
+    /// a bad `ratio`, or a non-positive `target` (validated here so the
+    /// search itself cannot fail late on bad numbers).
+    pub fn new(processors: u32, rho: f64, ratio: f64, target: f64) -> Result<Self, ConfigError> {
+        if processors == 0 {
+            return Err(ConfigError::Invalid {
+                what: "need at least one processor".into(),
+            });
+        }
+        // Validates rho/ratio ranges and the 2p reference pool.
+        TrafficProfile::reference(processors, rho, ratio)?;
+        if !(target.is_finite() && target > 0.0) {
+            return Err(ConfigError::Invalid {
+                what: format!("delay target must be positive and finite, got {target}"),
+            });
+        }
+        Ok(SearchSpec {
+            processors,
+            rho,
+            ratio,
+            target,
+            max_resources_per_port: 64,
+            families: Family::ALL.to_vec(),
+            cost_model: CostModel::default(),
+            quality: EvalQuality::quick(rsin_des::default_jobs()),
+            confirm: Some(EvalQuality::confirm(rsin_des::default_jobs())),
+            fault_recheck: false,
+        })
+    }
+}
+
+/// One feasible configuration the search produced.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// The configuration.
+    pub topo: CandidateTopology,
+    /// Its cost under the spec's model.
+    pub cost: f64,
+    /// Its delay, as evaluated during the search.
+    pub delay: DelayValue,
+}
+
+/// An independent DES check of the winner.
+#[derive(Clone, Copy, Debug)]
+pub struct Confirmation {
+    /// DES normalized delay.
+    pub normalized_delay: f64,
+    /// 95% CI half-width of the DES estimate.
+    pub half_width: f64,
+    /// Whether the DES value meets the target within tolerance
+    /// (`target + half_width + 5%` relative slack).
+    pub meets_target: bool,
+    /// Whether the DES value agrees with the search's figure within
+    /// tolerance (`half_width + 5%` relative slack).
+    pub agrees_with_search: bool,
+}
+
+/// Everything a search run learned.
+#[derive(Clone, Debug)]
+pub struct SearchReport {
+    /// Processor count searched.
+    pub processors: u32,
+    /// The SLO target.
+    pub target: f64,
+    /// Pareto frontier of (cost, delay), cheapest first.
+    pub frontier: Vec<Candidate>,
+    /// Cheapest feasible configuration (ties broken by lower delay).
+    pub winner: Option<Candidate>,
+    /// Independent DES check of the winner, when requested.
+    pub confirmation: Option<Confirmation>,
+    /// DES check of the winner with one resource port failed, when
+    /// requested (informational: the SLO is not re-enforced degraded).
+    pub degraded: Option<Confirmation>,
+    /// Configurations in the enumerated space.
+    pub total_configs: u64,
+    /// Configurations actually evaluated.
+    pub evaluated: u64,
+    /// Configurations inferred infeasible by monotonicity (never solved).
+    pub pruned_infeasible: u64,
+    /// Feasible-but-dominated configurations skipped above the descent's
+    /// stopping point.
+    pub pruned_dominated: u64,
+    /// A sample of the pruned-infeasible set, for soundness auditing.
+    pub pruned_examples: Vec<CandidateTopology>,
+    /// Evaluator dispatch counters.
+    pub eval: EvalCounters,
+    /// Shared-bus cache hits observed during this search.
+    pub cache_hits: u64,
+    /// Shared-bus cache misses observed during this search.
+    pub cache_misses: u64,
+}
+
+impl SearchReport {
+    /// Fraction of the space never evaluated (pruned either way).
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.total_configs == 0 {
+            0.0
+        } else {
+            (self.total_configs - self.evaluated) as f64 / self.total_configs as f64
+        }
+    }
+}
+
+/// One structural shape; `r` is the remaining free axis.
+#[derive(Clone, Copy, Debug)]
+enum Shape {
+    Classic {
+        networks: u32,
+        kind: NetworkKind,
+        inputs: u32,
+        outputs: u32,
+    },
+    Clustered {
+        clusters: u32,
+        cluster_inputs: u32,
+        uplinks: u32,
+    },
+    MultiLane {
+        networks: u32,
+        size: u32,
+        lanes: u32,
+    },
+}
+
+impl Shape {
+    fn at_r(&self, p: u32, r: u32) -> Option<CandidateTopology> {
+        match *self {
+            Shape::Classic {
+                networks,
+                kind,
+                inputs,
+                outputs,
+            } => classic(p, networks, kind, inputs, outputs, r).ok(),
+            Shape::Clustered {
+                clusters,
+                cluster_inputs,
+                uplinks,
+            } => ClusteredXbar::new(clusters, cluster_inputs, uplinks, r)
+                .ok()
+                .map(CandidateTopology::Clustered),
+            Shape::MultiLane {
+                networks,
+                size,
+                lanes,
+            } => MultiLaneOmega::new(networks, size, lanes, r)
+                .ok()
+                .map(CandidateTopology::MultiLane),
+        }
+    }
+}
+
+fn divisors(p: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut d = 1u32;
+    while u64::from(d) * u64::from(d) <= u64::from(p) {
+        if p.is_multiple_of(d) {
+            out.push(d);
+            if d != p / d {
+                out.push(p / d);
+            }
+        }
+        d += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Output-bus ladder for crossbar shapes: the analytically covered counts
+/// plus power-of-two steps, capped so wide fabrics stay enumerable.
+const XBAR_OUTPUTS: [u32; 7] = [1, 2, 3, 4, 8, 16, 32];
+
+/// Lane ladder for multi-lane Omega shapes.
+const LANES: [u32; 3] = [1, 2, 4];
+
+fn shapes_for(family: Family, p: u32) -> Vec<Shape> {
+    let mut shapes = Vec::new();
+    match family {
+        Family::Sbus => {
+            for i in divisors(p) {
+                shapes.push(Shape::Classic {
+                    networks: i,
+                    kind: NetworkKind::SharedBus,
+                    inputs: p / i,
+                    outputs: 1,
+                });
+            }
+        }
+        Family::Xbar => {
+            for i in divisors(p) {
+                let j = p / i;
+                for k in XBAR_OUTPUTS {
+                    if k <= j.saturating_mul(2) {
+                        shapes.push(Shape::Classic {
+                            networks: i,
+                            kind: NetworkKind::Crossbar,
+                            inputs: j,
+                            outputs: k,
+                        });
+                    }
+                }
+            }
+        }
+        Family::Omega | Family::Cube => {
+            let kind = if family == Family::Omega {
+                NetworkKind::Omega
+            } else {
+                NetworkKind::Cube
+            };
+            for i in divisors(p) {
+                let j = p / i;
+                if j.is_power_of_two() && j >= 2 {
+                    shapes.push(Shape::Classic {
+                        networks: i,
+                        kind,
+                        inputs: j,
+                        outputs: j,
+                    });
+                }
+            }
+        }
+        Family::Clustered => {
+            for c in divisors(p) {
+                let jc = p / c;
+                let mut u = 1u32;
+                while u <= jc && u <= 64 {
+                    if let Some(core) = c.checked_mul(u) {
+                        if core.is_power_of_two() && core >= 2 && core <= p {
+                            shapes.push(Shape::Clustered {
+                                clusters: c,
+                                cluster_inputs: jc,
+                                uplinks: u,
+                            });
+                        }
+                    }
+                    u *= 2;
+                }
+            }
+        }
+        Family::MultiLane => {
+            for i in divisors(p) {
+                let size = p / i;
+                if size.is_power_of_two() && size >= 2 {
+                    for lanes in LANES {
+                        shapes.push(Shape::MultiLane {
+                            networks: i,
+                            size,
+                            lanes,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    shapes
+}
+
+/// Result of descending one shape's `r` axis.
+struct Descent {
+    candidate: Option<Candidate>,
+    evaluated: u64,
+    total: u64,
+    inferred_fail: Vec<u32>,
+    inferred_dominated: u64,
+}
+
+/// Binary-searches the minimum feasible `r` of one shape.
+///
+/// Feasibility is monotone in `r`; constructibility (checked dimension
+/// products) is anti-monotone, so the feasible region is an interval
+/// `[min_r, r_cap]` and `O(log r_max)` evaluations locate its edge.
+fn descend_r(
+    shape: &Shape,
+    p: u32,
+    r_max: u32,
+    target: f64,
+    cost_model: &CostModel,
+    ev: &mut Evaluator,
+) -> Descent {
+    // Largest constructible r (dimension products are monotone in r).
+    let mut r_cap = r_max;
+    while r_cap >= 1 && shape.at_r(p, r_cap).is_none() {
+        r_cap /= 2;
+    }
+    if r_cap == 0 {
+        return Descent {
+            candidate: None,
+            evaluated: 0,
+            total: 0,
+            inferred_fail: Vec::new(),
+            inferred_dominated: 0,
+        };
+    }
+    let mut touched: BTreeSet<u32> = BTreeSet::new();
+    let mut results: Vec<(u32, DelayOutcome)> = Vec::new();
+    let mut eval_at = |r: u32, ev: &mut Evaluator| -> bool {
+        let topo = shape.at_r(p, r).expect("r <= r_cap is constructible");
+        let out = ev.evaluate(&topo);
+        touched.insert(r);
+        let ok = out.meets(target);
+        results.push((r, out));
+        ok
+    };
+    // The shape is feasible at all iff it is feasible at r_cap.
+    if !eval_at(r_cap, ev) {
+        let inferred_fail = (1..r_cap).collect();
+        return Descent {
+            candidate: None,
+            evaluated: 1,
+            total: u64::from(r_cap),
+            inferred_fail,
+            inferred_dominated: 0,
+        };
+    }
+    let (mut lo, mut hi) = (1u32, r_cap);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if eval_at(mid, ev) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let min_r = lo;
+    let delay = results
+        .iter()
+        .find_map(|(r, out)| match out {
+            DelayOutcome::Value(v) if *r == min_r => Some(*v),
+            _ => None,
+        })
+        .expect("the minimal feasible r was evaluated with a value");
+    let topo = shape.at_r(p, min_r).expect("constructible");
+    let inferred_fail: Vec<u32> = (1..min_r).filter(|r| !touched.contains(r)).collect();
+    let inferred_dominated = (min_r + 1..=r_cap).filter(|r| !touched.contains(r)).count() as u64;
+    Descent {
+        candidate: Some(Candidate {
+            cost: cost_model.cost(&topo),
+            topo,
+            delay,
+        }),
+        evaluated: touched.len() as u64,
+        total: u64::from(r_cap),
+        inferred_fail,
+        inferred_dominated,
+    }
+}
+
+/// The Pareto frontier of (cost, delay): cheapest first, each strictly
+/// faster than every cheaper candidate.
+fn pareto_frontier(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
+    candidates.sort_by(|a, b| {
+        a.cost.total_cmp(&b.cost).then(
+            a.delay
+                .normalized_delay
+                .total_cmp(&b.delay.normalized_delay),
+        )
+    });
+    let mut frontier: Vec<Candidate> = Vec::new();
+    for c in candidates {
+        let dominated = frontier
+            .iter()
+            .any(|f| f.delay.normalized_delay <= c.delay.normalized_delay);
+        if !dominated {
+            frontier.push(c);
+        }
+    }
+    frontier
+}
+
+fn confirm_winner(
+    winner: &Candidate,
+    profile: TrafficProfile,
+    quality: EvalQuality,
+    target: f64,
+) -> Confirmation {
+    let mut confirm_ev = Evaluator::new(profile, quality);
+    match confirm_ev.evaluate_des(&winner.topo) {
+        DelayOutcome::Value(v) => {
+            let slack = v.half_width + 0.05 * winner.delay.normalized_delay.max(target);
+            Confirmation {
+                normalized_delay: v.normalized_delay,
+                half_width: v.half_width,
+                meets_target: v.normalized_delay <= target + slack,
+                agrees_with_search: (v.normalized_delay - winner.delay.normalized_delay).abs()
+                    <= slack,
+            }
+        }
+        DelayOutcome::Saturated => Confirmation {
+            normalized_delay: f64::INFINITY,
+            half_width: 0.0,
+            meets_target: false,
+            agrees_with_search: false,
+        },
+    }
+}
+
+/// DES delay of the winner with one resource port held failed for the
+/// whole run.
+fn degraded_check(
+    winner: &Candidate,
+    profile: TrafficProfile,
+    quality: EvalQuality,
+    target: f64,
+) -> Confirmation {
+    let workload = profile.workload();
+    let opts = quality.sim_options();
+    let plan = FaultPlan::new().fail_at(SimTime::new(0.0), FaultTarget::Resource(0));
+    let fopts = FaultOptions::default();
+    let base = SimRng::new(EVAL_SEED ^ 0x00FA);
+    let topo = winner.topo;
+    let out = replicate_par(&base, quality.reps, 0.95, quality.jobs, |_, mut rng| {
+        let mut net = build_network(&topo);
+        match simulate_faulty(net.as_mut(), &workload, &opts, &plan, &fopts, &mut rng) {
+            Ok(rep) => rep.normalized_delay(&workload),
+            Err(_) => f64::INFINITY,
+        }
+    });
+    let delay = out.mean();
+    let half_width = out.interval.map_or(0.0, |ci| ci.half_width);
+    let slack = half_width + 0.05 * winner.delay.normalized_delay.max(target);
+    Confirmation {
+        normalized_delay: delay,
+        half_width,
+        meets_target: delay <= target + slack,
+        agrees_with_search: (delay - winner.delay.normalized_delay).abs() <= slack,
+    }
+}
+
+/// Runs a full provisioning search.
+///
+/// # Errors
+///
+/// [`ConfigError::Invalid`] for an invalid spec (bad rates, empty family
+/// list, zero resource budget, invalid cost model).
+pub fn search(spec: &SearchSpec) -> Result<SearchReport, ConfigError> {
+    if spec.families.is_empty() {
+        return Err(ConfigError::Invalid {
+            what: "need at least one family to search".into(),
+        });
+    }
+    if spec.max_resources_per_port == 0 {
+        return Err(ConfigError::Invalid {
+            what: "need a positive resource budget".into(),
+        });
+    }
+    if !spec.cost_model.is_valid() {
+        return Err(ConfigError::Invalid {
+            what: "cost model prices must be finite and non-negative".into(),
+        });
+    }
+    let profile = TrafficProfile::reference(spec.processors, spec.rho, spec.ratio)?;
+    if !(spec.target.is_finite() && spec.target > 0.0) {
+        return Err(ConfigError::Invalid {
+            what: format!(
+                "delay target must be positive and finite, got {}",
+                spec.target
+            ),
+        });
+    }
+    let cache_before = shared_bus_cache_stats();
+    let mut ev = Evaluator::new(profile, spec.quality);
+    let mut candidates = Vec::new();
+    let mut total_configs = 0u64;
+    let mut evaluated = 0u64;
+    let mut pruned_infeasible = 0u64;
+    let mut pruned_dominated = 0u64;
+    let mut pruned_examples: Vec<CandidateTopology> = Vec::new();
+    let mut families = spec.families.clone();
+    families.dedup();
+    for family in families {
+        for shape in shapes_for(family, spec.processors) {
+            let d = descend_r(
+                &shape,
+                spec.processors,
+                spec.max_resources_per_port,
+                spec.target,
+                &spec.cost_model,
+                &mut ev,
+            );
+            total_configs += d.total;
+            evaluated += d.evaluated;
+            pruned_infeasible += d.inferred_fail.len() as u64;
+            pruned_dominated += d.inferred_dominated;
+            // Keep a small spread of pruned configs per shape for auditing.
+            for &r in d.inferred_fail.iter().rev().take(2) {
+                if pruned_examples.len() < 16 {
+                    if let Some(t) = shape.at_r(spec.processors, r) {
+                        pruned_examples.push(t);
+                    }
+                }
+            }
+            candidates.extend(d.candidate);
+        }
+    }
+    let frontier = pareto_frontier(candidates);
+    // Cheapest feasible overall; the frontier is cost-sorted, and its
+    // first entry has the lowest cost (ties resolved to lower delay by
+    // the frontier's sort).
+    let winner = frontier.first().copied();
+    let confirmation = match (&winner, spec.confirm) {
+        (Some(w), Some(q)) => Some(confirm_winner(w, profile, q, spec.target)),
+        _ => None,
+    };
+    let degraded = match (&winner, spec.fault_recheck) {
+        (Some(w), true) => Some(degraded_check(
+            w,
+            profile,
+            spec.confirm.unwrap_or(spec.quality),
+            spec.target,
+        )),
+        _ => None,
+    };
+    let cache_after = shared_bus_cache_stats();
+    Ok(SearchReport {
+        processors: spec.processors,
+        target: spec.target,
+        frontier,
+        winner,
+        confirmation,
+        degraded,
+        total_configs,
+        evaluated,
+        pruned_infeasible,
+        pruned_dominated,
+        pruned_examples,
+        eval: ev.counters(),
+        cache_hits: cache_after.hits - cache_before.hits,
+        cache_misses: cache_after.misses - cache_before.misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::Method;
+
+    fn sbus_spec(p: u32, rho: f64, ratio: f64, target: f64) -> SearchSpec {
+        let mut spec = SearchSpec::new(p, rho, ratio, target).expect("valid spec");
+        spec.families = vec![Family::Sbus];
+        spec.confirm = None;
+        spec.max_resources_per_port = 16;
+        spec
+    }
+
+    #[test]
+    fn divisors_are_complete_and_sorted() {
+        assert_eq!(divisors(16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+    }
+
+    #[test]
+    fn sbus_search_finds_a_partitioned_winner_on_the_reference_grid() {
+        // Self-calibrating acceptance check near the paper's p=16, R=32
+        // point: take the delay of the known-good fully partitioned
+        // 16/16x1x1 SBUS/2 system as the SLO. The single shared bus is
+        // far slower at this load (Fig. 4's separation), so the winner
+        // must be a multi-bus SBUS config at least as cheap as the
+        // reference.
+        let profile = TrafficProfile::reference(16, 0.3, 0.1).expect("valid");
+        let mut ev = Evaluator::new(profile, EvalQuality::quick(1));
+        let reference = classic(16, 16, NetworkKind::SharedBus, 1, 1, 2).expect("valid");
+        let DelayOutcome::Value(ref_delay) = ev.evaluate(&reference) else {
+            panic!("reference config must be stable at rho=0.3");
+        };
+        let target = ref_delay.normalized_delay * 1.05;
+        let spec = sbus_spec(16, 0.3, 0.1, target);
+        let report = search(&spec).expect("search runs");
+        let winner = report.winner.expect("a feasible config exists");
+        assert_eq!(winner.topo.family_token(), "SBUS");
+        assert!(winner.delay.normalized_delay <= target);
+        assert!(
+            winner.cost <= spec.cost_model.cost(&reference),
+            "winner {} costs {} > reference {}",
+            winner.topo,
+            winner.cost,
+            spec.cost_model.cost(&reference)
+        );
+        let CandidateTopology::Classic(cfg) = winner.topo else {
+            panic!("SBUS family yields classic configs");
+        };
+        assert!(
+            cfg.networks() > 1,
+            "a single bus cannot meet the partitioned reference's delay"
+        );
+        // Everything went through the analytic chain.
+        assert_eq!(report.eval.des, 0);
+        assert!(report.evaluated > 0);
+        assert!(report.pruned_fraction() > 0.0, "binary search must prune");
+    }
+
+    #[test]
+    fn pruned_examples_are_actually_infeasible() {
+        // Monotone-pruning soundness: every config the search skipped as
+        // inferred-infeasible must really fail the SLO when evaluated.
+        let profile = TrafficProfile::reference(16, 0.3, 0.1).expect("valid");
+        let mut ev = Evaluator::new(profile, EvalQuality::quick(1));
+        let reference = classic(16, 16, NetworkKind::SharedBus, 1, 1, 4).expect("valid");
+        let DelayOutcome::Value(ref_delay) = ev.evaluate(&reference) else {
+            panic!("reference config must be stable");
+        };
+        // A tight target forces failures low on each r axis.
+        let target = ref_delay.normalized_delay * 1.01;
+        let spec = sbus_spec(16, 0.3, 0.1, target);
+        let report = search(&spec).expect("search runs");
+        assert!(
+            !report.pruned_examples.is_empty(),
+            "a tight target must prune something"
+        );
+        let mut audit = Evaluator::new(profile, EvalQuality::quick(1));
+        for topo in &report.pruned_examples {
+            assert!(
+                !audit.evaluate(topo).meets(target),
+                "pruned config {topo} actually meets the SLO"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_is_pareto_and_cost_sorted() {
+        let spec = sbus_spec(16, 0.3, 0.1, 5.0);
+        let report = search(&spec).expect("search runs");
+        let f = &report.frontier;
+        assert!(!f.is_empty());
+        for w in f.windows(2) {
+            assert!(w[0].cost <= w[1].cost, "frontier must be cost-sorted");
+            assert!(
+                w[0].delay.normalized_delay > w[1].delay.normalized_delay,
+                "paying more must buy strictly lower delay on the frontier"
+            );
+        }
+        assert!(report.winner.is_some());
+    }
+
+    #[test]
+    fn confirmation_checks_the_winner_by_des() {
+        let mut spec = sbus_spec(8, 0.3, 0.1, 2.0);
+        spec.confirm = Some(EvalQuality {
+            warmup: 200,
+            measured: 2_000,
+            reps: 3,
+            jobs: 1,
+        });
+        spec.fault_recheck = true;
+        let report = search(&spec).expect("search runs");
+        let conf = report.confirmation.expect("confirmation requested");
+        assert!(conf.half_width >= 0.0);
+        assert!(
+            conf.agrees_with_search,
+            "DES {} vs analytic {} disagree beyond tolerance",
+            conf.normalized_delay,
+            report.winner.expect("winner").delay.normalized_delay
+        );
+        let degraded = report.degraded.expect("fault recheck requested");
+        // One failed port costs capacity, so degraded delay can only be
+        // worse than or close to the healthy figure.
+        assert!(degraded.normalized_delay + 1e-9 >= conf.normalized_delay - conf.half_width);
+    }
+
+    #[test]
+    fn winner_method_tokens_are_stable() {
+        assert_eq!(Method::SbusChain.token(), "sbus-chain");
+        assert_eq!("clx".parse::<Family>().expect("ok"), Family::Clustered);
+        assert!("bogus".parse::<Family>().is_err());
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        assert!(SearchSpec::new(0, 0.3, 0.1, 1.0).is_err());
+        assert!(SearchSpec::new(16, 1.5, 0.1, 1.0).is_err());
+        assert!(SearchSpec::new(16, 0.3, -0.1, 1.0).is_err());
+        assert!(SearchSpec::new(16, 0.3, 0.1, 0.0).is_err());
+        let mut spec = SearchSpec::new(16, 0.3, 0.1, 1.0).expect("valid");
+        spec.families.clear();
+        assert!(search(&spec).is_err());
+        let mut spec2 = SearchSpec::new(16, 0.3, 0.1, 1.0).expect("valid");
+        spec2.max_resources_per_port = 0;
+        assert!(search(&spec2).is_err());
+    }
+}

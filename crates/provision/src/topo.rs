@@ -1,0 +1,356 @@
+//! Candidate topologies: the paper's classic `p / i×j×k N / r` systems plus
+//! the composite organizations the provisioning search explores.
+//!
+//! Two composites extend the paper's single-class networks, both grounded
+//! in the related work (Rastogi et al.'s fault-tolerant Omegas and
+//! Stergiou's multi-lane MIN study motivate the axis):
+//!
+//! * **Clustered crossbar → Omega core**: `c` crossbar concentrators of
+//!   `j_c` processors each funnel onto `u` uplink trunks per cluster; the
+//!   `c·u` trunks enter one square Omega core whose output ports carry the
+//!   resources. Crossbars are nonblocking, so a cluster admits up to `u`
+//!   concurrent circuits; blocking happens only in the shared core.
+//! * **Multi-lane Omega**: a classic Omega fabric whose interstage links
+//!   carry `lanes` simultaneous circuits each (duplicated box datapaths),
+//!   trading switch-point cost for reduced blocking.
+//!
+//! Every constructor validates its dimension products with checked
+//! arithmetic: the search enumerates shapes mechanically into the
+//! thousands of processors, and a wrapped product must surface as a typed
+//! [`ConfigError`], never as an aliased dimension.
+
+use rsin_core::{ConfigError, NetworkKind, SystemConfig};
+use std::fmt;
+
+/// A clustered-crossbar front end feeding a shared Omega core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ClusteredXbar {
+    clusters: u32,
+    cluster_inputs: u32,
+    uplinks: u32,
+    resources_per_port: u32,
+}
+
+impl ClusteredXbar {
+    /// Builds and validates a clustered organization: `clusters · uplinks`
+    /// must be a power of two ≥ 2 (the core size), uplinks must not exceed
+    /// the cluster's inputs (it is a concentrator), and every derived
+    /// product must fit `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Invalid`] when a structural constraint fails or a
+    /// dimension product overflows.
+    pub fn new(
+        clusters: u32,
+        cluster_inputs: u32,
+        uplinks: u32,
+        resources_per_port: u32,
+    ) -> Result<Self, ConfigError> {
+        let fail = |what: String| Err(ConfigError::Invalid { what });
+        if clusters == 0 || cluster_inputs == 0 || uplinks == 0 || resources_per_port == 0 {
+            return fail("all counts must be positive".into());
+        }
+        if uplinks > cluster_inputs {
+            return fail(format!(
+                "a concentrator needs uplinks <= inputs, got {uplinks} > {cluster_inputs}"
+            ));
+        }
+        let Some(core) = clusters.checked_mul(uplinks) else {
+            return fail(format!("core size {clusters}*{uplinks} overflows u32"));
+        };
+        if !core.is_power_of_two() || core < 2 {
+            return fail(format!(
+                "the Omega core needs a power-of-two size >= 2, got {clusters}*{uplinks} = {core}"
+            ));
+        }
+        if clusters.checked_mul(cluster_inputs).is_none() {
+            return fail(format!(
+                "processor count {clusters}*{cluster_inputs} overflows u32"
+            ));
+        }
+        if core.checked_mul(resources_per_port).is_none() {
+            return fail(format!(
+                "total resources {core}*{resources_per_port} overflows u32"
+            ));
+        }
+        Ok(ClusteredXbar {
+            clusters,
+            cluster_inputs,
+            uplinks,
+            resources_per_port,
+        })
+    }
+
+    /// Number of crossbar clusters.
+    #[must_use]
+    pub fn clusters(&self) -> u32 {
+        self.clusters
+    }
+
+    /// Processors per cluster.
+    #[must_use]
+    pub fn cluster_inputs(&self) -> u32 {
+        self.cluster_inputs
+    }
+
+    /// Uplink trunks per cluster.
+    #[must_use]
+    pub fn uplinks(&self) -> u32 {
+        self.uplinks
+    }
+
+    /// Ports of the shared Omega core (`clusters · uplinks`).
+    #[must_use]
+    pub fn core_size(&self) -> u32 {
+        self.clusters * self.uplinks
+    }
+
+    /// Resources on each core output port.
+    #[must_use]
+    pub fn resources_per_port(&self) -> u32 {
+        self.resources_per_port
+    }
+}
+
+/// A multi-lane Omega organization: `networks` independent square fabrics
+/// whose links each carry `lanes` circuits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MultiLaneOmega {
+    networks: u32,
+    size: u32,
+    lanes: u32,
+    resources_per_port: u32,
+}
+
+impl MultiLaneOmega {
+    /// Builds and validates a multi-lane organization: `size` must be a
+    /// power of two ≥ 2, `lanes` in `1..=8` (each lane duplicates the box
+    /// datapaths; beyond a few lanes the fabric is effectively nonblocking
+    /// and a crossbar is cheaper), and every product must fit `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Invalid`] when a structural constraint fails or a
+    /// dimension product overflows.
+    pub fn new(
+        networks: u32,
+        size: u32,
+        lanes: u32,
+        resources_per_port: u32,
+    ) -> Result<Self, ConfigError> {
+        let fail = |what: String| Err(ConfigError::Invalid { what });
+        if networks == 0 || size == 0 || lanes == 0 || resources_per_port == 0 {
+            return fail("all counts must be positive".into());
+        }
+        if !size.is_power_of_two() || size < 2 {
+            return fail(format!(
+                "multistage networks need a power-of-two size >= 2, got {size}"
+            ));
+        }
+        if lanes > 8 {
+            return fail(format!("lanes must be in 1..=8, got {lanes}"));
+        }
+        if networks.checked_mul(size).is_none() {
+            return fail(format!("processor count {networks}*{size} overflows u32"));
+        }
+        if networks
+            .checked_mul(size)
+            .and_then(|ports| ports.checked_mul(resources_per_port))
+            .is_none()
+        {
+            return fail(format!(
+                "total resources {networks}*{size}*{resources_per_port} overflows u32"
+            ));
+        }
+        Ok(MultiLaneOmega {
+            networks,
+            size,
+            lanes,
+            resources_per_port,
+        })
+    }
+
+    /// Independent fabric copies.
+    #[must_use]
+    pub fn networks(&self) -> u32 {
+        self.networks
+    }
+
+    /// Ports per fabric (power of two).
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Circuits each link carries simultaneously.
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Resources on each output port.
+    #[must_use]
+    pub fn resources_per_port(&self) -> u32 {
+        self.resources_per_port
+    }
+}
+
+/// One point of the configuration space the optimizer searches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CandidateTopology {
+    /// A classic `p / i×j×k N / r` system.
+    Classic(SystemConfig),
+    /// Clustered crossbars feeding a shared Omega core.
+    Clustered(ClusteredXbar),
+    /// A multi-lane Omega fabric.
+    MultiLane(MultiLaneOmega),
+}
+
+impl CandidateTopology {
+    /// Total processor count `p`.
+    #[must_use]
+    pub fn processors(&self) -> u32 {
+        match self {
+            CandidateTopology::Classic(c) => c.processors(),
+            CandidateTopology::Clustered(c) => c.clusters() * c.cluster_inputs(),
+            CandidateTopology::MultiLane(m) => m.networks() * m.size(),
+        }
+    }
+
+    /// Total resources in the system.
+    #[must_use]
+    pub fn total_resources(&self) -> u32 {
+        match self {
+            CandidateTopology::Classic(c) => c.total_resources(),
+            CandidateTopology::Clustered(c) => c.core_size() * c.resources_per_port(),
+            CandidateTopology::MultiLane(m) => m.networks() * m.size() * m.resources_per_port(),
+        }
+    }
+
+    /// Total output ports (each carrying `r` resources).
+    #[must_use]
+    pub fn total_ports(&self) -> u32 {
+        match self {
+            CandidateTopology::Classic(c) => c.total_ports(),
+            CandidateTopology::Clustered(c) => c.core_size(),
+            CandidateTopology::MultiLane(m) => m.networks() * m.size(),
+        }
+    }
+
+    /// Resources per output port.
+    #[must_use]
+    pub fn resources_per_port(&self) -> u32 {
+        match self {
+            CandidateTopology::Classic(c) => c.resources_per_port(),
+            CandidateTopology::Clustered(c) => c.resources_per_port(),
+            CandidateTopology::MultiLane(m) => m.resources_per_port(),
+        }
+    }
+
+    /// Short class token for tables and CSV rows.
+    #[must_use]
+    pub fn family_token(&self) -> &'static str {
+        match self {
+            CandidateTopology::Classic(c) => c.kind().token(),
+            CandidateTopology::Clustered(_) => "CLX",
+            CandidateTopology::MultiLane(_) => "MLOMEGA",
+        }
+    }
+}
+
+impl fmt::Display for CandidateTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CandidateTopology::Classic(c) => c.fmt(f),
+            CandidateTopology::Clustered(c) => write!(
+                f,
+                "{}/{}x{}>{} CLX/{}",
+                self.processors(),
+                c.clusters(),
+                c.cluster_inputs(),
+                c.core_size(),
+                c.resources_per_port()
+            ),
+            CandidateTopology::MultiLane(m) => write!(
+                f,
+                "{}/{}x{}x{} OMEGA*{}/{}",
+                self.processors(),
+                m.networks(),
+                m.size(),
+                m.size(),
+                m.lanes(),
+                m.resources_per_port()
+            ),
+        }
+    }
+}
+
+/// Convenience: a classic config from its components, for tests and shape
+/// ladders.
+///
+/// # Errors
+///
+/// Propagates [`SystemConfig::new`] validation.
+pub fn classic(
+    processors: u32,
+    networks: u32,
+    kind: NetworkKind,
+    inputs: u32,
+    outputs: u32,
+    resources_per_port: u32,
+) -> Result<CandidateTopology, ConfigError> {
+    SystemConfig::new(
+        processors,
+        networks,
+        kind,
+        inputs,
+        outputs,
+        resources_per_port,
+    )
+    .map(CandidateTopology::Classic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_validates_structure() {
+        // 4 clusters of 8 procs, 4 uplinks each -> 16-port core.
+        let c = ClusteredXbar::new(4, 8, 4, 2).expect("valid");
+        assert_eq!(c.core_size(), 16);
+        let t = CandidateTopology::Clustered(c);
+        assert_eq!(t.processors(), 32);
+        assert_eq!(t.total_resources(), 32);
+        assert_eq!(t.to_string(), "32/4x8>16 CLX/2");
+        // Core must be a power of two.
+        assert!(ClusteredXbar::new(3, 8, 2, 2).is_err());
+        // Concentrator: uplinks can't exceed inputs.
+        assert!(ClusteredXbar::new(4, 2, 4, 2).is_err());
+        // Overflow-checked products.
+        assert!(ClusteredXbar::new(1 << 16, 1 << 16, 1 << 16, 1).is_err());
+        assert!(ClusteredXbar::new(1 << 16, 1 << 16, 1 << 15, 4).is_err());
+    }
+
+    #[test]
+    fn multilane_validates_structure() {
+        let m = MultiLaneOmega::new(2, 16, 2, 2).expect("valid");
+        let t = CandidateTopology::MultiLane(m);
+        assert_eq!(t.processors(), 32);
+        assert_eq!(t.total_resources(), 64);
+        assert_eq!(t.to_string(), "32/2x16x16 OMEGA*2/2");
+        assert!(MultiLaneOmega::new(1, 12, 2, 2).is_err());
+        assert!(MultiLaneOmega::new(1, 16, 9, 2).is_err());
+        assert!(MultiLaneOmega::new(1 << 20, 1 << 12, 1, 1).is_err());
+        assert!(MultiLaneOmega::new(1 << 10, 1 << 10, 1, 1 << 12).is_err());
+    }
+
+    #[test]
+    fn classic_passthrough() {
+        let t = classic(16, 16, NetworkKind::SharedBus, 1, 1, 2).expect("valid");
+        assert_eq!(t.to_string(), "16/16x1x1 SBUS/2");
+        assert_eq!(t.total_ports(), 16);
+        assert_eq!(t.family_token(), "SBUS");
+    }
+}

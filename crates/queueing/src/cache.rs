@@ -1,4 +1,4 @@
-//! A keyed cache over the analytic solvers.
+//! A keyed, bounded cache over the analytic solvers.
 //!
 //! The figure suite, the provisioning searches, and the Table-II advisor
 //! paths all solve the same chains repeatedly — the same `(p, r, λ, µ_n,
@@ -8,9 +8,15 @@
 //! returns the stored solution verbatim: a cache hit is bit-for-bit the
 //! value a fresh chain would produce, making the cache safe for artifact
 //! paths that print full-precision floats.
+//!
+//! The cache is bounded: a thousands-of-configs provisioning sweep touches
+//! far more distinct points than any figure run, so retained entries are
+//! capped and the least-recently-used quarter is evicted when the cap is
+//! reached. Hit/miss/eviction counters are exposed through
+//! [`shared_bus_cache_stats`] so long sweeps can report their reuse rate.
 
 use crate::error::SolveError;
-use crate::sbus::{SharedBusChain, SharedBusParams, SharedBusSolution};
+use crate::sbus::{SharedBusChain, SharedBusParams, SharedBusSeed, SharedBusSolution};
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -27,19 +33,84 @@ fn key(p: &SharedBusParams) -> Key {
     )
 }
 
-fn cache() -> &'static Mutex<HashMap<Key, Result<SharedBusSolution, SolveError>>> {
-    static CACHE: OnceLock<Mutex<HashMap<Key, Result<SharedBusSolution, SolveError>>>> =
-        OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// One retained solution, stamped with the logical time of its last use.
+struct Entry {
+    stamp: u64,
+    result: Result<SharedBusSolution, SolveError>,
 }
 
-/// Upper bound on retained entries — far above any suite run's working set;
-/// purely a leak guard for long-lived processes sweeping huge grids.
-const MAX_ENTRIES: usize = 65_536;
+/// The cache body plus its bookkeeping, all behind one lock.
+struct CacheState {
+    map: HashMap<Key, Entry>,
+    /// Logical clock: bumped on every lookup, written into the touched
+    /// entry's stamp. Recency order, not wall time.
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Counters describing the cache's reuse behavior since process start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a retained solution.
+    pub hits: u64,
+    /// Lookups that had to run the solver.
+    pub misses: u64,
+    /// Entries discarded by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently retained.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+fn cache() -> &'static Mutex<CacheState> {
+    static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(CacheState {
+            map: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        })
+    })
+}
+
+/// Upper bound on retained entries. Far above any figure run's working set;
+/// a provisioning sweep that exceeds it sheds its coldest quarter and keeps
+/// going at bounded memory.
+const MAX_ENTRIES: usize = 16_384;
+
+/// Evicts the least-recently-used quarter of a full cache. O(n), but runs
+/// once per `MAX_ENTRIES/4` insertions, so the amortized cost per insert is
+/// constant.
+fn evict_lru(state: &mut CacheState) {
+    let mut stamps: Vec<u64> = state.map.values().map(|e| e.stamp).collect();
+    let cut_index = stamps.len() / 4;
+    let (_, &mut cutoff, _) = stamps.select_nth_unstable(cut_index);
+    // Everything at or below the cutoff stamp goes (stamps are unique:
+    // the clock increments on every touch).
+    state.map.retain(|_, e| e.stamp > cutoff);
+    state.evictions += (cut_index + 1) as u64;
+}
 
 /// [`SharedBusChain::new`] + [`SharedBusChain::solve`], memoized process-wide
-/// by exact parameter value. Errors (unstable or invalid parameter points)
-/// are cached too, so a grid sweep pays for each infeasible point once.
+/// by exact parameter value with an LRU bound of [`MAX_ENTRIES`] retained
+/// solutions. Errors (unstable or invalid parameter points) are cached too,
+/// so a grid sweep pays for each infeasible point once.
 ///
 /// # Errors
 ///
@@ -47,20 +118,97 @@ const MAX_ENTRIES: usize = 65_536;
 /// [`SharedBusChain::solve`] for these parameters.
 pub fn solve_shared_bus_cached(params: SharedBusParams) -> Result<SharedBusSolution, SolveError> {
     let k = key(&params);
-    let guard = cache().lock().unwrap_or_else(|p| p.into_inner());
-    if let Some(hit) = guard.get(&k) {
-        return hit.clone();
+    let mut guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+    guard.clock += 1;
+    let now = guard.clock;
+    if let Some(hit) = guard.map.get_mut(&k) {
+        hit.stamp = now;
+        let result = hit.result.clone();
+        guard.hits += 1;
+        return result;
     }
+    guard.misses += 1;
     drop(guard);
     // Solve outside the lock: chains are independent and a slow solve must
     // not serialize the parallel suite workers.
     let result = SharedBusChain::new(params).and_then(|c| c.solve());
     let mut guard = cache().lock().unwrap_or_else(|p| p.into_inner());
-    if guard.len() >= MAX_ENTRIES {
-        guard.clear();
+    if guard.map.len() >= MAX_ENTRIES {
+        evict_lru(&mut guard);
     }
-    guard.entry(k).or_insert_with(|| result.clone());
+    guard.clock += 1;
+    let stamp = guard.clock;
+    guard.map.entry(k).or_insert_with(|| Entry {
+        stamp,
+        result: result.clone(),
+    });
     result
+}
+
+/// [`solve_shared_bus_cached`] with warm-start seed threading for grid
+/// sweeps: a hit returns the retained solution (and no new seed — the
+/// caller keeps the one it has); a miss solves via
+/// [`SharedBusChain::solve_seeded`] and returns the refreshed seed.
+///
+/// The cache's bit-exactness invariant — a hit is exactly what a fresh
+/// [`SharedBusChain::solve`] would return — is preserved by construction:
+/// only *cold* solves (no usable seed, a path identical to `solve`) are
+/// inserted. Warm results agree with cold ones only to solver tolerance,
+/// so they are returned to the caller but never retained.
+///
+/// # Errors
+///
+/// Exactly the errors of [`SharedBusChain::new`] and
+/// [`SharedBusChain::solve_seeded`] for these parameters.
+pub fn solve_shared_bus_chained(
+    params: SharedBusParams,
+    seed: Option<&SharedBusSeed>,
+) -> Result<(SharedBusSolution, Option<SharedBusSeed>), SolveError> {
+    let k = key(&params);
+    {
+        let mut guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+        guard.clock += 1;
+        let now = guard.clock;
+        if let Some(hit) = guard.map.get_mut(&k) {
+            hit.stamp = now;
+            let result = hit.result.clone();
+            guard.hits += 1;
+            return result.map(|sol| (sol, None));
+        }
+        guard.misses += 1;
+    }
+    let usable = seed.filter(|s| s.seed_resources() == params.resources);
+    let solved = SharedBusChain::new(params).and_then(|c| c.solve_seeded(usable));
+    if usable.is_none() {
+        // Cold path: identical to `solve`, so the solution is safe to retain.
+        let to_store = solved.clone().map(|(sol, _)| sol);
+        let mut guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+        if guard.map.len() >= MAX_ENTRIES {
+            evict_lru(&mut guard);
+        }
+        guard.clock += 1;
+        let stamp = guard.clock;
+        guard.map.entry(k).or_insert_with(|| Entry {
+            stamp,
+            result: to_store,
+        });
+    }
+    solved.map(|(sol, next)| (sol, Some(next)))
+}
+
+/// A snapshot of the cache's hit/miss/eviction counters and current size.
+///
+/// Counters are process-wide and monotone; to measure one sweep's reuse,
+/// snapshot before and after and difference the fields.
+#[must_use]
+pub fn shared_bus_cache_stats() -> CacheStats {
+    let guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+    CacheStats {
+        hits: guard.hits,
+        misses: guard.misses,
+        evictions: guard.evictions,
+        entries: guard.map.len(),
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +258,79 @@ mod tests {
         let a = solve_shared_bus_cached(params(0.012)).expect("ok");
         let b = solve_shared_bus_cached(params(0.013)).expect("ok");
         assert_ne!(a.mean_queue_delay, b.mean_queue_delay);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let before = shared_bus_cache_stats();
+        let p = params(0.017_171); // unlikely to collide with other tests
+        let _ = solve_shared_bus_cached(p);
+        let _ = solve_shared_bus_cached(p);
+        let after = shared_bus_cache_stats();
+        assert!(after.misses > before.misses, "first lookup misses");
+        assert!(after.hits > before.hits, "second lookup hits");
+        assert!(after.entries >= 1);
+        assert!(after.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn chained_solves_cache_cold_results_only() {
+        // A cold chained solve populates the cache and returns a seed...
+        let p0 = params(0.018_131);
+        let (cold, seed) = solve_shared_bus_chained(p0, None).expect("ok");
+        let seed = seed.expect("cold solve yields a seed");
+        assert_eq!(cold, solve_shared_bus_cached(p0).expect("ok"), "retained");
+        // ...a hit returns the retained value and no refreshed seed...
+        let (hit, none) = solve_shared_bus_chained(p0, Some(&seed)).expect("ok");
+        assert_eq!(hit, cold);
+        assert!(none.is_none(), "hits keep the caller's seed");
+        // ...and a warm miss returns a result but never retains it: the
+        // later cache lookup must still produce the fresh cold value.
+        let p1 = params(0.018_132);
+        let (warm, _) = solve_shared_bus_chained(p1, Some(&seed)).expect("ok");
+        let fresh = SharedBusChain::new(p1).expect("valid").solve().expect("ok");
+        let cached = solve_shared_bus_cached(p1).expect("ok");
+        assert_eq!(cached, fresh, "cache still bit-exact after warm solve");
+        assert!((warm.mean_queue_delay - fresh.mean_queue_delay).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_recently_used_entry() {
+        // Exercise the eviction path directly on a private state: fill past
+        // the cap, touch one old key, and check the touched key survives the
+        // quarter-eviction while the coldest entries go.
+        let mut state = CacheState {
+            map: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        };
+        let sol: Result<SharedBusSolution, SolveError> = Err(SolveError::BadParameter {
+            what: "test filler",
+        });
+        for i in 0..1000u32 {
+            state.clock += 1;
+            let stamp = state.clock;
+            state.map.insert(
+                (i, 0, 0, 0, 0),
+                Entry {
+                    stamp,
+                    result: sol.clone(),
+                },
+            );
+        }
+        // Touch the very first key so it becomes the most recent.
+        state.clock += 1;
+        let now = state.clock;
+        state.map.get_mut(&(0, 0, 0, 0, 0)).expect("present").stamp = now;
+        evict_lru(&mut state);
+        assert!(state.map.contains_key(&(0, 0, 0, 0, 0)), "hot key survives");
+        assert!(
+            !state.map.contains_key(&(1, 0, 0, 0, 0)),
+            "coldest key evicted"
+        );
+        assert_eq!(state.map.len(), 1000 - 251);
+        assert_eq!(state.evictions, 251);
     }
 }

@@ -53,7 +53,9 @@ mod sbus;
 pub mod traffic;
 mod xbar_chain;
 
-pub use cache::solve_shared_bus_cached;
+pub use cache::{
+    shared_bus_cache_stats, solve_shared_bus_cached, solve_shared_bus_chained, CacheStats,
+};
 pub use error::SolveError;
 pub use markov::{Ctmc, Transition};
 pub use mm1::Mm1;

@@ -92,6 +92,14 @@ pub struct SharedBusSeed {
     r_mat: Mat,
 }
 
+impl SharedBusSeed {
+    /// The resource count this seed was solved for (the cache's chained
+    /// entry point mirrors `solve_seeded`'s transferability check).
+    pub(crate) fn seed_resources(&self) -> u32 {
+        self.resources
+    }
+}
+
 /// The shared-bus Markov chain model.
 ///
 /// # Examples
@@ -243,13 +251,38 @@ impl SharedBusChain {
         self.rate_matrix_from(None).map(|(m, _)| m)
     }
 
+    /// Whether a seed is close enough to this chain's fixed point for a
+    /// warm start to be worth attempting, measured by the defining
+    /// quadratic's residual at the seed relative to the chain's rate
+    /// scale. Neighboring grid points pass easily (their residual scales
+    /// with the parameter step); a seed grown on a chain with very
+    /// different rates is rejected here, before any `O(r⁶)` Newton work.
+    fn seed_is_near(&self, r_mat: &Mat) -> bool {
+        let n = self.params.resources as usize + 1;
+        if r_mat.n_rows != n || r_mat.n_cols != n {
+            return false;
+        }
+        let a0 = self.block_a0();
+        let a1 = self.block_a1();
+        let a2 = self.block_a2();
+        let f = a0.add(&r_mat.mul(&a1)).add(&r_mat.mul(r_mat).mul(&a2));
+        let f_max = f.a.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let scale = (0..n).fold(0.0_f64, |m, i| m.max(a1[(i, i)].abs()));
+        f_max <= 1e-2 * scale
+    }
+
     /// Iterates `R = −(A0 + R²·A2)·A1⁻¹` to convergence, starting from
     /// `seed` when given (e.g. the converged `R` of a nearby parameter
-    /// point) and from zero otherwise. The fixed point is unique for
-    /// validated stable parameters, so the seed only changes how fast the
-    /// iteration gets there. Returns the converged matrix together with
-    /// the iteration count (the observable the warm-start regression test
-    /// keys on).
+    /// point) and from zero otherwise. Returns the converged matrix
+    /// together with the iteration count (the observable the warm-start
+    /// regression test keys on).
+    ///
+    /// Convergence is only *guaranteed* from zero (the iteration is
+    /// monotone from below); from a foreign seed — a chain with the same
+    /// block dimension but different rates — the orbit can diverge or
+    /// wander without settling. The seeded path therefore runs on a short
+    /// budget with a blow-up guard, and callers treat its error as "retry
+    /// cold", never as "unsolvable".
     fn rate_matrix_from(&self, seed: Option<&Mat>) -> Result<(Mat, usize), SolveError> {
         let a0 = self.block_a0();
         let a1 = self.block_a1();
@@ -259,11 +292,18 @@ impl SharedBusChain {
             residual: f64::INFINITY,
         })?;
         let n = a0.n_rows;
-        let mut r_mat = match seed {
-            Some(s) if s.n_rows == n && s.n_cols == n => s.clone(),
-            _ => Mat::zeros(n, n),
+        let seeded = matches!(seed, Some(s) if s.n_rows == n && s.n_cols == n);
+        let mut r_mat = if seeded {
+            seed.expect("checked above").clone()
+        } else {
+            Mat::zeros(n, n)
         };
-        for it in 0..2_000_000usize {
+        // A warm start that hasn't settled within the cold path's typical
+        // worst case isn't helping — cut it off and let the caller retry
+        // from zero rather than grinding the full budget.
+        let budget = if seeded { 50_000usize } else { 2_000_000 };
+        let mut last_diff = f64::INFINITY;
+        for it in 0..budget {
             let rr = r_mat.mul(&r_mat);
             let next = {
                 let mut t = a0.add(&rr.mul(&a2));
@@ -278,13 +318,18 @@ impl SharedBusChain {
             if diff < 1e-15 {
                 return Ok((r_mat, it + 1));
             }
-            if it == 1_999_999 {
-                break;
+            if !diff.is_finite() || diff > 1e9 {
+                // Diverging orbit (possible only from a foreign seed).
+                return Err(SolveError::NoConvergence {
+                    iterations: it + 1,
+                    residual: diff,
+                });
             }
+            last_diff = diff;
         }
         Err(SolveError::NoConvergence {
-            iterations: 2_000_000,
-            residual: f64::NAN,
+            iterations: budget,
+            residual: last_diff,
         })
     }
 
@@ -314,6 +359,13 @@ impl SharedBusChain {
         let a2 = self.block_a2();
         let n = a0.n_rows;
         if seed.n_rows != n || seed.n_cols != n {
+            return None;
+        }
+        // The Kronecker system is n²×n², so one Newton step costs O(n⁶) —
+        // past a small block size a single step outweighs the entire
+        // functional iteration it is meant to shortcut. Decline and let
+        // the seeded functional path (O(n³) per iteration) take over.
+        if n > 20 {
             return None;
         }
         let mut r_mat = seed.clone();
@@ -424,10 +476,14 @@ impl SharedBusChain {
     ///
     /// Returns the solution together with a seed for the next solve. A seed
     /// from a chain with a different resource count is ignored (the block
-    /// dimension differs); if Newton declines the point (non-convergence or
-    /// a non-minimal root) the solve falls back to the seeded functional
-    /// iteration, and failing that retries cold — a seed can never make a
-    /// solvable chain unsolvable.
+    /// dimension differs), as is one whose residual under this chain's
+    /// defining quadratic is large — a far seed (grown on a chain with
+    /// very different rates) costs more than it saves, since Newton's
+    /// Kronecker step is `O(r⁶)` and the functional iteration is only
+    /// guaranteed convergent from zero. If Newton declines the point
+    /// (non-convergence or a non-minimal root) the solve falls back to the
+    /// seeded functional iteration, and failing that retries cold — a seed
+    /// can never make a solvable chain unsolvable.
     ///
     /// # Errors
     ///
@@ -437,7 +493,8 @@ impl SharedBusChain {
         &self,
         seed: Option<&SharedBusSeed>,
     ) -> Result<(SharedBusSolution, SharedBusSeed), SolveError> {
-        let usable = seed.filter(|s| s.resources == self.params.resources);
+        let usable =
+            seed.filter(|s| s.resources == self.params.resources && self.seed_is_near(&s.r_mat));
         let r_mat = match usable {
             Some(s) => match self.rate_matrix_newton(&s.r_mat) {
                 Some((m, _)) => m,

@@ -66,6 +66,8 @@ pub struct SmallCrossbarSolution {
 /// with a different per-level structure).
 #[derive(Clone, Debug)]
 pub struct SmallCrossbarSeed {
+    buses: u32,
+    resources_per_bus: u32,
     l0_count: usize,
     per_level: usize,
     pi: Vec<f64>,
@@ -358,9 +360,17 @@ impl SmallCrossbarChain {
 
         // A seed from a smaller truncation of the same chain maps onto the
         // prefix of this one's state numbering (level-0 subs first, then the
-        // queued subs per level); the missing tail levels start at zero.
+        // queued subs per level); the missing tail levels start at zero. The
+        // shape is checked alongside the counts: distinct `m × r` shapes
+        // (e.g. 2×2 and 3×1) can coincide in state-space dimensions while
+        // numbering entirely different states.
         let guess: Option<Vec<f64>> = seed
-            .filter(|s| s.l0_count == l0_count && s.per_level == per_level)
+            .filter(|s| {
+                s.buses == self.params.buses
+                    && s.resources_per_bus == self.params.resources_per_bus
+                    && s.l0_count == l0_count
+                    && s.per_level == per_level
+            })
             .map(|s| {
                 let mut g = vec![0.0_f64; n_states];
                 let shared = s.pi.len().min(n_states);
@@ -397,6 +407,8 @@ impl SmallCrossbarChain {
         Ok((
             sol,
             SmallCrossbarSeed {
+                buses: self.params.buses,
+                resources_per_bus: self.params.resources_per_bus,
                 l0_count,
                 per_level,
                 pi,
